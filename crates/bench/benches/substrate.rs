@@ -1,0 +1,150 @@
+//! Substrate microbenchmarks: the storage engine, SQL front end and
+//! executor that the coordination layer sits on. These are not paper
+//! experiments; they contextualize the E-series numbers (how much of a
+//! match's latency is substrate vs matching).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use youtopia_exec::{run_sql, StatementOutcome};
+use youtopia_sql::parse_statement;
+use youtopia_storage::{Column, DataType, Database, IndexKind, Schema, Tuple, Value};
+
+fn flights_schema() -> Schema {
+    Schema::with_primary_key(
+        vec![
+            Column::new("fno", DataType::Int64),
+            Column::new("dest", DataType::Str),
+            Column::new("price", DataType::Float64),
+        ],
+        &["fno"],
+    )
+}
+
+fn populated(n: usize) -> Database {
+    let db = Database::new();
+    db.with_txn(|txn| {
+        txn.create_table("Flights", flights_schema())?;
+        txn.create_index("Flights", "by_dest", &["dest"], false, IndexKind::Hash)?;
+        for i in 0..n {
+            txn.insert(
+                "Flights",
+                Tuple::new(vec![
+                    Value::Int(i as i64),
+                    Value::Str(if i % 3 == 0 { "Paris".into() } else { "Rome".into() }),
+                    Value::Float(100.0 + i as f64),
+                ]),
+            )?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    db
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_storage");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("insert_10k_rows", |b| {
+        b.iter_batched(
+            Database::new,
+            |db| {
+                db.with_txn(|txn| {
+                    txn.create_table("Flights", flights_schema())?;
+                    for i in 0..10_000i64 {
+                        txn.insert(
+                            "Flights",
+                            Tuple::new(vec![
+                                Value::Int(i),
+                                Value::Str("Paris".into()),
+                                Value::Float(i as f64),
+                            ]),
+                        )?;
+                    }
+                    Ok(())
+                })
+                .unwrap();
+            },
+            BatchSize::PerIteration,
+        );
+    });
+    group.finish();
+
+    let db = populated(10_000);
+    let mut probes = c.benchmark_group("substrate_lookup");
+    probes.bench_function("pk_index_probe", |b| {
+        let read = db.read();
+        let table = read.table("Flights").unwrap();
+        let idx = table.index("Flights_pk").unwrap();
+        b.iter(|| {
+            let rids = idx.probe(std::hint::black_box(&[Value::Int(4242)]));
+            assert_eq!(rids.len(), 1);
+        });
+    });
+    probes.bench_function("secondary_index_probe", |b| {
+        let read = db.read();
+        let table = read.table("Flights").unwrap();
+        let idx = table.index("by_dest").unwrap();
+        b.iter(|| {
+            let rids = idx.probe(std::hint::black_box(&[Value::Str("Paris".into())]));
+            assert!(!rids.is_empty());
+        });
+    });
+    probes.finish();
+}
+
+fn bench_sql_frontend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_sql");
+    let entangled = "SELECT 'Kramer', fno INTO ANSWER Reservation \
+                     WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris') \
+                     AND ('Jerry', fno) IN ANSWER Reservation CHOOSE 1";
+    group.bench_function("parse_entangled_query", |b| {
+        b.iter(|| parse_statement(std::hint::black_box(entangled)).unwrap());
+    });
+    group.bench_function("compile_entangled_query", |b| {
+        b.iter(|| youtopia_core::compile_sql(std::hint::black_box(entangled)).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let db = populated(10_000);
+    let mut group = c.benchmark_group("substrate_executor");
+    group.bench_function("pk_point_select", |b| {
+        b.iter(|| {
+            let StatementOutcome::Rows(rs) =
+                run_sql(&db, "SELECT dest FROM Flights WHERE fno = 4242").unwrap()
+            else {
+                unreachable!()
+            };
+            assert_eq!(rs.rows.len(), 1);
+        });
+    });
+    group.bench_function("filtered_scan_count", |b| {
+        b.iter(|| {
+            let StatementOutcome::Rows(rs) = run_sql(
+                &db,
+                "SELECT COUNT(*) FROM Flights WHERE dest = 'Paris' AND price < 5000",
+            )
+            .unwrap() else {
+                unreachable!()
+            };
+            assert!(rs.rows[0].values()[0].as_int().unwrap() > 0);
+        });
+    });
+    group.bench_function("group_by_aggregate", |b| {
+        b.iter(|| {
+            let StatementOutcome::Rows(rs) = run_sql(
+                &db,
+                "SELECT dest, COUNT(*), AVG(price) FROM Flights GROUP BY dest",
+            )
+            .unwrap() else {
+                unreachable!()
+            };
+            assert_eq!(rs.rows.len(), 2);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_storage, bench_sql_frontend, bench_executor);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! # youtopia-bench
+//!
+//! Shared helpers for the benchmark harness. Each experiment in
+//! DESIGN.md's index (E1–E10) has a Criterion bench target under
+//! `benches/`; this library holds the common setup code so benches and
+//! EXPERIMENTS.md stay consistent.
+
+#![warn(missing_docs)]
+
+use youtopia_core::{Coordinator, CoordinatorConfig, Submission};
+use youtopia_storage::Database;
+use youtopia_travel::{Request, WorkloadGen};
+
+/// A prepared coordination stack: database + coordinator.
+pub struct Stack {
+    /// The database with the travel schema and generated flights.
+    pub db: Database,
+    /// The coordinator under test.
+    pub coordinator: Coordinator,
+}
+
+/// Builds a stack whose database has `n_flights` flights to the given
+/// cities, with the supplied coordinator configuration.
+pub fn build_stack(seed: u64, n_flights: usize, cities: &[&str], config: CoordinatorConfig) -> Stack {
+    let mut gen = WorkloadGen::new(seed);
+    let db = gen.build_database(n_flights, cities).expect("workload database builds");
+    let coordinator = Coordinator::with_config(db.clone(), config);
+    Stack { db, coordinator }
+}
+
+/// Submits requests in order; returns (answered, pending) counts.
+/// Panics on rejection — the generators only produce safe queries.
+pub fn submit_all(coordinator: &Coordinator, requests: &[Request]) -> (usize, usize) {
+    let mut answered = 0;
+    let mut pending = 0;
+    for r in requests {
+        match coordinator.submit_sql(&r.owner, &r.sql).expect("generated queries are safe") {
+            Submission::Answered(_) => answered += 1,
+            Submission::Pending(_) => pending += 1,
+        }
+    }
+    (answered, pending)
+}
+
+/// Pre-loads `noise` unmatchable pending queries (the standing load of
+/// the loaded-system experiment).
+pub fn preload_noise(coordinator: &Coordinator, gen: &mut WorkloadGen, noise: usize, dest: &str) {
+    let requests = gen.noise(noise, dest);
+    let (answered, pending) = submit_all(coordinator, &requests);
+    assert_eq!(answered, 0, "noise must not match");
+    assert_eq!(pending, noise);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use youtopia_travel::WorkloadGen;
+
+    #[test]
+    fn stack_builds_and_matches_pairs() {
+        let stack = build_stack(1, 50, &["Paris"], CoordinatorConfig::default());
+        let mut gen = WorkloadGen::new(2);
+        let reqs = gen.pair_storm(5, "Paris");
+        let (answered, pending) = submit_all(&stack.coordinator, &reqs);
+        assert_eq!(answered, 5, "each second half closes a pair");
+        assert_eq!(pending, 5);
+        assert_eq!(stack.coordinator.pending_count(), 0);
+    }
+
+    #[test]
+    fn noise_preload_stays_pending() {
+        let stack = build_stack(1, 50, &["Paris"], CoordinatorConfig::default());
+        let mut gen = WorkloadGen::new(3);
+        preload_noise(&stack.coordinator, &mut gen, 20, "Paris");
+        assert_eq!(stack.coordinator.pending_count(), 20);
+    }
+}

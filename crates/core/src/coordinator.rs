@@ -1,0 +1,877 @@
+//! The coordinator: Youtopia's coordination component.
+//!
+//! This is the public face of the crate. It owns the pending-query
+//! registry, runs the matcher on every arrival, applies matched groups
+//! atomically to the database (answer tuples are inserted into real
+//! answer-relation tables inside one storage transaction, alongside any
+//! application side effects registered through the apply hook), and
+//! notifies waiting submitters through channels — the "Facebook
+//! message" of the demo.
+//!
+//! Locking protocol: the coordinator's internal state sits behind one
+//! mutex, so submissions and matching are serialized (matching runs on
+//! arrival, exactly as the paper describes). **Do not call
+//! [`Coordinator::submit_sql`] while holding a
+//! [`youtopia_storage::ReadTransaction`] on the same database** — the
+//! apply phase needs the write lock and would deadlock with your read
+//! guard.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use youtopia_storage::{
+    Column, DataType, Database, Schema, StorageResult, Transaction, Tuple,
+};
+
+use crate::compile::compile_sql;
+use crate::error::{CoreError, CoreResult};
+use crate::ir::{EntangledQuery, QueryId};
+use crate::matcher::{baseline, search, GroupMatch, MatchConfig, MatchStats};
+use crate::registry::{Pending, Registry};
+use crate::safety::{check_safety, SafetyMode};
+
+/// Which matching algorithm the coordinator runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatcherKind {
+    /// The incremental, index-pruned matcher (the system's algorithm).
+    #[default]
+    Incremental,
+    /// The exhaustive subset baseline (for experiments).
+    Naive,
+}
+
+/// Coordinator construction options.
+#[derive(Debug, Clone, Copy)]
+pub struct CoordinatorConfig {
+    /// Safety condition enforced at submission.
+    pub safety: SafetyMode,
+    /// Matcher tuning (group-size bound, forward checking, randomize).
+    pub match_config: MatchConfig,
+    /// Use the registry's constant-position index (E10 ablation).
+    pub use_const_index: bool,
+    /// Which matcher runs on arrival.
+    pub matcher: MatcherKind,
+    /// RNG seed for the nondeterministic `CHOOSE`.
+    pub seed: u64,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            safety: SafetyMode::Relaxed,
+            match_config: MatchConfig::default(),
+            use_const_index: true,
+            matcher: MatcherKind::Incremental,
+            seed: 0xD3C0_FFEE,
+        }
+    }
+}
+
+/// Cumulative system counters, exposed to the admin interface and the
+/// benchmark harness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemStats {
+    /// Entangled queries accepted (registered or answered).
+    pub submitted: u64,
+    /// Queries rejected by the safety analysis.
+    pub rejected_unsafe: u64,
+    /// Queries answered so far.
+    pub answered: u64,
+    /// Groups matched so far.
+    pub groups_matched: u64,
+    /// Match attempts (one per arrival, plus retries).
+    pub match_attempts: u64,
+    /// Total time spent inside the matcher, in nanoseconds.
+    pub matching_nanos: u128,
+    /// Aggregated matcher work counters.
+    pub match_work: MatchStats,
+}
+
+/// What a submitter gets back when its group matches: its own answers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchNotification {
+    /// This query's id.
+    pub id: QueryId,
+    /// Every member of the matched group.
+    pub group: Vec<QueryId>,
+    /// This query's answers: one `(relation, tuple)` per head.
+    pub answers: Vec<(String, Tuple)>,
+}
+
+/// Outcome of a submission.
+#[derive(Debug)]
+pub enum Submission {
+    /// The query was answered immediately (its arrival completed a
+    /// group).
+    Answered(MatchNotification),
+    /// The query is pending; the ticket's channel delivers the
+    /// notification when a later arrival completes a group.
+    Pending(Ticket),
+}
+
+impl Submission {
+    /// The query id in either case.
+    pub fn id(&self) -> QueryId {
+        match self {
+            Submission::Answered(n) => n.id,
+            Submission::Pending(t) => t.id,
+        }
+    }
+
+    /// The notification if already answered.
+    pub fn answered(self) -> Option<MatchNotification> {
+        match self {
+            Submission::Answered(n) => Some(n),
+            Submission::Pending(_) => None,
+        }
+    }
+}
+
+/// Handle to a pending query.
+#[derive(Debug)]
+pub struct Ticket {
+    /// The pending query's id (usable with
+    /// [`Coordinator::cancel`]).
+    pub id: QueryId,
+    /// Receives the notification when the query is answered.
+    pub receiver: Receiver<MatchNotification>,
+}
+
+/// One potential-satisfaction edge of the match graph: `from`'s
+/// constraint could be satisfied by `to`'s head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchEdge {
+    /// The constrained (waiting) query.
+    pub from: QueryId,
+    /// Rendering of the constraint atom.
+    pub constraint: String,
+    /// The query whose head could satisfy it.
+    pub to: QueryId,
+    /// Rendering of that head atom.
+    pub head: String,
+}
+
+/// The admin interface's view of matcher state (§3.2): which pending
+/// queries could entangle with which.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MatchGraph {
+    /// Potential-satisfaction edges.
+    pub edges: Vec<MatchEdge>,
+    /// Constraints with no possible provider right now:
+    /// `(query, constraint index, rendered atom)` — the reason those
+    /// queries wait.
+    pub dangling: Vec<(QueryId, usize, String)>,
+}
+
+/// A row of the admin interface's pending-query view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingInfo {
+    /// Query id.
+    pub id: QueryId,
+    /// Submitting user.
+    pub owner: String,
+    /// Original SQL text.
+    pub sql: String,
+    /// Rendered IR (heads / predicates / constraints).
+    pub ir: String,
+    /// Submission sequence number.
+    pub seq: u64,
+}
+
+/// Application side effects applied atomically with a match (e.g. the
+/// travel site decrements seat counts and inserts reservation rows).
+pub type ApplyHook =
+    Box<dyn Fn(&mut Transaction, &GroupMatch) -> StorageResult<()> + Send + 'static>;
+
+struct State {
+    registry: Registry,
+    next_id: u64,
+    seq: u64,
+    rng: StdRng,
+    stats: SystemStats,
+    waiters: HashMap<QueryId, Sender<MatchNotification>>,
+    apply_hook: Option<ApplyHook>,
+}
+
+/// The coordination component (paper, Figure 2).
+pub struct Coordinator {
+    db: Database,
+    config: CoordinatorConfig,
+    state: Mutex<State>,
+}
+
+impl Coordinator {
+    /// Creates a coordinator over `db` with custom options.
+    pub fn with_config(db: Database, config: CoordinatorConfig) -> Coordinator {
+        let registry = if config.use_const_index {
+            Registry::new()
+        } else {
+            Registry::without_const_index()
+        };
+        Coordinator {
+            db,
+            config,
+            state: Mutex::new(State {
+                registry,
+                next_id: 1,
+                seq: 0,
+                rng: StdRng::seed_from_u64(config.seed),
+                stats: SystemStats::default(),
+                waiters: HashMap::new(),
+                apply_hook: None,
+            }),
+        }
+    }
+
+    /// Creates a coordinator with default options.
+    pub fn new(db: Database) -> Coordinator {
+        Coordinator::with_config(db, CoordinatorConfig::default())
+    }
+
+    /// The underlying database handle.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CoordinatorConfig {
+        &self.config
+    }
+
+    /// Registers the application side-effect hook, run inside the same
+    /// transaction that inserts a match's answer tuples.
+    pub fn set_apply_hook(&self, hook: ApplyHook) {
+        self.state.lock().apply_hook = Some(hook);
+    }
+
+    /// Submits an entangled query given as SQL text.
+    pub fn submit_sql(&self, owner: &str, sql: &str) -> CoreResult<Submission> {
+        let compiled = compile_sql(sql)?;
+        self.submit(owner, compiled)
+    }
+
+    /// Submits a compiled entangled query.
+    pub fn submit(&self, owner: &str, query: EntangledQuery) -> CoreResult<Submission> {
+        let mut state = self.state.lock();
+        if let Err(e) = check_safety(&query, self.config.safety) {
+            state.stats.rejected_unsafe += 1;
+            return Err(e);
+        }
+        let qid = QueryId(state.next_id);
+        state.next_id += 1;
+        state.seq += 1;
+        let seq = state.seq;
+        state.registry.insert(Pending {
+            id: qid,
+            owner: owner.to_string(),
+            query: query.namespaced(qid),
+            seq,
+        });
+        state.stats.submitted += 1;
+
+        match self.try_match(&mut state, qid)? {
+            Some(m) => {
+                let fresh: Vec<(String, Tuple)> = m.all_answers().cloned().collect();
+                let mut my_notification = None;
+                for n in self.apply_and_notify(&mut state, m)? {
+                    if n.id == qid {
+                        my_notification = Some(n);
+                    }
+                }
+                let n = my_notification.ok_or_else(|| {
+                    CoreError::Internal("trigger missing from its own match".into())
+                })?;
+                // Newly committed answers may satisfy pending queries'
+                // postconditions ("the system-wide answer relation"):
+                // cascade until quiescent.
+                self.cascade(&mut state, fresh)?;
+                Ok(Submission::Answered(n))
+            }
+            None => {
+                let (tx, rx) = unbounded();
+                state.waiters.insert(qid, tx);
+                Ok(Submission::Pending(Ticket { id: qid, receiver: rx }))
+            }
+        }
+    }
+
+    /// Re-runs matching for pending queries whose positive constraints
+    /// could unify with freshly committed answer tuples, repeating until
+    /// no further matches fire. Cheap pre-filter: a constraint is only
+    /// retried when template unification against a fresh tuple succeeds.
+    /// Apply failures (e.g. inventory races) leave the group pending and
+    /// do not abort the cascade.
+    fn cascade(&self, state: &mut State, mut fresh: Vec<(String, Tuple)>) -> CoreResult<()> {
+        if !self.config.match_config.use_committed_answers {
+            return Ok(());
+        }
+        while !fresh.is_empty() {
+            let triggers: Vec<QueryId> = state
+                .registry
+                .iter()
+                .filter(|p| {
+                    p.query.constraints.iter().filter(|c| !c.negated).any(|c| {
+                        fresh.iter().any(|(rel, tuple)| {
+                            c.atom.relation.eq_ignore_ascii_case(rel)
+                                && c.atom.arity() == tuple.arity()
+                                && {
+                                    let mut s = crate::unify::Subst::new();
+                                    c.atom.terms.iter().zip(tuple.values()).all(|(t, v)| {
+                                        s.unify_terms(
+                                            t,
+                                            &crate::ir::Term::Const(v.clone()),
+                                        )
+                                    })
+                                }
+                        })
+                    })
+                })
+                .map(|p| p.id)
+                .collect();
+            fresh.clear();
+            for qid in triggers {
+                if state.registry.get(qid).is_none() {
+                    continue; // answered earlier in this round
+                }
+                if let Some(m) = self.try_match(state, qid)? {
+                    let new_tuples: Vec<(String, Tuple)> = m.all_answers().cloned().collect();
+                    match self.apply_and_notify(state, m) {
+                        Ok(_) => fresh.extend(new_tuples),
+                        Err(CoreError::Storage(_)) => {
+                            // group reinstated by apply_and_notify; it
+                            // stays pending (e.g. inventory exhausted)
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the configured matcher for `trigger`. Callers hold the state
+    /// lock; the database is read-locked only for the matching itself.
+    fn try_match(&self, state: &mut State, trigger: QueryId) -> CoreResult<Option<GroupMatch>> {
+        state.stats.match_attempts += 1;
+        let started = Instant::now();
+        let result = {
+            let read = self.db.read();
+            let mut work = MatchStats::default();
+            let r = match self.config.matcher {
+                MatcherKind::Incremental => search::match_query(
+                    &state.registry,
+                    read.catalog(),
+                    trigger,
+                    &self.config.match_config,
+                    &mut state.rng,
+                    &mut work,
+                ),
+                MatcherKind::Naive => baseline::match_query_naive(
+                    &state.registry,
+                    read.catalog(),
+                    trigger,
+                    &self.config.match_config,
+                    &mut state.rng,
+                    &mut work,
+                ),
+            };
+            state.stats.match_work.merge(&work);
+            r
+        };
+        state.stats.matching_nanos += started.elapsed().as_nanos();
+        result
+    }
+
+    /// Removes the matched queries, applies the match to the database
+    /// (answer-relation inserts + apply hook, one transaction), and
+    /// builds per-member notifications. On apply failure the members are
+    /// re-registered and the error propagates.
+    fn apply_and_notify(
+        &self,
+        state: &mut State,
+        m: GroupMatch,
+    ) -> CoreResult<Vec<MatchNotification>> {
+        let mut removed = Vec::with_capacity(m.members.len());
+        for &qid in &m.members {
+            let pending = state
+                .registry
+                .remove(qid)
+                .ok_or_else(|| CoreError::Internal(format!("matched query {qid} vanished")))?;
+            removed.push(pending);
+        }
+
+        let apply_result = (|| -> StorageResult<()> {
+            let mut txn = self.db.begin();
+            for (relation, tuple) in m.all_answers() {
+                ensure_answer_table(&mut txn, relation, tuple)?;
+                txn.insert(relation, tuple.clone())?;
+            }
+            if let Some(hook) = &state.apply_hook {
+                hook(&mut txn, &m)?;
+            }
+            txn.commit()
+        })();
+
+        if let Err(e) = apply_result {
+            // put the group back; it stays pending
+            for pending in removed {
+                state.registry.insert(pending);
+            }
+            return Err(CoreError::Storage(e));
+        }
+
+        state.stats.groups_matched += 1;
+        state.stats.answered += m.members.len() as u64;
+
+        let group = m.members.clone();
+        let mut notifications = Vec::with_capacity(group.len());
+        for &qid in &m.members {
+            let n = MatchNotification {
+                id: qid,
+                group: group.clone(),
+                answers: m.answers.get(&qid).cloned().unwrap_or_default(),
+            };
+            if let Some(tx) = state.waiters.remove(&qid) {
+                let _ = tx.send(n.clone()); // receiver may have been dropped
+            }
+            notifications.push(n);
+        }
+        Ok(notifications)
+    }
+
+    /// Cancels a pending query ("a query whose postcondition is not
+    /// satisfied ... waits for an opportunity to retry" — until the user
+    /// gives up).
+    pub fn cancel(&self, qid: QueryId) -> CoreResult<()> {
+        let mut state = self.state.lock();
+        state
+            .registry
+            .remove(qid)
+            .map(|_| {
+                state.waiters.remove(&qid);
+            })
+            .ok_or(CoreError::UnknownQuery(qid.0))
+    }
+
+    /// Cancels every pending query belonging to `owner` (the user
+    /// logged out / gave up). Returns how many were withdrawn.
+    pub fn cancel_owner(&self, owner: &str) -> usize {
+        let mut state = self.state.lock();
+        let victims: Vec<QueryId> = state
+            .registry
+            .iter()
+            .filter(|p| p.owner == owner)
+            .map(|p| p.id)
+            .collect();
+        for qid in &victims {
+            state.registry.remove(*qid);
+            state.waiters.remove(qid);
+        }
+        victims.len()
+    }
+
+    /// Expires pending queries whose submission sequence number is
+    /// older than `min_seq` — the paper's "waits for an opportunity to
+    /// retry" does not mean forever; applications typically sweep with
+    /// a deadline. Returns the expired ids.
+    pub fn expire_before(&self, min_seq: u64) -> Vec<QueryId> {
+        let mut state = self.state.lock();
+        let victims: Vec<QueryId> = state
+            .registry
+            .iter()
+            .filter(|p| p.seq < min_seq)
+            .map(|p| p.id)
+            .collect();
+        for qid in &victims {
+            state.registry.remove(*qid);
+            state.waiters.remove(qid);
+        }
+        victims
+    }
+
+    /// The current submission sequence number (pairs with
+    /// [`Coordinator::expire_before`]).
+    pub fn current_seq(&self) -> u64 {
+        self.state.lock().seq
+    }
+
+    /// Retries matching for every pending query (useful after database
+    /// updates add new flights/hotels). Returns the notifications of all
+    /// queries answered by the sweep.
+    pub fn retry_all(&self) -> CoreResult<Vec<MatchNotification>> {
+        let mut state = self.state.lock();
+        let mut notifications = Vec::new();
+        loop {
+            let pending_ids: Vec<QueryId> = state.registry.iter().map(|p| p.id).collect();
+            let mut matched_any = false;
+            for qid in pending_ids {
+                if state.registry.get(qid).is_none() {
+                    continue; // answered earlier in this sweep
+                }
+                if let Some(m) = self.try_match(&mut state, qid)? {
+                    notifications.extend(self.apply_and_notify(&mut state, m)?);
+                    matched_any = true;
+                }
+            }
+            if !matched_any {
+                return Ok(notifications);
+            }
+        }
+    }
+
+    /// Number of pending queries.
+    pub fn pending_count(&self) -> usize {
+        self.state.lock().registry.len()
+    }
+
+    /// Snapshot of the pending queries for the admin interface.
+    pub fn pending_snapshot(&self) -> Vec<PendingInfo> {
+        let state = self.state.lock();
+        state
+            .registry
+            .iter()
+            .map(|p| PendingInfo {
+                id: p.id,
+                owner: p.owner.clone(),
+                sql: p.query.sql.clone(),
+                ir: p.query.to_string(),
+                seq: p.seq,
+            })
+            .collect()
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> SystemStats {
+        self.state.lock().stats
+    }
+
+    /// The current *match graph*: for every pending query's positive
+    /// answer constraint, which pending heads could satisfy it
+    /// (candidate via the registry index + pairwise unifiable). This is
+    /// the "state created by the matching algorithms" the paper's
+    /// admin interface visualizes (§3.2); dangling constraints (no
+    /// edges) show exactly why a query is still waiting.
+    pub fn match_graph(&self) -> MatchGraph {
+        let state = self.state.lock();
+        let mut edges = Vec::new();
+        let mut dangling = Vec::new();
+        for pending in state.registry.iter() {
+            for (cidx, constraint) in pending.query.constraints.iter().enumerate() {
+                if constraint.negated {
+                    continue;
+                }
+                let mut found = false;
+                for href in state.registry.candidates_for(&constraint.atom) {
+                    let Some(head) = state.registry.head(href) else { continue };
+                    let mut s = crate::unify::Subst::new();
+                    if s.unify_atoms(&constraint.atom, head) {
+                        edges.push(MatchEdge {
+                            from: pending.id,
+                            constraint: constraint.atom.to_string(),
+                            to: href.qid,
+                            head: head.to_string(),
+                        });
+                        found = true;
+                    }
+                }
+                if !found {
+                    dangling.push((pending.id, cidx, constraint.atom.to_string()));
+                }
+            }
+        }
+        MatchGraph { edges, dangling }
+    }
+
+    /// Reads the current content of an answer relation (empty when no
+    /// match has touched it yet).
+    pub fn answers(&self, relation: &str) -> Vec<Tuple> {
+        let read = self.db.read();
+        match read.table(relation) {
+            Ok(t) => t.scan().map(|(_, tuple)| tuple.clone()).collect(),
+            Err(_) => Vec::new(),
+        }
+    }
+}
+
+/// Creates the answer-relation table on first use. Columns are named
+/// `c0..cN-1`, typed from the first inserted tuple, all nullable (answer
+/// relations are system tables; applications may pre-create them with
+/// richer schemas, in which case only the arity must agree).
+fn ensure_answer_table(txn: &mut Transaction, relation: &str, first: &Tuple) -> StorageResult<()> {
+    if txn.catalog().has_table(relation) {
+        return Ok(());
+    }
+    let columns: Vec<Column> = first
+        .values()
+        .iter()
+        .enumerate()
+        .map(|(i, v)| Column {
+            name: format!("c{i}"),
+            ty: v.data_type().unwrap_or(DataType::Str),
+            nullable: true,
+        })
+        .collect();
+    txn.create_table(relation, Schema::new(columns))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use youtopia_exec::run_sql;
+    use youtopia_storage::Value;
+
+    fn flights_db() -> Database {
+        let db = Database::new();
+        for sql in [
+            "CREATE TABLE Flights (fno INT PRIMARY KEY, dest STRING NOT NULL)",
+            "INSERT INTO Flights VALUES (122, 'Paris'), (123, 'Paris'), (134, 'Paris'), \
+             (136, 'Rome')",
+        ] {
+            run_sql(&db, sql).unwrap();
+        }
+        db
+    }
+
+    fn pair_sql(me: &str, friend: &str) -> String {
+        format!(
+            "SELECT '{me}', fno INTO ANSWER Reservation \
+             WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') \
+             AND ('{friend}', fno) IN ANSWER Reservation CHOOSE 1"
+        )
+    }
+
+    #[test]
+    fn paper_walkthrough_end_to_end() {
+        let co = Coordinator::new(flights_db());
+        // Kramer submits; his constraint cannot be satisfied yet.
+        let kramer = co.submit_sql("kramer", &pair_sql("Kramer", "Jerry")).unwrap();
+        let Submission::Pending(ticket) = kramer else { panic!("kramer must wait") };
+        assert_eq!(co.pending_count(), 1);
+
+        // Jerry submits the symmetric query: both answered at once.
+        let jerry = co.submit_sql("jerry", &pair_sql("Jerry", "Kramer")).unwrap();
+        let Submission::Answered(jn) = jerry else { panic!("jerry completes the group") };
+        let kn = ticket.receiver.try_recv().expect("kramer is notified");
+
+        assert_eq!(jn.group, kn.group);
+        assert_eq!(jn.answers[0].0, "Reservation");
+        let j_fno = &jn.answers[0].1.values()[1];
+        let k_fno = &kn.answers[0].1.values()[1];
+        assert_eq!(j_fno, k_fno);
+        assert!([122i64, 123, 134].contains(&j_fno.as_int().unwrap()));
+
+        // the answer relation now holds both tuples
+        assert_eq!(co.answers("Reservation").len(), 2);
+        assert_eq!(co.pending_count(), 0);
+
+        let stats = co.stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.answered, 2);
+        assert_eq!(stats.groups_matched, 1);
+    }
+
+    #[test]
+    fn unsafe_queries_are_rejected_and_counted() {
+        let co = Coordinator::new(flights_db());
+        let err = co.submit_sql("x", "SELECT 'X', v INTO ANSWER R CHOOSE 1").unwrap_err();
+        assert!(matches!(err, CoreError::Unsafe(_)));
+        assert_eq!(co.stats().rejected_unsafe, 1);
+        assert_eq!(co.pending_count(), 0);
+    }
+
+    #[test]
+    fn strict_mode_rejects_constraint_bound_vars() {
+        let config = CoordinatorConfig { safety: SafetyMode::Strict, ..Default::default() };
+        let co = Coordinator::with_config(flights_db(), config);
+        let err = co
+            .submit_sql(
+                "k",
+                "SELECT 'K', fno INTO ANSWER R WHERE ('J', fno) IN ANSWER R CHOOSE 1",
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Unsafe(_)));
+    }
+
+    #[test]
+    fn cancel_removes_pending_query() {
+        let co = Coordinator::new(flights_db());
+        let s = co.submit_sql("kramer", &pair_sql("Kramer", "Jerry")).unwrap();
+        let id = s.id();
+        co.cancel(id).unwrap();
+        assert_eq!(co.pending_count(), 0);
+        assert!(matches!(co.cancel(id), Err(CoreError::UnknownQuery(_))));
+        // Jerry now waits forever — no partner
+        let s2 = co.submit_sql("jerry", &pair_sql("Jerry", "Kramer")).unwrap();
+        assert!(matches!(s2, Submission::Pending(_)));
+    }
+
+    #[test]
+    fn retry_all_matches_after_data_arrives() {
+        let db = Database::new();
+        run_sql(&db, "CREATE TABLE Flights (fno INT PRIMARY KEY, dest STRING NOT NULL)").unwrap();
+        let co = Coordinator::new(db.clone());
+        // no Paris flights yet: the pair cannot ground
+        let t1 = co.submit_sql("kramer", &pair_sql("Kramer", "Jerry")).unwrap();
+        let t2 = co.submit_sql("jerry", &pair_sql("Jerry", "Kramer")).unwrap();
+        assert!(matches!(t1, Submission::Pending(_)));
+        assert!(matches!(t2, Submission::Pending(_)));
+        assert!(co.retry_all().unwrap().is_empty());
+
+        run_sql(&db, "INSERT INTO Flights VALUES (122, 'Paris')").unwrap();
+        let notifications = co.retry_all().unwrap();
+        assert_eq!(notifications.len(), 2);
+        assert_eq!(co.pending_count(), 0);
+    }
+
+    #[test]
+    fn pending_snapshot_shows_sql_and_ir() {
+        let co = Coordinator::new(flights_db());
+        co.submit_sql("kramer", &pair_sql("Kramer", "Jerry")).unwrap();
+        let snap = co.pending_snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].owner, "kramer");
+        assert!(snap[0].sql.contains("INTO ANSWER Reservation"));
+        assert!(snap[0].ir.contains("Reservation('Kramer'"));
+    }
+
+    #[test]
+    fn apply_hook_runs_in_the_match_transaction() {
+        let db = flights_db();
+        run_sql(&db, "CREATE TABLE Log (qid INT)").unwrap();
+        let co = Coordinator::new(db.clone());
+        co.set_apply_hook(Box::new(|txn, m| {
+            for &qid in &m.members {
+                txn.insert("Log", Tuple::new(vec![Value::Int(qid.0 as i64)]))?;
+            }
+            Ok(())
+        }));
+        co.submit_sql("kramer", &pair_sql("Kramer", "Jerry")).unwrap();
+        co.submit_sql("jerry", &pair_sql("Jerry", "Kramer")).unwrap();
+        let read = db.read();
+        assert_eq!(read.table("Log").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn failing_hook_reinstates_the_group() {
+        let db = flights_db();
+        let co = Coordinator::new(db.clone());
+        co.set_apply_hook(Box::new(|_, _| {
+            Err(youtopia_storage::StorageError::Internal("no seats".into()))
+        }));
+        co.submit_sql("kramer", &pair_sql("Kramer", "Jerry")).unwrap();
+        let err = co.submit_sql("jerry", &pair_sql("Jerry", "Kramer")).unwrap_err();
+        assert!(matches!(err, CoreError::Storage(_)));
+        // both queries are still pending; no answers were written
+        assert_eq!(co.pending_count(), 2);
+        assert!(co.answers("Reservation").is_empty());
+        assert_eq!(co.stats().groups_matched, 0);
+    }
+
+    #[test]
+    fn pre_created_answer_table_is_reused() {
+        let db = flights_db();
+        run_sql(&db, "CREATE TABLE Reservation (traveler STRING, fno INT)").unwrap();
+        let co = Coordinator::new(db.clone());
+        co.submit_sql("kramer", &pair_sql("Kramer", "Jerry")).unwrap();
+        co.submit_sql("jerry", &pair_sql("Jerry", "Kramer")).unwrap();
+        let read = db.read();
+        let t = read.table("Reservation").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.schema().columns()[0].name, "traveler");
+    }
+
+    #[test]
+    fn naive_matcher_config_works_end_to_end() {
+        let config = CoordinatorConfig { matcher: MatcherKind::Naive, ..Default::default() };
+        let co = Coordinator::with_config(flights_db(), config);
+        co.submit_sql("kramer", &pair_sql("Kramer", "Jerry")).unwrap();
+        let s = co.submit_sql("jerry", &pair_sql("Jerry", "Kramer")).unwrap();
+        assert!(matches!(s, Submission::Answered(_)));
+        assert!(co.stats().match_work.subsets_tested > 0);
+    }
+
+    #[test]
+    fn concurrent_submissions_from_threads() {
+        let co = std::sync::Arc::new(Coordinator::new(flights_db()));
+        let mut handles = Vec::new();
+        for pair in 0..8 {
+            for side in 0..2 {
+                let co = co.clone();
+                handles.push(std::thread::spawn(move || {
+                    let (me, friend) = if side == 0 {
+                        (format!("L{pair}"), format!("R{pair}"))
+                    } else {
+                        (format!("R{pair}"), format!("L{pair}"))
+                    };
+                    let sql = format!(
+                        "SELECT '{me}', fno INTO ANSWER Reservation \
+                         WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') \
+                         AND ('{friend}', fno) IN ANSWER Reservation CHOOSE 1"
+                    );
+                    match co.submit_sql(&me, &sql).unwrap() {
+                        Submission::Answered(n) => n,
+                        Submission::Pending(t) => {
+                            t.receiver.recv_timeout(std::time::Duration::from_secs(5)).unwrap()
+                        }
+                    }
+                }));
+            }
+        }
+        let notifications: Vec<MatchNotification> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(notifications.len(), 16);
+        assert_eq!(co.pending_count(), 0);
+        assert_eq!(co.stats().groups_matched, 8);
+        // each pair shares a flight
+        let by_id: HashMap<QueryId, &MatchNotification> =
+            notifications.iter().map(|n| (n.id, n)).collect();
+        for n in &notifications {
+            assert_eq!(n.group.len(), 2);
+            let partner = n.group.iter().find(|&&g| g != n.id).unwrap();
+            let pn = by_id[partner];
+            assert_eq!(n.answers[0].1.values()[1], pn.answers[0].1.values()[1]);
+        }
+    }
+
+    #[test]
+    fn cancel_owner_withdraws_all_of_a_users_requests() {
+        let co = Coordinator::new(flights_db());
+        co.submit_sql("kramer", &pair_sql("Kramer", "Ghost1")).unwrap();
+        co.submit_sql("kramer", &pair_sql("Kramer", "Ghost2")).unwrap();
+        co.submit_sql("elaine", &pair_sql("Elaine", "Ghost3")).unwrap();
+        assert_eq!(co.cancel_owner("kramer"), 2);
+        assert_eq!(co.pending_count(), 1);
+        assert_eq!(co.cancel_owner("kramer"), 0);
+    }
+
+    #[test]
+    fn expire_before_sweeps_old_requests() {
+        let co = Coordinator::new(flights_db());
+        co.submit_sql("a", &pair_sql("A", "GhostA")).unwrap();
+        co.submit_sql("b", &pair_sql("B", "GhostB")).unwrap();
+        let cutoff = co.current_seq(); // == 2
+        co.submit_sql("c", &pair_sql("C", "GhostC")).unwrap();
+        let expired = co.expire_before(cutoff);
+        assert_eq!(expired.len(), 1, "only the first submission predates seq 2");
+        assert_eq!(co.pending_count(), 2);
+        // expiring everything
+        let expired = co.expire_before(u64::MAX);
+        assert_eq!(expired.len(), 2);
+        assert_eq!(co.pending_count(), 0);
+    }
+
+    #[test]
+    fn matching_time_is_recorded() {
+        let co = Coordinator::new(flights_db());
+        co.submit_sql("kramer", &pair_sql("Kramer", "Jerry")).unwrap();
+        co.submit_sql("jerry", &pair_sql("Jerry", "Kramer")).unwrap();
+        let stats = co.stats();
+        assert!(stats.matching_nanos > 0);
+        assert_eq!(stats.match_attempts, 2);
+    }
+}

@@ -1,0 +1,87 @@
+//! Error types for the coordination layer.
+
+use std::fmt;
+
+use youtopia_exec::ExecError;
+use youtopia_storage::StorageError;
+
+/// Errors produced while compiling, registering or matching entangled
+/// queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The SQL front end rejected the statement.
+    Parse(String),
+    /// The statement is not an entangled query.
+    NotEntangled,
+    /// The entangled query failed compilation to the IR (scoping,
+    /// unsupported construct...).
+    Compile(String),
+    /// The query failed the safety analysis; the string explains which
+    /// condition was violated.
+    Unsafe(String),
+    /// A storage-layer failure while applying a match.
+    Storage(StorageError),
+    /// An execution-engine failure while evaluating database predicates.
+    Exec(ExecError),
+    /// The referenced pending query does not exist (already answered,
+    /// cancelled, or never registered).
+    UnknownQuery(u64),
+    /// An internal invariant was violated (a bug).
+    Internal(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Parse(msg) => write!(f, "parse error: {msg}"),
+            CoreError::NotEntangled => {
+                write!(f, "statement is not an entangled query (no INTO ANSWER clause)")
+            }
+            CoreError::Compile(msg) => write!(f, "compile error: {msg}"),
+            CoreError::Unsafe(msg) => write!(f, "unsafe entangled query: {msg}"),
+            CoreError::Storage(e) => write!(f, "storage error: {e}"),
+            CoreError::Exec(e) => write!(f, "execution error: {e}"),
+            CoreError::UnknownQuery(id) => write!(f, "unknown pending query q{id}"),
+            CoreError::Internal(msg) => write!(f, "internal coordination error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<StorageError> for CoreError {
+    fn from(e: StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+impl From<ExecError> for CoreError {
+    fn from(e: ExecError) -> Self {
+        CoreError::Exec(e)
+    }
+}
+
+/// Result alias for the coordination crate.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(CoreError::NotEntangled.to_string().contains("INTO ANSWER"));
+        assert_eq!(CoreError::UnknownQuery(7).to_string(), "unknown pending query q7");
+        assert!(CoreError::Unsafe("variable 'x' is not range-restricted".into())
+            .to_string()
+            .contains("range-restricted"));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: CoreError = StorageError::TableNotFound("t".into()).into();
+        assert!(matches!(e, CoreError::Storage(_)));
+        let e: CoreError = ExecError::DivisionByZero.into();
+        assert!(matches!(e, CoreError::Exec(_)));
+    }
+}

@@ -1,0 +1,75 @@
+//! # youtopia-core
+//!
+//! The coordination component of the Youtopia reproduction — the
+//! primary contribution of *Coordination through Querying in the
+//! Youtopia System* (SIGMOD 2011 demonstration).
+//!
+//! Entangled queries "can only be answered in conjunction with other
+//! entangled queries posed by other users"; the system "evaluates sets
+//! of such queries jointly in order to ensure coordinated answers".
+//! This crate provides exactly that machinery:
+//!
+//! * [`mod@compile`] — lowers parsed entangled SQL into the IR ([`ir`]);
+//! * [`safety`] — the range-restriction analysis that keeps matching
+//!   tractable (after the companion technical paper);
+//! * [`registry`] — the pending-query store with a constant-position
+//!   candidate index;
+//! * [`matcher`] — the incremental group-matching algorithm plus the
+//!   exhaustive baseline, sharing a CSP-style grounding phase;
+//! * [`coordinator`] — the public facade: submit / wait / notify /
+//!   atomic application of matches to the database.
+//!
+//! ## The paper's walkthrough, end to end
+//!
+//! ```
+//! use youtopia_storage::Database;
+//! use youtopia_exec::run_sql;
+//! use youtopia_core::{Coordinator, Submission};
+//!
+//! let db = Database::new();
+//! run_sql(&db, "CREATE TABLE Flights (fno INT PRIMARY KEY, dest STRING)").unwrap();
+//! run_sql(&db, "INSERT INTO Flights VALUES (122,'Paris'), (123,'Paris'), \
+//!               (134,'Paris'), (136,'Rome')").unwrap();
+//!
+//! let co = Coordinator::new(db);
+//! // Kramer's query waits: nobody satisfies its postcondition yet.
+//! let kramer = co.submit_sql("kramer",
+//!     "SELECT 'Kramer', fno INTO ANSWER Reservation \
+//!      WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris') \
+//!      AND ('Jerry', fno) IN ANSWER Reservation CHOOSE 1").unwrap();
+//! let Submission::Pending(ticket) = kramer else { panic!() };
+//!
+//! // Jerry's symmetric query arrives: both are answered jointly.
+//! let jerry = co.submit_sql("jerry",
+//!     "SELECT 'Jerry', fno INTO ANSWER Reservation \
+//!      WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris') \
+//!      AND ('Kramer', fno) IN ANSWER Reservation CHOOSE 1").unwrap();
+//! let jerry = jerry.answered().expect("group completed");
+//! let kramer = ticket.receiver.try_recv().expect("kramer notified");
+//!
+//! // Same (nondeterministically chosen) Paris flight for both.
+//! assert_eq!(jerry.answers[0].1.values()[1], kramer.answers[0].1.values()[1]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod coordinator;
+pub mod error;
+pub mod ir;
+pub mod matcher;
+pub mod registry;
+pub mod safety;
+pub mod unify;
+
+pub use compile::{compile, compile_sql};
+pub use coordinator::{
+    ApplyHook, Coordinator, CoordinatorConfig, MatchEdge, MatchGraph, MatchNotification,
+    MatcherKind, PendingInfo, Submission, SystemStats, Ticket,
+};
+pub use error::{CoreError, CoreResult};
+pub use ir::{AnswerConstraint, Atom, EntangledQuery, Filter, Membership, QueryId, Term, Var};
+pub use matcher::{GroupMatch, MatchConfig, MatchStats};
+pub use registry::{HeadRef, Pending, Registry};
+pub use safety::{check_safety, is_self_contained, SafetyMode};
+pub use unify::Subst;

@@ -1,0 +1,661 @@
+//! The grounding phase: given a structurally closed group (every
+//! positive answer constraint has been unified with a member head),
+//! find a variable assignment satisfying all database predicates,
+//! filters and negative constraints.
+//!
+//! This is a finite CSP: each positive membership predicate contributes
+//! a domain (the rows of its subquery, evaluated once against the
+//! current database snapshot), and the search assigns memberships to
+//! rows with backtracking. With `forward_checking` on, the next
+//! membership to assign is chosen fail-first (fewest compatible rows).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+use youtopia_exec::execute_select;
+use youtopia_storage::{Catalog, Tuple, Value};
+
+use crate::error::{CoreError, CoreResult};
+use crate::ir::{Atom, Filter, QueryId, Term};
+use crate::matcher::{GroupMatch, MatchConfig, MatchStats};
+use crate::registry::Registry;
+use crate::unify::Subst;
+
+/// A membership predicate with its pre-evaluated row domain.
+#[derive(Debug)]
+struct MembershipDomain {
+    terms: Vec<Term>,
+    rows: Vec<Vec<Value>>,
+}
+
+/// A negative membership check (`NOT IN (SELECT ...)`).
+#[derive(Debug)]
+struct NegMembership {
+    terms: Vec<Term>,
+    rows: Vec<Vec<Value>>,
+}
+
+/// The complete grounding problem for one candidate group.
+#[derive(Debug)]
+pub struct GroundingProblem {
+    members: Vec<QueryId>,
+    domains: Vec<MembershipDomain>,
+    neg_memberships: Vec<NegMembership>,
+    filters: Vec<Filter>,
+    neg_constraints: Vec<Atom>,
+    heads: Vec<(QueryId, Atom)>,
+}
+
+impl GroundingProblem {
+    /// Builds the problem for `group`: evaluates every member's
+    /// membership subqueries against `catalog` and collects filters,
+    /// negative constraints and heads.
+    pub fn build(
+        registry: &Registry,
+        catalog: &Catalog,
+        group: &[QueryId],
+        stats: &mut MatchStats,
+    ) -> CoreResult<GroundingProblem> {
+        let mut domains = Vec::new();
+        let mut neg_memberships = Vec::new();
+        let mut filters = Vec::new();
+        let mut neg_constraints = Vec::new();
+        let mut heads = Vec::new();
+
+        for &qid in group {
+            let pending = registry
+                .get(qid)
+                .ok_or(CoreError::UnknownQuery(qid.0))?;
+            let q = &pending.query;
+            for m in &q.memberships {
+                let result = execute_select(catalog, &m.select)?;
+                if result.schema.arity() != m.terms.len() {
+                    return Err(CoreError::Compile(format!(
+                        "membership tuple has {} terms but its subquery returns {} columns",
+                        m.terms.len(),
+                        result.schema.arity()
+                    )));
+                }
+                let rows: Vec<Vec<Value>> =
+                    result.rows.into_iter().map(Tuple::into_values).collect();
+                stats.rows_scanned += rows.len() as u64;
+                if m.negated {
+                    neg_memberships.push(NegMembership { terms: m.terms.clone(), rows });
+                } else {
+                    domains.push(MembershipDomain { terms: m.terms.clone(), rows });
+                }
+            }
+            filters.extend(q.filters.iter().cloned());
+            for c in &q.constraints {
+                if c.negated {
+                    neg_constraints.push(c.atom.clone());
+                }
+            }
+            for h in &q.heads {
+                heads.push((qid, h.clone()));
+            }
+        }
+        Ok(GroundingProblem {
+            members: group.to_vec(),
+            domains,
+            neg_memberships,
+            filters,
+            neg_constraints,
+            heads,
+        })
+    }
+
+    /// Solves the problem starting from `subst` (the unifications the
+    /// structural phase produced). Returns the group's joint answers on
+    /// success.
+    pub fn solve(
+        &self,
+        subst: &Subst,
+        catalog: &Catalog,
+        config: &MatchConfig,
+        rng: &mut StdRng,
+        stats: &mut MatchStats,
+    ) -> CoreResult<Option<GroupMatch>> {
+        stats.groundings_attempted += 1;
+        let unassigned: Vec<usize> = (0..self.domains.len()).collect();
+        self.assign(subst, &unassigned, catalog, config, rng, stats)
+    }
+
+    fn assign(
+        &self,
+        subst: &Subst,
+        unassigned: &[usize],
+        catalog: &Catalog,
+        config: &MatchConfig,
+        rng: &mut StdRng,
+        stats: &mut MatchStats,
+    ) -> CoreResult<Option<GroupMatch>> {
+        if unassigned.is_empty() {
+            return self.finalize(subst, catalog, config, stats);
+        }
+        // Pick the next membership: fail-first under forward checking,
+        // first-listed otherwise.
+        let (pick_pos, compatible) = if config.forward_checking {
+            let mut best: Option<(usize, Vec<Subst>)> = None;
+            for (pos, &idx) in unassigned.iter().enumerate() {
+                let compat = self.compatible_rows(idx, subst, stats);
+                let better = match &best {
+                    None => true,
+                    Some((_, rows)) => compat.len() < rows.len(),
+                };
+                if better {
+                    let empty = compat.is_empty();
+                    best = Some((pos, compat));
+                    if empty {
+                        break; // cannot do better than zero
+                    }
+                }
+            }
+            best.expect("unassigned is non-empty")
+        } else {
+            let idx = unassigned[0];
+            (0, self.compatible_rows(idx, subst, stats))
+        };
+
+        let mut order: Vec<usize> = (0..compatible.len()).collect();
+        if config.randomize {
+            order.shuffle(rng);
+        }
+        let rest: Vec<usize> = unassigned
+            .iter()
+            .enumerate()
+            .filter(|(p, _)| *p != pick_pos)
+            .map(|(_, &i)| i)
+            .collect();
+        for &row_pos in &order {
+            let next = &compatible[row_pos];
+            if let Some(m) = self.assign(next, &rest, catalog, config, rng, stats)? {
+                return Ok(Some(m));
+            }
+        }
+        Ok(None)
+    }
+
+    /// The substitutions obtained by binding membership `idx`'s terms to
+    /// each of its rows that is compatible with `subst`.
+    fn compatible_rows(&self, idx: usize, subst: &Subst, stats: &mut MatchStats) -> Vec<Subst> {
+        let domain = &self.domains[idx];
+        let mut out = Vec::new();
+        for row in &domain.rows {
+            stats.rows_scanned += 1;
+            let mut s = subst.clone();
+            let ok = domain
+                .terms
+                .iter()
+                .zip(row)
+                .all(|(t, v)| s.unify_terms(t, &Term::Const(v.clone())));
+            if ok {
+                out.push(s);
+            }
+        }
+        out
+    }
+
+    /// Final validation once every positive membership is assigned.
+    fn finalize(
+        &self,
+        subst: &Subst,
+        catalog: &Catalog,
+        config: &MatchConfig,
+        stats: &mut MatchStats,
+    ) -> CoreResult<Option<GroupMatch>> {
+        // 1. every head must ground (each query gets its CHOOSE 1 tuple)
+        let mut ground_heads: Vec<(QueryId, String, Vec<Value>)> =
+            Vec::with_capacity(self.heads.len());
+        for (qid, head) in &self.heads {
+            match subst.ground_atom(head) {
+                Some(values) => {
+                    ground_heads.push((*qid, head.relation.clone(), values));
+                }
+                None => return Ok(None),
+            }
+        }
+
+        // 2. filters must evaluate to TRUE
+        for filter in &self.filters {
+            if !eval_filter(catalog, filter, subst)? {
+                return Ok(None);
+            }
+        }
+
+        // 3. negative memberships: the ground tuple must be absent
+        for neg in &self.neg_memberships {
+            let Some(values) = subst.ground_tuple(&neg.terms) else {
+                return Ok(None); // unground negation cannot be verified
+            };
+            stats.rows_scanned += neg.rows.len() as u64;
+            let present = neg
+                .rows
+                .iter()
+                .any(|row| row.iter().zip(&values).all(|(a, b)| a.sql_eq(b) || a == b));
+            if present {
+                return Ok(None);
+            }
+        }
+
+        // 4. negative answer constraints: the ground atom must not be
+        //    among the group's joint answers, nor (when the system-wide
+        //    reading is active) among already-committed answers
+        for neg in &self.neg_constraints {
+            let Some(values) = subst.ground_atom(neg) else {
+                return Ok(None);
+            };
+            let violated = ground_heads.iter().any(|(_, rel, head_vals)| {
+                rel.eq_ignore_ascii_case(&neg.relation)
+                    && head_vals.len() == values.len()
+                    && head_vals.iter().zip(&values).all(|(a, b)| a.sql_eq(b) || a == b)
+            });
+            if violated {
+                return Ok(None);
+            }
+            if config.use_committed_answers {
+                if let Ok(table) = catalog.table(&neg.relation) {
+                    let committed = table.scan().any(|(_, tuple)| {
+                        tuple.arity() == values.len()
+                            && tuple
+                                .values()
+                                .iter()
+                                .zip(&values)
+                                .all(|(a, b)| a.sql_eq(b) || a == b)
+                    });
+                    if committed {
+                        return Ok(None);
+                    }
+                }
+            }
+        }
+
+        // Assemble the match.
+        let mut answers: std::collections::BTreeMap<QueryId, Vec<(String, Tuple)>> =
+            std::collections::BTreeMap::new();
+        for (qid, rel, values) in ground_heads {
+            answers.entry(qid).or_default().push((rel, Tuple::new(values)));
+        }
+        let mut members = self.members.clone();
+        members.sort();
+        Ok(Some(GroupMatch { members, answers }))
+    }
+}
+
+/// Evaluates a residual filter under the substitution: every variable
+/// must be bound; unbound variables fail the branch (safety guarantees
+/// this cannot happen for accepted queries whose memberships all
+/// ground).
+fn eval_filter(catalog: &Catalog, filter: &Filter, subst: &Subst) -> CoreResult<bool> {
+    use youtopia_exec::{ColRef, EvalContext, RelSchema};
+    let mut cols = Vec::with_capacity(filter.vars.len());
+    let mut values = Vec::with_capacity(filter.vars.len());
+    for var in &filter.vars {
+        match subst.lookup(var) {
+            Some(v) => {
+                cols.push(ColRef::bare(var.name().to_string()));
+                values.push(v.clone());
+            }
+            None => return Ok(false),
+        }
+    }
+    let schema = RelSchema::new(cols);
+    let row = Tuple::new(values);
+    let ctx = EvalContext::with_row(catalog, &schema, &row);
+    ctx.eval_predicate(&filter.expr).map_err(CoreError::Exec)
+}
+
+/// Convenience used by both matchers: build + solve for a fixed group.
+pub fn ground_group(
+    registry: &Registry,
+    catalog: &Catalog,
+    group: &[QueryId],
+    subst: &Subst,
+    config: &MatchConfig,
+    rng: &mut StdRng,
+    stats: &mut MatchStats,
+) -> CoreResult<Option<GroupMatch>> {
+    let problem = GroundingProblem::build(registry, catalog, group, stats)?;
+    problem.solve(subst, catalog, config, rng, stats)
+}
+
+/// Evaluates a lone filter expression for tests.
+#[cfg(test)]
+pub(crate) fn eval_filter_for_tests(
+    catalog: &Catalog,
+    filter: &Filter,
+    subst: &Subst,
+) -> CoreResult<bool> {
+    eval_filter(catalog, filter, subst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_sql;
+    use crate::ir::Var;
+    use crate::registry::Pending;
+    use rand::SeedableRng;
+    use youtopia_exec::run_sql;
+    use youtopia_storage::Database;
+
+    fn flights_db() -> Database {
+        let db = Database::new();
+        for sql in [
+            "CREATE TABLE Flights (fno INT PRIMARY KEY, dest STRING NOT NULL, price FLOAT)",
+            "INSERT INTO Flights VALUES (122, 'Paris', 450.0), (123, 'Paris', 500.0), \
+             (134, 'Paris', 800.0), (136, 'Rome', 300.0)",
+        ] {
+            run_sql(&db, sql).unwrap();
+        }
+        db
+    }
+
+    fn reg_with(queries: &[(u64, &str, &str)]) -> Registry {
+        let mut reg = Registry::new();
+        for (id, owner, sql) in queries {
+            let q = compile_sql(sql).unwrap().namespaced(QueryId(*id));
+            reg.insert(Pending { id: QueryId(*id), owner: owner.to_string(), query: q, seq: *id });
+        }
+        reg
+    }
+
+    fn cfg() -> MatchConfig {
+        MatchConfig { randomize: false, ..MatchConfig::default() }
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn singleton_self_contained_query_grounds() {
+        let db = flights_db();
+        let reg = reg_with(&[(
+            1,
+            "kramer",
+            "SELECT 'Kramer', fno INTO ANSWER R \
+             WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') CHOOSE 1",
+        )]);
+        let read = db.read();
+        let mut stats = MatchStats::default();
+        let m = ground_group(
+            &reg,
+            read.catalog(),
+            &[QueryId(1)],
+            &Subst::new(),
+            &cfg(),
+            &mut rng(),
+            &mut stats,
+        )
+        .unwrap()
+        .expect("should ground");
+        assert_eq!(m.members, vec![QueryId(1)]);
+        let (rel, tuple) = &m.answers[&QueryId(1)][0];
+        assert_eq!(rel, "R");
+        assert_eq!(tuple.values()[0], Value::from("Kramer"));
+        let fno = tuple.values()[1].as_int().unwrap();
+        assert!([122, 123, 134].contains(&fno));
+    }
+
+    #[test]
+    fn filters_prune_groundings() {
+        let db = flights_db();
+        let reg = reg_with(&[(
+            1,
+            "kramer",
+            "SELECT 'K', fno, price INTO ANSWER R \
+             WHERE (fno, price) IN (SELECT fno, price FROM Flights WHERE dest = 'Paris') \
+             AND price < 480 CHOOSE 1",
+        )]);
+        let read = db.read();
+        let mut stats = MatchStats::default();
+        let m = ground_group(
+            &reg,
+            read.catalog(),
+            &[QueryId(1)],
+            &Subst::new(),
+            &cfg(),
+            &mut rng(),
+            &mut stats,
+        )
+        .unwrap()
+        .unwrap();
+        // only flight 122 at 450 passes the filter
+        assert_eq!(m.answers[&QueryId(1)][0].1.values()[1], Value::Int(122));
+    }
+
+    #[test]
+    fn unsatisfiable_filter_fails_gracefully() {
+        let db = flights_db();
+        let reg = reg_with(&[(
+            1,
+            "k",
+            "SELECT 'K', fno, price INTO ANSWER R \
+             WHERE (fno, price) IN (SELECT fno, price FROM Flights) AND price < 0 CHOOSE 1",
+        )]);
+        let read = db.read();
+        let mut stats = MatchStats::default();
+        let m = ground_group(
+            &reg,
+            read.catalog(),
+            &[QueryId(1)],
+            &Subst::new(),
+            &cfg(),
+            &mut rng(),
+            &mut stats,
+        )
+        .unwrap();
+        assert!(m.is_none());
+    }
+
+    #[test]
+    fn pair_grounding_shares_variable() {
+        let db = flights_db();
+        let reg = reg_with(&[
+            (
+                1,
+                "kramer",
+                "SELECT 'Kramer', fno INTO ANSWER R \
+                 WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') \
+                 AND ('Jerry', fno) IN ANSWER R CHOOSE 1",
+            ),
+            (
+                2,
+                "jerry",
+                "SELECT 'Jerry', fno INTO ANSWER R \
+                 WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') \
+                 AND ('Kramer', fno) IN ANSWER R CHOOSE 1",
+            ),
+        ]);
+        // structural phase: unify the two fno variables manually
+        let mut subst = Subst::new();
+        assert!(subst.union(&Var::new("q1.fno"), &Var::new("q2.fno")));
+        let read = db.read();
+        let mut stats = MatchStats::default();
+        let m = ground_group(
+            &reg,
+            read.catalog(),
+            &[QueryId(1), QueryId(2)],
+            &subst,
+            &cfg(),
+            &mut rng(),
+            &mut stats,
+        )
+        .unwrap()
+        .unwrap();
+        // both get the same flight
+        let k = m.answers[&QueryId(1)][0].1.values()[1].clone();
+        let j = m.answers[&QueryId(2)][0].1.values()[1].clone();
+        assert_eq!(k, j);
+    }
+
+    #[test]
+    fn contradictory_memberships_fail() {
+        let db = flights_db();
+        let reg = reg_with(&[
+            (
+                1,
+                "a",
+                "SELECT 'A', fno INTO ANSWER R \
+                 WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') CHOOSE 1",
+            ),
+            (
+                2,
+                "b",
+                "SELECT 'B', fno INTO ANSWER R \
+                 WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Rome') CHOOSE 1",
+            ),
+        ]);
+        let mut subst = Subst::new();
+        assert!(subst.union(&Var::new("q1.fno"), &Var::new("q2.fno")));
+        let read = db.read();
+        let mut stats = MatchStats::default();
+        let m = ground_group(
+            &reg,
+            read.catalog(),
+            &[QueryId(1), QueryId(2)],
+            &subst,
+            &cfg(),
+            &mut rng(),
+            &mut stats,
+        )
+        .unwrap();
+        assert!(m.is_none()); // Paris ∩ Rome = ∅
+    }
+
+    #[test]
+    fn negative_membership_excludes_rows() {
+        let db = flights_db();
+        run_sql(&db, "CREATE TABLE Banned (fno INT)").unwrap();
+        run_sql(&db, "INSERT INTO Banned VALUES (122), (123), (134)").unwrap();
+        let reg = reg_with(&[(
+            1,
+            "k",
+            "SELECT 'K', fno INTO ANSWER R \
+             WHERE fno IN (SELECT fno FROM Flights) \
+             AND fno NOT IN (SELECT fno FROM Banned) CHOOSE 1",
+        )]);
+        let read = db.read();
+        let mut stats = MatchStats::default();
+        let m = ground_group(
+            &reg,
+            read.catalog(),
+            &[QueryId(1)],
+            &Subst::new(),
+            &cfg(),
+            &mut rng(),
+            &mut stats,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(m.answers[&QueryId(1)][0].1.values()[1], Value::Int(136));
+    }
+
+    #[test]
+    fn negative_constraint_blocks_equal_answer() {
+        let db = flights_db();
+        // Both want a Paris flight, but A insists B does NOT get the
+        // same one — and B's constraint forces the same one. Unsat.
+        let reg = reg_with(&[
+            (
+                1,
+                "a",
+                "SELECT 'A', fno INTO ANSWER R \
+                 WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') \
+                 AND ('B', fno) NOT IN ANSWER R CHOOSE 1",
+            ),
+            (
+                2,
+                "b",
+                "SELECT 'B', fno INTO ANSWER R \
+                 WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') \
+                 AND ('A', fno) IN ANSWER R CHOOSE 1",
+            ),
+        ]);
+        let mut subst = Subst::new();
+        // B's positive constraint unified A's head with ('A', q2.fno)
+        assert!(subst.union(&Var::new("q1.fno"), &Var::new("q2.fno")));
+        let read = db.read();
+        let mut stats = MatchStats::default();
+        let m = ground_group(
+            &reg,
+            read.catalog(),
+            &[QueryId(1), QueryId(2)],
+            &subst,
+            &cfg(),
+            &mut rng(),
+            &mut stats,
+        )
+        .unwrap();
+        assert!(m.is_none());
+    }
+
+    #[test]
+    fn unbound_head_variable_fails() {
+        let db = flights_db();
+        // relaxed-safety query alone: fno bound by nobody
+        let reg = reg_with(&[(
+            1,
+            "k",
+            "SELECT 'K', fno INTO ANSWER R WHERE ('J', fno) IN ANSWER R CHOOSE 1",
+        )]);
+        let read = db.read();
+        let mut stats = MatchStats::default();
+        let m = ground_group(
+            &reg,
+            read.catalog(),
+            &[QueryId(1)],
+            &Subst::new(),
+            &cfg(),
+            &mut rng(),
+            &mut stats,
+        )
+        .unwrap();
+        assert!(m.is_none());
+    }
+
+    #[test]
+    fn stats_count_rows() {
+        let db = flights_db();
+        let reg = reg_with(&[(
+            1,
+            "k",
+            "SELECT 'K', fno INTO ANSWER R WHERE fno IN (SELECT fno FROM Flights) CHOOSE 1",
+        )]);
+        let read = db.read();
+        let mut stats = MatchStats::default();
+        ground_group(
+            &reg,
+            read.catalog(),
+            &[QueryId(1)],
+            &Subst::new(),
+            &cfg(),
+            &mut rng(),
+            &mut stats,
+        )
+        .unwrap();
+        assert!(stats.rows_scanned >= 4);
+        assert_eq!(stats.groundings_attempted, 1);
+    }
+
+    #[test]
+    fn filter_eval_helper() {
+        let db = flights_db();
+        let read = db.read();
+        // build "price < 500" then namespace it into q1's variable space
+        let filter = Filter {
+            expr: youtopia_sql::parse_expr("price < 500").unwrap(),
+            vars: vec![Var::new("price")],
+        }
+        .namespaced(QueryId(1));
+        let mut s = Subst::new();
+        s.bind(&Var::new("q1.price"), Value::Float(450.0));
+        assert!(eval_filter_for_tests(read.catalog(), &filter, &s).unwrap());
+        let mut s2 = Subst::new();
+        s2.bind(&Var::new("q1.price"), Value::Float(600.0));
+        assert!(!eval_filter_for_tests(read.catalog(), &filter, &s2).unwrap());
+        // unbound var → false
+        assert!(!eval_filter_for_tests(read.catalog(), &filter, &Subst::new()).unwrap());
+    }
+}

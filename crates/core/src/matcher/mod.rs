@@ -1,0 +1,170 @@
+//! The matcher: finds coordination groups of pending entangled queries
+//! that can be answered jointly.
+//!
+//! A **coordination group** is a set `G` of pending queries together
+//! with a variable assignment such that
+//!
+//! 1. every member's *membership predicates* hold on the database,
+//! 2. every member's *filters* hold,
+//! 3. every member's positive *answer constraints* unify with the head
+//!    of some member of `G` (the joint answer relation satisfies all
+//!    postconditions),
+//! 4. every negative answer constraint's ground tuple is absent from
+//!    the group's joint answers, and
+//! 5. every head grounds to a concrete tuple (each query receives its
+//!    `CHOOSE 1` answer).
+//!
+//! Two implementations share the grounding phase
+//! ([`ground::GroundingProblem`]):
+//!
+//! * [`search::match_query`] — the incremental matcher: grows a group
+//!   outward from the newly arrived query, using the registry's
+//!   constant-position index and unification-guided candidate pruning;
+//! * [`baseline::match_query_naive`] — the obvious algorithm: enumerate
+//!   subsets of the pending set by increasing size and test each. It is
+//!   the comparison baseline for experiment E7/E10.
+
+pub mod baseline;
+pub mod ground;
+pub mod search;
+
+use std::collections::BTreeMap;
+
+use youtopia_storage::Tuple;
+
+use crate::ir::QueryId;
+
+/// A successful joint answer for a group of queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupMatch {
+    /// The answered queries, sorted by id.
+    pub members: Vec<QueryId>,
+    /// Per member: the ground answer tuples, one per head, tagged with
+    /// the answer relation they belong to.
+    pub answers: BTreeMap<QueryId, Vec<(String, Tuple)>>,
+}
+
+impl GroupMatch {
+    /// All `(relation, tuple)` answers across the group — the content
+    /// this match contributes to the joint answer relations.
+    pub fn all_answers(&self) -> impl Iterator<Item = &(String, Tuple)> {
+        self.answers.values().flatten()
+    }
+
+    /// Group size.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+}
+
+/// Tuning knobs shared by both matchers.
+#[derive(Debug, Clone, Copy)]
+pub struct MatchConfig {
+    /// Upper bound on group size; groups larger than this are not
+    /// explored (the demo's largest scenario uses 4; the default leaves
+    /// generous headroom).
+    pub max_group_size: usize,
+    /// Forward checking: apply the current substitution to constraints
+    /// before candidate lookup, and use fail-first ordering during
+    /// grounding. Disabling this is the E10 ablation.
+    pub forward_checking: bool,
+    /// Randomize candidate and row order (the `CHOOSE 1`
+    /// nondeterminism of the paper). Tests disable this for
+    /// reproducibility; the coordinator seeds its own RNG.
+    pub randomize: bool,
+    /// Evaluate answer constraints against the *system-wide* answer
+    /// relation: besides pending heads, already-committed answer tuples
+    /// can satisfy a positive constraint (and violate a negative one).
+    /// This is the paper's reading — "an individual query can only be
+    /// answered if the system-wide answer relation satisfies a
+    /// postcondition" — and is what lets Jerry coordinate with a
+    /// booking Kramer already holds. Disable for strictly live-query
+    /// coordination.
+    pub use_committed_answers: bool,
+}
+
+impl Default for MatchConfig {
+    fn default() -> Self {
+        MatchConfig {
+            max_group_size: 16,
+            forward_checking: true,
+            randomize: true,
+            use_committed_answers: true,
+        }
+    }
+}
+
+/// Counters describing the work one or more match attempts performed.
+/// The benches report these alongside wall-clock numbers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Candidate heads considered across all constraint expansions.
+    pub candidates_considered: u64,
+    /// Committed answer tuples considered as constraint providers.
+    pub committed_considered: u64,
+    /// Atom unifications attempted.
+    pub unify_attempts: u64,
+    /// Atom unifications that succeeded.
+    pub unify_successes: u64,
+    /// Grounding phases entered (structurally closed groups found).
+    pub groundings_attempted: u64,
+    /// Membership rows scanned during grounding.
+    pub rows_scanned: u64,
+    /// Search nodes expanded (structural branches).
+    pub nodes_expanded: u64,
+    /// Subsets tested (naive matcher only).
+    pub subsets_tested: u64,
+}
+
+impl MatchStats {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &MatchStats) {
+        self.candidates_considered += other.candidates_considered;
+        self.committed_considered += other.committed_considered;
+        self.unify_attempts += other.unify_attempts;
+        self.unify_successes += other.unify_successes;
+        self.groundings_attempted += other.groundings_attempted;
+        self.rows_scanned += other.rows_scanned;
+        self.nodes_expanded += other.nodes_expanded;
+        self.subsets_tested += other.subsets_tested;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use youtopia_storage::Value;
+
+    #[test]
+    fn group_match_accessors() {
+        let mut answers = BTreeMap::new();
+        answers.insert(
+            QueryId(1),
+            vec![("Reservation".to_string(), Tuple::new(vec![Value::from("K"), Value::Int(122)]))],
+        );
+        answers.insert(
+            QueryId(2),
+            vec![("Reservation".to_string(), Tuple::new(vec![Value::from("J"), Value::Int(122)]))],
+        );
+        let m = GroupMatch { members: vec![QueryId(1), QueryId(2)], answers };
+        assert_eq!(m.size(), 2);
+        assert_eq!(m.all_answers().count(), 2);
+    }
+
+    #[test]
+    fn stats_merge() {
+        let mut a = MatchStats { candidates_considered: 1, ..Default::default() };
+        let b = MatchStats { candidates_considered: 2, rows_scanned: 5, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.candidates_considered, 3);
+        assert_eq!(a.rows_scanned, 5);
+    }
+
+    #[test]
+    fn default_config() {
+        let c = MatchConfig::default();
+        assert_eq!(c.max_group_size, 16);
+        assert!(c.forward_checking);
+        assert!(c.randomize);
+    }
+}

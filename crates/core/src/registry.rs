@@ -1,0 +1,391 @@
+//! The pending-query registry.
+//!
+//! Queries whose postconditions are not yet satisfiable "are not
+//! rejected, but rather get registered in the system for possible later
+//! execution" (paper, Section 2.1). The registry stores them and answers
+//! the matcher's central question: *which pending heads could satisfy
+//! this answer constraint?*
+//!
+//! Two lookup paths exist, switchable for the ablation experiment (E10
+//! in DESIGN.md):
+//!
+//! * **relation lookup** — all heads contributed to the constraint's
+//!   answer relation (the baseline);
+//! * **constant-position index** — for every position where the
+//!   constraint has a constant, a candidate head must carry either the
+//!   same constant or a variable there. Maintained incrementally, this
+//!   typically cuts candidates from *all queries on the relation* to
+//!   *the handful naming the right partner* (e.g. the index on position
+//!   0 of `Reservation('Jerry', ?fno)` returns only Jerry's own queries).
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use youtopia_storage::Value;
+
+use crate::ir::{Atom, EntangledQuery, QueryId, Term};
+
+/// A registered pending query.
+#[derive(Debug, Clone)]
+pub struct Pending {
+    /// The query's id.
+    pub id: QueryId,
+    /// Who submitted it (user name / session tag; used by the demo app
+    /// and the admin interface).
+    pub owner: String,
+    /// The compiled query, with variables namespaced by `id`.
+    pub query: EntangledQuery,
+    /// Monotonic submission sequence number.
+    pub seq: u64,
+}
+
+/// Reference to one head atom of one pending query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HeadRef {
+    /// The owning query.
+    pub qid: QueryId,
+    /// Index into that query's `heads`.
+    pub head_idx: usize,
+}
+
+#[derive(Debug, Default)]
+struct RelationIndex {
+    /// All heads on this relation.
+    heads: HashSet<HeadRef>,
+    /// position -> constant value -> heads with that constant there.
+    by_const: HashMap<usize, HashMap<Value, HashSet<HeadRef>>>,
+    /// position -> heads with a variable there.
+    by_var: HashMap<usize, HashSet<HeadRef>>,
+}
+
+/// The pending-query store.
+#[derive(Debug, Default)]
+pub struct Registry {
+    queries: BTreeMap<u64, Pending>,
+    relations: HashMap<String, RelationIndex>,
+    use_const_index: bool,
+}
+
+impl Registry {
+    /// A registry with the constant-position index enabled.
+    pub fn new() -> Registry {
+        Registry { use_const_index: true, ..Registry::default() }
+    }
+
+    /// A registry using plain relation lookups (the E10 baseline).
+    pub fn without_const_index() -> Registry {
+        Registry { use_const_index: false, ..Registry::default() }
+    }
+
+    /// Whether the constant-position index is active.
+    pub fn uses_const_index(&self) -> bool {
+        self.use_const_index
+    }
+
+    fn rel_key(relation: &str) -> String {
+        relation.to_ascii_lowercase()
+    }
+
+    /// Registers a pending query (its variables must already be
+    /// namespaced).
+    pub fn insert(&mut self, pending: Pending) {
+        let qid = pending.id;
+        for (head_idx, head) in pending.query.heads.iter().enumerate() {
+            let href = HeadRef { qid, head_idx };
+            let rel = self.relations.entry(Self::rel_key(&head.relation)).or_default();
+            rel.heads.insert(href);
+            for (pos, term) in head.terms.iter().enumerate() {
+                match term {
+                    Term::Const(v) => {
+                        rel.by_const
+                            .entry(pos)
+                            .or_default()
+                            .entry(v.clone())
+                            .or_default()
+                            .insert(href);
+                    }
+                    Term::Var(_) => {
+                        rel.by_var.entry(pos).or_default().insert(href);
+                    }
+                }
+            }
+        }
+        self.queries.insert(qid.0, pending);
+    }
+
+    /// Removes a pending query (answered or cancelled).
+    pub fn remove(&mut self, qid: QueryId) -> Option<Pending> {
+        let pending = self.queries.remove(&qid.0)?;
+        for (head_idx, head) in pending.query.heads.iter().enumerate() {
+            let href = HeadRef { qid, head_idx };
+            if let Some(rel) = self.relations.get_mut(&Self::rel_key(&head.relation)) {
+                rel.heads.remove(&href);
+                for (pos, term) in head.terms.iter().enumerate() {
+                    match term {
+                        Term::Const(v) => {
+                            if let Some(by_val) = rel.by_const.get_mut(&pos) {
+                                if let Some(set) = by_val.get_mut(v) {
+                                    set.remove(&href);
+                                    if set.is_empty() {
+                                        by_val.remove(v);
+                                    }
+                                }
+                            }
+                        }
+                        Term::Var(_) => {
+                            if let Some(set) = rel.by_var.get_mut(&pos) {
+                                set.remove(&href);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Some(pending)
+    }
+
+    /// Fetches a pending query.
+    pub fn get(&self, qid: QueryId) -> Option<&Pending> {
+        self.queries.get(&qid.0)
+    }
+
+    /// Number of pending queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True when no queries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Iterates over pending queries in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Pending> {
+        self.queries.values()
+    }
+
+    /// The head atom a [`HeadRef`] points at.
+    pub fn head(&self, href: HeadRef) -> Option<&Atom> {
+        self.get(href.qid).and_then(|p| p.query.heads.get(href.head_idx))
+    }
+
+    /// Candidate heads that could satisfy `constraint` (a positive
+    /// answer-constraint atom), sorted for determinism.
+    ///
+    /// Soundness: the result is a superset of the heads that actually
+    /// unify with the constraint (property-tested); unification makes
+    /// the final call.
+    pub fn candidates_for(&self, constraint: &Atom) -> Vec<HeadRef> {
+        let Some(rel) = self.relations.get(&Self::rel_key(&constraint.relation)) else {
+            return Vec::new();
+        };
+        let mut result: Option<HashSet<HeadRef>> = None;
+        if self.use_const_index {
+            for (pos, term) in constraint.terms.iter().enumerate() {
+                let Term::Const(v) = term else { continue };
+                // heads compatible at `pos`: same constant, or a variable
+                let mut compatible: HashSet<HeadRef> = rel
+                    .by_const
+                    .get(&pos)
+                    .and_then(|m| m.get(v))
+                    .cloned()
+                    .unwrap_or_default();
+                if let Some(vars) = rel.by_var.get(&pos) {
+                    compatible.extend(vars.iter().copied());
+                }
+                result = Some(match result {
+                    None => compatible,
+                    Some(acc) => acc.intersection(&compatible).copied().collect(),
+                });
+                if result.as_ref().is_some_and(HashSet::is_empty) {
+                    return Vec::new();
+                }
+            }
+        }
+        let set = result.unwrap_or_else(|| rel.heads.clone());
+        let mut out: Vec<HeadRef> = set
+            .into_iter()
+            .filter(|href| {
+                // arity must match for unification to be possible
+                self.head(*href).is_some_and(|h| h.arity() == constraint.arity())
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// All pending heads on `relation` regardless of constants (the
+    /// baseline lookup; also used by the naive matcher).
+    pub fn heads_on_relation(&self, relation: &str) -> Vec<HeadRef> {
+        let Some(rel) = self.relations.get(&Self::rel_key(relation)) else {
+            return Vec::new();
+        };
+        let mut out: Vec<HeadRef> = rel.heads.iter().copied().collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_sql;
+
+    fn pending(id: u64, owner: &str, sql: &str) -> Pending {
+        let q = compile_sql(sql).unwrap().namespaced(QueryId(id));
+        Pending { id: QueryId(id), owner: owner.into(), query: q, seq: id }
+    }
+
+    fn kramer(id: u64) -> Pending {
+        pending(
+            id,
+            "kramer",
+            "SELECT 'Kramer', fno INTO ANSWER Reservation \
+             WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') \
+             AND ('Jerry', fno) IN ANSWER Reservation CHOOSE 1",
+        )
+    }
+
+    fn jerry(id: u64) -> Pending {
+        pending(
+            id,
+            "jerry",
+            "SELECT 'Jerry', fno INTO ANSWER Reservation \
+             WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') \
+             AND ('Kramer', fno) IN ANSWER Reservation CHOOSE 1",
+        )
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut reg = Registry::new();
+        reg.insert(kramer(1));
+        assert_eq!(reg.len(), 1);
+        assert!(reg.get(QueryId(1)).is_some());
+        let removed = reg.remove(QueryId(1)).unwrap();
+        assert_eq!(removed.owner, "kramer");
+        assert!(reg.is_empty());
+        assert!(reg.remove(QueryId(1)).is_none());
+    }
+
+    #[test]
+    fn candidates_use_constant_positions() {
+        let mut reg = Registry::new();
+        reg.insert(kramer(1));
+        reg.insert(jerry(2));
+        // plus unrelated noise: Elaine coordinating with George
+        for (i, (a, b)) in [("Elaine", "George"), ("George", "Elaine")].iter().enumerate() {
+            reg.insert(pending(
+                10 + i as u64,
+                a,
+                &format!(
+                    "SELECT '{a}', fno INTO ANSWER Reservation \
+                     WHERE fno IN (SELECT fno FROM Flights) \
+                     AND ('{b}', fno) IN ANSWER Reservation CHOOSE 1"
+                ),
+            ));
+        }
+        // Kramer's constraint wants Reservation('Jerry', ?fno):
+        // only Jerry's head should be a candidate.
+        let constraint = &reg.get(QueryId(1)).unwrap().query.constraints[0].atom;
+        let cands = reg.candidates_for(constraint);
+        assert_eq!(cands, vec![HeadRef { qid: QueryId(2), head_idx: 0 }]);
+    }
+
+    #[test]
+    fn baseline_returns_all_relation_heads() {
+        let mut reg = Registry::without_const_index();
+        reg.insert(kramer(1));
+        reg.insert(jerry(2));
+        let constraint = &reg.get(QueryId(1)).unwrap().query.constraints[0].atom;
+        // baseline: both heads on Reservation are candidates
+        assert_eq!(reg.candidates_for(constraint).len(), 2);
+        assert!(!reg.uses_const_index());
+    }
+
+    #[test]
+    fn variable_positions_stay_candidates() {
+        let mut reg = Registry::new();
+        // a head with a variable traveler name matches any constant
+        reg.insert(pending(
+            5,
+            "any",
+            "SELECT who, fno INTO ANSWER Reservation \
+             WHERE (who, fno) IN (SELECT traveler, fno FROM Offers) CHOOSE 1",
+        ));
+        let constraint = Atom::new(
+            "Reservation",
+            vec![Term::constant("Jerry"), Term::var("x")],
+        );
+        assert_eq!(reg.candidates_for(&constraint).len(), 1);
+    }
+
+    #[test]
+    fn arity_mismatch_excluded() {
+        let mut reg = Registry::new();
+        reg.insert(pending(
+            1,
+            "a",
+            "SELECT 'J', x, y INTO ANSWER R WHERE (x, y) IN (SELECT a, b FROM t) CHOOSE 1",
+        ));
+        let constraint = Atom::new("R", vec![Term::constant("J"), Term::var("v")]);
+        assert!(reg.candidates_for(&constraint).is_empty());
+    }
+
+    #[test]
+    fn unknown_relation_has_no_candidates() {
+        let reg = Registry::new();
+        let constraint = Atom::new("Ghost", vec![Term::var("x")]);
+        assert!(reg.candidates_for(&constraint).is_empty());
+    }
+
+    #[test]
+    fn index_is_maintained_on_removal() {
+        let mut reg = Registry::new();
+        reg.insert(kramer(1));
+        reg.insert(jerry(2));
+        reg.remove(QueryId(2));
+        let constraint = &reg.get(QueryId(1)).unwrap().query.constraints[0].atom;
+        assert!(reg.candidates_for(constraint).is_empty());
+        assert_eq!(reg.heads_on_relation("Reservation").len(), 1);
+    }
+
+    #[test]
+    fn relation_lookup_is_case_insensitive() {
+        let mut reg = Registry::new();
+        reg.insert(jerry(1));
+        assert_eq!(reg.heads_on_relation("RESERVATION").len(), 1);
+        assert_eq!(reg.heads_on_relation("reservation").len(), 1);
+    }
+
+    #[test]
+    fn multi_head_queries_index_every_head() {
+        let mut reg = Registry::new();
+        reg.insert(pending(
+            1,
+            "jerry",
+            "SELECT 'J', fno INTO ANSWER Res, 'J', hid INTO ANSWER HotelRes \
+             WHERE fno IN (SELECT fno FROM Flights) AND hid IN (SELECT hid FROM Hotels) \
+             CHOOSE 1",
+        ));
+        assert_eq!(reg.heads_on_relation("Res").len(), 1);
+        assert_eq!(reg.heads_on_relation("HotelRes").len(), 1);
+        reg.remove(QueryId(1));
+        assert!(reg.heads_on_relation("Res").is_empty());
+        assert!(reg.heads_on_relation("HotelRes").is_empty());
+    }
+
+    #[test]
+    fn candidates_sorted_for_determinism() {
+        let mut reg = Registry::new();
+        for id in [5, 3, 9, 1] {
+            reg.insert(jerry(id));
+        }
+        let constraint = Atom::new(
+            "Reservation",
+            vec![Term::constant("Jerry"), Term::var("x")],
+        );
+        let cands = reg.candidates_for(&constraint);
+        let ids: Vec<u64> = cands.iter().map(|h| h.qid.0).collect();
+        assert_eq!(ids, vec![1, 3, 5, 9]);
+    }
+}

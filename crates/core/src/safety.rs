@@ -1,0 +1,202 @@
+//! Safety analysis for entangled queries.
+//!
+//! The companion technical paper ("Entangled Queries", SIGMOD 2011)
+//! shows that evaluating arbitrary entangled queries is intractable and
+//! introduces a syntactic *safety* condition under which matching is
+//! feasible. The essence is **range restriction**: every variable must
+//! obtain its values from a finite, database-derived domain.
+//!
+//! This module implements two variants:
+//!
+//! * [`SafetyMode::Strict`] — every variable must occur in a *positive
+//!   membership predicate* (`(... x ...) IN (SELECT ...)`). All domains
+//!   are then enumerable from the database alone.
+//! * [`SafetyMode::Relaxed`] — a variable may instead occur in a
+//!   *positive answer constraint*; its value then flows in by
+//!   unification with a partner query's (range-restricted) head. The
+//!   matcher resolves such variables only when a partner actually binds
+//!   them; a whole group of mutually unrestricted queries can never
+//!   ground and is simply not matched.
+//!
+//! In both modes a variable occurring **only** in a head, a filter, a
+//! negated membership or a negated constraint is rejected: nothing could
+//! ever produce its value.
+
+use std::collections::HashSet;
+
+use crate::error::{CoreError, CoreResult};
+use crate::ir::{EntangledQuery, Var};
+
+/// Which safety condition submissions must satisfy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SafetyMode {
+    /// Every variable must be range-restricted by a positive membership
+    /// predicate of *this* query.
+    #[default]
+    Strict,
+    /// A variable may alternatively be bound through a positive answer
+    /// constraint (i.e. by a partner query's head).
+    Relaxed,
+}
+
+/// Checks `q` against the chosen safety condition.
+pub fn check_safety(q: &EntangledQuery, mode: SafetyMode) -> CoreResult<()> {
+    let membership_vars: HashSet<&Var> = q
+        .memberships
+        .iter()
+        .filter(|m| !m.negated)
+        .flat_map(|m| m.vars())
+        .collect();
+    let constraint_vars: HashSet<&Var> = q
+        .constraints
+        .iter()
+        .filter(|c| !c.negated)
+        .flat_map(|c| c.atom.vars())
+        .collect();
+
+    for var in q.all_vars() {
+        let restricted = match mode {
+            SafetyMode::Strict => membership_vars.contains(&var),
+            SafetyMode::Relaxed => {
+                membership_vars.contains(&var) || constraint_vars.contains(&var)
+            }
+        };
+        if !restricted {
+            let hint = match mode {
+                SafetyMode::Strict => {
+                    "it must appear in a positive membership predicate \
+                     ((...) IN (SELECT ...))"
+                }
+                SafetyMode::Relaxed => {
+                    "it must appear in a positive membership predicate or a positive \
+                     answer constraint"
+                }
+            };
+            return Err(CoreError::Unsafe(format!(
+                "variable ?{} is not range-restricted: {hint}",
+                var.name()
+            )));
+        }
+    }
+
+    // Sanity: heads must not be empty tuples and constraints must
+    // reference an answer relation (guaranteed by the compiler; cheap to
+    // re-assert for IR built by hand).
+    for h in &q.heads {
+        if h.terms.is_empty() {
+            return Err(CoreError::Unsafe(format!(
+                "head atom {} has no terms",
+                h.relation
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// True when the query has no positive answer constraints — it does not
+/// wait on anyone and can be answered as a singleton group (pure
+/// database choice). Negative constraints still need checking against
+/// the group's answers, but a group of one suffices.
+pub fn is_self_contained(q: &EntangledQuery) -> bool {
+    q.constraints.iter().all(|c| c.negated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_sql;
+
+    #[test]
+    fn papers_query_is_safe_in_both_modes() {
+        let q = compile_sql(
+            "SELECT 'Kramer', fno INTO ANSWER Reservation \
+             WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') \
+             AND ('Jerry', fno) IN ANSWER Reservation CHOOSE 1",
+        )
+        .unwrap();
+        check_safety(&q, SafetyMode::Strict).unwrap();
+        check_safety(&q, SafetyMode::Relaxed).unwrap();
+        assert!(!is_self_contained(&q));
+    }
+
+    #[test]
+    fn head_only_variable_is_unsafe_everywhere() {
+        let q = compile_sql("SELECT 'K', x INTO ANSWER R CHOOSE 1").unwrap();
+        assert!(matches!(
+            check_safety(&q, SafetyMode::Strict),
+            Err(CoreError::Unsafe(msg)) if msg.contains("?x")
+        ));
+        assert!(check_safety(&q, SafetyMode::Relaxed).is_err());
+    }
+
+    #[test]
+    fn constraint_bound_variable_needs_relaxed_mode() {
+        // "give me whatever flight Jerry picked"
+        let q = compile_sql(
+            "SELECT 'K', fno INTO ANSWER R WHERE ('Jerry', fno) IN ANSWER R CHOOSE 1",
+        )
+        .unwrap();
+        assert!(check_safety(&q, SafetyMode::Strict).is_err());
+        check_safety(&q, SafetyMode::Relaxed).unwrap();
+    }
+
+    #[test]
+    fn filter_only_variable_is_unsafe() {
+        let q = compile_sql(
+            "SELECT 'K', x INTO ANSWER R \
+             WHERE x IN (SELECT a FROM t) AND y < 5 CHOOSE 1",
+        )
+        .unwrap();
+        let err = check_safety(&q, SafetyMode::Relaxed).unwrap_err();
+        assert!(matches!(err, CoreError::Unsafe(msg) if msg.contains("?y")));
+    }
+
+    #[test]
+    fn negated_membership_does_not_restrict() {
+        let q = compile_sql(
+            "SELECT 'K', x INTO ANSWER R WHERE x NOT IN (SELECT a FROM t) CHOOSE 1",
+        )
+        .unwrap();
+        assert!(check_safety(&q, SafetyMode::Strict).is_err());
+        assert!(check_safety(&q, SafetyMode::Relaxed).is_err());
+    }
+
+    #[test]
+    fn negated_constraint_does_not_restrict() {
+        let q = compile_sql(
+            "SELECT 'K', x INTO ANSWER R WHERE ('J', x) NOT IN ANSWER R CHOOSE 1",
+        )
+        .unwrap();
+        assert!(check_safety(&q, SafetyMode::Relaxed).is_err());
+    }
+
+    #[test]
+    fn self_containment() {
+        let alone = compile_sql(
+            "SELECT 'K', x INTO ANSWER R WHERE x IN (SELECT a FROM t) CHOOSE 1",
+        )
+        .unwrap();
+        assert!(is_self_contained(&alone));
+        check_safety(&alone, SafetyMode::Strict).unwrap();
+
+        let neg_only = compile_sql(
+            "SELECT 'K', x INTO ANSWER R \
+             WHERE x IN (SELECT a FROM t) AND ('J', x) NOT IN ANSWER R CHOOSE 1",
+        )
+        .unwrap();
+        assert!(is_self_contained(&neg_only));
+    }
+
+    #[test]
+    fn multi_var_multi_constraint_safety() {
+        let q = compile_sql(
+            "SELECT 'J', fno INTO ANSWER Res, 'J', hid INTO ANSWER HotelRes \
+             WHERE fno IN (SELECT fno FROM Flights) \
+             AND ('K', fno) IN ANSWER Res AND ('K', hid) IN ANSWER HotelRes CHOOSE 1",
+        )
+        .unwrap();
+        // hid is bound only through the HotelRes constraint
+        assert!(check_safety(&q, SafetyMode::Strict).is_err());
+        check_safety(&q, SafetyMode::Relaxed).unwrap();
+    }
+}

@@ -1,0 +1,255 @@
+//! The statement dispatcher: one entry point that takes SQL text or an
+//! AST statement and runs it against a [`Database`].
+//!
+//! Entangled statements are *not* handled here — the engine hands them
+//! back to the caller ([`StatementOutcome::Entangled`]) so the
+//! coordination layer (`youtopia-core`) can register them. This mirrors
+//! the paper's Figure 2: the query compiler routes entangled queries to
+//! the coordination component, everything else to the execution engine.
+
+use youtopia_storage::Database;
+use youtopia_sql::{parse_statement, EntangledSelect, Statement};
+
+use crate::dml::{execute_create_index, execute_create_table, execute_delete, execute_insert, execute_update};
+use crate::error::{ExecError, ExecResult};
+use crate::select::{execute_select, ResultSet};
+
+/// The outcome of running one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatementOutcome {
+    /// A query produced rows.
+    Rows(ResultSet),
+    /// A DML statement affected this many rows.
+    Affected(usize),
+    /// A DDL statement completed.
+    Done,
+    /// The table names in the catalog (`SHOW TABLES`).
+    TableNames(Vec<String>),
+    /// An entangled query: the engine does not evaluate these; the
+    /// caller must submit it to the coordinator.
+    Entangled(EntangledSelect),
+    /// `SHOW PENDING`: only meaningful with a coordinator attached; the
+    /// bare engine reports it back for the caller to service.
+    ShowPending,
+    /// `EXPLAIN SELECT ...`: the rendered plan.
+    Plan(String),
+}
+
+/// Parses and runs one SQL statement against `db`.
+pub fn run_sql(db: &Database, sql: &str) -> ExecResult<StatementOutcome> {
+    let stmt = parse_statement(sql)
+        .map_err(|e| ExecError::Unsupported(format!("parse error: {e}")))?;
+    run_statement(db, &stmt)
+}
+
+/// Runs one parsed statement against `db`.
+pub fn run_statement(db: &Database, stmt: &Statement) -> ExecResult<StatementOutcome> {
+    match stmt {
+        Statement::CreateTable(ct) => {
+            db.with_txn(|txn| {
+                execute_create_table(txn, ct).map_err(exec_to_storage)?;
+                Ok(())
+            })
+            .map_err(ExecError::Storage)?;
+            Ok(StatementOutcome::Done)
+        }
+        Statement::DropTable { name } => {
+            db.with_txn(|txn| txn.drop_table(name)).map_err(ExecError::Storage)?;
+            Ok(StatementOutcome::Done)
+        }
+        Statement::CreateIndex(ci) => {
+            db.with_txn(|txn| {
+                execute_create_index(txn, ci).map_err(exec_to_storage)?;
+                Ok(())
+            })
+            .map_err(ExecError::Storage)?;
+            Ok(StatementOutcome::Done)
+        }
+        Statement::Insert(ins) => {
+            let n = run_dml(db, |txn| execute_insert(txn, ins))?;
+            Ok(StatementOutcome::Affected(n))
+        }
+        Statement::Update(up) => {
+            let n = run_dml(db, |txn| execute_update(txn, up))?;
+            Ok(StatementOutcome::Affected(n))
+        }
+        Statement::Delete(del) => {
+            let n = run_dml(db, |txn| execute_delete(txn, del))?;
+            Ok(StatementOutcome::Affected(n))
+        }
+        Statement::Select(sel) => {
+            let read = db.read();
+            let rs = execute_select(read.catalog(), sel)?;
+            Ok(StatementOutcome::Rows(rs))
+        }
+        Statement::Entangled(ent) => Ok(StatementOutcome::Entangled(ent.clone())),
+        Statement::ShowTables => {
+            let read = db.read();
+            Ok(StatementOutcome::TableNames(read.catalog().table_names()))
+        }
+        Statement::ShowPending => Ok(StatementOutcome::ShowPending),
+        Statement::Explain(inner) => match inner.as_ref() {
+            Statement::Select(sel) => {
+                let read = db.read();
+                let plan = crate::plan::explain_select(read.catalog(), sel)?;
+                Ok(StatementOutcome::Plan(plan))
+            }
+            // entangled EXPLAIN is the coordination layer's job; hand the
+            // statement back like a bare entangled query
+            Statement::Entangled(ent) => Ok(StatementOutcome::Entangled(ent.clone())),
+            other => Err(ExecError::Unsupported(format!(
+                "EXPLAIN {other} (only SELECT and entangled queries)"
+            ))),
+        },
+    }
+}
+
+/// Runs a DML closure in a transaction, translating the error type so
+/// `with_txn` can roll back on failure.
+fn run_dml(
+    db: &Database,
+    f: impl FnOnce(&mut youtopia_storage::Transaction) -> ExecResult<usize>,
+) -> ExecResult<usize> {
+    let mut txn = db.begin();
+    match f(&mut txn) {
+        Ok(n) => {
+            txn.commit().map_err(ExecError::Storage)?;
+            Ok(n)
+        }
+        Err(e) => {
+            txn.abort();
+            Err(e)
+        }
+    }
+}
+
+/// Squeezes an ExecError into a StorageError for `with_txn` plumbing;
+/// non-storage errors become `Internal` (they are re-raised verbatim in
+/// the message).
+fn exec_to_storage(e: ExecError) -> youtopia_storage::StorageError {
+    match e {
+        ExecError::Storage(s) => s,
+        other => youtopia_storage::StorageError::Internal(other.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use youtopia_storage::Value;
+
+    fn setup() -> Database {
+        let db = Database::new();
+        for sql in [
+            "CREATE TABLE Flights (fno INT PRIMARY KEY, dest STRING NOT NULL, price FLOAT)",
+            "INSERT INTO Flights VALUES (122, 'Paris', 450.0), (123, 'Paris', 500.0), \
+             (136, 'Rome', 300.0)",
+        ] {
+            run_sql(&db, sql).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn full_sql_pipeline() {
+        let db = setup();
+        let StatementOutcome::Rows(rs) =
+            run_sql(&db, "SELECT fno FROM Flights WHERE dest = 'Paris' ORDER BY fno").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[0].values()[0], Value::Int(122));
+    }
+
+    #[test]
+    fn dml_outcomes_report_counts() {
+        let db = setup();
+        let StatementOutcome::Affected(n) =
+            run_sql(&db, "UPDATE Flights SET price = 0.0 WHERE dest = 'Paris'").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(n, 2);
+        let StatementOutcome::Affected(n) =
+            run_sql(&db, "DELETE FROM Flights WHERE fno = 136").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn show_tables() {
+        let db = setup();
+        let StatementOutcome::TableNames(names) = run_sql(&db, "SHOW TABLES").unwrap() else {
+            panic!()
+        };
+        assert_eq!(names, vec!["Flights"]);
+    }
+
+    #[test]
+    fn entangled_statements_are_handed_back() {
+        let db = setup();
+        let out = run_sql(
+            &db,
+            "SELECT 'Kramer', fno INTO ANSWER Reservation \
+             WHERE ('Jerry', fno) IN ANSWER Reservation CHOOSE 1",
+        )
+        .unwrap();
+        assert!(matches!(out, StatementOutcome::Entangled(_)));
+    }
+
+    #[test]
+    fn show_pending_is_delegated() {
+        let db = setup();
+        assert_eq!(run_sql(&db, "SHOW PENDING").unwrap(), StatementOutcome::ShowPending);
+    }
+
+    #[test]
+    fn failed_dml_rolls_back() {
+        let db = setup();
+        // second row violates the primary key: nothing must stick
+        let err = run_sql(&db, "INSERT INTO Flights VALUES (200, 'Oslo', 1.0), (122, 'Dup', 2.0)");
+        assert!(err.is_err());
+        let StatementOutcome::Rows(rs) = run_sql(&db, "SELECT COUNT(*) FROM Flights").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(rs.rows[0].values()[0], Value::Int(3));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        let db = setup();
+        assert!(matches!(run_sql(&db, "SELEC 1"), Err(ExecError::Unsupported(_))));
+    }
+
+    #[test]
+    fn explain_select_via_engine() {
+        let db = setup();
+        let StatementOutcome::Plan(plan) =
+            run_sql(&db, "EXPLAIN SELECT dest FROM Flights WHERE fno = 122").unwrap()
+        else {
+            panic!()
+        };
+        assert!(plan.contains("IndexProbe Flights via Flights_pk"), "{plan}");
+        // entangled EXPLAIN is delegated like a bare entangled statement
+        assert!(matches!(
+            run_sql(&db, "EXPLAIN SELECT 'K', x INTO ANSWER R CHOOSE 1").unwrap(),
+            StatementOutcome::Entangled(_)
+        ));
+    }
+
+    #[test]
+    fn ddl_via_engine() {
+        let db = Database::new();
+        run_sql(&db, "CREATE TABLE t (a INT)").unwrap();
+        run_sql(&db, "CREATE INDEX i ON t (a)").unwrap();
+        run_sql(&db, "DROP TABLE t").unwrap();
+        let StatementOutcome::TableNames(names) = run_sql(&db, "SHOW TABLES").unwrap() else {
+            panic!()
+        };
+        assert!(names.is_empty());
+    }
+}

@@ -1,0 +1,102 @@
+//! Error types for the execution engine.
+
+use std::fmt;
+
+use youtopia_storage::StorageError;
+
+/// Errors produced while planning or executing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// A storage-layer failure.
+    Storage(StorageError),
+    /// A column reference did not resolve.
+    UnknownColumn {
+        /// Qualifier, if given.
+        table: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// A column reference matched more than one column.
+    AmbiguousColumn(String),
+    /// A table alias/name in FROM did not resolve.
+    UnknownTable(String),
+    /// A type error during evaluation (e.g. `'x' + 1`).
+    Type(String),
+    /// An unsupported or malformed construct reached the executor.
+    Unsupported(String),
+    /// Division (or modulo) by zero.
+    DivisionByZero,
+    /// An aggregate was used where it is not allowed, or a non-grouped
+    /// column leaked through GROUP BY.
+    Aggregate(String),
+    /// A subquery used in a row-membership position returned the wrong
+    /// number of columns.
+    SubqueryArity {
+        /// Columns the outer tuple has.
+        expected: usize,
+        /// Columns the subquery produced.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Storage(e) => write!(f, "{e}"),
+            ExecError::UnknownColumn { table: Some(t), name } => {
+                write!(f, "unknown column '{t}.{name}'")
+            }
+            ExecError::UnknownColumn { table: None, name } => {
+                write!(f, "unknown column '{name}'")
+            }
+            ExecError::AmbiguousColumn(name) => write!(f, "ambiguous column '{name}'"),
+            ExecError::UnknownTable(name) => write!(f, "unknown table or alias '{name}'"),
+            ExecError::Type(msg) => write!(f, "type error: {msg}"),
+            ExecError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            ExecError::DivisionByZero => write!(f, "division by zero"),
+            ExecError::Aggregate(msg) => write!(f, "aggregate error: {msg}"),
+            ExecError::SubqueryArity { expected, actual } => {
+                write!(f, "subquery returns {actual} columns, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<StorageError> for ExecError {
+    fn from(e: StorageError) -> Self {
+        ExecError::Storage(e)
+    }
+}
+
+/// Result alias for the execution crate.
+pub type ExecResult<T> = Result<T, ExecError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert_eq!(
+            ExecError::UnknownColumn { table: Some("f".into()), name: "x".into() }.to_string(),
+            "unknown column 'f.x'"
+        );
+        assert_eq!(
+            ExecError::UnknownColumn { table: None, name: "x".into() }.to_string(),
+            "unknown column 'x'"
+        );
+        assert_eq!(ExecError::DivisionByZero.to_string(), "division by zero");
+        assert_eq!(
+            ExecError::SubqueryArity { expected: 2, actual: 3 }.to_string(),
+            "subquery returns 3 columns, expected 2"
+        );
+    }
+
+    #[test]
+    fn storage_error_converts() {
+        let e: ExecError = StorageError::TableNotFound("t".into()).into();
+        assert!(matches!(e, ExecError::Storage(_)));
+    }
+}

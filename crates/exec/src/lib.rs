@@ -1,0 +1,44 @@
+//! # youtopia-exec
+//!
+//! The query execution engine of the Youtopia reproduction: expression
+//! evaluation with SQL three-valued logic, an operator-at-a-time
+//! `SELECT` executor with joins / grouping / subqueries and
+//! index-assisted scans, and DDL/DML execution inside storage
+//! transactions.
+//!
+//! The engine deliberately does *not* evaluate entangled constructs:
+//! `IN ANSWER` constraints are the coordination layer's job
+//! (`youtopia-core`), matching the architecture of the paper's Figure 2
+//! where the execution engine "evaluates queries on the database as
+//! required by the coordination component".
+//!
+//! ```
+//! use youtopia_storage::Database;
+//! use youtopia_exec::{run_sql, StatementOutcome};
+//!
+//! let db = Database::new();
+//! run_sql(&db, "CREATE TABLE Flights (fno INT PRIMARY KEY, dest STRING)").unwrap();
+//! run_sql(&db, "INSERT INTO Flights VALUES (122, 'Paris')").unwrap();
+//! let StatementOutcome::Rows(rs) =
+//!     run_sql(&db, "SELECT fno FROM Flights WHERE dest = 'Paris'").unwrap()
+//! else { unreachable!() };
+//! assert_eq!(rs.rows.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dml;
+pub mod engine;
+pub mod error;
+pub mod eval;
+pub mod plan;
+pub mod row;
+pub mod select;
+
+pub use dml::{execute_create_index, execute_create_table, execute_delete, execute_insert, execute_update};
+pub use engine::{run_sql, run_statement, StatementOutcome};
+pub use error::{ExecError, ExecResult};
+pub use eval::{contains_aggregate, is_aggregate_name, like_match, EvalContext, Scope};
+pub use plan::explain_select;
+pub use row::{ColRef, RelSchema};
+pub use select::{choose_access_path, execute_select, execute_select_with_scopes, AccessPath, ResultSet};

@@ -1,0 +1,180 @@
+//! Relation schemas used during execution: how column references in
+//! expressions resolve to positions in the tuples flowing through the
+//! operators.
+
+use youtopia_storage::Table;
+
+use crate::error::{ExecError, ExecResult};
+
+/// One output column of an operator: an optional qualifier (table name
+/// or alias) plus the column name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColRef {
+    /// The qualifier under which the column is addressable (`f` in
+    /// `f.fno`). `None` for computed columns.
+    pub qualifier: Option<String>,
+    /// Column (or alias) name.
+    pub name: String,
+}
+
+impl ColRef {
+    /// Unqualified column.
+    pub fn bare(name: impl Into<String>) -> ColRef {
+        ColRef { qualifier: None, name: name.into() }
+    }
+
+    /// Qualified column.
+    pub fn qualified(qualifier: impl Into<String>, name: impl Into<String>) -> ColRef {
+        ColRef { qualifier: Some(qualifier.into()), name: name.into() }
+    }
+}
+
+/// The schema of the tuples produced by one operator.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RelSchema {
+    cols: Vec<ColRef>,
+}
+
+impl RelSchema {
+    /// Builds a schema from columns.
+    pub fn new(cols: Vec<ColRef>) -> RelSchema {
+        RelSchema { cols }
+    }
+
+    /// Schema exposing a stored table's columns under `qualifier`
+    /// (the table's alias, or its name).
+    pub fn from_table(table: &Table, qualifier: &str) -> RelSchema {
+        RelSchema {
+            cols: table
+                .schema()
+                .columns()
+                .iter()
+                .map(|c| ColRef::qualified(qualifier, &c.name))
+                .collect(),
+        }
+    }
+
+    /// The columns.
+    pub fn cols(&self) -> &[ColRef] {
+        &self.cols
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Concatenation (for joins).
+    pub fn concat(&self, other: &RelSchema) -> RelSchema {
+        let mut cols = self.cols.clone();
+        cols.extend(other.cols.iter().cloned());
+        RelSchema { cols }
+    }
+
+    /// Resolves a column reference to its position.
+    ///
+    /// Qualified references must match the qualifier (case-insensitive);
+    /// unqualified references must match exactly one column name.
+    pub fn resolve(&self, qualifier: Option<&str>, name: &str) -> ExecResult<usize> {
+        let matches: Vec<usize> = self
+            .cols
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                c.name.eq_ignore_ascii_case(name)
+                    && match qualifier {
+                        Some(q) => {
+                            c.qualifier.as_deref().is_some_and(|cq| cq.eq_ignore_ascii_case(q))
+                        }
+                        None => true,
+                    }
+            })
+            .map(|(i, _)| i)
+            .collect();
+        match matches.len() {
+            1 => Ok(matches[0]),
+            0 => Err(ExecError::UnknownColumn {
+                table: qualifier.map(str::to_string),
+                name: name.to_string(),
+            }),
+            _ => Err(ExecError::AmbiguousColumn(name.to_string())),
+        }
+    }
+
+    /// Like [`RelSchema::resolve`] but returns `None` instead of the
+    /// unknown-column error (ambiguity is still an error). Used for
+    /// scope-chain lookups where an outer scope may hold the column.
+    pub fn try_resolve(&self, qualifier: Option<&str>, name: &str) -> ExecResult<Option<usize>> {
+        match self.resolve(qualifier, name) {
+            Ok(i) => Ok(Some(i)),
+            Err(ExecError::UnknownColumn { .. }) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use youtopia_storage::{Column, DataType, Schema, Table};
+
+    fn schema() -> RelSchema {
+        RelSchema::new(vec![
+            ColRef::qualified("f", "fno"),
+            ColRef::qualified("f", "dest"),
+            ColRef::qualified("a", "fno"),
+            ColRef::bare("total"),
+        ])
+    }
+
+    #[test]
+    fn qualified_resolution() {
+        let s = schema();
+        assert_eq!(s.resolve(Some("f"), "fno").unwrap(), 0);
+        assert_eq!(s.resolve(Some("a"), "fno").unwrap(), 2);
+        assert_eq!(s.resolve(Some("F"), "FNO").unwrap(), 0); // case-insensitive
+    }
+
+    #[test]
+    fn unqualified_resolution() {
+        let s = schema();
+        assert_eq!(s.resolve(None, "dest").unwrap(), 1);
+        assert_eq!(s.resolve(None, "total").unwrap(), 3);
+        assert!(matches!(s.resolve(None, "fno"), Err(ExecError::AmbiguousColumn(_))));
+        assert!(matches!(
+            s.resolve(None, "ghost"),
+            Err(ExecError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn try_resolve_soft_fails() {
+        let s = schema();
+        assert_eq!(s.try_resolve(None, "ghost").unwrap(), None);
+        assert_eq!(s.try_resolve(None, "dest").unwrap(), Some(1));
+        assert!(s.try_resolve(None, "fno").is_err()); // ambiguity is hard
+    }
+
+    #[test]
+    fn from_table_uses_qualifier() {
+        let t = Table::new(
+            "Flights",
+            Schema::new(vec![
+                Column::new("fno", DataType::Int64),
+                Column::new("dest", DataType::Str),
+            ]),
+        );
+        let s = RelSchema::from_table(&t, "fl");
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.resolve(Some("fl"), "dest").unwrap(), 1);
+        assert!(s.resolve(Some("Flights"), "dest").is_err());
+    }
+
+    #[test]
+    fn concat_offsets() {
+        let a = RelSchema::new(vec![ColRef::bare("x")]);
+        let b = RelSchema::new(vec![ColRef::bare("y")]);
+        let c = a.concat(&b);
+        assert_eq!(c.resolve(None, "y").unwrap(), 1);
+    }
+}

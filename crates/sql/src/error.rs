@@ -1,0 +1,43 @@
+//! Error types for the SQL front end.
+
+use std::fmt;
+
+use crate::token::Span;
+
+/// A lexing or parsing error with source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlError {
+    /// Human-readable description.
+    pub message: String,
+    /// Where in the input the problem was detected.
+    pub span: Span,
+}
+
+impl SqlError {
+    /// Builds an error.
+    pub fn new(message: impl Into<String>, span: Span) -> SqlError {
+        SqlError { message: message.into(), span }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.message, self.span)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Result alias for the SQL crate.
+pub type SqlResult<T> = Result<T, SqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let err = SqlError::new("unexpected token ','", Span::new(2, 7));
+        assert_eq!(err.to_string(), "unexpected token ',' at line 2, column 7");
+    }
+}

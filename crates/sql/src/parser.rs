@@ -1,0 +1,1163 @@
+//! Recursive-descent parser for the Youtopia SQL dialect.
+//!
+//! The entry points are [`parse_statement`] (exactly one statement) and
+//! [`parse_statements`] (a semicolon-separated script). The grammar is
+//! standard SQL plus the entangled-query extension of the paper's
+//! Section 2.1:
+//!
+//! ```text
+//! entangled  := SELECT head (',' head)* [WHERE expr] [CHOOSE int]
+//! head       := expr_list INTO ANSWER ident (',' ANSWER ident)*
+//! answer_in  := tuple [NOT] IN ANSWER ident      -- inside WHERE
+//! ```
+
+use youtopia_storage::{DataType, Value};
+
+use crate::ast::*;
+use crate::error::{SqlError, SqlResult};
+use crate::lexer::lex;
+use crate::token::{Keyword, Span, Token, TokenKind};
+
+/// Parses exactly one statement (a trailing semicolon is allowed).
+pub fn parse_statement(input: &str) -> SqlResult<Statement> {
+    let mut p = Parser::new(input)?;
+    let stmt = p.parse_statement()?;
+    p.eat(&TokenKind::Semicolon);
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parses a semicolon-separated script into statements.
+pub fn parse_statements(input: &str) -> SqlResult<Vec<Statement>> {
+    let mut p = Parser::new(input)?;
+    let mut stmts = Vec::new();
+    loop {
+        while p.eat(&TokenKind::Semicolon) {}
+        if p.at_eof() {
+            return Ok(stmts);
+        }
+        stmts.push(p.parse_statement()?);
+        if !p.at_eof() && !p.check(&TokenKind::Semicolon) {
+            return Err(p.unexpected("';' between statements"));
+        }
+    }
+}
+
+/// Parses a standalone expression (used by tests and the admin CLI).
+pub fn parse_expr(input: &str) -> SqlResult<Expr> {
+    let mut p = Parser::new(input)?;
+    let e = p.parse_expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(input: &str) -> SqlResult<Parser> {
+        Ok(Parser { tokens: lex(input)?, pos: 0 })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn peek_ahead(&self, n: usize) -> &TokenKind {
+        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)].kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let tok = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek_kind(), TokenKind::Eof)
+    }
+
+    fn check(&self, kind: &TokenKind) -> bool {
+        self.peek_kind() == kind
+    }
+
+    fn check_kw(&self, kw: Keyword) -> bool {
+        matches!(self.peek_kind(), TokenKind::Keyword(k) if *k == kw)
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.check(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: Keyword) -> bool {
+        if self.check_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> SqlResult<Token> {
+        if self.check(kind) {
+            Ok(self.bump())
+        } else {
+            Err(self.unexpected(&format!("'{kind}'")))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: Keyword) -> SqlResult<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.unexpected(kw.as_str()))
+        }
+    }
+
+    fn expect_eof(&self) -> SqlResult<()> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            Err(self.unexpected("end of input"))
+        }
+    }
+
+    fn unexpected(&self, wanted: &str) -> SqlError {
+        SqlError::new(
+            format!("expected {wanted}, found '{}'", self.peek_kind()),
+            self.peek().span,
+        )
+    }
+
+    fn expect_ident(&mut self) -> SqlResult<String> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            _ => Err(self.unexpected("an identifier")),
+        }
+    }
+
+    fn expect_uint(&mut self) -> SqlResult<u64> {
+        match *self.peek_kind() {
+            TokenKind::Int(i) if i >= 0 => {
+                self.bump();
+                Ok(i as u64)
+            }
+            _ => Err(self.unexpected("a non-negative integer")),
+        }
+    }
+
+    // ---------------------------------------------------------------- //
+    // Statements
+    // ---------------------------------------------------------------- //
+
+    fn parse_statement(&mut self) -> SqlResult<Statement> {
+        match self.peek_kind() {
+            TokenKind::Keyword(Keyword::Create) => self.parse_create(),
+            TokenKind::Keyword(Keyword::Drop) => self.parse_drop(),
+            TokenKind::Keyword(Keyword::Insert) => self.parse_insert(),
+            TokenKind::Keyword(Keyword::Update) => self.parse_update(),
+            TokenKind::Keyword(Keyword::Delete) => self.parse_delete(),
+            TokenKind::Keyword(Keyword::Select) => self.parse_select_or_entangled(),
+            TokenKind::Keyword(Keyword::Show) => self.parse_show(),
+            TokenKind::Keyword(Keyword::Explain) => self.parse_explain(),
+            _ => Err(self.unexpected("a statement")),
+        }
+    }
+
+    fn parse_explain(&mut self) -> SqlResult<Statement> {
+        let span = self.peek().span;
+        self.expect_kw(Keyword::Explain)?;
+        if !self.check_kw(Keyword::Select) {
+            return Err(SqlError::new(
+                "EXPLAIN supports SELECT and entangled queries only",
+                span,
+            ));
+        }
+        let inner = self.parse_select_or_entangled()?;
+        Ok(Statement::Explain(Box::new(inner)))
+    }
+
+    fn parse_show(&mut self) -> SqlResult<Statement> {
+        self.expect_kw(Keyword::Show)?;
+        if self.eat_kw(Keyword::Tables) {
+            Ok(Statement::ShowTables)
+        } else if self.eat_kw(Keyword::Pending) {
+            Ok(Statement::ShowPending)
+        } else {
+            Err(self.unexpected("TABLES or PENDING"))
+        }
+    }
+
+    fn parse_create(&mut self) -> SqlResult<Statement> {
+        self.expect_kw(Keyword::Create)?;
+        if self.eat_kw(Keyword::Table) {
+            return self.parse_create_table();
+        }
+        let unique = self.eat_kw(Keyword::Unique);
+        if self.eat_kw(Keyword::Index) {
+            return self.parse_create_index(unique);
+        }
+        Err(self.unexpected("TABLE or [UNIQUE] INDEX"))
+    }
+
+    fn parse_create_table(&mut self) -> SqlResult<Statement> {
+        let name = self.expect_ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut columns: Vec<ColumnDef> = Vec::new();
+        let mut primary_key: Vec<String> = Vec::new();
+        loop {
+            if self.check_kw(Keyword::Primary) {
+                self.bump();
+                self.expect_kw(Keyword::Key)?;
+                self.expect(&TokenKind::LParen)?;
+                loop {
+                    primary_key.push(self.expect_ident()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RParen)?;
+            } else {
+                let col_name = self.expect_ident()?;
+                let ty_span = self.peek().span;
+                let ty_name = self.expect_ident()?;
+                let ty = DataType::parse(&ty_name)
+                    .ok_or_else(|| SqlError::new(format!("unknown type '{ty_name}'"), ty_span))?;
+                let mut nullable = true;
+                let mut pk = false;
+                loop {
+                    if self.check_kw(Keyword::Not) {
+                        self.bump();
+                        self.expect_kw(Keyword::Null)?;
+                        nullable = false;
+                    } else if self.eat_kw(Keyword::Null) {
+                        nullable = true;
+                    } else if self.check_kw(Keyword::Primary) {
+                        self.bump();
+                        self.expect_kw(Keyword::Key)?;
+                        pk = true;
+                        nullable = false;
+                    } else {
+                        break;
+                    }
+                }
+                if pk {
+                    primary_key.push(col_name.clone());
+                }
+                columns.push(ColumnDef { name: col_name, ty, nullable, primary_key: pk });
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        // PK columns are implicitly NOT NULL.
+        for col in &mut columns {
+            if primary_key.iter().any(|k| k.eq_ignore_ascii_case(&col.name)) {
+                col.nullable = false;
+            }
+        }
+        Ok(Statement::CreateTable(CreateTable { name, columns, primary_key }))
+    }
+
+    fn parse_create_index(&mut self, unique: bool) -> SqlResult<Statement> {
+        let name = self.expect_ident()?;
+        self.expect_kw(Keyword::On)?;
+        let table = self.expect_ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            columns.push(self.expect_ident()?);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(Statement::CreateIndex(CreateIndex { name, table, columns, unique }))
+    }
+
+    fn parse_drop(&mut self) -> SqlResult<Statement> {
+        self.expect_kw(Keyword::Drop)?;
+        self.expect_kw(Keyword::Table)?;
+        let name = self.expect_ident()?;
+        Ok(Statement::DropTable { name })
+    }
+
+    fn parse_insert(&mut self) -> SqlResult<Statement> {
+        self.expect_kw(Keyword::Insert)?;
+        self.expect_kw(Keyword::Into)?;
+        let table = self.expect_ident()?;
+        let columns = if self.eat(&TokenKind::LParen) {
+            let mut cols = Vec::new();
+            loop {
+                cols.push(self.expect_ident()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+            Some(cols)
+        } else {
+            None
+        };
+        self.expect_kw(Keyword::Values)?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&TokenKind::LParen)?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.parse_expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+            rows.push(row);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert(Insert { table, columns, rows }))
+    }
+
+    fn parse_update(&mut self) -> SqlResult<Statement> {
+        self.expect_kw(Keyword::Update)?;
+        let table = self.expect_ident()?;
+        self.expect_kw(Keyword::Set)?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.expect_ident()?;
+            self.expect(&TokenKind::Eq)?;
+            let expr = self.parse_expr()?;
+            sets.push((col, expr));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let where_clause =
+            if self.eat_kw(Keyword::Where) { Some(self.parse_expr()?) } else { None };
+        Ok(Statement::Update(Update { table, sets, where_clause }))
+    }
+
+    fn parse_delete(&mut self) -> SqlResult<Statement> {
+        self.expect_kw(Keyword::Delete)?;
+        self.expect_kw(Keyword::From)?;
+        let table = self.expect_ident()?;
+        let where_clause =
+            if self.eat_kw(Keyword::Where) { Some(self.parse_expr()?) } else { None };
+        Ok(Statement::Delete(Delete { table, where_clause }))
+    }
+
+    // ---------------------------------------------------------------- //
+    // SELECT and entangled SELECT
+    // ---------------------------------------------------------------- //
+
+    fn parse_select_or_entangled(&mut self) -> SqlResult<Statement> {
+        self.expect_kw(Keyword::Select)?;
+        let distinct = self.eat_kw(Keyword::Distinct);
+
+        // Parse the projection; if INTO follows, reinterpret as an
+        // entangled head (aliases and wildcards are illegal there).
+        let items = self.parse_select_items()?;
+
+        if self.check_kw(Keyword::Into) {
+            if distinct {
+                return Err(SqlError::new(
+                    "DISTINCT is not supported in entangled queries",
+                    self.peek().span,
+                ));
+            }
+            return self.parse_entangled_tail(items).map(Statement::Entangled);
+        }
+
+        let from = if self.eat_kw(Keyword::From) { self.parse_from()? } else { Vec::new() };
+        let where_clause =
+            if self.eat_kw(Keyword::Where) { Some(self.parse_expr()?) } else { None };
+        let group_by = if self.check_kw(Keyword::Group) {
+            self.bump();
+            self.expect_kw(Keyword::By)?;
+            let mut exprs = vec![self.parse_expr()?];
+            while self.eat(&TokenKind::Comma) {
+                exprs.push(self.parse_expr()?);
+            }
+            exprs
+        } else {
+            Vec::new()
+        };
+        let having = if self.eat_kw(Keyword::Having) { Some(self.parse_expr()?) } else { None };
+        let order_by = if self.check_kw(Keyword::Order) {
+            self.bump();
+            self.expect_kw(Keyword::By)?;
+            let mut items = Vec::new();
+            loop {
+                let expr = self.parse_expr()?;
+                let desc = if self.eat_kw(Keyword::Desc) {
+                    true
+                } else {
+                    self.eat_kw(Keyword::Asc);
+                    false
+                };
+                items.push(OrderByItem { expr, desc });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            items
+        } else {
+            Vec::new()
+        };
+        let limit = if self.eat_kw(Keyword::Limit) { Some(self.expect_uint()?) } else { None };
+        let offset = if self.eat_kw(Keyword::Offset) { Some(self.expect_uint()?) } else { None };
+
+        Ok(Statement::Select(Select {
+            distinct,
+            items,
+            from,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+            offset,
+        }))
+    }
+
+    fn parse_select_items(&mut self) -> SqlResult<Vec<SelectItem>> {
+        let mut items = Vec::new();
+        loop {
+            if self.eat(&TokenKind::Star) {
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.parse_expr()?;
+                // `INTO` ends an entangled head; aliases otherwise.
+                let alias = if self.eat_kw(Keyword::As) {
+                    Some(self.expect_ident()?)
+                } else if let TokenKind::Ident(name) = self.peek_kind().clone() {
+                    self.bump();
+                    Some(name)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat(&TokenKind::Comma) {
+                return Ok(items);
+            }
+            // A trailing `ANSWER` after a comma belongs to the entangled
+            // INTO clause, handled by the caller; it cannot start an item.
+            if self.check_kw(Keyword::Answer) {
+                return Ok(items);
+            }
+        }
+    }
+
+    /// Parses `INTO ANSWER rel (, ANSWER rel)* (, exprs INTO ANSWER ...)*
+    /// [WHERE ...] [CHOOSE k]` given the already-parsed first head
+    /// expression list.
+    fn parse_entangled_tail(&mut self, first_items: Vec<SelectItem>) -> SqlResult<EntangledSelect> {
+        let first_exprs = Self::items_to_head_exprs(first_items, self.peek().span)?;
+        let mut heads = Vec::new();
+        let mut current_exprs = first_exprs;
+        loop {
+            self.expect_kw(Keyword::Into)?;
+            self.expect_kw(Keyword::Answer)?;
+            let mut relations = vec![self.expect_ident()?];
+            let mut next_head_exprs: Option<Vec<Expr>> = None;
+            while self.eat(&TokenKind::Comma) {
+                if self.eat_kw(Keyword::Answer) {
+                    // another relation for the same head
+                    relations.push(self.expect_ident()?);
+                } else {
+                    // a new head's expression list begins here
+                    let items = self.parse_select_items()?;
+                    next_head_exprs = Some(Self::items_to_head_exprs(items, self.peek().span)?);
+                    break;
+                }
+            }
+            heads.push(EntangledHead { exprs: current_exprs, relations });
+            match next_head_exprs {
+                Some(exprs) => current_exprs = exprs,
+                None => break,
+            }
+        }
+        let where_clause =
+            if self.eat_kw(Keyword::Where) { Some(self.parse_expr()?) } else { None };
+        let choose = if self.eat_kw(Keyword::Choose) { self.expect_uint()? } else { 1 };
+        Ok(EntangledSelect { heads, where_clause, choose })
+    }
+
+    fn items_to_head_exprs(items: Vec<SelectItem>, span: Span) -> SqlResult<Vec<Expr>> {
+        items
+            .into_iter()
+            .map(|item| match item {
+                SelectItem::Expr { expr, alias: None } => Ok(expr),
+                SelectItem::Expr { alias: Some(a), .. } => Err(SqlError::new(
+                    format!("alias '{a}' is not allowed in an entangled head"),
+                    span,
+                )),
+                SelectItem::Wildcard => {
+                    Err(SqlError::new("'*' is not allowed in an entangled head", span))
+                }
+            })
+            .collect()
+    }
+
+    fn parse_from(&mut self) -> SqlResult<Vec<TableWithJoins>> {
+        let mut tables = Vec::new();
+        loop {
+            let base = self.parse_table_atom()?;
+            let mut joins = Vec::new();
+            loop {
+                let kind = if self.check_kw(Keyword::Join) || self.check_kw(Keyword::Inner) {
+                    self.eat_kw(Keyword::Inner);
+                    self.expect_kw(Keyword::Join)?;
+                    JoinKind::Inner
+                } else if self.check_kw(Keyword::Left) {
+                    self.bump();
+                    self.expect_kw(Keyword::Join)?;
+                    JoinKind::Left
+                } else {
+                    break;
+                };
+                let table = self.parse_table_atom()?;
+                self.expect_kw(Keyword::On)?;
+                let on = self.parse_expr()?;
+                joins.push(Join { kind, table, on });
+            }
+            tables.push(TableWithJoins { base, joins });
+            if !self.eat(&TokenKind::Comma) {
+                return Ok(tables);
+            }
+        }
+    }
+
+    fn parse_table_atom(&mut self) -> SqlResult<TableAtom> {
+        let name = self.expect_ident()?;
+        let alias = if self.eat_kw(Keyword::As) {
+            Some(self.expect_ident()?)
+        } else if let TokenKind::Ident(a) = self.peek_kind().clone() {
+            self.bump();
+            Some(a)
+        } else {
+            None
+        };
+        Ok(TableAtom { name, alias })
+    }
+
+    // ---------------------------------------------------------------- //
+    // Expressions (precedence climbing)
+    // ---------------------------------------------------------------- //
+
+    fn parse_expr(&mut self) -> SqlResult<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> SqlResult<Expr> {
+        let mut left = self.parse_and()?;
+        while self.eat_kw(Keyword::Or) {
+            let right = self.parse_and()?;
+            left = Expr::Binary { left: Box::new(left), op: BinaryOp::Or, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> SqlResult<Expr> {
+        let mut left = self.parse_not()?;
+        while self.eat_kw(Keyword::And) {
+            let right = self.parse_not()?;
+            left = Expr::Binary { left: Box::new(left), op: BinaryOp::And, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> SqlResult<Expr> {
+        // `NOT EXISTS` / `NOT IN` are handled where they occur; a prefix
+        // NOT here covers `NOT <predicate>`.
+        if self.check_kw(Keyword::Not)
+            && !matches!(
+                self.peek_ahead(1),
+                TokenKind::Keyword(Keyword::In | Keyword::Between | Keyword::Like | Keyword::Exists)
+            )
+        {
+            self.bump();
+            let inner = self.parse_not()?;
+            return Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(inner) });
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> SqlResult<Expr> {
+        let left = self.parse_additive()?;
+        // comparison operators (non-associative chain, parsed left-assoc)
+        let op = match self.peek_kind() {
+            TokenKind::Eq => Some(BinaryOp::Eq),
+            TokenKind::NotEq => Some(BinaryOp::NotEq),
+            TokenKind::Lt => Some(BinaryOp::Lt),
+            TokenKind::LtEq => Some(BinaryOp::LtEq),
+            TokenKind::Gt => Some(BinaryOp::Gt),
+            TokenKind::GtEq => Some(BinaryOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let right = self.parse_additive()?;
+            return Ok(Expr::Binary { left: Box::new(left), op, right: Box::new(right) });
+        }
+        // postfix predicates
+        self.parse_postfix_predicates(left)
+    }
+
+    fn parse_postfix_predicates(&mut self, left: Expr) -> SqlResult<Expr> {
+        let negated = if self.check_kw(Keyword::Not)
+            && matches!(self.peek_ahead(1), TokenKind::Keyword(Keyword::In | Keyword::Between | Keyword::Like))
+        {
+            self.bump();
+            true
+        } else {
+            false
+        };
+
+        if self.eat_kw(Keyword::In) {
+            return self.parse_in_tail(left, negated);
+        }
+        if self.eat_kw(Keyword::Between) {
+            let low = self.parse_additive()?;
+            self.expect_kw(Keyword::And)?;
+            let high = self.parse_additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_kw(Keyword::Like) {
+            let pattern = self.parse_additive()?;
+            return Ok(Expr::Like { expr: Box::new(left), pattern: Box::new(pattern), negated });
+        }
+        if negated {
+            return Err(self.unexpected("IN, BETWEEN or LIKE after NOT"));
+        }
+        if self.check_kw(Keyword::Is) {
+            self.bump();
+            let negated = self.eat_kw(Keyword::Not);
+            self.expect_kw(Keyword::Null)?;
+            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+        }
+        Ok(left)
+    }
+
+    fn parse_in_tail(&mut self, left: Expr, negated: bool) -> SqlResult<Expr> {
+        let operand_exprs = |e: Expr| match e {
+            Expr::Tuple(es) => es,
+            other => vec![other],
+        };
+        if self.eat_kw(Keyword::Answer) {
+            let relation = self.expect_ident()?;
+            return Ok(Expr::InAnswer { exprs: operand_exprs(left), relation, negated });
+        }
+        self.expect(&TokenKind::LParen)?;
+        if self.check_kw(Keyword::Select) {
+            let query = self.parse_subquery_body()?;
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Expr::InSubquery {
+                exprs: operand_exprs(left),
+                query: Box::new(query),
+                negated,
+            });
+        }
+        let mut list = vec![self.parse_expr()?];
+        while self.eat(&TokenKind::Comma) {
+            list.push(self.parse_expr()?);
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(Expr::InList { expr: Box::new(left), list, negated })
+    }
+
+    /// Parses a full SELECT body for use as a subquery (no entangled
+    /// forms allowed inside subqueries).
+    fn parse_subquery_body(&mut self) -> SqlResult<Select> {
+        let span = self.peek().span;
+        match self.parse_select_or_entangled()? {
+            Statement::Select(s) => Ok(s),
+            Statement::Entangled(_) => {
+                Err(SqlError::new("entangled queries cannot appear as subqueries", span))
+            }
+            _ => unreachable!("parse_select_or_entangled returns selects"),
+        }
+    }
+
+    fn parse_additive(&mut self) -> SqlResult<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Plus => BinaryOp::Add,
+                TokenKind::Minus => BinaryOp::Sub,
+                _ => return Ok(left),
+            };
+            self.bump();
+            let right = self.parse_multiplicative()?;
+            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+        }
+    }
+
+    fn parse_multiplicative(&mut self) -> SqlResult<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Star => BinaryOp::Mul,
+                TokenKind::Slash => BinaryOp::Div,
+                TokenKind::Percent => BinaryOp::Mod,
+                _ => return Ok(left),
+            };
+            self.bump();
+            let right = self.parse_unary()?;
+            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+        }
+    }
+
+    fn parse_unary(&mut self) -> SqlResult<Expr> {
+        if self.eat(&TokenKind::Minus) {
+            let inner = self.parse_unary()?;
+            // Fold negation into numeric literals for cleaner ASTs.
+            return Ok(match inner {
+                Expr::Literal(Value::Int(i)) => Expr::Literal(Value::Int(-i)),
+                Expr::Literal(Value::Float(x)) => Expr::Literal(Value::Float(-x)),
+                other => Expr::Unary { op: UnaryOp::Neg, expr: Box::new(other) },
+            });
+        }
+        if self.eat(&TokenKind::Plus) {
+            return self.parse_unary();
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> SqlResult<Expr> {
+        match self.peek_kind().clone() {
+            TokenKind::Int(i) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Int(i)))
+            }
+            TokenKind::Float(x) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Float(x)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Str(s)))
+            }
+            TokenKind::Keyword(Keyword::True) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Bool(true)))
+            }
+            TokenKind::Keyword(Keyword::False) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Bool(false)))
+            }
+            TokenKind::Keyword(Keyword::Null) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Null))
+            }
+            TokenKind::Keyword(Keyword::Exists) => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let query = self.parse_subquery_body()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(Expr::Exists { query: Box::new(query), negated: false })
+            }
+            TokenKind::Keyword(Keyword::Not)
+                if matches!(self.peek_ahead(1), TokenKind::Keyword(Keyword::Exists)) =>
+            {
+                self.bump();
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let query = self.parse_subquery_body()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(Expr::Exists { query: Box::new(query), negated: true })
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.eat(&TokenKind::Dot) {
+                    let col = self.expect_ident()?;
+                    return Ok(Expr::Column { table: Some(name), name: col });
+                }
+                if self.eat(&TokenKind::LParen) {
+                    // function call
+                    if self.eat(&TokenKind::Star) {
+                        self.expect(&TokenKind::RParen)?;
+                        return Ok(Expr::Function {
+                            name: name.to_ascii_uppercase(),
+                            args: vec![],
+                            star: true,
+                        });
+                    }
+                    let mut args = Vec::new();
+                    if !self.check(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    return Ok(Expr::Function {
+                        name: name.to_ascii_uppercase(),
+                        args,
+                        star: false,
+                    });
+                }
+                Ok(Expr::Column { table: None, name })
+            }
+            TokenKind::LParen => {
+                self.bump();
+                if self.check_kw(Keyword::Select) {
+                    // scalar subquery position is not supported; subqueries
+                    // appear behind IN / EXISTS which handle them directly.
+                    return Err(SqlError::new(
+                        "subqueries are only allowed behind IN or EXISTS",
+                        self.peek().span,
+                    ));
+                }
+                let first = self.parse_expr()?;
+                if self.eat(&TokenKind::Comma) {
+                    let mut exprs = vec![first];
+                    loop {
+                        exprs.push(self.parse_expr()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    return Ok(Expr::Tuple(exprs));
+                }
+                self.expect(&TokenKind::RParen)?;
+                Ok(first)
+            }
+            _ => Err(self.unexpected("an expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(sql: &str) {
+        let stmt = parse_statement(sql).unwrap_or_else(|e| panic!("parse '{sql}': {e}"));
+        let printed = stmt.to_string();
+        let reparsed =
+            parse_statement(&printed).unwrap_or_else(|e| panic!("reparse '{printed}': {e}"));
+        assert_eq!(stmt, reparsed, "round-trip mismatch for '{sql}' -> '{printed}'");
+    }
+
+    #[test]
+    fn parses_the_papers_kramer_query() {
+        let sql = "SELECT 'Kramer', fno INTO ANSWER Reservation \
+                   WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris') \
+                   AND ('Jerry', fno) IN ANSWER Reservation \
+                   CHOOSE 1";
+        let stmt = parse_statement(sql).unwrap();
+        let Statement::Entangled(q) = stmt else { panic!("expected entangled") };
+        assert_eq!(q.choose, 1);
+        assert_eq!(q.heads.len(), 1);
+        assert_eq!(q.heads[0].relations, vec!["Reservation"]);
+        assert_eq!(
+            q.heads[0].exprs,
+            vec![Expr::lit("Kramer"), Expr::col("fno")]
+        );
+        let conjuncts = q.where_clause.as_ref().unwrap().conjuncts().len();
+        assert_eq!(conjuncts, 2);
+    }
+
+    #[test]
+    fn entangled_choose_defaults_to_one() {
+        let sql = "SELECT 'K', fno INTO ANSWER R WHERE ('J', fno) IN ANSWER R";
+        let Statement::Entangled(q) = parse_statement(sql).unwrap() else { panic!() };
+        assert_eq!(q.choose, 1);
+    }
+
+    #[test]
+    fn entangled_multiple_relations_single_head() {
+        // the paper's literal grammar: INTO ANSWER t1, ANSWER t2
+        let sql = "SELECT 'K', x INTO ANSWER R1, ANSWER R2 CHOOSE 1";
+        let Statement::Entangled(q) = parse_statement(sql).unwrap() else { panic!() };
+        assert_eq!(q.heads.len(), 1);
+        assert_eq!(q.heads[0].relations, vec!["R1", "R2"]);
+    }
+
+    #[test]
+    fn entangled_multi_head_extension() {
+        let sql = "SELECT 'Jerry', fno INTO ANSWER Res, 'Jerry', hid INTO ANSWER HotelRes \
+                   WHERE ('Kramer', fno) IN ANSWER Res AND ('Kramer', hid) IN ANSWER HotelRes \
+                   CHOOSE 1";
+        let Statement::Entangled(q) = parse_statement(sql).unwrap() else { panic!() };
+        assert_eq!(q.heads.len(), 2);
+        assert_eq!(q.heads[0].relations, vec!["Res"]);
+        assert_eq!(q.heads[1].relations, vec!["HotelRes"]);
+        assert_eq!(q.heads[1].exprs, vec![Expr::lit("Jerry"), Expr::col("hid")]);
+    }
+
+    #[test]
+    fn not_in_answer() {
+        let sql = "SELECT 'K', x INTO ANSWER R WHERE ('J', x) NOT IN ANSWER R";
+        let Statement::Entangled(q) = parse_statement(sql).unwrap() else { panic!() };
+        match q.where_clause.unwrap() {
+            Expr::InAnswer { negated, relation, exprs } => {
+                assert!(negated);
+                assert_eq!(relation, "R");
+                assert_eq!(exprs.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_with_everything() {
+        let sql = "SELECT DISTINCT f.fno AS n, COUNT(*) FROM Flights AS f \
+                   JOIN Airlines a ON f.fno = a.fno \
+                   WHERE f.dest = 'Paris' AND f.price < 500 \
+                   GROUP BY f.fno HAVING COUNT(*) > 1 \
+                   ORDER BY n DESC LIMIT 10 OFFSET 2";
+        let Statement::Select(s) = parse_statement(sql).unwrap() else { panic!() };
+        assert!(s.distinct);
+        assert_eq!(s.items.len(), 2);
+        assert_eq!(s.from.len(), 1);
+        assert_eq!(s.from[0].joins.len(), 1);
+        assert_eq!(s.group_by.len(), 1);
+        assert!(s.having.is_some());
+        assert_eq!(s.order_by.len(), 1);
+        assert!(s.order_by[0].desc);
+        assert_eq!(s.limit, Some(10));
+        assert_eq!(s.offset, Some(2));
+    }
+
+    #[test]
+    fn left_join_and_comma_from() {
+        let sql = "SELECT * FROM a LEFT JOIN b ON a.x = b.x, c";
+        let Statement::Select(s) = parse_statement(sql).unwrap() else { panic!() };
+        assert_eq!(s.from.len(), 2);
+        assert_eq!(s.from[0].joins[0].kind, JoinKind::Left);
+    }
+
+    #[test]
+    fn ddl_statements() {
+        let sql = "CREATE TABLE Flights (fno INT PRIMARY KEY, dest STRING NOT NULL, \
+                   price FLOAT, ok BOOL, data BYTES)";
+        let Statement::CreateTable(ct) = parse_statement(sql).unwrap() else { panic!() };
+        assert_eq!(ct.primary_key, vec!["fno"]);
+        assert_eq!(ct.columns.len(), 5);
+        assert!(!ct.columns[0].nullable);
+        assert!(!ct.columns[1].nullable);
+        assert!(ct.columns[2].nullable);
+
+        let sql2 = "CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b))";
+        let Statement::CreateTable(ct2) = parse_statement(sql2).unwrap() else { panic!() };
+        assert_eq!(ct2.primary_key, vec!["a", "b"]);
+        assert!(!ct2.columns[0].nullable); // pk implies NOT NULL
+
+        let sql3 = "CREATE UNIQUE INDEX by_dest ON Flights (dest, price)";
+        let Statement::CreateIndex(ci) = parse_statement(sql3).unwrap() else { panic!() };
+        assert!(ci.unique);
+        assert_eq!(ci.columns, vec!["dest", "price"]);
+
+        assert!(matches!(
+            parse_statement("DROP TABLE Flights").unwrap(),
+            Statement::DropTable { .. }
+        ));
+    }
+
+    #[test]
+    fn dml_statements() {
+        let Statement::Insert(ins) = parse_statement(
+            "INSERT INTO Flights (fno, dest) VALUES (122, 'Paris'), (136, 'Rome')",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(ins.rows.len(), 2);
+        assert_eq!(ins.columns.as_deref(), Some(&["fno".to_string(), "dest".to_string()][..]));
+
+        let Statement::Update(up) =
+            parse_statement("UPDATE Flights SET price = price * 1.1 WHERE dest = 'Paris'").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(up.sets.len(), 1);
+        assert!(up.where_clause.is_some());
+
+        let Statement::Delete(del) =
+            parse_statement("DELETE FROM Flights WHERE fno = 122").unwrap()
+        else {
+            panic!()
+        };
+        assert!(del.where_clause.is_some());
+    }
+
+    #[test]
+    fn show_statements() {
+        assert_eq!(parse_statement("SHOW TABLES").unwrap(), Statement::ShowTables);
+        assert_eq!(parse_statement("SHOW PENDING;").unwrap(), Statement::ShowPending);
+    }
+
+    #[test]
+    fn explain_statements() {
+        let Statement::Explain(inner) =
+            parse_statement("EXPLAIN SELECT * FROM t WHERE a = 1").unwrap()
+        else {
+            panic!()
+        };
+        assert!(matches!(*inner, Statement::Select(_)));
+
+        let Statement::Explain(inner) =
+            parse_statement("EXPLAIN SELECT 'K', x INTO ANSWER R CHOOSE 1").unwrap()
+        else {
+            panic!()
+        };
+        assert!(matches!(*inner, Statement::Entangled(_)));
+
+        // only queries are explainable
+        assert!(parse_statement("EXPLAIN INSERT INTO t VALUES (1)").is_err());
+        assert!(parse_statement("EXPLAIN SHOW TABLES").is_err());
+        roundtrip("EXPLAIN SELECT a FROM t WHERE a < 3 ORDER BY a LIMIT 1");
+        roundtrip("EXPLAIN SELECT 'K', x INTO ANSWER R WHERE x IN (SELECT a FROM t) CHOOSE 1");
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(e.to_string(), "1 + 2 * 3");
+        assert_eq!(parse_expr("(1 + 2) * 3").unwrap().to_string(), "(1 + 2) * 3");
+        assert_eq!(
+            parse_expr("a = 1 OR b = 2 AND c = 3").unwrap().to_string(),
+            "a = 1 OR b = 2 AND c = 3"
+        );
+        assert_eq!(
+            parse_expr("NOT a = 1 AND b = 2").unwrap().to_string(),
+            "NOT a = 1 AND b = 2"
+        );
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        assert_eq!(parse_expr("-5").unwrap(), Expr::lit(-5i64));
+        assert_eq!(parse_expr("-2.5").unwrap(), Expr::lit(-2.5));
+        assert_eq!(parse_expr("+7").unwrap(), Expr::lit(7i64));
+    }
+
+    #[test]
+    fn predicates_parse() {
+        assert!(matches!(parse_expr("x IS NULL").unwrap(), Expr::IsNull { negated: false, .. }));
+        assert!(matches!(parse_expr("x IS NOT NULL").unwrap(), Expr::IsNull { negated: true, .. }));
+        assert!(matches!(
+            parse_expr("x IN (1, 2, 3)").unwrap(),
+            Expr::InList { negated: false, .. }
+        ));
+        assert!(matches!(
+            parse_expr("x NOT IN (1)").unwrap(),
+            Expr::InList { negated: true, .. }
+        ));
+        assert!(matches!(
+            parse_expr("x BETWEEN 1 AND 5").unwrap(),
+            Expr::Between { negated: false, .. }
+        ));
+        assert!(matches!(
+            parse_expr("x NOT LIKE 'J%'").unwrap(),
+            Expr::Like { negated: true, .. }
+        ));
+        assert!(matches!(
+            parse_expr("EXISTS (SELECT 1)").unwrap(),
+            Expr::Exists { negated: false, .. }
+        ));
+        assert!(matches!(
+            parse_expr("NOT EXISTS (SELECT 1)").unwrap(),
+            Expr::Exists { negated: true, .. }
+        ));
+    }
+
+    #[test]
+    fn tuple_in_subquery() {
+        let e = parse_expr("(a, b) IN (SELECT x, y FROM t)").unwrap();
+        match e {
+            Expr::InSubquery { exprs, .. } => assert_eq!(exprs.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_statements_script() {
+        let stmts = parse_statements(
+            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 3);
+        assert!(parse_statements("").unwrap().is_empty());
+        assert!(parse_statements(";;;").unwrap().is_empty());
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse_statement("SELECT FROM").unwrap_err();
+        assert!(err.span.line >= 1);
+        let err2 = parse_statement("CREATE TABLE t (a WAT)").unwrap_err();
+        assert!(err2.message.contains("unknown type"));
+    }
+
+    #[test]
+    fn garbage_after_statement_is_error() {
+        assert!(parse_statement("SELECT 1 garbage garbage").is_err());
+        assert!(parse_statement("SHOW TABLES SELECT").is_err());
+    }
+
+    #[test]
+    fn entangled_rejects_wildcard_and_alias() {
+        assert!(parse_statement("SELECT * INTO ANSWER R").is_err());
+        assert!(parse_statement("SELECT x AS y INTO ANSWER R").is_err());
+        assert!(parse_statement("SELECT DISTINCT x INTO ANSWER R").is_err());
+    }
+
+    #[test]
+    fn entangled_cannot_be_a_subquery() {
+        let err =
+            parse_statement("SELECT 1 FROM t WHERE x IN (SELECT y INTO ANSWER R)").unwrap_err();
+        assert!(err.message.contains("entangled"));
+    }
+
+    #[test]
+    fn roundtrips() {
+        for sql in [
+            "SELECT 'Kramer', fno INTO ANSWER Reservation WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') AND ('Jerry', fno) IN ANSWER Reservation CHOOSE 1",
+            "SELECT 'K', x INTO ANSWER R1, ANSWER R2 CHOOSE 2",
+            "SELECT 'J', fno INTO ANSWER Res, 'J', hid INTO ANSWER HotelRes WHERE ('K', fno) IN ANSWER Res CHOOSE 1",
+            "SELECT DISTINCT a AS x, COUNT(*) FROM t JOIN u ON t.a = u.a WHERE a > 1 GROUP BY a HAVING COUNT(*) > 2 ORDER BY x DESC LIMIT 5 OFFSET 1",
+            "SELECT * FROM a LEFT JOIN b ON a.x = b.x, c AS z",
+            "CREATE TABLE Flights (fno INT, dest STRING NOT NULL, price FLOAT, PRIMARY KEY (fno))",
+            "CREATE UNIQUE INDEX i ON t (a, b)",
+            "INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)",
+            "UPDATE t SET a = a + 1, b = 'y' WHERE a BETWEEN 1 AND 5",
+            "DELETE FROM t WHERE name LIKE 'J%' OR name IS NULL",
+            "SELECT x FROM t WHERE (a, b) NOT IN (SELECT a, b FROM u) AND EXISTS (SELECT 1 FROM v)",
+            "SELECT -x + 3 * (y - 2) FROM t WHERE NOT (a = 1 OR b = 2)",
+            "SHOW TABLES",
+            "SHOW PENDING",
+        ] {
+            roundtrip(sql);
+        }
+    }
+}

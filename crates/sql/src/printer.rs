@@ -1,0 +1,541 @@
+//! Pretty printer: `Display` impls that render the AST back to SQL.
+//!
+//! The output parses back to an equal AST (property-tested), so the admin
+//! interface can show registered entangled queries exactly as the system
+//! understands them.
+
+use std::fmt;
+
+use crate::ast::*;
+
+fn comma_sep<T: fmt::Display>(f: &mut fmt::Formatter<'_>, items: &[T]) -> fmt::Result {
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{item}")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::CreateTable(ct) => write!(f, "{ct}"),
+            Statement::DropTable { name } => write!(f, "DROP TABLE {name}"),
+            Statement::CreateIndex(ci) => write!(f, "{ci}"),
+            Statement::Insert(ins) => write!(f, "{ins}"),
+            Statement::Update(up) => write!(f, "{up}"),
+            Statement::Delete(del) => write!(f, "{del}"),
+            Statement::Select(sel) => write!(f, "{sel}"),
+            Statement::Entangled(ent) => write!(f, "{ent}"),
+            Statement::ShowTables => write!(f, "SHOW TABLES"),
+            Statement::ShowPending => write!(f, "SHOW PENDING"),
+            Statement::Explain(inner) => write!(f, "EXPLAIN {inner}"),
+        }
+    }
+}
+
+impl fmt::Display for CreateTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CREATE TABLE {} (", self.name)?;
+        for (i, col) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", col.name, col.ty)?;
+            if !col.nullable && !self.primary_key.iter().any(|k| k == &col.name) {
+                write!(f, " NOT NULL")?;
+            }
+        }
+        if !self.primary_key.is_empty() {
+            write!(f, ", PRIMARY KEY (")?;
+            comma_sep(f, &self.primary_key)?;
+            write!(f, ")")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for CreateIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CREATE ")?;
+        if self.unique {
+            write!(f, "UNIQUE ")?;
+        }
+        write!(f, "INDEX {} ON {} (", self.name, self.table)?;
+        comma_sep(f, &self.columns)?;
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Insert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "INSERT INTO {}", self.table)?;
+        if let Some(cols) = &self.columns {
+            write!(f, " (")?;
+            comma_sep(f, cols)?;
+            write!(f, ")")?;
+        }
+        write!(f, " VALUES ")?;
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "(")?;
+            comma_sep(f, row)?;
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Update {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UPDATE {} SET ", self.table)?;
+        for (i, (col, expr)) in self.sets.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{col} = {expr}")?;
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Delete {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DELETE FROM {}", self.table)?;
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        comma_sep(f, &self.items)?;
+        if !self.from.is_empty() {
+            write!(f, " FROM ")?;
+            comma_sep(f, &self.from)?;
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            comma_sep(f, &self.group_by)?;
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            comma_sep(f, &self.order_by)?;
+        }
+        if let Some(l) = self.limit {
+            write!(f, " LIMIT {l}")?;
+        }
+        if let Some(o) = self.offset {
+            write!(f, " OFFSET {o}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Wildcard => write!(f, "*"),
+            SelectItem::Expr { expr, alias } => {
+                write!(f, "{expr}")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for TableWithJoins {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.base)?;
+        for join in &self.joins {
+            write!(f, "{join}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TableAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if let Some(a) = &self.alias {
+            write!(f, " AS {a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Join {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            JoinKind::Inner => write!(f, " JOIN {} ON {}", self.table, self.on),
+            JoinKind::Left => write!(f, " LEFT JOIN {} ON {}", self.table, self.on),
+        }
+    }
+}
+
+impl fmt::Display for OrderByItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.expr)?;
+        if self.desc {
+            write!(f, " DESC")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for EntangledSelect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        for (i, head) in self.heads.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            comma_sep(f, &head.exprs)?;
+            write!(f, " INTO ")?;
+            for (j, rel) in head.relations.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "ANSWER {rel}")?;
+            }
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        write!(f, " CHOOSE {}", self.choose)
+    }
+}
+
+/// Precedence of the expression for parenthesization purposes.
+/// Mirrors the parser's binding powers; postfix predicates (IN, BETWEEN,
+/// LIKE, IS NULL) sit at comparison level.
+fn expr_prec(e: &Expr) -> u8 {
+    match e {
+        Expr::Binary { op, .. } => op.precedence(),
+        Expr::Unary { op: UnaryOp::Not, .. } => 3,
+        Expr::InList { .. }
+        | Expr::InSubquery { .. }
+        | Expr::InAnswer { .. }
+        | Expr::Between { .. }
+        | Expr::Like { .. }
+        | Expr::IsNull { .. } => 4,
+        Expr::Unary { op: UnaryOp::Neg, .. } => 7,
+        _ => 10,
+    }
+}
+
+fn write_child(f: &mut fmt::Formatter<'_>, child: &Expr, min_prec: u8) -> fmt::Result {
+    if expr_prec(child) < min_prec {
+        write!(f, "({child})")
+    } else {
+        write!(f, "{child}")
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(v) => write!(f, "{}", v.sql_literal()),
+            Expr::Column { table, name } => {
+                if let Some(t) = table {
+                    write!(f, "{t}.{name}")
+                } else {
+                    write!(f, "{name}")
+                }
+            }
+            Expr::Unary { op, expr } => match op {
+                UnaryOp::Neg => {
+                    write!(f, "-")?;
+                    write_child(f, expr, 8)
+                }
+                UnaryOp::Not => {
+                    write!(f, "NOT ")?;
+                    write_child(f, expr, 4)
+                }
+            },
+            Expr::Binary { left, op, right } => {
+                let prec = op.precedence();
+                // Comparisons are non-associative in this grammar: a
+                // comparison operand that is itself a comparison-level
+                // expression must be parenthesized on BOTH sides.
+                let left_min = if prec == 4 { prec + 1 } else { prec };
+                write_child(f, left, left_min)?;
+                write!(f, " {} ", op.as_str())?;
+                // +1 on the right: render equal-precedence right children
+                // parenthesized so left-associativity survives round-trips.
+                write_child(f, right, prec + 1)
+            }
+            Expr::Function { name, args, star } => {
+                write!(f, "{name}(")?;
+                if *star {
+                    write!(f, "*")?;
+                } else {
+                    comma_sep(f, args)?;
+                }
+                write!(f, ")")
+            }
+            Expr::IsNull { expr, negated } => {
+                write_child(f, expr, 5)?;
+                if *negated {
+                    write!(f, " IS NOT NULL")
+                } else {
+                    write!(f, " IS NULL")
+                }
+            }
+            Expr::InList { expr, list, negated } => {
+                write_child(f, expr, 5)?;
+                if *negated {
+                    write!(f, " NOT IN (")?;
+                } else {
+                    write!(f, " IN (")?;
+                }
+                comma_sep(f, list)?;
+                write!(f, ")")
+            }
+            Expr::InSubquery { exprs, query, negated } => {
+                write_tuple_operand(f, exprs)?;
+                if *negated {
+                    write!(f, " NOT IN ({query})")
+                } else {
+                    write!(f, " IN ({query})")
+                }
+            }
+            Expr::InAnswer { exprs, relation, negated } => {
+                write_tuple_operand(f, exprs)?;
+                if *negated {
+                    write!(f, " NOT IN ANSWER {relation}")
+                } else {
+                    write!(f, " IN ANSWER {relation}")
+                }
+            }
+            Expr::Exists { query, negated } => {
+                if *negated {
+                    write!(f, "NOT EXISTS ({query})")
+                } else {
+                    write!(f, "EXISTS ({query})")
+                }
+            }
+            Expr::Between { expr, low, high, negated } => {
+                write_child(f, expr, 5)?;
+                if *negated {
+                    write!(f, " NOT BETWEEN ")?;
+                } else {
+                    write!(f, " BETWEEN ")?;
+                }
+                write_child(f, low, 5)?;
+                write!(f, " AND ")?;
+                write_child(f, high, 5)
+            }
+            Expr::Like { expr, pattern, negated } => {
+                write_child(f, expr, 5)?;
+                if *negated {
+                    write!(f, " NOT LIKE ")?;
+                } else {
+                    write!(f, " LIKE ")?;
+                }
+                write_child(f, pattern, 5)
+            }
+            Expr::Tuple(exprs) => {
+                write!(f, "(")?;
+                comma_sep(f, exprs)?;
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Prints the left operand of tuple-IN forms: single expressions print
+/// bare, multi-expression tuples print parenthesized.
+fn write_tuple_operand(f: &mut fmt::Formatter<'_>, exprs: &[Expr]) -> fmt::Result {
+    if exprs.len() == 1 {
+        write_child(f, &exprs[0], 5)
+    } else {
+        write!(f, "(")?;
+        comma_sep(f, exprs)?;
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use youtopia_storage::Value;
+
+    #[test]
+    fn prints_the_papers_kramer_query() {
+        let q = EntangledSelect {
+            heads: vec![EntangledHead {
+                exprs: vec![Expr::lit("Kramer"), Expr::col("fno")],
+                relations: vec!["Reservation".into()],
+            }],
+            where_clause: Some(
+                Expr::InSubquery {
+                    exprs: vec![Expr::col("fno")],
+                    query: Box::new(Select {
+                        items: vec![SelectItem::Expr { expr: Expr::col("fno"), alias: None }],
+                        from: vec![TableWithJoins {
+                            base: TableAtom { name: "Flights".into(), alias: None },
+                            joins: vec![],
+                        }],
+                        where_clause: Some(Expr::col("dest").eq(Expr::lit("Paris"))),
+                        ..Select::empty()
+                    }),
+                    negated: false,
+                }
+                .and(Expr::InAnswer {
+                    exprs: vec![Expr::lit("Jerry"), Expr::col("fno")],
+                    relation: "Reservation".into(),
+                    negated: false,
+                }),
+            ),
+            choose: 1,
+        };
+        assert_eq!(
+            q.to_string(),
+            "SELECT 'Kramer', fno INTO ANSWER Reservation \
+             WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') \
+             AND ('Jerry', fno) IN ANSWER Reservation CHOOSE 1"
+        );
+    }
+
+    #[test]
+    fn binary_parenthesization_respects_precedence() {
+        // (a OR b) AND c needs parens on the left
+        let e = Expr::Binary {
+            left: Box::new(Expr::Binary {
+                left: Box::new(Expr::col("a")),
+                op: BinaryOp::Or,
+                right: Box::new(Expr::col("b")),
+            }),
+            op: BinaryOp::And,
+            right: Box::new(Expr::col("c")),
+        };
+        assert_eq!(e.to_string(), "(a OR b) AND c");
+
+        // a + b * c needs no parens
+        let e2 = Expr::Binary {
+            left: Box::new(Expr::col("a")),
+            op: BinaryOp::Add,
+            right: Box::new(Expr::Binary {
+                left: Box::new(Expr::col("b")),
+                op: BinaryOp::Mul,
+                right: Box::new(Expr::col("c")),
+            }),
+        };
+        assert_eq!(e2.to_string(), "a + b * c");
+
+        // a - (b - c): right child at equal precedence gets parens
+        let e3 = Expr::Binary {
+            left: Box::new(Expr::col("a")),
+            op: BinaryOp::Sub,
+            right: Box::new(Expr::Binary {
+                left: Box::new(Expr::col("b")),
+                op: BinaryOp::Sub,
+                right: Box::new(Expr::col("c")),
+            }),
+        };
+        assert_eq!(e3.to_string(), "a - (b - c)");
+    }
+
+    #[test]
+    fn statements_print() {
+        let ct = Statement::CreateTable(CreateTable {
+            name: "Flights".into(),
+            columns: vec![
+                ColumnDef {
+                    name: "fno".into(),
+                    ty: youtopia_storage::DataType::Int64,
+                    nullable: false,
+                    primary_key: true,
+                },
+                ColumnDef {
+                    name: "dest".into(),
+                    ty: youtopia_storage::DataType::Str,
+                    nullable: true,
+                    primary_key: false,
+                },
+            ],
+            primary_key: vec!["fno".into()],
+        });
+        assert_eq!(
+            ct.to_string(),
+            "CREATE TABLE Flights (fno INT, dest STRING, PRIMARY KEY (fno))"
+        );
+
+        let ins = Statement::Insert(Insert {
+            table: "Flights".into(),
+            columns: None,
+            rows: vec![vec![Expr::lit(122i64), Expr::lit("Paris")]],
+        });
+        assert_eq!(ins.to_string(), "INSERT INTO Flights VALUES (122, 'Paris')");
+
+        assert_eq!(Statement::ShowTables.to_string(), "SHOW TABLES");
+        assert_eq!(Statement::ShowPending.to_string(), "SHOW PENDING");
+    }
+
+    #[test]
+    fn functions_and_predicates_print() {
+        let e = Expr::Function { name: "COUNT".into(), args: vec![], star: true };
+        assert_eq!(e.to_string(), "COUNT(*)");
+        let e2 = Expr::IsNull { expr: Box::new(Expr::col("x")), negated: true };
+        assert_eq!(e2.to_string(), "x IS NOT NULL");
+        let e3 = Expr::Between {
+            expr: Box::new(Expr::col("p")),
+            low: Box::new(Expr::lit(1i64)),
+            high: Box::new(Expr::lit(9i64)),
+            negated: false,
+        };
+        assert_eq!(e3.to_string(), "p BETWEEN 1 AND 9");
+        let e4 = Expr::Like {
+            expr: Box::new(Expr::col("name")),
+            pattern: Box::new(Expr::Literal(Value::from("J%"))),
+            negated: true,
+        };
+        assert_eq!(e4.to_string(), "name NOT LIKE 'J%'");
+    }
+
+    #[test]
+    fn multi_head_entangled_prints() {
+        let q = EntangledSelect {
+            heads: vec![
+                EntangledHead {
+                    exprs: vec![Expr::lit("Jerry"), Expr::col("fno")],
+                    relations: vec!["Reservation".into()],
+                },
+                EntangledHead {
+                    exprs: vec![Expr::lit("Jerry"), Expr::col("hid")],
+                    relations: vec!["HotelReservation".into()],
+                },
+            ],
+            where_clause: None,
+            choose: 1,
+        };
+        assert_eq!(
+            q.to_string(),
+            "SELECT 'Jerry', fno INTO ANSWER Reservation, \
+             'Jerry', hid INTO ANSWER HotelReservation CHOOSE 1"
+        );
+    }
+}

@@ -1,0 +1,334 @@
+//! Token types produced by the lexer.
+
+use std::fmt;
+
+/// Source position of a token (1-based line and column), used in error
+/// messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Span {
+    /// Builds a span.
+    pub fn new(line: u32, col: u32) -> Span {
+        Span { line, col }
+    }
+
+    /// The dummy span used for synthesized tokens.
+    pub fn zero() -> Span {
+        Span { line: 0, col: 0 }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.col)
+    }
+}
+
+/// SQL keywords recognized by the dialect, including the entangled-query
+/// extensions (`ANSWER`, `CHOOSE`) from the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // the variants are literally the keywords
+pub enum Keyword {
+    All,
+    And,
+    Answer,
+    As,
+    Asc,
+    Between,
+    By,
+    Choose,
+    Create,
+    Delete,
+    Desc,
+    Distinct,
+    Drop,
+    Exists,
+    Explain,
+    False,
+    From,
+    Group,
+    Having,
+    In,
+    Index,
+    Inner,
+    Insert,
+    Into,
+    Is,
+    Join,
+    Key,
+    Left,
+    Like,
+    Limit,
+    Not,
+    Null,
+    Offset,
+    On,
+    Or,
+    Order,
+    Pending,
+    Primary,
+    Select,
+    Set,
+    Show,
+    Table,
+    Tables,
+    True,
+    Unique,
+    Update,
+    Values,
+    Where,
+}
+
+impl Keyword {
+    /// Parses a keyword from an identifier (case-insensitive).
+    pub fn parse(word: &str) -> Option<Keyword> {
+        let kw = match word.to_ascii_uppercase().as_str() {
+            "ALL" => Keyword::All,
+            "AND" => Keyword::And,
+            "ANSWER" => Keyword::Answer,
+            "AS" => Keyword::As,
+            "ASC" => Keyword::Asc,
+            "BETWEEN" => Keyword::Between,
+            "BY" => Keyword::By,
+            "CHOOSE" => Keyword::Choose,
+            "CREATE" => Keyword::Create,
+            "DELETE" => Keyword::Delete,
+            "DESC" => Keyword::Desc,
+            "DISTINCT" => Keyword::Distinct,
+            "DROP" => Keyword::Drop,
+            "EXISTS" => Keyword::Exists,
+            "EXPLAIN" => Keyword::Explain,
+            "FALSE" => Keyword::False,
+            "FROM" => Keyword::From,
+            "GROUP" => Keyword::Group,
+            "HAVING" => Keyword::Having,
+            "IN" => Keyword::In,
+            "INDEX" => Keyword::Index,
+            "INNER" => Keyword::Inner,
+            "INSERT" => Keyword::Insert,
+            "INTO" => Keyword::Into,
+            "IS" => Keyword::Is,
+            "JOIN" => Keyword::Join,
+            "KEY" => Keyword::Key,
+            "LEFT" => Keyword::Left,
+            "LIKE" => Keyword::Like,
+            "LIMIT" => Keyword::Limit,
+            "NOT" => Keyword::Not,
+            "NULL" => Keyword::Null,
+            "OFFSET" => Keyword::Offset,
+            "ON" => Keyword::On,
+            "OR" => Keyword::Or,
+            "ORDER" => Keyword::Order,
+            "PENDING" => Keyword::Pending,
+            "PRIMARY" => Keyword::Primary,
+            "SELECT" => Keyword::Select,
+            "SET" => Keyword::Set,
+            "SHOW" => Keyword::Show,
+            "TABLE" => Keyword::Table,
+            "TABLES" => Keyword::Tables,
+            "TRUE" => Keyword::True,
+            "UNIQUE" => Keyword::Unique,
+            "UPDATE" => Keyword::Update,
+            "VALUES" => Keyword::Values,
+            "WHERE" => Keyword::Where,
+            _ => return None,
+        };
+        Some(kw)
+    }
+
+    /// The canonical (uppercase) spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Keyword::All => "ALL",
+            Keyword::And => "AND",
+            Keyword::Answer => "ANSWER",
+            Keyword::As => "AS",
+            Keyword::Asc => "ASC",
+            Keyword::Between => "BETWEEN",
+            Keyword::By => "BY",
+            Keyword::Choose => "CHOOSE",
+            Keyword::Create => "CREATE",
+            Keyword::Delete => "DELETE",
+            Keyword::Desc => "DESC",
+            Keyword::Distinct => "DISTINCT",
+            Keyword::Drop => "DROP",
+            Keyword::Exists => "EXISTS",
+            Keyword::Explain => "EXPLAIN",
+            Keyword::False => "FALSE",
+            Keyword::From => "FROM",
+            Keyword::Group => "GROUP",
+            Keyword::Having => "HAVING",
+            Keyword::In => "IN",
+            Keyword::Index => "INDEX",
+            Keyword::Inner => "INNER",
+            Keyword::Insert => "INSERT",
+            Keyword::Into => "INTO",
+            Keyword::Is => "IS",
+            Keyword::Join => "JOIN",
+            Keyword::Key => "KEY",
+            Keyword::Left => "LEFT",
+            Keyword::Like => "LIKE",
+            Keyword::Limit => "LIMIT",
+            Keyword::Not => "NOT",
+            Keyword::Null => "NULL",
+            Keyword::Offset => "OFFSET",
+            Keyword::On => "ON",
+            Keyword::Or => "OR",
+            Keyword::Order => "ORDER",
+            Keyword::Pending => "PENDING",
+            Keyword::Primary => "PRIMARY",
+            Keyword::Select => "SELECT",
+            Keyword::Set => "SET",
+            Keyword::Show => "SHOW",
+            Keyword::Table => "TABLE",
+            Keyword::Tables => "TABLES",
+            Keyword::True => "TRUE",
+            Keyword::Unique => "UNIQUE",
+            Keyword::Update => "UPDATE",
+            Keyword::Values => "VALUES",
+            Keyword::Where => "WHERE",
+        }
+    }
+}
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A keyword (see [`Keyword`]).
+    Keyword(Keyword),
+    /// An identifier (table, column, alias...).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A single-quoted string literal (quotes removed, `''` unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(kw) => write!(f, "{}", kw.as_str()),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Int(i) => write!(f, "{i}"),
+            TokenKind::Float(x) => write!(f, "{x}"),
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Semicolon => write!(f, ";"),
+            TokenKind::Dot => write!(f, "."),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::Percent => write!(f, "%"),
+            TokenKind::Eq => write!(f, "="),
+            TokenKind::NotEq => write!(f, "<>"),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::LtEq => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::GtEq => write!(f, ">="),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token plus its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it starts.
+    pub span: Span,
+}
+
+impl Token {
+    /// Builds a token.
+    pub fn new(kind: TokenKind, span: Span) -> Token {
+        Token { kind, span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_parse_is_case_insensitive() {
+        assert_eq!(Keyword::parse("select"), Some(Keyword::Select));
+        assert_eq!(Keyword::parse("SELECT"), Some(Keyword::Select));
+        assert_eq!(Keyword::parse("ChOoSe"), Some(Keyword::Choose));
+        assert_eq!(Keyword::parse("answer"), Some(Keyword::Answer));
+        assert_eq!(Keyword::parse("flights"), None);
+    }
+
+    #[test]
+    fn keyword_roundtrip() {
+        for kw in [
+            Keyword::Select,
+            Keyword::Answer,
+            Keyword::Choose,
+            Keyword::Into,
+            Keyword::Where,
+            Keyword::Pending,
+        ] {
+            assert_eq!(Keyword::parse(kw.as_str()), Some(kw));
+        }
+    }
+
+    #[test]
+    fn token_display() {
+        assert_eq!(TokenKind::Keyword(Keyword::Select).to_string(), "SELECT");
+        assert_eq!(TokenKind::Ident("fno".into()).to_string(), "fno");
+        assert_eq!(TokenKind::Str("Paris".into()).to_string(), "'Paris'");
+        assert_eq!(TokenKind::NotEq.to_string(), "<>");
+        assert_eq!(TokenKind::Eof.to_string(), "<eof>");
+    }
+
+    #[test]
+    fn span_display() {
+        assert_eq!(Span::new(3, 14).to_string(), "line 3, column 14");
+    }
+}

@@ -1,0 +1,654 @@
+//! The database engine: a shared catalog guarded by a reader–writer
+//! lock, with undo-logged transactions and optional WAL durability.
+//!
+//! Concurrency model: read transactions take the shared lock and may run
+//! concurrently; a write transaction takes the exclusive lock for its
+//! whole lifetime, so writers are serialized and readers never observe a
+//! partially applied transaction. This gives the *atomic joint
+//! application* of entangled-query matches that the Youtopia coordinator
+//! requires, with rollback via the undo log on abort.
+
+use std::sync::Arc;
+
+use parking_lot::{ArcRwLockReadGuard, ArcRwLockWriteGuard, RawRwLock, RwLock};
+
+use crate::catalog::Catalog;
+use crate::error::{StorageError, StorageResult};
+use crate::index::IndexKind;
+use crate::schema::Schema;
+use crate::table::{RowId, Table};
+use crate::tuple::Tuple;
+use crate::wal::{Wal, WalOp};
+
+struct DbInner {
+    catalog: Catalog,
+    wal: Option<Wal>,
+}
+
+/// A shared handle to one database. Cloning is cheap (`Arc` inside);
+/// all clones see the same data.
+#[derive(Clone)]
+pub struct Database {
+    inner: Arc<RwLock<DbInner>>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    /// Creates an empty, non-durable (no WAL) database.
+    pub fn new() -> Database {
+        Database { inner: Arc::new(RwLock::new(DbInner { catalog: Catalog::new(), wal: None })) }
+    }
+
+    /// Creates an empty database that logs committed work to `wal`.
+    pub fn with_wal(wal: Wal) -> Database {
+        Database {
+            inner: Arc::new(RwLock::new(DbInner { catalog: Catalog::new(), wal: Some(wal) })),
+        }
+    }
+
+    /// Rebuilds a database by replaying a WAL, then keeps logging to it.
+    pub fn recover(mut wal: Wal) -> StorageResult<Database> {
+        let ops = wal.replay()?;
+        let mut catalog = Catalog::new();
+        for op in ops {
+            apply_wal_op(&mut catalog, op)?;
+        }
+        Ok(Database { inner: Arc::new(RwLock::new(DbInner { catalog, wal: Some(wal) })) })
+    }
+
+    /// Starts a read transaction (shared lock for the guard's lifetime).
+    pub fn read(&self) -> ReadTransaction {
+        ReadTransaction { guard: RwLock::read_arc(&self.inner) }
+    }
+
+    /// Starts a write transaction (exclusive lock until commit/abort).
+    pub fn begin(&self) -> Transaction {
+        Transaction {
+            guard: RwLock::write_arc(&self.inner),
+            undo: Vec::new(),
+            redo: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// One-shot helper: run `f` inside a write transaction, committing on
+    /// `Ok` and rolling back on `Err`.
+    pub fn with_txn<T>(
+        &self,
+        f: impl FnOnce(&mut Transaction) -> StorageResult<T>,
+    ) -> StorageResult<T> {
+        let mut txn = self.begin();
+        match f(&mut txn) {
+            Ok(value) => {
+                txn.commit()?;
+                Ok(value)
+            }
+            Err(e) => {
+                txn.abort();
+                Err(e)
+            }
+        }
+    }
+
+    /// The logical operations that recreate the current state: one
+    /// `CreateTable` per table plus one `Insert` per live row. This is
+    /// exactly what checkpointing writes.
+    pub fn snapshot_ops(&self) -> Vec<WalOp> {
+        let inner = self.inner.read();
+        let mut ops = Vec::new();
+        for name in inner.catalog.table_names() {
+            let table = inner.catalog.table(&name).expect("name came from the catalog");
+            ops.push(WalOp::CreateTable {
+                name: table.name().to_string(),
+                schema: table.schema().clone(),
+            });
+            for (rid, tuple) in table.scan() {
+                ops.push(WalOp::Insert {
+                    table: table.name().to_string(),
+                    rid: rid.0,
+                    tuple: tuple.clone(),
+                });
+            }
+        }
+        ops
+    }
+
+    /// Compacts the WAL: atomically (under the write lock) replaces the
+    /// log's history with a snapshot of the live state, discarding dead
+    /// updates and deletes. No-op for databases without a WAL.
+    pub fn checkpoint(&self) -> StorageResult<()> {
+        // take the write lock so no commit interleaves with the rewrite
+        let mut inner = self.inner.write();
+        if inner.wal.is_none() {
+            return Ok(());
+        }
+        // build the snapshot from the locked state
+        let mut ops = Vec::new();
+        for name in inner.catalog.table_names() {
+            let table = inner.catalog.table(&name).expect("name came from the catalog");
+            ops.push(WalOp::CreateTable {
+                name: table.name().to_string(),
+                schema: table.schema().clone(),
+            });
+            for (rid, tuple) in table.scan() {
+                ops.push(WalOp::Insert {
+                    table: table.name().to_string(),
+                    rid: rid.0,
+                    tuple: tuple.clone(),
+                });
+            }
+        }
+        let wal = inner.wal.as_mut().expect("checked above");
+        wal.reset()?;
+        for op in &ops {
+            wal.append(op)?;
+        }
+        wal.sync()
+    }
+}
+
+fn apply_wal_op(catalog: &mut Catalog, op: WalOp) -> StorageResult<()> {
+    match op {
+        WalOp::CreateTable { name, schema } => catalog.create_table(&name, schema),
+        WalOp::DropTable { name } => catalog.drop_table(&name).map(|_| ()),
+        WalOp::Insert { table, rid, tuple } => {
+            catalog.table_mut(&table)?.insert_at(RowId(rid), tuple)
+        }
+        WalOp::Update { table, rid, tuple } => {
+            catalog.table_mut(&table)?.update(RowId(rid), tuple).map(|_| ())
+        }
+        WalOp::Delete { table, rid } => catalog.table_mut(&table)?.delete(RowId(rid)).map(|_| ()),
+    }
+}
+
+/// A read-only view of the database. Holds the shared lock; drop it to
+/// release.
+pub struct ReadTransaction {
+    guard: ArcRwLockReadGuard<RawRwLock, DbInner>,
+}
+
+impl ReadTransaction {
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> StorageResult<&Table> {
+        self.guard.catalog.table(name)
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.guard.catalog
+    }
+}
+
+enum UndoOp {
+    CreateTable { name: String },
+    DropTable { table: Table },
+    Insert { table: String, rid: RowId },
+    Update { table: String, rid: RowId, old: Tuple },
+    Delete { table: String, rid: RowId, old: Tuple },
+}
+
+/// A write transaction. Mutations are applied eagerly to the catalog and
+/// recorded in an undo log; [`Transaction::abort`] (or dropping without
+/// commit) rolls everything back, [`Transaction::commit`] appends the
+/// redo records to the WAL (if any) and releases the lock.
+pub struct Transaction {
+    guard: ArcRwLockWriteGuard<RawRwLock, DbInner>,
+    undo: Vec<UndoOp>,
+    redo: Vec<WalOp>,
+    finished: bool,
+}
+
+impl Transaction {
+    fn check_open(&self) -> StorageResult<()> {
+        if self.finished {
+            Err(StorageError::TransactionClosed)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Creates a table.
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> StorageResult<()> {
+        self.check_open()?;
+        self.guard.catalog.create_table(name, schema.clone())?;
+        self.undo.push(UndoOp::CreateTable { name: name.to_string() });
+        self.redo.push(WalOp::CreateTable { name: name.to_string(), schema });
+        Ok(())
+    }
+
+    /// Drops a table.
+    pub fn drop_table(&mut self, name: &str) -> StorageResult<()> {
+        self.check_open()?;
+        let table = self.guard.catalog.drop_table(name)?;
+        self.redo.push(WalOp::DropTable { name: table.name().to_string() });
+        self.undo.push(UndoOp::DropTable { table });
+        Ok(())
+    }
+
+    /// Creates a secondary index (not WAL-logged: indexes are derived
+    /// state and are rebuilt by DDL on recovery paths that need them).
+    pub fn create_index(
+        &mut self,
+        table: &str,
+        index_name: &str,
+        columns: &[&str],
+        unique: bool,
+        kind: IndexKind,
+    ) -> StorageResult<()> {
+        self.check_open()?;
+        self.guard.catalog.table_mut(table)?.create_index(index_name, columns, unique, kind)
+    }
+
+    /// Inserts a tuple; returns its row id.
+    pub fn insert(&mut self, table: &str, tuple: Tuple) -> StorageResult<RowId> {
+        self.check_open()?;
+        let t = self.guard.catalog.table_mut(table)?;
+        let rid = t.insert(tuple)?;
+        let stored = t.get(rid).expect("row was just inserted").clone();
+        self.undo.push(UndoOp::Insert { table: table.to_string(), rid });
+        self.redo.push(WalOp::Insert { table: table.to_string(), rid: rid.0, tuple: stored });
+        Ok(rid)
+    }
+
+    /// Updates a row in place.
+    pub fn update(&mut self, table: &str, rid: RowId, tuple: Tuple) -> StorageResult<()> {
+        self.check_open()?;
+        let t = self.guard.catalog.table_mut(table)?;
+        let old = t.update(rid, tuple)?;
+        let stored = t.get(rid).expect("row still exists").clone();
+        self.undo.push(UndoOp::Update { table: table.to_string(), rid, old });
+        self.redo.push(WalOp::Update { table: table.to_string(), rid: rid.0, tuple: stored });
+        Ok(())
+    }
+
+    /// Deletes a row.
+    pub fn delete(&mut self, table: &str, rid: RowId) -> StorageResult<()> {
+        self.check_open()?;
+        let old = self.guard.catalog.table_mut(table)?.delete(rid)?;
+        self.undo.push(UndoOp::Delete { table: table.to_string(), rid, old });
+        self.redo.push(WalOp::Delete { table: table.to_string(), rid: rid.0 });
+        Ok(())
+    }
+
+    /// Reads a table *within* the transaction (sees own writes).
+    pub fn table(&self, name: &str) -> StorageResult<&Table> {
+        self.guard.catalog.table(name)
+    }
+
+    /// The catalog as seen by this transaction.
+    pub fn catalog(&self) -> &Catalog {
+        &self.guard.catalog
+    }
+
+    /// Commits: writes redo records to the WAL (if configured), then
+    /// releases the lock. On WAL failure the transaction is rolled back
+    /// and the error returned.
+    pub fn commit(mut self) -> StorageResult<()> {
+        self.check_open()?;
+        if self.guard.wal.is_some() {
+            // Append all records, then sync once.
+            let redo = std::mem::take(&mut self.redo);
+            let result = (|| -> StorageResult<()> {
+                let wal = self.guard.wal.as_mut().expect("checked above");
+                for op in &redo {
+                    wal.append(op)?;
+                }
+                wal.sync()
+            })();
+            if let Err(e) = result {
+                self.rollback();
+                self.finished = true;
+                return Err(e);
+            }
+        }
+        self.finished = true;
+        Ok(())
+    }
+
+    /// Aborts: rolls back all mutations and releases the lock.
+    pub fn abort(mut self) {
+        if !self.finished {
+            self.rollback();
+            self.finished = true;
+        }
+    }
+
+    fn rollback(&mut self) {
+        // Undo in reverse order; failures here indicate a broken invariant.
+        while let Some(op) = self.undo.pop() {
+            let result: StorageResult<()> = match op {
+                UndoOp::CreateTable { name } => {
+                    self.guard.catalog.drop_table(&name).map(|_| ())
+                }
+                UndoOp::DropTable { table } => self.guard.catalog.restore_table(table),
+                UndoOp::Insert { table, rid } => {
+                    self.guard.catalog.table_mut(&table).and_then(|t| t.delete(rid)).map(|_| ())
+                }
+                UndoOp::Update { table, rid, old } => self
+                    .guard
+                    .catalog
+                    .table_mut(&table)
+                    .and_then(|t| t.update(rid, old))
+                    .map(|_| ()),
+                UndoOp::Delete { table, rid, old } => self
+                    .guard
+                    .catalog
+                    .table_mut(&table)
+                    .and_then(|t| t.insert_at(rid, old)),
+            };
+            result.expect("undo must not fail: storage invariant violated");
+        }
+    }
+}
+
+impl Drop for Transaction {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.rollback();
+            self.finished = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, DataType};
+    use crate::value::Value;
+
+    fn flights_schema() -> Schema {
+        Schema::with_primary_key(
+            vec![
+                Column::new("fno", DataType::Int64),
+                Column::new("dest", DataType::Str),
+            ],
+            &["fno"],
+        )
+    }
+
+    fn row(fno: i64, dest: &str) -> Tuple {
+        Tuple::new(vec![Value::Int(fno), Value::from(dest)])
+    }
+
+    fn populated() -> Database {
+        let db = Database::new();
+        db.with_txn(|txn| {
+            txn.create_table("Flights", flights_schema())?;
+            txn.insert("Flights", row(122, "Paris"))?;
+            txn.insert("Flights", row(123, "Paris"))?;
+            Ok(())
+        })
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn commit_makes_changes_visible() {
+        let db = populated();
+        let read = db.read();
+        assert_eq!(read.table("Flights").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn abort_rolls_back_everything() {
+        let db = populated();
+        let mut txn = db.begin();
+        txn.insert("Flights", row(200, "Oslo")).unwrap();
+        txn.delete("Flights", RowId(0)).unwrap();
+        txn.update("Flights", RowId(1), row(123, "Lyon")).unwrap();
+        txn.create_table("Hotels", flights_schema()).unwrap();
+        txn.abort();
+
+        let read = db.read();
+        let flights = read.table("Flights").unwrap();
+        assert_eq!(flights.len(), 2);
+        assert_eq!(flights.get(RowId(0)).unwrap().values()[1], Value::from("Paris"));
+        assert_eq!(flights.get(RowId(1)).unwrap().values()[1], Value::from("Paris"));
+        assert!(read.table("Hotels").is_err());
+    }
+
+    #[test]
+    fn drop_on_uncommitted_txn_rolls_back() {
+        let db = populated();
+        {
+            let mut txn = db.begin();
+            txn.insert("Flights", row(300, "Rome")).unwrap();
+            // dropped without commit
+        }
+        assert_eq!(db.read().table("Flights").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn with_txn_rolls_back_on_error() {
+        let db = populated();
+        let result: StorageResult<()> = db.with_txn(|txn| {
+            txn.insert("Flights", row(300, "Rome"))?;
+            Err(StorageError::Internal("boom".into()))
+        });
+        assert!(result.is_err());
+        assert_eq!(db.read().table("Flights").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn dropped_table_is_restored_with_rows() {
+        let db = populated();
+        let mut txn = db.begin();
+        txn.drop_table("Flights").unwrap();
+        assert!(txn.table("Flights").is_err());
+        txn.abort();
+        assert_eq!(db.read().table("Flights").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn txn_sees_own_writes() {
+        let db = populated();
+        let mut txn = db.begin();
+        txn.insert("Flights", row(300, "Rome")).unwrap();
+        assert_eq!(txn.table("Flights").unwrap().len(), 3);
+        txn.commit().unwrap();
+        assert_eq!(db.read().table("Flights").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn wal_recovery_rebuilds_database() {
+        let wal = Wal::in_memory();
+        let db = Database::with_wal(wal);
+        db.with_txn(|txn| {
+            txn.create_table("Flights", flights_schema())?;
+            txn.insert("Flights", row(122, "Paris"))?;
+            txn.insert("Flights", row(123, "Paris"))?;
+            txn.update("Flights", RowId(0), row(122, "Lyon"))?;
+            txn.delete("Flights", RowId(1))?;
+            Ok(())
+        })
+        .unwrap();
+
+        // Steal the WAL bytes and recover a fresh database from them.
+        let bytes = {
+            let inner = db.inner.read();
+            inner.wal.as_ref().unwrap().raw_bytes().unwrap().to_vec()
+        };
+        let ops = Wal::decode_stream(&bytes).unwrap();
+        let mut catalog = Catalog::new();
+        for op in ops {
+            apply_wal_op(&mut catalog, op).unwrap();
+        }
+        let flights = catalog.table("Flights").unwrap();
+        assert_eq!(flights.len(), 1);
+        assert_eq!(flights.get(RowId(0)).unwrap().values()[1], Value::from("Lyon"));
+    }
+
+    #[test]
+    fn aborted_txn_writes_nothing_to_wal() {
+        let db = Database::with_wal(Wal::in_memory());
+        let mut txn = db.begin();
+        txn.create_table("T", flights_schema()).unwrap();
+        txn.abort();
+        let inner = db.inner.read();
+        assert_eq!(inner.wal.as_ref().unwrap().raw_len(), Some(0));
+    }
+
+    #[test]
+    fn file_wal_recovery_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("youtopia_db_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let db = Database::with_wal(Wal::open(&path).unwrap());
+            db.with_txn(|txn| {
+                txn.create_table("Flights", flights_schema())?;
+                txn.insert("Flights", row(122, "Paris"))?;
+                Ok(())
+            })
+            .unwrap();
+        }
+        let db2 = Database::recover(Wal::open(&path).unwrap()).unwrap();
+        assert_eq!(db2.read().table("Flights").unwrap().len(), 1);
+        // and it keeps logging
+        db2.with_txn(|txn| txn.insert("Flights", row(123, "Paris")).map(|_| ())).unwrap();
+        let db3 = Database::recover(Wal::open(&path).unwrap()).unwrap();
+        assert_eq!(db3.read().table("Flights").unwrap().len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn snapshot_ops_recreate_state() {
+        let db = populated();
+        db.with_txn(|txn| {
+            txn.update("Flights", RowId(0), row(122, "Lyon"))?;
+            txn.delete("Flights", RowId(1))
+        })
+        .unwrap();
+        let ops = db.snapshot_ops();
+        // 1 CreateTable + 1 live row
+        assert_eq!(ops.len(), 2);
+        let mut catalog = Catalog::new();
+        for op in ops {
+            apply_wal_op(&mut catalog, op).unwrap();
+        }
+        let t = catalog.table("Flights").unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(RowId(0)).unwrap().values()[1], Value::from("Lyon"));
+    }
+
+    #[test]
+    fn checkpoint_compacts_the_wal_and_recovery_agrees() {
+        let db = Database::with_wal(Wal::in_memory());
+        db.with_txn(|txn| {
+            txn.create_table("Flights", flights_schema())?;
+            for i in 0..50 {
+                txn.insert("Flights", row(i, "Paris"))?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        // churn: updates and deletes bloat the log
+        for round in 0..5 {
+            db.with_txn(|txn| {
+                for i in 0..50 {
+                    txn.update("Flights", RowId(i), row(i as i64, &format!("City{round}")))?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        }
+        db.with_txn(|txn| {
+            for i in 0..25 {
+                txn.delete("Flights", RowId(i))?;
+            }
+            Ok(())
+        })
+        .unwrap();
+
+        let before = {
+            let inner = db.inner.read();
+            inner.wal.as_ref().unwrap().raw_len().unwrap()
+        };
+        db.checkpoint().unwrap();
+        let (after, bytes) = {
+            let inner = db.inner.read();
+            let wal = inner.wal.as_ref().unwrap();
+            (wal.raw_len().unwrap(), wal.raw_bytes().unwrap().to_vec())
+        };
+        assert!(after < before / 3, "checkpoint must shrink the log: {before} -> {after}");
+
+        // replaying the compacted log reproduces the exact state
+        let ops = Wal::decode_stream(&bytes).unwrap();
+        let mut catalog = Catalog::new();
+        for op in ops {
+            apply_wal_op(&mut catalog, op).unwrap();
+        }
+        let t = catalog.table("Flights").unwrap();
+        assert_eq!(t.len(), 25);
+        assert_eq!(t.get(RowId(30)).unwrap().values()[1], Value::from("City4"));
+
+        // and the database keeps logging normally afterwards
+        db.with_txn(|txn| txn.insert("Flights", row(999, "Oslo")).map(|_| ())).unwrap();
+        let bytes2 = {
+            let inner = db.inner.read();
+            inner.wal.as_ref().unwrap().raw_bytes().unwrap().to_vec()
+        };
+        let ops2 = Wal::decode_stream(&bytes2).unwrap();
+        let mut catalog2 = Catalog::new();
+        for op in ops2 {
+            apply_wal_op(&mut catalog2, op).unwrap();
+        }
+        assert_eq!(catalog2.table("Flights").unwrap().len(), 26);
+    }
+
+    #[test]
+    fn checkpoint_without_wal_is_a_noop() {
+        let db = populated();
+        db.checkpoint().unwrap();
+        assert_eq!(db.read().table("Flights").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn operations_on_closed_txn_fail() {
+        let db = populated();
+        let mut txn = db.begin();
+        txn.finished = true; // simulate closed
+        assert!(matches!(
+            txn.insert("Flights", row(1, "x")),
+            Err(StorageError::TransactionClosed)
+        ));
+        // avoid rollback assertions on drop
+        txn.undo.clear();
+    }
+
+    #[test]
+    fn concurrent_readers_are_allowed() {
+        let db = populated();
+        let r1 = db.read();
+        let r2 = db.read();
+        assert_eq!(r1.table("Flights").unwrap().len(), 2);
+        assert_eq!(r2.table("Flights").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn writer_excludes_readers_until_done() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let db = populated();
+        let started = Arc::new(AtomicBool::new(false));
+        let txn = db.begin();
+        let db2 = db.clone();
+        let started2 = started.clone();
+        let handle = std::thread::spawn(move || {
+            started2.store(true, Ordering::SeqCst);
+            let read = db2.read(); // blocks until writer finishes
+            read.table("Flights").unwrap().len()
+        });
+        while !started.load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(txn); // releases lock (rollback of nothing)
+        assert_eq!(handle.join().unwrap(), 2);
+    }
+}

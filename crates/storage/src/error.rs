@@ -1,0 +1,171 @@
+//! Error types for the storage engine.
+
+use std::fmt;
+
+use crate::schema::DataType;
+
+/// Errors produced by the storage layer.
+///
+/// Every public fallible operation in this crate returns
+/// [`StorageResult`], so callers can match on the precise failure mode
+/// (schema violations are distinguished from missing objects, etc.).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A table with this name already exists in the catalog.
+    TableAlreadyExists(String),
+    /// No table with this name exists in the catalog.
+    TableNotFound(String),
+    /// No column with this name exists in the referenced table.
+    ColumnNotFound {
+        /// Table that was searched.
+        table: String,
+        /// Column that was requested.
+        column: String,
+    },
+    /// A tuple's arity does not match the schema it is checked against.
+    ArityMismatch {
+        /// Columns the schema defines.
+        expected: usize,
+        /// Values the tuple provided.
+        actual: usize,
+    },
+    /// A value's type does not match the column it is stored into.
+    TypeMismatch {
+        /// Column being written.
+        column: String,
+        /// Declared column type.
+        expected: DataType,
+        /// Type of the offending value.
+        actual: DataType,
+    },
+    /// A NULL was written into a non-nullable column.
+    NullViolation {
+        /// Column being written.
+        column: String,
+    },
+    /// A duplicate key was inserted into a unique index / primary key.
+    UniqueViolation {
+        /// Index whose uniqueness constraint was violated.
+        index: String,
+        /// Rendering of the duplicate key.
+        key: String,
+    },
+    /// The referenced row id does not exist (it was never allocated or
+    /// has been deleted).
+    RowNotFound(u64),
+    /// An index with this name already exists on the table.
+    IndexAlreadyExists(String),
+    /// No index with this name exists on the table.
+    IndexNotFound(String),
+    /// The transaction has already been committed or aborted.
+    TransactionClosed,
+    /// The WAL contained bytes that could not be decoded.
+    WalCorrupt(String),
+    /// An I/O error occurred while reading or writing the WAL.
+    WalIo(String),
+    /// Catch-all for invariant violations that indicate a bug.
+    Internal(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::TableAlreadyExists(name) => {
+                write!(f, "table '{name}' already exists")
+            }
+            StorageError::TableNotFound(name) => write!(f, "table '{name}' not found"),
+            StorageError::ColumnNotFound { table, column } => {
+                write!(f, "column '{column}' not found in table '{table}'")
+            }
+            StorageError::ArityMismatch { expected, actual } => {
+                write!(f, "arity mismatch: schema has {expected} columns, tuple has {actual}")
+            }
+            StorageError::TypeMismatch { column, expected, actual } => write!(
+                f,
+                "type mismatch for column '{column}': expected {expected}, got {actual}"
+            ),
+            StorageError::NullViolation { column } => {
+                write!(f, "NULL written to non-nullable column '{column}'")
+            }
+            StorageError::UniqueViolation { index, key } => {
+                write!(f, "unique constraint violated on index '{index}' for key {key}")
+            }
+            StorageError::RowNotFound(rid) => write!(f, "row id {rid} not found"),
+            StorageError::IndexAlreadyExists(name) => {
+                write!(f, "index '{name}' already exists")
+            }
+            StorageError::IndexNotFound(name) => write!(f, "index '{name}' not found"),
+            StorageError::TransactionClosed => {
+                write!(f, "transaction is already committed or aborted")
+            }
+            StorageError::WalCorrupt(msg) => write!(f, "WAL corrupt: {msg}"),
+            StorageError::WalIo(msg) => write!(f, "WAL I/O error: {msg}"),
+            StorageError::Internal(msg) => write!(f, "internal storage error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Convenience alias used throughout the storage crate.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_human_readable() {
+        let cases: Vec<(StorageError, &str)> = vec![
+            (
+                StorageError::TableAlreadyExists("Flights".into()),
+                "table 'Flights' already exists",
+            ),
+            (
+                StorageError::TableNotFound("Hotels".into()),
+                "table 'Hotels' not found",
+            ),
+            (
+                StorageError::ColumnNotFound { table: "Flights".into(), column: "dest".into() },
+                "column 'dest' not found in table 'Flights'",
+            ),
+            (
+                StorageError::ArityMismatch { expected: 3, actual: 2 },
+                "arity mismatch: schema has 3 columns, tuple has 2",
+            ),
+            (StorageError::RowNotFound(7), "row id 7 not found"),
+            (
+                StorageError::TransactionClosed,
+                "transaction is already committed or aborted",
+            ),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.to_string(), expected);
+        }
+    }
+
+    #[test]
+    fn type_mismatch_mentions_both_types() {
+        let err = StorageError::TypeMismatch {
+            column: "price".into(),
+            expected: DataType::Float64,
+            actual: DataType::Str,
+        };
+        let s = err.to_string();
+        assert!(s.contains("price"));
+        assert!(s.contains("FLOAT"));
+        assert!(s.contains("STRING"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            StorageError::TableNotFound("a".into()),
+            StorageError::TableNotFound("a".into())
+        );
+        assert_ne!(
+            StorageError::TableNotFound("a".into()),
+            StorageError::TableNotFound("b".into())
+        );
+    }
+}

@@ -1,0 +1,262 @@
+//! Secondary indexes over tables.
+//!
+//! Two physical forms are provided: a hash index for point lookups
+//! (the common case for entangled-query candidate probes) and an ordered
+//! index for range scans. Both map a key — the projection of a row onto
+//! the indexed columns — to the set of row ids holding that key.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::error::{StorageError, StorageResult};
+use crate::table::RowId;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Physical index kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Hash map; supports equality probes only.
+    Hash,
+    /// Ordered map; supports equality probes and range scans.
+    Ordered,
+}
+
+/// An index key: the indexed columns' values, in index-column order.
+pub type IndexKey = Vec<Value>;
+
+#[derive(Debug, Clone)]
+enum IndexStore {
+    Hash(HashMap<IndexKey, Vec<RowId>>),
+    Ordered(BTreeMap<IndexKey, Vec<RowId>>),
+}
+
+/// A secondary (or primary) index on a subset of a table's columns.
+#[derive(Debug, Clone)]
+pub struct Index {
+    name: String,
+    columns: Vec<usize>,
+    unique: bool,
+    store: IndexStore,
+}
+
+impl Index {
+    /// Creates an empty index over the given column positions.
+    pub fn new(name: impl Into<String>, columns: Vec<usize>, unique: bool, kind: IndexKind) -> Self {
+        let store = match kind {
+            IndexKind::Hash => IndexStore::Hash(HashMap::new()),
+            IndexKind::Ordered => IndexStore::Ordered(BTreeMap::new()),
+        };
+        Index { name: name.into(), columns, unique, store }
+    }
+
+    /// Index name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Indexed column positions.
+    pub fn columns(&self) -> &[usize] {
+        &self.columns
+    }
+
+    /// Whether the index enforces key uniqueness.
+    pub fn is_unique(&self) -> bool {
+        self.unique
+    }
+
+    /// Physical kind of this index.
+    pub fn kind(&self) -> IndexKind {
+        match self.store {
+            IndexStore::Hash(_) => IndexKind::Hash,
+            IndexStore::Ordered(_) => IndexKind::Ordered,
+        }
+    }
+
+    /// Extracts this index's key from a full row.
+    pub fn key_of(&self, tuple: &Tuple) -> IndexKey {
+        self.columns.iter().map(|&i| tuple.values()[i].clone()).collect()
+    }
+
+    /// Number of distinct keys currently present.
+    pub fn key_count(&self) -> usize {
+        match &self.store {
+            IndexStore::Hash(m) => m.len(),
+            IndexStore::Ordered(m) => m.len(),
+        }
+    }
+
+    /// Registers `rid` under the key extracted from `tuple`.
+    pub fn insert(&mut self, tuple: &Tuple, rid: RowId) -> StorageResult<()> {
+        let key = self.key_of(tuple);
+        let entry = match &mut self.store {
+            IndexStore::Hash(m) => m.entry(key.clone()).or_default(),
+            IndexStore::Ordered(m) => m.entry(key.clone()).or_default(),
+        };
+        if self.unique && !entry.is_empty() {
+            return Err(StorageError::UniqueViolation {
+                index: self.name.clone(),
+                key: format_key(&key),
+            });
+        }
+        entry.push(rid);
+        Ok(())
+    }
+
+    /// Removes `rid` from the posting list of `tuple`'s key.
+    pub fn remove(&mut self, tuple: &Tuple, rid: RowId) {
+        let key = self.key_of(tuple);
+        let remove_from = |list: &mut Vec<RowId>| {
+            list.retain(|&r| r != rid);
+            list.is_empty()
+        };
+        match &mut self.store {
+            IndexStore::Hash(m) => {
+                if let Some(list) = m.get_mut(&key) {
+                    if remove_from(list) {
+                        m.remove(&key);
+                    }
+                }
+            }
+            IndexStore::Ordered(m) => {
+                if let Some(list) = m.get_mut(&key) {
+                    if remove_from(list) {
+                        m.remove(&key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Row ids whose key equals `key` (empty slice if none).
+    pub fn probe(&self, key: &[Value]) -> &[RowId] {
+        match &self.store {
+            IndexStore::Hash(m) => m.get(key).map(Vec::as_slice).unwrap_or(&[]),
+            IndexStore::Ordered(m) => m.get(key).map(Vec::as_slice).unwrap_or(&[]),
+        }
+    }
+
+    /// Row ids whose key lies in `[low, high]` (inclusive both ends).
+    /// Only supported on ordered indexes.
+    pub fn range(&self, low: &[Value], high: &[Value]) -> StorageResult<Vec<RowId>> {
+        match &self.store {
+            IndexStore::Ordered(m) => {
+                let mut out = Vec::new();
+                for (_, rids) in m.range(low.to_vec()..=high.to_vec()) {
+                    out.extend_from_slice(rids);
+                }
+                Ok(out)
+            }
+            IndexStore::Hash(_) => Err(StorageError::Internal(format!(
+                "range scan on hash index '{}'",
+                self.name
+            ))),
+        }
+    }
+
+    /// Clears all entries (used when a table is truncated / rebuilt).
+    pub fn clear(&mut self) {
+        match &mut self.store {
+            IndexStore::Hash(m) => m.clear(),
+            IndexStore::Ordered(m) => m.clear(),
+        }
+    }
+}
+
+fn format_key(key: &[Value]) -> String {
+    let parts: Vec<String> = key.iter().map(|v| v.sql_literal()).collect();
+    format!("({})", parts.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(fno: i64, dest: &str) -> Tuple {
+        Tuple::new(vec![Value::Int(fno), Value::from(dest)])
+    }
+
+    #[test]
+    fn hash_index_probe() {
+        let mut idx = Index::new("by_dest", vec![1], false, IndexKind::Hash);
+        idx.insert(&row(122, "Paris"), RowId(1)).unwrap();
+        idx.insert(&row(123, "Paris"), RowId(2)).unwrap();
+        idx.insert(&row(136, "Rome"), RowId(3)).unwrap();
+        let rids = idx.probe(&[Value::from("Paris")]);
+        assert_eq!(rids, &[RowId(1), RowId(2)]);
+        assert!(idx.probe(&[Value::from("Oslo")]).is_empty());
+        assert_eq!(idx.key_count(), 2);
+    }
+
+    #[test]
+    fn unique_index_rejects_duplicates() {
+        let mut idx = Index::new("pk", vec![0], true, IndexKind::Hash);
+        idx.insert(&row(122, "Paris"), RowId(1)).unwrap();
+        let err = idx.insert(&row(122, "Rome"), RowId(2)).unwrap_err();
+        match err {
+            StorageError::UniqueViolation { index, key } => {
+                assert_eq!(index, "pk");
+                assert_eq!(key, "(122)");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn remove_shrinks_posting_lists() {
+        let mut idx = Index::new("by_dest", vec![1], false, IndexKind::Hash);
+        idx.insert(&row(122, "Paris"), RowId(1)).unwrap();
+        idx.insert(&row(123, "Paris"), RowId(2)).unwrap();
+        idx.remove(&row(122, "Paris"), RowId(1));
+        assert_eq!(idx.probe(&[Value::from("Paris")]), &[RowId(2)]);
+        idx.remove(&row(123, "Paris"), RowId(2));
+        assert_eq!(idx.key_count(), 0);
+        // removing again is a no-op
+        idx.remove(&row(123, "Paris"), RowId(2));
+    }
+
+    #[test]
+    fn unique_key_can_be_reused_after_removal() {
+        let mut idx = Index::new("pk", vec![0], true, IndexKind::Hash);
+        idx.insert(&row(1, "a"), RowId(1)).unwrap();
+        idx.remove(&row(1, "a"), RowId(1));
+        idx.insert(&row(1, "b"), RowId(2)).unwrap();
+        assert_eq!(idx.probe(&[Value::Int(1)]), &[RowId(2)]);
+    }
+
+    #[test]
+    fn ordered_index_range_scan() {
+        let mut idx = Index::new("by_fno", vec![0], false, IndexKind::Ordered);
+        for (i, fno) in [122i64, 123, 134, 136].iter().enumerate() {
+            idx.insert(&row(*fno, "x"), RowId(i as u64)).unwrap();
+        }
+        let rids = idx.range(&[Value::Int(123)], &[Value::Int(134)]).unwrap();
+        assert_eq!(rids, vec![RowId(1), RowId(2)]);
+        // full range
+        let all = idx.range(&[Value::Int(0)], &[Value::Int(999)]).unwrap();
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn range_on_hash_index_errors() {
+        let idx = Index::new("h", vec![0], false, IndexKind::Hash);
+        assert!(idx.range(&[Value::Int(0)], &[Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn multi_column_keys() {
+        let mut idx = Index::new("c", vec![0, 1], false, IndexKind::Hash);
+        idx.insert(&row(1, "a"), RowId(1)).unwrap();
+        idx.insert(&row(1, "b"), RowId(2)).unwrap();
+        assert_eq!(idx.probe(&[Value::Int(1), Value::from("a")]), &[RowId(1)]);
+        assert_eq!(idx.probe(&[Value::Int(1), Value::from("b")]), &[RowId(2)]);
+        assert!(idx.probe(&[Value::Int(1)]).is_empty());
+    }
+
+    #[test]
+    fn clear_empties_index() {
+        let mut idx = Index::new("c", vec![0], false, IndexKind::Ordered);
+        idx.insert(&row(1, "a"), RowId(1)).unwrap();
+        idx.clear();
+        assert_eq!(idx.key_count(), 0);
+    }
+}

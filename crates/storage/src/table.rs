@@ -1,0 +1,417 @@
+//! The row store: a table of tuples addressed by [`RowId`], with
+//! attached secondary indexes kept in sync on every mutation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::{StorageError, StorageResult};
+use crate::index::{Index, IndexKind};
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Stable identifier of a row within one table.
+///
+/// Row ids are allocated densely and never reused, which lets undo logs
+/// and the WAL refer to rows without ambiguity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RowId(pub u64);
+
+impl fmt::Display for RowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A heap table: schema, rows, and secondary indexes.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: BTreeMap<u64, Tuple>,
+    next_row_id: u64,
+    indexes: Vec<Index>,
+}
+
+impl Table {
+    /// Creates an empty table. If the schema declares a primary key, a
+    /// unique hash index named `<table>_pk` is created automatically.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        let name = name.into();
+        let mut table =
+            Table { name: name.clone(), schema, rows: BTreeMap::new(), next_row_id: 0, indexes: Vec::new() };
+        if !table.schema.primary_key().is_empty() {
+            let pk_cols = table.schema.primary_key().to_vec();
+            table.indexes.push(Index::new(format!("{name}_pk"), pk_cols, true, IndexKind::Hash));
+        }
+        table
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Validates and inserts a tuple; returns its new row id.
+    pub fn insert(&mut self, tuple: Tuple) -> StorageResult<RowId> {
+        let tuple = self.schema.validate(&self.name, tuple)?;
+        // Check all unique indexes before touching any of them so a failed
+        // insert leaves every index untouched.
+        for idx in &self.indexes {
+            if idx.is_unique() {
+                let key = idx.key_of(&tuple);
+                if !idx.probe(&key).is_empty() {
+                    return Err(StorageError::UniqueViolation {
+                        index: idx.name().to_string(),
+                        key: Tuple::new(key).to_string(),
+                    });
+                }
+            }
+        }
+        let rid = RowId(self.next_row_id);
+        self.next_row_id += 1;
+        for idx in &mut self.indexes {
+            idx.insert(&tuple, rid)
+                .expect("uniqueness was pre-checked; insert cannot fail");
+        }
+        self.rows.insert(rid.0, tuple);
+        Ok(rid)
+    }
+
+    /// Re-inserts a row under a specific id (WAL replay / undo only).
+    pub(crate) fn insert_at(&mut self, rid: RowId, tuple: Tuple) -> StorageResult<()> {
+        let tuple = self.schema.validate(&self.name, tuple)?;
+        if self.rows.contains_key(&rid.0) {
+            return Err(StorageError::Internal(format!(
+                "insert_at: row {rid} already exists in '{}'",
+                self.name
+            )));
+        }
+        for idx in &mut self.indexes {
+            idx.insert(&tuple, rid)?;
+        }
+        self.rows.insert(rid.0, tuple);
+        self.next_row_id = self.next_row_id.max(rid.0 + 1);
+        Ok(())
+    }
+
+    /// Fetches a row by id.
+    pub fn get(&self, rid: RowId) -> Option<&Tuple> {
+        self.rows.get(&rid.0)
+    }
+
+    /// Deletes a row; returns the removed tuple.
+    pub fn delete(&mut self, rid: RowId) -> StorageResult<Tuple> {
+        let tuple = self
+            .rows
+            .remove(&rid.0)
+            .ok_or(StorageError::RowNotFound(rid.0))?;
+        for idx in &mut self.indexes {
+            idx.remove(&tuple, rid);
+        }
+        Ok(tuple)
+    }
+
+    /// Replaces a row in place; returns the previous tuple.
+    pub fn update(&mut self, rid: RowId, tuple: Tuple) -> StorageResult<Tuple> {
+        let tuple = self.schema.validate(&self.name, tuple)?;
+        let old = self
+            .rows
+            .get(&rid.0)
+            .cloned()
+            .ok_or(StorageError::RowNotFound(rid.0))?;
+        // Pre-check unique indexes, ignoring this row's own current key.
+        for idx in &self.indexes {
+            if idx.is_unique() {
+                let new_key = idx.key_of(&tuple);
+                let old_key = idx.key_of(&old);
+                if new_key != old_key && !idx.probe(&new_key).is_empty() {
+                    return Err(StorageError::UniqueViolation {
+                        index: idx.name().to_string(),
+                        key: Tuple::new(new_key).to_string(),
+                    });
+                }
+            }
+        }
+        for idx in &mut self.indexes {
+            idx.remove(&old, rid);
+            idx.insert(&tuple, rid)
+                .expect("uniqueness was pre-checked; insert cannot fail");
+        }
+        self.rows.insert(rid.0, tuple);
+        Ok(old)
+    }
+
+    /// Iterates over `(RowId, &Tuple)` in row-id order.
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, &Tuple)> {
+        self.rows.iter().map(|(&rid, t)| (RowId(rid), t))
+    }
+
+    /// Creates a secondary index over the named columns and backfills it.
+    pub fn create_index(
+        &mut self,
+        index_name: &str,
+        columns: &[&str],
+        unique: bool,
+        kind: IndexKind,
+    ) -> StorageResult<()> {
+        if self.indexes.iter().any(|i| i.name() == index_name) {
+            return Err(StorageError::IndexAlreadyExists(index_name.to_string()));
+        }
+        let positions: Vec<usize> = columns
+            .iter()
+            .map(|c| {
+                self.schema.column_index(c).ok_or_else(|| StorageError::ColumnNotFound {
+                    table: self.name.clone(),
+                    column: c.to_string(),
+                })
+            })
+            .collect::<StorageResult<_>>()?;
+        let mut idx = Index::new(index_name, positions, unique, kind);
+        for (&rid, tuple) in &self.rows {
+            idx.insert(tuple, RowId(rid))?;
+        }
+        self.indexes.push(idx);
+        Ok(())
+    }
+
+    /// Drops a secondary index by name.
+    pub fn drop_index(&mut self, index_name: &str) -> StorageResult<()> {
+        let pos = self
+            .indexes
+            .iter()
+            .position(|i| i.name() == index_name)
+            .ok_or_else(|| StorageError::IndexNotFound(index_name.to_string()))?;
+        self.indexes.remove(pos);
+        Ok(())
+    }
+
+    /// Looks up an index by name.
+    pub fn index(&self, index_name: &str) -> Option<&Index> {
+        self.indexes.iter().find(|i| i.name() == index_name)
+    }
+
+    /// All indexes on this table.
+    pub fn indexes(&self) -> &[Index] {
+        &self.indexes
+    }
+
+    /// Finds an index whose column set is exactly `columns` (any order of
+    /// declaration is *not* bridged: the planner asks for the order it
+    /// wants). Used by the planner for index-selection.
+    pub fn find_index_on(&self, columns: &[usize]) -> Option<&Index> {
+        self.indexes.iter().find(|i| i.columns() == columns)
+    }
+
+    /// Convenience point-probe: row ids whose `column = value`, using an
+    /// index when one exists, otherwise a scan.
+    pub fn rows_where_eq(&self, column: usize, value: &Value) -> Vec<RowId> {
+        if let Some(idx) = self.find_index_on(&[column]) {
+            return idx.probe(std::slice::from_ref(value)).to_vec();
+        }
+        self.scan()
+            .filter(|(_, t)| t.values()[column].sql_eq(value))
+            .map(|(rid, _)| rid)
+            .collect()
+    }
+
+    /// Removes all rows (indexes are cleared too). Row ids are not reused.
+    pub fn truncate(&mut self) {
+        self.rows.clear();
+        for idx in &mut self.indexes {
+            idx.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, DataType};
+
+    fn flights() -> Table {
+        let schema = Schema::with_primary_key(
+            vec![
+                Column::new("fno", DataType::Int64),
+                Column::new("dest", DataType::Str),
+            ],
+            &["fno"],
+        );
+        let mut t = Table::new("Flights", schema);
+        for (fno, dest) in [(122, "Paris"), (123, "Paris"), (134, "Paris"), (136, "Rome")] {
+            t.insert(Tuple::new(vec![Value::Int(fno), Value::from(dest)])).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn insert_allocates_dense_row_ids() {
+        let t = flights();
+        let rids: Vec<u64> = t.scan().map(|(r, _)| r.0).collect();
+        assert_eq!(rids, vec![0, 1, 2, 3]);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn primary_key_index_is_automatic() {
+        let t = flights();
+        let pk = t.index("Flights_pk").expect("pk index exists");
+        assert!(pk.is_unique());
+        assert_eq!(pk.probe(&[Value::Int(122)]).len(), 1);
+    }
+
+    #[test]
+    fn duplicate_primary_key_rejected() {
+        let mut t = flights();
+        let err = t
+            .insert(Tuple::new(vec![Value::Int(122), Value::from("Oslo")]))
+            .unwrap_err();
+        assert!(matches!(err, StorageError::UniqueViolation { .. }));
+        // table unchanged
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn delete_updates_indexes() {
+        let mut t = flights();
+        let deleted = t.delete(RowId(0)).unwrap();
+        assert_eq!(deleted.values()[0], Value::Int(122));
+        assert!(t.index("Flights_pk").unwrap().probe(&[Value::Int(122)]).is_empty());
+        assert!(t.delete(RowId(0)).is_err());
+    }
+
+    #[test]
+    fn update_moves_index_entries() {
+        let mut t = flights();
+        t.update(RowId(0), Tuple::new(vec![Value::Int(999), Value::from("Paris")]))
+            .unwrap();
+        let pk = t.index("Flights_pk").unwrap();
+        assert!(pk.probe(&[Value::Int(122)]).is_empty());
+        assert_eq!(pk.probe(&[Value::Int(999)]), &[RowId(0)]);
+    }
+
+    #[test]
+    fn update_cannot_steal_existing_key() {
+        let mut t = flights();
+        let err = t
+            .update(RowId(0), Tuple::new(vec![Value::Int(123), Value::from("Oslo")]))
+            .unwrap_err();
+        assert!(matches!(err, StorageError::UniqueViolation { .. }));
+        // row unchanged
+        assert_eq!(t.get(RowId(0)).unwrap().values()[0], Value::Int(122));
+    }
+
+    #[test]
+    fn update_keeping_same_key_is_fine() {
+        let mut t = flights();
+        t.update(RowId(0), Tuple::new(vec![Value::Int(122), Value::from("Lyon")]))
+            .unwrap();
+        assert_eq!(t.get(RowId(0)).unwrap().values()[1], Value::from("Lyon"));
+    }
+
+    #[test]
+    fn secondary_index_backfills_existing_rows() {
+        let mut t = flights();
+        t.create_index("by_dest", &["dest"], false, IndexKind::Hash).unwrap();
+        let idx = t.index("by_dest").unwrap();
+        assert_eq!(idx.probe(&[Value::from("Paris")]).len(), 3);
+        assert_eq!(idx.probe(&[Value::from("Rome")]).len(), 1);
+    }
+
+    #[test]
+    fn create_index_on_unknown_column_fails() {
+        let mut t = flights();
+        let err = t.create_index("x", &["nope"], false, IndexKind::Hash).unwrap_err();
+        assert!(matches!(err, StorageError::ColumnNotFound { .. }));
+    }
+
+    #[test]
+    fn duplicate_index_name_rejected() {
+        let mut t = flights();
+        t.create_index("i", &["dest"], false, IndexKind::Hash).unwrap();
+        assert!(matches!(
+            t.create_index("i", &["fno"], false, IndexKind::Hash),
+            Err(StorageError::IndexAlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn drop_index_works() {
+        let mut t = flights();
+        t.create_index("i", &["dest"], false, IndexKind::Hash).unwrap();
+        t.drop_index("i").unwrap();
+        assert!(t.index("i").is_none());
+        assert!(matches!(t.drop_index("i"), Err(StorageError::IndexNotFound(_))));
+    }
+
+    #[test]
+    fn rows_where_eq_uses_index_or_scan() {
+        let mut t = flights();
+        // no index on dest yet: scan path
+        let scan_result = t.rows_where_eq(1, &Value::from("Paris"));
+        assert_eq!(scan_result.len(), 3);
+        // with index: same result
+        t.create_index("by_dest", &["dest"], false, IndexKind::Hash).unwrap();
+        let idx_result = t.rows_where_eq(1, &Value::from("Paris"));
+        assert_eq!(idx_result.len(), 3);
+    }
+
+    #[test]
+    fn row_ids_are_not_reused_after_delete() {
+        let mut t = flights();
+        t.delete(RowId(3)).unwrap();
+        let rid = t
+            .insert(Tuple::new(vec![Value::Int(200), Value::from("Oslo")]))
+            .unwrap();
+        assert_eq!(rid, RowId(4));
+    }
+
+    #[test]
+    fn truncate_clears_rows_and_indexes() {
+        let mut t = flights();
+        t.truncate();
+        assert!(t.is_empty());
+        assert_eq!(t.index("Flights_pk").unwrap().key_count(), 0);
+        // ids continue from where they were
+        let rid = t.insert(Tuple::new(vec![Value::Int(1), Value::from("x")])).unwrap();
+        assert_eq!(rid, RowId(4));
+    }
+
+    #[test]
+    fn insert_at_respects_existing_ids() {
+        let mut t = flights();
+        assert!(t
+            .insert_at(RowId(1), Tuple::new(vec![Value::Int(7), Value::from("x")]))
+            .is_err());
+        t.insert_at(RowId(100), Tuple::new(vec![Value::Int(7), Value::from("x")]))
+            .unwrap();
+        let rid = t.insert(Tuple::new(vec![Value::Int(8), Value::from("y")])).unwrap();
+        assert_eq!(rid, RowId(101));
+    }
+
+    #[test]
+    fn validation_happens_on_every_mutation() {
+        let mut t = flights();
+        // wrong arity
+        assert!(t.insert(Tuple::new(vec![Value::Int(1)])).is_err());
+        // wrong type on update
+        assert!(t
+            .update(RowId(0), Tuple::new(vec![Value::from("x"), Value::from("y")]))
+            .is_err());
+    }
+}

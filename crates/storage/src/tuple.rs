@@ -1,0 +1,293 @@
+//! Tuples (rows) and their binary encoding.
+
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+use crate::error::{StorageError, StorageResult};
+use crate::value::Value;
+
+/// A row: an ordered sequence of [`Value`]s.
+///
+/// Tuples are schema-agnostic; validation against a schema happens in
+/// [`crate::schema::Schema::validate`]. The same type carries rows in the
+/// executor and answer tuples in the coordination layer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Builds a tuple from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    /// The empty (zero-arity) tuple.
+    pub fn empty() -> Self {
+        Tuple { values: Vec::new() }
+    }
+
+    /// Number of values.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Borrow the values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Consume into the owned values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Value at position `idx`, if in range.
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
+    /// Replaces the value at `idx`; errors if out of range.
+    pub fn set(&mut self, idx: usize, value: Value) -> StorageResult<()> {
+        match self.values.get_mut(idx) {
+            Some(slot) => {
+                *slot = value;
+                Ok(())
+            }
+            None => Err(StorageError::Internal(format!(
+                "tuple index {idx} out of range for arity {}",
+                self.values.len()
+            ))),
+        }
+    }
+
+    /// Concatenates two tuples (used by join operators).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.arity() + other.arity());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Tuple { values }
+    }
+
+    /// Projects the tuple onto the given positions.
+    ///
+    /// # Panics
+    /// Panics when a position is out of range: projections are produced by
+    /// the planner against a validated schema, so this indicates a bug.
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple { values: positions.iter().map(|&i| self.values[i].clone()).collect() }
+    }
+
+    /// Encodes the tuple into a length-prefixed binary frame
+    /// (used by the WAL). The format is:
+    /// `u32 arity` then per value a 1-byte tag followed by the payload.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(16 + self.values.len() * 8);
+        buf.put_u32(self.values.len() as u32);
+        for v in &self.values {
+            match v {
+                Value::Null => buf.put_u8(0),
+                Value::Bool(b) => {
+                    buf.put_u8(1);
+                    buf.put_u8(*b as u8);
+                }
+                Value::Int(i) => {
+                    buf.put_u8(2);
+                    buf.put_i64(*i);
+                }
+                Value::Float(f) => {
+                    buf.put_u8(3);
+                    buf.put_f64(*f);
+                }
+                Value::Str(s) => {
+                    buf.put_u8(4);
+                    buf.put_u32(s.len() as u32);
+                    buf.put_slice(s.as_bytes());
+                }
+                Value::Bytes(b) => {
+                    buf.put_u8(5);
+                    buf.put_u32(b.len() as u32);
+                    buf.put_slice(b);
+                }
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a tuple previously produced by [`Tuple::encode`].
+    pub fn decode(mut buf: &[u8]) -> StorageResult<Tuple> {
+        fn need(buf: &[u8], n: usize) -> StorageResult<()> {
+            if buf.remaining() < n {
+                Err(StorageError::WalCorrupt(format!(
+                    "tuple decode: needed {n} bytes, have {}",
+                    buf.remaining()
+                )))
+            } else {
+                Ok(())
+            }
+        }
+        need(buf, 4)?;
+        let arity = buf.get_u32() as usize;
+        let mut values = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            need(buf, 1)?;
+            let tag = buf.get_u8();
+            let v = match tag {
+                0 => Value::Null,
+                1 => {
+                    need(buf, 1)?;
+                    Value::Bool(buf.get_u8() != 0)
+                }
+                2 => {
+                    need(buf, 8)?;
+                    Value::Int(buf.get_i64())
+                }
+                3 => {
+                    need(buf, 8)?;
+                    Value::Float(buf.get_f64())
+                }
+                4 => {
+                    need(buf, 4)?;
+                    let len = buf.get_u32() as usize;
+                    need(buf, len)?;
+                    let s = std::str::from_utf8(&buf[..len])
+                        .map_err(|e| StorageError::WalCorrupt(format!("bad utf8: {e}")))?
+                        .to_string();
+                    buf.advance(len);
+                    Value::Str(s)
+                }
+                5 => {
+                    need(buf, 4)?;
+                    let len = buf.get_u32() as usize;
+                    need(buf, len)?;
+                    let b = buf[..len].to_vec();
+                    buf.advance(len);
+                    Value::Bytes(b)
+                }
+                t => {
+                    return Err(StorageError::WalCorrupt(format!("unknown value tag {t}")));
+                }
+            };
+            values.push(v);
+        }
+        if buf.has_remaining() {
+            return Err(StorageError::WalCorrupt(format!(
+                "tuple decode: {} trailing bytes",
+                buf.remaining()
+            )));
+        }
+        Ok(Tuple { values })
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", v.sql_literal())?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Tuple::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tuple {
+        Tuple::new(vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-42),
+            Value::Float(2.75),
+            Value::from("Paris"),
+            Value::Bytes(vec![0, 255, 7]),
+        ])
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let t = sample();
+        let decoded = Tuple::decode(&t.encode()).unwrap();
+        assert_eq!(t, decoded);
+    }
+
+    #[test]
+    fn empty_tuple_roundtrip() {
+        let t = Tuple::empty();
+        assert_eq!(t.arity(), 0);
+        assert_eq!(Tuple::decode(&t.encode()).unwrap(), t);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let bytes = sample().encode();
+        for cut in [0usize, 3, 5, bytes.len() - 1] {
+            let err = Tuple::decode(&bytes[..cut]);
+            assert!(err.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let mut bytes = sample().encode().to_vec();
+        bytes.push(9);
+        assert!(matches!(Tuple::decode(&bytes), Err(StorageError::WalCorrupt(_))));
+    }
+
+    #[test]
+    fn decode_rejects_unknown_tag() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(1);
+        buf.put_u8(42);
+        assert!(matches!(Tuple::decode(&buf), Err(StorageError::WalCorrupt(_))));
+    }
+
+    #[test]
+    fn concat_and_project() {
+        let a = Tuple::new(vec![Value::Int(1), Value::Int(2)]);
+        let b = Tuple::new(vec![Value::from("x")]);
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 3);
+        let p = c.project(&[2, 0]);
+        assert_eq!(p.values(), &[Value::from("x"), Value::Int(1)]);
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut t = Tuple::new(vec![Value::Int(1)]);
+        t.set(0, Value::Int(9)).unwrap();
+        assert_eq!(t.get(0), Some(&Value::Int(9)));
+        assert!(t.set(5, Value::Null).is_err());
+        assert!(t.get(5).is_none());
+    }
+
+    #[test]
+    fn display_uses_sql_literals() {
+        let t = Tuple::new(vec![Value::from("Kramer"), Value::Int(122)]);
+        assert_eq!(t.to_string(), "('Kramer', 122)");
+    }
+
+    #[test]
+    fn from_iterator() {
+        let t: Tuple = (0..3).map(Value::Int).collect();
+        assert_eq!(t.arity(), 3);
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type for the travel application.
+
+use std::fmt;
+
+use youtopia_core::CoreError;
+use youtopia_exec::ExecError;
+use youtopia_storage::StorageError;
+
+/// Errors surfaced by the travel middle tier.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TravelError {
+    /// Underlying storage failure.
+    Storage(StorageError),
+    /// Underlying execution failure.
+    Exec(ExecError),
+    /// Coordination failure (unsafe query, apply conflict...).
+    Core(CoreError),
+    /// The referenced user is not registered.
+    UnknownUser(String),
+    /// The users are not friends; coordination requests require a
+    /// friend relationship (the demo imports these from "Facebook").
+    NotFriends {
+        /// Requesting user.
+        user: String,
+        /// The non-friend.
+        other: String,
+    },
+    /// No flight/hotel satisfies the request (e.g. unknown flight
+    /// number for a direct booking).
+    NoSuchItem(String),
+    /// Capacity exhausted (no seats / rooms left).
+    SoldOut(String),
+}
+
+impl fmt::Display for TravelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TravelError::Storage(e) => write!(f, "{e}"),
+            TravelError::Exec(e) => write!(f, "{e}"),
+            TravelError::Core(e) => write!(f, "{e}"),
+            TravelError::UnknownUser(u) => write!(f, "unknown user '{u}'"),
+            TravelError::NotFriends { user, other } => {
+                write!(f, "'{user}' and '{other}' are not friends")
+            }
+            TravelError::NoSuchItem(what) => write!(f, "no such item: {what}"),
+            TravelError::SoldOut(what) => write!(f, "sold out: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TravelError {}
+
+impl From<StorageError> for TravelError {
+    fn from(e: StorageError) -> Self {
+        TravelError::Storage(e)
+    }
+}
+impl From<ExecError> for TravelError {
+    fn from(e: ExecError) -> Self {
+        TravelError::Exec(e)
+    }
+}
+impl From<CoreError> for TravelError {
+    fn from(e: CoreError) -> Self {
+        TravelError::Core(e)
+    }
+}
+
+/// Result alias for the travel crate.
+pub type TravelResult<T> = Result<T, TravelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert_eq!(TravelError::UnknownUser("x".into()).to_string(), "unknown user 'x'");
+        assert_eq!(
+            TravelError::NotFriends { user: "a".into(), other: "b".into() }.to_string(),
+            "'a' and 'b' are not friends"
+        );
+        assert_eq!(TravelError::SoldOut("flight 122".into()).to_string(), "sold out: flight 122");
+    }
+
+    #[test]
+    fn conversions() {
+        let e: TravelError = StorageError::TableNotFound("t".into()).into();
+        assert!(matches!(e, TravelError::Storage(_)));
+        let e: TravelError = CoreError::NotEntangled.into();
+        assert!(matches!(e, TravelError::Core(_)));
+        let e: TravelError = ExecError::DivisionByZero.into();
+        assert!(matches!(e, TravelError::Exec(_)));
+    }
+}

@@ -1,0 +1,113 @@
+//! In-process notifications — the demo's "Facebook message" substitute.
+//!
+//! In the paper, "Jerry is notified of the success of his request via a
+//! Facebook message". Here each user has a mailbox; the travel service
+//! pushes a confirmation message when a coordination completes. The
+//! asynchronous shape (submit now, hear back when the partner arrives)
+//! is preserved.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+/// One notification message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Recipient user.
+    pub to: String,
+    /// Message body.
+    pub body: String,
+    /// Monotonic sequence number (delivery order across all users).
+    pub seq: u64,
+}
+
+/// A per-user mailbox store. Cloneable handles share the same inboxes.
+#[derive(Default)]
+pub struct Notifier {
+    inner: Mutex<NotifierInner>,
+}
+
+#[derive(Default)]
+struct NotifierInner {
+    boxes: HashMap<String, Vec<Message>>,
+    next_seq: u64,
+}
+
+impl Notifier {
+    /// Creates an empty notifier.
+    pub fn new() -> Notifier {
+        Notifier::default()
+    }
+
+    /// Sends a message to `user`'s mailbox.
+    pub fn send(&self, user: &str, body: impl Into<String>) {
+        let mut inner = self.inner.lock();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner
+            .boxes
+            .entry(user.to_string())
+            .or_default()
+            .push(Message { to: user.to_string(), body: body.into(), seq });
+    }
+
+    /// Reads `user`'s mailbox without consuming it.
+    pub fn inbox(&self, user: &str) -> Vec<Message> {
+        self.inner.lock().boxes.get(user).cloned().unwrap_or_default()
+    }
+
+    /// Drains `user`'s mailbox.
+    pub fn drain(&self, user: &str) -> Vec<Message> {
+        self.inner.lock().boxes.remove(user).unwrap_or_default()
+    }
+
+    /// Total undelivered messages across all users.
+    pub fn undelivered(&self) -> usize {
+        self.inner.lock().boxes.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_inbox() {
+        let n = Notifier::new();
+        n.send("jerry", "your flight 122 is booked");
+        n.send("jerry", "your hotel 7 is booked");
+        n.send("kramer", "your flight 122 is booked");
+        let inbox = n.inbox("jerry");
+        assert_eq!(inbox.len(), 2);
+        assert!(inbox[0].body.contains("flight 122"));
+        assert_eq!(n.undelivered(), 3);
+        // inbox() does not consume
+        assert_eq!(n.inbox("jerry").len(), 2);
+    }
+
+    #[test]
+    fn drain_consumes() {
+        let n = Notifier::new();
+        n.send("jerry", "a");
+        assert_eq!(n.drain("jerry").len(), 1);
+        assert!(n.drain("jerry").is_empty());
+        assert_eq!(n.undelivered(), 0);
+    }
+
+    #[test]
+    fn sequence_numbers_are_global_and_ordered() {
+        let n = Notifier::new();
+        n.send("a", "1");
+        n.send("b", "2");
+        n.send("a", "3");
+        let a = n.inbox("a");
+        assert!(a[0].seq < a[1].seq);
+        assert_eq!(n.inbox("b")[0].seq, 1);
+    }
+
+    #[test]
+    fn empty_inbox_is_empty() {
+        let n = Notifier::new();
+        assert!(n.inbox("ghost").is_empty());
+    }
+}

@@ -1,0 +1,193 @@
+//! The social graph — the demo's "Facebook" substitute.
+//!
+//! The paper's demo imports the user's contact list through the
+//! Facebook API and coordinates with those friends. This module keeps
+//! the same *shape* — users log in, import a friend list, and the
+//! travel site only lets them coordinate with friends — but the graph
+//! lives in the database (`Users` / `Friends` tables), so the rest of
+//! the pipeline is identical.
+
+use youtopia_exec::{run_sql, StatementOutcome};
+use youtopia_storage::Database;
+
+use crate::error::{TravelError, TravelResult};
+use crate::model::sql_str;
+
+/// Friend-graph operations over the `Users` / `Friends` tables.
+#[derive(Clone)]
+pub struct SocialGraph {
+    db: Database,
+}
+
+impl SocialGraph {
+    /// Wraps a database that already has the travel schema installed.
+    pub fn new(db: Database) -> SocialGraph {
+        SocialGraph { db }
+    }
+
+    /// Registers a user ("logs in"); idempotent.
+    pub fn register(&self, name: &str) -> TravelResult<()> {
+        if self.is_registered(name)? {
+            return Ok(());
+        }
+        run_sql(&self.db, &format!("INSERT INTO Users VALUES ({})", sql_str(name)))?;
+        Ok(())
+    }
+
+    /// True when `name` has an account.
+    pub fn is_registered(&self, name: &str) -> TravelResult<bool> {
+        let out = run_sql(
+            &self.db,
+            &format!("SELECT COUNT(*) FROM Users WHERE name = {}", sql_str(name)),
+        )?;
+        let StatementOutcome::Rows(rs) = out else { unreachable!("count query") };
+        Ok(rs.rows[0].values()[0].as_int() == Some(1))
+    }
+
+    /// Imports a friend list for `user` (the "Facebook login" step).
+    /// Friendship is symmetric; both directions are stored. Unregistered
+    /// friends are registered on the fly.
+    pub fn import_friends(&self, user: &str, friends: &[&str]) -> TravelResult<()> {
+        self.register(user)?;
+        for friend in friends {
+            self.register(friend)?;
+            if !self.are_friends(user, friend)? {
+                run_sql(
+                    &self.db,
+                    &format!(
+                        "INSERT INTO Friends VALUES ({}, {}), ({}, {})",
+                        sql_str(user),
+                        sql_str(friend),
+                        sql_str(friend),
+                        sql_str(user)
+                    ),
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// True when the two users are friends.
+    pub fn are_friends(&self, a: &str, b: &str) -> TravelResult<bool> {
+        let out = run_sql(
+            &self.db,
+            &format!(
+                "SELECT COUNT(*) FROM Friends WHERE a = {} AND b = {}",
+                sql_str(a),
+                sql_str(b)
+            ),
+        )?;
+        let StatementOutcome::Rows(rs) = out else { unreachable!("count query") };
+        Ok(rs.rows[0].values()[0].as_int().unwrap_or(0) > 0)
+    }
+
+    /// The friend list of `user`, sorted (Figure 3's "choose a friend"
+    /// picker).
+    pub fn friends_of(&self, user: &str) -> TravelResult<Vec<String>> {
+        if !self.is_registered(user)? {
+            return Err(TravelError::UnknownUser(user.to_string()));
+        }
+        let out = run_sql(
+            &self.db,
+            &format!("SELECT b FROM Friends WHERE a = {} ORDER BY b", sql_str(user)),
+        )?;
+        let StatementOutcome::Rows(rs) = out else { unreachable!("select query") };
+        Ok(rs
+            .rows
+            .iter()
+            .filter_map(|r| r.values()[0].as_str().map(str::to_string))
+            .collect())
+    }
+
+    /// Requires `a` and `b` to be registered friends (coordination
+    /// precondition in the UI flow).
+    pub fn require_friends(&self, a: &str, b: &str) -> TravelResult<()> {
+        if !self.is_registered(a)? {
+            return Err(TravelError::UnknownUser(a.to_string()));
+        }
+        if !self.is_registered(b)? {
+            return Err(TravelError::UnknownUser(b.to_string()));
+        }
+        if !self.are_friends(a, b)? {
+            return Err(TravelError::NotFriends { user: a.to_string(), other: b.to_string() });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::install_schema;
+
+    fn graph() -> SocialGraph {
+        let db = Database::new();
+        install_schema(&db).unwrap();
+        SocialGraph::new(db)
+    }
+
+    #[test]
+    fn register_is_idempotent() {
+        let g = graph();
+        g.register("jerry").unwrap();
+        g.register("jerry").unwrap();
+        assert!(g.is_registered("jerry").unwrap());
+        assert!(!g.is_registered("kramer").unwrap());
+    }
+
+    #[test]
+    fn import_makes_symmetric_friendships() {
+        let g = graph();
+        g.import_friends("jerry", &["kramer", "elaine"]).unwrap();
+        assert!(g.are_friends("jerry", "kramer").unwrap());
+        assert!(g.are_friends("kramer", "jerry").unwrap());
+        assert!(g.are_friends("jerry", "elaine").unwrap());
+        assert!(!g.are_friends("kramer", "elaine").unwrap());
+        // friends were auto-registered
+        assert!(g.is_registered("elaine").unwrap());
+    }
+
+    #[test]
+    fn import_twice_does_not_duplicate() {
+        let g = graph();
+        g.import_friends("jerry", &["kramer"]).unwrap();
+        g.import_friends("jerry", &["kramer"]).unwrap();
+        assert_eq!(g.friends_of("jerry").unwrap(), vec!["kramer"]);
+    }
+
+    #[test]
+    fn friends_of_sorted() {
+        let g = graph();
+        g.import_friends("jerry", &["newman", "kramer", "elaine"]).unwrap();
+        assert_eq!(g.friends_of("jerry").unwrap(), vec!["elaine", "kramer", "newman"]);
+    }
+
+    #[test]
+    fn friends_of_unknown_user_errors() {
+        let g = graph();
+        assert!(matches!(g.friends_of("ghost"), Err(TravelError::UnknownUser(_))));
+    }
+
+    #[test]
+    fn require_friends_gatekeeps() {
+        let g = graph();
+        g.import_friends("jerry", &["kramer"]).unwrap();
+        g.register("newman").unwrap();
+        g.require_friends("jerry", "kramer").unwrap();
+        assert!(matches!(
+            g.require_friends("jerry", "newman"),
+            Err(TravelError::NotFriends { .. })
+        ));
+        assert!(matches!(
+            g.require_friends("jerry", "ghost"),
+            Err(TravelError::UnknownUser(_))
+        ));
+    }
+
+    #[test]
+    fn names_with_quotes_are_escaped() {
+        let g = graph();
+        g.import_friends("O'Brien", &["D'Arcy"]).unwrap();
+        assert!(g.are_friends("O'Brien", "D'Arcy").unwrap());
+    }
+}

@@ -1,0 +1,230 @@
+//! Workload generators for the scalability experiments (§3's "loaded
+//! system, where a large number of entangled queries are trying to
+//! coordinate simultaneously").
+//!
+//! All generators are deterministic given a seed, so benchmark runs are
+//! reproducible.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use youtopia_exec::run_sql;
+use youtopia_storage::Database;
+
+use crate::error::TravelResult;
+use crate::model::install_schema;
+
+/// One entangled submission: who submits what.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Submitting user.
+    pub owner: String,
+    /// The entangled SQL.
+    pub sql: String,
+}
+
+/// Deterministic workload generator.
+pub struct WorkloadGen {
+    rng: StdRng,
+}
+
+impl WorkloadGen {
+    /// Creates a generator with a fixed seed.
+    pub fn new(seed: u64) -> WorkloadGen {
+        WorkloadGen { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Builds a database with the travel schema and `n_flights` flights
+    /// spread over `cities` (plenty of seats so inventory never blocks
+    /// matching experiments).
+    pub fn build_database(&mut self, n_flights: usize, cities: &[&str]) -> TravelResult<Database> {
+        let db = Database::new();
+        install_schema(&db)?;
+        let mut rows = Vec::with_capacity(n_flights);
+        for i in 0..n_flights {
+            let city = cities[i % cities.len()];
+            let day = self.rng.random_range(1..=30);
+            let price = 100.0 + self.rng.random_range(0..900) as f64;
+            rows.push(format!(
+                "({fno}, 'New York', '{city}', {day}, {price}, 1000000)",
+                fno = 1000 + i as i64
+            ));
+        }
+        for chunk in rows.chunks(500) {
+            run_sql(&db, &format!("INSERT INTO Flights VALUES {}", chunk.join(", ")))?;
+        }
+        let mut hotels = Vec::new();
+        for (i, city) in cities.iter().enumerate() {
+            hotels.push(format!("({}, '{city}', 1, 100.0, 1000000)", 10_000 + i as i64));
+        }
+        run_sql(&db, &format!("INSERT INTO Hotels VALUES {}", hotels.join(", ")))?;
+        Ok(db)
+    }
+
+    /// The pair request of the paper's walkthrough, parameterized.
+    pub fn pair_request(me: &str, friend: &str, dest: &str) -> Request {
+        Request {
+            owner: me.to_string(),
+            sql: format!(
+                "SELECT '{me}', fno INTO ANSWER Reservation \
+                 WHERE fno IN (SELECT fno FROM Flights WHERE dest = '{dest}') \
+                 AND ('{friend}', fno) IN ANSWER Reservation CHOOSE 1"
+            ),
+        }
+    }
+
+    /// `pairs` mutually coordinating pairs on `dest`. Returned in
+    /// submission order: all first halves, then all second halves, so a
+    /// driver can measure "p pending, then p completions".
+    pub fn pair_storm(&mut self, pairs: usize, dest: &str) -> Vec<Request> {
+        let mut first = Vec::with_capacity(pairs);
+        let mut second = Vec::with_capacity(pairs);
+        for p in 0..pairs {
+            let a = format!("L{p}");
+            let b = format!("R{p}");
+            first.push(Self::pair_request(&a, &b, dest));
+            second.push(Self::pair_request(&b, &a, dest));
+        }
+        first.shuffle(&mut self.rng);
+        second.shuffle(&mut self.rng);
+        first.extend(second);
+        first
+    }
+
+    /// `count` "noise" queries that never match: each waits for a
+    /// partner who never arrives. These are the standing load of the
+    /// loaded-system experiment.
+    pub fn noise(&mut self, count: usize, dest: &str) -> Vec<Request> {
+        (0..count)
+            .map(|i| Self::pair_request(&format!("noise{i}"), &format!("ghost{i}"), dest))
+            .collect()
+    }
+
+    /// A group of `size` friends booking one flight: each request names
+    /// all other members. Submission order is randomized; only the last
+    /// arrival closes the group.
+    pub fn group(&mut self, group_id: usize, size: usize, dest: &str) -> Vec<Request> {
+        let names: Vec<String> =
+            (0..size).map(|i| format!("g{group_id}m{i}")).collect();
+        let mut requests = Vec::with_capacity(size);
+        for me in &names {
+            let mut sql = format!(
+                "SELECT '{me}', fno INTO ANSWER Reservation \
+                 WHERE fno IN (SELECT fno FROM Flights WHERE dest = '{dest}')"
+            );
+            for other in names.iter().filter(|n| *n != me) {
+                sql.push_str(&format!(" AND ('{other}', fno) IN ANSWER Reservation"));
+            }
+            sql.push_str(" CHOOSE 1");
+            requests.push(Request { owner: me.clone(), sql });
+        }
+        requests.shuffle(&mut self.rng);
+        requests
+    }
+
+    /// A flight+hotel pair request (two answer relations per query).
+    pub fn pair_flight_hotel(me: &str, friend: &str, dest: &str) -> Request {
+        Request {
+            owner: me.to_string(),
+            sql: format!(
+                "SELECT '{me}', fno INTO ANSWER Reservation, \
+                 '{me}', hid INTO ANSWER HotelReservation \
+                 WHERE fno IN (SELECT fno FROM Flights WHERE dest = '{dest}') \
+                 AND hid IN (SELECT hid FROM Hotels WHERE city = '{dest}') \
+                 AND ('{friend}', fno) IN ANSWER Reservation \
+                 AND ('{friend}', hid) IN ANSWER HotelReservation CHOOSE 1"
+            ),
+        }
+    }
+
+    /// A pair request with `extra_constraints` additional answer
+    /// relations per query (E3: constraint-complexity sweep). With
+    /// `extra = 0` this is the plain pair.
+    pub fn pair_with_constraint_count(
+        me: &str,
+        friend: &str,
+        dest: &str,
+        extra_constraints: usize,
+    ) -> Request {
+        let mut heads = format!("'{me}', fno INTO ANSWER Reservation");
+        let mut body = format!(
+            " WHERE fno IN (SELECT fno FROM Flights WHERE dest = '{dest}') \
+             AND ('{friend}', fno) IN ANSWER Reservation"
+        );
+        for k in 0..extra_constraints {
+            heads.push_str(&format!(", '{me}', fno INTO ANSWER Aux{k}"));
+            body.push_str(&format!(" AND ('{friend}', fno) IN ANSWER Aux{k}"));
+        }
+        Request { owner: me.to_string(), sql: format!("SELECT {heads}{body} CHOOSE 1") }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use youtopia_core::compile_sql;
+
+    #[test]
+    fn database_builder_is_deterministic() {
+        let db1 = WorkloadGen::new(1).build_database(100, &["Paris", "Rome"]).unwrap();
+        let db2 = WorkloadGen::new(1).build_database(100, &["Paris", "Rome"]).unwrap();
+        let count = |db: &Database| db.read().table("Flights").unwrap().len();
+        assert_eq!(count(&db1), 100);
+        assert_eq!(count(&db1), count(&db2));
+    }
+
+    #[test]
+    fn pair_storm_shape() {
+        let reqs = WorkloadGen::new(2).pair_storm(10, "Paris");
+        assert_eq!(reqs.len(), 20);
+        // first half are all L*/R* pairs' first members (shuffled)
+        for r in &reqs {
+            assert!(r.sql.contains("IN ANSWER Reservation"));
+            compile_sql(&r.sql).expect("generated SQL compiles");
+        }
+        // all 20 owners distinct
+        let owners: std::collections::HashSet<&str> =
+            reqs.iter().map(|r| r.owner.as_str()).collect();
+        assert_eq!(owners.len(), 20);
+    }
+
+    #[test]
+    fn group_requests_reference_every_other_member() {
+        let reqs = WorkloadGen::new(3).group(0, 4, "Paris");
+        assert_eq!(reqs.len(), 4);
+        for r in &reqs {
+            let q = compile_sql(&r.sql).unwrap();
+            assert_eq!(q.constraints.len(), 3, "each member names 3 others");
+        }
+    }
+
+    #[test]
+    fn noise_queries_compile_and_never_pair_up() {
+        let reqs = WorkloadGen::new(4).noise(5, "Paris");
+        assert_eq!(reqs.len(), 5);
+        for (i, r) in reqs.iter().enumerate() {
+            compile_sql(&r.sql).unwrap();
+            assert!(r.sql.contains(&format!("ghost{i}")));
+        }
+    }
+
+    #[test]
+    fn constraint_count_sweep() {
+        for extra in 0..4 {
+            let r = WorkloadGen::pair_with_constraint_count("a", "b", "Paris", extra);
+            let q = compile_sql(&r.sql).unwrap();
+            assert_eq!(q.constraints.len(), 1 + extra);
+            assert_eq!(q.heads.len(), 1 + extra);
+        }
+    }
+
+    #[test]
+    fn flight_hotel_pair_compiles() {
+        let r = WorkloadGen::pair_flight_hotel("a", "b", "Paris");
+        let q = compile_sql(&r.sql).unwrap();
+        assert_eq!(q.heads.len(), 2);
+        assert_eq!(q.constraints.len(), 2);
+        assert_eq!(q.memberships.len(), 2);
+    }
+}

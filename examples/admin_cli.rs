@@ -1,0 +1,96 @@
+//! The administrative interface of Section 3.2: "an SQL command line
+//! which allows SQL and entangled queries to be input directly to the
+//! system", plus "a special mode that enables visual inspection of the
+//! state of the system ... such as the set of queries pending to be
+//! entangled and their representation in the system."
+//!
+//! Run the scripted session: `cargo run --example admin_cli`
+//! Run interactively:        `cargo run --example admin_cli -- --interactive`
+
+use std::io::{BufRead, Write};
+
+use youtopia::travel::{AdminConsole, TravelService};
+
+fn main() {
+    let site = TravelService::bootstrap_demo().expect("demo stack boots");
+    let console = AdminConsole::new(site.db().clone(), site.coordinator().clone());
+
+    let interactive = std::env::args().any(|a| a == "--interactive");
+    if interactive {
+        repl(&console);
+        return;
+    }
+
+    // The scripted session demonstrates the full §3.2 surface.
+    let script: &[(&str, &str)] = &[
+        ("admin", "SHOW TABLES"),
+        ("admin", "SELECT fno, dest, price, seats FROM Flights ORDER BY fno"),
+        ("admin", "SELECT dest, COUNT(*) AS flights, MIN(price) AS cheapest \
+                   FROM Flights GROUP BY dest ORDER BY dest"),
+        ("admin", "INSERT INTO Flights VALUES (999, 'New York', 'Berlin', 3, 199.0, 2)"),
+        ("admin", "UPDATE Flights SET price = price - 50 WHERE fno = 999"),
+        ("admin", "SELECT * FROM Flights WHERE fno = 999"),
+        // plans and coordination IR without executing
+        ("admin", "EXPLAIN SELECT dest FROM Flights WHERE fno = 122"),
+        (
+            "admin",
+            "EXPLAIN SELECT 'Kramer', fno INTO ANSWER Reservation \
+             WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris') \
+             AND ('Jerry', fno) IN ANSWER Reservation CHOOSE 1",
+        ),
+        // entangled queries typed straight into the command line
+        (
+            "kramer",
+            "SELECT 'Kramer', fno INTO ANSWER Reservation \
+             WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris') \
+             AND ('Jerry', fno) IN ANSWER Reservation CHOOSE 1",
+        ),
+        ("admin", "SHOW PENDING"),
+        ("admin", "\\graph"),
+        (
+            "jerry",
+            "SELECT 'Jerry', fno INTO ANSWER Reservation \
+             WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris') \
+             AND ('Kramer', fno) IN ANSWER Reservation CHOOSE 1",
+        ),
+        ("admin", "SHOW PENDING"),
+        ("admin", "SELECT * FROM Reservation"),
+        // error reporting
+        ("admin", "SELECT 'X', v INTO ANSWER R CHOOSE 1"),
+        ("admin", "SELECT * FROM NoSuchTable"),
+    ];
+
+    for (user, line) in script {
+        println!("youtopia({user})> {line}");
+        let out = match *line {
+            "\\graph" => console.render_match_graph(),
+            sql => console.execute_as(user, sql),
+        };
+        println!("{out}\n");
+    }
+
+    println!("-- coordination statistics --");
+    println!("{}", console.render_stats());
+}
+
+fn repl(console: &AdminConsole) {
+    println!("Youtopia admin console. SQL and entangled queries accepted.");
+    println!("Commands: SHOW TABLES | SHOW PENDING | EXPLAIN <query> | \\graph | \\stats | \\q");
+    let stdin = std::io::stdin();
+    loop {
+        print!("youtopia> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            return;
+        }
+        let line = line.trim();
+        match line {
+            "" => continue,
+            "\\q" | "quit" | "exit" => return,
+            "\\stats" => println!("{}", console.render_stats()),
+            "\\graph" => println!("{}", console.render_match_graph()),
+            sql => println!("{}", console.execute(sql)),
+        }
+    }
+}

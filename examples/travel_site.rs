@@ -1,0 +1,201 @@
+//! The travel web site demo: every coordination scenario of the
+//! paper's Section 3.1, run end to end through the middle tier.
+//!
+//! Run with: `cargo run --example travel_site`
+
+use youtopia::travel::{BookingOutcome, FlightPrefs, TravelService};
+
+fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+fn main() {
+    let site = TravelService::bootstrap_demo().expect("demo stack boots");
+
+    // "He begins the process by logging in to Facebook so that
+    //  Kramer's contact information can be imported."
+    site.social()
+        .import_friends("jerry", &["kramer", "elaine", "george"])
+        .unwrap();
+    site.social().import_friends("kramer", &["elaine", "george"]).unwrap();
+    site.social().import_friends("elaine", &["george"]).unwrap();
+    println!(
+        "jerry's imported friend list: {:?}",
+        site.social().friends_of("jerry").unwrap()
+    );
+
+    // ------------------------------------------------------------------ //
+    banner("Scenario 1: book a flight with a friend");
+    let prefs = FlightPrefs { max_price: Some(600.0), day: None };
+    let out = site.coordinate_flight("jerry", "kramer", "Paris", prefs).unwrap();
+    println!("jerry's request: {:?}", kind(&out));
+    let out = site.coordinate_flight("kramer", "jerry", "Paris", prefs).unwrap();
+    println!("kramer's request: {:?}", kind(&out));
+    let jerry_fno = site.account_view("jerry").unwrap().flights[0];
+    let kramer_fno = site.account_view("kramer").unwrap().flights[0];
+    assert_eq!(jerry_fno, kramer_fno);
+    println!("both booked flight {jerry_fno}");
+    println!("jerry's notification: {}", site.notifier().drain("jerry")[0].body);
+    println!("kramer's notification: {}", site.notifier().drain("kramer")[0].body);
+
+    // ------------------------------------------------------------------ //
+    banner("Scenario 1b: the alternate path — browse friends' bookings, then book");
+    // elaine sees where her friends already are (the demo's Figure 4)
+    let seen = site.browse_friend_bookings("elaine").unwrap();
+    println!("elaine sees friends' bookings: {seen:?}");
+    // she decides to book the same flight as george... but george has no
+    // booking, so she books jerry's flight directly via kramer
+    let target = seen
+        .iter()
+        .find(|(who, _)| who == "kramer")
+        .map(|(_, fno)| *fno)
+        .expect("kramer has a booking");
+    site.book_direct("elaine", target).unwrap();
+    println!("elaine booked flight {target} directly");
+
+    // ------------------------------------------------------------------ //
+    banner("Scenario 1c: adjacent seats (\"fly in an adjacent seat to Kramer\")");
+    let adj = TravelService::bootstrap_demo().unwrap();
+    adj.social().import_friends("jerry", &["kramer"]).unwrap();
+    adj.coordinate_adjacent_seats("jerry", "kramer", "Paris").unwrap();
+    let out = adj.coordinate_adjacent_seats("kramer", "jerry", "Paris").unwrap();
+    assert!(out.is_confirmed());
+    let read = adj.db().read();
+    let seats: Vec<(String, i64, i64)> = read
+        .table("SeatReservation")
+        .unwrap()
+        .scan()
+        .map(|(_, t)| {
+            (
+                t.values()[0].as_str().unwrap().to_string(),
+                t.values()[1].as_int().unwrap(),
+                t.values()[2].as_int().unwrap(),
+            )
+        })
+        .collect();
+    drop(read);
+    for (who, fno, seat) in &seats {
+        println!("{who}: flight {fno}, seat {seat}");
+    }
+    assert_eq!(seats[0].1, seats[1].1);
+    assert_eq!((seats[0].2 - seats[1].2).abs(), 1, "seats are adjacent");
+
+    // ------------------------------------------------------------------ //
+    banner("Scenario 2: book a flight AND a hotel with a friend");
+    site.coordinate_flight_and_hotel("elaine", "george", "Paris", FlightPrefs::default())
+        .unwrap();
+    let out = site
+        .coordinate_flight_and_hotel("george", "elaine", "Paris", FlightPrefs::default())
+        .unwrap();
+    println!("george's request: {:?}", kind(&out));
+    let e = site.account_view("elaine").unwrap();
+    let g = site.account_view("george").unwrap();
+    println!("elaine: flights {:?} hotels {:?}", e.flights, e.hotels);
+    println!("george: flights {:?} hotels {:?}", g.flights, g.hotels);
+    assert_eq!(e.hotels, g.hotels, "same hotel, all-or-nothing");
+
+    // ------------------------------------------------------------------ //
+    banner("Scenario 3: multiple simultaneous bookings");
+    let fresh = TravelService::bootstrap_demo().unwrap();
+    let pairs = [("p1", "q1"), ("p2", "q2"), ("p3", "q3")];
+    for (a, b) in pairs {
+        fresh.social().import_friends(a, &[b]).unwrap();
+    }
+    for (a, b) in pairs {
+        fresh.coordinate_flight(a, b, "Paris", FlightPrefs::default()).unwrap();
+    }
+    println!("3 pairs submitted their first halves; pending = {}", fresh
+        .coordinator()
+        .pending_count());
+    for (a, b) in pairs {
+        let out = fresh.coordinate_flight(b, a, "Paris", FlightPrefs::default()).unwrap();
+        assert!(out.is_confirmed());
+    }
+    for (a, b) in pairs {
+        let fa = fresh.account_view(a).unwrap().flights;
+        let fb = fresh.account_view(b).unwrap().flights;
+        assert_eq!(fa, fb);
+        println!("pair ({a},{b}) coordinated on flight {:?}", fa[0]);
+    }
+
+    // ------------------------------------------------------------------ //
+    banner("Scenario 4: group flight booking (four friends)");
+    let grp = TravelService::bootstrap_demo().unwrap();
+    let group = ["alice", "bob", "carol", "dave"];
+    for u in &group {
+        let others: Vec<&str> = group.iter().filter(|o| *o != u).copied().collect();
+        grp.social().import_friends(u, &others).unwrap();
+    }
+    for (i, u) in group.iter().enumerate() {
+        let others: Vec<&str> = group.iter().filter(|o| *o != u).copied().collect();
+        let out = grp
+            .coordinate_group_flight(u, &others, "Paris", FlightPrefs::default())
+            .unwrap();
+        println!("{u} submits ({}/{}) -> {:?}", i + 1, group.len(), kind(&out));
+    }
+    let fnos: std::collections::HashSet<i64> =
+        group.iter().map(|u| grp.account_view(u).unwrap().flights[0]).collect();
+    assert_eq!(fnos.len(), 1);
+    println!("all four friends are on flight {:?}", fnos.iter().next().unwrap());
+
+    // ------------------------------------------------------------------ //
+    banner("Scenario 5: group flight AND hotel booking");
+    let gh = TravelService::bootstrap_demo().unwrap();
+    let trio = ["tom", "uma", "vic"];
+    for u in &trio {
+        let others: Vec<&str> = trio.iter().filter(|o| *o != u).copied().collect();
+        gh.social().import_friends(u, &others).unwrap();
+    }
+    for u in &trio {
+        let others: Vec<&str> = trio.iter().filter(|o| *o != u).copied().collect();
+        gh.coordinate_group_flight_and_hotel(u, &others, "Paris", FlightPrefs::default())
+            .unwrap();
+    }
+    for u in &trio {
+        let v = gh.account_view(u).unwrap();
+        println!("{u}: flight {:?}, hotel {:?}", v.flights[0], v.hotels[0]);
+    }
+
+    // ------------------------------------------------------------------ //
+    banner("Scenario 6: ad-hoc coordination (Jerry+Kramer flights; Kramer+Elaine flight+hotel)");
+    let adhoc = TravelService::bootstrap_demo().unwrap();
+    adhoc.social().import_friends("jerry", &["kramer", "elaine"]).unwrap();
+    adhoc.social().import_friends("kramer", &["elaine"]).unwrap();
+    let jerry_q = "SELECT 'jerry', fno INTO ANSWER Reservation \
+         WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris' AND seats >= 3) \
+         AND ('kramer', fno) IN ANSWER Reservation CHOOSE 1";
+    let kramer_q = "SELECT 'kramer', fno INTO ANSWER Reservation, \
+         'kramer', hid INTO ANSWER HotelReservation \
+         WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris' AND seats >= 3) \
+         AND hid IN (SELECT hid FROM Hotels WHERE city = 'Paris' AND rooms >= 2) \
+         AND ('jerry', fno) IN ANSWER Reservation \
+         AND ('elaine', hid) IN ANSWER HotelReservation CHOOSE 1";
+    let elaine_q = "SELECT 'elaine', fno INTO ANSWER Reservation, \
+         'elaine', hid INTO ANSWER HotelReservation \
+         WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris' AND seats >= 3) \
+         AND hid IN (SELECT hid FROM Hotels WHERE city = 'Paris' AND rooms >= 2) \
+         AND ('kramer', fno) IN ANSWER Reservation \
+         AND ('kramer', hid) IN ANSWER HotelReservation CHOOSE 1";
+    adhoc.coordinate_custom("jerry", jerry_q).unwrap();
+    adhoc.coordinate_custom("kramer", kramer_q).unwrap();
+    let out = adhoc.coordinate_custom("elaine", elaine_q).unwrap();
+    assert!(out.is_confirmed(), "elaine closes the three-way group");
+    let j = adhoc.account_view("jerry").unwrap();
+    let k = adhoc.account_view("kramer").unwrap();
+    let e = adhoc.account_view("elaine").unwrap();
+    println!("jerry:  flights {:?} hotels {:?}", j.flights, j.hotels);
+    println!("kramer: flights {:?} hotels {:?}", k.flights, k.hotels);
+    println!("elaine: flights {:?} hotels {:?}", e.flights, e.hotels);
+    assert_eq!(j.flights, k.flights);
+    assert_eq!(k.hotels, e.hotels);
+    assert!(j.hotels.is_empty());
+
+    println!("\nAll Section 3.1 scenarios completed successfully.");
+}
+
+fn kind(out: &BookingOutcome) -> &'static str {
+    match out {
+        BookingOutcome::Confirmed(_) => "confirmed",
+        BookingOutcome::Waiting(_) => "waiting for partners",
+    }
+}

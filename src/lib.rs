@@ -1,0 +1,43 @@
+//! # Youtopia
+//!
+//! A from-scratch Rust reproduction of *Coordination through Querying
+//! in the Youtopia System* (SIGMOD 2011 demonstration): a relational
+//! DBMS whose coordination component jointly answers **entangled
+//! queries** — `SELECT` statements with postconditions over a shared
+//! answer relation that typically refer to *other* users' queries.
+//!
+//! This facade crate re-exports the whole stack:
+//!
+//! | layer | crate | contents |
+//! |-------|-------|----------|
+//! | [`storage`] | `youtopia-storage` | values, schemas, tables, indexes, transactions, WAL |
+//! | [`sql`] | `youtopia-sql` | lexer, parser, AST, printer (entangled dialect) |
+//! | [`exec`] | `youtopia-exec` | expression evaluation + SELECT/DML execution |
+//! | [`core`] | `youtopia-core` | entangled IR, safety, registry, matcher, coordinator |
+//! | [`travel`] | `youtopia-travel` | the demo travel application, admin console, workloads |
+//!
+//! See the runnable examples:
+//!
+//! * `cargo run --example quickstart` — the paper's Jerry & Kramer
+//!   walkthrough (Figure 1);
+//! * `cargo run --example travel_site` — every §3.1 demo scenario;
+//! * `cargo run --example loaded_system` — the §3 scalability
+//!   demonstration;
+//! * `cargo run --example admin_cli` — the §3.2 SQL command line
+//!   (scripted session or `--interactive`).
+
+pub use youtopia_core as core;
+pub use youtopia_exec as exec;
+pub use youtopia_sql as sql;
+pub use youtopia_storage as storage;
+pub use youtopia_travel as travel;
+
+pub use youtopia_core::{
+    compile_sql, Coordinator, CoordinatorConfig, GroupMatch, MatchNotification, MatcherKind,
+    QueryId, SafetyMode, Submission,
+};
+pub use youtopia_exec::{run_sql, StatementOutcome};
+pub use youtopia_storage::Database;
+pub use youtopia_travel::{
+    AdminConsole, BookingOutcome, FlightPrefs, TravelService, WorkloadGen,
+};

@@ -1,0 +1,229 @@
+//! E2/E3/E5/E6 — every demonstration scenario of the paper's Section
+//! 3.1, exercised end to end through the travel middle tier (the same
+//! path the demo's web application uses).
+
+use youtopia::travel::{BookingOutcome, FlightPrefs, TravelService};
+
+fn site() -> TravelService {
+    let s = TravelService::bootstrap_demo().unwrap();
+    s.social().import_friends("jerry", &["kramer", "elaine", "george"]).unwrap();
+    s.social().import_friends("kramer", &["elaine", "george"]).unwrap();
+    s.social().import_friends("elaine", &["george"]).unwrap();
+    s
+}
+
+#[test]
+fn scenario_book_flight_with_a_friend() {
+    let s = site();
+    // Jerry chooses Kramer from his imported friend list (Figure 3)
+    assert!(s.social().friends_of("jerry").unwrap().contains(&"kramer".to_string()));
+    let first = s
+        .coordinate_flight("jerry", "kramer", "Paris", FlightPrefs::default())
+        .unwrap();
+    assert!(matches!(first, BookingOutcome::Waiting(_)));
+    let second = s
+        .coordinate_flight("kramer", "jerry", "Paris", FlightPrefs::default())
+        .unwrap();
+    assert!(second.is_confirmed());
+    // same flight; notified "via a Facebook message"
+    assert_eq!(
+        s.account_view("jerry").unwrap().flights,
+        s.account_view("kramer").unwrap().flights
+    );
+    assert_eq!(s.notifier().inbox("jerry").len(), 1);
+    assert_eq!(s.notifier().inbox("kramer").len(), 1);
+}
+
+#[test]
+fn scenario_alternate_path_browse_friends_bookings_first() {
+    let s = site();
+    // Kramer already booked; Jerry browses flights and sees it (Fig. 4)
+    s.book_direct("kramer", 123).unwrap();
+    let seen = s.browse_friend_bookings("jerry").unwrap();
+    assert_eq!(seen, vec![("kramer".to_string(), 123)]);
+    // "If he decides he is able to choose a flight based on this
+    //  information, he can go ahead and make his own booking directly."
+    s.book_direct("jerry", 123).unwrap();
+    assert_eq!(s.account_view("jerry").unwrap().flights, vec![123]);
+    // non-friends' bookings are not visible
+    s.social().register("newman").unwrap();
+    assert!(s.browse_friend_bookings("newman").unwrap().is_empty());
+}
+
+#[test]
+fn scenario_book_flight_and_hotel_with_a_friend() {
+    let s = site();
+    let first = s
+        .coordinate_flight_and_hotel("jerry", "kramer", "Paris", FlightPrefs::default())
+        .unwrap();
+    assert!(matches!(first, BookingOutcome::Waiting(_)));
+    let BookingOutcome::Confirmed(answers) = s
+        .coordinate_flight_and_hotel("kramer", "jerry", "Paris", FlightPrefs::default())
+        .unwrap()
+    else {
+        panic!("kramer completes the pair")
+    };
+    // one entangled query, two answer relations
+    let relations: std::collections::HashSet<&str> =
+        answers.iter().map(|(r, _)| r.as_str()).collect();
+    assert!(relations.contains("Reservation"));
+    assert!(relations.contains("HotelReservation"));
+
+    let j = s.account_view("jerry").unwrap();
+    let k = s.account_view("kramer").unwrap();
+    assert_eq!(j.flights, k.flights);
+    assert_eq!(j.hotels, k.hotels);
+    assert_eq!(j.flights.len(), 1);
+    assert_eq!(j.hotels.len(), 1);
+}
+
+#[test]
+fn scenario_multiple_simultaneous_bookings() {
+    let s = TravelService::bootstrap_demo().unwrap();
+    let pairs: Vec<(String, String)> =
+        (0..6).map(|i| (format!("a{i}"), format!("b{i}"))).collect();
+    for (a, b) in &pairs {
+        s.social().import_friends(a, &[b.as_str()]).unwrap();
+    }
+    // all first halves...
+    for (a, b) in &pairs {
+        let out = s.coordinate_flight(a, b, "Paris", FlightPrefs::default()).unwrap();
+        assert!(matches!(out, BookingOutcome::Waiting(_)));
+    }
+    assert_eq!(s.coordinator().pending_count(), 6);
+    // ...then all second halves; every pair closes, no cross-matching
+    for (a, b) in &pairs {
+        let out = s.coordinate_flight(b, a, "Paris", FlightPrefs::default()).unwrap();
+        assert!(out.is_confirmed());
+    }
+    assert_eq!(s.coordinator().pending_count(), 0);
+    for (a, b) in &pairs {
+        assert_eq!(
+            s.account_view(a).unwrap().flights,
+            s.account_view(b).unwrap().flights,
+            "pair ({a},{b}) coordinated"
+        );
+    }
+}
+
+#[test]
+fn scenario_group_flight_booking() {
+    let s = site();
+    let group = ["jerry", "kramer", "elaine", "george"];
+    for (i, user) in group.iter().enumerate() {
+        let others: Vec<&str> = group.iter().filter(|u| *u != user).copied().collect();
+        let out = s
+            .coordinate_group_flight(user, &others, "Paris", FlightPrefs::default())
+            .unwrap();
+        if i + 1 < group.len() {
+            assert!(matches!(out, BookingOutcome::Waiting(_)));
+        } else {
+            assert!(out.is_confirmed(), "the last member closes the group");
+        }
+    }
+    let fnos: std::collections::HashSet<i64> =
+        group.iter().map(|u| s.account_view(u).unwrap().flights[0]).collect();
+    assert_eq!(fnos.len(), 1, "all four on one flight");
+}
+
+#[test]
+fn scenario_group_flight_and_hotel_booking() {
+    let s = site();
+    let trio = ["jerry", "kramer", "elaine"];
+    for user in &trio {
+        let others: Vec<&str> = trio.iter().filter(|u| *u != user).copied().collect();
+        s.coordinate_group_flight_and_hotel(user, &others, "Paris", FlightPrefs::default())
+            .unwrap();
+    }
+    let fnos: std::collections::HashSet<i64> =
+        trio.iter().map(|u| s.account_view(u).unwrap().flights[0]).collect();
+    let hids: std::collections::HashSet<i64> =
+        trio.iter().map(|u| s.account_view(u).unwrap().hotels[0]).collect();
+    assert_eq!(fnos.len(), 1);
+    assert_eq!(hids.len(), 1);
+}
+
+#[test]
+fn scenario_adhoc_overlapping_groups() {
+    // "Jerry and Kramer coordinate on flight reservations only, whereas
+    //  Kramer and Elaine coordinate on both flight and hotel."
+    let s = site();
+    let jerry = "SELECT 'jerry', fno INTO ANSWER Reservation \
+         WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris' AND seats >= 3) \
+         AND ('kramer', fno) IN ANSWER Reservation CHOOSE 1";
+    let kramer = "SELECT 'kramer', fno INTO ANSWER Reservation, \
+         'kramer', hid INTO ANSWER HotelReservation \
+         WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris' AND seats >= 3) \
+         AND hid IN (SELECT hid FROM Hotels WHERE city = 'Paris' AND rooms >= 2) \
+         AND ('jerry', fno) IN ANSWER Reservation \
+         AND ('elaine', hid) IN ANSWER HotelReservation CHOOSE 1";
+    let elaine = "SELECT 'elaine', fno INTO ANSWER Reservation, \
+         'elaine', hid INTO ANSWER HotelReservation \
+         WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris' AND seats >= 3) \
+         AND hid IN (SELECT hid FROM Hotels WHERE city = 'Paris' AND rooms >= 2) \
+         AND ('kramer', fno) IN ANSWER Reservation \
+         AND ('kramer', hid) IN ANSWER HotelReservation CHOOSE 1";
+    assert!(!s.coordinate_custom("jerry", jerry).unwrap().is_confirmed());
+    assert!(!s.coordinate_custom("kramer", kramer).unwrap().is_confirmed());
+    assert!(s.coordinate_custom("elaine", elaine).unwrap().is_confirmed());
+
+    let j = s.account_view("jerry").unwrap();
+    let k = s.account_view("kramer").unwrap();
+    let e = s.account_view("elaine").unwrap();
+    assert_eq!(j.flights, k.flights, "jerry-kramer flight coordination");
+    assert_eq!(k.hotels, e.hotels, "kramer-elaine hotel coordination");
+    assert!(j.hotels.is_empty(), "jerry's request said nothing about hotels");
+}
+
+#[test]
+fn inventory_accounting_is_atomic_with_matches() {
+    let s = site();
+    let before: i64 = s
+        .search_flights("Paris", FlightPrefs::default())
+        .unwrap()
+        .iter()
+        .map(|f| f.seats)
+        .sum();
+    s.coordinate_flight("jerry", "kramer", "Paris", FlightPrefs::default()).unwrap();
+    s.coordinate_flight("kramer", "jerry", "Paris", FlightPrefs::default()).unwrap();
+    let after: i64 = s
+        .search_flights("Paris", FlightPrefs::default())
+        .unwrap()
+        .iter()
+        .map(|f| f.seats)
+        .sum();
+    assert_eq!(before - after, 2, "exactly two seats were consumed");
+}
+
+#[test]
+fn preferences_are_enforced_by_coordination() {
+    let s = site();
+    // jerry will only pay 460; kramer anything. Only flight 122 (450)
+    // fits jerry's constraint, so the coordinated choice must be 122.
+    s.coordinate_flight(
+        "jerry",
+        "kramer",
+        "Paris",
+        FlightPrefs { max_price: Some(460.0), day: None },
+    )
+    .unwrap();
+    let out = s
+        .coordinate_flight("kramer", "jerry", "Paris", FlightPrefs::default())
+        .unwrap();
+    assert!(out.is_confirmed());
+    assert_eq!(s.account_view("jerry").unwrap().flights, vec![122]);
+}
+
+#[test]
+fn pending_requests_appear_in_account_view_until_matched_or_cancelled() {
+    let s = site();
+    let BookingOutcome::Waiting(qid) = s
+        .coordinate_flight("jerry", "kramer", "Paris", FlightPrefs::default())
+        .unwrap()
+    else {
+        panic!()
+    };
+    assert_eq!(s.account_view("jerry").unwrap().pending, vec![qid]);
+    s.cancel("jerry", qid).unwrap();
+    assert!(s.account_view("jerry").unwrap().pending.is_empty());
+}

@@ -1,0 +1,179 @@
+//! Soak test: a randomized mixed workload (pair coordinations, group
+//! bookings, direct bookings, cancellations, retries) driven through
+//! the travel middle tier, with global invariants checked at the end:
+//!
+//! * seat inventory never goes negative and exactly accounts for the
+//!   reservations that exist;
+//! * every coordination that confirmed produced reservations for all
+//!   members on one shared flight;
+//! * the coordinator's accounting (submitted = answered + pending +
+//!   cancelled) balances.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use youtopia::travel::{FlightPrefs, TravelService};
+use youtopia::{run_sql, StatementOutcome};
+
+fn seats_by_flight(s: &TravelService) -> std::collections::HashMap<i64, i64> {
+    let StatementOutcome::Rows(rs) = run_sql(s.db(), "SELECT fno, seats FROM Flights").unwrap()
+    else {
+        panic!()
+    };
+    rs.rows
+        .iter()
+        .map(|r| (r.values()[0].as_int().unwrap(), r.values()[1].as_int().unwrap()))
+        .collect()
+}
+
+fn reservation_count(s: &TravelService) -> usize {
+    let read = s.db().read();
+    read.table("Reservation").unwrap().len()
+}
+
+#[test]
+fn randomized_mixed_workload_preserves_invariants() {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let s = TravelService::bootstrap_demo().unwrap();
+    // plenty of inventory so the workload is about coordination, not
+    // sell-outs
+    run_sql(s.db(), "UPDATE Flights SET seats = 500").unwrap();
+
+    // users u0..u19, all mutually befriended
+    let users: Vec<String> = (0..20).map(|i| format!("u{i}")).collect();
+    for u in &users {
+        let others: Vec<&str> =
+            users.iter().filter(|o| *o != u).map(String::as_str).collect();
+        s.social().import_friends(u, &others).unwrap();
+    }
+
+    let seats_before = seats_by_flight(&s);
+    let mut cancelled = 0u64;
+
+    for step in 0..300 {
+        let action = rng.random_range(0..100);
+        let a = users[rng.random_range(0..users.len())].clone();
+        let b = loop {
+            let b = users[rng.random_range(0..users.len())].clone();
+            if b != a {
+                break b;
+            }
+        };
+        match action {
+            // 0-54: pair coordination halves (random order means many
+            // match eventually, some never)
+            0..=54 => {
+                let _ = s.coordinate_flight(&a, &b, "Paris", FlightPrefs::default()).unwrap();
+            }
+            // 55-69: direct bookings
+            55..=69 => {
+                let fno = [122i64, 123, 134, 301][rng.random_range(0..4)];
+                s.book_direct(&a, fno).unwrap();
+            }
+            // 70-84: group attempts (trio)
+            70..=84 => {
+                let c = loop {
+                    let c = users[rng.random_range(0..users.len())].clone();
+                    if c != a && c != b {
+                        break c;
+                    }
+                };
+                let _ = s
+                    .coordinate_group_flight(&a, &[&b, &c], "Paris", FlightPrefs::default())
+                    .unwrap();
+            }
+            // 85-92: cancel one of the submitter's pending requests
+            85..=92 => {
+                let view = s.account_view(&a).unwrap();
+                if let Some(&qid) = view.pending.first() {
+                    s.cancel(&a, qid).unwrap();
+                    cancelled += 1;
+                }
+            }
+            // 93-99: retry sweep (simulates the background retrier)
+            _ => {
+                let _ = s.retry_pending().unwrap();
+            }
+        }
+        // cheap incremental invariant: no flight oversold
+        if step % 50 == 49 {
+            for (_, seats) in seats_by_flight(&s) {
+                assert!(seats >= 0, "flight oversold at step {step}");
+            }
+        }
+    }
+
+    // ---- final invariants ------------------------------------------- //
+    let seats_after = seats_by_flight(&s);
+    let consumed: i64 = seats_before
+        .iter()
+        .map(|(fno, before)| before - seats_after.get(fno).copied().unwrap_or(0))
+        .sum();
+    assert!(consumed >= 0, "inventory can only shrink");
+    assert_eq!(
+        consumed as usize,
+        reservation_count(&s),
+        "every reservation consumed exactly one seat"
+    );
+
+    // coordinator accounting balances
+    let stats = s.coordinator().stats();
+    assert_eq!(
+        stats.submitted,
+        stats.answered + s.coordinator().pending_count() as u64 + cancelled,
+        "submitted = answered + pending + cancelled"
+    );
+
+    // every reservation names a real flight and a registered user
+    let read = s.db().read();
+    let flights: std::collections::HashSet<i64> = read
+        .table("Flights")
+        .unwrap()
+        .scan()
+        .map(|(_, t)| t.values()[0].as_int().unwrap())
+        .collect();
+    for (_, t) in read.table("Reservation").unwrap().scan() {
+        let traveler = t.values()[0].as_str().unwrap();
+        let fno = t.values()[1].as_int().unwrap();
+        assert!(flights.contains(&fno), "reservation on unknown flight {fno}");
+        assert!(
+            users.iter().any(|u| u == traveler),
+            "reservation for unknown user {traveler}"
+        );
+    }
+    drop(read);
+
+    // the system is quiescent: an explicit sweep finds nothing new
+    assert_eq!(s.retry_pending().unwrap(), 0, "no matchable residue");
+}
+
+#[test]
+fn soak_is_deterministic_per_seed() {
+    // Two identical runs (same seed everywhere) end in identical
+    // aggregate state — catching any hidden nondeterminism (iteration
+    // order leaks, time dependence) in the pipeline.
+    fn run(seed: u64) -> (usize, u64, u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = TravelService::bootstrap_demo().unwrap();
+        run_sql(s.db(), "UPDATE Flights SET seats = 500").unwrap();
+        let users: Vec<String> = (0..8).map(|i| format!("u{i}")).collect();
+        for u in &users {
+            let others: Vec<&str> =
+                users.iter().filter(|o| *o != u).map(String::as_str).collect();
+            s.social().import_friends(u, &others).unwrap();
+        }
+        for _ in 0..120 {
+            let a = users[rng.random_range(0..users.len())].clone();
+            let b = loop {
+                let b = users[rng.random_range(0..users.len())].clone();
+                if b != a {
+                    break b;
+                }
+            };
+            let _ = s.coordinate_flight(&a, &b, "Paris", FlightPrefs::default()).unwrap();
+        }
+        let stats = s.coordinator().stats();
+        (reservation_count(&s), stats.answered, stats.groups_matched)
+    }
+    assert_eq!(run(7), run(7));
+}
