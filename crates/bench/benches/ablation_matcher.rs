@@ -18,14 +18,20 @@ fn staged(use_const_index: bool, forward_checking: bool, noise: usize) -> (Coord
     let db = gen.build_database(200, &["Paris"]).unwrap();
     let config = CoordinatorConfig {
         use_const_index,
-        match_config: MatchConfig { forward_checking, ..MatchConfig::default() },
+        match_config: MatchConfig {
+            forward_checking,
+            ..MatchConfig::default()
+        },
         ..CoordinatorConfig::default()
     };
     let coordinator = Coordinator::with_config(db, config);
     preload_noise(&coordinator, &mut gen, noise, "Paris");
     let first = WorkloadGen::pair_request("probeA", "probeB", "Paris");
     coordinator.submit_sql(&first.owner, &first.sql).unwrap();
-    (coordinator, WorkloadGen::pair_request("probeB", "probeA", "Paris"))
+    (
+        coordinator,
+        WorkloadGen::pair_request("probeB", "probeA", "Paris"),
+    )
 }
 
 fn bench_ablation(c: &mut Criterion) {
@@ -38,17 +44,23 @@ fn bench_ablation(c: &mut Criterion) {
         ("index_off_fc_off", false, false),
     ];
     for &(name, idx, fc) in variants {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &(idx, fc), |b, &(idx, fc)| {
-            b.iter_batched(
-                || staged(idx, fc, 200),
-                |(coordinator, closing)| {
-                    let sub = coordinator.submit_sql(&closing.owner, &closing.sql).unwrap();
-                    assert!(matches!(sub, Submission::Answered(_)));
-                    coordinator // dropped outside the measurement
-                },
-                BatchSize::PerIteration,
-            );
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &(idx, fc),
+            |b, &(idx, fc)| {
+                b.iter_batched(
+                    || staged(idx, fc, 200),
+                    |(coordinator, closing)| {
+                        let sub = coordinator
+                            .submit_sql(&closing.owner, &closing.sql)
+                            .unwrap();
+                        assert!(matches!(sub, Submission::Answered(_)));
+                        coordinator // dropped outside the measurement
+                    },
+                    BatchSize::PerIteration,
+                );
+            },
+        );
     }
     group.finish();
 }

@@ -65,8 +65,9 @@ fn bench_choose(c: &mut Criterion) {
                         (coordinator, WorkloadGen::pair_request("b", "a", "Paris"))
                     },
                     |(coordinator, closing)| {
-                        let sub =
-                            coordinator.submit_sql(&closing.owner, &closing.sql).unwrap();
+                        let sub = coordinator
+                            .submit_sql(&closing.owner, &closing.sql)
+                            .unwrap();
                         assert!(matches!(sub, Submission::Answered(_)));
                         coordinator // dropped outside the measurement
                     },

@@ -19,7 +19,10 @@ fn staged_group(size: usize) -> (Coordinator, Request) {
     let closing = requests.pop().expect("non-empty group");
     for r in &requests {
         let sub = coordinator.submit_sql(&r.owner, &r.sql).unwrap();
-        assert!(matches!(sub, Submission::Pending(_)), "group must stay open");
+        assert!(
+            matches!(sub, Submission::Pending(_)),
+            "group must stay open"
+        );
     }
     (coordinator, closing)
 }
@@ -32,7 +35,9 @@ fn bench_group_size(c: &mut Criterion) {
             b.iter_batched(
                 || staged_group(size),
                 |(coordinator, closing)| {
-                    let sub = coordinator.submit_sql(&closing.owner, &closing.sql).unwrap();
+                    let sub = coordinator
+                        .submit_sql(&closing.owner, &closing.sql)
+                        .unwrap();
                     assert!(
                         matches!(sub, Submission::Answered(_)),
                         "last member closes the group"

@@ -9,8 +9,10 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 
-use youtopia_bench::{preload_noise, Stack};
-use youtopia_core::{Coordinator, CoordinatorConfig, MatcherKind, Submission};
+use youtopia_bench::{build_sharded_stack, preload_noise, preload_noise_sharded, Stack};
+use youtopia_core::{
+    Coordinator, CoordinatorConfig, MatcherKind, ShardedConfig, ShardedCoordinator, Submission,
+};
 use youtopia_travel::WorkloadGen;
 
 /// Builds a coordinator with `noise` standing pending queries and the
@@ -41,26 +43,73 @@ fn loaded_stack(matcher: MatcherKind, noise: usize) -> (Coordinator, youtopia_tr
     (coordinator, closing)
 }
 
+/// The sharded variant of [`loaded_stack`]: `noise` standing queries
+/// spread over four relation families (one per shard), with the probe
+/// pair's first half already pending on `Reservation0`.
+fn loaded_sharded_stack(noise: usize) -> (ShardedCoordinator, youtopia_travel::Request) {
+    let stack = build_sharded_stack(
+        7,
+        200,
+        &["Paris", "Rome"],
+        ShardedConfig {
+            shards: 4,
+            base: CoordinatorConfig {
+                match_config: youtopia_core::MatchConfig {
+                    max_group_size: 3,
+                    ..youtopia_core::MatchConfig::default()
+                },
+                ..CoordinatorConfig::default()
+            },
+            ..Default::default()
+        },
+    );
+    let mut gen = WorkloadGen::new(7);
+    preload_noise_sharded(&stack.coordinator, &mut gen, noise, "Paris", 4);
+    let first = WorkloadGen::pair_request_on("Reservation0", "probeA", "probeB", "Paris");
+    let closing = WorkloadGen::pair_request_on("Reservation0", "probeB", "probeA", "Paris");
+    let sub = stack
+        .coordinator
+        .submit_sql(&first.owner, &first.sql)
+        .unwrap();
+    assert!(matches!(sub, Submission::Pending(_)));
+    (stack.coordinator, closing)
+}
+
 fn bench_loaded_system(c: &mut Criterion) {
     let mut group = c.benchmark_group("loaded_system_pair_latency");
     group.sample_size(10);
 
     for &noise in &[0usize, 10, 100, 500, 1000] {
-        group.bench_with_input(
-            BenchmarkId::new("indexed", noise),
-            &noise,
-            |b, &noise| {
-                b.iter_batched(
-                    || loaded_stack(MatcherKind::Incremental, noise),
-                    |(coordinator, closing)| {
-                        let sub = coordinator.submit_sql(&closing.owner, &closing.sql).unwrap();
-                        assert!(matches!(sub, Submission::Answered(_)));
-                        coordinator // dropped outside the measurement
-                    },
-                    BatchSize::PerIteration,
-                );
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("indexed", noise), &noise, |b, &noise| {
+            b.iter_batched(
+                || loaded_stack(MatcherKind::Incremental, noise),
+                |(coordinator, closing)| {
+                    let sub = coordinator
+                        .submit_sql(&closing.owner, &closing.sql)
+                        .unwrap();
+                    assert!(matches!(sub, Submission::Answered(_)));
+                    coordinator // dropped outside the measurement
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    // the sharded coordinator under the same standing load: the closing
+    // arrival's match and cascade scan only its own shard (~noise/4)
+    for &noise in &[0usize, 10, 100, 500, 1000] {
+        group.bench_with_input(BenchmarkId::new("sharded4", noise), &noise, |b, &noise| {
+            b.iter_batched(
+                || loaded_sharded_stack(noise),
+                |(coordinator, closing)| {
+                    let sub = coordinator
+                        .submit_sql(&closing.owner, &closing.sql)
+                        .unwrap();
+                    assert!(matches!(sub, Submission::Answered(_)));
+                    coordinator // dropped outside the measurement
+                },
+                BatchSize::PerIteration,
+            );
+        });
     }
     // the naive baseline blows up combinatorially; bound its load so the
     // suite finishes — the asymmetry is the result
@@ -69,7 +118,9 @@ fn bench_loaded_system(c: &mut Criterion) {
             b.iter_batched(
                 || loaded_stack(MatcherKind::Naive, noise),
                 |(coordinator, closing)| {
-                    let sub = coordinator.submit_sql(&closing.owner, &closing.sql).unwrap();
+                    let sub = coordinator
+                        .submit_sql(&closing.owner, &closing.sql)
+                        .unwrap();
                     assert!(matches!(sub, Submission::Answered(_)));
                     coordinator // dropped outside the measurement
                 },
@@ -84,23 +135,18 @@ fn bench_loaded_system(c: &mut Criterion) {
     let mut nomatch = c.benchmark_group("loaded_system_nomatch_arrival");
     nomatch.sample_size(10);
     for &noise in &[10usize, 100, 500] {
-        nomatch.bench_with_input(
-            BenchmarkId::new("indexed", noise),
-            &noise,
-            |b, &noise| {
-                b.iter_batched(
-                    || loaded_stack(MatcherKind::Incremental, noise).0,
-                    |coordinator| {
-                        let lonely = WorkloadGen::pair_request("lonely", "nobody", "Paris");
-                        let sub =
-                            coordinator.submit_sql(&lonely.owner, &lonely.sql).unwrap();
-                        assert!(matches!(sub, Submission::Pending(_)));
-                        coordinator // dropped outside the measurement
-                    },
-                    BatchSize::PerIteration,
-                );
-            },
-        );
+        nomatch.bench_with_input(BenchmarkId::new("indexed", noise), &noise, |b, &noise| {
+            b.iter_batched(
+                || loaded_stack(MatcherKind::Incremental, noise).0,
+                |coordinator| {
+                    let lonely = WorkloadGen::pair_request("lonely", "nobody", "Paris");
+                    let sub = coordinator.submit_sql(&lonely.owner, &lonely.sql).unwrap();
+                    assert!(matches!(sub, Submission::Pending(_)));
+                    coordinator // dropped outside the measurement
+                },
+                BatchSize::PerIteration,
+            );
+        });
     }
     for &noise in &[10usize, 100] {
         nomatch.bench_with_input(BenchmarkId::new("naive", noise), &noise, |b, &noise| {

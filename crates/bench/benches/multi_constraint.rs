@@ -30,8 +30,9 @@ fn bench_multi_constraint(c: &mut Criterion) {
                 b.iter_batched(
                     || staged(extra),
                     |(coordinator, closing)| {
-                        let sub =
-                            coordinator.submit_sql(&closing.owner, &closing.sql).unwrap();
+                        let sub = coordinator
+                            .submit_sql(&closing.owner, &closing.sql)
+                            .unwrap();
                         assert!(matches!(sub, Submission::Answered(_)));
                         coordinator // dropped outside the measurement
                     },
@@ -56,7 +57,9 @@ fn bench_multi_constraint(c: &mut Criterion) {
                 (coordinator, WorkloadGen::pair_request("b", "a", "Paris"))
             },
             |(coordinator, closing)| {
-                let sub = coordinator.submit_sql(&closing.owner, &closing.sql).unwrap();
+                let sub = coordinator
+                    .submit_sql(&closing.owner, &closing.sql)
+                    .unwrap();
                 assert!(matches!(sub, Submission::Answered(_)));
                 coordinator // dropped outside the measurement
             },
@@ -71,10 +74,15 @@ fn bench_multi_constraint(c: &mut Criterion) {
                 let coordinator = Coordinator::with_config(db, CoordinatorConfig::default());
                 let first = WorkloadGen::pair_flight_hotel("a", "b", "Paris");
                 coordinator.submit_sql(&first.owner, &first.sql).unwrap();
-                (coordinator, WorkloadGen::pair_flight_hotel("b", "a", "Paris"))
+                (
+                    coordinator,
+                    WorkloadGen::pair_flight_hotel("b", "a", "Paris"),
+                )
             },
             |(coordinator, closing)| {
-                let sub = coordinator.submit_sql(&closing.owner, &closing.sql).unwrap();
+                let sub = coordinator
+                    .submit_sql(&closing.owner, &closing.sql)
+                    .unwrap();
                 assert!(matches!(sub, Submission::Answered(_)));
                 coordinator // dropped outside the measurement
             },

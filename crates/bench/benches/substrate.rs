@@ -30,7 +30,11 @@ fn populated(n: usize) -> Database {
                 "Flights",
                 Tuple::new(vec![
                     Value::Int(i as i64),
-                    Value::Str(if i % 3 == 0 { "Paris".into() } else { "Rome".into() }),
+                    Value::Str(if i % 3 == 0 {
+                        "Paris".into()
+                    } else {
+                        "Rome".into()
+                    }),
                     Value::Float(100.0 + i as f64),
                 ]),
             )?;

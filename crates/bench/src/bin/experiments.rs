@@ -11,9 +11,7 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use youtopia_bench::preload_noise;
-use youtopia_core::{
-    Coordinator, CoordinatorConfig, MatchConfig, MatcherKind, Submission,
-};
+use youtopia_core::{Coordinator, CoordinatorConfig, MatchConfig, MatcherKind, Submission};
 use youtopia_exec::run_sql;
 use youtopia_storage::Database;
 use youtopia_travel::{FlightPrefs, TravelService, WorkloadGen};
@@ -35,7 +33,11 @@ fn main() {
 
 fn fig1_db() -> Database {
     let db = Database::new();
-    run_sql(&db, "CREATE TABLE Flights (fno INT PRIMARY KEY, dest STRING)").unwrap();
+    run_sql(
+        &db,
+        "CREATE TABLE Flights (fno INT PRIMARY KEY, dest STRING)",
+    )
+    .unwrap();
     run_sql(
         &db,
         "INSERT INTO Flights VALUES (122,'Paris'),(123,'Paris'),(134,'Paris'),(136,'Rome')",
@@ -74,9 +76,13 @@ fn e1_fig1_worked_example() {
     for seed in 0..runs {
         let co = Coordinator::with_config(
             fig1_db(),
-            CoordinatorConfig { seed, ..Default::default() },
+            CoordinatorConfig {
+                seed,
+                ..Default::default()
+            },
         );
-        co.submit_sql("kramer", &pair_sql("Kramer", "Jerry")).unwrap();
+        co.submit_sql("kramer", &pair_sql("Kramer", "Jerry"))
+            .unwrap();
         let jerry = co
             .submit_sql("jerry", &pair_sql("Jerry", "Kramer"))
             .unwrap()
@@ -102,7 +108,8 @@ fn e2_pair_scenario() {
         || {
             let s = TravelService::bootstrap_demo().unwrap();
             s.social().import_friends("jerry", &["kramer"]).unwrap();
-            s.coordinate_flight("jerry", "kramer", "Paris", FlightPrefs::default()).unwrap();
+            s.coordinate_flight("jerry", "kramer", "Paris", FlightPrefs::default())
+                .unwrap();
             s
         },
         |s| {
@@ -127,7 +134,10 @@ fn e3_constraint_complexity() {
                 let co = Coordinator::with_config(db, CoordinatorConfig::default());
                 let first = WorkloadGen::pair_with_constraint_count("a", "b", "Paris", extra);
                 co.submit_sql(&first.owner, &first.sql).unwrap();
-                (co, WorkloadGen::pair_with_constraint_count("b", "a", "Paris", extra))
+                (
+                    co,
+                    WorkloadGen::pair_with_constraint_count("b", "a", "Paris", extra),
+                )
             },
             |(co, closing)| {
                 let sub = co.submit_sql(&closing.owner, &closing.sql).unwrap();
@@ -141,7 +151,10 @@ fn e3_constraint_complexity() {
 
 fn e4_simultaneous_pairs() {
     println!("== E4: multiple simultaneous bookings (throughput) ==");
-    println!("  {:>6} | {:>12} | {:>14}", "pairs", "total ms", "submissions/s");
+    println!(
+        "  {:>6} | {:>12} | {:>14}",
+        "pairs", "total ms", "submissions/s"
+    );
     for pairs in [10usize, 50, 100, 200] {
         let ms = mean_ms(
             5,
@@ -195,7 +208,9 @@ fn e5_group_size() {
 fn e6_adhoc() {
     println!("== E6: ad-hoc asymmetric coordination (correctness) ==");
     let s = TravelService::bootstrap_demo().unwrap();
-    s.social().import_friends("jerry", &["kramer", "elaine"]).unwrap();
+    s.social()
+        .import_friends("jerry", &["kramer", "elaine"])
+        .unwrap();
     s.social().import_friends("kramer", &["elaine"]).unwrap();
     let jerry = "SELECT 'jerry', fno INTO ANSWER Reservation \
          WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris' AND seats >= 3) \
@@ -214,7 +229,10 @@ fn e6_adhoc() {
          AND ('kramer', hid) IN ANSWER HotelReservation CHOOSE 1";
     s.coordinate_custom("jerry", jerry).unwrap();
     s.coordinate_custom("kramer", kramer).unwrap();
-    assert!(s.coordinate_custom("elaine", elaine).unwrap().is_confirmed());
+    assert!(s
+        .coordinate_custom("elaine", elaine)
+        .unwrap()
+        .is_confirmed());
     let j = s.account_view("jerry").unwrap();
     let k = s.account_view("kramer").unwrap();
     let e = s.account_view("elaine").unwrap();
@@ -277,14 +295,15 @@ fn e7_loaded_system() {
                 nomatch_total += t.elapsed().as_secs_f64();
                 assert!(matches!(sub, Submission::Pending(_)));
             }
-            (close_total * 1e3 / trials as f64, nomatch_total * 1e3 / trials as f64)
+            (
+                close_total * 1e3 / trials as f64,
+                nomatch_total * 1e3 / trials as f64,
+            )
         };
         let (im, inm) = run(MatcherKind::Incremental);
         if noise <= 500 {
             let (nm, nnm) = run(MatcherKind::Naive);
-            println!(
-                "  {noise:>8} | {im:>11.3} {inm:>11.3} | {nm:>11.3} {nnm:>11.3}"
-            );
+            println!("  {noise:>8} | {im:>11.3} {inm:>11.3} | {nm:>11.3} {nnm:>11.3}");
         } else {
             println!(
                 "  {noise:>8} | {im:>11.3} {inm:>11.3} | {:>11} {:>11}",
@@ -314,7 +333,10 @@ fn e8_admin_surface() {
 }
 
 fn indent(s: &str) -> String {
-    s.lines().map(|l| format!("  {l}")).collect::<Vec<_>>().join("\n")
+    s.lines()
+        .map(|l| format!("  {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 fn e9_choose_distribution() {
@@ -323,18 +345,40 @@ fn e9_choose_distribution() {
     let runs = 400;
     for seed in 0..runs {
         let db = Database::new();
-        run_sql(&db, "CREATE TABLE Flights (fno INT PRIMARY KEY, dest STRING)").unwrap();
+        run_sql(
+            &db,
+            "CREATE TABLE Flights (fno INT PRIMARY KEY, dest STRING)",
+        )
+        .unwrap();
         let rows: Vec<String> = (0..8).map(|i| format!("({i}, 'Paris')")).collect();
-        run_sql(&db, &format!("INSERT INTO Flights VALUES {}", rows.join(","))).unwrap();
-        let co = Coordinator::with_config(db, CoordinatorConfig { seed, ..Default::default() });
+        run_sql(
+            &db,
+            &format!("INSERT INTO Flights VALUES {}", rows.join(",")),
+        )
+        .unwrap();
+        let co = Coordinator::with_config(
+            db,
+            CoordinatorConfig {
+                seed,
+                ..Default::default()
+            },
+        );
         co.submit_sql("a", &pair_sql("A", "B")).unwrap();
-        let n = co.submit_sql("b", &pair_sql("B", "A")).unwrap().answered().unwrap();
-        *histogram.entry(n.answers[0].1.values()[1].as_int().unwrap()).or_default() += 1;
+        let n = co
+            .submit_sql("b", &pair_sql("B", "A"))
+            .unwrap()
+            .answered()
+            .unwrap();
+        *histogram
+            .entry(n.answers[0].1.values()[1].as_int().unwrap())
+            .or_default() += 1;
     }
     let mut entries: Vec<_> = histogram.iter().collect();
     entries.sort();
-    let shown: Vec<String> =
-        entries.iter().map(|(fno, count)| format!("{fno}:{count}")).collect();
+    let shown: Vec<String> = entries
+        .iter()
+        .map(|(fno, count)| format!("{fno}:{count}"))
+        .collect();
     println!("  {runs} runs -> {}", shown.join(" "));
     println!(
         "  distinct flights chosen: {} of 8 (non-degenerate nondeterminism)\n",
@@ -344,7 +388,10 @@ fn e9_choose_distribution() {
 
 fn e10_ablation() {
     println!("== E10: matcher ablation (pair close on 200 standing pending) ==");
-    println!("  {:>22} | {:>10} | {:>12}", "variant", "ms/close", "candidates");
+    println!(
+        "  {:>22} | {:>10} | {:>12}",
+        "variant", "ms/close", "candidates"
+    );
     let variants: &[(&str, bool, bool)] = &[
         ("index ON,  fc ON", true, true),
         ("index OFF, fc ON", false, true),
@@ -360,7 +407,10 @@ fn e10_ablation() {
                 let db = gen.build_database(200, &["Paris"]).unwrap();
                 let config = CoordinatorConfig {
                     use_const_index: use_idx,
-                    match_config: MatchConfig { forward_checking: fc, ..Default::default() },
+                    match_config: MatchConfig {
+                        forward_checking: fc,
+                        ..Default::default()
+                    },
                     ..Default::default()
                 };
                 let co = Coordinator::with_config(db, config);
@@ -388,7 +438,10 @@ fn e10_ablation() {
     // Forward checking pays off where grounding has many interacting
     // memberships: group-of-8 close latency.
     println!("\n  forward checking on group-of-8 grounding:");
-    println!("  {:>22} | {:>10} | {:>14}", "variant", "ms/close", "rows_scanned");
+    println!(
+        "  {:>22} | {:>10} | {:>14}",
+        "variant", "ms/close", "rows_scanned"
+    );
     for (name, fc) in [("fc ON", true), ("fc OFF", false)] {
         let mut rows = 0u64;
         let ms = mean_ms(
@@ -397,7 +450,10 @@ fn e10_ablation() {
                 let mut gen = WorkloadGen::new(13);
                 let db = gen.build_database(100, &["Paris"]).unwrap();
                 let config = CoordinatorConfig {
-                    match_config: MatchConfig { forward_checking: fc, ..Default::default() },
+                    match_config: MatchConfig {
+                        forward_checking: fc,
+                        ..Default::default()
+                    },
                     ..Default::default()
                 };
                 let co = Coordinator::with_config(db, config);

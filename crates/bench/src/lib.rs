@@ -7,9 +7,11 @@
 
 #![warn(missing_docs)]
 
-use youtopia_core::{Coordinator, CoordinatorConfig, Submission};
+use youtopia_core::{
+    Coordinator, CoordinatorConfig, ShardedConfig, ShardedCoordinator, Submission,
+};
 use youtopia_storage::Database;
-use youtopia_travel::{Request, WorkloadGen};
+use youtopia_travel::{drive_batched, Request, WorkloadGen};
 
 /// A prepared coordination stack: database + coordinator.
 pub struct Stack {
@@ -21,9 +23,16 @@ pub struct Stack {
 
 /// Builds a stack whose database has `n_flights` flights to the given
 /// cities, with the supplied coordinator configuration.
-pub fn build_stack(seed: u64, n_flights: usize, cities: &[&str], config: CoordinatorConfig) -> Stack {
+pub fn build_stack(
+    seed: u64,
+    n_flights: usize,
+    cities: &[&str],
+    config: CoordinatorConfig,
+) -> Stack {
     let mut gen = WorkloadGen::new(seed);
-    let db = gen.build_database(n_flights, cities).expect("workload database builds");
+    let db = gen
+        .build_database(n_flights, cities)
+        .expect("workload database builds");
     let coordinator = Coordinator::with_config(db.clone(), config);
     Stack { db, coordinator }
 }
@@ -34,7 +43,10 @@ pub fn submit_all(coordinator: &Coordinator, requests: &[Request]) -> (usize, us
     let mut answered = 0;
     let mut pending = 0;
     for r in requests {
-        match coordinator.submit_sql(&r.owner, &r.sql).expect("generated queries are safe") {
+        match coordinator
+            .submit_sql(&r.owner, &r.sql)
+            .expect("generated queries are safe")
+        {
             Submission::Answered(_) => answered += 1,
             Submission::Pending(_) => pending += 1,
         }
@@ -49,6 +61,46 @@ pub fn preload_noise(coordinator: &Coordinator, gen: &mut WorkloadGen, noise: us
     let (answered, pending) = submit_all(coordinator, &requests);
     assert_eq!(answered, 0, "noise must not match");
     assert_eq!(pending, noise);
+}
+
+/// A prepared sharded coordination stack: database + sharded
+/// coordinator.
+pub struct ShardedStack {
+    /// The database with the travel schema and generated flights.
+    pub db: Database,
+    /// The sharded coordinator under test.
+    pub coordinator: ShardedCoordinator,
+}
+
+/// Builds a sharded stack over a freshly generated travel database.
+pub fn build_sharded_stack(
+    seed: u64,
+    n_flights: usize,
+    cities: &[&str],
+    config: ShardedConfig,
+) -> ShardedStack {
+    let mut gen = WorkloadGen::new(seed);
+    let db = gen
+        .build_database(n_flights, cities)
+        .expect("workload database builds");
+    let coordinator = ShardedCoordinator::with_config(db.clone(), config);
+    ShardedStack { db, coordinator }
+}
+
+/// Pre-loads `noise` unmatchable pending queries spread over
+/// `relations` answer relations (the standing load of the sharded
+/// loaded-system experiment).
+pub fn preload_noise_sharded(
+    coordinator: &ShardedCoordinator,
+    gen: &mut WorkloadGen,
+    noise: usize,
+    dest: &str,
+    relations: usize,
+) {
+    let requests = gen.noise_multi(noise, dest, relations);
+    let report = drive_batched(coordinator, &requests, 256);
+    assert_eq!(report.answered, 0, "noise must not match");
+    assert_eq!(report.pending, noise);
 }
 
 #[cfg(test)]

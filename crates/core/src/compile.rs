@@ -31,7 +31,9 @@ pub fn compile_sql(sql: &str) -> CoreResult<EntangledQuery> {
 /// admin interface.
 pub fn compile(ent: &EntangledSelect, sql: &str) -> CoreResult<EntangledQuery> {
     if ent.heads.is_empty() {
-        return Err(CoreError::Compile("entangled query has no INTO ANSWER head".into()));
+        return Err(CoreError::Compile(
+            "entangled query has no INTO ANSWER head".into(),
+        ));
     }
     if ent.choose != 1 {
         return Err(CoreError::Compile(format!(
@@ -44,7 +46,9 @@ pub fn compile(ent: &EntangledSelect, sql: &str) -> CoreResult<EntangledQuery> {
     let mut heads = Vec::new();
     for head in &ent.heads {
         if head.exprs.is_empty() {
-            return Err(CoreError::Compile("entangled head has an empty tuple".into()));
+            return Err(CoreError::Compile(
+                "entangled head has an empty tuple".into(),
+            ));
         }
         let terms = terms_from_exprs(&head.exprs, "head")?;
         for relation in &head.relations {
@@ -59,14 +63,22 @@ pub fn compile(ent: &EntangledSelect, sql: &str) -> CoreResult<EntangledQuery> {
     if let Some(where_clause) = &ent.where_clause {
         for conjunct in where_clause.conjuncts() {
             match conjunct {
-                Expr::InAnswer { exprs, relation, negated } => {
+                Expr::InAnswer {
+                    exprs,
+                    relation,
+                    negated,
+                } => {
                     let terms = terms_from_exprs(exprs, "answer constraint")?;
                     constraints.push(AnswerConstraint {
                         atom: Atom::new(relation.clone(), terms),
                         negated: *negated,
                     });
                 }
-                Expr::InSubquery { exprs, query, negated } => {
+                Expr::InSubquery {
+                    exprs,
+                    query,
+                    negated,
+                } => {
                     let terms = terms_from_exprs(exprs, "membership predicate")?;
                     memberships.push(Membership {
                         terms,
@@ -77,7 +89,10 @@ pub fn compile(ent: &EntangledSelect, sql: &str) -> CoreResult<EntangledQuery> {
                 other => {
                     check_no_nested_coordination(other)?;
                     let vars = collect_vars(other)?;
-                    filters.push(Filter { expr: other.clone(), vars });
+                    filters.push(Filter {
+                        expr: other.clone(),
+                        vars,
+                    });
                 }
             }
         }
@@ -101,7 +116,10 @@ fn terms_from_exprs(exprs: &[Expr], position: &str) -> CoreResult<Vec<Term>> {
         .map(|e| match e {
             Expr::Literal(v) => Ok(Term::Const(v.clone())),
             Expr::Column { table: None, name } => Ok(Term::Var(Var::new(name.clone()))),
-            Expr::Column { table: Some(t), name } => Err(CoreError::Compile(format!(
+            Expr::Column {
+                table: Some(t),
+                name,
+            } => Err(CoreError::Compile(format!(
                 "qualified reference '{t}.{name}' in an entangled {position}: entangled \
                  queries have no FROM clause, use bare variables"
             ))),
@@ -138,12 +156,12 @@ fn find_nested(expr: &Expr) -> Option<&'static str> {
         Expr::InList { expr, list, .. } => {
             find_nested(expr).or_else(|| list.iter().find_map(find_nested))
         }
-        Expr::Between { expr, low, high, .. } => find_nested(expr)
+        Expr::Between {
+            expr, low, high, ..
+        } => find_nested(expr)
             .or_else(|| find_nested(low))
             .or_else(|| find_nested(high)),
-        Expr::Like { expr, pattern, .. } => {
-            find_nested(expr).or_else(|| find_nested(pattern))
-        }
+        Expr::Like { expr, pattern, .. } => find_nested(expr).or_else(|| find_nested(pattern)),
         Expr::Function { args, .. } => args.iter().find_map(find_nested),
         Expr::Tuple(list) => list.iter().find_map(find_nested),
         Expr::Literal(_) | Expr::Column { .. } => None,
@@ -167,7 +185,10 @@ fn collect_vars_into(expr: &Expr, out: &mut Vec<Var>) -> CoreResult<()> {
             }
             Ok(())
         }
-        Expr::Column { table: Some(t), name } => Err(CoreError::Compile(format!(
+        Expr::Column {
+            table: Some(t),
+            name,
+        } => Err(CoreError::Compile(format!(
             "qualified reference '{t}.{name}' in an entangled filter"
         ))),
         Expr::Literal(_) => Ok(()),
@@ -190,7 +211,9 @@ fn collect_vars_into(expr: &Expr, out: &mut Vec<Var>) -> CoreResult<()> {
             }
             Ok(())
         }
-        Expr::Between { expr, low, high, .. } => {
+        Expr::Between {
+            expr, low, high, ..
+        } => {
             collect_vars_into(expr, out)?;
             collect_vars_into(low, out)?;
             collect_vars_into(high, out)
@@ -229,7 +252,10 @@ mod tests {
         assert_eq!(q.constraints.len(), 1);
         assert_eq!(
             q.constraints[0].atom,
-            Atom::new("Reservation", vec![Term::constant("Jerry"), Term::var("fno")])
+            Atom::new(
+                "Reservation",
+                vec![Term::constant("Jerry"), Term::var("fno")]
+            )
         );
         assert!(q.filters.is_empty());
         assert_eq!(q.choose, 1);
@@ -253,9 +279,11 @@ mod tests {
 
     #[test]
     fn same_tuple_into_two_relations() {
-        let q = compile_sql("SELECT 'K', x INTO ANSWER R1, ANSWER R2 \
-                             WHERE x IN (SELECT a FROM t) CHOOSE 1")
-            .unwrap();
+        let q = compile_sql(
+            "SELECT 'K', x INTO ANSWER R1, ANSWER R2 \
+                             WHERE x IN (SELECT a FROM t) CHOOSE 1",
+        )
+        .unwrap();
         assert_eq!(q.heads.len(), 2);
         assert_eq!(q.heads[0].relation, "R1");
         assert_eq!(q.heads[1].relation, "R2");
@@ -299,8 +327,14 @@ mod tests {
 
     #[test]
     fn non_entangled_rejected() {
-        assert!(matches!(compile_sql("SELECT 1"), Err(CoreError::NotEntangled)));
-        assert!(matches!(compile_sql("INSERT INTO t VALUES (1)"), Err(CoreError::NotEntangled)));
+        assert!(matches!(
+            compile_sql("SELECT 1"),
+            Err(CoreError::NotEntangled)
+        ));
+        assert!(matches!(
+            compile_sql("INSERT INTO t VALUES (1)"),
+            Err(CoreError::NotEntangled)
+        ));
         assert!(matches!(compile_sql("SELEC"), Err(CoreError::Parse(_))));
     }
 
@@ -308,10 +342,7 @@ mod tests {
     fn qualified_refs_rejected() {
         let err = compile_sql("SELECT 'K', t.x INTO ANSWER R CHOOSE 1").unwrap_err();
         assert!(matches!(err, CoreError::Compile(msg) if msg.contains("t.x")));
-        let err = compile_sql(
-            "SELECT 'K', x INTO ANSWER R WHERE t.y = 1 CHOOSE 1",
-        )
-        .unwrap_err();
+        let err = compile_sql("SELECT 'K', x INTO ANSWER R WHERE t.y = 1 CHOOSE 1").unwrap_err();
         assert!(matches!(err, CoreError::Compile(_)));
     }
 
@@ -341,10 +372,8 @@ mod tests {
 
     #[test]
     fn filter_with_multiple_vars() {
-        let q = compile_sql(
-            "SELECT 'K', x, y INTO ANSWER R WHERE x <> y AND x < y + 2 CHOOSE 1",
-        )
-        .unwrap();
+        let q = compile_sql("SELECT 'K', x, y INTO ANSWER R WHERE x <> y AND x < y + 2 CHOOSE 1")
+            .unwrap();
         assert_eq!(q.filters.len(), 2);
         assert_eq!(q.filters[0].vars, vec![Var::new("x"), Var::new("y")]);
     }

@@ -15,24 +15,22 @@
 //! [`youtopia_storage::ReadTransaction`] on the same database** — the
 //! apply phase needs the write lock and would deadlock with your read
 //! guard.
+//!
+//! For throughput beyond what one mutex allows, see
+//! [`crate::shard::ShardedCoordinator`], which partitions this state by
+//! answer-relation signature and reuses the same engine per shard.
 
-use std::collections::HashMap;
-use std::time::Instant;
-
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::Receiver;
 use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-use youtopia_storage::{
-    Column, DataType, Database, Schema, StorageResult, Transaction, Tuple,
-};
+use youtopia_storage::{Database, StorageResult, Transaction, Tuple};
 
 use crate::compile::compile_sql;
+use crate::engine::{match_graph_of, Engine, ShardState};
 use crate::error::{CoreError, CoreResult};
 use crate::ir::{EntangledQuery, QueryId};
-use crate::matcher::{baseline, search, GroupMatch, MatchConfig, MatchStats};
-use crate::registry::{Pending, Registry};
+use crate::matcher::{GroupMatch, MatchConfig, MatchStats};
+use crate::registry::Pending;
 use crate::safety::{check_safety, SafetyMode};
 
 /// Which matching algorithm the coordinator runs.
@@ -90,6 +88,19 @@ pub struct SystemStats {
     pub matching_nanos: u128,
     /// Aggregated matcher work counters.
     pub match_work: MatchStats,
+}
+
+impl SystemStats {
+    /// Accumulates `other` into `self` (used to merge per-shard stats).
+    pub fn merge(&mut self, other: &SystemStats) {
+        self.submitted += other.submitted;
+        self.rejected_unsafe += other.rejected_unsafe;
+        self.answered += other.answered;
+        self.groups_matched += other.groups_matched;
+        self.match_attempts += other.match_attempts;
+        self.matching_nanos += other.matching_nanos;
+        self.match_work.merge(&other.match_work);
+    }
 }
 
 /// What a submitter gets back when its group matches: its own answers.
@@ -189,42 +200,29 @@ pub type ApplyHook =
     Box<dyn Fn(&mut Transaction, &GroupMatch) -> StorageResult<()> + Send + 'static>;
 
 struct State {
-    registry: Registry,
+    shard: ShardState,
     next_id: u64,
     seq: u64,
-    rng: StdRng,
-    stats: SystemStats,
-    waiters: HashMap<QueryId, Sender<MatchNotification>>,
     apply_hook: Option<ApplyHook>,
 }
 
 /// The coordination component (paper, Figure 2).
 pub struct Coordinator {
-    db: Database,
-    config: CoordinatorConfig,
+    engine: Engine,
     state: Mutex<State>,
 }
 
 impl Coordinator {
     /// Creates a coordinator over `db` with custom options.
     pub fn with_config(db: Database, config: CoordinatorConfig) -> Coordinator {
-        let registry = if config.use_const_index {
-            Registry::new()
-        } else {
-            Registry::without_const_index()
-        };
         Coordinator {
-            db,
-            config,
             state: Mutex::new(State {
-                registry,
+                shard: ShardState::new(config.use_const_index, config.seed),
                 next_id: 1,
                 seq: 0,
-                rng: StdRng::seed_from_u64(config.seed),
-                stats: SystemStats::default(),
-                waiters: HashMap::new(),
                 apply_hook: None,
             }),
+            engine: Engine { db, config },
         }
     }
 
@@ -235,12 +233,12 @@ impl Coordinator {
 
     /// The underlying database handle.
     pub fn db(&self) -> &Database {
-        &self.db
+        &self.engine.db
     }
 
     /// The active configuration.
     pub fn config(&self) -> &CoordinatorConfig {
-        &self.config
+        &self.engine.config
     }
 
     /// Registers the application side-effect hook, run inside the same
@@ -257,191 +255,28 @@ impl Coordinator {
 
     /// Submits a compiled entangled query.
     pub fn submit(&self, owner: &str, query: EntangledQuery) -> CoreResult<Submission> {
-        let mut state = self.state.lock();
-        if let Err(e) = check_safety(&query, self.config.safety) {
-            state.stats.rejected_unsafe += 1;
+        let state = &mut *self.state.lock();
+        if let Err(e) = check_safety(&query, self.engine.config.safety) {
+            state.shard.stats.rejected_unsafe += 1;
             return Err(e);
         }
         let qid = QueryId(state.next_id);
         state.next_id += 1;
         state.seq += 1;
-        let seq = state.seq;
-        state.registry.insert(Pending {
+        let pending = Pending {
             id: qid,
             owner: owner.to_string(),
             query: query.namespaced(qid),
-            seq,
-        });
-        state.stats.submitted += 1;
-
-        match self.try_match(&mut state, qid)? {
-            Some(m) => {
-                let fresh: Vec<(String, Tuple)> = m.all_answers().cloned().collect();
-                let mut my_notification = None;
-                for n in self.apply_and_notify(&mut state, m)? {
-                    if n.id == qid {
-                        my_notification = Some(n);
-                    }
-                }
-                let n = my_notification.ok_or_else(|| {
-                    CoreError::Internal("trigger missing from its own match".into())
-                })?;
-                // Newly committed answers may satisfy pending queries'
-                // postconditions ("the system-wide answer relation"):
-                // cascade until quiescent.
-                self.cascade(&mut state, fresh)?;
-                Ok(Submission::Answered(n))
-            }
-            None => {
-                let (tx, rx) = unbounded();
-                state.waiters.insert(qid, tx);
-                Ok(Submission::Pending(Ticket { id: qid, receiver: rx }))
-            }
-        }
-    }
-
-    /// Re-runs matching for pending queries whose positive constraints
-    /// could unify with freshly committed answer tuples, repeating until
-    /// no further matches fire. Cheap pre-filter: a constraint is only
-    /// retried when template unification against a fresh tuple succeeds.
-    /// Apply failures (e.g. inventory races) leave the group pending and
-    /// do not abort the cascade.
-    fn cascade(&self, state: &mut State, mut fresh: Vec<(String, Tuple)>) -> CoreResult<()> {
-        if !self.config.match_config.use_committed_answers {
-            return Ok(());
-        }
-        while !fresh.is_empty() {
-            let triggers: Vec<QueryId> = state
-                .registry
-                .iter()
-                .filter(|p| {
-                    p.query.constraints.iter().filter(|c| !c.negated).any(|c| {
-                        fresh.iter().any(|(rel, tuple)| {
-                            c.atom.relation.eq_ignore_ascii_case(rel)
-                                && c.atom.arity() == tuple.arity()
-                                && {
-                                    let mut s = crate::unify::Subst::new();
-                                    c.atom.terms.iter().zip(tuple.values()).all(|(t, v)| {
-                                        s.unify_terms(
-                                            t,
-                                            &crate::ir::Term::Const(v.clone()),
-                                        )
-                                    })
-                                }
-                        })
-                    })
-                })
-                .map(|p| p.id)
-                .collect();
-            fresh.clear();
-            for qid in triggers {
-                if state.registry.get(qid).is_none() {
-                    continue; // answered earlier in this round
-                }
-                if let Some(m) = self.try_match(state, qid)? {
-                    let new_tuples: Vec<(String, Tuple)> = m.all_answers().cloned().collect();
-                    match self.apply_and_notify(state, m) {
-                        Ok(_) => fresh.extend(new_tuples),
-                        Err(CoreError::Storage(_)) => {
-                            // group reinstated by apply_and_notify; it
-                            // stays pending (e.g. inventory exhausted)
-                        }
-                        Err(e) => return Err(e),
-                    }
-                }
-            }
-        }
-        Ok(())
-    }
-
-    /// Runs the configured matcher for `trigger`. Callers hold the state
-    /// lock; the database is read-locked only for the matching itself.
-    fn try_match(&self, state: &mut State, trigger: QueryId) -> CoreResult<Option<GroupMatch>> {
-        state.stats.match_attempts += 1;
-        let started = Instant::now();
-        let result = {
-            let read = self.db.read();
-            let mut work = MatchStats::default();
-            let r = match self.config.matcher {
-                MatcherKind::Incremental => search::match_query(
-                    &state.registry,
-                    read.catalog(),
-                    trigger,
-                    &self.config.match_config,
-                    &mut state.rng,
-                    &mut work,
-                ),
-                MatcherKind::Naive => baseline::match_query_naive(
-                    &state.registry,
-                    read.catalog(),
-                    trigger,
-                    &self.config.match_config,
-                    &mut state.rng,
-                    &mut work,
-                ),
-            };
-            state.stats.match_work.merge(&work);
-            r
+            seq: state.seq,
         };
-        state.stats.matching_nanos += started.elapsed().as_nanos();
+        let hook = state
+            .apply_hook
+            .as_ref()
+            .map(|h| h.as_ref() as &dyn Fn(&mut Transaction, &GroupMatch) -> StorageResult<()>);
+        let result = self.engine.process_arrival(&mut state.shard, pending, hook);
+        // the answered log only feeds the sharded coordinator's router
+        state.shard.answered_log.clear();
         result
-    }
-
-    /// Removes the matched queries, applies the match to the database
-    /// (answer-relation inserts + apply hook, one transaction), and
-    /// builds per-member notifications. On apply failure the members are
-    /// re-registered and the error propagates.
-    fn apply_and_notify(
-        &self,
-        state: &mut State,
-        m: GroupMatch,
-    ) -> CoreResult<Vec<MatchNotification>> {
-        let mut removed = Vec::with_capacity(m.members.len());
-        for &qid in &m.members {
-            let pending = state
-                .registry
-                .remove(qid)
-                .ok_or_else(|| CoreError::Internal(format!("matched query {qid} vanished")))?;
-            removed.push(pending);
-        }
-
-        let apply_result = (|| -> StorageResult<()> {
-            let mut txn = self.db.begin();
-            for (relation, tuple) in m.all_answers() {
-                ensure_answer_table(&mut txn, relation, tuple)?;
-                txn.insert(relation, tuple.clone())?;
-            }
-            if let Some(hook) = &state.apply_hook {
-                hook(&mut txn, &m)?;
-            }
-            txn.commit()
-        })();
-
-        if let Err(e) = apply_result {
-            // put the group back; it stays pending
-            for pending in removed {
-                state.registry.insert(pending);
-            }
-            return Err(CoreError::Storage(e));
-        }
-
-        state.stats.groups_matched += 1;
-        state.stats.answered += m.members.len() as u64;
-
-        let group = m.members.clone();
-        let mut notifications = Vec::with_capacity(group.len());
-        for &qid in &m.members {
-            let n = MatchNotification {
-                id: qid,
-                group: group.clone(),
-                answers: m.answers.get(&qid).cloned().unwrap_or_default(),
-            };
-            if let Some(tx) = state.waiters.remove(&qid) {
-                let _ = tx.send(n.clone()); // receiver may have been dropped
-            }
-            notifications.push(n);
-        }
-        Ok(notifications)
     }
 
     /// Cancels a pending query ("a query whose postcondition is not
@@ -450,10 +285,11 @@ impl Coordinator {
     pub fn cancel(&self, qid: QueryId) -> CoreResult<()> {
         let mut state = self.state.lock();
         state
+            .shard
             .registry
             .remove(qid)
             .map(|_| {
-                state.waiters.remove(&qid);
+                state.shard.waiters.remove(&qid);
             })
             .ok_or(CoreError::UnknownQuery(qid.0))
     }
@@ -463,14 +299,15 @@ impl Coordinator {
     pub fn cancel_owner(&self, owner: &str) -> usize {
         let mut state = self.state.lock();
         let victims: Vec<QueryId> = state
+            .shard
             .registry
             .iter()
             .filter(|p| p.owner == owner)
             .map(|p| p.id)
             .collect();
         for qid in &victims {
-            state.registry.remove(*qid);
-            state.waiters.remove(qid);
+            state.shard.registry.remove(*qid);
+            state.shard.waiters.remove(qid);
         }
         victims.len()
     }
@@ -482,14 +319,15 @@ impl Coordinator {
     pub fn expire_before(&self, min_seq: u64) -> Vec<QueryId> {
         let mut state = self.state.lock();
         let victims: Vec<QueryId> = state
+            .shard
             .registry
             .iter()
             .filter(|p| p.seq < min_seq)
             .map(|p| p.id)
             .collect();
         for qid in &victims {
-            state.registry.remove(*qid);
-            state.waiters.remove(qid);
+            state.shard.registry.remove(*qid);
+            state.shard.waiters.remove(qid);
         }
         victims
     }
@@ -504,35 +342,26 @@ impl Coordinator {
     /// updates add new flights/hotels). Returns the notifications of all
     /// queries answered by the sweep.
     pub fn retry_all(&self) -> CoreResult<Vec<MatchNotification>> {
-        let mut state = self.state.lock();
-        let mut notifications = Vec::new();
-        loop {
-            let pending_ids: Vec<QueryId> = state.registry.iter().map(|p| p.id).collect();
-            let mut matched_any = false;
-            for qid in pending_ids {
-                if state.registry.get(qid).is_none() {
-                    continue; // answered earlier in this sweep
-                }
-                if let Some(m) = self.try_match(&mut state, qid)? {
-                    notifications.extend(self.apply_and_notify(&mut state, m)?);
-                    matched_any = true;
-                }
-            }
-            if !matched_any {
-                return Ok(notifications);
-            }
-        }
+        let state = &mut *self.state.lock();
+        let hook = state
+            .apply_hook
+            .as_ref()
+            .map(|h| h.as_ref() as &dyn Fn(&mut Transaction, &GroupMatch) -> StorageResult<()>);
+        let result = self.engine.retry_all(&mut state.shard, hook);
+        state.shard.answered_log.clear();
+        result
     }
 
     /// Number of pending queries.
     pub fn pending_count(&self) -> usize {
-        self.state.lock().registry.len()
+        self.state.lock().shard.registry.len()
     }
 
     /// Snapshot of the pending queries for the admin interface.
     pub fn pending_snapshot(&self) -> Vec<PendingInfo> {
         let state = self.state.lock();
         state
+            .shard
             .registry
             .iter()
             .map(|p| PendingInfo {
@@ -547,7 +376,7 @@ impl Coordinator {
 
     /// Cumulative statistics.
     pub fn stats(&self) -> SystemStats {
-        self.state.lock().stats
+        self.state.lock().shard.stats
     }
 
     /// The current *match graph*: for every pending query's positive
@@ -557,70 +386,19 @@ impl Coordinator {
     /// admin interface visualizes (§3.2); dangling constraints (no
     /// edges) show exactly why a query is still waiting.
     pub fn match_graph(&self) -> MatchGraph {
-        let state = self.state.lock();
-        let mut edges = Vec::new();
-        let mut dangling = Vec::new();
-        for pending in state.registry.iter() {
-            for (cidx, constraint) in pending.query.constraints.iter().enumerate() {
-                if constraint.negated {
-                    continue;
-                }
-                let mut found = false;
-                for href in state.registry.candidates_for(&constraint.atom) {
-                    let Some(head) = state.registry.head(href) else { continue };
-                    let mut s = crate::unify::Subst::new();
-                    if s.unify_atoms(&constraint.atom, head) {
-                        edges.push(MatchEdge {
-                            from: pending.id,
-                            constraint: constraint.atom.to_string(),
-                            to: href.qid,
-                            head: head.to_string(),
-                        });
-                        found = true;
-                    }
-                }
-                if !found {
-                    dangling.push((pending.id, cidx, constraint.atom.to_string()));
-                }
-            }
-        }
-        MatchGraph { edges, dangling }
+        match_graph_of(&self.state.lock().shard.registry)
     }
 
     /// Reads the current content of an answer relation (empty when no
     /// match has touched it yet).
     pub fn answers(&self, relation: &str) -> Vec<Tuple> {
-        let read = self.db.read();
-        match read.table(relation) {
-            Ok(t) => t.scan().map(|(_, tuple)| tuple.clone()).collect(),
-            Err(_) => Vec::new(),
-        }
+        self.engine.answers(relation)
     }
 }
-
-/// Creates the answer-relation table on first use. Columns are named
-/// `c0..cN-1`, typed from the first inserted tuple, all nullable (answer
-/// relations are system tables; applications may pre-create them with
-/// richer schemas, in which case only the arity must agree).
-fn ensure_answer_table(txn: &mut Transaction, relation: &str, first: &Tuple) -> StorageResult<()> {
-    if txn.catalog().has_table(relation) {
-        return Ok(());
-    }
-    let columns: Vec<Column> = first
-        .values()
-        .iter()
-        .enumerate()
-        .map(|(i, v)| Column {
-            name: format!("c{i}"),
-            ty: v.data_type().unwrap_or(DataType::Str),
-            nullable: true,
-        })
-        .collect();
-    txn.create_table(relation, Schema::new(columns))
-}
-
 #[cfg(test)]
 mod tests {
+    use std::collections::HashMap;
+
     use super::*;
     use youtopia_exec::run_sql;
     use youtopia_storage::Value;
@@ -649,13 +427,21 @@ mod tests {
     fn paper_walkthrough_end_to_end() {
         let co = Coordinator::new(flights_db());
         // Kramer submits; his constraint cannot be satisfied yet.
-        let kramer = co.submit_sql("kramer", &pair_sql("Kramer", "Jerry")).unwrap();
-        let Submission::Pending(ticket) = kramer else { panic!("kramer must wait") };
+        let kramer = co
+            .submit_sql("kramer", &pair_sql("Kramer", "Jerry"))
+            .unwrap();
+        let Submission::Pending(ticket) = kramer else {
+            panic!("kramer must wait")
+        };
         assert_eq!(co.pending_count(), 1);
 
         // Jerry submits the symmetric query: both answered at once.
-        let jerry = co.submit_sql("jerry", &pair_sql("Jerry", "Kramer")).unwrap();
-        let Submission::Answered(jn) = jerry else { panic!("jerry completes the group") };
+        let jerry = co
+            .submit_sql("jerry", &pair_sql("Jerry", "Kramer"))
+            .unwrap();
+        let Submission::Answered(jn) = jerry else {
+            panic!("jerry completes the group")
+        };
         let kn = ticket.receiver.try_recv().expect("kramer is notified");
 
         assert_eq!(jn.group, kn.group);
@@ -678,7 +464,9 @@ mod tests {
     #[test]
     fn unsafe_queries_are_rejected_and_counted() {
         let co = Coordinator::new(flights_db());
-        let err = co.submit_sql("x", "SELECT 'X', v INTO ANSWER R CHOOSE 1").unwrap_err();
+        let err = co
+            .submit_sql("x", "SELECT 'X', v INTO ANSWER R CHOOSE 1")
+            .unwrap_err();
         assert!(matches!(err, CoreError::Unsafe(_)));
         assert_eq!(co.stats().rejected_unsafe, 1);
         assert_eq!(co.pending_count(), 0);
@@ -686,7 +474,10 @@ mod tests {
 
     #[test]
     fn strict_mode_rejects_constraint_bound_vars() {
-        let config = CoordinatorConfig { safety: SafetyMode::Strict, ..Default::default() };
+        let config = CoordinatorConfig {
+            safety: SafetyMode::Strict,
+            ..Default::default()
+        };
         let co = Coordinator::with_config(flights_db(), config);
         let err = co
             .submit_sql(
@@ -700,24 +491,36 @@ mod tests {
     #[test]
     fn cancel_removes_pending_query() {
         let co = Coordinator::new(flights_db());
-        let s = co.submit_sql("kramer", &pair_sql("Kramer", "Jerry")).unwrap();
+        let s = co
+            .submit_sql("kramer", &pair_sql("Kramer", "Jerry"))
+            .unwrap();
         let id = s.id();
         co.cancel(id).unwrap();
         assert_eq!(co.pending_count(), 0);
         assert!(matches!(co.cancel(id), Err(CoreError::UnknownQuery(_))));
         // Jerry now waits forever — no partner
-        let s2 = co.submit_sql("jerry", &pair_sql("Jerry", "Kramer")).unwrap();
+        let s2 = co
+            .submit_sql("jerry", &pair_sql("Jerry", "Kramer"))
+            .unwrap();
         assert!(matches!(s2, Submission::Pending(_)));
     }
 
     #[test]
     fn retry_all_matches_after_data_arrives() {
         let db = Database::new();
-        run_sql(&db, "CREATE TABLE Flights (fno INT PRIMARY KEY, dest STRING NOT NULL)").unwrap();
+        run_sql(
+            &db,
+            "CREATE TABLE Flights (fno INT PRIMARY KEY, dest STRING NOT NULL)",
+        )
+        .unwrap();
         let co = Coordinator::new(db.clone());
         // no Paris flights yet: the pair cannot ground
-        let t1 = co.submit_sql("kramer", &pair_sql("Kramer", "Jerry")).unwrap();
-        let t2 = co.submit_sql("jerry", &pair_sql("Jerry", "Kramer")).unwrap();
+        let t1 = co
+            .submit_sql("kramer", &pair_sql("Kramer", "Jerry"))
+            .unwrap();
+        let t2 = co
+            .submit_sql("jerry", &pair_sql("Jerry", "Kramer"))
+            .unwrap();
         assert!(matches!(t1, Submission::Pending(_)));
         assert!(matches!(t2, Submission::Pending(_)));
         assert!(co.retry_all().unwrap().is_empty());
@@ -731,7 +534,8 @@ mod tests {
     #[test]
     fn pending_snapshot_shows_sql_and_ir() {
         let co = Coordinator::new(flights_db());
-        co.submit_sql("kramer", &pair_sql("Kramer", "Jerry")).unwrap();
+        co.submit_sql("kramer", &pair_sql("Kramer", "Jerry"))
+            .unwrap();
         let snap = co.pending_snapshot();
         assert_eq!(snap.len(), 1);
         assert_eq!(snap[0].owner, "kramer");
@@ -750,8 +554,10 @@ mod tests {
             }
             Ok(())
         }));
-        co.submit_sql("kramer", &pair_sql("Kramer", "Jerry")).unwrap();
-        co.submit_sql("jerry", &pair_sql("Jerry", "Kramer")).unwrap();
+        co.submit_sql("kramer", &pair_sql("Kramer", "Jerry"))
+            .unwrap();
+        co.submit_sql("jerry", &pair_sql("Jerry", "Kramer"))
+            .unwrap();
         let read = db.read();
         assert_eq!(read.table("Log").unwrap().len(), 2);
     }
@@ -763,8 +569,11 @@ mod tests {
         co.set_apply_hook(Box::new(|_, _| {
             Err(youtopia_storage::StorageError::Internal("no seats".into()))
         }));
-        co.submit_sql("kramer", &pair_sql("Kramer", "Jerry")).unwrap();
-        let err = co.submit_sql("jerry", &pair_sql("Jerry", "Kramer")).unwrap_err();
+        co.submit_sql("kramer", &pair_sql("Kramer", "Jerry"))
+            .unwrap();
+        let err = co
+            .submit_sql("jerry", &pair_sql("Jerry", "Kramer"))
+            .unwrap_err();
         assert!(matches!(err, CoreError::Storage(_)));
         // both queries are still pending; no answers were written
         assert_eq!(co.pending_count(), 2);
@@ -777,8 +586,10 @@ mod tests {
         let db = flights_db();
         run_sql(&db, "CREATE TABLE Reservation (traveler STRING, fno INT)").unwrap();
         let co = Coordinator::new(db.clone());
-        co.submit_sql("kramer", &pair_sql("Kramer", "Jerry")).unwrap();
-        co.submit_sql("jerry", &pair_sql("Jerry", "Kramer")).unwrap();
+        co.submit_sql("kramer", &pair_sql("Kramer", "Jerry"))
+            .unwrap();
+        co.submit_sql("jerry", &pair_sql("Jerry", "Kramer"))
+            .unwrap();
         let read = db.read();
         let t = read.table("Reservation").unwrap();
         assert_eq!(t.len(), 2);
@@ -787,10 +598,16 @@ mod tests {
 
     #[test]
     fn naive_matcher_config_works_end_to_end() {
-        let config = CoordinatorConfig { matcher: MatcherKind::Naive, ..Default::default() };
+        let config = CoordinatorConfig {
+            matcher: MatcherKind::Naive,
+            ..Default::default()
+        };
         let co = Coordinator::with_config(flights_db(), config);
-        co.submit_sql("kramer", &pair_sql("Kramer", "Jerry")).unwrap();
-        let s = co.submit_sql("jerry", &pair_sql("Jerry", "Kramer")).unwrap();
+        co.submit_sql("kramer", &pair_sql("Kramer", "Jerry"))
+            .unwrap();
+        let s = co
+            .submit_sql("jerry", &pair_sql("Jerry", "Kramer"))
+            .unwrap();
         assert!(matches!(s, Submission::Answered(_)));
         assert!(co.stats().match_work.subsets_tested > 0);
     }
@@ -815,9 +632,10 @@ mod tests {
                     );
                     match co.submit_sql(&me, &sql).unwrap() {
                         Submission::Answered(n) => n,
-                        Submission::Pending(t) => {
-                            t.receiver.recv_timeout(std::time::Duration::from_secs(5)).unwrap()
-                        }
+                        Submission::Pending(t) => t
+                            .receiver
+                            .recv_timeout(std::time::Duration::from_secs(5))
+                            .unwrap(),
                     }
                 }));
             }
@@ -841,9 +659,12 @@ mod tests {
     #[test]
     fn cancel_owner_withdraws_all_of_a_users_requests() {
         let co = Coordinator::new(flights_db());
-        co.submit_sql("kramer", &pair_sql("Kramer", "Ghost1")).unwrap();
-        co.submit_sql("kramer", &pair_sql("Kramer", "Ghost2")).unwrap();
-        co.submit_sql("elaine", &pair_sql("Elaine", "Ghost3")).unwrap();
+        co.submit_sql("kramer", &pair_sql("Kramer", "Ghost1"))
+            .unwrap();
+        co.submit_sql("kramer", &pair_sql("Kramer", "Ghost2"))
+            .unwrap();
+        co.submit_sql("elaine", &pair_sql("Elaine", "Ghost3"))
+            .unwrap();
         assert_eq!(co.cancel_owner("kramer"), 2);
         assert_eq!(co.pending_count(), 1);
         assert_eq!(co.cancel_owner("kramer"), 0);
@@ -868,8 +689,10 @@ mod tests {
     #[test]
     fn matching_time_is_recorded() {
         let co = Coordinator::new(flights_db());
-        co.submit_sql("kramer", &pair_sql("Kramer", "Jerry")).unwrap();
-        co.submit_sql("jerry", &pair_sql("Jerry", "Kramer")).unwrap();
+        co.submit_sql("kramer", &pair_sql("Kramer", "Jerry"))
+            .unwrap();
+        co.submit_sql("jerry", &pair_sql("Jerry", "Kramer"))
+            .unwrap();
         let stats = co.stats();
         assert!(stats.matching_nanos > 0);
         assert_eq!(stats.match_attempts, 2);

@@ -1,0 +1,372 @@
+//! The shared match engine: per-registry coordination logic used by
+//! both the serial [`crate::Coordinator`] and every shard of the
+//! [`crate::ShardedCoordinator`].
+//!
+//! A [`ShardState`] is one independent matching domain: a pending-query
+//! registry, the RNG that resolves `CHOOSE` nondeterminism, waiter
+//! channels, and counters. The [`Engine`] owns nothing mutable — it
+//! borrows a `ShardState` for each operation, so callers decide the
+//! locking granularity (one global mutex for the serial coordinator,
+//! one mutex per shard for the sharded one).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Sender};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use youtopia_storage::{Column, DataType, Database, Schema, StorageResult, Transaction, Tuple};
+
+use crate::coordinator::{
+    CoordinatorConfig, MatchEdge, MatchGraph, MatchNotification, MatcherKind, Submission, Ticket,
+};
+use crate::error::{CoreError, CoreResult};
+use crate::ir::QueryId;
+use crate::matcher::{baseline, search, GroupMatch, MatchStats};
+use crate::registry::{Pending, Registry};
+use crate::SystemStats;
+
+/// A borrowed apply hook: side effects executed inside the match's
+/// storage transaction. The serial coordinator stores a `Box`, the
+/// sharded coordinator an `Arc` shared by all shards; both lend the
+/// engine a plain `&dyn Fn`.
+pub(crate) type HookRef<'a> =
+    Option<&'a dyn Fn(&mut Transaction, &GroupMatch) -> StorageResult<()>>;
+
+/// One independent matching domain (the whole system for the serial
+/// coordinator; one shard for the sharded coordinator).
+pub(crate) struct ShardState {
+    /// Pending queries of this domain.
+    pub registry: Registry,
+    /// Resolves `CHOOSE` nondeterminism for this domain.
+    pub rng: StdRng,
+    /// Counters local to this domain (merge across shards for totals).
+    pub stats: SystemStats,
+    /// Notification channels of this domain's pending queries.
+    pub waiters: HashMap<QueryId, Sender<MatchNotification>>,
+    /// Queries answered (removed) since the owner last drained this
+    /// log. The sharded coordinator uses it to retire router
+    /// memberships; the serial coordinator clears it after each call.
+    pub answered_log: Vec<QueryId>,
+}
+
+impl ShardState {
+    pub(crate) fn new(use_const_index: bool, seed: u64) -> ShardState {
+        let registry = if use_const_index {
+            Registry::new()
+        } else {
+            Registry::without_const_index()
+        };
+        ShardState {
+            registry,
+            rng: StdRng::seed_from_u64(seed),
+            stats: SystemStats::default(),
+            waiters: HashMap::new(),
+            answered_log: Vec::new(),
+        }
+    }
+}
+
+/// The stateless core: configuration + database handle. All mutation
+/// goes through an explicitly borrowed [`ShardState`].
+pub(crate) struct Engine {
+    pub db: Database,
+    pub config: CoordinatorConfig,
+}
+
+impl Engine {
+    /// Registers an arrived (already safety-checked, namespaced)
+    /// pending query and runs arrival-driven matching, cascading
+    /// through freshly committed answers until quiescent.
+    pub(crate) fn process_arrival(
+        &self,
+        state: &mut ShardState,
+        pending: Pending,
+        hook: HookRef,
+    ) -> CoreResult<Submission> {
+        let qid = pending.id;
+        state.registry.insert(pending);
+        state.stats.submitted += 1;
+
+        match self.try_match(state, qid)? {
+            Some(m) => {
+                let fresh: Vec<(String, Tuple)> = m.all_answers().cloned().collect();
+                let mut my_notification = None;
+                for n in self.apply_and_notify(state, m, hook)? {
+                    if n.id == qid {
+                        my_notification = Some(n);
+                    }
+                }
+                let n = my_notification.ok_or_else(|| {
+                    CoreError::Internal("trigger missing from its own match".into())
+                })?;
+                // Newly committed answers may satisfy pending queries'
+                // postconditions ("the system-wide answer relation"):
+                // cascade until quiescent.
+                self.cascade(state, fresh, hook)?;
+                Ok(Submission::Answered(n))
+            }
+            None => {
+                let (tx, rx) = unbounded();
+                state.waiters.insert(qid, tx);
+                Ok(Submission::Pending(Ticket {
+                    id: qid,
+                    receiver: rx,
+                }))
+            }
+        }
+    }
+
+    /// Re-runs matching for pending queries whose positive constraints
+    /// could unify with freshly committed answer tuples, repeating until
+    /// no further matches fire. Cheap pre-filter: a constraint is only
+    /// retried when template unification against a fresh tuple succeeds.
+    /// Apply failures (e.g. inventory races) leave the group pending and
+    /// do not abort the cascade.
+    pub(crate) fn cascade(
+        &self,
+        state: &mut ShardState,
+        mut fresh: Vec<(String, Tuple)>,
+        hook: HookRef,
+    ) -> CoreResult<()> {
+        if !self.config.match_config.use_committed_answers {
+            return Ok(());
+        }
+        while !fresh.is_empty() {
+            let triggers: Vec<QueryId> = state
+                .registry
+                .iter()
+                .filter(|p| {
+                    p.query.constraints.iter().filter(|c| !c.negated).any(|c| {
+                        fresh.iter().any(|(rel, tuple)| {
+                            c.atom.relation.eq_ignore_ascii_case(rel)
+                                && c.atom.arity() == tuple.arity()
+                                && {
+                                    let mut s = crate::unify::Subst::new();
+                                    c.atom.terms.iter().zip(tuple.values()).all(|(t, v)| {
+                                        s.unify_terms(t, &crate::ir::Term::Const(v.clone()))
+                                    })
+                                }
+                        })
+                    })
+                })
+                .map(|p| p.id)
+                .collect();
+            fresh.clear();
+            for qid in triggers {
+                if state.registry.get(qid).is_none() {
+                    continue; // answered earlier in this round
+                }
+                if let Some(m) = self.try_match(state, qid)? {
+                    let new_tuples: Vec<(String, Tuple)> = m.all_answers().cloned().collect();
+                    match self.apply_and_notify(state, m, hook) {
+                        Ok(_) => fresh.extend(new_tuples),
+                        Err(CoreError::Storage(_)) => {
+                            // group reinstated by apply_and_notify; it
+                            // stays pending (e.g. inventory exhausted)
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the configured matcher for `trigger`. Callers hold the
+    /// state's lock; the database is read-locked only for the matching
+    /// itself.
+    pub(crate) fn try_match(
+        &self,
+        state: &mut ShardState,
+        trigger: QueryId,
+    ) -> CoreResult<Option<GroupMatch>> {
+        state.stats.match_attempts += 1;
+        let started = Instant::now();
+        let result = {
+            let read = self.db.read();
+            let mut work = MatchStats::default();
+            let r = match self.config.matcher {
+                MatcherKind::Incremental => search::match_query(
+                    &state.registry,
+                    read.catalog(),
+                    trigger,
+                    &self.config.match_config,
+                    &mut state.rng,
+                    &mut work,
+                ),
+                MatcherKind::Naive => baseline::match_query_naive(
+                    &state.registry,
+                    read.catalog(),
+                    trigger,
+                    &self.config.match_config,
+                    &mut state.rng,
+                    &mut work,
+                ),
+            };
+            state.stats.match_work.merge(&work);
+            r
+        };
+        state.stats.matching_nanos += started.elapsed().as_nanos();
+        result
+    }
+
+    /// Removes the matched queries, applies the match to the database
+    /// (answer-relation inserts + apply hook, one transaction), and
+    /// builds per-member notifications. On apply failure the members are
+    /// re-registered and the error propagates.
+    pub(crate) fn apply_and_notify(
+        &self,
+        state: &mut ShardState,
+        m: GroupMatch,
+        hook: HookRef,
+    ) -> CoreResult<Vec<MatchNotification>> {
+        let mut removed = Vec::with_capacity(m.members.len());
+        for &qid in &m.members {
+            let pending = state
+                .registry
+                .remove(qid)
+                .ok_or_else(|| CoreError::Internal(format!("matched query {qid} vanished")))?;
+            removed.push(pending);
+        }
+
+        let apply_result = (|| -> StorageResult<()> {
+            let mut txn = self.db.begin();
+            for (relation, tuple) in m.all_answers() {
+                ensure_answer_table(&mut txn, relation, tuple)?;
+                txn.insert(relation, tuple.clone())?;
+            }
+            if let Some(hook) = hook {
+                hook(&mut txn, &m)?;
+            }
+            txn.commit()
+        })();
+
+        if let Err(e) = apply_result {
+            // put the group back; it stays pending
+            for pending in removed {
+                state.registry.insert(pending);
+            }
+            return Err(CoreError::Storage(e));
+        }
+
+        state.stats.groups_matched += 1;
+        state.stats.answered += m.members.len() as u64;
+        state.answered_log.extend_from_slice(&m.members);
+
+        let group = m.members.clone();
+        let mut notifications = Vec::with_capacity(group.len());
+        for &qid in &m.members {
+            let n = MatchNotification {
+                id: qid,
+                group: group.clone(),
+                answers: m.answers.get(&qid).cloned().unwrap_or_default(),
+            };
+            if let Some(tx) = state.waiters.remove(&qid) {
+                let _ = tx.send(n.clone()); // receiver may have been dropped
+            }
+            notifications.push(n);
+        }
+        Ok(notifications)
+    }
+
+    /// Retries matching for every pending query of this domain until a
+    /// full sweep fires no match. Returns the notifications of all
+    /// queries answered by the sweep.
+    pub(crate) fn retry_all(
+        &self,
+        state: &mut ShardState,
+        hook: HookRef,
+    ) -> CoreResult<Vec<MatchNotification>> {
+        let mut notifications = Vec::new();
+        loop {
+            let pending_ids: Vec<QueryId> = state.registry.iter().map(|p| p.id).collect();
+            let mut matched_any = false;
+            for qid in pending_ids {
+                if state.registry.get(qid).is_none() {
+                    continue; // answered earlier in this sweep
+                }
+                if let Some(m) = self.try_match(state, qid)? {
+                    notifications.extend(self.apply_and_notify(state, m, hook)?);
+                    matched_any = true;
+                }
+            }
+            if !matched_any {
+                return Ok(notifications);
+            }
+        }
+    }
+}
+
+impl Engine {
+    /// Reads the current content of an answer relation (empty when no
+    /// match has touched it yet, or the table does not exist).
+    pub(crate) fn answers(&self, relation: &str) -> Vec<Tuple> {
+        let read = self.db.read();
+        match read.table(relation) {
+            Ok(t) => t.scan().map(|(_, tuple)| tuple.clone()).collect(),
+            Err(_) => Vec::new(),
+        }
+    }
+}
+
+/// The potential-satisfaction edges and dangling constraints of one
+/// registry — the per-domain slice of the admin interface's match
+/// graph (§3.2).
+pub(crate) fn match_graph_of(registry: &Registry) -> MatchGraph {
+    let mut edges = Vec::new();
+    let mut dangling = Vec::new();
+    for pending in registry.iter() {
+        for (cidx, constraint) in pending.query.constraints.iter().enumerate() {
+            if constraint.negated {
+                continue;
+            }
+            let mut found = false;
+            for href in registry.candidates_for(&constraint.atom) {
+                let Some(head) = registry.head(href) else {
+                    continue;
+                };
+                let mut s = crate::unify::Subst::new();
+                if s.unify_atoms(&constraint.atom, head) {
+                    edges.push(MatchEdge {
+                        from: pending.id,
+                        constraint: constraint.atom.to_string(),
+                        to: href.qid,
+                        head: head.to_string(),
+                    });
+                    found = true;
+                }
+            }
+            if !found {
+                dangling.push((pending.id, cidx, constraint.atom.to_string()));
+            }
+        }
+    }
+    MatchGraph { edges, dangling }
+}
+
+/// Creates the answer-relation table on first use. Columns are named
+/// `c0..cN-1`, typed from the first inserted tuple, all nullable (answer
+/// relations are system tables; applications may pre-create them with
+/// richer schemas, in which case only the arity must agree).
+pub(crate) fn ensure_answer_table(
+    txn: &mut Transaction,
+    relation: &str,
+    first: &Tuple,
+) -> StorageResult<()> {
+    if txn.catalog().has_table(relation) {
+        return Ok(());
+    }
+    let columns: Vec<Column> = first
+        .values()
+        .iter()
+        .enumerate()
+        .map(|(i, v)| Column {
+            name: format!("c{i}"),
+            ty: v.data_type().unwrap_or(DataType::Str),
+            nullable: true,
+        })
+        .collect();
+    txn.create_table(relation, Schema::new(columns))
+}

@@ -35,7 +35,10 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::Parse(msg) => write!(f, "parse error: {msg}"),
             CoreError::NotEntangled => {
-                write!(f, "statement is not an entangled query (no INTO ANSWER clause)")
+                write!(
+                    f,
+                    "statement is not an entangled query (no INTO ANSWER clause)"
+                )
             }
             CoreError::Compile(msg) => write!(f, "compile error: {msg}"),
             CoreError::Unsafe(msg) => write!(f, "unsafe entangled query: {msg}"),
@@ -71,10 +74,15 @@ mod tests {
     #[test]
     fn displays() {
         assert!(CoreError::NotEntangled.to_string().contains("INTO ANSWER"));
-        assert_eq!(CoreError::UnknownQuery(7).to_string(), "unknown pending query q7");
-        assert!(CoreError::Unsafe("variable 'x' is not range-restricted".into())
-            .to_string()
-            .contains("range-restricted"));
+        assert_eq!(
+            CoreError::UnknownQuery(7).to_string(),
+            "unknown pending query q7"
+        );
+        assert!(
+            CoreError::Unsafe("variable 'x' is not range-restricted".into())
+                .to_string()
+                .contains("range-restricted")
+        );
     }
 
     #[test]

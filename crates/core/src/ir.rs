@@ -132,7 +132,10 @@ pub struct Atom {
 impl Atom {
     /// Builds an atom.
     pub fn new(relation: impl Into<String>, terms: Vec<Term>) -> Atom {
-        Atom { relation: relation.into(), terms }
+        Atom {
+            relation: relation.into(),
+            terms,
+        }
     }
 
     /// Arity of the atom.
@@ -229,7 +232,10 @@ pub struct AnswerConstraint {
 impl AnswerConstraint {
     /// Renames all variables into `qid`'s namespace.
     pub fn namespaced(&self, qid: QueryId) -> AnswerConstraint {
-        AnswerConstraint { atom: self.atom.namespaced(qid), negated: self.negated }
+        AnswerConstraint {
+            atom: self.atom.namespaced(qid),
+            negated: self.negated,
+        }
     }
 }
 
@@ -269,13 +275,15 @@ impl Filter {
 fn rename_expr_vars(expr: &Expr, qid: QueryId) -> Expr {
     use youtopia_sql::Expr as E;
     match expr {
-        E::Column { table: None, name } => {
-            E::Column { table: None, name: format!("{qid}.{name}") }
-        }
+        E::Column { table: None, name } => E::Column {
+            table: None,
+            name: format!("{qid}.{name}"),
+        },
         E::Column { table: Some(_), .. } | E::Literal(_) => expr.clone(),
-        E::Unary { op, expr } => {
-            E::Unary { op: *op, expr: Box::new(rename_expr_vars(expr, qid)) }
-        }
+        E::Unary { op, expr } => E::Unary {
+            op: *op,
+            expr: Box::new(rename_expr_vars(expr, qid)),
+        },
         E::Binary { left, op, right } => E::Binary {
             left: Box::new(rename_expr_vars(left, qid)),
             op: *op,
@@ -286,29 +294,41 @@ fn rename_expr_vars(expr: &Expr, qid: QueryId) -> Expr {
             args: args.iter().map(|a| rename_expr_vars(a, qid)).collect(),
             star: *star,
         },
-        E::IsNull { expr, negated } => {
-            E::IsNull { expr: Box::new(rename_expr_vars(expr, qid)), negated: *negated }
-        }
-        E::InList { expr, list, negated } => E::InList {
+        E::IsNull { expr, negated } => E::IsNull {
+            expr: Box::new(rename_expr_vars(expr, qid)),
+            negated: *negated,
+        },
+        E::InList {
+            expr,
+            list,
+            negated,
+        } => E::InList {
             expr: Box::new(rename_expr_vars(expr, qid)),
             list: list.iter().map(|e| rename_expr_vars(e, qid)).collect(),
             negated: *negated,
         },
-        E::Between { expr, low, high, negated } => E::Between {
+        E::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => E::Between {
             expr: Box::new(rename_expr_vars(expr, qid)),
             low: Box::new(rename_expr_vars(low, qid)),
             high: Box::new(rename_expr_vars(high, qid)),
             negated: *negated,
         },
-        E::Like { expr, pattern, negated } => E::Like {
+        E::Like {
+            expr,
+            pattern,
+            negated,
+        } => E::Like {
             expr: Box::new(rename_expr_vars(expr, qid)),
             pattern: Box::new(rename_expr_vars(pattern, qid)),
             negated: *negated,
         },
         // These never appear inside compiled filters.
-        E::InSubquery { .. } | E::InAnswer { .. } | E::Exists { .. } | E::Tuple(_) => {
-            expr.clone()
-        }
+        E::InSubquery { .. } | E::InAnswer { .. } | E::Exists { .. } | E::Tuple(_) => expr.clone(),
     }
 }
 
@@ -361,6 +381,24 @@ impl EntangledQuery {
             }
         }
         out
+    }
+
+    /// The query's *answer-relation signature*: every answer relation
+    /// it touches through a head or an answer constraint, lowercased
+    /// and deduplicated. Two queries can only ever coordinate (one's
+    /// head satisfying the other's constraint, directly or through a
+    /// chain of intermediaries) when their signatures are connected, so
+    /// this set is the routing key of the sharded coordinator.
+    pub fn answer_relations(&self) -> std::collections::BTreeSet<String> {
+        self.heads
+            .iter()
+            .map(|h| h.relation.to_ascii_lowercase())
+            .chain(
+                self.constraints
+                    .iter()
+                    .map(|c| c.atom.relation.to_ascii_lowercase()),
+            )
+            .collect()
     }
 
     /// A copy with all variables namespaced by `qid` (done at
@@ -422,7 +460,10 @@ mod tests {
     use super::*;
 
     fn kramer_head() -> Atom {
-        Atom::new("Reservation", vec![Term::constant("Kramer"), Term::var("fno")])
+        Atom::new(
+            "Reservation",
+            vec![Term::constant("Kramer"), Term::var("fno")],
+        )
     }
 
     #[test]

@@ -55,11 +55,13 @@
 
 pub mod compile;
 pub mod coordinator;
+mod engine;
 pub mod error;
 pub mod ir;
 pub mod matcher;
 pub mod registry;
 pub mod safety;
+pub mod shard;
 pub mod unify;
 
 pub use compile::{compile, compile_sql};
@@ -72,4 +74,5 @@ pub use ir::{AnswerConstraint, Atom, EntangledQuery, Filter, Membership, QueryId
 pub use matcher::{GroupMatch, MatchConfig, MatchStats};
 pub use registry::{HeadRef, Pending, Registry};
 pub use safety::{check_safety, is_self_contained, SafetyMode};
+pub use shard::{BatchOutcome, ShardedConfig, ShardedCoordinator};
 pub use unify::Subst;

@@ -30,8 +30,11 @@ pub fn match_query_naive(
     if registry.get(trigger).is_none() {
         return Ok(None);
     }
-    let others: Vec<QueryId> =
-        registry.iter().map(|p| p.id).filter(|&id| id != trigger).collect();
+    let others: Vec<QueryId> = registry
+        .iter()
+        .map(|p| p.id)
+        .filter(|&id| id != trigger)
+        .collect();
     let max_extra = config.max_group_size.saturating_sub(1).min(others.len());
 
     // sizes ascending: the first satisfiable subset is minimal
@@ -100,14 +103,26 @@ fn try_subset(
     // collect all positive obligations of all members
     let mut obligations: Vec<(QueryId, usize)> = Vec::new();
     for &qid in group {
-        let Some(pending) = registry.get(qid) else { return Ok(None) };
+        let Some(pending) = registry.get(qid) else {
+            return Ok(None);
+        };
         for (cidx, c) in pending.query.constraints.iter().enumerate() {
             if !c.negated {
                 obligations.push((qid, cidx));
             }
         }
     }
-    assign_providers(registry, catalog, group, &obligations, 0, &Subst::new(), config, rng, stats)
+    assign_providers(
+        registry,
+        catalog,
+        group,
+        &obligations,
+        0,
+        &Subst::new(),
+        config,
+        rng,
+        stats,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -132,7 +147,9 @@ fn assign_providers(
     };
     // candidate providers: every head of every subset member
     for &provider in group {
-        let Some(p) = registry.get(provider) else { continue };
+        let Some(p) = registry.get(provider) else {
+            continue;
+        };
         for head in &p.query.heads {
             stats.unify_attempts += 1;
             let mut s = subst.clone();
@@ -238,20 +255,32 @@ mod tests {
     }
 
     fn cfg() -> MatchConfig {
-        MatchConfig { randomize: false, ..MatchConfig::default() }
+        MatchConfig {
+            randomize: false,
+            ..MatchConfig::default()
+        }
     }
 
     #[test]
     fn naive_matches_the_pair() {
         let db = flights_db();
-        let reg = registry_of(&[(1, pair_sql("Kramer", "Jerry")), (2, pair_sql("Jerry", "Kramer"))]);
+        let reg = registry_of(&[
+            (1, pair_sql("Kramer", "Jerry")),
+            (2, pair_sql("Jerry", "Kramer")),
+        ]);
         let read = db.read();
         let mut rng = StdRng::seed_from_u64(3);
         let mut stats = MatchStats::default();
-        let m =
-            match_query_naive(&reg, read.catalog(), QueryId(2), &cfg(), &mut rng, &mut stats)
-                .unwrap()
-                .expect("pair matches");
+        let m = match_query_naive(
+            &reg,
+            read.catalog(),
+            QueryId(2),
+            &cfg(),
+            &mut rng,
+            &mut stats,
+        )
+        .unwrap()
+        .expect("pair matches");
         assert_eq!(m.members, vec![QueryId(1), QueryId(2)]);
         assert!(stats.subsets_tested >= 1);
     }
@@ -274,16 +303,28 @@ mod tests {
         let read = db.read();
         let mut rng = StdRng::seed_from_u64(3);
         let mut stats = MatchStats::default();
-        let m =
-            match_query_naive(&reg, read.catalog(), QueryId(2), &cfg(), &mut rng, &mut stats)
-                .unwrap()
-                .unwrap();
+        let m = match_query_naive(
+            &reg,
+            read.catalog(),
+            QueryId(2),
+            &cfg(),
+            &mut rng,
+            &mut stats,
+        )
+        .unwrap()
+        .unwrap();
         assert_eq!(m.members, vec![QueryId(1), QueryId(2)]);
         // and the singleton alone matches as a singleton
-        let m3 =
-            match_query_naive(&reg, read.catalog(), QueryId(3), &cfg(), &mut rng, &mut stats)
-                .unwrap()
-                .unwrap();
+        let m3 = match_query_naive(
+            &reg,
+            read.catalog(),
+            QueryId(3),
+            &cfg(),
+            &mut rng,
+            &mut stats,
+        )
+        .unwrap()
+        .unwrap();
         assert_eq!(m3.members, vec![QueryId(3)]);
     }
 
@@ -323,8 +364,8 @@ mod tests {
             let naive =
                 match_query_naive(&reg, read.catalog(), trigger, &cfg(), &mut rng1, &mut s1)
                     .unwrap();
-            let incr = match_query(&reg, read.catalog(), trigger, &cfg(), &mut rng2, &mut s2)
-                .unwrap();
+            let incr =
+                match_query(&reg, read.catalog(), trigger, &cfg(), &mut rng2, &mut s2).unwrap();
             assert_eq!(
                 naive.is_some(),
                 incr.is_some(),
@@ -347,12 +388,23 @@ mod tests {
             .collect();
         let reg = registry_of(&queries);
         let read = db.read();
-        let small = MatchConfig { max_group_size: 3, randomize: false, ..Default::default() };
+        let small = MatchConfig {
+            max_group_size: 3,
+            randomize: false,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let mut stats = MatchStats::default();
-        assert!(match_query_naive(&reg, read.catalog(), QueryId(4), &small, &mut rng, &mut stats)
-            .unwrap()
-            .is_none());
+        assert!(match_query_naive(
+            &reg,
+            read.catalog(),
+            QueryId(4),
+            &small,
+            &mut rng,
+            &mut stats
+        )
+        .unwrap()
+        .is_none());
     }
 
     #[test]
@@ -367,9 +419,20 @@ mod tests {
         let read = db.read();
         let mut rng = StdRng::seed_from_u64(3);
         let mut stats = MatchStats::default();
-        let config = MatchConfig { max_group_size: 3, randomize: false, ..Default::default() };
-        match_query_naive(&reg, read.catalog(), QueryId(1), &config, &mut rng, &mut stats)
-            .unwrap();
+        let config = MatchConfig {
+            max_group_size: 3,
+            randomize: false,
+            ..Default::default()
+        };
+        match_query_naive(
+            &reg,
+            read.catalog(),
+            QueryId(1),
+            &config,
+            &mut rng,
+            &mut stats,
+        )
+        .unwrap();
         // C(8,0) + C(8,1) + C(8,2) = 1 + 8 + 28
         assert_eq!(stats.subsets_tested, 37);
     }

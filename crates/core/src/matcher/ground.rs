@@ -63,9 +63,7 @@ impl GroundingProblem {
         let mut heads = Vec::new();
 
         for &qid in group {
-            let pending = registry
-                .get(qid)
-                .ok_or(CoreError::UnknownQuery(qid.0))?;
+            let pending = registry.get(qid).ok_or(CoreError::UnknownQuery(qid.0))?;
             let q = &pending.query;
             for m in &q.memberships {
                 let result = execute_select(catalog, &m.select)?;
@@ -80,9 +78,15 @@ impl GroundingProblem {
                     result.rows.into_iter().map(Tuple::into_values).collect();
                 stats.rows_scanned += rows.len() as u64;
                 if m.negated {
-                    neg_memberships.push(NegMembership { terms: m.terms.clone(), rows });
+                    neg_memberships.push(NegMembership {
+                        terms: m.terms.clone(),
+                        rows,
+                    });
                 } else {
-                    domains.push(MembershipDomain { terms: m.terms.clone(), rows });
+                    domains.push(MembershipDomain {
+                        terms: m.terms.clone(),
+                        rows,
+                    });
                 }
             }
             filters.extend(q.filters.iter().cloned());
@@ -248,7 +252,10 @@ impl GroundingProblem {
             let violated = ground_heads.iter().any(|(_, rel, head_vals)| {
                 rel.eq_ignore_ascii_case(&neg.relation)
                     && head_vals.len() == values.len()
-                    && head_vals.iter().zip(&values).all(|(a, b)| a.sql_eq(b) || a == b)
+                    && head_vals
+                        .iter()
+                        .zip(&values)
+                        .all(|(a, b)| a.sql_eq(b) || a == b)
             });
             if violated {
                 return Ok(None);
@@ -274,7 +281,10 @@ impl GroundingProblem {
         let mut answers: std::collections::BTreeMap<QueryId, Vec<(String, Tuple)>> =
             std::collections::BTreeMap::new();
         for (qid, rel, values) in ground_heads {
-            answers.entry(qid).or_default().push((rel, Tuple::new(values)));
+            answers
+                .entry(qid)
+                .or_default()
+                .push((rel, Tuple::new(values)));
         }
         let mut members = self.members.clone();
         members.sort();
@@ -355,13 +365,21 @@ mod tests {
         let mut reg = Registry::new();
         for (id, owner, sql) in queries {
             let q = compile_sql(sql).unwrap().namespaced(QueryId(*id));
-            reg.insert(Pending { id: QueryId(*id), owner: owner.to_string(), query: q, seq: *id });
+            reg.insert(Pending {
+                id: QueryId(*id),
+                owner: owner.to_string(),
+                query: q,
+                seq: *id,
+            });
         }
         reg
     }
 
     fn cfg() -> MatchConfig {
-        MatchConfig { randomize: false, ..MatchConfig::default() }
+        MatchConfig {
+            randomize: false,
+            ..MatchConfig::default()
+        }
     }
 
     fn rng() -> StdRng {

@@ -140,21 +140,37 @@ mod tests {
         let mut answers = BTreeMap::new();
         answers.insert(
             QueryId(1),
-            vec![("Reservation".to_string(), Tuple::new(vec![Value::from("K"), Value::Int(122)]))],
+            vec![(
+                "Reservation".to_string(),
+                Tuple::new(vec![Value::from("K"), Value::Int(122)]),
+            )],
         );
         answers.insert(
             QueryId(2),
-            vec![("Reservation".to_string(), Tuple::new(vec![Value::from("J"), Value::Int(122)]))],
+            vec![(
+                "Reservation".to_string(),
+                Tuple::new(vec![Value::from("J"), Value::Int(122)]),
+            )],
         );
-        let m = GroupMatch { members: vec![QueryId(1), QueryId(2)], answers };
+        let m = GroupMatch {
+            members: vec![QueryId(1), QueryId(2)],
+            answers,
+        };
         assert_eq!(m.size(), 2);
         assert_eq!(m.all_answers().count(), 2);
     }
 
     #[test]
     fn stats_merge() {
-        let mut a = MatchStats { candidates_considered: 1, ..Default::default() };
-        let b = MatchStats { candidates_considered: 2, rows_scanned: 5, ..Default::default() };
+        let mut a = MatchStats {
+            candidates_considered: 1,
+            ..Default::default()
+        };
+        let b = MatchStats {
+            candidates_considered: 2,
+            rows_scanned: 5,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.candidates_considered, 3);
         assert_eq!(a.rows_scanned, 5);

@@ -54,11 +54,22 @@ pub fn match_query(
     let mut group = BTreeSet::new();
     group.insert(trigger);
     let obligations = positive_obligations(registry, trigger);
-    solve(registry, catalog, &group, &Subst::new(), obligations, config, rng, stats)
+    solve(
+        registry,
+        catalog,
+        &group,
+        &Subst::new(),
+        obligations,
+        config,
+        rng,
+        stats,
+    )
 }
 
 fn positive_obligations(registry: &Registry, qid: QueryId) -> Vec<Obligation> {
-    let Some(pending) = registry.get(qid) else { return Vec::new() };
+    let Some(pending) = registry.get(qid) else {
+        return Vec::new();
+    };
     pending
         .query
         .constraints
@@ -108,8 +119,11 @@ fn solve(
         Head(crate::registry::HeadRef),
         Committed(Vec<youtopia_storage::Value>),
     }
-    let mut providers: Vec<Provider> =
-        registry.candidates_for(&lookup_atom).into_iter().map(Provider::Head).collect();
+    let mut providers: Vec<Provider> = registry
+        .candidates_for(&lookup_atom)
+        .into_iter()
+        .map(Provider::Head)
+        .collect();
     if config.use_committed_answers {
         if let Ok(table) = catalog.table(&lookup_atom.relation) {
             for (_, tuple) in table.scan() {
@@ -127,7 +141,9 @@ fn solve(
         let (unified, next_group, next_obligations) = match provider {
             Provider::Head(href) => {
                 stats.candidates_considered += 1;
-                let Some(head) = registry.head(href) else { continue };
+                let Some(head) = registry.head(href) else {
+                    continue;
+                };
                 // Group-size bound: adding a new member must not exceed it.
                 let is_new = !group.contains(&href.qid);
                 if is_new && group.len() >= config.max_group_size {
@@ -151,11 +167,8 @@ fn solve(
                 stats.committed_considered += 1;
                 stats.unify_attempts += 1;
                 let mut next_subst = subst.clone();
-                let ok = lookup_atom
-                    .terms
-                    .iter()
-                    .zip(&values)
-                    .all(|(t, v)| {
+                let ok =
+                    lookup_atom.terms.iter().zip(&values).all(|(t, v)| {
                         next_subst.unify_terms(t, &crate::ir::Term::Const(v.clone()))
                     });
                 if !ok {
@@ -228,7 +241,10 @@ mod tests {
     }
 
     fn cfg() -> MatchConfig {
-        MatchConfig { randomize: false, ..MatchConfig::default() }
+        MatchConfig {
+            randomize: false,
+            ..MatchConfig::default()
+        }
     }
 
     fn run_match(
@@ -240,7 +256,15 @@ mod tests {
         let read = db.read();
         let mut rng = StdRng::seed_from_u64(7);
         let mut stats = MatchStats::default();
-        match_query(reg, read.catalog(), QueryId(trigger), config, &mut rng, &mut stats).unwrap()
+        match_query(
+            reg,
+            read.catalog(),
+            QueryId(trigger),
+            config,
+            &mut rng,
+            &mut stats,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -253,7 +277,10 @@ mod tests {
     #[test]
     fn kramer_and_jerry_match_fig1() {
         let db = flights_db();
-        let reg = registry_of(&[(1, &pair_sql("Kramer", "Jerry")), (2, &pair_sql("Jerry", "Kramer"))]);
+        let reg = registry_of(&[
+            (1, &pair_sql("Kramer", "Jerry")),
+            (2, &pair_sql("Jerry", "Kramer")),
+        ]);
         let m = run_match(&db, &reg, 2, &cfg()).expect("pair should match");
         assert_eq!(m.members, vec![QueryId(1), QueryId(2)]);
         let k = &m.answers[&QueryId(1)][0];
@@ -288,8 +315,7 @@ mod tests {
         }
         queries.push((1, pair_sql("Kramer", "Jerry")));
         queries.push((2, pair_sql("Jerry", "Kramer")));
-        let refs: Vec<(u64, &str)> =
-            queries.iter().map(|(id, s)| (*id, s.as_str())).collect();
+        let refs: Vec<(u64, &str)> = queries.iter().map(|(id, s)| (*id, s.as_str())).collect();
         let reg = registry_of(&refs);
         let m = run_match(&db, &reg, 2, &cfg()).expect("pair matches despite noise");
         assert_eq!(m.members, vec![QueryId(1), QueryId(2)]);
@@ -345,8 +371,7 @@ mod tests {
     }
 
     fn reg_subset(all: &[(u64, &str)], upto: u64) -> Registry {
-        let subset: Vec<(u64, &str)> =
-            all.iter().filter(|(id, _)| *id <= upto).copied().collect();
+        let subset: Vec<(u64, &str)> = all.iter().filter(|(id, _)| *id <= upto).copied().collect();
         registry_of(&subset)
     }
 
@@ -384,12 +409,14 @@ mod tests {
         // Jerry & Kramer coordinate on flights only; Kramer & Elaine on
         // flights and hotels (the paper's ad-hoc example, §3.1).
         let jerry = pair_sql("Jerry", "Kramer");
-        let kramer = "SELECT 'Kramer', fno INTO ANSWER Reservation, 'Kramer', hid INTO ANSWER HotelRes \
+        let kramer =
+            "SELECT 'Kramer', fno INTO ANSWER Reservation, 'Kramer', hid INTO ANSWER HotelRes \
              WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') \
              AND hid IN (SELECT hid FROM Hotels WHERE city = 'Paris') \
              AND ('Jerry', fno) IN ANSWER Reservation \
              AND ('Elaine', hid) IN ANSWER HotelRes CHOOSE 1";
-        let elaine = "SELECT 'Elaine', fno INTO ANSWER Reservation, 'Elaine', hid INTO ANSWER HotelRes \
+        let elaine =
+            "SELECT 'Elaine', fno INTO ANSWER Reservation, 'Elaine', hid INTO ANSWER HotelRes \
              WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') \
              AND hid IN (SELECT hid FROM Hotels WHERE city = 'Paris') \
              AND ('Kramer', fno) IN ANSWER Reservation \
@@ -417,16 +444,26 @@ mod tests {
     #[test]
     fn randomized_choice_varies_across_seeds() {
         let db = flights_db();
-        let reg = registry_of(&[(1, &pair_sql("Kramer", "Jerry")), (2, &pair_sql("Jerry", "Kramer"))]);
+        let reg = registry_of(&[
+            (1, &pair_sql("Kramer", "Jerry")),
+            (2, &pair_sql("Jerry", "Kramer")),
+        ]);
         let read = db.read();
         let config = MatchConfig::default(); // randomize = true
         let mut seen = std::collections::HashSet::new();
         for seed in 0..64u64 {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut stats = MatchStats::default();
-            let m = match_query(&reg, read.catalog(), QueryId(2), &config, &mut rng, &mut stats)
-                .unwrap()
-                .unwrap();
+            let m = match_query(
+                &reg,
+                read.catalog(),
+                QueryId(2),
+                &config,
+                &mut rng,
+                &mut stats,
+            )
+            .unwrap()
+            .unwrap();
             seen.insert(m.answers[&QueryId(1)][0].1.values()[1].as_int().unwrap());
         }
         // nondeterministic choice over {122, 123, 134}: with 64 seeds we
@@ -448,15 +485,26 @@ mod tests {
         }
         let refs: Vec<(u64, &str)> = queries.iter().map(|(id, s)| (*id, s.as_str())).collect();
         let reg = registry_of(&refs);
-        let small = MatchConfig { max_group_size: 3, randomize: false, ..Default::default() };
+        let small = MatchConfig {
+            max_group_size: 3,
+            randomize: false,
+            ..Default::default()
+        };
         assert!(run_match(&db, &reg, 4, &small).is_none());
     }
 
     #[test]
     fn forward_checking_off_still_correct() {
         let db = flights_db();
-        let reg = registry_of(&[(1, &pair_sql("Kramer", "Jerry")), (2, &pair_sql("Jerry", "Kramer"))]);
-        let no_fc = MatchConfig { forward_checking: false, randomize: false, ..Default::default() };
+        let reg = registry_of(&[
+            (1, &pair_sql("Kramer", "Jerry")),
+            (2, &pair_sql("Jerry", "Kramer")),
+        ]);
+        let no_fc = MatchConfig {
+            forward_checking: false,
+            randomize: false,
+            ..Default::default()
+        };
         let m = run_match(&db, &reg, 2, &no_fc).expect("still matches");
         assert_eq!(m.members.len(), 2);
     }
@@ -471,13 +519,23 @@ mod tests {
     #[test]
     fn stats_are_collected() {
         let db = flights_db();
-        let reg = registry_of(&[(1, &pair_sql("Kramer", "Jerry")), (2, &pair_sql("Jerry", "Kramer"))]);
+        let reg = registry_of(&[
+            (1, &pair_sql("Kramer", "Jerry")),
+            (2, &pair_sql("Jerry", "Kramer")),
+        ]);
         let read = db.read();
         let mut rng = StdRng::seed_from_u64(7);
         let mut stats = MatchStats::default();
-        match_query(&reg, read.catalog(), QueryId(2), &cfg(), &mut rng, &mut stats)
-            .unwrap()
-            .unwrap();
+        match_query(
+            &reg,
+            read.catalog(),
+            QueryId(2),
+            &cfg(),
+            &mut rng,
+            &mut stats,
+        )
+        .unwrap()
+        .unwrap();
         assert!(stats.nodes_expanded >= 2);
         assert!(stats.unify_attempts >= 2);
         assert!(stats.groundings_attempted >= 1);

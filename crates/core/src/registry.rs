@@ -68,12 +68,18 @@ pub struct Registry {
 impl Registry {
     /// A registry with the constant-position index enabled.
     pub fn new() -> Registry {
-        Registry { use_const_index: true, ..Registry::default() }
+        Registry {
+            use_const_index: true,
+            ..Registry::default()
+        }
     }
 
     /// A registry using plain relation lookups (the E10 baseline).
     pub fn without_const_index() -> Registry {
-        Registry { use_const_index: false, ..Registry::default() }
+        Registry {
+            use_const_index: false,
+            ..Registry::default()
+        }
     }
 
     /// Whether the constant-position index is active.
@@ -91,7 +97,10 @@ impl Registry {
         let qid = pending.id;
         for (head_idx, head) in pending.query.heads.iter().enumerate() {
             let href = HeadRef { qid, head_idx };
-            let rel = self.relations.entry(Self::rel_key(&head.relation)).or_default();
+            let rel = self
+                .relations
+                .entry(Self::rel_key(&head.relation))
+                .or_default();
             rel.heads.insert(href);
             for (pos, term) in head.terms.iter().enumerate() {
                 match term {
@@ -165,7 +174,8 @@ impl Registry {
 
     /// The head atom a [`HeadRef`] points at.
     pub fn head(&self, href: HeadRef) -> Option<&Atom> {
-        self.get(href.qid).and_then(|p| p.query.heads.get(href.head_idx))
+        self.get(href.qid)
+            .and_then(|p| p.query.heads.get(href.head_idx))
     }
 
     /// Candidate heads that could satisfy `constraint` (a positive
@@ -206,7 +216,8 @@ impl Registry {
             .into_iter()
             .filter(|href| {
                 // arity must match for unification to be possible
-                self.head(*href).is_some_and(|h| h.arity() == constraint.arity())
+                self.head(*href)
+                    .is_some_and(|h| h.arity() == constraint.arity())
             })
             .collect();
         out.sort();
@@ -232,7 +243,12 @@ mod tests {
 
     fn pending(id: u64, owner: &str, sql: &str) -> Pending {
         let q = compile_sql(sql).unwrap().namespaced(QueryId(id));
-        Pending { id: QueryId(id), owner: owner.into(), query: q, seq: id }
+        Pending {
+            id: QueryId(id),
+            owner: owner.into(),
+            query: q,
+            seq: id,
+        }
     }
 
     fn kramer(id: u64) -> Pending {
@@ -273,7 +289,10 @@ mod tests {
         reg.insert(kramer(1));
         reg.insert(jerry(2));
         // plus unrelated noise: Elaine coordinating with George
-        for (i, (a, b)) in [("Elaine", "George"), ("George", "Elaine")].iter().enumerate() {
+        for (i, (a, b)) in [("Elaine", "George"), ("George", "Elaine")]
+            .iter()
+            .enumerate()
+        {
             reg.insert(pending(
                 10 + i as u64,
                 a,
@@ -288,7 +307,13 @@ mod tests {
         // only Jerry's head should be a candidate.
         let constraint = &reg.get(QueryId(1)).unwrap().query.constraints[0].atom;
         let cands = reg.candidates_for(constraint);
-        assert_eq!(cands, vec![HeadRef { qid: QueryId(2), head_idx: 0 }]);
+        assert_eq!(
+            cands,
+            vec![HeadRef {
+                qid: QueryId(2),
+                head_idx: 0
+            }]
+        );
     }
 
     #[test]
@@ -312,10 +337,7 @@ mod tests {
             "SELECT who, fno INTO ANSWER Reservation \
              WHERE (who, fno) IN (SELECT traveler, fno FROM Offers) CHOOSE 1",
         ));
-        let constraint = Atom::new(
-            "Reservation",
-            vec![Term::constant("Jerry"), Term::var("x")],
-        );
+        let constraint = Atom::new("Reservation", vec![Term::constant("Jerry"), Term::var("x")]);
         assert_eq!(reg.candidates_for(&constraint).len(), 1);
     }
 
@@ -380,10 +402,7 @@ mod tests {
         for id in [5, 3, 9, 1] {
             reg.insert(jerry(id));
         }
-        let constraint = Atom::new(
-            "Reservation",
-            vec![Term::constant("Jerry"), Term::var("x")],
-        );
+        let constraint = Atom::new("Reservation", vec![Term::constant("Jerry"), Term::var("x")]);
         let cands = reg.candidates_for(&constraint);
         let ids: Vec<u64> = cands.iter().map(|h| h.qid.0).collect();
         assert_eq!(ids, vec![1, 3, 5, 9]);

@@ -57,9 +57,7 @@ pub fn check_safety(q: &EntangledQuery, mode: SafetyMode) -> CoreResult<()> {
     for var in q.all_vars() {
         let restricted = match mode {
             SafetyMode::Strict => membership_vars.contains(&var),
-            SafetyMode::Relaxed => {
-                membership_vars.contains(&var) || constraint_vars.contains(&var)
-            }
+            SafetyMode::Relaxed => membership_vars.contains(&var) || constraint_vars.contains(&var),
         };
         if !restricted {
             let hint = match mode {
@@ -132,10 +130,9 @@ mod tests {
     #[test]
     fn constraint_bound_variable_needs_relaxed_mode() {
         // "give me whatever flight Jerry picked"
-        let q = compile_sql(
-            "SELECT 'K', fno INTO ANSWER R WHERE ('Jerry', fno) IN ANSWER R CHOOSE 1",
-        )
-        .unwrap();
+        let q =
+            compile_sql("SELECT 'K', fno INTO ANSWER R WHERE ('Jerry', fno) IN ANSWER R CHOOSE 1")
+                .unwrap();
         assert!(check_safety(&q, SafetyMode::Strict).is_err());
         check_safety(&q, SafetyMode::Relaxed).unwrap();
     }
@@ -153,29 +150,25 @@ mod tests {
 
     #[test]
     fn negated_membership_does_not_restrict() {
-        let q = compile_sql(
-            "SELECT 'K', x INTO ANSWER R WHERE x NOT IN (SELECT a FROM t) CHOOSE 1",
-        )
-        .unwrap();
+        let q =
+            compile_sql("SELECT 'K', x INTO ANSWER R WHERE x NOT IN (SELECT a FROM t) CHOOSE 1")
+                .unwrap();
         assert!(check_safety(&q, SafetyMode::Strict).is_err());
         assert!(check_safety(&q, SafetyMode::Relaxed).is_err());
     }
 
     #[test]
     fn negated_constraint_does_not_restrict() {
-        let q = compile_sql(
-            "SELECT 'K', x INTO ANSWER R WHERE ('J', x) NOT IN ANSWER R CHOOSE 1",
-        )
-        .unwrap();
+        let q = compile_sql("SELECT 'K', x INTO ANSWER R WHERE ('J', x) NOT IN ANSWER R CHOOSE 1")
+            .unwrap();
         assert!(check_safety(&q, SafetyMode::Relaxed).is_err());
     }
 
     #[test]
     fn self_containment() {
-        let alone = compile_sql(
-            "SELECT 'K', x INTO ANSWER R WHERE x IN (SELECT a FROM t) CHOOSE 1",
-        )
-        .unwrap();
+        let alone =
+            compile_sql("SELECT 'K', x INTO ANSWER R WHERE x IN (SELECT a FROM t) CHOOSE 1")
+                .unwrap();
         assert!(is_self_contained(&alone));
         check_safety(&alone, SafetyMode::Strict).unwrap();
 

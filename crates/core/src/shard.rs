@@ -1,0 +1,1252 @@
+//! The sharded, batch-draining coordinator.
+//!
+//! # Why sharding is sound
+//!
+//! Entangled queries interact **only** through answer relations: a
+//! member of a coordination group satisfies another member's
+//! postcondition with one of its heads, so every edge of every possible
+//! coordination group connects two queries whose answer-relation
+//! signatures ([`EntangledQuery::answer_relations`]) overlap. Queries
+//! whose signatures are *not* connected (directly or transitively) can
+//! never appear in one group, never provide each other's committed
+//! answers, and never trigger each other's cascades — the same
+//! independence between non-overlapping components that makes
+//! decomposition tractable in probabilistic-database conditioning. The
+//! pending registry can therefore be partitioned by connected component
+//! of the relation-overlap graph and matched concurrently, with no
+//! cross-shard matching pass at all.
+//!
+//! # Routing rule
+//!
+//! A union-find over answer-relation names maintains those connected
+//! components incrementally. Each arriving query unions all relations
+//! in its signature; the resulting root carries a shard assignment
+//! (round-robin at component birth). When a query's signature spans
+//! components previously assigned *different* shards, the components
+//! merge and the smaller side's pending queries are **rebalanced**
+//! (migrated) into the surviving shard, then re-matched there — an
+//! overlap means those queries can now coordinate, so they must be
+//! co-sharded from that point on. Many components can share one shard
+//! (assignment is surjective, not bijective); correctness only requires
+//! that one component never spans two shards.
+//!
+//! # Locking protocol
+//!
+//! Lock order is strictly `router → shard(i) → shard(j>i) → database`:
+//!
+//! * the **router lock** serializes routing decisions and migrations;
+//!   migrations take the two affected shard locks in ascending index
+//!   order while the router lock is held, so a migration's view of
+//!   "who lives where" is never stale;
+//! * each **shard lock** guards that shard's state (registry, RNG,
+//!   waiters, counters) while its bucket drains; a thread holding a
+//!   shard lock never takes the router lock — answered queries are
+//!   logged under the shard lock and retired from the router *after*
+//!   it is released;
+//! * the **database lock** (inside [`Database`]) is the leaf: matching
+//!   takes the shared read lock, applies take the exclusive write
+//!   lock, and no coordinator lock is ever requested while holding it.
+//!
+//! A query routed by one thread is not yet visible in its shard's
+//! registry until that thread drains it; a concurrent migration can
+//! therefore decide placement without seeing it. Drains heal this
+//! *stale placement* after releasing the shard lock: still-pending
+//! queries are re-checked against the router and moved (and
+//! re-matched) if a merge re-routed their component mid-flight.
+//!
+//! # Batch draining
+//!
+//! [`ShardedCoordinator::submit_batch_sql`] compiles and safety-checks
+//! the whole batch outside any lock, routes it in one router pass
+//! (bucketing after all unions, so intra-batch merges cannot strand an
+//! earlier entry), then drains each shard's bucket on a small worker
+//! pool — one scoped thread per busy shard, capped by
+//! [`ShardedConfig::workers`]. Within one shard the bucket is processed
+//! arrival-by-arrival — insert, match, cascade — which keeps per-shard
+//! semantics *identical* to the serial coordinator under a fixed seed
+//! with randomization disabled (property-tested in
+//! `tests/prop_shard_equivalence.rs`). Each shard's RNG is seeded with
+//! `seed ^ shard_id` so `CHOOSE` stays reproducible independent of
+//! drain interleaving, and each matched group still commits through one
+//! atomic storage transaction.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use youtopia_storage::{Database, StorageResult, Transaction, Tuple};
+
+use crate::compile::compile_sql;
+use crate::coordinator::{
+    CoordinatorConfig, MatchGraph, MatchNotification, PendingInfo, Submission, SystemStats,
+};
+use crate::engine::{match_graph_of, Engine, ShardState};
+use crate::error::{CoreError, CoreResult};
+use crate::ir::{EntangledQuery, QueryId};
+use crate::matcher::GroupMatch;
+use crate::registry::Pending;
+use crate::safety::check_safety;
+
+/// Apply hook shared by every shard (applies can run concurrently on
+/// different shards, hence `Sync` on top of the serial hook's bounds).
+pub type SharedApplyHook =
+    Arc<dyn Fn(&mut Transaction, &GroupMatch) -> StorageResult<()> + Send + Sync + 'static>;
+
+/// Construction options for [`ShardedCoordinator`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedConfig {
+    /// Number of shards (independent matching domains). More shards
+    /// shrink each cascade/sweep scan and raise drain parallelism.
+    pub shards: usize,
+    /// Worker threads used to drain a batch (`0` = one per available
+    /// CPU). Capped by the number of busy shards per batch.
+    pub workers: usize,
+    /// Per-shard coordinator behavior; `base.seed` is xored with the
+    /// shard id to seed each shard's RNG.
+    pub base: CoordinatorConfig,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig {
+            shards: 4,
+            workers: 0,
+            base: CoordinatorConfig::default(),
+        }
+    }
+}
+
+/// Per-request outcome of a batch submission.
+pub type BatchOutcome = CoreResult<Submission>;
+
+/// One shard's drain bucket: `(input index, prepared pending query)`.
+type Bucket = Vec<(usize, Pending)>;
+
+// ------------------------------------------------------------------ //
+// Router: union-find over answer-relation signatures
+// ------------------------------------------------------------------ //
+
+/// A pending-query migration decided while merging two relation
+/// components.
+#[derive(Debug)]
+struct Migration {
+    from: usize,
+    to: usize,
+    qids: Vec<QueryId>,
+}
+
+/// Union-find over relation names with per-component shard assignment
+/// and live-membership tracking (the membership sets are what a merge
+/// migrates).
+struct Router {
+    /// Union-find parent per node (a node is one relation name).
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    /// Shard assignment; meaningful at root nodes.
+    shard: Vec<usize>,
+    /// Live queries of the component (pending *or* routed-but-not-yet-
+    /// drained); meaningful at roots.
+    members: Vec<HashSet<QueryId>>,
+    /// Lowercased relation name → node.
+    rel_node: HashMap<String, usize>,
+    /// Routed query → any node of its signature.
+    qid_node: HashMap<QueryId, usize>,
+    /// Round-robin cursor for newborn components.
+    next_rr: usize,
+    num_shards: usize,
+}
+
+impl Router {
+    fn new(num_shards: usize) -> Router {
+        Router {
+            parent: Vec::new(),
+            rank: Vec::new(),
+            shard: Vec::new(),
+            members: Vec::new(),
+            rel_node: HashMap::new(),
+            qid_node: HashMap::new(),
+            next_rr: 0,
+            num_shards,
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]]; // path halving
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// The node of `relation`, created (with a fresh round-robin shard)
+    /// on first sight.
+    fn node_for(&mut self, relation: &str) -> usize {
+        if let Some(&n) = self.rel_node.get(relation) {
+            return n;
+        }
+        let n = self.parent.len();
+        self.parent.push(n);
+        self.rank.push(0);
+        self.shard.push(self.next_rr);
+        self.next_rr = (self.next_rr + 1) % self.num_shards;
+        self.members.push(HashSet::new());
+        self.rel_node.insert(relation.to_string(), n);
+        n
+    }
+
+    /// Routes a query over its (lowercased) answer-relation signature:
+    /// unions the signature into one component, decides the surviving
+    /// shard, and reports which already-routed queries must migrate
+    /// because their component just changed shards.
+    fn route(&mut self, qid: QueryId, relations: &BTreeSet<String>) -> (usize, Vec<Migration>) {
+        let Some(first) = relations.iter().next() else {
+            // no answer relations at all: the query coordinates with
+            // nobody; spread it round-robin
+            let s = self.next_rr;
+            self.next_rr = (self.next_rr + 1) % self.num_shards;
+            return (s, Vec::new());
+        };
+        let nodes: Vec<usize> = relations.iter().map(|r| self.node_for(r)).collect();
+        let mut roots: Vec<usize> = nodes.iter().map(|&n| self.find(n)).collect();
+        roots.sort_unstable();
+        roots.dedup();
+
+        // the surviving shard: the component with the most live queries
+        // keeps its shard (cheapest migration); ties break toward the
+        // lowest shard index for determinism
+        let winner_shard = roots
+            .iter()
+            .map(|&r| (std::cmp::Reverse(self.members[r].len()), self.shard[r]))
+            .min()
+            .map(|(_, s)| s)
+            .expect("at least one root");
+
+        let mut migrations = Vec::new();
+        let mut merged_members = HashSet::new();
+        for &r in &roots {
+            if self.shard[r] != winner_shard && !self.members[r].is_empty() {
+                migrations.push(Migration {
+                    from: self.shard[r],
+                    to: winner_shard,
+                    qids: self.members[r].iter().copied().collect(),
+                });
+            }
+            merged_members.extend(std::mem::take(&mut self.members[r]));
+        }
+
+        // union all roots; install the merged membership and the
+        // surviving shard at the final root
+        let mut root = roots[0];
+        for &r in &roots[1..] {
+            root = self.union(root, r);
+        }
+        self.shard[root] = winner_shard;
+        merged_members.insert(qid);
+        self.members[root] = merged_members;
+        self.qid_node.insert(qid, self.rel_node[first]);
+
+        (winner_shard, migrations)
+    }
+
+    /// Union by rank; returns the surviving root.
+    fn union(&mut self, a: usize, b: usize) -> usize {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return ra;
+        }
+        let (winner, loser) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[loser] = winner;
+        if self.rank[ra] == self.rank[rb] {
+            self.rank[winner] += 1;
+        }
+        winner
+    }
+
+    /// Retires an answered/cancelled query from its component.
+    fn purge(&mut self, qid: QueryId) {
+        if let Some(node) = self.qid_node.remove(&qid) {
+            let root = self.find(node);
+            self.members[root].remove(&qid);
+        }
+    }
+
+    /// The shard a known relation currently routes to.
+    fn shard_of_relation(&mut self, relation: &str) -> Option<usize> {
+        let &node = self.rel_node.get(&relation.to_ascii_lowercase())?;
+        let root = self.find(node);
+        Some(self.shard[root])
+    }
+
+    /// The shard a routed query's component currently maps to.
+    fn shard_of_query(&mut self, qid: QueryId) -> Option<usize> {
+        let &node = self.qid_node.get(&qid)?;
+        let root = self.find(node);
+        Some(self.shard[root])
+    }
+}
+
+// ------------------------------------------------------------------ //
+// The sharded coordinator
+// ------------------------------------------------------------------ //
+
+/// A coordinator that partitions the pending registry into shards keyed
+/// by answer-relation signature and drains submissions per shard — see
+/// the module docs for the routing rule and locking protocol. The
+/// public surface mirrors [`crate::Coordinator`] plus the batch path.
+pub struct ShardedCoordinator {
+    engine: Engine,
+    shards: Vec<Mutex<ShardState>>,
+    router: Mutex<Router>,
+    next_id: AtomicU64,
+    seq: AtomicU64,
+    rejected_unsafe: AtomicU64,
+    apply_hook: Mutex<Option<SharedApplyHook>>,
+    workers: usize,
+}
+
+impl ShardedCoordinator {
+    /// Creates a sharded coordinator over `db`.
+    pub fn with_config(db: Database, config: ShardedConfig) -> ShardedCoordinator {
+        let shards = config.shards.max(1);
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            config.workers
+        };
+        ShardedCoordinator {
+            shards: (0..shards)
+                .map(|i| {
+                    Mutex::new(ShardState::new(
+                        config.base.use_const_index,
+                        config.base.seed ^ i as u64,
+                    ))
+                })
+                .collect(),
+            router: Mutex::new(Router::new(shards)),
+            next_id: AtomicU64::new(1),
+            seq: AtomicU64::new(0),
+            rejected_unsafe: AtomicU64::new(0),
+            apply_hook: Mutex::new(None),
+            workers,
+            engine: Engine {
+                db,
+                config: config.base,
+            },
+        }
+    }
+
+    /// A sharded coordinator with the default four shards.
+    pub fn new(db: Database) -> ShardedCoordinator {
+        ShardedCoordinator::with_config(db, ShardedConfig::default())
+    }
+
+    /// The underlying database handle.
+    pub fn db(&self) -> &Database {
+        &self.engine.db
+    }
+
+    /// The per-shard coordinator configuration.
+    pub fn config(&self) -> &CoordinatorConfig {
+        &self.engine.config
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Registers the application side-effect hook, shared by all
+    /// shards and run inside each match's storage transaction.
+    pub fn set_apply_hook(&self, hook: SharedApplyHook) {
+        *self.apply_hook.lock() = Some(hook);
+    }
+
+    /// Submits one entangled query given as SQL text.
+    pub fn submit_sql(&self, owner: &str, sql: &str) -> CoreResult<Submission> {
+        let compiled = compile_sql(sql)?;
+        self.submit(owner, compiled)
+    }
+
+    /// Submits one compiled entangled query: routes it to its shard and
+    /// runs arrival-driven matching there. Submissions routed to
+    /// different shards proceed concurrently.
+    pub fn submit(&self, owner: &str, query: EntangledQuery) -> CoreResult<Submission> {
+        if let Err(e) = check_safety(&query, self.engine.config.safety) {
+            self.rejected_unsafe.fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
+        let relations = query.answer_relations();
+        let qid = QueryId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let pending = Pending {
+            id: qid,
+            owner: owner.to_string(),
+            query: query.namespaced(qid),
+            seq,
+        };
+        let hook = self.apply_hook.lock().clone();
+
+        let (shard, moves) = {
+            let mut router = self.router.lock();
+            let (shard, migrations) = router.route(qid, &relations);
+            let moves = self.apply_migrations(&mut router, &migrations);
+            (shard, moves)
+        };
+        self.rematch_moved(moves, &hook);
+
+        let (result, answered) = {
+            let mut state = self.shards[shard].lock();
+            let result = self
+                .engine
+                .process_arrival(&mut state, pending, hook_ref(&hook));
+            (result, std::mem::take(&mut state.answered_log))
+        };
+        self.retire(answered);
+        // heal on Err as well: an apply failure reinstates the query as
+        // pending, and a concurrent merge may have re-routed it
+        if matches!(result, Ok(Submission::Pending(_)) | Err(_)) {
+            self.heal_placement(shard, &[qid], &hook);
+        }
+        result
+    }
+
+    /// Submits a batch of `(owner, sql)` requests: compiles and
+    /// safety-checks outside any lock, routes the whole batch in one
+    /// router pass, then drains each shard's bucket on the worker pool.
+    /// Outcomes are returned in input order.
+    pub fn submit_batch_sql(&self, requests: &[(String, String)]) -> Vec<BatchOutcome> {
+        let compiled: Vec<(String, CoreResult<EntangledQuery>)> = requests
+            .iter()
+            .map(|(owner, sql)| (owner.clone(), compile_sql(sql)))
+            .collect();
+        self.submit_batch(compiled)
+    }
+
+    /// Batch submission of pre-compiled queries (entries may carry a
+    /// compile error, which is passed through to the outcome slot).
+    pub fn submit_batch(
+        &self,
+        requests: Vec<(String, CoreResult<EntangledQuery>)>,
+    ) -> Vec<BatchOutcome> {
+        let mut outcomes: Vec<Option<BatchOutcome>> = Vec::with_capacity(requests.len());
+        outcomes.resize_with(requests.len(), || None);
+
+        // Phase 1 (no locks): compile outcomes + safety, id allocation
+        // in input order so ids match a serial submission of the batch.
+        let mut accepted: Vec<(usize, Pending, BTreeSet<String>)> = Vec::new();
+        for (idx, (owner, compiled)) in requests.into_iter().enumerate() {
+            let query = match compiled {
+                Ok(q) => q,
+                Err(e) => {
+                    outcomes[idx] = Some(Err(e));
+                    continue;
+                }
+            };
+            if let Err(e) = check_safety(&query, self.engine.config.safety) {
+                self.rejected_unsafe.fetch_add(1, Ordering::Relaxed);
+                outcomes[idx] = Some(Err(e));
+                continue;
+            }
+            let relations = query.answer_relations();
+            let qid = QueryId(self.next_id.fetch_add(1, Ordering::Relaxed));
+            let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+            let pending = Pending {
+                id: qid,
+                owner,
+                query: query.namespaced(qid),
+                seq,
+            };
+            accepted.push((idx, pending, relations));
+        }
+
+        // Phase 2 (router lock): union every signature first, then
+        // bucket by the *final* component placement — bucketing after
+        // all unions means an intra-batch merge can never strand an
+        // earlier entry on a stale shard.
+        let hook = self.apply_hook.lock().clone();
+        let mut buckets: Vec<Bucket> = vec![Vec::new(); self.shards.len()];
+        let mut all_moves: HashMap<usize, Vec<QueryId>> = HashMap::new();
+        {
+            let mut router = self.router.lock();
+            let mut routed = Vec::with_capacity(accepted.len());
+            for (idx, pending, relations) in accepted {
+                let (_, migrations) = router.route(pending.id, &relations);
+                for (shard, mut qids) in self.apply_migrations(&mut router, &migrations) {
+                    all_moves.entry(shard).or_default().append(&mut qids);
+                }
+                routed.push((idx, pending));
+            }
+            for (idx, pending) in routed {
+                let shard = router
+                    .shard_of_query(pending.id)
+                    .expect("query was routed in this pass");
+                buckets[shard].push((idx, pending));
+            }
+        }
+        self.rematch_moved(all_moves, &hook);
+
+        // Phase 3 (worker pool): drain each busy shard independently,
+        // arrival-by-arrival within the bucket.
+        let busy: Vec<usize> = (0..buckets.len())
+            .filter(|&s| !buckets[s].is_empty())
+            .collect();
+        let buckets: Vec<Option<Mutex<Bucket>>> = buckets
+            .into_iter()
+            .map(|b| {
+                if b.is_empty() {
+                    None
+                } else {
+                    Some(Mutex::new(b))
+                }
+            })
+            .collect();
+        let worker_count = self.workers.min(busy.len()).max(1);
+
+        let mut drained: Vec<(usize, BatchOutcome)> = Vec::new();
+        let mut answered: Vec<QueryId> = Vec::new();
+        let mut still_pending: Vec<(usize, QueryId)> = Vec::new(); // (shard, qid)
+        let cursor = AtomicU64::new(0);
+        let worker = |results: &mut Vec<(usize, BatchOutcome)>,
+                      log: &mut Vec<QueryId>,
+                      pending_out: &mut Vec<(usize, QueryId)>| {
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed) as usize;
+                let Some(&shard) = busy.get(i) else { break };
+                let bucket = buckets[shard]
+                    .as_ref()
+                    .expect("busy shard has a bucket")
+                    .lock()
+                    .drain(..)
+                    .collect::<Vec<_>>();
+                let (mut r, mut l, maybe_pending) = self.drain_shard(shard, bucket, &hook);
+                pending_out.extend(maybe_pending.into_iter().map(|qid| (shard, qid)));
+                results.append(&mut r);
+                log.append(&mut l);
+            }
+        };
+        if worker_count <= 1 {
+            worker(&mut drained, &mut answered, &mut still_pending);
+        } else {
+            let results = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..worker_count)
+                    .map(|_| {
+                        let worker = &worker;
+                        scope.spawn(move || {
+                            let (mut r, mut l, mut p) = (Vec::new(), Vec::new(), Vec::new());
+                            worker(&mut r, &mut l, &mut p);
+                            (r, l, p)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("drain worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for (mut r, mut l, mut p) in results {
+                drained.append(&mut r);
+                answered.append(&mut l);
+                still_pending.append(&mut p);
+            }
+        }
+        self.retire(answered);
+
+        // Phase 4: heal any placement made stale by a concurrent merge.
+        let mut by_shard: HashMap<usize, Vec<QueryId>> = HashMap::new();
+        for (shard, qid) in still_pending {
+            by_shard.entry(shard).or_default().push(qid);
+        }
+        for (shard, qids) in by_shard {
+            self.heal_placement(shard, &qids, &hook);
+        }
+
+        for (idx, outcome) in drained {
+            outcomes[idx] = Some(outcome);
+        }
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every batch slot received an outcome"))
+            .collect()
+    }
+
+    /// Drains one shard's bucket under its lock: insert → match →
+    /// cascade per arrival, in bucket (= submission) order. Returns the
+    /// per-request outcomes, the answered-query log, and the ids that
+    /// may still be pending afterwards (`Pending` outcomes, plus `Err`
+    /// outcomes — an apply failure reinstates the query), which the
+    /// caller must placement-heal.
+    fn drain_shard(
+        &self,
+        shard: usize,
+        bucket: Bucket,
+        hook: &Option<SharedApplyHook>,
+    ) -> (Vec<(usize, BatchOutcome)>, Vec<QueryId>, Vec<QueryId>) {
+        let mut state = self.shards[shard].lock();
+        let mut results = Vec::with_capacity(bucket.len());
+        let mut maybe_pending = Vec::new();
+        for (idx, pending) in bucket {
+            let qid = pending.id;
+            let outcome = self
+                .engine
+                .process_arrival(&mut state, pending, hook_ref(hook));
+            if matches!(outcome, Ok(Submission::Pending(_)) | Err(_)) {
+                maybe_pending.push(qid);
+            }
+            results.push((idx, outcome));
+        }
+        let log = std::mem::take(&mut state.answered_log);
+        (results, log, maybe_pending)
+    }
+
+    /// Executes migrations decided by the router (caller holds the
+    /// router lock). Shard locks are taken in ascending index order —
+    /// the global lock order — so concurrent drains cannot deadlock.
+    /// Only *moves* entries (cheap: registry + waiter transfers);
+    /// matching is deliberately left to [`Self::rematch_moved`], which
+    /// runs after the router lock is released so routing never
+    /// serializes behind match work or database writes. Returns the
+    /// moved queries grouped by destination shard.
+    fn apply_migrations(
+        &self,
+        _router: &mut Router,
+        migrations: &[Migration],
+    ) -> HashMap<usize, Vec<QueryId>> {
+        let mut moves: HashMap<usize, Vec<QueryId>> = HashMap::new();
+        for m in migrations {
+            if m.from == m.to {
+                continue;
+            }
+            let (lo, hi) = (m.from.min(m.to), m.from.max(m.to));
+            let mut lo_guard = self.shards[lo].lock();
+            let mut hi_guard = self.shards[hi].lock();
+            let (src, dst) = if m.from == lo {
+                (&mut *lo_guard, &mut *hi_guard)
+            } else {
+                (&mut *hi_guard, &mut *lo_guard)
+            };
+            for qid in &m.qids {
+                // answered/cancelled entries may linger in the
+                // membership until retired; routed-but-undrained ones
+                // are healed by their own drain. Skip both.
+                if let Some(pending) = src.registry.remove(*qid) {
+                    dst.registry.insert(pending);
+                    moves.entry(m.to).or_default().push(*qid);
+                }
+                if let Some(waiter) = src.waiters.remove(qid) {
+                    dst.waiters.insert(*qid, waiter);
+                }
+            }
+        }
+        moves
+    }
+
+    /// Re-matches queries that [`Self::apply_migrations`] moved: the
+    /// merge that triggered the migration may have made them matchable
+    /// against their new shard's pending set. Runs *without* the router
+    /// lock; matching, applies and cascades happen under the shard lock
+    /// only, exactly like a drain. Best-effort: apply failures leave
+    /// the group pending, like a cascade round.
+    fn rematch_moved(&self, moves: HashMap<usize, Vec<QueryId>>, hook: &Option<SharedApplyHook>) {
+        let mut answered = Vec::new();
+        for (shard, qids) in moves {
+            let mut state = self.shards[shard].lock();
+            for qid in qids {
+                if state.registry.get(qid).is_none() {
+                    continue; // answered earlier in this loop or moved on
+                }
+                if let Ok(Some(gm)) = self.engine.try_match(&mut state, qid) {
+                    let fresh: Vec<(String, Tuple)> = gm.all_answers().cloned().collect();
+                    if self
+                        .engine
+                        .apply_and_notify(&mut state, gm, hook_ref(hook))
+                        .is_ok()
+                    {
+                        let _ = self.engine.cascade(&mut state, fresh, hook_ref(hook));
+                    } // on Err the group was reinstated and stays pending
+                }
+            }
+            answered.append(&mut state.answered_log);
+        }
+        self.retire(answered);
+    }
+
+    /// Re-checks where `qids` (just drained as pending on `shard`)
+    /// should live according to the router, migrating and re-matching
+    /// any that a concurrent component merge re-routed mid-flight.
+    fn heal_placement(&self, shard: usize, qids: &[QueryId], hook: &Option<SharedApplyHook>) {
+        let moves = {
+            let mut router = self.router.lock();
+            let mut by_target: HashMap<usize, Vec<QueryId>> = HashMap::new();
+            for &qid in qids {
+                if let Some(target) = router.shard_of_query(qid) {
+                    if target != shard {
+                        by_target.entry(target).or_default().push(qid);
+                    }
+                }
+            }
+            if by_target.is_empty() {
+                return;
+            }
+            let migrations: Vec<Migration> = by_target
+                .into_iter()
+                .map(|(to, qids)| Migration {
+                    from: shard,
+                    to,
+                    qids,
+                })
+                .collect();
+            self.apply_migrations(&mut router, &migrations)
+        };
+        self.rematch_moved(moves, hook);
+    }
+
+    /// Retires answered queries from the router's membership sets.
+    /// Must be called without holding any shard lock (lock order).
+    fn retire(&self, answered: Vec<QueryId>) {
+        if answered.is_empty() {
+            return;
+        }
+        let mut router = self.router.lock();
+        for qid in answered {
+            router.purge(qid);
+        }
+    }
+
+    /// Cancels a pending query.
+    pub fn cancel(&self, qid: QueryId) -> CoreResult<()> {
+        let mut router = self.router.lock();
+        let Some(shard) = router.shard_of_query(qid) else {
+            return Err(CoreError::UnknownQuery(qid.0));
+        };
+        let removed = {
+            let mut state = self.shards[shard].lock();
+            state.waiters.remove(&qid);
+            state.registry.remove(qid)
+        };
+        router.purge(qid);
+        removed.map(|_| ()).ok_or(CoreError::UnknownQuery(qid.0))
+    }
+
+    /// Cancels every pending query belonging to `owner`. Returns how
+    /// many were withdrawn.
+    pub fn cancel_owner(&self, owner: &str) -> usize {
+        let mut victims = Vec::new();
+        for shard in &self.shards {
+            let mut state = shard.lock();
+            let ids: Vec<QueryId> = state
+                .registry
+                .iter()
+                .filter(|p| p.owner == owner)
+                .map(|p| p.id)
+                .collect();
+            for qid in ids {
+                state.registry.remove(qid);
+                state.waiters.remove(&qid);
+                victims.push(qid);
+            }
+        }
+        let count = victims.len();
+        self.retire(victims);
+        count
+    }
+
+    /// Retries matching for every pending query on every shard (useful
+    /// after database updates). Returns all notifications produced.
+    pub fn retry_all(&self) -> CoreResult<Vec<MatchNotification>> {
+        let hook = self.apply_hook.lock().clone();
+        let mut notifications = Vec::new();
+        let mut answered = Vec::new();
+        for shard in &self.shards {
+            let mut state = shard.lock();
+            notifications.extend(self.engine.retry_all(&mut state, hook_ref(&hook))?);
+            answered.append(&mut state.answered_log);
+        }
+        self.retire(answered);
+        Ok(notifications)
+    }
+
+    /// Total number of pending queries across shards.
+    pub fn pending_count(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().registry.len()).sum()
+    }
+
+    /// Pending queries per shard (diagnostics / load inspection).
+    pub fn pending_per_shard(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().registry.len())
+            .collect()
+    }
+
+    /// Merged statistics across shards (plus global safety rejections).
+    pub fn stats(&self) -> SystemStats {
+        let mut total = SystemStats::default();
+        for shard in &self.shards {
+            total.merge(&shard.lock().stats);
+        }
+        total.rejected_unsafe += self.rejected_unsafe.load(Ordering::Relaxed);
+        total
+    }
+
+    /// The current submission sequence number.
+    pub fn current_seq(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of all pending queries, sorted by id.
+    pub fn pending_snapshot(&self) -> Vec<PendingInfo> {
+        let mut all: Vec<PendingInfo> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .registry
+                    .iter()
+                    .map(|p| PendingInfo {
+                        id: p.id,
+                        owner: p.owner.clone(),
+                        sql: p.query.sql.clone(),
+                        ir: p.query.to_string(),
+                        seq: p.seq,
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        all.sort_by_key(|p| p.id.0);
+        all
+    }
+
+    /// The union of the per-shard match graphs. Co-sharding guarantees
+    /// no potential-satisfaction edge ever crosses shards, so this is
+    /// the complete system match graph.
+    pub fn match_graph(&self) -> MatchGraph {
+        let mut graph = MatchGraph::default();
+        for shard in &self.shards {
+            let part = match_graph_of(&shard.lock().registry);
+            graph.edges.extend(part.edges);
+            graph.dangling.extend(part.dangling);
+        }
+        graph
+    }
+
+    /// Reads the current content of an answer relation.
+    pub fn answers(&self, relation: &str) -> Vec<Tuple> {
+        self.engine.answers(relation)
+    }
+
+    /// The shard `relation` currently routes to (`None` until some
+    /// query has touched it). Exposed for tests and diagnostics.
+    pub fn shard_of_relation(&self, relation: &str) -> Option<usize> {
+        self.router.lock().shard_of_relation(relation)
+    }
+
+    /// Verifies the routing invariants at a quiescent point, returning
+    /// a description of the first violation: (a) every pending query
+    /// lives on the shard its relation component routes to, (b) a
+    /// query's whole signature maps to a single component, and (c)
+    /// every pending query is tracked in its component's membership
+    /// set. Used by the invariant unit tests and the concurrency soak.
+    pub fn check_routing_invariants(&self) -> Result<(), String> {
+        // collect shard placements first, then consult the router —
+        // the lock order forbids taking the router lock while holding
+        // a shard lock
+        let mut placements: Vec<(usize, QueryId, BTreeSet<String>)> = Vec::new();
+        for (si, shard) in self.shards.iter().enumerate() {
+            let state = shard.lock();
+            for p in state.registry.iter() {
+                placements.push((si, p.id, p.query.answer_relations()));
+            }
+        }
+        let mut router = self.router.lock();
+        for (si, qid, relations) in placements {
+            let mut component = None;
+            for rel in &relations {
+                let Some(&node) = router.rel_node.get(rel) else {
+                    return Err(format!("query {qid}: relation {rel} unknown to the router"));
+                };
+                let root = router.find(node);
+                if *component.get_or_insert(root) != root {
+                    return Err(format!("query {qid}: signature spans two components"));
+                }
+                let routed = router.shard[root];
+                if routed != si {
+                    return Err(format!(
+                        "query {qid} lives on shard {si} but {rel} routes to shard {routed}"
+                    ));
+                }
+            }
+            if let Some(root) = component {
+                if !router.members[root].contains(&qid) {
+                    return Err(format!("query {qid} missing from its component membership"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Borrows the shared hook as the engine's `&dyn Fn`.
+type HookDyn<'a> = &'a dyn Fn(&mut Transaction, &GroupMatch) -> StorageResult<()>;
+
+fn hook_ref(hook: &Option<SharedApplyHook>) -> Option<HookDyn<'_>> {
+    hook.as_ref()
+        .map(|h| h.as_ref() as &dyn Fn(&mut Transaction, &GroupMatch) -> StorageResult<()>)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use youtopia_exec::run_sql;
+
+    fn flights_db() -> Database {
+        let db = Database::new();
+        for sql in [
+            "CREATE TABLE Flights (fno INT PRIMARY KEY, dest STRING NOT NULL)",
+            "INSERT INTO Flights VALUES (122, 'Paris'), (123, 'Paris'), (134, 'Paris'), \
+             (136, 'Rome')",
+        ] {
+            run_sql(&db, sql).unwrap();
+        }
+        db
+    }
+
+    fn pair_sql_on(rel: &str, me: &str, friend: &str) -> String {
+        format!(
+            "SELECT '{me}', fno INTO ANSWER {rel} \
+             WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') \
+             AND ('{friend}', fno) IN ANSWER {rel} CHOOSE 1"
+        )
+    }
+
+    #[test]
+    fn pair_coordination_end_to_end() {
+        let co = ShardedCoordinator::new(flights_db());
+        let a = co
+            .submit_sql("kramer", &pair_sql_on("Reservation", "Kramer", "Jerry"))
+            .unwrap();
+        let Submission::Pending(ticket) = a else {
+            panic!("kramer must wait")
+        };
+        let b = co
+            .submit_sql("jerry", &pair_sql_on("Reservation", "Jerry", "Kramer"))
+            .unwrap();
+        assert!(matches!(b, Submission::Answered(_)));
+        ticket.receiver.try_recv().expect("kramer notified");
+        assert_eq!(co.pending_count(), 0);
+        assert_eq!(co.stats().groups_matched, 1);
+        co.check_routing_invariants().unwrap();
+    }
+
+    #[test]
+    fn distinct_relations_land_on_distinct_shards() {
+        let co = ShardedCoordinator::with_config(
+            flights_db(),
+            ShardedConfig {
+                shards: 4,
+                ..Default::default()
+            },
+        );
+        for k in 0..4 {
+            let rel = format!("Res{k}");
+            co.submit_sql("a", &pair_sql_on(&rel, "A", "Ghost"))
+                .unwrap();
+        }
+        let shards: BTreeSet<usize> = (0..4)
+            .map(|k| co.shard_of_relation(&format!("Res{k}")).unwrap())
+            .collect();
+        assert_eq!(shards.len(), 4, "round-robin spreads fresh components");
+        assert_eq!(co.pending_per_shard(), vec![1, 1, 1, 1]);
+        co.check_routing_invariants().unwrap();
+    }
+
+    #[test]
+    fn batch_matches_pairs_and_reports_in_order() {
+        let co = ShardedCoordinator::new(flights_db());
+        let requests: Vec<(String, String)> = (0..8)
+            .map(|k| {
+                let rel = format!("Res{}", k % 4);
+                let (me, friend) = if k < 4 {
+                    (format!("L{k}"), format!("R{k}"))
+                } else {
+                    (format!("R{}", k - 4), format!("L{}", k - 4))
+                };
+                (me.clone(), pair_sql_on(&rel, &me, &friend))
+            })
+            .collect();
+        let outcomes = co.submit_batch_sql(&requests);
+        assert_eq!(outcomes.len(), 8);
+        for outcome in &outcomes[..4] {
+            assert!(
+                matches!(outcome, Ok(Submission::Pending(_))),
+                "first halves wait"
+            );
+        }
+        for outcome in &outcomes[4..] {
+            assert!(
+                matches!(outcome, Ok(Submission::Answered(_))),
+                "second halves close"
+            );
+        }
+        assert_eq!(co.pending_count(), 0);
+        assert_eq!(co.stats().groups_matched, 4);
+        co.check_routing_invariants().unwrap();
+    }
+
+    #[test]
+    fn bridging_query_merges_components_and_migrates() {
+        let co = ShardedCoordinator::with_config(
+            flights_db(),
+            ShardedConfig {
+                shards: 4,
+                ..Default::default()
+            },
+        );
+        co.submit_sql("a", &pair_sql_on("RelA", "A", "GhostA"))
+            .unwrap();
+        co.submit_sql("b", &pair_sql_on("RelB", "B", "GhostB"))
+            .unwrap();
+        let sa = co.shard_of_relation("RelA").unwrap();
+        let sb = co.shard_of_relation("RelB").unwrap();
+        assert_ne!(sa, sb, "fresh components start on different shards");
+
+        // a query spanning both relations forces the components together
+        let bridge = "SELECT 'C', fno INTO ANSWER RelA, 'C', fno INTO ANSWER RelB \
+                      WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') \
+                      AND ('GhostC', fno) IN ANSWER RelA CHOOSE 1";
+        co.submit_sql("c", bridge).unwrap();
+        assert_eq!(
+            co.shard_of_relation("RelA").unwrap(),
+            co.shard_of_relation("RelB").unwrap(),
+            "merged components co-shard"
+        );
+        co.check_routing_invariants().unwrap();
+        assert_eq!(co.pending_count(), 3);
+    }
+
+    #[test]
+    fn migration_rematches_newly_coordinable_queries() {
+        let co = ShardedCoordinator::with_config(
+            flights_db(),
+            ShardedConfig {
+                shards: 4,
+                ..Default::default()
+            },
+        );
+        // two halves of a pair on relations that start out separate:
+        // X's constraint lives on RelP, its head on RelQ and vice versa,
+        // so neither can match until the components merge... which their
+        // own signatures already force. Use disjoint relations instead:
+        // a pending pair split across components cannot exist by
+        // construction (signatures overlap ⇒ same component), so the
+        // rematch path is exercised through a bridge that *completes* a
+        // match: X waits on RelA; the bridge has heads on RelA and RelB
+        // and waits on X's head relation.
+        let x = "SELECT 'X', fno INTO ANSWER RelA \
+                 WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') \
+                 AND ('Y', fno) IN ANSWER RelB CHOOSE 1";
+        let sub_x = co.submit_sql("x", x).unwrap();
+        let Submission::Pending(ticket_x) = sub_x else {
+            panic!("x waits")
+        };
+        // RelA and RelB are already one component (X touches both), so
+        // add an unrelated pending on RelC to create a second component
+        co.submit_sql("noise", &pair_sql_on("RelC", "N", "GhostN"))
+            .unwrap();
+        // Y bridges: head on RelB (satisfies X) + constraint on RelA
+        // (satisfied by X) + also touches RelC, merging all components
+        let y = "SELECT 'Y', fno INTO ANSWER RelB, 'Y', fno INTO ANSWER RelC \
+                 WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') \
+                 AND ('X', fno) IN ANSWER RelA CHOOSE 1";
+        let sub_y = co.submit_sql("y", y).unwrap();
+        assert!(
+            matches!(sub_y, Submission::Answered(_)),
+            "merge makes the pair matchable"
+        );
+        ticket_x
+            .receiver
+            .try_recv()
+            .expect("x notified after merge");
+        co.check_routing_invariants().unwrap();
+    }
+
+    #[test]
+    fn const_index_stays_consistent_across_submit_retract_rebalance() {
+        use crate::ir::{Atom, Term};
+
+        let co = ShardedCoordinator::with_config(
+            flights_db(),
+            ShardedConfig {
+                shards: 4,
+                ..Default::default()
+            },
+        );
+        // submit: X waits on RelA with a constant-name head
+        let sub = co
+            .submit_sql("x", &pair_sql_on("RelA", "X", "GhostX"))
+            .unwrap();
+        let xid = sub.id();
+        co.submit_sql("m", &pair_sql_on("RelM", "M", "GhostM"))
+            .unwrap();
+        let shard_a = co.shard_of_relation("RelA").unwrap();
+        let shard_m = co.shard_of_relation("RelM").unwrap();
+        assert_ne!(shard_a, shard_m);
+
+        // the constant-position index on X's shard finds X's head for a
+        // constraint naming X, and nothing for a stranger
+        let probe_x = Atom::new("RelA", vec![Term::constant("X"), Term::var("f")]);
+        let probe_stranger = Atom::new("RelA", vec![Term::constant("Z"), Term::var("f")]);
+        {
+            let state = co.shards[shard_a].lock();
+            assert_eq!(state.registry.candidates_for(&probe_x).len(), 1);
+            assert!(state.registry.candidates_for(&probe_stranger).is_empty());
+        }
+
+        // rebalance: a bridge spanning RelA and RelM merges the
+        // components (union-find merge path) and migrates one side
+        let bridge = "SELECT 'B', fno INTO ANSWER RelA, 'B', fno INTO ANSWER RelM \
+                      WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') \
+                      AND ('GhostB', fno) IN ANSWER RelA CHOOSE 1";
+        co.submit_sql("b", bridge).unwrap();
+        let merged = co.shard_of_relation("RelA").unwrap();
+        assert_eq!(merged, co.shard_of_relation("RelM").unwrap());
+        co.check_routing_invariants().unwrap();
+
+        // after the rebalance the index travelled with the entries:
+        // the merged shard finds X's head, every other shard finds none
+        for (i, shard) in co.shards.iter().enumerate() {
+            let state = shard.lock();
+            let found = state.registry.candidates_for(&probe_x).len();
+            if i == merged {
+                assert_eq!(
+                    found, 1,
+                    "migrated head must be indexed on the merged shard"
+                );
+            } else {
+                assert_eq!(found, 0, "no stale index entries on shard {i}");
+            }
+        }
+
+        // retract: cancelling X must drop it from the index on the
+        // merged shard too
+        co.cancel(xid).unwrap();
+        {
+            let state = co.shards[merged].lock();
+            assert!(state.registry.candidates_for(&probe_x).is_empty());
+        }
+        co.check_routing_invariants().unwrap();
+    }
+
+    #[test]
+    fn repeated_merges_keep_membership_exact() {
+        // chain merges: RelC0..RelC3 born separately, then bridges fold
+        // them left to right; membership and routing stay consistent
+        let co = ShardedCoordinator::with_config(
+            flights_db(),
+            ShardedConfig {
+                shards: 4,
+                ..Default::default()
+            },
+        );
+        for k in 0..4 {
+            co.submit_sql(
+                "w",
+                &pair_sql_on(&format!("RelC{k}"), &format!("W{k}"), "Ghost"),
+            )
+            .unwrap();
+        }
+        for k in 0..3 {
+            let bridge = format!(
+                "SELECT 'B{k}', fno INTO ANSWER RelC{k}, 'B{k}', fno INTO ANSWER RelC{next} \
+                 WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') \
+                 AND ('GhostB{k}', fno) IN ANSWER RelC{k} CHOOSE 1",
+                next = k + 1
+            );
+            co.submit_sql("b", &bridge).unwrap();
+            co.check_routing_invariants().unwrap();
+        }
+        let home = co.shard_of_relation("RelC0").unwrap();
+        for k in 1..4 {
+            assert_eq!(co.shard_of_relation(&format!("RelC{k}")).unwrap(), home);
+        }
+        // all 7 pending queries live together now
+        assert_eq!(co.pending_per_shard()[home], 7);
+        assert_eq!(co.pending_count(), 7);
+    }
+
+    #[test]
+    fn unsafe_queries_are_rejected_and_counted() {
+        let co = ShardedCoordinator::new(flights_db());
+        let err = co
+            .submit_sql("x", "SELECT 'X', v INTO ANSWER R CHOOSE 1")
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Unsafe(_)));
+        assert_eq!(co.stats().rejected_unsafe, 1);
+        assert_eq!(co.pending_count(), 0);
+    }
+
+    #[test]
+    fn cancel_and_cancel_owner() {
+        let co = ShardedCoordinator::new(flights_db());
+        let s = co
+            .submit_sql("kramer", &pair_sql_on("Reservation", "Kramer", "Jerry"))
+            .unwrap();
+        co.submit_sql("kramer", &pair_sql_on("Res2", "Kramer", "Jerry2"))
+            .unwrap();
+        co.submit_sql("elaine", &pair_sql_on("Res3", "Elaine", "Ghost"))
+            .unwrap();
+        co.cancel(s.id()).unwrap();
+        assert!(matches!(co.cancel(s.id()), Err(CoreError::UnknownQuery(_))));
+        assert_eq!(co.cancel_owner("kramer"), 1);
+        assert_eq!(co.pending_count(), 1);
+        co.check_routing_invariants().unwrap();
+    }
+
+    #[test]
+    fn retry_all_matches_after_data_arrives() {
+        let db = Database::new();
+        run_sql(
+            &db,
+            "CREATE TABLE Flights (fno INT PRIMARY KEY, dest STRING NOT NULL)",
+        )
+        .unwrap();
+        let co = ShardedCoordinator::new(db.clone());
+        co.submit_sql("kramer", &pair_sql_on("Reservation", "Kramer", "Jerry"))
+            .unwrap();
+        co.submit_sql("jerry", &pair_sql_on("Reservation", "Jerry", "Kramer"))
+            .unwrap();
+        assert!(co.retry_all().unwrap().is_empty());
+        run_sql(&db, "INSERT INTO Flights VALUES (122, 'Paris')").unwrap();
+        assert_eq!(co.retry_all().unwrap().len(), 2);
+        assert_eq!(co.pending_count(), 0);
+        co.check_routing_invariants().unwrap();
+    }
+
+    #[test]
+    fn apply_hook_runs_in_the_match_transaction() {
+        let db = flights_db();
+        run_sql(&db, "CREATE TABLE Log (qid INT)").unwrap();
+        let co = ShardedCoordinator::new(db.clone());
+        co.set_apply_hook(Arc::new(|txn, m| {
+            for &qid in &m.members {
+                txn.insert(
+                    "Log",
+                    Tuple::new(vec![youtopia_storage::Value::Int(qid.0 as i64)]),
+                )?;
+            }
+            Ok(())
+        }));
+        co.submit_sql("kramer", &pair_sql_on("Reservation", "Kramer", "Jerry"))
+            .unwrap();
+        co.submit_sql("jerry", &pair_sql_on("Reservation", "Jerry", "Kramer"))
+            .unwrap();
+        assert_eq!(db.read().table("Log").unwrap().len(), 2);
+    }
+}

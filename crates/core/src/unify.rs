@@ -277,7 +277,10 @@ mod tests {
     fn resolve_and_ground() {
         let mut s = Subst::new();
         s.bind(&v("x"), Value::Int(1));
-        let atom = Atom::new("R", vec![Term::var("x"), Term::var("y"), Term::constant(0i64)]);
+        let atom = Atom::new(
+            "R",
+            vec![Term::var("x"), Term::var("y"), Term::constant(0i64)],
+        );
         let applied = s.apply_atom(&atom);
         assert_eq!(applied.terms[0], Term::constant(1i64));
         assert!(matches!(applied.terms[1], Term::Var(_)));

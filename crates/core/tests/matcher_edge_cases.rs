@@ -3,15 +3,17 @@
 //! mixed-arity relations, cancellation races, membership errors, and
 //! group-size boundary behaviour.
 
-use youtopia_core::{
-    Coordinator, CoordinatorConfig, CoreError, MatchConfig, Submission,
-};
+use youtopia_core::{Coordinator, CoordinatorConfig, CoreError, MatchConfig, Submission};
 use youtopia_exec::run_sql;
 use youtopia_storage::{Database, Value};
 
 fn flights_db() -> Database {
     let db = Database::new();
-    run_sql(&db, "CREATE TABLE Flights (fno INT PRIMARY KEY, dest STRING)").unwrap();
+    run_sql(
+        &db,
+        "CREATE TABLE Flights (fno INT PRIMARY KEY, dest STRING)",
+    )
+    .unwrap();
     run_sql(
         &db,
         "INSERT INTO Flights VALUES (1,'Paris'), (2,'Paris'), (3,'Rome')",
@@ -86,7 +88,11 @@ fn variable_partner_name_matches_anyone() {
     let answers = co2.answers("R");
     assert_eq!(answers.len(), 2);
     for t in &answers {
-        assert_eq!(t.values()[1], Value::Int(3), "both on the leader's Rome flight");
+        assert_eq!(
+            t.values()[1],
+            Value::Int(3),
+            "both on the leader's Rome flight"
+        );
     }
     assert_eq!(co2.pending_count(), 0);
 }
@@ -122,11 +128,19 @@ fn filter_on_unified_variables_prunes_partners() {
              AND ('B', bf) IN ANSWER R AND bf <> cf CHOOSE 1",
         )
         .unwrap();
-    let n = c.answered().expect("the pair with distinct flights matches");
+    let n = c
+        .answered()
+        .expect("the pair with distinct flights matches");
     assert_eq!(n.group.len(), 2);
     let answers = co.answers("R");
-    let b_fno = answers.iter().find(|t| t.values()[0].as_str() == Some("B")).unwrap();
-    let c_fno = answers.iter().find(|t| t.values()[0].as_str() == Some("C")).unwrap();
+    let b_fno = answers
+        .iter()
+        .find(|t| t.values()[0].as_str() == Some("B"))
+        .unwrap();
+    let c_fno = answers
+        .iter()
+        .find(|t| t.values()[0].as_str() == Some("C"))
+        .unwrap();
     assert_ne!(b_fno.values()[1], c_fno.values()[1], "bf <> cf enforced");
 }
 
@@ -208,7 +222,11 @@ fn cancelled_query_cannot_be_matched_later() {
 fn group_size_exactly_at_the_bound_matches() {
     let db = flights_db();
     let config = CoordinatorConfig {
-        match_config: MatchConfig { max_group_size: 3, randomize: false, ..Default::default() },
+        match_config: MatchConfig {
+            max_group_size: 3,
+            randomize: false,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let co = Coordinator::with_config(db, config);
@@ -226,7 +244,10 @@ fn group_size_exactly_at_the_bound_matches() {
             )
             .unwrap();
         if i == 2 {
-            assert!(sub.answered().is_some(), "ring of exactly max_group_size closes");
+            assert!(
+                sub.answered().is_some(),
+                "ring of exactly max_group_size closes"
+            );
         }
     }
 }
@@ -248,7 +269,11 @@ fn duplicate_queries_all_complete_via_cascade() {
     co.submit_sql("a", &pair("A", "B")).unwrap();
     let first = co.submit_sql("b", &pair("B", "A")).unwrap();
     assert!(first.answered().is_some());
-    assert_eq!(co.pending_count(), 0, "the cascade answered the second copy too");
+    assert_eq!(
+        co.pending_count(),
+        0,
+        "the cascade answered the second copy too"
+    );
     assert_eq!(co.answers("R").len(), 3);
 }
 
@@ -328,7 +353,9 @@ fn cascade_chains_through_multiple_rounds() {
              AND ('F1', fno) IN ANSWER R CHOOSE 1",
         )
         .unwrap();
-    let Submission::Pending(t2) = f2 else { panic!() };
+    let Submission::Pending(t2) = f2 else {
+        panic!()
+    };
     let f1 = co
         .submit_sql(
             "f1",
@@ -337,7 +364,9 @@ fn cascade_chains_through_multiple_rounds() {
              AND ('Leader', fno) IN ANSWER R CHOOSE 1",
         )
         .unwrap();
-    let Submission::Pending(t1) = f1 else { panic!() };
+    let Submission::Pending(t1) = f1 else {
+        panic!()
+    };
 
     // {f1, f2} alone is not closed: f1's constraint still needs a
     // Leader head, so both remain pending.
@@ -356,7 +385,10 @@ fn cascade_chains_through_multiple_rounds() {
     // or pull f1/f2 into a live group; either way the cascade must
     // leave nobody pending and everyone on the leader's flight.
     let n1 = t1.receiver.try_recv().expect("f1 answered");
-    let n2 = t2.receiver.try_recv().expect("f2 answered via the second cascade round");
+    let n2 = t2
+        .receiver
+        .try_recv()
+        .expect("f2 answered via the second cascade round");
     assert_eq!(n1.answers[0].1.values()[1], youtopia_storage::Value::Int(1));
     assert_eq!(n2.answers[0].1.values()[1], youtopia_storage::Value::Int(1));
     assert_eq!(co.pending_count(), 0);
@@ -392,7 +424,11 @@ fn negative_constraints_see_committed_answers() {
 #[test]
 fn empty_database_leaves_everything_pending_then_retry_matches() {
     let db = Database::new();
-    run_sql(&db, "CREATE TABLE Flights (fno INT PRIMARY KEY, dest STRING)").unwrap();
+    run_sql(
+        &db,
+        "CREATE TABLE Flights (fno INT PRIMARY KEY, dest STRING)",
+    )
+    .unwrap();
     let co = Coordinator::new(db.clone());
     let pair = |me: &str, friend: &str| {
         format!(

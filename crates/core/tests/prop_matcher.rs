@@ -106,7 +106,11 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
 
 fn scenario_db() -> Database {
     let db = Database::new();
-    run_sql(&db, "CREATE TABLE Flights (fno INT PRIMARY KEY, dest STRING)").unwrap();
+    run_sql(
+        &db,
+        "CREATE TABLE Flights (fno INT PRIMARY KEY, dest STRING)",
+    )
+    .unwrap();
     run_sql(
         &db,
         "INSERT INTO Flights VALUES (1, 'Paris'), (2, 'Paris'), (3, 'Rome')",
@@ -127,8 +131,15 @@ fn registry_for(scenario: &Scenario) -> Registry {
     let mut reg = Registry::new();
     for (i, (me, friend, dest)) in scenario.requests.iter().enumerate() {
         let id = QueryId(i as u64 + 1);
-        let q = compile_sql(&pair_sql(me, friend, dest)).unwrap().namespaced(id);
-        reg.insert(Pending { id, owner: me.clone(), query: q, seq: id.0 });
+        let q = compile_sql(&pair_sql(me, friend, dest))
+            .unwrap()
+            .namespaced(id);
+        reg.insert(Pending {
+            id,
+            owner: me.clone(),
+            query: q,
+            seq: id.0,
+        });
     }
     reg
 }
@@ -155,7 +166,10 @@ fn assert_match_sound(scenario: &Scenario, m: &GroupMatch) {
         let fno = tuple.values()[1].as_int().expect("ground flight number");
         // membership: fno is a flight to my dest
         let eligible: &[i64] = if dest == "Paris" { &[1, 2] } else { &[3] };
-        assert!(eligible.contains(&fno), "{me}'s flight {fno} must go to {dest}");
+        assert!(
+            eligible.contains(&fno),
+            "{me}'s flight {fno} must go to {dest}"
+        );
         // constraint: (friend, fno) is among the group's answers
         let satisfied = all.iter().any(|(r, vals)| {
             *r == "Reservation"
@@ -262,12 +276,8 @@ fn arb_constraint() -> impl Strategy<Value = Atom> {
         Just(Term::constant("C")),
         Just(Term::var("who")),
     ];
-    let fno_term = prop_oneof![
-        (1i64..4).prop_map(Term::constant),
-        Just(Term::var("f")),
-    ];
-    (name_term, fno_term)
-        .prop_map(|(n, f)| Atom::new("Reservation", vec![n, f]))
+    let fno_term = prop_oneof![(1i64..4).prop_map(Term::constant), Just(Term::var("f")),];
+    (name_term, fno_term).prop_map(|(n, f)| Atom::new("Reservation", vec![n, f]))
 }
 
 // --------------------------------------------------------------------- //

@@ -1,9 +1,7 @@
 //! Execution of DDL and DML statements inside a storage transaction.
 
-use youtopia_storage::{
-    Column, IndexKind, RowId, Schema, StorageError, Transaction, Tuple, Value,
-};
 use youtopia_sql::{CreateIndex, CreateTable, Delete, Expr, Insert, Update};
+use youtopia_storage::{Column, IndexKind, RowId, Schema, StorageError, Transaction, Tuple, Value};
 
 use crate::error::{ExecError, ExecResult};
 use crate::eval::EvalContext;
@@ -14,7 +12,11 @@ pub fn execute_create_table(txn: &mut Transaction, stmt: &CreateTable) -> ExecRe
     let columns: Vec<Column> = stmt
         .columns
         .iter()
-        .map(|c| Column { name: c.name.clone(), ty: c.ty, nullable: c.nullable })
+        .map(|c| Column {
+            name: c.name.clone(),
+            ty: c.ty,
+            nullable: c.nullable,
+        })
         .collect();
     let schema = if stmt.primary_key.is_empty() {
         Schema::new(columns)
@@ -54,10 +56,12 @@ pub fn execute_insert(txn: &mut Transaction, stmt: &Insert) -> ExecResult<usize>
             Some(cols) => Some(
                 cols.iter()
                     .map(|c| {
-                        schema.column_index(c).ok_or_else(|| StorageError::ColumnNotFound {
-                            table: stmt.table.clone(),
-                            column: c.clone(),
-                        })
+                        schema
+                            .column_index(c)
+                            .ok_or_else(|| StorageError::ColumnNotFound {
+                                table: stmt.table.clone(),
+                                column: c.clone(),
+                            })
                     })
                     .collect::<Result<_, _>>()?,
             ),
@@ -73,7 +77,10 @@ pub fn execute_insert(txn: &mut Transaction, stmt: &Insert) -> ExecResult<usize>
         let values: Vec<Value> = {
             let catalog = txn.catalog();
             let ctx = EvalContext::with_row(catalog, &empty_schema, &empty_row);
-            row_exprs.iter().map(|e| ctx.eval(e)).collect::<ExecResult<_>>()?
+            row_exprs
+                .iter()
+                .map(|e| ctx.eval(e))
+                .collect::<ExecResult<_>>()?
         };
         let tuple = match &positions {
             None => Tuple::new(values),
@@ -132,13 +139,12 @@ pub fn execute_update(txn: &mut Transaction, stmt: &Update) -> ExecResult<usize>
         stmt.sets
             .iter()
             .map(|(col, expr)| {
-                schema
-                    .column_index(col)
-                    .map(|p| (p, expr))
-                    .ok_or_else(|| StorageError::ColumnNotFound {
+                schema.column_index(col).map(|p| (p, expr)).ok_or_else(|| {
+                    StorageError::ColumnNotFound {
                         table: stmt.table.clone(),
                         column: col.clone(),
-                    })
+                    }
+                })
             })
             .collect::<Result<_, _>>()?
     };
@@ -177,8 +183,8 @@ pub fn execute_delete(txn: &mut Transaction, stmt: &Delete) -> ExecResult<usize>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use youtopia_storage::Database;
     use youtopia_sql::{parse_statement, Statement};
+    use youtopia_storage::Database;
 
     fn setup() -> Database {
         let db = Database::new();
@@ -195,7 +201,9 @@ mod tests {
     }
 
     fn insert(db: &Database, sql: &str) -> ExecResult<usize> {
-        let Statement::Insert(ins) = parse_statement(sql).unwrap() else { panic!() };
+        let Statement::Insert(ins) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
         let mut txn = db.begin();
         let n = execute_insert(&mut txn, &ins)?;
         txn.commit().unwrap();
@@ -229,7 +237,11 @@ mod tests {
     #[test]
     fn insert_expression_values() {
         let db = setup();
-        insert(&db, "INSERT INTO Flights VALUES (100 + 22, LOWER('PARIS'), 4.5 * 100)").unwrap();
+        insert(
+            &db,
+            "INSERT INTO Flights VALUES (100 + 22, LOWER('PARIS'), 4.5 * 100)",
+        )
+        .unwrap();
         let read = db.read();
         let (_, row) = read.table("Flights").unwrap().scan().next().unwrap();
         assert_eq!(row.values()[0], Value::Int(122));
@@ -241,14 +253,20 @@ mod tests {
     fn insert_arity_mismatch_with_columns() {
         let db = setup();
         let err = insert(&db, "INSERT INTO Flights (fno, dest) VALUES (1)").unwrap_err();
-        assert!(matches!(err, ExecError::Storage(StorageError::ArityMismatch { .. })));
+        assert!(matches!(
+            err,
+            ExecError::Storage(StorageError::ArityMismatch { .. })
+        ));
     }
 
     #[test]
     fn insert_unknown_column() {
         let db = setup();
         let err = insert(&db, "INSERT INTO Flights (ghost) VALUES (1)").unwrap_err();
-        assert!(matches!(err, ExecError::Storage(StorageError::ColumnNotFound { .. })));
+        assert!(matches!(
+            err,
+            ExecError::Storage(StorageError::ColumnNotFound { .. })
+        ));
     }
 
     #[test]
@@ -270,18 +288,29 @@ mod tests {
         assert_eq!(n, 1);
         let read = db.read();
         let t = read.table("Flights").unwrap();
-        let paris = t.scan().find(|(_, r)| r.values()[1] == Value::from("Paris")).unwrap().1;
+        let paris = t
+            .scan()
+            .find(|(_, r)| r.values()[1] == Value::from("Paris"))
+            .unwrap()
+            .1;
         assert_eq!(paris.values()[2], Value::Float(900.0));
-        let rome = t.scan().find(|(_, r)| r.values()[1] == Value::from("Rome")).unwrap().1;
+        let rome = t
+            .scan()
+            .find(|(_, r)| r.values()[1] == Value::from("Rome"))
+            .unwrap()
+            .1;
         assert_eq!(rome.values()[2], Value::Float(300.0));
     }
 
     #[test]
     fn update_without_where_touches_all() {
         let db = setup();
-        insert(&db, "INSERT INTO Flights VALUES (1, 'A', 1.0), (2, 'B', 2.0)").unwrap();
-        let Statement::Update(up) =
-            parse_statement("UPDATE Flights SET price = 0.0").unwrap()
+        insert(
+            &db,
+            "INSERT INTO Flights VALUES (1, 'A', 1.0), (2, 'B', 2.0)",
+        )
+        .unwrap();
+        let Statement::Update(up) = parse_statement("UPDATE Flights SET price = 0.0").unwrap()
         else {
             panic!()
         };
@@ -293,9 +322,12 @@ mod tests {
     #[test]
     fn delete_with_where() {
         let db = setup();
-        insert(&db, "INSERT INTO Flights VALUES (1, 'A', 1.0), (2, 'B', 2.0)").unwrap();
-        let Statement::Delete(del) =
-            parse_statement("DELETE FROM Flights WHERE fno = 1").unwrap()
+        insert(
+            &db,
+            "INSERT INTO Flights VALUES (1, 'A', 1.0), (2, 'B', 2.0)",
+        )
+        .unwrap();
+        let Statement::Delete(del) = parse_statement("DELETE FROM Flights WHERE fno = 1").unwrap()
         else {
             panic!()
         };
@@ -330,7 +362,10 @@ mod tests {
         };
         let mut txn = db.begin();
         let err = execute_create_table(&mut txn, &ct).unwrap_err();
-        assert!(matches!(err, ExecError::Storage(StorageError::ColumnNotFound { .. })));
+        assert!(matches!(
+            err,
+            ExecError::Storage(StorageError::ColumnNotFound { .. })
+        ));
         txn.abort();
     }
 }

@@ -7,10 +7,12 @@
 //! the paper's Figure 2: the query compiler routes entangled queries to
 //! the coordination component, everything else to the execution engine.
 
-use youtopia_storage::Database;
 use youtopia_sql::{parse_statement, EntangledSelect, Statement};
+use youtopia_storage::Database;
 
-use crate::dml::{execute_create_index, execute_create_table, execute_delete, execute_insert, execute_update};
+use crate::dml::{
+    execute_create_index, execute_create_table, execute_delete, execute_insert, execute_update,
+};
 use crate::error::{ExecError, ExecResult};
 use crate::select::{execute_select, ResultSet};
 
@@ -37,8 +39,8 @@ pub enum StatementOutcome {
 
 /// Parses and runs one SQL statement against `db`.
 pub fn run_sql(db: &Database, sql: &str) -> ExecResult<StatementOutcome> {
-    let stmt = parse_statement(sql)
-        .map_err(|e| ExecError::Unsupported(format!("parse error: {e}")))?;
+    let stmt =
+        parse_statement(sql).map_err(|e| ExecError::Unsupported(format!("parse error: {e}")))?;
     run_statement(db, &stmt)
 }
 
@@ -54,7 +56,8 @@ pub fn run_statement(db: &Database, stmt: &Statement) -> ExecResult<StatementOut
             Ok(StatementOutcome::Done)
         }
         Statement::DropTable { name } => {
-            db.with_txn(|txn| txn.drop_table(name)).map_err(ExecError::Storage)?;
+            db.with_txn(|txn| txn.drop_table(name))
+                .map_err(ExecError::Storage)?;
             Ok(StatementOutcome::Done)
         }
         Statement::CreateIndex(ci) => {
@@ -153,9 +156,11 @@ mod tests {
     #[test]
     fn full_sql_pipeline() {
         let db = setup();
-        let StatementOutcome::Rows(rs) =
-            run_sql(&db, "SELECT fno FROM Flights WHERE dest = 'Paris' ORDER BY fno").unwrap()
-        else {
+        let StatementOutcome::Rows(rs) = run_sql(
+            &db,
+            "SELECT fno FROM Flights WHERE dest = 'Paris' ORDER BY fno",
+        )
+        .unwrap() else {
             panic!()
         };
         assert_eq!(rs.rows.len(), 2);
@@ -203,14 +208,20 @@ mod tests {
     #[test]
     fn show_pending_is_delegated() {
         let db = setup();
-        assert_eq!(run_sql(&db, "SHOW PENDING").unwrap(), StatementOutcome::ShowPending);
+        assert_eq!(
+            run_sql(&db, "SHOW PENDING").unwrap(),
+            StatementOutcome::ShowPending
+        );
     }
 
     #[test]
     fn failed_dml_rolls_back() {
         let db = setup();
         // second row violates the primary key: nothing must stick
-        let err = run_sql(&db, "INSERT INTO Flights VALUES (200, 'Oslo', 1.0), (122, 'Dup', 2.0)");
+        let err = run_sql(
+            &db,
+            "INSERT INTO Flights VALUES (200, 'Oslo', 1.0), (122, 'Dup', 2.0)",
+        );
         assert!(err.is_err());
         let StatementOutcome::Rows(rs) = run_sql(&db, "SELECT COUNT(*) FROM Flights").unwrap()
         else {
@@ -222,7 +233,10 @@ mod tests {
     #[test]
     fn parse_errors_are_reported() {
         let db = setup();
-        assert!(matches!(run_sql(&db, "SELEC 1"), Err(ExecError::Unsupported(_))));
+        assert!(matches!(
+            run_sql(&db, "SELEC 1"),
+            Err(ExecError::Unsupported(_))
+        ));
     }
 
     #[test]

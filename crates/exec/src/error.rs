@@ -43,7 +43,10 @@ impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExecError::Storage(e) => write!(f, "{e}"),
-            ExecError::UnknownColumn { table: Some(t), name } => {
+            ExecError::UnknownColumn {
+                table: Some(t),
+                name,
+            } => {
                 write!(f, "unknown column '{t}.{name}'")
             }
             ExecError::UnknownColumn { table: None, name } => {
@@ -80,16 +83,28 @@ mod tests {
     #[test]
     fn displays() {
         assert_eq!(
-            ExecError::UnknownColumn { table: Some("f".into()), name: "x".into() }.to_string(),
+            ExecError::UnknownColumn {
+                table: Some("f".into()),
+                name: "x".into()
+            }
+            .to_string(),
             "unknown column 'f.x'"
         );
         assert_eq!(
-            ExecError::UnknownColumn { table: None, name: "x".into() }.to_string(),
+            ExecError::UnknownColumn {
+                table: None,
+                name: "x".into()
+            }
+            .to_string(),
             "unknown column 'x'"
         );
         assert_eq!(ExecError::DivisionByZero.to_string(), "division by zero");
         assert_eq!(
-            ExecError::SubqueryArity { expected: 2, actual: 3 }.to_string(),
+            ExecError::SubqueryArity {
+                expected: 2,
+                actual: 3
+            }
+            .to_string(),
             "subquery returns 3 columns, expected 2"
         );
     }

@@ -9,8 +9,8 @@
 //! The evaluator carries a *scope chain* so correlated subqueries can
 //! reference columns of enclosing queries.
 
-use youtopia_storage::{Catalog, Tuple, Value};
 use youtopia_sql::{BinaryOp, Expr, UnaryOp};
+use youtopia_storage::{Catalog, Tuple, Value};
 
 use crate::error::{ExecError, ExecResult};
 use crate::row::RelSchema;
@@ -38,12 +38,22 @@ impl<'a> EvalContext<'a> {
     /// A context with no row bindings (constant expressions and
     /// uncorrelated subqueries only).
     pub fn bare(catalog: &'a Catalog) -> EvalContext<'a> {
-        EvalContext { catalog, scopes: Vec::new() }
+        EvalContext {
+            catalog,
+            scopes: Vec::new(),
+        }
     }
 
     /// A context with a single row scope.
-    pub fn with_row(catalog: &'a Catalog, schema: &'a RelSchema, row: &'a Tuple) -> EvalContext<'a> {
-        EvalContext { catalog, scopes: vec![Scope { schema, row }] }
+    pub fn with_row(
+        catalog: &'a Catalog,
+        schema: &'a RelSchema,
+        row: &'a Tuple,
+    ) -> EvalContext<'a> {
+        EvalContext {
+            catalog,
+            scopes: vec![Scope { schema, row }],
+        }
     }
 
     /// Resolves a column through the scope chain.
@@ -53,7 +63,10 @@ impl<'a> EvalContext<'a> {
                 return Ok(scope.row.values()[pos].clone());
             }
         }
-        Err(ExecError::UnknownColumn { table: table.map(str::to_string), name: name.to_string() })
+        Err(ExecError::UnknownColumn {
+            table: table.map(str::to_string),
+            name: name.to_string(),
+        })
     }
 
     /// Evaluates an expression to a value (NULL models *unknown*).
@@ -71,7 +84,11 @@ impl<'a> EvalContext<'a> {
                 let v = self.eval(expr)?;
                 Ok(Value::Bool(v.is_null() != *negated))
             }
-            Expr::InList { expr, list, negated } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 let needle = self.eval(expr)?;
                 if needle.is_null() {
                     return Ok(Value::Null);
@@ -91,9 +108,15 @@ impl<'a> EvalContext<'a> {
                     Ok(Value::Bool(*negated))
                 }
             }
-            Expr::InSubquery { exprs, query, negated } => {
-                let needle: Vec<Value> =
-                    exprs.iter().map(|e| self.eval(e)).collect::<ExecResult<_>>()?;
+            Expr::InSubquery {
+                exprs,
+                query,
+                negated,
+            } => {
+                let needle: Vec<Value> = exprs
+                    .iter()
+                    .map(|e| self.eval(e))
+                    .collect::<ExecResult<_>>()?;
                 let result = execute_select_with_scopes(self.catalog, query, &self.scopes)?;
                 if result.schema.arity() != needle.len() {
                     return Err(ExecError::SubqueryArity {
@@ -133,7 +156,12 @@ impl<'a> EvalContext<'a> {
                 let result = execute_select_with_scopes(self.catalog, query, &self.scopes)?;
                 Ok(Value::Bool(result.rows.is_empty() == *negated))
             }
-            Expr::Between { expr, low, high, negated } => {
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
                 let v = self.eval(expr)?;
                 let lo = self.eval(low)?;
                 let hi = self.eval(high)?;
@@ -144,7 +172,11 @@ impl<'a> EvalContext<'a> {
                     && compare(&v, &hi)? <= std::cmp::Ordering::Equal;
                 Ok(Value::Bool(inside != *negated))
             }
-            Expr::Like { expr, pattern, negated } => {
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
                 let v = self.eval(expr)?;
                 let p = self.eval(pattern)?;
                 match (v, p) {
@@ -210,14 +242,18 @@ impl<'a> EvalContext<'a> {
         if star {
             return Err(ExecError::Unsupported(format!("{name}(*)")));
         }
-        let vals: Vec<Value> = args.iter().map(|a| self.eval(a)).collect::<ExecResult<_>>()?;
+        let vals: Vec<Value> = args
+            .iter()
+            .map(|a| self.eval(a))
+            .collect::<ExecResult<_>>()?;
         match (name, vals.as_slice()) {
             ("LOWER", [Value::Str(s)]) => Ok(Value::Str(s.to_lowercase())),
             ("UPPER", [Value::Str(s)]) => Ok(Value::Str(s.to_uppercase())),
             ("LENGTH", [Value::Str(s)]) => Ok(Value::Int(s.chars().count() as i64)),
-            ("ABS", [Value::Int(i)]) => Ok(Value::Int(i.checked_abs().ok_or_else(|| {
-                ExecError::Type("ABS overflow".into())
-            })?)),
+            ("ABS", [Value::Int(i)]) => Ok(Value::Int(
+                i.checked_abs()
+                    .ok_or_else(|| ExecError::Type("ABS overflow".into()))?,
+            )),
             ("ABS", [Value::Float(x)]) => Ok(Value::Float(x.abs())),
             ("LOWER" | "UPPER" | "LENGTH" | "ABS", [Value::Null]) => Ok(Value::Null),
             ("COALESCE", vals) => {
@@ -255,9 +291,7 @@ fn eval_unary(op: UnaryOp, v: Value) -> ExecResult<Value> {
             .map(Value::Int)
             .ok_or_else(|| ExecError::Type("negation overflow".into())),
         (UnaryOp::Neg, Value::Float(x)) => Ok(Value::Float(-x)),
-        (UnaryOp::Neg, other) => {
-            Err(ExecError::Type(format!("cannot negate {other:?}")))
-        }
+        (UnaryOp::Neg, other) => Err(ExecError::Type(format!("cannot negate {other:?}"))),
         (UnaryOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
         (UnaryOp::Not, other) => Err(ExecError::Type(format!("NOT applied to {other:?}"))),
     }
@@ -329,7 +363,8 @@ fn arith(op: BinaryOp, l: Value, r: Value) -> ExecResult<Value> {
                 }
                 _ => unreachable!(),
             };
-            out.map(Int).ok_or_else(|| ExecError::Type("integer overflow".into()))
+            out.map(Int)
+                .ok_or_else(|| ExecError::Type("integer overflow".into()))
         }
         (a, b) => {
             let (x, y) = match (a.as_float(), b.as_float()) {
@@ -400,12 +435,10 @@ pub fn contains_aggregate(expr: &Expr) -> bool {
         Expr::InList { expr, list, .. } => {
             contains_aggregate(expr) || list.iter().any(contains_aggregate)
         }
-        Expr::Between { expr, low, high, .. } => {
-            contains_aggregate(expr) || contains_aggregate(low) || contains_aggregate(high)
-        }
-        Expr::Like { expr, pattern, .. } => {
-            contains_aggregate(expr) || contains_aggregate(pattern)
-        }
+        Expr::Between {
+            expr, low, high, ..
+        } => contains_aggregate(expr) || contains_aggregate(low) || contains_aggregate(high),
+        Expr::Like { expr, pattern, .. } => contains_aggregate(expr) || contains_aggregate(pattern),
         Expr::Tuple(list) => list.iter().any(contains_aggregate),
         Expr::InSubquery { exprs, .. } => exprs.iter().any(contains_aggregate),
         Expr::InAnswer { exprs, .. } => exprs.iter().any(contains_aggregate),
@@ -485,11 +518,20 @@ mod tests {
     fn between_and_like() {
         assert_eq!(eval_const("2 BETWEEN 1 AND 3").unwrap(), Value::Bool(true));
         assert_eq!(eval_const("0 BETWEEN 1 AND 3").unwrap(), Value::Bool(false));
-        assert_eq!(eval_const("2 NOT BETWEEN 1 AND 3").unwrap(), Value::Bool(false));
+        assert_eq!(
+            eval_const("2 NOT BETWEEN 1 AND 3").unwrap(),
+            Value::Bool(false)
+        );
         assert_eq!(eval_const("NULL BETWEEN 1 AND 3").unwrap(), Value::Null);
         assert_eq!(eval_const("'Jerry' LIKE 'J%'").unwrap(), Value::Bool(true));
-        assert_eq!(eval_const("'Jerry' LIKE '_erry'").unwrap(), Value::Bool(true));
-        assert_eq!(eval_const("'Jerry' NOT LIKE 'K%'").unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval_const("'Jerry' LIKE '_erry'").unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_const("'Jerry' NOT LIKE 'K%'").unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(eval_const("'Jerry' LIKE NULL").unwrap(), Value::Null);
     }
 
@@ -516,12 +558,18 @@ mod tests {
         assert_eq!(eval_const("COALESCE(NULL, 2, 3)").unwrap(), Value::Int(2));
         assert_eq!(eval_const("COALESCE(NULL, NULL)").unwrap(), Value::Null);
         assert_eq!(eval_const("LOWER(NULL)").unwrap(), Value::Null);
-        assert!(matches!(eval_const("NOSUCH(1)"), Err(ExecError::Unsupported(_))));
+        assert!(matches!(
+            eval_const("NOSUCH(1)"),
+            Err(ExecError::Unsupported(_))
+        ));
     }
 
     #[test]
     fn aggregates_rejected_in_scalar_position() {
-        assert!(matches!(eval_const("COUNT(*)"), Err(ExecError::Aggregate(_))));
+        assert!(matches!(
+            eval_const("COUNT(*)"),
+            Err(ExecError::Aggregate(_))
+        ));
         assert!(matches!(eval_const("SUM(1)"), Err(ExecError::Aggregate(_))));
     }
 
@@ -543,8 +591,14 @@ mod tests {
         let ctx = EvalContext {
             catalog: &catalog,
             scopes: vec![
-                Scope { schema: &outer_schema, row: &outer_row },
-                Scope { schema: &inner_schema, row: &inner_row },
+                Scope {
+                    schema: &outer_schema,
+                    row: &outer_row,
+                },
+                Scope {
+                    schema: &inner_schema,
+                    row: &inner_row,
+                },
             ],
         };
         assert_eq!(ctx.eval(&Expr::qcol("o", "x")).unwrap(), Value::Int(10));
@@ -557,7 +611,9 @@ mod tests {
     fn predicate_null_is_false() {
         let catalog = ctx_catalog();
         let ctx = EvalContext::bare(&catalog);
-        assert!(!ctx.eval_predicate(&parse_expr("NULL = 1").unwrap()).unwrap());
+        assert!(!ctx
+            .eval_predicate(&parse_expr("NULL = 1").unwrap())
+            .unwrap());
         assert!(ctx.eval_predicate(&parse_expr("1 = 1").unwrap()).unwrap());
         assert!(ctx.eval_predicate(&parse_expr("5").unwrap()).is_err());
     }
@@ -566,7 +622,9 @@ mod tests {
     fn contains_aggregate_walks_tree() {
         assert!(contains_aggregate(&parse_expr("COUNT(*)").unwrap()));
         assert!(contains_aggregate(&parse_expr("1 + SUM(x)").unwrap()));
-        assert!(contains_aggregate(&parse_expr("MAX(x) BETWEEN 1 AND 2").unwrap()));
+        assert!(contains_aggregate(
+            &parse_expr("MAX(x) BETWEEN 1 AND 2").unwrap()
+        ));
         assert!(!contains_aggregate(&parse_expr("x + 1").unwrap()));
         assert!(!contains_aggregate(&parse_expr("LOWER(x)").unwrap()));
     }

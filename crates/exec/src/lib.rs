@@ -35,10 +35,14 @@ pub mod plan;
 pub mod row;
 pub mod select;
 
-pub use dml::{execute_create_index, execute_create_table, execute_delete, execute_insert, execute_update};
+pub use dml::{
+    execute_create_index, execute_create_table, execute_delete, execute_insert, execute_update,
+};
 pub use engine::{run_sql, run_statement, StatementOutcome};
 pub use error::{ExecError, ExecResult};
 pub use eval::{contains_aggregate, is_aggregate_name, like_match, EvalContext, Scope};
 pub use plan::explain_select;
 pub use row::{ColRef, RelSchema};
-pub use select::{choose_access_path, execute_select, execute_select_with_scopes, AccessPath, ResultSet};
+pub use select::{
+    choose_access_path, execute_select, execute_select_with_scopes, AccessPath, ResultSet,
+};

@@ -6,8 +6,8 @@
 
 use std::fmt::Write as _;
 
-use youtopia_storage::Catalog;
 use youtopia_sql::{JoinKind, Select, SelectItem};
+use youtopia_storage::Catalog;
 
 use crate::error::{ExecError, ExecResult};
 use crate::eval::contains_aggregate;
@@ -74,8 +74,12 @@ pub fn explain_select(catalog: &Catalog, select: &Select) -> ExecResult<String> 
         for twj in &select.from {
             let mut line = access_line(catalog, &twj.base.name, twj.base.alias.as_deref(), select)?;
             for join in &twj.joins {
-                let right =
-                    access_line(catalog, &join.table.name, join.table.alias.as_deref(), select)?;
+                let right = access_line(
+                    catalog,
+                    &join.table.name,
+                    join.table.alias.as_deref(),
+                    select,
+                )?;
                 let kind = match join.kind {
                     JoinKind::Inner => "NestedLoopJoin",
                     JoinKind::Left => "NestedLoopLeftJoin",
@@ -111,16 +115,25 @@ fn access_line(
         .table(table_name)
         .map_err(|_| ExecError::UnknownTable(table_name.to_string()))?;
     let qualifier = alias.unwrap_or(table_name);
-    let suffix = if alias.is_some() { format!(" AS {qualifier}") } else { String::new() };
-    Ok(match choose_access_path(table, qualifier, select.where_clause.as_ref()) {
-        AccessPath::FullScan => {
-            format!("SeqScan {table_name}{suffix} ({} rows)", table.len())
-        }
-        AccessPath::IndexProbe { index, key } => {
-            let keys: Vec<String> = key.iter().map(|v| v.sql_literal()).collect();
-            format!("IndexProbe {table_name}{suffix} via {index} key ({})", keys.join(", "))
-        }
-    })
+    let suffix = if alias.is_some() {
+        format!(" AS {qualifier}")
+    } else {
+        String::new()
+    };
+    Ok(
+        match choose_access_path(table, qualifier, select.where_clause.as_ref()) {
+            AccessPath::FullScan => {
+                format!("SeqScan {table_name}{suffix} ({} rows)", table.len())
+            }
+            AccessPath::IndexProbe { index, key } => {
+                let keys: Vec<String> = key.iter().map(|v| v.sql_literal()).collect();
+                format!(
+                    "IndexProbe {table_name}{suffix} via {index} key ({})",
+                    keys.join(", ")
+                )
+            }
+        },
+    )
 }
 
 #[cfg(test)]
@@ -221,7 +234,10 @@ mod tests {
             "SELECT f.fno FROM Flights f JOIN Airlines a ON f.fno = a.fno WHERE f.fno = 122",
         );
         assert!(plan.contains("NestedLoopJoin ON f.fno = a.fno"), "{plan}");
-        assert!(plan.contains("IndexProbe Flights AS f via Flights_pk"), "{plan}");
+        assert!(
+            plan.contains("IndexProbe Flights AS f via Flights_pk"),
+            "{plan}"
+        );
         // the join side has an index on fno but the probe key must come
         // from a literal conjunct mentioning it; `f.fno = a.fno` is a
         // join predicate, so Airlines is scanned

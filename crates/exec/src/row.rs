@@ -20,12 +20,18 @@ pub struct ColRef {
 impl ColRef {
     /// Unqualified column.
     pub fn bare(name: impl Into<String>) -> ColRef {
-        ColRef { qualifier: None, name: name.into() }
+        ColRef {
+            qualifier: None,
+            name: name.into(),
+        }
     }
 
     /// Qualified column.
     pub fn qualified(qualifier: impl Into<String>, name: impl Into<String>) -> ColRef {
-        ColRef { qualifier: Some(qualifier.into()), name: name.into() }
+        ColRef {
+            qualifier: Some(qualifier.into()),
+            name: name.into(),
+        }
     }
 }
 
@@ -83,9 +89,10 @@ impl RelSchema {
             .filter(|(_, c)| {
                 c.name.eq_ignore_ascii_case(name)
                     && match qualifier {
-                        Some(q) => {
-                            c.qualifier.as_deref().is_some_and(|cq| cq.eq_ignore_ascii_case(q))
-                        }
+                        Some(q) => c
+                            .qualifier
+                            .as_deref()
+                            .is_some_and(|cq| cq.eq_ignore_ascii_case(q)),
                         None => true,
                     }
             })
@@ -140,7 +147,10 @@ mod tests {
         let s = schema();
         assert_eq!(s.resolve(None, "dest").unwrap(), 1);
         assert_eq!(s.resolve(None, "total").unwrap(), 3);
-        assert!(matches!(s.resolve(None, "fno"), Err(ExecError::AmbiguousColumn(_))));
+        assert!(matches!(
+            s.resolve(None, "fno"),
+            Err(ExecError::AmbiguousColumn(_))
+        ));
         assert!(matches!(
             s.resolve(None, "ghost"),
             Err(ExecError::UnknownColumn { .. })

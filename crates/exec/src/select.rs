@@ -8,10 +8,10 @@
 
 use std::collections::HashMap;
 
-use youtopia_storage::{Catalog, Table, Tuple, Value};
 use youtopia_sql::{
     BinaryOp, Expr, JoinKind, OrderByItem, Select, SelectItem, TableAtom, TableWithJoins,
 };
+use youtopia_storage::{Catalog, Table, Tuple, Value};
 
 use crate::error::{ExecError, ExecResult};
 use crate::eval::{contains_aggregate, is_aggregate_name, EvalContext, Scope};
@@ -53,7 +53,10 @@ pub fn execute_select_with_scopes(
         let mut kept = Vec::with_capacity(input_rows.len());
         for row in input_rows {
             let mut scopes = outer.to_vec();
-            scopes.push(Scope { schema: &input_schema, row: &row });
+            scopes.push(Scope {
+                schema: &input_schema,
+                row: &row,
+            });
             let ctx = EvalContext { catalog, scopes };
             if ctx.eval_predicate(pred)? {
                 kept.push(row);
@@ -71,12 +74,13 @@ pub fn execute_select_with_scopes(
         || select.having.as_ref().is_some_and(contains_aggregate);
 
     let (out_schema, mut out_rows, in_rows_for_sort) = if is_aggregate {
-        let (schema, rows) =
-            execute_aggregate(catalog, select, &input_schema, &input_rows, outer)?;
+        let (schema, rows) = execute_aggregate(catalog, select, &input_schema, &input_rows, outer)?;
         (schema, rows, None)
     } else {
         if select.having.is_some() {
-            return Err(ExecError::Aggregate("HAVING requires GROUP BY or aggregates".into()));
+            return Err(ExecError::Aggregate(
+                "HAVING requires GROUP BY or aggregates".into(),
+            ));
         }
         let (schema, rows) = project(catalog, select, &input_schema, &input_rows, outer)?;
         (schema, rows, Some(input_rows))
@@ -97,7 +101,14 @@ pub fn execute_select_with_scopes(
         return finish(catalog, select, out_schema, out_rows, None, outer);
     }
 
-    finish(catalog, select, out_schema, out_rows, in_rows_for_sort.map(|r| (input_schema, r)), outer)
+    finish(
+        catalog,
+        select,
+        out_schema,
+        out_rows,
+        in_rows_for_sort.map(|r| (input_schema, r)),
+        outer,
+    )
 }
 
 /// ORDER BY + LIMIT/OFFSET.
@@ -111,7 +122,14 @@ fn finish(
 ) -> ExecResult<ResultSet> {
     let mut rows = out_rows;
     if !select.order_by.is_empty() {
-        rows = order_rows(catalog, &select.order_by, &out_schema, rows, input.as_ref(), outer)?;
+        rows = order_rows(
+            catalog,
+            &select.order_by,
+            &out_schema,
+            rows,
+            input.as_ref(),
+            outer,
+        )?;
     }
     let offset = select.offset.unwrap_or(0) as usize;
     if offset > 0 {
@@ -120,7 +138,10 @@ fn finish(
     if let Some(limit) = select.limit {
         rows.truncate(limit as usize);
     }
-    Ok(ResultSet { schema: out_schema, rows })
+    Ok(ResultSet {
+        schema: out_schema,
+        rows,
+    })
 }
 
 // --------------------------------------------------------------------- //
@@ -175,7 +196,10 @@ fn execute_table_with_joins(
             for right in &right_rows {
                 let candidate = left.concat(right);
                 let mut scopes = outer.to_vec();
-                scopes.push(Scope { schema: &joined_schema, row: &candidate });
+                scopes.push(Scope {
+                    schema: &joined_schema,
+                    row: &candidate,
+                });
                 let ctx = EvalContext { catalog, scopes };
                 if ctx.eval_predicate(&join.on)? {
                     matched = true;
@@ -215,10 +239,23 @@ pub enum AccessPath {
 /// no join predicates): the full WHERE clause is still applied
 /// afterwards, so the probe is purely a prefilter and never changes
 /// results.
-pub fn choose_access_path(table: &Table, qualifier: &str, where_clause: Option<&Expr>) -> AccessPath {
-    let Some(pred) = where_clause else { return AccessPath::FullScan };
+pub fn choose_access_path(
+    table: &Table,
+    qualifier: &str,
+    where_clause: Option<&Expr>,
+) -> AccessPath {
+    let Some(pred) = where_clause else {
+        return AccessPath::FullScan;
+    };
     for conjunct in pred.conjuncts() {
-        let Expr::Binary { left, op: BinaryOp::Eq, right } = conjunct else { continue };
+        let Expr::Binary {
+            left,
+            op: BinaryOp::Eq,
+            right,
+        } = conjunct
+        else {
+            continue;
+        };
         // col = literal, in either order
         let (col, lit) = match (left.as_ref(), right.as_ref()) {
             (Expr::Column { table: q, name }, Expr::Literal(v)) => ((q, name), v),
@@ -234,7 +271,9 @@ pub fn choose_access_path(table: &Table, qualifier: &str, where_clause: Option<&
             // this table in simple single-table queries; we accept it if
             // the table has the column (the residual filter stays on).
         }
-        let Some(pos) = table.schema().column_index(col.1) else { continue };
+        let Some(pos) = table.schema().column_index(col.1) else {
+            continue;
+        };
         if let Some(idx) = table.find_index_on(&[pos]) {
             return AccessPath::IndexProbe {
                 index: idx.name().to_string(),
@@ -261,7 +300,9 @@ fn scan_atom(
     // conjuncts is still sound.
     let rows = match choose_access_path(table, &qualifier, select.where_clause.as_ref()) {
         AccessPath::IndexProbe { index, key } => {
-            let idx = table.index(&index).expect("chooser returned existing index");
+            let idx = table
+                .index(&index)
+                .expect("chooser returned existing index");
             idx.probe(&key)
                 .iter()
                 .filter_map(|rid| table.get(*rid))
@@ -280,11 +321,17 @@ fn scan_atom(
 fn output_col_for_item(item: &SelectItem) -> ColRef {
     match item {
         SelectItem::Wildcard => unreachable!("wildcard expanded before naming"),
-        SelectItem::Expr { expr, alias: Some(a) } => {
+        SelectItem::Expr {
+            expr,
+            alias: Some(a),
+        } => {
             let _ = expr;
             ColRef::bare(a.clone())
         }
-        SelectItem::Expr { expr: Expr::Column { table, name }, alias: None } => ColRef {
+        SelectItem::Expr {
+            expr: Expr::Column { table, name },
+            alias: None,
+        } => ColRef {
             qualifier: table.clone(),
             name: name.clone(),
         },
@@ -317,7 +364,10 @@ fn project(
                 SelectItem::Wildcard => values.extend(row.values().iter().cloned()),
                 SelectItem::Expr { expr, .. } => {
                     let mut scopes = outer.to_vec();
-                    scopes.push(Scope { schema: input_schema, row });
+                    scopes.push(Scope {
+                        schema: input_schema,
+                        row,
+                    });
                     let ctx = EvalContext { catalog, scopes };
                     values.push(ctx.eval(expr)?);
                 }
@@ -360,7 +410,10 @@ impl GroupEvaluator<'_> {
                 let tmp_schema = RelSchema::default();
                 let tmp_row = Tuple::empty();
                 let ctx = EvalContext::with_row(self.catalog, &tmp_schema, &tmp_row);
-                ctx.eval(&Expr::Unary { op: *op, expr: Box::new(Expr::Literal(inner)) })
+                ctx.eval(&Expr::Unary {
+                    op: *op,
+                    expr: Box::new(Expr::Literal(inner)),
+                })
             }
             Expr::Binary { left, op, right } => {
                 let l = self.eval(left)?;
@@ -403,8 +456,14 @@ impl GroupEvaluator<'_> {
         let mut vals = Vec::with_capacity(self.rows.len());
         for row in self.rows {
             let mut scopes = self.outer.to_vec();
-            scopes.push(Scope { schema: self.schema, row });
-            let ctx = EvalContext { catalog: self.catalog, scopes };
+            scopes.push(Scope {
+                schema: self.schema,
+                row,
+            });
+            let ctx = EvalContext {
+                catalog: self.catalog,
+                scopes,
+            };
             let v = ctx.eval(&args[0])?;
             if !v.is_null() {
                 vals.push(v);
@@ -461,7 +520,10 @@ fn execute_aggregate(
         let mut key = Vec::with_capacity(select.group_by.len());
         for g in &select.group_by {
             let mut scopes = outer.to_vec();
-            scopes.push(Scope { schema: input_schema, row });
+            scopes.push(Scope {
+                schema: input_schema,
+                row,
+            });
             let ctx = EvalContext { catalog, scopes };
             key.push(ctx.eval(g)?);
         }
@@ -483,7 +545,9 @@ fn execute_aggregate(
     for item in &select.items {
         match item {
             SelectItem::Wildcard => {
-                return Err(ExecError::Aggregate("'*' is not allowed with GROUP BY".into()))
+                return Err(ExecError::Aggregate(
+                    "'*' is not allowed with GROUP BY".into(),
+                ))
             }
             other => out_cols.push(output_col_for_item(other)),
         }
@@ -513,7 +577,9 @@ fn execute_aggregate(
         }
         let mut values = Vec::with_capacity(select.items.len());
         for item in &select.items {
-            let SelectItem::Expr { expr, .. } = item else { unreachable!() };
+            let SelectItem::Expr { expr, .. } = item else {
+                unreachable!()
+            };
             values.push(ge.eval(expr)?);
         }
         out_rows.push(Tuple::new(values));
@@ -553,7 +619,10 @@ fn order_rows(
                     };
                     let in_row = &in_rows[i];
                     let mut scopes = outer.to_vec();
-                    scopes.push(Scope { schema: in_schema, row: in_row });
+                    scopes.push(Scope {
+                        schema: in_schema,
+                        row: in_row,
+                    });
                     let ctx = EvalContext { catalog, scopes };
                     ctx.eval(&item.expr)?
                 }
@@ -579,8 +648,8 @@ fn order_rows(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use youtopia_storage::{Column, DataType, Database, Schema};
     use youtopia_sql::parse_statement;
+    use youtopia_storage::{Column, DataType, Database, Schema};
 
     fn fixture() -> Database {
         let db = Database::new();
@@ -618,9 +687,12 @@ mod tests {
                     Column::new("airline", DataType::Str),
                 ]),
             )?;
-            for (fno, airline) in
-                [(122, "United"), (123, "United"), (134, "Lufthansa"), (136, "Alitalia")]
-            {
+            for (fno, airline) in [
+                (122, "United"),
+                (123, "United"),
+                (134, "Lufthansa"),
+                (136, "Alitalia"),
+            ] {
                 txn.insert(
                     "Airlines",
                     Tuple::new(vec![Value::Int(fno), Value::from(airline)]),
@@ -634,20 +706,27 @@ mod tests {
 
     fn run(db: &Database, sql: &str) -> ResultSet {
         let stmt = parse_statement(sql).unwrap();
-        let youtopia_sql::Statement::Select(sel) = stmt else { panic!("not a select") };
+        let youtopia_sql::Statement::Select(sel) = stmt else {
+            panic!("not a select")
+        };
         let read = db.read();
         execute_select(read.catalog(), &sel).unwrap_or_else(|e| panic!("exec '{sql}': {e}"))
     }
 
     fn run_err(db: &Database, sql: &str) -> ExecError {
         let stmt = parse_statement(sql).unwrap();
-        let youtopia_sql::Statement::Select(sel) = stmt else { panic!("not a select") };
+        let youtopia_sql::Statement::Select(sel) = stmt else {
+            panic!("not a select")
+        };
         let read = db.read();
         execute_select(read.catalog(), &sel).unwrap_err()
     }
 
     fn ints(rs: &ResultSet, col: usize) -> Vec<i64> {
-        rs.rows.iter().map(|r| r.values()[col].as_int().unwrap()).collect()
+        rs.rows
+            .iter()
+            .map(|r| r.values()[col].as_int().unwrap())
+            .collect()
     }
 
     #[test]
@@ -677,7 +756,10 @@ mod tests {
     #[test]
     fn projection_expressions_and_aliases() {
         let db = fixture();
-        let rs = run(&db, "SELECT fno + 1000 AS big, UPPER(dest) FROM Flights WHERE fno = 122");
+        let rs = run(
+            &db,
+            "SELECT fno + 1000 AS big, UPPER(dest) FROM Flights WHERE fno = 122",
+        );
         assert_eq!(rs.column_names()[0], "big");
         assert_eq!(rs.rows[0].values()[0], Value::Int(1122));
         assert_eq!(rs.rows[0].values()[1], Value::from("PARIS"));
@@ -713,7 +795,11 @@ mod tests {
              ORDER BY f.fno",
         );
         assert_eq!(rs.rows.len(), 5);
-        let oslo = rs.rows.iter().find(|r| r.values()[0] == Value::Int(200)).unwrap();
+        let oslo = rs
+            .rows
+            .iter()
+            .find(|r| r.values()[0] == Value::Int(200))
+            .unwrap();
         assert_eq!(oslo.values()[1], Value::Null);
     }
 
@@ -747,7 +833,10 @@ mod tests {
     #[test]
     fn aggregates_on_empty_input() {
         let db = fixture();
-        let rs = run(&db, "SELECT COUNT(*), SUM(price) FROM Flights WHERE dest = 'Nowhere'");
+        let rs = run(
+            &db,
+            "SELECT COUNT(*), SUM(price) FROM Flights WHERE dest = 'Nowhere'",
+        );
         assert_eq!(rs.rows.len(), 1);
         assert_eq!(rs.rows[0].values()[0], Value::Int(0));
         assert_eq!(rs.rows[0].values()[1], Value::Null);
@@ -769,7 +858,10 @@ mod tests {
     #[test]
     fn group_by_exposes_key_column() {
         let db = fixture();
-        let rs = run(&db, "SELECT dest, SUM(price) FROM Flights GROUP BY dest ORDER BY dest");
+        let rs = run(
+            &db,
+            "SELECT dest, SUM(price) FROM Flights GROUP BY dest ORDER BY dest",
+        );
         assert_eq!(rs.rows.len(), 2);
         assert_eq!(rs.rows[0].values()[0], Value::from("Paris"));
         assert_eq!(rs.rows[0].values()[1], Value::Float(950.0));
@@ -793,16 +885,25 @@ mod tests {
     #[test]
     fn order_by_limit_offset() {
         let db = fixture();
-        let rs = run(&db, "SELECT fno FROM Flights ORDER BY fno DESC LIMIT 2 OFFSET 1");
+        let rs = run(
+            &db,
+            "SELECT fno FROM Flights ORDER BY fno DESC LIMIT 2 OFFSET 1",
+        );
         assert_eq!(ints(&rs, 0), vec![134, 123]);
     }
 
     #[test]
     fn order_by_non_projected_column() {
         let db = fixture();
-        let rs = run(&db, "SELECT dest FROM Flights WHERE price IS NOT NULL ORDER BY price");
+        let rs = run(
+            &db,
+            "SELECT dest FROM Flights WHERE price IS NOT NULL ORDER BY price",
+        );
         assert_eq!(
-            rs.rows.iter().map(|r| r.values()[0].as_str().unwrap().to_string()).collect::<Vec<_>>(),
+            rs.rows
+                .iter()
+                .map(|r| r.values()[0].as_str().unwrap().to_string())
+                .collect::<Vec<_>>(),
             vec!["Rome", "Paris", "Paris"]
         );
     }
@@ -862,11 +963,16 @@ mod tests {
         let read = db.read();
         let table = read.table("Flights").unwrap();
         let stmt = parse_statement("SELECT * FROM Flights WHERE fno = 122").unwrap();
-        let youtopia_sql::Statement::Select(sel) = stmt else { panic!() };
+        let youtopia_sql::Statement::Select(sel) = stmt else {
+            panic!()
+        };
         let path = choose_access_path(table, "Flights", sel.where_clause.as_ref());
         assert_eq!(
             path,
-            AccessPath::IndexProbe { index: "Flights_pk".into(), key: vec![Value::Int(122)] }
+            AccessPath::IndexProbe {
+                index: "Flights_pk".into(),
+                key: vec![Value::Int(122)]
+            }
         );
         // and the query result is right
         drop(read);
@@ -880,7 +986,9 @@ mod tests {
         let read = db.read();
         let table = read.table("Flights").unwrap();
         let stmt = parse_statement("SELECT * FROM Flights WHERE dest = 'Paris'").unwrap();
-        let youtopia_sql::Statement::Select(sel) = stmt else { panic!() };
+        let youtopia_sql::Statement::Select(sel) = stmt else {
+            panic!()
+        };
         assert_eq!(
             choose_access_path(table, "Flights", sel.where_clause.as_ref()),
             AccessPath::FullScan
@@ -890,7 +998,10 @@ mod tests {
     #[test]
     fn unknown_table_and_column_errors() {
         let db = fixture();
-        assert!(matches!(run_err(&db, "SELECT * FROM Ghost"), ExecError::UnknownTable(_)));
+        assert!(matches!(
+            run_err(&db, "SELECT * FROM Ghost"),
+            ExecError::UnknownTable(_)
+        ));
         assert!(matches!(
             run_err(&db, "SELECT ghost FROM Flights"),
             ExecError::UnknownColumn { .. }
@@ -904,7 +1015,10 @@ mod tests {
     #[test]
     fn ambiguous_column_detected() {
         let db = fixture();
-        let err = run_err(&db, "SELECT fno FROM Flights f JOIN Airlines a ON f.fno = a.fno");
+        let err = run_err(
+            &db,
+            "SELECT fno FROM Flights f JOIN Airlines a ON f.fno = a.fno",
+        );
         assert!(matches!(err, ExecError::AmbiguousColumn(_)));
     }
 }

@@ -49,11 +49,23 @@ fn fixture() -> Database {
 #[test]
 fn comparison_operators() {
     let db = fixture();
-    assert_eq!(rows(&db, "SELECT id FROM emp WHERE salary > 60 ORDER BY id"), ["1", "2"]);
-    assert_eq!(rows(&db, "SELECT id FROM emp WHERE salary >= 60 ORDER BY id"), ["1", "2", "3", "4"]);
-    assert_eq!(rows(&db, "SELECT id FROM emp WHERE salary <> 60 ORDER BY id"), ["1", "2"]);
+    assert_eq!(
+        rows(&db, "SELECT id FROM emp WHERE salary > 60 ORDER BY id"),
+        ["1", "2"]
+    );
+    assert_eq!(
+        rows(&db, "SELECT id FROM emp WHERE salary >= 60 ORDER BY id"),
+        ["1", "2", "3", "4"]
+    );
+    assert_eq!(
+        rows(&db, "SELECT id FROM emp WHERE salary <> 60 ORDER BY id"),
+        ["1", "2"]
+    );
     assert_eq!(rows(&db, "SELECT id FROM emp WHERE name = 'ada'"), ["1"]);
-    assert_eq!(rows(&db, "SELECT id FROM emp WHERE name < 'c' ORDER BY id"), ["1", "2"]);
+    assert_eq!(
+        rows(&db, "SELECT id FROM emp WHERE name < 'c' ORDER BY id"),
+        ["1", "2"]
+    );
 }
 
 #[test]
@@ -61,7 +73,10 @@ fn null_semantics_in_where() {
     let db = fixture();
     // eve's NULL salary never passes a comparison
     assert_eq!(
-        rows(&db, "SELECT COUNT(*) FROM emp WHERE salary > 0 OR salary <= 0"),
+        rows(
+            &db,
+            "SELECT COUNT(*) FROM emp WHERE salary > 0 OR salary <= 0"
+        ),
         ["4"]
     );
     assert_eq!(rows(&db, "SELECT id FROM emp WHERE salary IS NULL"), ["5"]);
@@ -84,10 +99,19 @@ fn arithmetic_and_functions_in_projection() {
         rows(&db, "SELECT salary * 2 + 1 FROM emp WHERE id = 2"),
         ["161"]
     );
-    assert_eq!(rows(&db, "SELECT UPPER(name) FROM emp WHERE id = 1"), ["ADA"]);
-    assert_eq!(rows(&db, "SELECT LENGTH(name) FROM emp WHERE id = 3"), ["3"]);
     assert_eq!(
-        rows(&db, "SELECT COALESCE(dept, 'unassigned') FROM emp WHERE id = 5"),
+        rows(&db, "SELECT UPPER(name) FROM emp WHERE id = 1"),
+        ["ADA"]
+    );
+    assert_eq!(
+        rows(&db, "SELECT LENGTH(name) FROM emp WHERE id = 3"),
+        ["3"]
+    );
+    assert_eq!(
+        rows(
+            &db,
+            "SELECT COALESCE(dept, 'unassigned') FROM emp WHERE id = 5"
+        ),
         ["unassigned"]
     );
     assert_eq!(rows(&db, "SELECT ABS(0 - 5)"), ["5"]);
@@ -97,7 +121,10 @@ fn arithmetic_and_functions_in_projection() {
 fn between_like_inlist() {
     let db = fixture();
     assert_eq!(
-        rows(&db, "SELECT id FROM emp WHERE salary BETWEEN 60 AND 80 ORDER BY id"),
+        rows(
+            &db,
+            "SELECT id FROM emp WHERE salary BETWEEN 60 AND 80 ORDER BY id"
+        ),
         ["2", "3", "4"]
     );
     assert_eq!(
@@ -110,7 +137,10 @@ fn between_like_inlist() {
         ["1", "3"]
     );
     assert_eq!(
-        rows(&db, "SELECT id FROM emp WHERE id NOT IN (1, 2, 3, 4) ORDER BY id"),
+        rows(
+            &db,
+            "SELECT id FROM emp WHERE id NOT IN (1, 2, 3, 4) ORDER BY id"
+        ),
         ["5"]
     );
 }
@@ -128,7 +158,10 @@ fn inner_join_and_qualified_stars() {
     );
     // NULL dept never joins
     assert_eq!(
-        rows(&db, "SELECT COUNT(*) FROM emp e JOIN dept d ON e.dept = d.name"),
+        rows(
+            &db,
+            "SELECT COUNT(*) FROM emp e JOIN dept d ON e.dept = d.name"
+        ),
         ["4"]
     );
 }
@@ -180,7 +213,10 @@ fn aggregates_and_groups() {
     );
     // AVG skips NULLs; group of eve alone (NULL dept) keys on NULL
     assert_eq!(rows(&db, "SELECT AVG(salary) FROM emp"), ["75"]);
-    assert_eq!(rows(&db, "SELECT COUNT(salary), COUNT(*) FROM emp"), ["4|5"]);
+    assert_eq!(
+        rows(&db, "SELECT COUNT(salary), COUNT(*) FROM emp"),
+        ["4|5"]
+    );
     assert_eq!(
         rows(
             &db,
@@ -194,16 +230,25 @@ fn aggregates_and_groups() {
 fn distinct_and_order_combinations() {
     let db = fixture();
     assert_eq!(
-        rows(&db, "SELECT DISTINCT salary FROM emp WHERE salary IS NOT NULL ORDER BY salary"),
+        rows(
+            &db,
+            "SELECT DISTINCT salary FROM emp WHERE salary IS NOT NULL ORDER BY salary"
+        ),
         ["60", "80", "100"]
     );
     assert_eq!(
-        rows(&db, "SELECT name FROM emp ORDER BY salary DESC, name LIMIT 3"),
+        rows(
+            &db,
+            "SELECT name FROM emp ORDER BY salary DESC, name LIMIT 3"
+        ),
         // NULL sorts first ascending, therefore LAST descending; top 3
         // salaries are 100, 80, 60(cat before dan by name)
         ["ada", "bob", "cat"]
     );
-    assert_eq!(rows(&db, "SELECT id FROM emp ORDER BY id LIMIT 2 OFFSET 2"), ["3", "4"]);
+    assert_eq!(
+        rows(&db, "SELECT id FROM emp ORDER BY id LIMIT 2 OFFSET 2"),
+        ["3", "4"]
+    );
 }
 
 #[test]
@@ -254,16 +299,17 @@ fn tuple_in_subquery() {
 #[test]
 fn dml_update_delete_visibility() {
     let db = fixture();
-    let StatementOutcome::Affected(n) =
-        run_sql(&db, "UPDATE emp SET salary = salary + 10 WHERE dept = 'ops'").unwrap()
-    else {
+    let StatementOutcome::Affected(n) = run_sql(
+        &db,
+        "UPDATE emp SET salary = salary + 10 WHERE dept = 'ops'",
+    )
+    .unwrap() else {
         panic!()
     };
     assert_eq!(n, 2);
     assert_eq!(rows(&db, "SELECT salary FROM emp WHERE id = 3"), ["70"]);
 
-    let StatementOutcome::Affected(n) =
-        run_sql(&db, "DELETE FROM emp WHERE boss = 3").unwrap()
+    let StatementOutcome::Affected(n) = run_sql(&db, "DELETE FROM emp WHERE boss = 3").unwrap()
     else {
         panic!()
     };
@@ -309,7 +355,10 @@ fn order_by_is_stable_for_equal_keys() {
     // cat and dan share salary 60; ties keep a deterministic order
     // thanks to the secondary key
     assert_eq!(
-        rows(&db, "SELECT name FROM emp WHERE salary = 60 ORDER BY salary, name"),
+        rows(
+            &db,
+            "SELECT name FROM emp WHERE salary = 60 ORDER BY salary, name"
+        ),
         ["cat", "dan"]
     );
 }

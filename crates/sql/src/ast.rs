@@ -423,12 +423,18 @@ pub enum Expr {
 impl Expr {
     /// Column-reference shorthand.
     pub fn col(name: impl Into<String>) -> Expr {
-        Expr::Column { table: None, name: name.into() }
+        Expr::Column {
+            table: None,
+            name: name.into(),
+        }
     }
 
     /// Qualified column-reference shorthand.
     pub fn qcol(table: impl Into<String>, name: impl Into<String>) -> Expr {
-        Expr::Column { table: Some(table.into()), name: name.into() }
+        Expr::Column {
+            table: Some(table.into()),
+            name: name.into(),
+        }
     }
 
     /// Literal shorthand.
@@ -438,18 +444,30 @@ impl Expr {
 
     /// `left AND right` shorthand.
     pub fn and(self, other: Expr) -> Expr {
-        Expr::Binary { left: Box::new(self), op: BinaryOp::And, right: Box::new(other) }
+        Expr::Binary {
+            left: Box::new(self),
+            op: BinaryOp::And,
+            right: Box::new(other),
+        }
     }
 
     /// `left = right` shorthand.
     pub fn eq(self, other: Expr) -> Expr {
-        Expr::Binary { left: Box::new(self), op: BinaryOp::Eq, right: Box::new(other) }
+        Expr::Binary {
+            left: Box::new(self),
+            op: BinaryOp::Eq,
+            right: Box::new(other),
+        }
     }
 
     /// Splits a conjunction into its conjuncts (flattens nested ANDs).
     pub fn conjuncts(&self) -> Vec<&Expr> {
         match self {
-            Expr::Binary { left, op: BinaryOp::And, right } => {
+            Expr::Binary {
+                left,
+                op: BinaryOp::And,
+                right,
+            } => {
                 let mut out = left.conjuncts();
                 out.extend(right.conjuncts());
                 out
@@ -470,9 +488,13 @@ mod tests {
 
     #[test]
     fn expr_shorthands() {
-        let e = Expr::col("fno").eq(Expr::lit(122i64)).and(Expr::col("x").eq(Expr::lit("y")));
+        let e = Expr::col("fno")
+            .eq(Expr::lit(122i64))
+            .and(Expr::col("x").eq(Expr::lit("y")));
         match &e {
-            Expr::Binary { op: BinaryOp::And, .. } => {}
+            Expr::Binary {
+                op: BinaryOp::And, ..
+            } => {}
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(e.conjuncts().len(), 2);

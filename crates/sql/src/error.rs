@@ -16,7 +16,10 @@ pub struct SqlError {
 impl SqlError {
     /// Builds an error.
     pub fn new(message: impl Into<String>, span: Span) -> SqlError {
-        SqlError { message: message.into(), span }
+        SqlError {
+            message: message.into(),
+            span,
+        }
     }
 }
 

@@ -22,7 +22,13 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(input: &'a str) -> Lexer<'a> {
-        Lexer { chars: input.chars().collect(), pos: 0, line: 1, col: 1, input }
+        Lexer {
+            chars: input.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            input,
+        }
     }
 
     fn span(&self) -> Span {
@@ -140,7 +146,10 @@ impl<'a> Lexer<'a> {
                 c if c.is_ascii_digit() => self.lex_number(span)?,
                 c if c.is_alphabetic() || c == '_' => self.lex_word(),
                 other => {
-                    return Err(SqlError::new(format!("unexpected character '{other}'"), span));
+                    return Err(SqlError::new(
+                        format!("unexpected character '{other}'"),
+                        span,
+                    ));
                 }
             };
             tokens.push(Token::new(kind, span));
@@ -275,7 +284,10 @@ impl<'a> Lexer<'a> {
 // snippet-quoting in error messages.
 impl std::fmt::Debug for Lexer<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Lexer").field("pos", &self.pos).field("input_len", &self.input.len()).finish()
+        f.debug_struct("Lexer")
+            .field("pos", &self.pos)
+            .field("input_len", &self.input.len())
+            .finish()
     }
 }
 

@@ -37,8 +37,8 @@ pub mod token;
 
 pub use ast::{
     BinaryOp, ColumnDef, CreateIndex, CreateTable, Delete, EntangledHead, EntangledSelect, Expr,
-    Insert, Join, JoinKind, OrderByItem, Select, SelectItem, Statement, TableAtom,
-    TableWithJoins, UnaryOp, Update,
+    Insert, Join, JoinKind, OrderByItem, Select, SelectItem, Statement, TableAtom, TableWithJoins,
+    UnaryOp, Update,
 };
 pub use error::{SqlError, SqlResult};
 pub use lexer::lex;

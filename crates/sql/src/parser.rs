@@ -58,7 +58,10 @@ struct Parser {
 
 impl Parser {
     fn new(input: &str) -> SqlResult<Parser> {
-        Ok(Parser { tokens: lex(input)?, pos: 0 })
+        Ok(Parser {
+            tokens: lex(input)?,
+            pos: 0,
+        })
     }
 
     fn peek(&self) -> &Token {
@@ -260,7 +263,12 @@ impl Parser {
                 if pk {
                     primary_key.push(col_name.clone());
                 }
-                columns.push(ColumnDef { name: col_name, ty, nullable, primary_key: pk });
+                columns.push(ColumnDef {
+                    name: col_name,
+                    ty,
+                    nullable,
+                    primary_key: pk,
+                });
             }
             if !self.eat(&TokenKind::Comma) {
                 break;
@@ -269,11 +277,18 @@ impl Parser {
         self.expect(&TokenKind::RParen)?;
         // PK columns are implicitly NOT NULL.
         for col in &mut columns {
-            if primary_key.iter().any(|k| k.eq_ignore_ascii_case(&col.name)) {
+            if primary_key
+                .iter()
+                .any(|k| k.eq_ignore_ascii_case(&col.name))
+            {
                 col.nullable = false;
             }
         }
-        Ok(Statement::CreateTable(CreateTable { name, columns, primary_key }))
+        Ok(Statement::CreateTable(CreateTable {
+            name,
+            columns,
+            primary_key,
+        }))
     }
 
     fn parse_create_index(&mut self, unique: bool) -> SqlResult<Statement> {
@@ -289,7 +304,12 @@ impl Parser {
             }
         }
         self.expect(&TokenKind::RParen)?;
-        Ok(Statement::CreateIndex(CreateIndex { name, table, columns, unique }))
+        Ok(Statement::CreateIndex(CreateIndex {
+            name,
+            table,
+            columns,
+            unique,
+        }))
     }
 
     fn parse_drop(&mut self) -> SqlResult<Statement> {
@@ -333,7 +353,11 @@ impl Parser {
                 break;
             }
         }
-        Ok(Statement::Insert(Insert { table, columns, rows }))
+        Ok(Statement::Insert(Insert {
+            table,
+            columns,
+            rows,
+        }))
     }
 
     fn parse_update(&mut self) -> SqlResult<Statement> {
@@ -350,18 +374,31 @@ impl Parser {
                 break;
             }
         }
-        let where_clause =
-            if self.eat_kw(Keyword::Where) { Some(self.parse_expr()?) } else { None };
-        Ok(Statement::Update(Update { table, sets, where_clause }))
+        let where_clause = if self.eat_kw(Keyword::Where) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update(Update {
+            table,
+            sets,
+            where_clause,
+        }))
     }
 
     fn parse_delete(&mut self) -> SqlResult<Statement> {
         self.expect_kw(Keyword::Delete)?;
         self.expect_kw(Keyword::From)?;
         let table = self.expect_ident()?;
-        let where_clause =
-            if self.eat_kw(Keyword::Where) { Some(self.parse_expr()?) } else { None };
-        Ok(Statement::Delete(Delete { table, where_clause }))
+        let where_clause = if self.eat_kw(Keyword::Where) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete(Delete {
+            table,
+            where_clause,
+        }))
     }
 
     // ---------------------------------------------------------------- //
@@ -386,9 +423,16 @@ impl Parser {
             return self.parse_entangled_tail(items).map(Statement::Entangled);
         }
 
-        let from = if self.eat_kw(Keyword::From) { self.parse_from()? } else { Vec::new() };
-        let where_clause =
-            if self.eat_kw(Keyword::Where) { Some(self.parse_expr()?) } else { None };
+        let from = if self.eat_kw(Keyword::From) {
+            self.parse_from()?
+        } else {
+            Vec::new()
+        };
+        let where_clause = if self.eat_kw(Keyword::Where) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
         let group_by = if self.check_kw(Keyword::Group) {
             self.bump();
             self.expect_kw(Keyword::By)?;
@@ -400,7 +444,11 @@ impl Parser {
         } else {
             Vec::new()
         };
-        let having = if self.eat_kw(Keyword::Having) { Some(self.parse_expr()?) } else { None };
+        let having = if self.eat_kw(Keyword::Having) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
         let order_by = if self.check_kw(Keyword::Order) {
             self.bump();
             self.expect_kw(Keyword::By)?;
@@ -422,8 +470,16 @@ impl Parser {
         } else {
             Vec::new()
         };
-        let limit = if self.eat_kw(Keyword::Limit) { Some(self.expect_uint()?) } else { None };
-        let offset = if self.eat_kw(Keyword::Offset) { Some(self.expect_uint()?) } else { None };
+        let limit = if self.eat_kw(Keyword::Limit) {
+            Some(self.expect_uint()?)
+        } else {
+            None
+        };
+        let offset = if self.eat_kw(Keyword::Offset) {
+            Some(self.expect_uint()?)
+        } else {
+            None
+        };
 
         Ok(Statement::Select(Select {
             distinct,
@@ -490,16 +546,30 @@ impl Parser {
                     break;
                 }
             }
-            heads.push(EntangledHead { exprs: current_exprs, relations });
+            heads.push(EntangledHead {
+                exprs: current_exprs,
+                relations,
+            });
             match next_head_exprs {
                 Some(exprs) => current_exprs = exprs,
                 None => break,
             }
         }
-        let where_clause =
-            if self.eat_kw(Keyword::Where) { Some(self.parse_expr()?) } else { None };
-        let choose = if self.eat_kw(Keyword::Choose) { self.expect_uint()? } else { 1 };
-        Ok(EntangledSelect { heads, where_clause, choose })
+        let where_clause = if self.eat_kw(Keyword::Where) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let choose = if self.eat_kw(Keyword::Choose) {
+            self.expect_uint()?
+        } else {
+            1
+        };
+        Ok(EntangledSelect {
+            heads,
+            where_clause,
+            choose,
+        })
     }
 
     fn items_to_head_exprs(items: Vec<SelectItem>, span: Span) -> SqlResult<Vec<Expr>> {
@@ -511,9 +581,10 @@ impl Parser {
                     format!("alias '{a}' is not allowed in an entangled head"),
                     span,
                 )),
-                SelectItem::Wildcard => {
-                    Err(SqlError::new("'*' is not allowed in an entangled head", span))
-                }
+                SelectItem::Wildcard => Err(SqlError::new(
+                    "'*' is not allowed in an entangled head",
+                    span,
+                )),
             })
             .collect()
     }
@@ -572,7 +643,11 @@ impl Parser {
         let mut left = self.parse_and()?;
         while self.eat_kw(Keyword::Or) {
             let right = self.parse_and()?;
-            left = Expr::Binary { left: Box::new(left), op: BinaryOp::Or, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::Or,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -581,7 +656,11 @@ impl Parser {
         let mut left = self.parse_not()?;
         while self.eat_kw(Keyword::And) {
             let right = self.parse_not()?;
-            left = Expr::Binary { left: Box::new(left), op: BinaryOp::And, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::And,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -592,12 +671,17 @@ impl Parser {
         if self.check_kw(Keyword::Not)
             && !matches!(
                 self.peek_ahead(1),
-                TokenKind::Keyword(Keyword::In | Keyword::Between | Keyword::Like | Keyword::Exists)
+                TokenKind::Keyword(
+                    Keyword::In | Keyword::Between | Keyword::Like | Keyword::Exists
+                )
             )
         {
             self.bump();
             let inner = self.parse_not()?;
-            return Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(inner) });
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            });
         }
         self.parse_comparison()
     }
@@ -617,7 +701,11 @@ impl Parser {
         if let Some(op) = op {
             self.bump();
             let right = self.parse_additive()?;
-            return Ok(Expr::Binary { left: Box::new(left), op, right: Box::new(right) });
+            return Ok(Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            });
         }
         // postfix predicates
         self.parse_postfix_predicates(left)
@@ -625,8 +713,10 @@ impl Parser {
 
     fn parse_postfix_predicates(&mut self, left: Expr) -> SqlResult<Expr> {
         let negated = if self.check_kw(Keyword::Not)
-            && matches!(self.peek_ahead(1), TokenKind::Keyword(Keyword::In | Keyword::Between | Keyword::Like))
-        {
+            && matches!(
+                self.peek_ahead(1),
+                TokenKind::Keyword(Keyword::In | Keyword::Between | Keyword::Like)
+            ) {
             self.bump();
             true
         } else {
@@ -649,7 +739,11 @@ impl Parser {
         }
         if self.eat_kw(Keyword::Like) {
             let pattern = self.parse_additive()?;
-            return Ok(Expr::Like { expr: Box::new(left), pattern: Box::new(pattern), negated });
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern: Box::new(pattern),
+                negated,
+            });
         }
         if negated {
             return Err(self.unexpected("IN, BETWEEN or LIKE after NOT"));
@@ -658,7 +752,10 @@ impl Parser {
             self.bump();
             let negated = self.eat_kw(Keyword::Not);
             self.expect_kw(Keyword::Null)?;
-            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
         Ok(left)
     }
@@ -670,7 +767,11 @@ impl Parser {
         };
         if self.eat_kw(Keyword::Answer) {
             let relation = self.expect_ident()?;
-            return Ok(Expr::InAnswer { exprs: operand_exprs(left), relation, negated });
+            return Ok(Expr::InAnswer {
+                exprs: operand_exprs(left),
+                relation,
+                negated,
+            });
         }
         self.expect(&TokenKind::LParen)?;
         if self.check_kw(Keyword::Select) {
@@ -687,7 +788,11 @@ impl Parser {
             list.push(self.parse_expr()?);
         }
         self.expect(&TokenKind::RParen)?;
-        Ok(Expr::InList { expr: Box::new(left), list, negated })
+        Ok(Expr::InList {
+            expr: Box::new(left),
+            list,
+            negated,
+        })
     }
 
     /// Parses a full SELECT body for use as a subquery (no entangled
@@ -696,9 +801,10 @@ impl Parser {
         let span = self.peek().span;
         match self.parse_select_or_entangled()? {
             Statement::Select(s) => Ok(s),
-            Statement::Entangled(_) => {
-                Err(SqlError::new("entangled queries cannot appear as subqueries", span))
-            }
+            Statement::Entangled(_) => Err(SqlError::new(
+                "entangled queries cannot appear as subqueries",
+                span,
+            )),
             _ => unreachable!("parse_select_or_entangled returns selects"),
         }
     }
@@ -713,7 +819,11 @@ impl Parser {
             };
             self.bump();
             let right = self.parse_multiplicative()?;
-            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
         }
     }
 
@@ -728,7 +838,11 @@ impl Parser {
             };
             self.bump();
             let right = self.parse_unary()?;
-            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
         }
     }
 
@@ -739,7 +853,10 @@ impl Parser {
             return Ok(match inner {
                 Expr::Literal(Value::Int(i)) => Expr::Literal(Value::Int(-i)),
                 Expr::Literal(Value::Float(x)) => Expr::Literal(Value::Float(-x)),
-                other => Expr::Unary { op: UnaryOp::Neg, expr: Box::new(other) },
+                other => Expr::Unary {
+                    op: UnaryOp::Neg,
+                    expr: Box::new(other),
+                },
             });
         }
         if self.eat(&TokenKind::Plus) {
@@ -779,7 +896,10 @@ impl Parser {
                 self.expect(&TokenKind::LParen)?;
                 let query = self.parse_subquery_body()?;
                 self.expect(&TokenKind::RParen)?;
-                Ok(Expr::Exists { query: Box::new(query), negated: false })
+                Ok(Expr::Exists {
+                    query: Box::new(query),
+                    negated: false,
+                })
             }
             TokenKind::Keyword(Keyword::Not)
                 if matches!(self.peek_ahead(1), TokenKind::Keyword(Keyword::Exists)) =>
@@ -789,13 +909,19 @@ impl Parser {
                 self.expect(&TokenKind::LParen)?;
                 let query = self.parse_subquery_body()?;
                 self.expect(&TokenKind::RParen)?;
-                Ok(Expr::Exists { query: Box::new(query), negated: true })
+                Ok(Expr::Exists {
+                    query: Box::new(query),
+                    negated: true,
+                })
             }
             TokenKind::Ident(name) => {
                 self.bump();
                 if self.eat(&TokenKind::Dot) {
                     let col = self.expect_ident()?;
-                    return Ok(Expr::Column { table: Some(name), name: col });
+                    return Ok(Expr::Column {
+                        table: Some(name),
+                        name: col,
+                    });
                 }
                 if self.eat(&TokenKind::LParen) {
                     // function call
@@ -864,7 +990,10 @@ mod tests {
         let printed = stmt.to_string();
         let reparsed =
             parse_statement(&printed).unwrap_or_else(|e| panic!("reparse '{printed}': {e}"));
-        assert_eq!(stmt, reparsed, "round-trip mismatch for '{sql}' -> '{printed}'");
+        assert_eq!(
+            stmt, reparsed,
+            "round-trip mismatch for '{sql}' -> '{printed}'"
+        );
     }
 
     #[test]
@@ -874,7 +1003,9 @@ mod tests {
                    AND ('Jerry', fno) IN ANSWER Reservation \
                    CHOOSE 1";
         let stmt = parse_statement(sql).unwrap();
-        let Statement::Entangled(q) = stmt else { panic!("expected entangled") };
+        let Statement::Entangled(q) = stmt else {
+            panic!("expected entangled")
+        };
         assert_eq!(q.choose, 1);
         assert_eq!(q.heads.len(), 1);
         assert_eq!(q.heads[0].relations, vec!["Reservation"]);
@@ -889,7 +1020,9 @@ mod tests {
     #[test]
     fn entangled_choose_defaults_to_one() {
         let sql = "SELECT 'K', fno INTO ANSWER R WHERE ('J', fno) IN ANSWER R";
-        let Statement::Entangled(q) = parse_statement(sql).unwrap() else { panic!() };
+        let Statement::Entangled(q) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
         assert_eq!(q.choose, 1);
     }
 
@@ -897,7 +1030,9 @@ mod tests {
     fn entangled_multiple_relations_single_head() {
         // the paper's literal grammar: INTO ANSWER t1, ANSWER t2
         let sql = "SELECT 'K', x INTO ANSWER R1, ANSWER R2 CHOOSE 1";
-        let Statement::Entangled(q) = parse_statement(sql).unwrap() else { panic!() };
+        let Statement::Entangled(q) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
         assert_eq!(q.heads.len(), 1);
         assert_eq!(q.heads[0].relations, vec!["R1", "R2"]);
     }
@@ -907,7 +1042,9 @@ mod tests {
         let sql = "SELECT 'Jerry', fno INTO ANSWER Res, 'Jerry', hid INTO ANSWER HotelRes \
                    WHERE ('Kramer', fno) IN ANSWER Res AND ('Kramer', hid) IN ANSWER HotelRes \
                    CHOOSE 1";
-        let Statement::Entangled(q) = parse_statement(sql).unwrap() else { panic!() };
+        let Statement::Entangled(q) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
         assert_eq!(q.heads.len(), 2);
         assert_eq!(q.heads[0].relations, vec!["Res"]);
         assert_eq!(q.heads[1].relations, vec!["HotelRes"]);
@@ -917,9 +1054,15 @@ mod tests {
     #[test]
     fn not_in_answer() {
         let sql = "SELECT 'K', x INTO ANSWER R WHERE ('J', x) NOT IN ANSWER R";
-        let Statement::Entangled(q) = parse_statement(sql).unwrap() else { panic!() };
+        let Statement::Entangled(q) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
         match q.where_clause.unwrap() {
-            Expr::InAnswer { negated, relation, exprs } => {
+            Expr::InAnswer {
+                negated,
+                relation,
+                exprs,
+            } => {
                 assert!(negated);
                 assert_eq!(relation, "R");
                 assert_eq!(exprs.len(), 2);
@@ -935,7 +1078,9 @@ mod tests {
                    WHERE f.dest = 'Paris' AND f.price < 500 \
                    GROUP BY f.fno HAVING COUNT(*) > 1 \
                    ORDER BY n DESC LIMIT 10 OFFSET 2";
-        let Statement::Select(s) = parse_statement(sql).unwrap() else { panic!() };
+        let Statement::Select(s) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
         assert!(s.distinct);
         assert_eq!(s.items.len(), 2);
         assert_eq!(s.from.len(), 1);
@@ -951,7 +1096,9 @@ mod tests {
     #[test]
     fn left_join_and_comma_from() {
         let sql = "SELECT * FROM a LEFT JOIN b ON a.x = b.x, c";
-        let Statement::Select(s) = parse_statement(sql).unwrap() else { panic!() };
+        let Statement::Select(s) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
         assert_eq!(s.from.len(), 2);
         assert_eq!(s.from[0].joins[0].kind, JoinKind::Left);
     }
@@ -960,7 +1107,9 @@ mod tests {
     fn ddl_statements() {
         let sql = "CREATE TABLE Flights (fno INT PRIMARY KEY, dest STRING NOT NULL, \
                    price FLOAT, ok BOOL, data BYTES)";
-        let Statement::CreateTable(ct) = parse_statement(sql).unwrap() else { panic!() };
+        let Statement::CreateTable(ct) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
         assert_eq!(ct.primary_key, vec!["fno"]);
         assert_eq!(ct.columns.len(), 5);
         assert!(!ct.columns[0].nullable);
@@ -968,12 +1117,16 @@ mod tests {
         assert!(ct.columns[2].nullable);
 
         let sql2 = "CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b))";
-        let Statement::CreateTable(ct2) = parse_statement(sql2).unwrap() else { panic!() };
+        let Statement::CreateTable(ct2) = parse_statement(sql2).unwrap() else {
+            panic!()
+        };
         assert_eq!(ct2.primary_key, vec!["a", "b"]);
         assert!(!ct2.columns[0].nullable); // pk implies NOT NULL
 
         let sql3 = "CREATE UNIQUE INDEX by_dest ON Flights (dest, price)";
-        let Statement::CreateIndex(ci) = parse_statement(sql3).unwrap() else { panic!() };
+        let Statement::CreateIndex(ci) = parse_statement(sql3).unwrap() else {
+            panic!()
+        };
         assert!(ci.unique);
         assert_eq!(ci.columns, vec!["dest", "price"]);
 
@@ -985,14 +1138,17 @@ mod tests {
 
     #[test]
     fn dml_statements() {
-        let Statement::Insert(ins) = parse_statement(
-            "INSERT INTO Flights (fno, dest) VALUES (122, 'Paris'), (136, 'Rome')",
-        )
-        .unwrap() else {
+        let Statement::Insert(ins) =
+            parse_statement("INSERT INTO Flights (fno, dest) VALUES (122, 'Paris'), (136, 'Rome')")
+                .unwrap()
+        else {
             panic!()
         };
         assert_eq!(ins.rows.len(), 2);
-        assert_eq!(ins.columns.as_deref(), Some(&["fno".to_string(), "dest".to_string()][..]));
+        assert_eq!(
+            ins.columns.as_deref(),
+            Some(&["fno".to_string(), "dest".to_string()][..])
+        );
 
         let Statement::Update(up) =
             parse_statement("UPDATE Flights SET price = price * 1.1 WHERE dest = 'Paris'").unwrap()
@@ -1012,8 +1168,14 @@ mod tests {
 
     #[test]
     fn show_statements() {
-        assert_eq!(parse_statement("SHOW TABLES").unwrap(), Statement::ShowTables);
-        assert_eq!(parse_statement("SHOW PENDING;").unwrap(), Statement::ShowPending);
+        assert_eq!(
+            parse_statement("SHOW TABLES").unwrap(),
+            Statement::ShowTables
+        );
+        assert_eq!(
+            parse_statement("SHOW PENDING;").unwrap(),
+            Statement::ShowPending
+        );
     }
 
     #[test]
@@ -1043,7 +1205,10 @@ mod tests {
     fn expression_precedence() {
         let e = parse_expr("1 + 2 * 3").unwrap();
         assert_eq!(e.to_string(), "1 + 2 * 3");
-        assert_eq!(parse_expr("(1 + 2) * 3").unwrap().to_string(), "(1 + 2) * 3");
+        assert_eq!(
+            parse_expr("(1 + 2) * 3").unwrap().to_string(),
+            "(1 + 2) * 3"
+        );
         assert_eq!(
             parse_expr("a = 1 OR b = 2 AND c = 3").unwrap().to_string(),
             "a = 1 OR b = 2 AND c = 3"
@@ -1063,8 +1228,14 @@ mod tests {
 
     #[test]
     fn predicates_parse() {
-        assert!(matches!(parse_expr("x IS NULL").unwrap(), Expr::IsNull { negated: false, .. }));
-        assert!(matches!(parse_expr("x IS NOT NULL").unwrap(), Expr::IsNull { negated: true, .. }));
+        assert!(matches!(
+            parse_expr("x IS NULL").unwrap(),
+            Expr::IsNull { negated: false, .. }
+        ));
+        assert!(matches!(
+            parse_expr("x IS NOT NULL").unwrap(),
+            Expr::IsNull { negated: true, .. }
+        ));
         assert!(matches!(
             parse_expr("x IN (1, 2, 3)").unwrap(),
             Expr::InList { negated: false, .. }
@@ -1102,10 +1273,9 @@ mod tests {
 
     #[test]
     fn parse_statements_script() {
-        let stmts = parse_statements(
-            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;",
-        )
-        .unwrap();
+        let stmts =
+            parse_statements("CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;")
+                .unwrap();
         assert_eq!(stmts.len(), 3);
         assert!(parse_statements("").unwrap().is_empty());
         assert!(parse_statements(";;;").unwrap().is_empty());

@@ -234,14 +234,18 @@ impl fmt::Display for EntangledSelect {
 fn expr_prec(e: &Expr) -> u8 {
     match e {
         Expr::Binary { op, .. } => op.precedence(),
-        Expr::Unary { op: UnaryOp::Not, .. } => 3,
+        Expr::Unary {
+            op: UnaryOp::Not, ..
+        } => 3,
         Expr::InList { .. }
         | Expr::InSubquery { .. }
         | Expr::InAnswer { .. }
         | Expr::Between { .. }
         | Expr::Like { .. }
         | Expr::IsNull { .. } => 4,
-        Expr::Unary { op: UnaryOp::Neg, .. } => 7,
+        Expr::Unary {
+            op: UnaryOp::Neg, ..
+        } => 7,
         _ => 10,
     }
 }
@@ -304,7 +308,11 @@ impl fmt::Display for Expr {
                     write!(f, " IS NULL")
                 }
             }
-            Expr::InList { expr, list, negated } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 write_child(f, expr, 5)?;
                 if *negated {
                     write!(f, " NOT IN (")?;
@@ -314,7 +322,11 @@ impl fmt::Display for Expr {
                 comma_sep(f, list)?;
                 write!(f, ")")
             }
-            Expr::InSubquery { exprs, query, negated } => {
+            Expr::InSubquery {
+                exprs,
+                query,
+                negated,
+            } => {
                 write_tuple_operand(f, exprs)?;
                 if *negated {
                     write!(f, " NOT IN ({query})")
@@ -322,7 +334,11 @@ impl fmt::Display for Expr {
                     write!(f, " IN ({query})")
                 }
             }
-            Expr::InAnswer { exprs, relation, negated } => {
+            Expr::InAnswer {
+                exprs,
+                relation,
+                negated,
+            } => {
                 write_tuple_operand(f, exprs)?;
                 if *negated {
                     write!(f, " NOT IN ANSWER {relation}")
@@ -337,7 +353,12 @@ impl fmt::Display for Expr {
                     write!(f, "EXISTS ({query})")
                 }
             }
-            Expr::Between { expr, low, high, negated } => {
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
                 write_child(f, expr, 5)?;
                 if *negated {
                     write!(f, " NOT BETWEEN ")?;
@@ -348,7 +369,11 @@ impl fmt::Display for Expr {
                 write!(f, " AND ")?;
                 write_child(f, high, 5)
             }
-            Expr::Like { expr, pattern, negated } => {
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
                 write_child(f, expr, 5)?;
                 if *negated {
                     write!(f, " NOT LIKE ")?;
@@ -394,9 +419,15 @@ mod tests {
                 Expr::InSubquery {
                     exprs: vec![Expr::col("fno")],
                     query: Box::new(Select {
-                        items: vec![SelectItem::Expr { expr: Expr::col("fno"), alias: None }],
+                        items: vec![SelectItem::Expr {
+                            expr: Expr::col("fno"),
+                            alias: None,
+                        }],
                         from: vec![TableWithJoins {
-                            base: TableAtom { name: "Flights".into(), alias: None },
+                            base: TableAtom {
+                                name: "Flights".into(),
+                                alias: None,
+                            },
                             joins: vec![],
                         }],
                         where_clause: Some(Expr::col("dest").eq(Expr::lit("Paris"))),
@@ -497,9 +528,16 @@ mod tests {
 
     #[test]
     fn functions_and_predicates_print() {
-        let e = Expr::Function { name: "COUNT".into(), args: vec![], star: true };
+        let e = Expr::Function {
+            name: "COUNT".into(),
+            args: vec![],
+            star: true,
+        };
         assert_eq!(e.to_string(), "COUNT(*)");
-        let e2 = Expr::IsNull { expr: Box::new(Expr::col("x")), negated: true };
+        let e2 = Expr::IsNull {
+            expr: Box::new(Expr::col("x")),
+            negated: true,
+        };
         assert_eq!(e2.to_string(), "x IS NOT NULL");
         let e3 = Expr::Between {
             expr: Box::new(Expr::col("p")),

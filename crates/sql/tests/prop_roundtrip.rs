@@ -22,8 +22,7 @@ fn literal() -> impl Strategy<Value = Expr> {
         // i64::MIN is excluded: its absolute value does not lex as a
         // positive integer literal before negation folds in.
         (i64::MIN + 1..=i64::MAX).prop_map(|i| Expr::Literal(Value::Int(i))),
-        (-1_000_000i64..1_000_000)
-            .prop_map(|i| Expr::Literal(Value::Float(i as f64 / 64.0))),
+        (-1_000_000i64..1_000_000).prop_map(|i| Expr::Literal(Value::Float(i as f64 / 64.0))),
         "[a-zA-Z '%_]{0,10}".prop_map(|s| Expr::Literal(Value::Str(s))),
         Just(Expr::Literal(Value::Null)),
         any::<bool>().prop_map(|b| Expr::Literal(Value::Bool(b))),
@@ -46,7 +45,11 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 expr: Box::new(e),
                 negated,
             }),
-            (inner.clone(), proptest::collection::vec(inner.clone(), 1..4), any::<bool>())
+            (
+                inner.clone(),
+                proptest::collection::vec(inner.clone(), 1..4),
+                any::<bool>()
+            )
                 .prop_map(|(e, list, negated)| Expr::InList {
                     expr: Box::new(e),
                     list,
@@ -110,7 +113,10 @@ fn arb_select() -> impl Strategy<Value = Select> {
 fn arb_entangled() -> impl Strategy<Value = EntangledSelect> {
     (
         proptest::collection::vec(
-            (proptest::collection::vec(leaf_expr(), 1..4), proptest::collection::vec(ident(), 1..3)),
+            (
+                proptest::collection::vec(leaf_expr(), 1..4),
+                proptest::collection::vec(ident(), 1..3),
+            ),
             1..3,
         ),
         proptest::option::of(arb_expr()),
@@ -131,7 +137,11 @@ fn arb_insert() -> impl Strategy<Value = Insert> {
         proptest::option::of(proptest::collection::vec(ident(), 1..4)),
         proptest::collection::vec(proptest::collection::vec(literal(), 1..4), 1..3),
     )
-        .prop_map(|(table, columns, rows)| Insert { table, columns, rows })
+        .prop_map(|(table, columns, rows)| Insert {
+            table,
+            columns,
+            rows,
+        })
 }
 
 fn roundtrip(stmt: &Statement) -> Result<(), TestCaseError> {

@@ -74,8 +74,7 @@ impl Catalog {
 
     /// Display names of all tables, sorted for deterministic output.
     pub fn table_names(&self) -> Vec<String> {
-        let mut names: Vec<String> =
-            self.tables.values().map(|t| t.name().to_string()).collect();
+        let mut names: Vec<String> = self.tables.values().map(|t| t.name().to_string()).collect();
         names.sort();
         names
     }
@@ -126,7 +125,10 @@ mod tests {
         let t = cat.drop_table("t").unwrap();
         assert_eq!(t.name(), "T");
         assert!(!cat.has_table("T"));
-        assert!(matches!(cat.drop_table("T"), Err(StorageError::TableNotFound(_))));
+        assert!(matches!(
+            cat.drop_table("T"),
+            Err(StorageError::TableNotFound(_))
+        ));
     }
 
     #[test]

@@ -41,13 +41,21 @@ impl Default for Database {
 impl Database {
     /// Creates an empty, non-durable (no WAL) database.
     pub fn new() -> Database {
-        Database { inner: Arc::new(RwLock::new(DbInner { catalog: Catalog::new(), wal: None })) }
+        Database {
+            inner: Arc::new(RwLock::new(DbInner {
+                catalog: Catalog::new(),
+                wal: None,
+            })),
+        }
     }
 
     /// Creates an empty database that logs committed work to `wal`.
     pub fn with_wal(wal: Wal) -> Database {
         Database {
-            inner: Arc::new(RwLock::new(DbInner { catalog: Catalog::new(), wal: Some(wal) })),
+            inner: Arc::new(RwLock::new(DbInner {
+                catalog: Catalog::new(),
+                wal: Some(wal),
+            })),
         }
     }
 
@@ -58,12 +66,19 @@ impl Database {
         for op in ops {
             apply_wal_op(&mut catalog, op)?;
         }
-        Ok(Database { inner: Arc::new(RwLock::new(DbInner { catalog, wal: Some(wal) })) })
+        Ok(Database {
+            inner: Arc::new(RwLock::new(DbInner {
+                catalog,
+                wal: Some(wal),
+            })),
+        })
     }
 
     /// Starts a read transaction (shared lock for the guard's lifetime).
     pub fn read(&self) -> ReadTransaction {
-        ReadTransaction { guard: RwLock::read_arc(&self.inner) }
+        ReadTransaction {
+            guard: RwLock::read_arc(&self.inner),
+        }
     }
 
     /// Starts a write transaction (exclusive lock until commit/abort).
@@ -102,7 +117,10 @@ impl Database {
         let inner = self.inner.read();
         let mut ops = Vec::new();
         for name in inner.catalog.table_names() {
-            let table = inner.catalog.table(&name).expect("name came from the catalog");
+            let table = inner
+                .catalog
+                .table(&name)
+                .expect("name came from the catalog");
             ops.push(WalOp::CreateTable {
                 name: table.name().to_string(),
                 schema: table.schema().clone(),
@@ -130,7 +148,10 @@ impl Database {
         // build the snapshot from the locked state
         let mut ops = Vec::new();
         for name in inner.catalog.table_names() {
-            let table = inner.catalog.table(&name).expect("name came from the catalog");
+            let table = inner
+                .catalog
+                .table(&name)
+                .expect("name came from the catalog");
             ops.push(WalOp::CreateTable {
                 name: table.name().to_string(),
                 schema: table.schema().clone(),
@@ -159,9 +180,10 @@ fn apply_wal_op(catalog: &mut Catalog, op: WalOp) -> StorageResult<()> {
         WalOp::Insert { table, rid, tuple } => {
             catalog.table_mut(&table)?.insert_at(RowId(rid), tuple)
         }
-        WalOp::Update { table, rid, tuple } => {
-            catalog.table_mut(&table)?.update(RowId(rid), tuple).map(|_| ())
-        }
+        WalOp::Update { table, rid, tuple } => catalog
+            .table_mut(&table)?
+            .update(RowId(rid), tuple)
+            .map(|_| ()),
         WalOp::Delete { table, rid } => catalog.table_mut(&table)?.delete(RowId(rid)).map(|_| ()),
     }
 }
@@ -185,11 +207,26 @@ impl ReadTransaction {
 }
 
 enum UndoOp {
-    CreateTable { name: String },
-    DropTable { table: Table },
-    Insert { table: String, rid: RowId },
-    Update { table: String, rid: RowId, old: Tuple },
-    Delete { table: String, rid: RowId, old: Tuple },
+    CreateTable {
+        name: String,
+    },
+    DropTable {
+        table: Table,
+    },
+    Insert {
+        table: String,
+        rid: RowId,
+    },
+    Update {
+        table: String,
+        rid: RowId,
+        old: Tuple,
+    },
+    Delete {
+        table: String,
+        rid: RowId,
+        old: Tuple,
+    },
 }
 
 /// A write transaction. Mutations are applied eagerly to the catalog and
@@ -216,8 +253,13 @@ impl Transaction {
     pub fn create_table(&mut self, name: &str, schema: Schema) -> StorageResult<()> {
         self.check_open()?;
         self.guard.catalog.create_table(name, schema.clone())?;
-        self.undo.push(UndoOp::CreateTable { name: name.to_string() });
-        self.redo.push(WalOp::CreateTable { name: name.to_string(), schema });
+        self.undo.push(UndoOp::CreateTable {
+            name: name.to_string(),
+        });
+        self.redo.push(WalOp::CreateTable {
+            name: name.to_string(),
+            schema,
+        });
         Ok(())
     }
 
@@ -225,7 +267,9 @@ impl Transaction {
     pub fn drop_table(&mut self, name: &str) -> StorageResult<()> {
         self.check_open()?;
         let table = self.guard.catalog.drop_table(name)?;
-        self.redo.push(WalOp::DropTable { name: table.name().to_string() });
+        self.redo.push(WalOp::DropTable {
+            name: table.name().to_string(),
+        });
         self.undo.push(UndoOp::DropTable { table });
         Ok(())
     }
@@ -241,7 +285,10 @@ impl Transaction {
         kind: IndexKind,
     ) -> StorageResult<()> {
         self.check_open()?;
-        self.guard.catalog.table_mut(table)?.create_index(index_name, columns, unique, kind)
+        self.guard
+            .catalog
+            .table_mut(table)?
+            .create_index(index_name, columns, unique, kind)
     }
 
     /// Inserts a tuple; returns its row id.
@@ -250,8 +297,15 @@ impl Transaction {
         let t = self.guard.catalog.table_mut(table)?;
         let rid = t.insert(tuple)?;
         let stored = t.get(rid).expect("row was just inserted").clone();
-        self.undo.push(UndoOp::Insert { table: table.to_string(), rid });
-        self.redo.push(WalOp::Insert { table: table.to_string(), rid: rid.0, tuple: stored });
+        self.undo.push(UndoOp::Insert {
+            table: table.to_string(),
+            rid,
+        });
+        self.redo.push(WalOp::Insert {
+            table: table.to_string(),
+            rid: rid.0,
+            tuple: stored,
+        });
         Ok(rid)
     }
 
@@ -261,8 +315,16 @@ impl Transaction {
         let t = self.guard.catalog.table_mut(table)?;
         let old = t.update(rid, tuple)?;
         let stored = t.get(rid).expect("row still exists").clone();
-        self.undo.push(UndoOp::Update { table: table.to_string(), rid, old });
-        self.redo.push(WalOp::Update { table: table.to_string(), rid: rid.0, tuple: stored });
+        self.undo.push(UndoOp::Update {
+            table: table.to_string(),
+            rid,
+            old,
+        });
+        self.redo.push(WalOp::Update {
+            table: table.to_string(),
+            rid: rid.0,
+            tuple: stored,
+        });
         Ok(())
     }
 
@@ -270,8 +332,15 @@ impl Transaction {
     pub fn delete(&mut self, table: &str, rid: RowId) -> StorageResult<()> {
         self.check_open()?;
         let old = self.guard.catalog.table_mut(table)?.delete(rid)?;
-        self.undo.push(UndoOp::Delete { table: table.to_string(), rid, old });
-        self.redo.push(WalOp::Delete { table: table.to_string(), rid: rid.0 });
+        self.undo.push(UndoOp::Delete {
+            table: table.to_string(),
+            rid,
+            old,
+        });
+        self.redo.push(WalOp::Delete {
+            table: table.to_string(),
+            rid: rid.0,
+        });
         Ok(())
     }
 
@@ -322,13 +391,14 @@ impl Transaction {
         // Undo in reverse order; failures here indicate a broken invariant.
         while let Some(op) = self.undo.pop() {
             let result: StorageResult<()> = match op {
-                UndoOp::CreateTable { name } => {
-                    self.guard.catalog.drop_table(&name).map(|_| ())
-                }
+                UndoOp::CreateTable { name } => self.guard.catalog.drop_table(&name).map(|_| ()),
                 UndoOp::DropTable { table } => self.guard.catalog.restore_table(table),
-                UndoOp::Insert { table, rid } => {
-                    self.guard.catalog.table_mut(&table).and_then(|t| t.delete(rid)).map(|_| ())
-                }
+                UndoOp::Insert { table, rid } => self
+                    .guard
+                    .catalog
+                    .table_mut(&table)
+                    .and_then(|t| t.delete(rid))
+                    .map(|_| ()),
                 UndoOp::Update { table, rid, old } => self
                     .guard
                     .catalog
@@ -407,8 +477,14 @@ mod tests {
         let read = db.read();
         let flights = read.table("Flights").unwrap();
         assert_eq!(flights.len(), 2);
-        assert_eq!(flights.get(RowId(0)).unwrap().values()[1], Value::from("Paris"));
-        assert_eq!(flights.get(RowId(1)).unwrap().values()[1], Value::from("Paris"));
+        assert_eq!(
+            flights.get(RowId(0)).unwrap().values()[1],
+            Value::from("Paris")
+        );
+        assert_eq!(
+            flights.get(RowId(1)).unwrap().values()[1],
+            Value::from("Paris")
+        );
         assert!(read.table("Hotels").is_err());
     }
 
@@ -480,7 +556,10 @@ mod tests {
         }
         let flights = catalog.table("Flights").unwrap();
         assert_eq!(flights.len(), 1);
-        assert_eq!(flights.get(RowId(0)).unwrap().values()[1], Value::from("Lyon"));
+        assert_eq!(
+            flights.get(RowId(0)).unwrap().values()[1],
+            Value::from("Lyon")
+        );
     }
 
     #[test]
@@ -511,7 +590,8 @@ mod tests {
         let db2 = Database::recover(Wal::open(&path).unwrap()).unwrap();
         assert_eq!(db2.read().table("Flights").unwrap().len(), 1);
         // and it keeps logging
-        db2.with_txn(|txn| txn.insert("Flights", row(123, "Paris")).map(|_| ())).unwrap();
+        db2.with_txn(|txn| txn.insert("Flights", row(123, "Paris")).map(|_| ()))
+            .unwrap();
         let db3 = Database::recover(Wal::open(&path).unwrap()).unwrap();
         assert_eq!(db3.read().table("Flights").unwrap().len(), 2);
         std::fs::remove_file(&path).unwrap();
@@ -576,7 +656,10 @@ mod tests {
             let wal = inner.wal.as_ref().unwrap();
             (wal.raw_len().unwrap(), wal.raw_bytes().unwrap().to_vec())
         };
-        assert!(after < before / 3, "checkpoint must shrink the log: {before} -> {after}");
+        assert!(
+            after < before / 3,
+            "checkpoint must shrink the log: {before} -> {after}"
+        );
 
         // replaying the compacted log reproduces the exact state
         let ops = Wal::decode_stream(&bytes).unwrap();
@@ -589,7 +672,8 @@ mod tests {
         assert_eq!(t.get(RowId(30)).unwrap().values()[1], Value::from("City4"));
 
         // and the database keeps logging normally afterwards
-        db.with_txn(|txn| txn.insert("Flights", row(999, "Oslo")).map(|_| ())).unwrap();
+        db.with_txn(|txn| txn.insert("Flights", row(999, "Oslo")).map(|_| ()))
+            .unwrap();
         let bytes2 = {
             let inner = db.inner.read();
             inner.wal.as_ref().unwrap().raw_bytes().unwrap().to_vec()

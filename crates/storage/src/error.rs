@@ -78,9 +78,16 @@ impl fmt::Display for StorageError {
                 write!(f, "column '{column}' not found in table '{table}'")
             }
             StorageError::ArityMismatch { expected, actual } => {
-                write!(f, "arity mismatch: schema has {expected} columns, tuple has {actual}")
+                write!(
+                    f,
+                    "arity mismatch: schema has {expected} columns, tuple has {actual}"
+                )
             }
-            StorageError::TypeMismatch { column, expected, actual } => write!(
+            StorageError::TypeMismatch {
+                column,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "type mismatch for column '{column}': expected {expected}, got {actual}"
             ),
@@ -88,7 +95,10 @@ impl fmt::Display for StorageError {
                 write!(f, "NULL written to non-nullable column '{column}'")
             }
             StorageError::UniqueViolation { index, key } => {
-                write!(f, "unique constraint violated on index '{index}' for key {key}")
+                write!(
+                    f,
+                    "unique constraint violated on index '{index}' for key {key}"
+                )
             }
             StorageError::RowNotFound(rid) => write!(f, "row id {rid} not found"),
             StorageError::IndexAlreadyExists(name) => {
@@ -126,11 +136,17 @@ mod tests {
                 "table 'Hotels' not found",
             ),
             (
-                StorageError::ColumnNotFound { table: "Flights".into(), column: "dest".into() },
+                StorageError::ColumnNotFound {
+                    table: "Flights".into(),
+                    column: "dest".into(),
+                },
                 "column 'dest' not found in table 'Flights'",
             ),
             (
-                StorageError::ArityMismatch { expected: 3, actual: 2 },
+                StorageError::ArityMismatch {
+                    expected: 3,
+                    actual: 2,
+                },
                 "arity mismatch: schema has 3 columns, tuple has 2",
             ),
             (StorageError::RowNotFound(7), "row id 7 not found"),

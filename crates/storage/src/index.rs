@@ -41,12 +41,22 @@ pub struct Index {
 
 impl Index {
     /// Creates an empty index over the given column positions.
-    pub fn new(name: impl Into<String>, columns: Vec<usize>, unique: bool, kind: IndexKind) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        columns: Vec<usize>,
+        unique: bool,
+        kind: IndexKind,
+    ) -> Self {
         let store = match kind {
             IndexKind::Hash => IndexStore::Hash(HashMap::new()),
             IndexKind::Ordered => IndexStore::Ordered(BTreeMap::new()),
         };
-        Index { name: name.into(), columns, unique, store }
+        Index {
+            name: name.into(),
+            columns,
+            unique,
+            store,
+        }
     }
 
     /// Index name.
@@ -74,7 +84,10 @@ impl Index {
 
     /// Extracts this index's key from a full row.
     pub fn key_of(&self, tuple: &Tuple) -> IndexKey {
-        self.columns.iter().map(|&i| tuple.values()[i].clone()).collect()
+        self.columns
+            .iter()
+            .map(|&i| tuple.values()[i].clone())
+            .collect()
     }
 
     /// Number of distinct keys currently present.

@@ -64,12 +64,20 @@ pub struct Column {
 impl Column {
     /// A non-nullable column.
     pub fn new(name: impl Into<String>, ty: DataType) -> Self {
-        Column { name: name.into(), ty, nullable: false }
+        Column {
+            name: name.into(),
+            ty,
+            nullable: false,
+        }
     }
 
     /// A nullable column.
     pub fn nullable(name: impl Into<String>, ty: DataType) -> Self {
-        Column { name: name.into(), ty, nullable: true }
+        Column {
+            name: name.into(),
+            ty,
+            nullable: true,
+        }
     }
 }
 
@@ -85,7 +93,10 @@ pub struct Schema {
 impl Schema {
     /// Builds a schema without a primary key.
     pub fn new(columns: Vec<Column>) -> Self {
-        Schema { columns, primary_key: Vec::new() }
+        Schema {
+            columns,
+            primary_key: Vec::new(),
+        }
     }
 
     /// Builds a schema with the named primary-key columns.
@@ -119,7 +130,9 @@ impl Schema {
 
     /// Case-insensitive lookup of a column's position.
     pub fn column_index(&self, name: &str) -> Option<usize> {
-        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
     }
 
     /// Column definition at `idx`.
@@ -138,7 +151,12 @@ impl Schema {
         if self.primary_key.is_empty() {
             return None;
         }
-        Some(self.primary_key.iter().map(|&i| &tuple.values()[i]).collect())
+        Some(
+            self.primary_key
+                .iter()
+                .map(|&i| &tuple.values()[i])
+                .collect(),
+        )
     }
 
     /// Validates a tuple against this schema, coercing values where the
@@ -155,7 +173,9 @@ impl Schema {
         for (value, col) in tuple.into_values().into_iter().zip(&self.columns) {
             if value.is_null() {
                 if !col.nullable {
-                    return Err(StorageError::NullViolation { column: col.name.clone() });
+                    return Err(StorageError::NullViolation {
+                        column: col.name.clone(),
+                    });
                 }
                 out.push(value);
                 continue;
@@ -224,7 +244,10 @@ mod tests {
         let t = Tuple::new(vec![Value::Int(122)]);
         assert_eq!(
             s.validate("Flights", t).unwrap_err(),
-            StorageError::ArityMismatch { expected: 3, actual: 1 }
+            StorageError::ArityMismatch {
+                expected: 3,
+                actual: 1
+            }
         );
     }
 
@@ -233,7 +256,11 @@ mod tests {
         let s = flights_schema();
         let t = Tuple::new(vec![Value::from("x"), Value::from("Paris"), Value::Null]);
         match s.validate("Flights", t).unwrap_err() {
-            StorageError::TypeMismatch { column, expected, actual } => {
+            StorageError::TypeMismatch {
+                column,
+                expected,
+                actual,
+            } => {
                 assert_eq!(column, "fno");
                 assert_eq!(expected, DataType::Int64);
                 assert_eq!(actual, DataType::Str);
@@ -252,7 +279,9 @@ mod tests {
         let bad = Tuple::new(vec![Value::Int(1), Value::Null, Value::Null]);
         assert_eq!(
             s.validate("Flights", bad).unwrap_err(),
-            StorageError::NullViolation { column: "dest".into() }
+            StorageError::NullViolation {
+                column: "dest".into()
+            }
         );
     }
 

@@ -38,11 +38,21 @@ impl Table {
     /// unique hash index named `<table>_pk` is created automatically.
     pub fn new(name: impl Into<String>, schema: Schema) -> Self {
         let name = name.into();
-        let mut table =
-            Table { name: name.clone(), schema, rows: BTreeMap::new(), next_row_id: 0, indexes: Vec::new() };
+        let mut table = Table {
+            name: name.clone(),
+            schema,
+            rows: BTreeMap::new(),
+            next_row_id: 0,
+            indexes: Vec::new(),
+        };
         if !table.schema.primary_key().is_empty() {
             let pk_cols = table.schema.primary_key().to_vec();
-            table.indexes.push(Index::new(format!("{name}_pk"), pk_cols, true, IndexKind::Hash));
+            table.indexes.push(Index::new(
+                format!("{name}_pk"),
+                pk_cols,
+                true,
+                IndexKind::Hash,
+            ));
         }
         table
     }
@@ -176,10 +186,12 @@ impl Table {
         let positions: Vec<usize> = columns
             .iter()
             .map(|c| {
-                self.schema.column_index(c).ok_or_else(|| StorageError::ColumnNotFound {
-                    table: self.name.clone(),
-                    column: c.to_string(),
-                })
+                self.schema
+                    .column_index(c)
+                    .ok_or_else(|| StorageError::ColumnNotFound {
+                        table: self.name.clone(),
+                        column: c.to_string(),
+                    })
             })
             .collect::<StorageResult<_>>()?;
         let mut idx = Index::new(index_name, positions, unique, kind);
@@ -253,8 +265,14 @@ mod tests {
             &["fno"],
         );
         let mut t = Table::new("Flights", schema);
-        for (fno, dest) in [(122, "Paris"), (123, "Paris"), (134, "Paris"), (136, "Rome")] {
-            t.insert(Tuple::new(vec![Value::Int(fno), Value::from(dest)])).unwrap();
+        for (fno, dest) in [
+            (122, "Paris"),
+            (123, "Paris"),
+            (134, "Paris"),
+            (136, "Rome"),
+        ] {
+            t.insert(Tuple::new(vec![Value::Int(fno), Value::from(dest)]))
+                .unwrap();
         }
         t
     }
@@ -291,15 +309,22 @@ mod tests {
         let mut t = flights();
         let deleted = t.delete(RowId(0)).unwrap();
         assert_eq!(deleted.values()[0], Value::Int(122));
-        assert!(t.index("Flights_pk").unwrap().probe(&[Value::Int(122)]).is_empty());
+        assert!(t
+            .index("Flights_pk")
+            .unwrap()
+            .probe(&[Value::Int(122)])
+            .is_empty());
         assert!(t.delete(RowId(0)).is_err());
     }
 
     #[test]
     fn update_moves_index_entries() {
         let mut t = flights();
-        t.update(RowId(0), Tuple::new(vec![Value::Int(999), Value::from("Paris")]))
-            .unwrap();
+        t.update(
+            RowId(0),
+            Tuple::new(vec![Value::Int(999), Value::from("Paris")]),
+        )
+        .unwrap();
         let pk = t.index("Flights_pk").unwrap();
         assert!(pk.probe(&[Value::Int(122)]).is_empty());
         assert_eq!(pk.probe(&[Value::Int(999)]), &[RowId(0)]);
@@ -309,7 +334,10 @@ mod tests {
     fn update_cannot_steal_existing_key() {
         let mut t = flights();
         let err = t
-            .update(RowId(0), Tuple::new(vec![Value::Int(123), Value::from("Oslo")]))
+            .update(
+                RowId(0),
+                Tuple::new(vec![Value::Int(123), Value::from("Oslo")]),
+            )
             .unwrap_err();
         assert!(matches!(err, StorageError::UniqueViolation { .. }));
         // row unchanged
@@ -319,15 +347,19 @@ mod tests {
     #[test]
     fn update_keeping_same_key_is_fine() {
         let mut t = flights();
-        t.update(RowId(0), Tuple::new(vec![Value::Int(122), Value::from("Lyon")]))
-            .unwrap();
+        t.update(
+            RowId(0),
+            Tuple::new(vec![Value::Int(122), Value::from("Lyon")]),
+        )
+        .unwrap();
         assert_eq!(t.get(RowId(0)).unwrap().values()[1], Value::from("Lyon"));
     }
 
     #[test]
     fn secondary_index_backfills_existing_rows() {
         let mut t = flights();
-        t.create_index("by_dest", &["dest"], false, IndexKind::Hash).unwrap();
+        t.create_index("by_dest", &["dest"], false, IndexKind::Hash)
+            .unwrap();
         let idx = t.index("by_dest").unwrap();
         assert_eq!(idx.probe(&[Value::from("Paris")]).len(), 3);
         assert_eq!(idx.probe(&[Value::from("Rome")]).len(), 1);
@@ -336,14 +368,17 @@ mod tests {
     #[test]
     fn create_index_on_unknown_column_fails() {
         let mut t = flights();
-        let err = t.create_index("x", &["nope"], false, IndexKind::Hash).unwrap_err();
+        let err = t
+            .create_index("x", &["nope"], false, IndexKind::Hash)
+            .unwrap_err();
         assert!(matches!(err, StorageError::ColumnNotFound { .. }));
     }
 
     #[test]
     fn duplicate_index_name_rejected() {
         let mut t = flights();
-        t.create_index("i", &["dest"], false, IndexKind::Hash).unwrap();
+        t.create_index("i", &["dest"], false, IndexKind::Hash)
+            .unwrap();
         assert!(matches!(
             t.create_index("i", &["fno"], false, IndexKind::Hash),
             Err(StorageError::IndexAlreadyExists(_))
@@ -353,10 +388,14 @@ mod tests {
     #[test]
     fn drop_index_works() {
         let mut t = flights();
-        t.create_index("i", &["dest"], false, IndexKind::Hash).unwrap();
+        t.create_index("i", &["dest"], false, IndexKind::Hash)
+            .unwrap();
         t.drop_index("i").unwrap();
         assert!(t.index("i").is_none());
-        assert!(matches!(t.drop_index("i"), Err(StorageError::IndexNotFound(_))));
+        assert!(matches!(
+            t.drop_index("i"),
+            Err(StorageError::IndexNotFound(_))
+        ));
     }
 
     #[test]
@@ -366,7 +405,8 @@ mod tests {
         let scan_result = t.rows_where_eq(1, &Value::from("Paris"));
         assert_eq!(scan_result.len(), 3);
         // with index: same result
-        t.create_index("by_dest", &["dest"], false, IndexKind::Hash).unwrap();
+        t.create_index("by_dest", &["dest"], false, IndexKind::Hash)
+            .unwrap();
         let idx_result = t.rows_where_eq(1, &Value::from("Paris"));
         assert_eq!(idx_result.len(), 3);
     }
@@ -388,7 +428,9 @@ mod tests {
         assert!(t.is_empty());
         assert_eq!(t.index("Flights_pk").unwrap().key_count(), 0);
         // ids continue from where they were
-        let rid = t.insert(Tuple::new(vec![Value::Int(1), Value::from("x")])).unwrap();
+        let rid = t
+            .insert(Tuple::new(vec![Value::Int(1), Value::from("x")]))
+            .unwrap();
         assert_eq!(rid, RowId(4));
     }
 
@@ -398,9 +440,14 @@ mod tests {
         assert!(t
             .insert_at(RowId(1), Tuple::new(vec![Value::Int(7), Value::from("x")]))
             .is_err());
-        t.insert_at(RowId(100), Tuple::new(vec![Value::Int(7), Value::from("x")]))
+        t.insert_at(
+            RowId(100),
+            Tuple::new(vec![Value::Int(7), Value::from("x")]),
+        )
+        .unwrap();
+        let rid = t
+            .insert(Tuple::new(vec![Value::Int(8), Value::from("y")]))
             .unwrap();
-        let rid = t.insert(Tuple::new(vec![Value::Int(8), Value::from("y")])).unwrap();
         assert_eq!(rid, RowId(101));
     }
 
@@ -411,7 +458,10 @@ mod tests {
         assert!(t.insert(Tuple::new(vec![Value::Int(1)])).is_err());
         // wrong type on update
         assert!(t
-            .update(RowId(0), Tuple::new(vec![Value::from("x"), Value::from("y")]))
+            .update(
+                RowId(0),
+                Tuple::new(vec![Value::from("x"), Value::from("y")])
+            )
             .is_err());
     }
 }

@@ -77,7 +77,9 @@ impl Tuple {
     /// Panics when a position is out of range: projections are produced by
     /// the planner against a validated schema, so this indicates a bug.
     pub fn project(&self, positions: &[usize]) -> Tuple {
-        Tuple { values: positions.iter().map(|&i| self.values[i].clone()).collect() }
+        Tuple {
+            values: positions.iter().map(|&i| self.values[i].clone()).collect(),
+        }
     }
 
     /// Encodes the tuple into a length-prefixed binary frame
@@ -130,6 +132,15 @@ impl Tuple {
         }
         need(buf, 4)?;
         let arity = buf.get_u32() as usize;
+        // every value costs at least its 1-byte tag, so an arity larger
+        // than the remaining payload is corruption — reject it before
+        // trusting it as an allocation size
+        if arity > buf.remaining() {
+            return Err(StorageError::WalCorrupt(format!(
+                "tuple decode: arity {arity} exceeds {} payload bytes",
+                buf.remaining()
+            )));
+        }
         let mut values = Vec::with_capacity(arity);
         for _ in 0..arity {
             need(buf, 1)?;
@@ -249,7 +260,10 @@ mod tests {
     fn decode_rejects_trailing_garbage() {
         let mut bytes = sample().encode().to_vec();
         bytes.push(9);
-        assert!(matches!(Tuple::decode(&bytes), Err(StorageError::WalCorrupt(_))));
+        assert!(matches!(
+            Tuple::decode(&bytes),
+            Err(StorageError::WalCorrupt(_))
+        ));
     }
 
     #[test]
@@ -257,7 +271,10 @@ mod tests {
         let mut buf = BytesMut::new();
         buf.put_u32(1);
         buf.put_u8(42);
-        assert!(matches!(Tuple::decode(&buf), Err(StorageError::WalCorrupt(_))));
+        assert!(matches!(
+            Tuple::decode(&buf),
+            Err(StorageError::WalCorrupt(_))
+        ));
     }
 
     #[test]

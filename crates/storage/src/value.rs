@@ -314,7 +314,10 @@ mod tests {
     #[test]
     fn int_widens_to_float() {
         assert!(Value::Int(3).compatible_with(DataType::Float64));
-        assert_eq!(Value::Int(3).coerce_to(DataType::Float64), Value::Float(3.0));
+        assert_eq!(
+            Value::Int(3).coerce_to(DataType::Float64),
+            Value::Float(3.0)
+        );
         // but not the other way round
         assert!(!Value::Float(3.0).compatible_with(DataType::Int64));
     }
@@ -352,7 +355,10 @@ mod tests {
     fn mixed_numeric_ordering() {
         assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
         assert_eq!(Value::Float(3.0).total_cmp(&Value::Int(3)), Ordering::Equal);
-        assert_eq!(Value::Float(4.0).total_cmp(&Value::Int(3)), Ordering::Greater);
+        assert_eq!(
+            Value::Float(4.0).total_cmp(&Value::Int(3)),
+            Ordering::Greater
+        );
     }
 
     #[test]

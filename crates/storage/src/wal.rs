@@ -125,7 +125,11 @@ fn datatype_from_tag(tag: u8) -> StorageResult<DataType> {
         2 => DataType::Float64,
         3 => DataType::Str,
         4 => DataType::Bytes,
-        t => return Err(StorageError::WalCorrupt(format!("unknown datatype tag {t}"))),
+        t => {
+            return Err(StorageError::WalCorrupt(format!(
+                "unknown datatype tag {t}"
+            )))
+        }
     })
 }
 
@@ -222,7 +226,9 @@ impl WalOp {
                 let schema = get_schema(buf)?;
                 WalOp::CreateTable { name, schema }
             }
-            1 => WalOp::DropTable { name: get_str(buf)? },
+            1 => WalOp::DropTable {
+                name: get_str(buf)?,
+            },
             2 => {
                 let table = get_str(buf)?;
                 if buf.remaining() < 8 {
@@ -279,12 +285,16 @@ impl Wal {
             .read(true)
             .open(path)
             .map_err(|e| StorageError::WalIo(e.to_string()))?;
-        Ok(Wal { sink: WalSink::File(file) })
+        Ok(Wal {
+            sink: WalSink::File(file),
+        })
     }
 
     /// Creates an in-memory WAL.
     pub fn in_memory() -> Wal {
-        Wal { sink: WalSink::Memory(Vec::new()) }
+        Wal {
+            sink: WalSink::Memory(Vec::new()),
+        }
     }
 
     /// Appends one operation as a checksummed frame.
@@ -296,7 +306,8 @@ impl Wal {
         frame.put_slice(&payload);
         match &mut self.sink {
             WalSink::File(f) => {
-                f.write_all(&frame).map_err(|e| StorageError::WalIo(e.to_string()))?;
+                f.write_all(&frame)
+                    .map_err(|e| StorageError::WalIo(e.to_string()))?;
             }
             WalSink::Memory(buf) => buf.extend_from_slice(&frame),
         }
@@ -306,7 +317,8 @@ impl Wal {
     /// Flushes buffered bytes to stable storage (no-op for memory sinks).
     pub fn sync(&mut self) -> StorageResult<()> {
         if let WalSink::File(f) = &mut self.sink {
-            f.sync_data().map_err(|e| StorageError::WalIo(e.to_string()))?;
+            f.sync_data()
+                .map_err(|e| StorageError::WalIo(e.to_string()))?;
         }
         Ok(())
     }
@@ -316,7 +328,8 @@ impl Wal {
     pub fn reset(&mut self) -> StorageResult<()> {
         match &mut self.sink {
             WalSink::File(f) => {
-                f.set_len(0).map_err(|e| StorageError::WalIo(e.to_string()))?;
+                f.set_len(0)
+                    .map_err(|e| StorageError::WalIo(e.to_string()))?;
                 use std::io::Seek;
                 f.seek(std::io::SeekFrom::Start(0))
                     .map_err(|e| StorageError::WalIo(e.to_string()))?;
@@ -340,7 +353,8 @@ impl Wal {
                 use std::io::Seek;
                 f.seek(std::io::SeekFrom::Start(0))
                     .map_err(|e| StorageError::WalIo(e.to_string()))?;
-                f.read_to_end(&mut v).map_err(|e| StorageError::WalIo(e.to_string()))?;
+                f.read_to_end(&mut v)
+                    .map_err(|e| StorageError::WalIo(e.to_string()))?;
                 v
             }
             WalSink::Memory(buf) => buf.clone(),
@@ -402,7 +416,10 @@ mod tests {
 
     fn sample_ops() -> Vec<WalOp> {
         vec![
-            WalOp::CreateTable { name: "Flights".into(), schema: sample_schema() },
+            WalOp::CreateTable {
+                name: "Flights".into(),
+                schema: sample_schema(),
+            },
             WalOp::Insert {
                 table: "Flights".into(),
                 rid: 0,
@@ -413,8 +430,13 @@ mod tests {
                 rid: 0,
                 tuple: Tuple::new(vec![Value::Int(122), Value::from("Rome")]),
             },
-            WalOp::Delete { table: "Flights".into(), rid: 0 },
-            WalOp::DropTable { name: "Flights".into() },
+            WalOp::Delete {
+                table: "Flights".into(),
+                rid: 0,
+            },
+            WalOp::DropTable {
+                name: "Flights".into(),
+            },
         ]
     }
 
@@ -484,7 +506,11 @@ mod tests {
     #[test]
     fn schema_with_pk_survives_roundtrip() {
         let mut wal = Wal::in_memory();
-        wal.append(&WalOp::CreateTable { name: "T".into(), schema: sample_schema() }).unwrap();
+        wal.append(&WalOp::CreateTable {
+            name: "T".into(),
+            schema: sample_schema(),
+        })
+        .unwrap();
         match &wal.replay().unwrap()[0] {
             WalOp::CreateTable { schema, .. } => {
                 assert_eq!(schema.primary_key(), &[0]);

@@ -100,13 +100,27 @@ proptest! {
 fn arb_wal_op() -> impl Strategy<Value = WalOp> {
     let table = "[A-Z][a-z]{0,6}";
     prop_oneof![
-        (table, proptest::collection::vec(arb_value(), 0..4), any::<u64>()).prop_map(
-            |(t, vals, rid)| WalOp::Insert { table: t, rid, tuple: Tuple::new(vals) }
-        ),
+        (
+            table,
+            proptest::collection::vec(arb_value(), 0..4),
+            any::<u64>()
+        )
+            .prop_map(|(t, vals, rid)| WalOp::Insert {
+                table: t,
+                rid,
+                tuple: Tuple::new(vals)
+            }),
         (table, any::<u64>()).prop_map(|(t, rid)| WalOp::Delete { table: t, rid }),
-        (table, proptest::collection::vec(arb_value(), 0..4), any::<u64>()).prop_map(
-            |(t, vals, rid)| WalOp::Update { table: t, rid, tuple: Tuple::new(vals) }
-        ),
+        (
+            table,
+            proptest::collection::vec(arb_value(), 0..4),
+            any::<u64>()
+        )
+            .prop_map(|(t, vals, rid)| WalOp::Update {
+                table: t,
+                rid,
+                tuple: Tuple::new(vals)
+            }),
         table.prop_map(|t| WalOp::DropTable { name: t }),
     ]
 }

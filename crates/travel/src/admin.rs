@@ -96,11 +96,18 @@ impl AdminConsole {
                     Ok(()) => "safe".to_string(),
                     Err(e) => format!("unsafe ({e})"),
                 };
-                let vars: Vec<String> =
-                    q.all_vars().iter().map(|v| format!("?{}", v.name())).collect();
+                let vars: Vec<String> = q
+                    .all_vars()
+                    .iter()
+                    .map(|v| format!("?{}", v.name()))
+                    .collect();
                 format!(
                     "ir: {q}\nvariables: {}\nsafety: strict = {strict}; relaxed = {relaxed}",
-                    if vars.is_empty() { "(none)".to_string() } else { vars.join(", ") }
+                    if vars.is_empty() {
+                        "(none)".to_string()
+                    } else {
+                        vars.join(", ")
+                    }
                 )
             }
             Err(e) => format!("error: {e}"),
@@ -209,7 +216,11 @@ pub fn render_result_set(rs: &ResultSet) -> String {
     };
     let sep: String = format!(
         "+{}+",
-        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+")
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+")
     );
     out.push_str(&sep);
     out.push('\n');
@@ -250,8 +261,14 @@ mod tests {
     fn dml_and_ddl_feedback() {
         let (_s, c) = console();
         assert_eq!(c.execute("CREATE TABLE Scratch (a INT)"), "ok");
-        assert_eq!(c.execute("INSERT INTO Scratch VALUES (1), (2)"), "2 row(s) affected");
-        assert_eq!(c.execute("DELETE FROM Scratch WHERE a = 1"), "1 row(s) affected");
+        assert_eq!(
+            c.execute("INSERT INTO Scratch VALUES (1), (2)"),
+            "2 row(s) affected"
+        );
+        assert_eq!(
+            c.execute("DELETE FROM Scratch WHERE a = 1"),
+            "1 row(s) affected"
+        );
         let tables = c.execute("SHOW TABLES");
         assert!(tables.contains("Scratch"));
         assert!(tables.contains("Flights"));
@@ -363,7 +380,10 @@ mod tests {
     fn explain_statement_through_the_console() {
         let (_s, c) = console();
         let out = c.execute("EXPLAIN SELECT fno FROM Flights WHERE fno = 122");
-        assert!(out.contains("IndexProbe Flights via Flights_pk key (122)"), "{out}");
+        assert!(
+            out.contains("IndexProbe Flights via Flights_pk key (122)"),
+            "{out}"
+        );
         assert!(out.contains("Filter fno = 122"), "{out}");
 
         let out2 = c.execute(
@@ -391,9 +411,7 @@ mod tests {
         assert!(out.contains("relaxed = safe"), "{out}");
 
         // relaxed-only query
-        let out2 = c.explain(
-            "SELECT 'K', fno INTO ANSWER R WHERE ('J', fno) IN ANSWER R CHOOSE 1",
-        );
+        let out2 = c.explain("SELECT 'K', fno INTO ANSWER R WHERE ('J', fno) IN ANSWER R CHOOSE 1");
         assert!(out2.contains("strict = unsafe"), "{out2}");
         assert!(out2.contains("relaxed = safe"), "{out2}");
 
@@ -409,8 +427,11 @@ mod tests {
         let lines: Vec<&str> = out.lines().collect();
         // header + separators + 2 data rows + count
         assert!(lines.len() >= 6);
-        let widths: std::collections::HashSet<usize> =
-            lines.iter().filter(|l| l.starts_with('|')).map(|l| l.len()).collect();
+        let widths: std::collections::HashSet<usize> = lines
+            .iter()
+            .filter(|l| l.starts_with('|'))
+            .map(|l| l.len())
+            .collect();
         assert_eq!(widths.len(), 1, "all table lines share one width: {out}");
     }
 }

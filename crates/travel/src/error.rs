@@ -75,12 +75,22 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert_eq!(TravelError::UnknownUser("x".into()).to_string(), "unknown user 'x'");
         assert_eq!(
-            TravelError::NotFriends { user: "a".into(), other: "b".into() }.to_string(),
+            TravelError::UnknownUser("x".into()).to_string(),
+            "unknown user 'x'"
+        );
+        assert_eq!(
+            TravelError::NotFriends {
+                user: "a".into(),
+                other: "b".into()
+            }
+            .to_string(),
             "'a' and 'b' are not friends"
         );
-        assert_eq!(TravelError::SoldOut("flight 122".into()).to_string(), "sold out: flight 122");
+        assert_eq!(
+            TravelError::SoldOut("flight 122".into()).to_string(),
+            "sold out: flight 122"
+        );
     }
 
     #[test]

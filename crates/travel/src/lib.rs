@@ -57,4 +57,4 @@ pub use model::{flight_by_fno, hotel_by_hid, install_schema, seed_demo_data, Fli
 pub use notify::{Message, Notifier};
 pub use social::SocialGraph;
 pub use travel::{AccountView, BookingOutcome, FlightPrefs, TravelService};
-pub use workload::{Request, WorkloadGen};
+pub use workload::{drive_batched, drive_concurrent, DriveReport, Request, WorkloadGen};

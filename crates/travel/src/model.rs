@@ -131,7 +131,10 @@ pub fn seed_demo_data(db: &Database) -> TravelResult<()> {
             seat_rows.push(format!("({fno}, {seatno}, FALSE)"));
         }
     }
-    run_sql(db, &format!("INSERT INTO Seats VALUES {}", seat_rows.join(", ")))?;
+    run_sql(
+        db,
+        &format!("INSERT INTO Seats VALUES {}", seat_rows.join(", ")),
+    )?;
     Ok(())
 }
 
@@ -141,8 +144,14 @@ pub fn free_seats(db: &Database, fno: i64) -> TravelResult<Vec<i64>> {
         db,
         &format!("SELECT seatno FROM Seats WHERE fno = {fno} AND taken = FALSE ORDER BY seatno"),
     )?;
-    let StatementOutcome::Rows(rs) = out else { unreachable!("select query") };
-    Ok(rs.rows.iter().filter_map(|r| r.values()[0].as_int()).collect())
+    let StatementOutcome::Rows(rs) = out else {
+        unreachable!("select query")
+    };
+    Ok(rs
+        .rows
+        .iter()
+        .filter_map(|r| r.values()[0].as_int())
+        .collect())
 }
 
 /// Fetches one flight by number.
@@ -197,7 +206,11 @@ mod tests {
         assert_eq!(read.table("Flights").unwrap().len(), 7);
         assert_eq!(read.table("Hotels").unwrap().len(), 4);
         assert!(read.table("Reservation").unwrap().is_empty());
-        assert!(read.table("Flights").unwrap().index("flights_by_dest").is_some());
+        assert!(read
+            .table("Flights")
+            .unwrap()
+            .index("flights_by_dest")
+            .is_some());
     }
 
     #[test]
@@ -214,8 +227,14 @@ mod tests {
     #[test]
     fn missing_items_error() {
         let db = db();
-        assert!(matches!(flight_by_fno(&db, 999), Err(TravelError::NoSuchItem(_))));
-        assert!(matches!(hotel_by_hid(&db, 999), Err(TravelError::NoSuchItem(_))));
+        assert!(matches!(
+            flight_by_fno(&db, 999),
+            Err(TravelError::NoSuchItem(_))
+        ));
+        assert!(matches!(
+            hotel_by_hid(&db, 999),
+            Err(TravelError::NoSuchItem(_))
+        ));
     }
 
     #[test]

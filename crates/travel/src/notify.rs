@@ -48,12 +48,21 @@ impl Notifier {
             .boxes
             .entry(user.to_string())
             .or_default()
-            .push(Message { to: user.to_string(), body: body.into(), seq });
+            .push(Message {
+                to: user.to_string(),
+                body: body.into(),
+                seq,
+            });
     }
 
     /// Reads `user`'s mailbox without consuming it.
     pub fn inbox(&self, user: &str) -> Vec<Message> {
-        self.inner.lock().boxes.get(user).cloned().unwrap_or_default()
+        self.inner
+            .lock()
+            .boxes
+            .get(user)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Drains `user`'s mailbox.

@@ -30,7 +30,10 @@ impl SocialGraph {
         if self.is_registered(name)? {
             return Ok(());
         }
-        run_sql(&self.db, &format!("INSERT INTO Users VALUES ({})", sql_str(name)))?;
+        run_sql(
+            &self.db,
+            &format!("INSERT INTO Users VALUES ({})", sql_str(name)),
+        )?;
         Ok(())
     }
 
@@ -40,7 +43,9 @@ impl SocialGraph {
             &self.db,
             &format!("SELECT COUNT(*) FROM Users WHERE name = {}", sql_str(name)),
         )?;
-        let StatementOutcome::Rows(rs) = out else { unreachable!("count query") };
+        let StatementOutcome::Rows(rs) = out else {
+            unreachable!("count query")
+        };
         Ok(rs.rows[0].values()[0].as_int() == Some(1))
     }
 
@@ -77,7 +82,9 @@ impl SocialGraph {
                 sql_str(b)
             ),
         )?;
-        let StatementOutcome::Rows(rs) = out else { unreachable!("count query") };
+        let StatementOutcome::Rows(rs) = out else {
+            unreachable!("count query")
+        };
         Ok(rs.rows[0].values()[0].as_int().unwrap_or(0) > 0)
     }
 
@@ -89,9 +96,14 @@ impl SocialGraph {
         }
         let out = run_sql(
             &self.db,
-            &format!("SELECT b FROM Friends WHERE a = {} ORDER BY b", sql_str(user)),
+            &format!(
+                "SELECT b FROM Friends WHERE a = {} ORDER BY b",
+                sql_str(user)
+            ),
         )?;
-        let StatementOutcome::Rows(rs) = out else { unreachable!("select query") };
+        let StatementOutcome::Rows(rs) = out else {
+            unreachable!("select query")
+        };
         Ok(rs
             .rows
             .iter()
@@ -109,7 +121,10 @@ impl SocialGraph {
             return Err(TravelError::UnknownUser(b.to_string()));
         }
         if !self.are_friends(a, b)? {
-            return Err(TravelError::NotFriends { user: a.to_string(), other: b.to_string() });
+            return Err(TravelError::NotFriends {
+                user: a.to_string(),
+                other: b.to_string(),
+            });
         }
         Ok(())
     }
@@ -158,14 +173,21 @@ mod tests {
     #[test]
     fn friends_of_sorted() {
         let g = graph();
-        g.import_friends("jerry", &["newman", "kramer", "elaine"]).unwrap();
-        assert_eq!(g.friends_of("jerry").unwrap(), vec!["elaine", "kramer", "newman"]);
+        g.import_friends("jerry", &["newman", "kramer", "elaine"])
+            .unwrap();
+        assert_eq!(
+            g.friends_of("jerry").unwrap(),
+            vec!["elaine", "kramer", "newman"]
+        );
     }
 
     #[test]
     fn friends_of_unknown_user_errors() {
         let g = graph();
-        assert!(matches!(g.friends_of("ghost"), Err(TravelError::UnknownUser(_))));
+        assert!(matches!(
+            g.friends_of("ghost"),
+            Err(TravelError::UnknownUser(_))
+        ));
     }
 
     #[test]

@@ -12,9 +12,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use youtopia_core::{
-    Coordinator, GroupMatch, MatchNotification, QueryId, Submission, Ticket,
-};
+use youtopia_core::{Coordinator, GroupMatch, MatchNotification, QueryId, Submission, Ticket};
 use youtopia_exec::{run_sql, StatementOutcome};
 use youtopia_storage::{Database, StorageError, Tuple, Value};
 
@@ -130,7 +128,9 @@ impl TravelService {
             sql.push_str(&format!(" AND price <= {p}"));
         }
         sql.push_str(" ORDER BY price");
-        let StatementOutcome::Rows(rs) = run_sql(&self.db, &sql)? else { unreachable!() };
+        let StatementOutcome::Rows(rs) = run_sql(&self.db, &sql)? else {
+            unreachable!()
+        };
         rs.rows.iter().map(Flight::from_tuple).collect()
     }
 
@@ -140,7 +140,9 @@ impl TravelService {
             "SELECT * FROM Hotels WHERE city = {} ORDER BY price",
             sql_str(city)
         );
-        let StatementOutcome::Rows(rs) = run_sql(&self.db, &sql)? else { unreachable!() };
+        let StatementOutcome::Rows(rs) = run_sql(&self.db, &sql)? else {
+            unreachable!()
+        };
         rs.rows.iter().map(Hotel::from_tuple).collect()
     }
 
@@ -154,7 +156,9 @@ impl TravelService {
              WHERE f.a = {} ORDER BY r.fno, r.traveler",
             sql_str(user)
         );
-        let StatementOutcome::Rows(rs) = run_sql(&self.db, &sql)? else { unreachable!() };
+        let StatementOutcome::Rows(rs) = run_sql(&self.db, &sql)? else {
+            unreachable!()
+        };
         Ok(rs
             .rows
             .iter()
@@ -351,7 +355,11 @@ impl TravelService {
             .filter(|p| p.owner == user)
             .map(|p| p.id)
             .collect();
-        Ok(AccountView { flights, hotels, pending })
+        Ok(AccountView {
+            flights,
+            hotels,
+            pending,
+        })
     }
 
     /// Confirmed reservation ids for `user` in one answer relation.
@@ -520,7 +528,9 @@ fn decrement(
         .as_int()
         .ok_or_else(|| StorageError::Internal(format!("{what} column is not an integer")))?;
     if current <= 0 {
-        return Err(StorageError::Internal(format!("no {what} left on {table} {key}")));
+        return Err(StorageError::Internal(format!(
+            "no {what} left on {table} {key}"
+        )));
     }
     values[cap_pos] = Value::Int(current - 1);
     txn.update(table, rid, Tuple::new(values))?;
@@ -533,8 +543,12 @@ mod tests {
 
     fn service() -> TravelService {
         let s = TravelService::bootstrap_demo().unwrap();
-        s.social().import_friends("jerry", &["kramer", "elaine", "george"]).unwrap();
-        s.social().import_friends("kramer", &["elaine", "george"]).unwrap();
+        s.social()
+            .import_friends("jerry", &["kramer", "elaine", "george"])
+            .unwrap();
+        s.social()
+            .import_friends("kramer", &["elaine", "george"])
+            .unwrap();
         s.social().import_friends("elaine", &["george"]).unwrap();
         s
     }
@@ -546,11 +560,23 @@ mod tests {
         assert_eq!(flights.len(), 4);
         assert!(flights.windows(2).all(|w| w[0].price <= w[1].price));
         let cheap = s
-            .search_flights("Paris", FlightPrefs { max_price: Some(500.0), day: None })
+            .search_flights(
+                "Paris",
+                FlightPrefs {
+                    max_price: Some(500.0),
+                    day: None,
+                },
+            )
             .unwrap();
         assert_eq!(cheap.len(), 3);
         let day2 = s
-            .search_flights("Paris", FlightPrefs { day: Some(2), max_price: None })
+            .search_flights(
+                "Paris",
+                FlightPrefs {
+                    day: Some(2),
+                    max_price: None,
+                },
+            )
             .unwrap();
         assert_eq!(day2.len(), 1);
         assert_eq!(day2[0].fno, 134);
@@ -573,8 +599,14 @@ mod tests {
         for i in 0..4 {
             s.book_direct(&format!("u{i}"), 134).unwrap();
         }
-        assert!(matches!(s.book_direct("late", 134), Err(TravelError::SoldOut(_))));
-        assert!(matches!(s.book_direct("x", 999), Err(TravelError::NoSuchItem(_))));
+        assert!(matches!(
+            s.book_direct("late", 134),
+            Err(TravelError::SoldOut(_))
+        ));
+        assert!(matches!(
+            s.book_direct("x", 999),
+            Err(TravelError::NoSuchItem(_))
+        ));
     }
 
     #[test]
@@ -597,7 +629,9 @@ mod tests {
         let c = s
             .coordinate_flight("kramer", "jerry", "Paris", FlightPrefs::default())
             .unwrap();
-        let BookingOutcome::Confirmed(answers) = c else { panic!("kramer completes") };
+        let BookingOutcome::Confirmed(answers) = c else {
+            panic!("kramer completes")
+        };
         let fno = answers[0].1.values()[1].as_int().unwrap();
 
         let jerry_view = s.account_view("jerry").unwrap();
@@ -626,10 +660,18 @@ mod tests {
     #[test]
     fn price_preferences_constrain_the_choice() {
         let s = service();
-        let prefs = FlightPrefs { max_price: Some(460.0), day: None };
-        s.coordinate_flight("jerry", "kramer", "Paris", prefs).unwrap();
-        let c = s.coordinate_flight("kramer", "jerry", "Paris", prefs).unwrap();
-        let BookingOutcome::Confirmed(answers) = c else { panic!() };
+        let prefs = FlightPrefs {
+            max_price: Some(460.0),
+            day: None,
+        };
+        s.coordinate_flight("jerry", "kramer", "Paris", prefs)
+            .unwrap();
+        let c = s
+            .coordinate_flight("kramer", "jerry", "Paris", prefs)
+            .unwrap();
+        let BookingOutcome::Confirmed(answers) = c else {
+            panic!()
+        };
         // only flight 122 (450.0) qualifies
         assert_eq!(answers[0].1.values()[1], Value::Int(122));
     }
@@ -641,7 +683,10 @@ mod tests {
             "jerry",
             "kramer",
             "Paris",
-            FlightPrefs { day: Some(1), max_price: None },
+            FlightPrefs {
+                day: Some(1),
+                max_price: None,
+            },
         )
         .unwrap();
         let out = s
@@ -649,7 +694,10 @@ mod tests {
                 "kramer",
                 "jerry",
                 "Paris",
-                FlightPrefs { day: Some(2), max_price: None },
+                FlightPrefs {
+                    day: Some(2),
+                    max_price: None,
+                },
             )
             .unwrap();
         assert!(matches!(out, BookingOutcome::Waiting(_)));
@@ -663,7 +711,9 @@ mod tests {
         let c = s
             .coordinate_flight_and_hotel("kramer", "jerry", "Paris", FlightPrefs::default())
             .unwrap();
-        let BookingOutcome::Confirmed(answers) = c else { panic!() };
+        let BookingOutcome::Confirmed(answers) = c else {
+            panic!()
+        };
         assert_eq!(answers.len(), 2);
         let jerry = s.account_view("jerry").unwrap();
         let kramer = s.account_view("kramer").unwrap();
@@ -681,13 +731,15 @@ mod tests {
         let everyone = ["jerry", "kramer", "elaine", "george"];
         let mut last = None;
         for (i, user) in everyone.iter().enumerate() {
-            let others: Vec<&str> =
-                everyone.iter().filter(|u| *u != user).copied().collect();
+            let others: Vec<&str> = everyone.iter().filter(|u| *u != user).copied().collect();
             let out = s
                 .coordinate_group_flight(user, &others, "Paris", FlightPrefs::default())
                 .unwrap();
             if i < everyone.len() - 1 {
-                assert!(matches!(out, BookingOutcome::Waiting(_)), "member {i} waits");
+                assert!(
+                    matches!(out, BookingOutcome::Waiting(_)),
+                    "member {i} waits"
+                );
             } else {
                 last = Some(out);
             }
@@ -719,8 +771,10 @@ mod tests {
             s.coordinate_group_flight_and_hotel(user, &others, "Paris", FlightPrefs::default())
                 .unwrap();
         }
-        let hotels: std::collections::HashSet<i64> =
-            trio.iter().map(|u| s.account_view(u).unwrap().hotels[0]).collect();
+        let hotels: std::collections::HashSet<i64> = trio
+            .iter()
+            .map(|u| s.account_view(u).unwrap().hotels[0])
+            .collect();
         assert_eq!(hotels.len(), 1, "all three in the same hotel");
     }
 
@@ -745,8 +799,14 @@ mod tests {
              AND ('kramer', fno) IN ANSWER Reservation \
              AND ('kramer', hid) IN ANSWER HotelReservation CHOOSE 1";
         assert!(!s.coordinate_custom("jerry", jerry).unwrap().is_confirmed());
-        assert!(!s.coordinate_custom("kramer", kramer).unwrap().is_confirmed());
-        assert!(s.coordinate_custom("elaine", elaine).unwrap().is_confirmed());
+        assert!(!s
+            .coordinate_custom("kramer", kramer)
+            .unwrap()
+            .is_confirmed());
+        assert!(s
+            .coordinate_custom("elaine", elaine)
+            .unwrap()
+            .is_confirmed());
 
         let j = s.account_view("jerry").unwrap();
         let k = s.account_view("kramer").unwrap();
@@ -796,7 +856,8 @@ mod tests {
             FlightPrefs::default(),
         )
         .unwrap();
-        s.coordinate_flight("kramer", "jerry", "Oslo", FlightPrefs::default()).unwrap();
+        s.coordinate_flight("kramer", "jerry", "Oslo", FlightPrefs::default())
+            .unwrap();
         assert_eq!(s.retry_pending().unwrap(), 0);
         run_sql(
             s.db(),
@@ -812,10 +873,13 @@ mod tests {
     #[test]
     fn adjacent_seat_coordination() {
         let s = service();
-        let w = s.coordinate_adjacent_seats("jerry", "kramer", "Paris").unwrap();
+        let w = s
+            .coordinate_adjacent_seats("jerry", "kramer", "Paris")
+            .unwrap();
         assert!(matches!(w, BookingOutcome::Waiting(_)));
-        let BookingOutcome::Confirmed(answers) =
-            s.coordinate_adjacent_seats("kramer", "jerry", "Paris").unwrap()
+        let BookingOutcome::Confirmed(answers) = s
+            .coordinate_adjacent_seats("kramer", "jerry", "Paris")
+            .unwrap()
         else {
             panic!("kramer completes the adjacency pair")
         };
@@ -885,8 +949,11 @@ mod tests {
             })
             .unwrap();
 
-        s.coordinate_adjacent_seats("jerry", "kramer", "Paris").unwrap();
-        let out = s.coordinate_adjacent_seats("kramer", "jerry", "Paris").unwrap();
+        s.coordinate_adjacent_seats("jerry", "kramer", "Paris")
+            .unwrap();
+        let out = s
+            .coordinate_adjacent_seats("kramer", "jerry", "Paris")
+            .unwrap();
         assert!(
             matches!(out, BookingOutcome::Waiting(_)),
             "no adjacent free seats anywhere: the pair must keep waiting"
@@ -901,10 +968,26 @@ mod tests {
         // membership keeps groups from oversubscribing: the trio
         // requires seats >= 3 and decrements will never go negative.
         for (a, b) in [("jerry", "kramer"), ("elaine", "george")] {
-            s.coordinate_flight(a, b, "Paris", FlightPrefs { day: Some(2), max_price: None })
-                .unwrap();
-            s.coordinate_flight(b, a, "Paris", FlightPrefs { day: Some(2), max_price: None })
-                .unwrap();
+            s.coordinate_flight(
+                a,
+                b,
+                "Paris",
+                FlightPrefs {
+                    day: Some(2),
+                    max_price: None,
+                },
+            )
+            .unwrap();
+            s.coordinate_flight(
+                b,
+                a,
+                "Paris",
+                FlightPrefs {
+                    day: Some(2),
+                    max_price: None,
+                },
+            )
+            .unwrap();
         }
         assert_eq!(model::flight_by_fno(s.db(), 134).unwrap().seats, 0);
     }

@@ -9,6 +9,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
+use youtopia_core::{ShardedCoordinator, Submission};
 use youtopia_exec::run_sql;
 use youtopia_storage::Database;
 
@@ -32,7 +33,9 @@ pub struct WorkloadGen {
 impl WorkloadGen {
     /// Creates a generator with a fixed seed.
     pub fn new(seed: u64) -> WorkloadGen {
-        WorkloadGen { rng: StdRng::seed_from_u64(seed) }
+        WorkloadGen {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Builds a database with the travel schema and `n_flights` flights
@@ -52,13 +55,22 @@ impl WorkloadGen {
             ));
         }
         for chunk in rows.chunks(500) {
-            run_sql(&db, &format!("INSERT INTO Flights VALUES {}", chunk.join(", ")))?;
+            run_sql(
+                &db,
+                &format!("INSERT INTO Flights VALUES {}", chunk.join(", ")),
+            )?;
         }
         let mut hotels = Vec::new();
         for (i, city) in cities.iter().enumerate() {
-            hotels.push(format!("({}, '{city}', 1, 100.0, 1000000)", 10_000 + i as i64));
+            hotels.push(format!(
+                "({}, '{city}', 1, 100.0, 1000000)",
+                10_000 + i as i64
+            ));
         }
-        run_sql(&db, &format!("INSERT INTO Hotels VALUES {}", hotels.join(", ")))?;
+        run_sql(
+            &db,
+            &format!("INSERT INTO Hotels VALUES {}", hotels.join(", ")),
+        )?;
         Ok(db)
     }
 
@@ -105,8 +117,7 @@ impl WorkloadGen {
     /// all other members. Submission order is randomized; only the last
     /// arrival closes the group.
     pub fn group(&mut self, group_id: usize, size: usize, dest: &str) -> Vec<Request> {
-        let names: Vec<String> =
-            (0..size).map(|i| format!("g{group_id}m{i}")).collect();
+        let names: Vec<String> = (0..size).map(|i| format!("g{group_id}m{i}")).collect();
         let mut requests = Vec::with_capacity(size);
         for me in &names {
             let mut sql = format!(
@@ -117,10 +128,63 @@ impl WorkloadGen {
                 sql.push_str(&format!(" AND ('{other}', fno) IN ANSWER Reservation"));
             }
             sql.push_str(" CHOOSE 1");
-            requests.push(Request { owner: me.clone(), sql });
+            requests.push(Request {
+                owner: me.clone(),
+                sql,
+            });
         }
         requests.shuffle(&mut self.rng);
         requests
+    }
+
+    /// The pair request on an explicit answer relation (multi-relation
+    /// workloads route different relation families to different shards
+    /// of the sharded coordinator).
+    pub fn pair_request_on(relation: &str, me: &str, friend: &str, dest: &str) -> Request {
+        Request {
+            owner: me.to_string(),
+            sql: format!(
+                "SELECT '{me}', fno INTO ANSWER {relation} \
+                 WHERE fno IN (SELECT fno FROM Flights WHERE dest = '{dest}') \
+                 AND ('{friend}', fno) IN ANSWER {relation} CHOOSE 1"
+            ),
+        }
+    }
+
+    /// `pairs` coordinating pairs spread round-robin over `relations`
+    /// distinct answer relations (`Reservation0..`). Independent
+    /// relation families form independent coordination components, so
+    /// this is the natural workload for the sharded coordinator.
+    /// Returned as all first halves (shuffled), then all second halves
+    /// (shuffled), like [`WorkloadGen::pair_storm`].
+    pub fn pair_storm_multi(&mut self, pairs: usize, dest: &str, relations: usize) -> Vec<Request> {
+        let relations = relations.max(1);
+        let mut first = Vec::with_capacity(pairs);
+        let mut second = Vec::with_capacity(pairs);
+        for p in 0..pairs {
+            let rel = format!("Reservation{}", p % relations);
+            let a = format!("L{p}");
+            let b = format!("R{p}");
+            first.push(Self::pair_request_on(&rel, &a, &b, dest));
+            second.push(Self::pair_request_on(&rel, &b, &a, dest));
+        }
+        first.shuffle(&mut self.rng);
+        second.shuffle(&mut self.rng);
+        first.extend(second);
+        first
+    }
+
+    /// `count` never-matching noise queries spread round-robin over
+    /// `relations` answer relations — the standing load of the sharded
+    /// loaded-system experiment.
+    pub fn noise_multi(&mut self, count: usize, dest: &str, relations: usize) -> Vec<Request> {
+        let relations = relations.max(1);
+        (0..count)
+            .map(|i| {
+                let rel = format!("Reservation{}", i % relations);
+                Self::pair_request_on(&rel, &format!("noise{i}"), &format!("ghost{i}"), dest)
+            })
+            .collect()
     }
 
     /// A flight+hotel pair request (two answer relations per query).
@@ -156,8 +220,90 @@ impl WorkloadGen {
             heads.push_str(&format!(", '{me}', fno INTO ANSWER Aux{k}"));
             body.push_str(&format!(" AND ('{friend}', fno) IN ANSWER Aux{k}"));
         }
-        Request { owner: me.to_string(), sql: format!("SELECT {heads}{body} CHOOSE 1") }
+        Request {
+            owner: me.to_string(),
+            sql: format!("SELECT {heads}{body} CHOOSE 1"),
+        }
     }
+}
+
+/// Outcome counts of a driven submission run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DriveReport {
+    /// Requests answered on arrival (or within their batch).
+    pub answered: usize,
+    /// Requests left pending.
+    pub pending: usize,
+    /// Requests rejected (compile or safety failure).
+    pub rejected: usize,
+}
+
+impl DriveReport {
+    fn absorb(&mut self, outcome: &youtopia_core::shard::BatchOutcome) {
+        match outcome {
+            Ok(Submission::Answered(_)) => self.answered += 1,
+            Ok(Submission::Pending(_)) => self.pending += 1,
+            Err(_) => self.rejected += 1,
+        }
+    }
+
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: DriveReport) {
+        self.answered += other.answered;
+        self.pending += other.pending;
+        self.rejected += other.rejected;
+    }
+}
+
+/// Submits `requests` to the sharded coordinator in batches of
+/// `batch_size`, draining matching per shard per batch (the batched
+/// submission mode of the workload driver).
+pub fn drive_batched(
+    coordinator: &ShardedCoordinator,
+    requests: &[Request],
+    batch_size: usize,
+) -> DriveReport {
+    let batch_size = batch_size.max(1);
+    let mut report = DriveReport::default();
+    for chunk in requests.chunks(batch_size) {
+        let batch: Vec<(String, String)> = chunk
+            .iter()
+            .map(|r| (r.owner.clone(), r.sql.clone()))
+            .collect();
+        for outcome in coordinator.submit_batch_sql(&batch) {
+            report.absorb(&outcome);
+        }
+    }
+    report
+}
+
+/// Splits `requests` across `threads` submitter threads, each driving
+/// its slice through [`drive_batched`] concurrently (the concurrent
+/// submission mode of the workload driver). Interleaving across
+/// threads is nondeterministic, as real traffic is.
+pub fn drive_concurrent(
+    coordinator: &ShardedCoordinator,
+    requests: &[Request],
+    threads: usize,
+    batch_size: usize,
+) -> DriveReport {
+    let threads = threads.max(1);
+    let chunk = requests.len().div_ceil(threads).max(1);
+    let reports = std::thread::scope(|scope| {
+        let handles: Vec<_> = requests
+            .chunks(chunk)
+            .map(|slice| scope.spawn(move || drive_batched(coordinator, slice, batch_size)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("submitter thread panicked"))
+            .collect::<Vec<_>>()
+    });
+    let mut total = DriveReport::default();
+    for r in reports {
+        total.merge(r);
+    }
+    total
 }
 
 #[cfg(test)]
@@ -167,8 +313,12 @@ mod tests {
 
     #[test]
     fn database_builder_is_deterministic() {
-        let db1 = WorkloadGen::new(1).build_database(100, &["Paris", "Rome"]).unwrap();
-        let db2 = WorkloadGen::new(1).build_database(100, &["Paris", "Rome"]).unwrap();
+        let db1 = WorkloadGen::new(1)
+            .build_database(100, &["Paris", "Rome"])
+            .unwrap();
+        let db2 = WorkloadGen::new(1)
+            .build_database(100, &["Paris", "Rome"])
+            .unwrap();
         let count = |db: &Database| db.read().table("Flights").unwrap().len();
         assert_eq!(count(&db1), 100);
         assert_eq!(count(&db1), count(&db2));
@@ -217,6 +367,50 @@ mod tests {
             assert_eq!(q.constraints.len(), 1 + extra);
             assert_eq!(q.heads.len(), 1 + extra);
         }
+    }
+
+    #[test]
+    fn multi_relation_storm_spreads_relations() {
+        let reqs = WorkloadGen::new(5).pair_storm_multi(8, "Paris", 4);
+        assert_eq!(reqs.len(), 16);
+        for k in 0..4 {
+            let rel = format!("Reservation{k}");
+            assert_eq!(
+                reqs.iter().filter(|r| r.sql.contains(&rel)).count(),
+                4,
+                "each relation family hosts 2 pairs = 4 requests"
+            );
+        }
+        for r in &reqs {
+            compile_sql(&r.sql).expect("generated SQL compiles");
+        }
+    }
+
+    #[test]
+    fn batched_driver_matches_pairs() {
+        let mut generator = WorkloadGen::new(6);
+        let db = generator.build_database(50, &["Paris"]).unwrap();
+        let co = ShardedCoordinator::new(db);
+        let reqs = generator.pair_storm_multi(6, "Paris", 3);
+        let report = drive_batched(&co, &reqs, 4);
+        assert_eq!(report.answered, 6);
+        assert_eq!(report.pending, 6);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(co.pending_count(), 0);
+        co.check_routing_invariants().unwrap();
+    }
+
+    #[test]
+    fn concurrent_driver_reports_all_requests() {
+        let mut generator = WorkloadGen::new(7);
+        let db = generator.build_database(50, &["Paris"]).unwrap();
+        let co = ShardedCoordinator::new(db);
+        let reqs = generator.noise_multi(40, "Paris", 4);
+        let report = drive_concurrent(&co, &reqs, 4, 5);
+        assert_eq!(report.pending, 40);
+        assert_eq!(report.answered + report.rejected, 0);
+        assert_eq!(co.pending_count(), 40);
+        co.check_routing_invariants().unwrap();
     }
 
     #[test]

@@ -24,11 +24,23 @@ fn main() {
     // The scripted session demonstrates the full §3.2 surface.
     let script: &[(&str, &str)] = &[
         ("admin", "SHOW TABLES"),
-        ("admin", "SELECT fno, dest, price, seats FROM Flights ORDER BY fno"),
-        ("admin", "SELECT dest, COUNT(*) AS flights, MIN(price) AS cheapest \
-                   FROM Flights GROUP BY dest ORDER BY dest"),
-        ("admin", "INSERT INTO Flights VALUES (999, 'New York', 'Berlin', 3, 199.0, 2)"),
-        ("admin", "UPDATE Flights SET price = price - 50 WHERE fno = 999"),
+        (
+            "admin",
+            "SELECT fno, dest, price, seats FROM Flights ORDER BY fno",
+        ),
+        (
+            "admin",
+            "SELECT dest, COUNT(*) AS flights, MIN(price) AS cheapest \
+                   FROM Flights GROUP BY dest ORDER BY dest",
+        ),
+        (
+            "admin",
+            "INSERT INTO Flights VALUES (999, 'New York', 'Berlin', 3, 199.0, 2)",
+        ),
+        (
+            "admin",
+            "UPDATE Flights SET price = price - 50 WHERE fno = 999",
+        ),
         ("admin", "SELECT * FROM Flights WHERE fno = 999"),
         // plans and coordination IR without executing
         ("admin", "EXPLAIN SELECT dest FROM Flights WHERE fno = 122"),

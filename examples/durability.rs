@@ -19,10 +19,17 @@ fn main() {
     let _ = std::fs::remove_file(&wal_path);
 
     // ---- session 1: build, coordinate, crash ------------------------- //
-    println!("session 1: creating database with WAL at {}", wal_path.display());
+    println!(
+        "session 1: creating database with WAL at {}",
+        wal_path.display()
+    );
     {
         let db = Database::with_wal(Wal::open(&wal_path).expect("open wal"));
-        run_sql(&db, "CREATE TABLE Flights (fno INT PRIMARY KEY, dest STRING)").unwrap();
+        run_sql(
+            &db,
+            "CREATE TABLE Flights (fno INT PRIMARY KEY, dest STRING)",
+        )
+        .unwrap();
         run_sql(
             &db,
             "INSERT INTO Flights VALUES (122,'Paris'), (123,'Paris'), (136,'Rome')",
@@ -30,8 +37,11 @@ fn main() {
         .unwrap();
         // churn to make the log worth compacting later
         for round in 0..20 {
-            run_sql(&db, &format!("UPDATE Flights SET dest = 'Paris{round}' WHERE fno = 136"))
-                .unwrap();
+            run_sql(
+                &db,
+                &format!("UPDATE Flights SET dest = 'Paris{round}' WHERE fno = 136"),
+            )
+            .unwrap();
         }
         run_sql(&db, "UPDATE Flights SET dest = 'Rome' WHERE fno = 136").unwrap();
 
@@ -62,10 +72,9 @@ fn main() {
 
     // ---- session 2: recover and verify -------------------------------- //
     println!("session 2: recovering from the WAL");
-    let recovered = Database::recover(Wal::open(&wal_path).expect("reopen wal"))
-        .expect("replay succeeds");
-    let StatementOutcome::Rows(rs) =
-        run_sql(&recovered, "SELECT * FROM Reservation").unwrap()
+    let recovered =
+        Database::recover(Wal::open(&wal_path).expect("reopen wal")).expect("replay succeeds");
+    let StatementOutcome::Rows(rs) = run_sql(&recovered, "SELECT * FROM Reservation").unwrap()
     else {
         unreachable!()
     };

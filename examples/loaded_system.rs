@@ -14,19 +14,26 @@
 use std::time::Instant;
 
 use youtopia::core::MatchConfig;
-use youtopia::{Coordinator, CoordinatorConfig, MatcherKind, Submission};
-use youtopia::travel::WorkloadGen;
+use youtopia::travel::{drive_batched, WorkloadGen};
+use youtopia::{
+    Coordinator, CoordinatorConfig, MatcherKind, ShardedConfig, ShardedCoordinator, Submission,
+};
 
 fn measure(matcher: MatcherKind, noise: usize, trials: usize) -> (f64, u64) {
     let mut gen = WorkloadGen::new(42);
-    let db = gen.build_database(200, &["Paris", "Rome", "London"]).unwrap();
+    let db = gen
+        .build_database(200, &["Paris", "Rome", "London"])
+        .unwrap();
     // The workload is pairs, so a group-size bound of 3 is generous for
     // both matchers. Without a bound the naive baseline enumerates
     // ~2^pending subsets per *unmatched* arrival and never terminates —
     // which is itself the point of E7, but we want numbers on the page.
     let config = CoordinatorConfig {
         matcher,
-        match_config: MatchConfig { max_group_size: 3, ..MatchConfig::default() },
+        match_config: MatchConfig {
+            max_group_size: 3,
+            ..MatchConfig::default()
+        },
         ..CoordinatorConfig::default()
     };
     let coordinator = Coordinator::with_config(db, config);
@@ -50,7 +57,10 @@ fn measure(matcher: MatcherKind, noise: usize, trials: usize) -> (f64, u64) {
         let s1 = coordinator.submit_sql(&first.owner, &first.sql).unwrap();
         assert!(matches!(s1, Submission::Pending(_)));
         let s2 = coordinator.submit_sql(&second.owner, &second.sql).unwrap();
-        assert!(matches!(s2, Submission::Answered(_)), "probe pair must match");
+        assert!(
+            matches!(s2, Submission::Answered(_)),
+            "probe pair must match"
+        );
         let lonely = WorkloadGen::pair_request(&format!("lone{t}"), "nobody", "Paris");
         let s3 = coordinator.submit_sql(&lonely.owner, &lonely.sql).unwrap();
         assert!(matches!(s3, Submission::Pending(_)));
@@ -58,15 +68,71 @@ fn measure(matcher: MatcherKind, noise: usize, trials: usize) -> (f64, u64) {
     let elapsed = started.elapsed().as_secs_f64();
     let per_step_ms = elapsed * 1e3 / trials as f64;
     let work = coordinator.stats().match_work;
-    (per_step_ms, work.candidates_considered + work.subsets_tested)
+    (
+        per_step_ms,
+        work.candidates_considered + work.subsets_tested,
+    )
+}
+
+/// The sharded variant: the same standing load, spread over four
+/// relation families, probed through batched submission. The closing
+/// arrival's match and cascade only scan the probe's own shard.
+fn measure_sharded(noise: usize, trials: usize) -> f64 {
+    const RELATIONS: usize = 4;
+    let mut gen = WorkloadGen::new(42);
+    let db = gen
+        .build_database(200, &["Paris", "Rome", "London"])
+        .unwrap();
+    let coordinator = ShardedCoordinator::with_config(
+        db,
+        ShardedConfig {
+            shards: 4,
+            base: CoordinatorConfig {
+                match_config: MatchConfig {
+                    max_group_size: 3,
+                    ..MatchConfig::default()
+                },
+                ..CoordinatorConfig::default()
+            },
+            ..Default::default()
+        },
+    );
+    let standing = gen.noise_multi(noise, "Paris", RELATIONS);
+    let report = drive_batched(&coordinator, &standing, 256);
+    assert_eq!(report.pending, noise);
+
+    let started = Instant::now();
+    for t in 0..trials {
+        let rel = format!("Reservation{}", t % RELATIONS);
+        let a = format!("probeA{t}");
+        let b = format!("probeB{t}");
+        let batch = vec![
+            WorkloadGen::pair_request_on(&rel, &a, &b, "Paris"),
+            WorkloadGen::pair_request_on(&rel, &b, &a, "Paris"),
+            WorkloadGen::pair_request_on(&rel, &format!("lone{t}"), "nobody", "Paris"),
+        ];
+        let report = drive_batched(&coordinator, &batch, batch.len());
+        // within a batch the pair's first half reports Pending (its
+        // notification arrives through the ticket); only the closing
+        // half and the lonely arrival differ in outcome
+        assert_eq!(report.answered, 1, "probe pair must match");
+        assert_eq!(report.pending, 2);
+    }
+    started.elapsed().as_secs_f64() * 1e3 / trials as f64
 }
 
 fn main() {
     println!("Loaded-system experiment (E7): coordination latency vs standing load");
     println!("each step = one matched pair + one unmatched arrival");
     println!("(`work` counts candidate heads considered + subsets tested)\n");
-    println!("{:>8} | {:>22} | {:>22}", "pending", "indexed matcher", "naive baseline");
-    println!("{:>8} | {:>10} {:>11} | {:>10} {:>11}", "", "ms/step", "work", "ms/step", "work");
+    println!(
+        "{:>8} | {:>22} | {:>22}",
+        "pending", "indexed matcher", "naive baseline"
+    );
+    println!(
+        "{:>8} | {:>10} {:>11} | {:>10} {:>11}",
+        "", "ms/step", "work", "ms/step", "work"
+    );
     println!("---------+------------------------+-----------------------");
 
     for &noise in &[0usize, 10, 50, 100, 500, 1000, 2000] {
@@ -89,6 +155,14 @@ fn main() {
                 "{noise:>8} | {indexed_ms:>10.3} {indexed_work:>11} | {naive_ms:>10.3} {naive_work:>11}"
             );
         }
+    }
+
+    println!("\nSharded coordinator (4 shards, batched submission) on the same load:");
+    println!("{:>8} | {:>10}", "pending", "ms/step");
+    println!("---------+-----------");
+    for &noise in &[0usize, 100, 500, 1000, 2000] {
+        let sharded_ms = measure_sharded(noise, 10);
+        println!("{noise:>8} | {sharded_ms:>10.3}");
     }
 
     println!(

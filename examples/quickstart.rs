@@ -23,10 +23,12 @@ fn main() {
         run_sql(&db, sql).expect("setup succeeds");
     }
     println!("Flight database (paper, Figure 1a):");
-    if let StatementOutcome::Rows(rs) =
-        run_sql(&db, "SELECT f.fno, f.dest, a.airline FROM Flights f \
-                      JOIN Airlines a ON f.fno = a.fno ORDER BY f.fno")
-            .unwrap()
+    if let StatementOutcome::Rows(rs) = run_sql(
+        &db,
+        "SELECT f.fno, f.dest, a.airline FROM Flights f \
+                      JOIN Airlines a ON f.fno = a.fno ORDER BY f.fno",
+    )
+    .unwrap()
     {
         for row in &rs.rows {
             println!("  {row}");
@@ -42,7 +44,9 @@ fn main() {
                       AND ('Jerry', fno) IN ANSWER Reservation \
                       CHOOSE 1";
     println!("\nKramer submits:\n  {kramer_sql}");
-    let kramer = coordinator.submit_sql("kramer", kramer_sql).expect("safe query");
+    let kramer = coordinator
+        .submit_sql("kramer", kramer_sql)
+        .expect("safe query");
     let Submission::Pending(ticket) = kramer else {
         unreachable!("no partner yet: the query must wait");
     };
@@ -65,7 +69,10 @@ fn main() {
         .expect("the pair matches immediately");
 
     // Kramer is notified asynchronously.
-    let kramer = ticket.receiver.try_recv().expect("kramer's notification is waiting");
+    let kramer = ticket
+        .receiver
+        .try_recv()
+        .expect("kramer's notification is waiting");
 
     println!("\nJointly answered (group {:?}):", jerry.group);
     let (rel, jerry_tuple) = &jerry.answers[0];
@@ -75,7 +82,10 @@ fn main() {
 
     let jerry_fno = jerry_tuple.values()[1].as_int().unwrap();
     let kramer_fno = kramer_tuple.values()[1].as_int().unwrap();
-    assert_eq!(jerry_fno, kramer_fno, "mutual constraint satisfaction (Figure 1b)");
+    assert_eq!(
+        jerry_fno, kramer_fno,
+        "mutual constraint satisfaction (Figure 1b)"
+    );
     assert!(
         [122, 123, 134].contains(&jerry_fno),
         "the choice is always a Paris flight, never Rome's 136"

@@ -17,7 +17,9 @@ fn main() {
     site.social()
         .import_friends("jerry", &["kramer", "elaine", "george"])
         .unwrap();
-    site.social().import_friends("kramer", &["elaine", "george"]).unwrap();
+    site.social()
+        .import_friends("kramer", &["elaine", "george"])
+        .unwrap();
     site.social().import_friends("elaine", &["george"]).unwrap();
     println!(
         "jerry's imported friend list: {:?}",
@@ -26,17 +28,30 @@ fn main() {
 
     // ------------------------------------------------------------------ //
     banner("Scenario 1: book a flight with a friend");
-    let prefs = FlightPrefs { max_price: Some(600.0), day: None };
-    let out = site.coordinate_flight("jerry", "kramer", "Paris", prefs).unwrap();
+    let prefs = FlightPrefs {
+        max_price: Some(600.0),
+        day: None,
+    };
+    let out = site
+        .coordinate_flight("jerry", "kramer", "Paris", prefs)
+        .unwrap();
     println!("jerry's request: {:?}", kind(&out));
-    let out = site.coordinate_flight("kramer", "jerry", "Paris", prefs).unwrap();
+    let out = site
+        .coordinate_flight("kramer", "jerry", "Paris", prefs)
+        .unwrap();
     println!("kramer's request: {:?}", kind(&out));
     let jerry_fno = site.account_view("jerry").unwrap().flights[0];
     let kramer_fno = site.account_view("kramer").unwrap().flights[0];
     assert_eq!(jerry_fno, kramer_fno);
     println!("both booked flight {jerry_fno}");
-    println!("jerry's notification: {}", site.notifier().drain("jerry")[0].body);
-    println!("kramer's notification: {}", site.notifier().drain("kramer")[0].body);
+    println!(
+        "jerry's notification: {}",
+        site.notifier().drain("jerry")[0].body
+    );
+    println!(
+        "kramer's notification: {}",
+        site.notifier().drain("kramer")[0].body
+    );
 
     // ------------------------------------------------------------------ //
     banner("Scenario 1b: the alternate path — browse friends' bookings, then book");
@@ -57,8 +72,11 @@ fn main() {
     banner("Scenario 1c: adjacent seats (\"fly in an adjacent seat to Kramer\")");
     let adj = TravelService::bootstrap_demo().unwrap();
     adj.social().import_friends("jerry", &["kramer"]).unwrap();
-    adj.coordinate_adjacent_seats("jerry", "kramer", "Paris").unwrap();
-    let out = adj.coordinate_adjacent_seats("kramer", "jerry", "Paris").unwrap();
+    adj.coordinate_adjacent_seats("jerry", "kramer", "Paris")
+        .unwrap();
+    let out = adj
+        .coordinate_adjacent_seats("kramer", "jerry", "Paris")
+        .unwrap();
     assert!(out.is_confirmed());
     let read = adj.db().read();
     let seats: Vec<(String, i64, i64)> = read
@@ -102,13 +120,18 @@ fn main() {
         fresh.social().import_friends(a, &[b]).unwrap();
     }
     for (a, b) in pairs {
-        fresh.coordinate_flight(a, b, "Paris", FlightPrefs::default()).unwrap();
+        fresh
+            .coordinate_flight(a, b, "Paris", FlightPrefs::default())
+            .unwrap();
     }
-    println!("3 pairs submitted their first halves; pending = {}", fresh
-        .coordinator()
-        .pending_count());
+    println!(
+        "3 pairs submitted their first halves; pending = {}",
+        fresh.coordinator().pending_count()
+    );
     for (a, b) in pairs {
-        let out = fresh.coordinate_flight(b, a, "Paris", FlightPrefs::default()).unwrap();
+        let out = fresh
+            .coordinate_flight(b, a, "Paris", FlightPrefs::default())
+            .unwrap();
         assert!(out.is_confirmed());
     }
     for (a, b) in pairs {
@@ -131,12 +154,22 @@ fn main() {
         let out = grp
             .coordinate_group_flight(u, &others, "Paris", FlightPrefs::default())
             .unwrap();
-        println!("{u} submits ({}/{}) -> {:?}", i + 1, group.len(), kind(&out));
+        println!(
+            "{u} submits ({}/{}) -> {:?}",
+            i + 1,
+            group.len(),
+            kind(&out)
+        );
     }
-    let fnos: std::collections::HashSet<i64> =
-        group.iter().map(|u| grp.account_view(u).unwrap().flights[0]).collect();
+    let fnos: std::collections::HashSet<i64> = group
+        .iter()
+        .map(|u| grp.account_view(u).unwrap().flights[0])
+        .collect();
     assert_eq!(fnos.len(), 1);
-    println!("all four friends are on flight {:?}", fnos.iter().next().unwrap());
+    println!(
+        "all four friends are on flight {:?}",
+        fnos.iter().next().unwrap()
+    );
 
     // ------------------------------------------------------------------ //
     banner("Scenario 5: group flight AND hotel booking");
@@ -159,8 +192,14 @@ fn main() {
     // ------------------------------------------------------------------ //
     banner("Scenario 6: ad-hoc coordination (Jerry+Kramer flights; Kramer+Elaine flight+hotel)");
     let adhoc = TravelService::bootstrap_demo().unwrap();
-    adhoc.social().import_friends("jerry", &["kramer", "elaine"]).unwrap();
-    adhoc.social().import_friends("kramer", &["elaine"]).unwrap();
+    adhoc
+        .social()
+        .import_friends("jerry", &["kramer", "elaine"])
+        .unwrap();
+    adhoc
+        .social()
+        .import_friends("kramer", &["elaine"])
+        .unwrap();
     let jerry_q = "SELECT 'jerry', fno INTO ANSWER Reservation \
          WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris' AND seats >= 3) \
          AND ('kramer', fno) IN ANSWER Reservation CHOOSE 1";

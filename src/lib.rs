@@ -34,10 +34,8 @@ pub use youtopia_travel as travel;
 
 pub use youtopia_core::{
     compile_sql, Coordinator, CoordinatorConfig, GroupMatch, MatchNotification, MatcherKind,
-    QueryId, SafetyMode, Submission,
+    QueryId, SafetyMode, ShardedConfig, ShardedCoordinator, Submission,
 };
 pub use youtopia_exec::{run_sql, StatementOutcome};
 pub use youtopia_storage::Database;
-pub use youtopia_travel::{
-    AdminConsole, BookingOutcome, FlightPrefs, TravelService, WorkloadGen,
-};
+pub use youtopia_travel::{AdminConsole, BookingOutcome, FlightPrefs, TravelService, WorkloadGen};

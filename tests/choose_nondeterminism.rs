@@ -9,9 +9,17 @@ use youtopia::{run_sql, Coordinator, CoordinatorConfig, Database};
 
 fn db_with_paris_flights(n: i64) -> Database {
     let db = Database::new();
-    run_sql(&db, "CREATE TABLE Flights (fno INT PRIMARY KEY, dest STRING)").unwrap();
+    run_sql(
+        &db,
+        "CREATE TABLE Flights (fno INT PRIMARY KEY, dest STRING)",
+    )
+    .unwrap();
     let rows: Vec<String> = (0..n).map(|i| format!("({i}, 'Paris')")).collect();
-    run_sql(&db, &format!("INSERT INTO Flights VALUES {}", rows.join(", "))).unwrap();
+    run_sql(
+        &db,
+        &format!("INSERT INTO Flights VALUES {}", rows.join(", ")),
+    )
+    .unwrap();
     run_sql(&db, "INSERT INTO Flights VALUES (900, 'Rome')").unwrap();
     db
 }
@@ -19,7 +27,10 @@ fn db_with_paris_flights(n: i64) -> Database {
 fn coordinated_choice(seed: u64, n: i64) -> i64 {
     let co = Coordinator::with_config(
         db_with_paris_flights(n),
-        CoordinatorConfig { seed, ..Default::default() },
+        CoordinatorConfig {
+            seed,
+            ..Default::default()
+        },
     );
     co.submit_sql(
         "a",
@@ -49,7 +60,10 @@ fn choices_are_spread_over_the_eligible_domain() {
     let mut histogram: HashMap<i64, usize> = HashMap::new();
     for seed in 0..runs {
         let fno = coordinated_choice(seed, domain);
-        assert!((0..domain).contains(&fno), "only Paris flights are eligible");
+        assert!(
+            (0..domain).contains(&fno),
+            "only Paris flights are eligible"
+        );
         *histogram.entry(fno).or_default() += 1;
     }
     // Non-degeneracy: with 200 runs over 8 flights, a uniform-ish choice
@@ -79,7 +93,10 @@ fn singleton_choice_is_also_nondeterministic() {
     for seed in 0..64 {
         let co = Coordinator::with_config(
             db_with_paris_flights(6),
-            CoordinatorConfig { seed, ..Default::default() },
+            CoordinatorConfig {
+                seed,
+                ..Default::default()
+            },
         );
         let n = co
             .submit_sql(
@@ -92,7 +109,10 @@ fn singleton_choice_is_also_nondeterministic() {
             .unwrap();
         seen.insert(n.answers[0].1.values()[1].as_int().unwrap());
     }
-    assert!(seen.len() >= 3, "singleton grounding also randomizes: {seen:?}");
+    assert!(
+        seen.len() >= 3,
+        "singleton grounding also randomizes: {seen:?}"
+    );
 }
 
 #[test]
@@ -102,7 +122,10 @@ fn randomize_off_is_deterministic_across_seeds() {
     for seed in 0..16 {
         let config = CoordinatorConfig {
             seed,
-            match_config: MatchConfig { randomize: false, ..Default::default() },
+            match_config: MatchConfig {
+                randomize: false,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let co = Coordinator::with_config(db_with_paris_flights(6), config);
@@ -117,5 +140,9 @@ fn randomize_off_is_deterministic_across_seeds() {
             .unwrap();
         seen.insert(n.answers[0].1.values()[1].as_int().unwrap());
     }
-    assert_eq!(seen.len(), 1, "with randomize=false the choice is fixed: {seen:?}");
+    assert_eq!(
+        seen.len(),
+        1,
+        "with randomize=false the choice is fixed: {seen:?}"
+    );
 }

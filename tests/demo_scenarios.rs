@@ -6,8 +6,12 @@ use youtopia::travel::{BookingOutcome, FlightPrefs, TravelService};
 
 fn site() -> TravelService {
     let s = TravelService::bootstrap_demo().unwrap();
-    s.social().import_friends("jerry", &["kramer", "elaine", "george"]).unwrap();
-    s.social().import_friends("kramer", &["elaine", "george"]).unwrap();
+    s.social()
+        .import_friends("jerry", &["kramer", "elaine", "george"])
+        .unwrap();
+    s.social()
+        .import_friends("kramer", &["elaine", "george"])
+        .unwrap();
     s.social().import_friends("elaine", &["george"]).unwrap();
     s
 }
@@ -16,7 +20,11 @@ fn site() -> TravelService {
 fn scenario_book_flight_with_a_friend() {
     let s = site();
     // Jerry chooses Kramer from his imported friend list (Figure 3)
-    assert!(s.social().friends_of("jerry").unwrap().contains(&"kramer".to_string()));
+    assert!(s
+        .social()
+        .friends_of("jerry")
+        .unwrap()
+        .contains(&"kramer".to_string()));
     let first = s
         .coordinate_flight("jerry", "kramer", "Paris", FlightPrefs::default())
         .unwrap();
@@ -80,20 +88,23 @@ fn scenario_book_flight_and_hotel_with_a_friend() {
 #[test]
 fn scenario_multiple_simultaneous_bookings() {
     let s = TravelService::bootstrap_demo().unwrap();
-    let pairs: Vec<(String, String)> =
-        (0..6).map(|i| (format!("a{i}"), format!("b{i}"))).collect();
+    let pairs: Vec<(String, String)> = (0..6).map(|i| (format!("a{i}"), format!("b{i}"))).collect();
     for (a, b) in &pairs {
         s.social().import_friends(a, &[b.as_str()]).unwrap();
     }
     // all first halves...
     for (a, b) in &pairs {
-        let out = s.coordinate_flight(a, b, "Paris", FlightPrefs::default()).unwrap();
+        let out = s
+            .coordinate_flight(a, b, "Paris", FlightPrefs::default())
+            .unwrap();
         assert!(matches!(out, BookingOutcome::Waiting(_)));
     }
     assert_eq!(s.coordinator().pending_count(), 6);
     // ...then all second halves; every pair closes, no cross-matching
     for (a, b) in &pairs {
-        let out = s.coordinate_flight(b, a, "Paris", FlightPrefs::default()).unwrap();
+        let out = s
+            .coordinate_flight(b, a, "Paris", FlightPrefs::default())
+            .unwrap();
         assert!(out.is_confirmed());
     }
     assert_eq!(s.coordinator().pending_count(), 0);
@@ -121,8 +132,10 @@ fn scenario_group_flight_booking() {
             assert!(out.is_confirmed(), "the last member closes the group");
         }
     }
-    let fnos: std::collections::HashSet<i64> =
-        group.iter().map(|u| s.account_view(u).unwrap().flights[0]).collect();
+    let fnos: std::collections::HashSet<i64> = group
+        .iter()
+        .map(|u| s.account_view(u).unwrap().flights[0])
+        .collect();
     assert_eq!(fnos.len(), 1, "all four on one flight");
 }
 
@@ -135,10 +148,14 @@ fn scenario_group_flight_and_hotel_booking() {
         s.coordinate_group_flight_and_hotel(user, &others, "Paris", FlightPrefs::default())
             .unwrap();
     }
-    let fnos: std::collections::HashSet<i64> =
-        trio.iter().map(|u| s.account_view(u).unwrap().flights[0]).collect();
-    let hids: std::collections::HashSet<i64> =
-        trio.iter().map(|u| s.account_view(u).unwrap().hotels[0]).collect();
+    let fnos: std::collections::HashSet<i64> = trio
+        .iter()
+        .map(|u| s.account_view(u).unwrap().flights[0])
+        .collect();
+    let hids: std::collections::HashSet<i64> = trio
+        .iter()
+        .map(|u| s.account_view(u).unwrap().hotels[0])
+        .collect();
     assert_eq!(fnos.len(), 1);
     assert_eq!(hids.len(), 1);
 }
@@ -164,15 +181,24 @@ fn scenario_adhoc_overlapping_groups() {
          AND ('kramer', fno) IN ANSWER Reservation \
          AND ('kramer', hid) IN ANSWER HotelReservation CHOOSE 1";
     assert!(!s.coordinate_custom("jerry", jerry).unwrap().is_confirmed());
-    assert!(!s.coordinate_custom("kramer", kramer).unwrap().is_confirmed());
-    assert!(s.coordinate_custom("elaine", elaine).unwrap().is_confirmed());
+    assert!(!s
+        .coordinate_custom("kramer", kramer)
+        .unwrap()
+        .is_confirmed());
+    assert!(s
+        .coordinate_custom("elaine", elaine)
+        .unwrap()
+        .is_confirmed());
 
     let j = s.account_view("jerry").unwrap();
     let k = s.account_view("kramer").unwrap();
     let e = s.account_view("elaine").unwrap();
     assert_eq!(j.flights, k.flights, "jerry-kramer flight coordination");
     assert_eq!(k.hotels, e.hotels, "kramer-elaine hotel coordination");
-    assert!(j.hotels.is_empty(), "jerry's request said nothing about hotels");
+    assert!(
+        j.hotels.is_empty(),
+        "jerry's request said nothing about hotels"
+    );
 }
 
 #[test]
@@ -184,8 +210,10 @@ fn inventory_accounting_is_atomic_with_matches() {
         .iter()
         .map(|f| f.seats)
         .sum();
-    s.coordinate_flight("jerry", "kramer", "Paris", FlightPrefs::default()).unwrap();
-    s.coordinate_flight("kramer", "jerry", "Paris", FlightPrefs::default()).unwrap();
+    s.coordinate_flight("jerry", "kramer", "Paris", FlightPrefs::default())
+        .unwrap();
+    s.coordinate_flight("kramer", "jerry", "Paris", FlightPrefs::default())
+        .unwrap();
     let after: i64 = s
         .search_flights("Paris", FlightPrefs::default())
         .unwrap()
@@ -204,7 +232,10 @@ fn preferences_are_enforced_by_coordination() {
         "jerry",
         "kramer",
         "Paris",
-        FlightPrefs { max_price: Some(460.0), day: None },
+        FlightPrefs {
+            max_price: Some(460.0),
+            day: None,
+        },
     )
     .unwrap();
     let out = s

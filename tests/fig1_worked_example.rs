@@ -47,7 +47,11 @@ fn symmetric_queries_answer_jointly_with_shared_fno() {
     let Submission::Pending(kramer_ticket) = co.submit_sql("kramer", KRAMER).unwrap() else {
         panic!("kramer waits");
     };
-    let jerry = co.submit_sql("jerry", JERRY).unwrap().answered().expect("joint answer");
+    let jerry = co
+        .submit_sql("jerry", JERRY)
+        .unwrap()
+        .answered()
+        .expect("joint answer");
     let kramer = kramer_ticket.receiver.try_recv().expect("kramer notified");
 
     let j_fno = jerry.answers[0].1.values()[1].as_int().unwrap();
@@ -114,7 +118,10 @@ fn nondeterministic_choice_covers_multiple_flights() {
     // than one flight must be chosen, and only Paris flights ever.
     let mut seen = std::collections::HashSet::new();
     for seed in 0..48u64 {
-        let config = youtopia::CoordinatorConfig { seed, ..Default::default() };
+        let config = youtopia::CoordinatorConfig {
+            seed,
+            ..Default::default()
+        };
         let co = Coordinator::with_config(fig1_database(), config);
         co.submit_sql("kramer", KRAMER).unwrap();
         let jerry = co.submit_sql("jerry", JERRY).unwrap().answered().unwrap();
@@ -122,5 +129,8 @@ fn nondeterministic_choice_covers_multiple_flights() {
         assert!([122, 123, 134].contains(&fno));
         seen.insert(fno);
     }
-    assert!(seen.len() >= 2, "CHOOSE 1 must be nondeterministic, saw only {seen:?}");
+    assert!(
+        seen.len() >= 2,
+        "CHOOSE 1 must be nondeterministic, saw only {seen:?}"
+    );
 }

@@ -11,7 +11,11 @@ fn figure2_architecture_path() {
     // middle tier generates entangled SQL -> query compiler -> IR ->
     // coordination component -> execution engine -> database
     let db = Database::new();
-    run_sql(&db, "CREATE TABLE Flights (fno INT PRIMARY KEY, dest STRING)").unwrap();
+    run_sql(
+        &db,
+        "CREATE TABLE Flights (fno INT PRIMARY KEY, dest STRING)",
+    )
+    .unwrap();
     run_sql(&db, "INSERT INTO Flights VALUES (1, 'Paris'), (2, 'Paris')").unwrap();
     let co = Coordinator::new(db.clone());
 
@@ -25,8 +29,16 @@ fn figure2_architecture_path() {
     .unwrap();
     let snap = co.pending_snapshot();
     assert_eq!(snap.len(), 1);
-    assert!(snap[0].ir.contains("R('K', ?q1.fno)"), "IR visible: {}", snap[0].ir);
-    assert!(snap[0].ir.contains("requires: R('J', ?q1.fno)"), "{}", snap[0].ir);
+    assert!(
+        snap[0].ir.contains("R('K', ?q1.fno)"),
+        "IR visible: {}",
+        snap[0].ir
+    );
+    assert!(
+        snap[0].ir.contains("requires: R('J', ?q1.fno)"),
+        "{}",
+        snap[0].ir
+    );
 
     // Coordination accesses regular tables (membership evaluation) and
     // pending-query state; execution applies the answers.
@@ -71,7 +83,10 @@ fn admin_console_covers_sql_and_entangled_input() {
          AND ('Kramer', fno) IN ANSWER Reservation CHOOSE 1",
     );
     assert!(out.contains("answered immediately"), "{out}");
-    assert_eq!(console.execute("SHOW PENDING"), "(no pending entangled queries)");
+    assert_eq!(
+        console.execute("SHOW PENDING"),
+        "(no pending entangled queries)"
+    );
 }
 
 #[test]
@@ -84,7 +99,11 @@ fn wal_recovery_preserves_coordinated_answers() {
     {
         let wal = youtopia::storage::Wal::open(&path).unwrap();
         let db = Database::with_wal(wal);
-        run_sql(&db, "CREATE TABLE Flights (fno INT PRIMARY KEY, dest STRING)").unwrap();
+        run_sql(
+            &db,
+            "CREATE TABLE Flights (fno INT PRIMARY KEY, dest STRING)",
+        )
+        .unwrap();
         run_sql(&db, "INSERT INTO Flights VALUES (122, 'Paris')").unwrap();
         let co = Coordinator::new(db);
         co.submit_sql(
@@ -105,8 +124,7 @@ fn wal_recovery_preserves_coordinated_answers() {
     }
 
     // crash-restart: replay the WAL into a fresh database
-    let recovered =
-        Database::recover(youtopia::storage::Wal::open(&path).unwrap()).unwrap();
+    let recovered = Database::recover(youtopia::storage::Wal::open(&path).unwrap()).unwrap();
     {
         let read = recovered.read();
         let reservation = read.table("Reservation").unwrap();
@@ -120,8 +138,7 @@ fn wal_recovery_preserves_coordinated_answers() {
 
     // checkpointing compacts the log without changing recovered state
     recovered.checkpoint().unwrap();
-    let after_checkpoint =
-        Database::recover(youtopia::storage::Wal::open(&path).unwrap()).unwrap();
+    let after_checkpoint = Database::recover(youtopia::storage::Wal::open(&path).unwrap()).unwrap();
     let read = after_checkpoint.read();
     assert_eq!(read.table("Reservation").unwrap().len(), 2);
     assert_eq!(read.table("Flights").unwrap().len(), 1);
@@ -149,13 +166,8 @@ fn queries_in_flight_from_many_threads_all_complete() {
                 } else {
                     (format!("v{i}"), format!("u{i}"))
                 };
-                site.coordinate_flight(
-                    &me,
-                    &friend,
-                    "Paris",
-                    youtopia::FlightPrefs::default(),
-                )
-                .unwrap();
+                site.coordinate_flight(&me, &friend, "Paris", youtopia::FlightPrefs::default())
+                    .unwrap();
             }));
         }
     }
@@ -177,14 +189,19 @@ fn unsafe_and_malformed_input_is_reported_not_crashing() {
     run_sql(&db, "CREATE TABLE T (a INT)").unwrap();
     let co = Coordinator::new(db);
     // unsafe: head variable never restricted
-    assert!(co.submit_sql("x", "SELECT 'X', v INTO ANSWER R CHOOSE 1").is_err());
+    assert!(co
+        .submit_sql("x", "SELECT 'X', v INTO ANSWER R CHOOSE 1")
+        .is_err());
     // parse error
     assert!(co.submit_sql("x", "SELECT INTO").is_err());
     // not entangled
     assert!(co.submit_sql("x", "SELECT 1").is_err());
     // CHOOSE k != 1
     assert!(co
-        .submit_sql("x", "SELECT 'X', v INTO ANSWER R WHERE v IN (SELECT a FROM T) CHOOSE 3")
+        .submit_sql(
+            "x",
+            "SELECT 'X', v INTO ANSWER R WHERE v IN (SELECT a FROM T) CHOOSE 3"
+        )
         .is_err());
     assert_eq!(co.pending_count(), 0);
 }
@@ -221,7 +238,11 @@ fn membership_subqueries_may_use_the_full_sql_surface() {
 #[test]
 fn show_tables_lists_answer_relations_once_created() {
     let db = Database::new();
-    run_sql(&db, "CREATE TABLE Flights (fno INT PRIMARY KEY, dest STRING)").unwrap();
+    run_sql(
+        &db,
+        "CREATE TABLE Flights (fno INT PRIMARY KEY, dest STRING)",
+    )
+    .unwrap();
     run_sql(&db, "INSERT INTO Flights VALUES (1, 'Paris')").unwrap();
     let co = Coordinator::new(db.clone());
     co.submit_sql(

@@ -8,7 +8,11 @@ use youtopia::{run_sql, Coordinator, CoordinatorConfig, Database};
 
 fn db() -> Database {
     let d = Database::new();
-    run_sql(&d, "CREATE TABLE Flights (fno INT PRIMARY KEY, dest STRING)").unwrap();
+    run_sql(
+        &d,
+        "CREATE TABLE Flights (fno INT PRIMARY KEY, dest STRING)",
+    )
+    .unwrap();
     run_sql(&d, "INSERT INTO Flights VALUES (1, 'Paris')").unwrap();
     d
 }
@@ -49,14 +53,16 @@ fn every_safety_rejection_names_the_variable() {
 
 #[test]
 fn strict_mode_is_stricter_than_relaxed() {
-    let relaxed_only =
-        "SELECT 'K', fno INTO ANSWER R WHERE ('J', fno) IN ANSWER R CHOOSE 1";
+    let relaxed_only = "SELECT 'K', fno INTO ANSWER R WHERE ('J', fno) IN ANSWER R CHOOSE 1";
     let relaxed = Coordinator::new(db());
     assert!(relaxed.submit_sql("k", relaxed_only).is_ok());
 
     let strict = Coordinator::with_config(
         db(),
-        CoordinatorConfig { safety: SafetyMode::Strict, ..Default::default() },
+        CoordinatorConfig {
+            safety: SafetyMode::Strict,
+            ..Default::default()
+        },
     );
     assert!(matches!(
         strict.submit_sql("k", relaxed_only),
@@ -80,14 +86,19 @@ fn compile_rejections_are_precise() {
     for (sql, needle) in cases {
         let err = co.submit_sql("u", sql).unwrap_err();
         let msg = err.to_string();
-        assert!(msg.contains(needle), "'{sql}': expected '{needle}' in '{msg}'");
+        assert!(
+            msg.contains(needle),
+            "'{sql}': expected '{needle}' in '{msg}'"
+        );
     }
 }
 
 #[test]
 fn parse_errors_carry_positions_through_the_coordinator() {
     let co = Coordinator::new(db());
-    let err = co.submit_sql("u", "SELECT 'X',\n  INTO ANSWER").unwrap_err();
+    let err = co
+        .submit_sql("u", "SELECT 'X',\n  INTO ANSWER")
+        .unwrap_err();
     let msg = err.to_string();
     assert!(msg.contains("line 2"), "{msg}");
 }
@@ -125,13 +136,16 @@ fn inventory_conflicts_roll_back_the_whole_match() {
     // *after* checking what the pair would need: set every Paris flight
     // to exactly 2 seats, then have the hook race by booking directly
     run_sql(s.db(), "UPDATE Flights SET seats = 2 WHERE dest = 'Paris'").unwrap();
-    s.coordinate_flight("a", "b", "Paris", Default::default()).unwrap();
+    s.coordinate_flight("a", "b", "Paris", Default::default())
+        .unwrap();
     // a direct booking eats one seat from every flight's worth? No —
     // direct booking takes one specific flight; the pair may pick
     // another. Instead drop all seats to 1: membership (seats >= 2)
     // now excludes everything, so the closing query stays pending.
     run_sql(s.db(), "UPDATE Flights SET seats = 1 WHERE dest = 'Paris'").unwrap();
-    let out = s.coordinate_flight("b", "a", "Paris", Default::default()).unwrap();
+    let out = s
+        .coordinate_flight("b", "a", "Paris", Default::default())
+        .unwrap();
     assert!(!out.is_confirmed(), "no flight can host both");
     assert!(s.coordinator().pending_count() >= 2);
     // inventory returns: a retry sweep answers the pair
@@ -146,7 +160,9 @@ fn cascade_does_not_mask_apply_failures_forever() {
     let d = db();
     let co = Coordinator::new(d.clone());
     co.set_apply_hook(Box::new(|_, _| {
-        Err(youtopia::storage::StorageError::Internal("always fails".into()))
+        Err(youtopia::storage::StorageError::Internal(
+            "always fails".into(),
+        ))
     }));
     let err = co
         .submit_sql(
@@ -188,5 +204,9 @@ fn answer_relation_arity_conflicts_surface_as_storage_errors() {
         )
         .unwrap_err();
     assert!(matches!(err, CoreError::Storage(_)), "{err:?}");
-    assert_eq!(co.pending_count(), 1, "the query survives to retry after a fix");
+    assert_eq!(
+        co.pending_count(),
+        1,
+        "the query survives to retry after a fix"
+    );
 }

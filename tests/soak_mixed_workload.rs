@@ -22,7 +22,12 @@ fn seats_by_flight(s: &TravelService) -> std::collections::HashMap<i64, i64> {
     };
     rs.rows
         .iter()
-        .map(|r| (r.values()[0].as_int().unwrap(), r.values()[1].as_int().unwrap()))
+        .map(|r| {
+            (
+                r.values()[0].as_int().unwrap(),
+                r.values()[1].as_int().unwrap(),
+            )
+        })
         .collect()
 }
 
@@ -42,8 +47,11 @@ fn randomized_mixed_workload_preserves_invariants() {
     // users u0..u19, all mutually befriended
     let users: Vec<String> = (0..20).map(|i| format!("u{i}")).collect();
     for u in &users {
-        let others: Vec<&str> =
-            users.iter().filter(|o| *o != u).map(String::as_str).collect();
+        let others: Vec<&str> = users
+            .iter()
+            .filter(|o| *o != u)
+            .map(String::as_str)
+            .collect();
         s.social().import_friends(u, &others).unwrap();
     }
 
@@ -63,11 +71,13 @@ fn randomized_mixed_workload_preserves_invariants() {
             // 0-54: pair coordination halves (random order means many
             // match eventually, some never)
             0..=54 => {
-                let _ = s.coordinate_flight(&a, &b, "Paris", FlightPrefs::default()).unwrap();
+                let _ = s
+                    .coordinate_flight(&a, &b, "Paris", FlightPrefs::default())
+                    .unwrap();
             }
             // 55-69: direct bookings
             55..=69 => {
-                let fno = [122i64, 123, 134, 301][rng.random_range(0..4)];
+                let fno = [122i64, 123, 134, 301][rng.random_range(0..4usize)];
                 s.book_direct(&a, fno).unwrap();
             }
             // 70-84: group attempts (trio)
@@ -135,7 +145,10 @@ fn randomized_mixed_workload_preserves_invariants() {
     for (_, t) in read.table("Reservation").unwrap().scan() {
         let traveler = t.values()[0].as_str().unwrap();
         let fno = t.values()[1].as_int().unwrap();
-        assert!(flights.contains(&fno), "reservation on unknown flight {fno}");
+        assert!(
+            flights.contains(&fno),
+            "reservation on unknown flight {fno}"
+        );
         assert!(
             users.iter().any(|u| u == traveler),
             "reservation for unknown user {traveler}"
@@ -145,6 +158,186 @@ fn randomized_mixed_workload_preserves_invariants() {
 
     // the system is quiescent: an explicit sweep finds nothing new
     assert_eq!(s.retry_pending().unwrap(), 0, "no matchable residue");
+}
+
+/// Concurrency soak for the sharded coordinator: several threads
+/// hammer `submit_batch` with interleaved halves of coordinating pairs
+/// spread over multiple relation families, plus standing noise. At
+/// quiescence:
+///
+/// * no deadlock (the test completes) and no lost notification — every
+///   query the coordinator counts as answered delivered its
+///   notification either inline or through its ticket;
+/// * every committed answer tuple traces to exactly one group: answer
+///   rows across all relations equal the total notified answers, with
+///   no duplicate (owner, flight) rows;
+/// * the routing invariants hold (each relation component lives on
+///   exactly one shard, memberships accounted).
+#[test]
+fn sharded_submit_batch_concurrent_soak() {
+    use std::sync::Mutex;
+
+    use youtopia::core::MatchConfig;
+    use youtopia::travel::WorkloadGen;
+    use youtopia::{
+        CoordinatorConfig, MatchNotification, ShardedConfig, ShardedCoordinator, Submission,
+    };
+
+    const THREADS: usize = 4;
+    const ROUNDS: usize = 12;
+    const PAIRS_PER_ROUND: usize = 6;
+    const RELATIONS: usize = 5;
+
+    let mut generator = WorkloadGen::new(0x50A4);
+    let db = generator.build_database(60, &["Paris", "Rome"]).unwrap();
+    let co = ShardedCoordinator::with_config(
+        db,
+        ShardedConfig {
+            shards: 4,
+            workers: 2,
+            base: CoordinatorConfig {
+                match_config: MatchConfig {
+                    randomize: false,
+                    ..MatchConfig::default()
+                },
+                ..CoordinatorConfig::default()
+            },
+        },
+    );
+
+    // Each round builds pairs whose two halves are submitted by
+    // *different* threads, so completion races across shard drains.
+    // Owners are globally unique, so every head tuple is unique and
+    // "answer row ↔ group" tracing is exact.
+    let notifications: Mutex<Vec<MatchNotification>> = Mutex::new(Vec::new());
+    let mut submitted_total = 0usize;
+    let mut thread_work: Vec<Vec<Vec<(String, String)>>> = vec![Vec::new(); THREADS];
+    for round in 0..ROUNDS {
+        let mut halves: Vec<Vec<(String, String)>> = vec![Vec::new(); THREADS];
+        for p in 0..PAIRS_PER_ROUND {
+            let rel = format!("Reservation{}", (round * PAIRS_PER_ROUND + p) % RELATIONS);
+            let me = format!("r{round}p{p}a");
+            let friend = format!("r{round}p{p}b");
+            let first = WorkloadGen::pair_request_on(&rel, &me, &friend, "Paris");
+            let second = WorkloadGen::pair_request_on(&rel, &friend, &me, "Paris");
+            halves[p % THREADS].push((first.owner, first.sql));
+            halves[(p + 1) % THREADS].push((second.owner, second.sql));
+            submitted_total += 2;
+        }
+        // one never-matching noise query per thread per round
+        for (t, half) in halves.iter_mut().enumerate() {
+            let noise = WorkloadGen::pair_request_on(
+                &format!("Reservation{}", (round + t) % RELATIONS),
+                &format!("noise_r{round}t{t}"),
+                &format!("ghost_r{round}t{t}"),
+                "Paris",
+            );
+            half.push((noise.owner, noise.sql));
+            submitted_total += 1;
+        }
+        for (t, half) in halves.into_iter().enumerate() {
+            thread_work[t].push(half);
+        }
+    }
+
+    let tickets = std::thread::scope(|scope| {
+        let handles: Vec<_> = thread_work
+            .into_iter()
+            .map(|work| {
+                let co = &co;
+                let notifications = &notifications;
+                scope.spawn(move || {
+                    let mut tickets = Vec::new();
+                    for batch in work {
+                        for outcome in co.submit_batch_sql(&batch) {
+                            match outcome.expect("soak queries are safe") {
+                                Submission::Answered(n) => notifications.lock().unwrap().push(n),
+                                Submission::Pending(t) => tickets.push(t),
+                            }
+                        }
+                    }
+                    tickets
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("soak thread panicked"))
+            .collect::<Vec<_>>()
+    });
+
+    // quiescence sweep: racing halves that crossed thread boundaries
+    // mid-drain are matched now; nothing may remain matchable after it
+    co.retry_all().unwrap();
+    assert!(
+        co.retry_all().unwrap().is_empty(),
+        "sweep must reach a fixpoint"
+    );
+
+    // drain tickets only now: a query answered at any point (by a
+    // later batch, a concurrent thread, or the sweep) must have exactly
+    // one notification waiting in its channel — none lost, none extra
+    for ticket in tickets {
+        if let Ok(n) = ticket.receiver.try_recv() {
+            notifications.lock().unwrap().push(n);
+        }
+    }
+
+    co.check_routing_invariants()
+        .expect("routing invariants at quiescence");
+
+    let notifications = notifications.into_inner().unwrap();
+    let stats = co.stats();
+    assert_eq!(stats.submitted as usize, submitted_total);
+    assert_eq!(
+        stats.answered as usize + co.pending_count(),
+        submitted_total,
+        "answered + pending partitions submissions"
+    );
+    // no lost notification: every answered query's notification was
+    // observed exactly once (inline, via ticket, or via the sweep)
+    let mut answered_ids: Vec<u64> = notifications.iter().map(|n| n.id.0).collect();
+    answered_ids.sort_unstable();
+    let unique = answered_ids.len();
+    answered_ids.dedup();
+    assert_eq!(answered_ids.len(), unique, "no query notified twice");
+    assert_eq!(unique, stats.answered as usize, "no notification lost");
+
+    // every committed answer tuple traces to exactly one group: totals
+    // agree and no (owner, flight) row is duplicated
+    let notified_answers: usize = notifications.iter().map(|n| n.answers.len()).sum();
+    let read = co.db().read();
+    let mut committed_rows = 0usize;
+    let mut seen_rows = std::collections::HashSet::new();
+    for rel in (0..RELATIONS).map(|k| format!("Reservation{k}")) {
+        if let Ok(table) = read.table(&rel) {
+            for (_, tuple) in table.scan() {
+                committed_rows += 1;
+                let owner = tuple.values()[0].as_str().unwrap().to_string();
+                assert!(
+                    seen_rows.insert((rel.clone(), owner)),
+                    "duplicate answer row in {rel}"
+                );
+            }
+        }
+    }
+    assert_eq!(
+        committed_rows, notified_answers,
+        "committed answer rows == notified answers (each group applied once)"
+    );
+    // every pair shares one flight
+    let by_id: std::collections::HashMap<u64, &MatchNotification> =
+        notifications.iter().map(|n| (n.id.0, n)).collect();
+    for n in &notifications {
+        assert_eq!(n.group.len(), 2, "pair workload groups are pairs");
+        let partner = n.group.iter().find(|q| q.0 != n.id.0).unwrap();
+        let pn = by_id[&partner.0];
+        assert_eq!(
+            n.answers[0].1.values()[1],
+            pn.answers[0].1.values()[1],
+            "coordinated pair shares its flight"
+        );
+    }
 }
 
 #[test]
@@ -158,8 +351,11 @@ fn soak_is_deterministic_per_seed() {
         run_sql(s.db(), "UPDATE Flights SET seats = 500").unwrap();
         let users: Vec<String> = (0..8).map(|i| format!("u{i}")).collect();
         for u in &users {
-            let others: Vec<&str> =
-                users.iter().filter(|o| *o != u).map(String::as_str).collect();
+            let others: Vec<&str> = users
+                .iter()
+                .filter(|o| *o != u)
+                .map(String::as_str)
+                .collect();
             s.social().import_friends(u, &others).unwrap();
         }
         for _ in 0..120 {
@@ -170,7 +366,9 @@ fn soak_is_deterministic_per_seed() {
                     break b;
                 }
             };
-            let _ = s.coordinate_flight(&a, &b, "Paris", FlightPrefs::default()).unwrap();
+            let _ = s
+                .coordinate_flight(&a, &b, "Paris", FlightPrefs::default())
+                .unwrap();
         }
         let stats = s.coordinator().stats();
         (reservation_count(&s), stats.answered, stats.groups_matched)

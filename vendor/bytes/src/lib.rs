@@ -1,0 +1,273 @@
+//! A local, API-compatible subset of the `bytes` crate, used because
+//! the build environment has no access to crates.io. Provides [`Buf`]
+//! over `&[u8]`, [`BufMut`] over [`BytesMut`] / `Vec<u8>`, and the
+//! [`Bytes`] / [`BytesMut`] owned buffers. Multi-byte accessors are
+//! big-endian, matching upstream defaults.
+
+use std::ops::{Deref, DerefMut};
+
+/// Read cursor over a byte source.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Skips `cnt` bytes. Panics when out of range (as upstream does).
+    fn advance(&mut self, cnt: usize);
+
+    /// Copies out the next `dst.len()` bytes.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// True when bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Next byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Next big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+
+    /// Next big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    /// Next big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+
+    /// Next big-endian `i64`.
+    fn get_i64(&mut self) -> i64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        i64::from_be_bytes(b)
+    }
+
+    /// Next big-endian `f64`.
+    fn get_f64(&mut self) -> f64 {
+        f64::from_bits(self.get_u64())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        *self = &self[cnt..];
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.len(), "read past end of buffer");
+        dst.copy_from_slice(&self[..dst.len()]);
+        *self = &self[dst.len()..];
+    }
+}
+
+/// Write cursor over a growable byte sink.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `i64`.
+    fn put_i64(&mut self, v: i64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `f64`.
+    fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// An immutable owned byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes(Vec::new())
+    }
+
+    /// Copies a slice into an owned buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes(data.to_vec())
+    }
+
+    /// The contents as a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.clone()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes(v)
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes(v.to_vec())
+    }
+}
+
+/// A mutable, growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut(Vec::new())
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The contents as a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.clone()
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_accessors() {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u8(7);
+        buf.put_u16(300);
+        buf.put_u32(70_000);
+        buf.put_u64(1 << 40);
+        buf.put_i64(-5);
+        buf.put_f64(2.5);
+        buf.put_slice(b"abc");
+        let frozen = buf.freeze();
+        let mut r: &[u8] = &frozen;
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16(), 300);
+        assert_eq!(r.get_u32(), 70_000);
+        assert_eq!(r.get_u64(), 1 << 40);
+        assert_eq!(r.get_i64(), -5);
+        assert_eq!(r.get_f64(), 2.5);
+        assert_eq!(r.remaining(), 3);
+        let mut out = [0u8; 3];
+        r.copy_to_slice(&mut out);
+        assert_eq!(&out, b"abc");
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn advance_moves_the_cursor() {
+        let data = [1u8, 2, 3, 4];
+        let mut r: &[u8] = &data;
+        r.advance(2);
+        assert_eq!(r.get_u8(), 3);
+    }
+}

@@ -1,0 +1,313 @@
+//! A local, API-compatible subset of `criterion`, used because the
+//! build environment has no access to crates.io.
+//!
+//! It is a plain wall-clock harness: each benchmark warms up briefly,
+//! then runs `sample_size` samples of adaptively sized iteration
+//! batches and reports min / mean / max nanoseconds per iteration (and
+//! elements/sec when a throughput is declared). No statistical
+//! analysis, no HTML reports — the numbers are honest medians of real
+//! runs, which is what the committed BENCH_*.json artifacts record.
+//!
+//! Set `YOUTOPIA_BENCH_FAST=1` to cut sample counts for smoke runs.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped (only `PerIteration` is used here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// One setup per measured iteration.
+    PerIteration,
+    /// Criterion-compat variant (treated as `PerIteration`).
+    SmallInput,
+    /// Criterion-compat variant (treated as `PerIteration`).
+    LargeInput,
+}
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Measurement summary for one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Summary {
+    /// Fastest sample, ns/iter.
+    pub min_ns: f64,
+    /// Mean over samples, ns/iter.
+    pub mean_ns: f64,
+    /// Slowest sample, ns/iter.
+    pub max_ns: f64,
+    /// Samples taken.
+    pub samples: usize,
+}
+
+/// The measurement driver handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    last: Option<Summary>,
+}
+
+fn fast_mode() -> bool {
+    std::env::var_os("YOUTOPIA_BENCH_FAST").is_some()
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Bencher {
+        Bencher {
+            sample_size,
+            last: None,
+        }
+    }
+
+    /// Measures `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // warmup + calibration: find an iteration count that takes
+        // roughly 10ms or at least one iteration
+        let started = Instant::now();
+        let mut calibration_iters = 0u64;
+        routine();
+        calibration_iters += 1;
+        let per_iter = started.elapsed().max(Duration::from_nanos(1)) / calibration_iters as u32;
+        let batch = (Duration::from_millis(10).as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, 100_000) as u64;
+
+        let samples = if fast_mode() { 3 } else { self.sample_size };
+        let mut per_sample_ns = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            per_sample_ns.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        self.record(per_sample_ns);
+    }
+
+    /// Measures `routine` with a fresh `setup` product per iteration;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let samples = if fast_mode() { 3 } else { self.sample_size };
+        let mut per_sample_ns = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            per_sample_ns.push(t.elapsed().as_nanos() as f64);
+        }
+        self.record(per_sample_ns);
+    }
+
+    fn record(&mut self, per_sample_ns: Vec<f64>) {
+        let samples = per_sample_ns.len().max(1);
+        let sum: f64 = per_sample_ns.iter().sum();
+        let min = per_sample_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = per_sample_ns.iter().cloned().fold(0.0, f64::max);
+        self.last = Some(Summary {
+            min_ns: if min.is_finite() { min } else { 0.0 },
+            mean_ns: sum / samples as f64,
+            max_ns: max,
+            samples,
+        });
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(name: &str, throughput: Option<Throughput>, s: &Summary) {
+    let mut line = format!(
+        "{name:<50} time: [{} {} {}]",
+        human(s.min_ns),
+        human(s.mean_ns),
+        human(s.max_ns)
+    );
+    if let Some(Throughput::Elements(n)) = throughput {
+        let eps = n as f64 / (s.mean_ns / 1e9);
+        line.push_str(&format!("  thrpt: {eps:.0} elem/s"));
+    }
+    if let Some(Throughput::Bytes(n)) = throughput {
+        let bps = n as f64 / (s.mean_ns / 1e9);
+        line.push_str(&format!("  thrpt: {bps:.0} B/s"));
+    }
+    println!("{line}");
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        if let Some(s) = &b.last {
+            report(name, None, s);
+        }
+        self
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares per-iteration throughput for elem/s reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        if let Some(s) = &b.last {
+            report(&format!("{}/{}", self.name, id), self.throughput, s);
+        }
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        if let Some(s) = &b.last {
+            report(&format!("{}/{}", self.name, id), self.throughput, s);
+        }
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Defines a `fn $name()` running each target with a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_produces_a_summary() {
+        let mut b = Bencher::new(3);
+        b.iter(|| std::hint::black_box(1 + 1));
+        let s = b.last.expect("summary recorded");
+        assert!(s.mean_ns > 0.0);
+        assert_eq!(s.samples, 3);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2).throughput(Throughput::Elements(10));
+        g.bench_function("f", |b| b.iter(|| 2 * 2));
+        g.bench_with_input(BenchmarkId::from_parameter(5), &5, |b, &n| {
+            b.iter_batched(|| n, |x| x * 2, BatchSize::PerIteration)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,257 @@
+//! A local, API-compatible subset of `parking_lot`, used because the
+//! build environment has no access to crates.io.
+//!
+//! Wraps `std::sync` primitives with `parking_lot`'s non-poisoning API:
+//! a panicking thread's lock is simply released (std poisoning is
+//! unwrapped away — if a thread panicked while holding one of these
+//! locks the process is already failing its test/invariant).
+//!
+//! [`RwLock::read_arc`] / [`RwLock::write_arc`] return owned guards
+//! that keep the `Arc` alive, matching `parking_lot`'s `arc_lock`
+//! feature. The guard stores a `'static`-transmuted std guard next to
+//! the `Arc` that owns the lock; the `Arc` is dropped strictly after
+//! the guard, and the `RwLock` never moves (it lives on the heap inside
+//! the `Arc`), so the reference never dangles.
+
+use std::fmt;
+use std::mem::ManuallyDrop;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// Marker type standing in for `parking_lot::RawRwLock` in the arc
+/// guard type parameters.
+pub struct RawRwLock(());
+
+/// A non-poisoning mutex.
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+/// Guard for [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized>(std::sync::MutexGuard<'a, T>);
+
+impl<T> Mutex<T> {
+    /// Creates a mutex.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(self.0.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+/// A non-poisoning reader–writer lock.
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+/// Guard for [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized>(std::sync::RwLockReadGuard<'a, T>);
+
+/// Guard for [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized>(std::sync::RwLockWriteGuard<'a, T>);
+
+impl<T> RwLock<T> {
+    /// Creates a reader–writer lock.
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock(std::sync::RwLock::new(value))
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard(self.0.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Acquires the exclusive write lock.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard(self.0.write().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+impl<T> RwLock<T> {
+    /// Acquires a shared read lock through an `Arc`, returning an owned
+    /// guard that keeps the lock (and the `Arc`) alive.
+    pub fn read_arc(this: &Arc<RwLock<T>>) -> ArcRwLockReadGuard<RawRwLock, T> {
+        let guard = this.0.read().unwrap_or_else(|e| e.into_inner());
+        // SAFETY: the guard borrows the RwLock inside `this`; the Arc
+        // clone stored alongside keeps that heap allocation alive (and
+        // immovable) for the guard's whole lifetime, and Drop releases
+        // the guard before the Arc.
+        let guard: std::sync::RwLockReadGuard<'static, T> = unsafe { std::mem::transmute(guard) };
+        ArcRwLockReadGuard {
+            guard: ManuallyDrop::new(guard),
+            _lock: this.clone(),
+            _raw: std::marker::PhantomData,
+        }
+    }
+
+    /// Acquires the exclusive write lock through an `Arc`, returning an
+    /// owned guard that keeps the lock (and the `Arc`) alive.
+    pub fn write_arc(this: &Arc<RwLock<T>>) -> ArcRwLockWriteGuard<RawRwLock, T> {
+        let guard = this.0.write().unwrap_or_else(|e| e.into_inner());
+        // SAFETY: as in `read_arc`.
+        let guard: std::sync::RwLockWriteGuard<'static, T> = unsafe { std::mem::transmute(guard) };
+        ArcRwLockWriteGuard {
+            guard: ManuallyDrop::new(guard),
+            _lock: this.clone(),
+            _raw: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+/// Owned read guard from [`RwLock::read_arc`]. The `R` parameter
+/// mirrors `parking_lot`'s raw-lock parameter and is always
+/// [`RawRwLock`] here.
+pub struct ArcRwLockReadGuard<R, T: 'static> {
+    // field order is irrelevant: Drop releases `guard` explicitly first
+    guard: ManuallyDrop<std::sync::RwLockReadGuard<'static, T>>,
+    _lock: Arc<RwLock<T>>,
+    // no marker needed: R is fixed by the only constructor
+    #[allow(dead_code)]
+    _raw: std::marker::PhantomData<R>,
+}
+
+/// Owned write guard from [`RwLock::write_arc`].
+pub struct ArcRwLockWriteGuard<R, T: 'static> {
+    guard: ManuallyDrop<std::sync::RwLockWriteGuard<'static, T>>,
+    _lock: Arc<RwLock<T>>,
+    #[allow(dead_code)]
+    _raw: std::marker::PhantomData<R>,
+}
+
+impl<R, T: 'static> Deref for ArcRwLockReadGuard<R, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<R, T: 'static> Drop for ArcRwLockReadGuard<R, T> {
+    fn drop(&mut self) {
+        // release the lock before the Arc can be dropped
+        unsafe { ManuallyDrop::drop(&mut self.guard) }
+    }
+}
+
+impl<R, T: 'static> Deref for ArcRwLockWriteGuard<R, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<R, T: 'static> DerefMut for ArcRwLockWriteGuard<R, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<R, T: 'static> Drop for ArcRwLockWriteGuard<R, T> {
+    fn drop(&mut self) {
+        unsafe { ManuallyDrop::drop(&mut self.guard) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_basics() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+    }
+
+    #[test]
+    fn arc_guards_keep_lock_alive() {
+        let lock = Arc::new(RwLock::new(vec![1, 2, 3]));
+        let read = RwLock::read_arc(&lock);
+        let read2 = RwLock::read_arc(&lock);
+        assert_eq!(read.len(), 3);
+        assert_eq!(read2[0], 1);
+        drop(lock); // guards alone keep the allocation alive
+        assert_eq!(read[2], 3);
+        drop(read);
+        drop(read2);
+    }
+
+    #[test]
+    fn write_arc_excludes_readers() {
+        let lock = Arc::new(RwLock::new(0u32));
+        {
+            let mut w = RwLock::write_arc(&lock);
+            *w = 7;
+        }
+        assert_eq!(*RwLock::read_arc(&lock), 7);
+    }
+}

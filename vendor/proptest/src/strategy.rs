@@ -1,0 +1,490 @@
+//! The [`Strategy`] trait and the combinators the workspace uses.
+
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A generator of values of type `Self::Value`.
+///
+/// Unlike upstream proptest there is no value tree / shrinking:
+/// `generate` draws one value directly from the RNG.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discards generated values failing `pred` (bounded resampling).
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+
+    /// Builds recursive structures: `expand` receives a strategy for
+    /// strictly smaller instances. `depth` bounds nesting;
+    /// `_desired_size` and `_expected_branch_size` are accepted for
+    /// API compatibility and unused.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        expand: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let base = self.boxed();
+        let mut strat = base.clone();
+        for _ in 0..depth {
+            // each level: half leaves, half one-deeper branches, which
+            // keeps expected size finite and depth ≤ `depth`
+            let deeper = expand(strat).boxed();
+            strat = Union::new(vec![base.clone(), deeper]).boxed();
+        }
+        strat
+    }
+
+    /// Type-erases the strategy (cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let candidate = self.inner.generate(rng);
+            if (self.pred)(&candidate) {
+                return candidate;
+            }
+        }
+        panic!(
+            "prop_filter rejected 1000 consecutive candidates: {}",
+            self.reason
+        );
+    }
+}
+
+/// A constant strategy, mirroring `proptest::strategy::Just`.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed alternatives (the engine of
+/// [`crate::prop_oneof!`]).
+#[derive(Clone)]
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `arms` (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! requires at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let arm = rng.below_inclusive(0, self.arms.len() - 1);
+        self.arms[arm].generate(rng)
+    }
+}
+
+/// Uniform choice among strategies, by source order.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+// ------------------------------------------------------------------ //
+// Range strategies
+// ------------------------------------------------------------------ //
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                let draw = rng.next_u64() % span;
+                (self.start as u64).wrapping_add(draw) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t; // full 64-bit domain
+                }
+                let draw = rng.next_u64() % span;
+                (start as u64).wrapping_add(draw) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+// ------------------------------------------------------------------ //
+// Tuple strategies
+// ------------------------------------------------------------------ //
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// ------------------------------------------------------------------ //
+// Regex-string strategies (&str patterns)
+// ------------------------------------------------------------------ //
+
+#[derive(Debug, Clone)]
+enum RegexAtom {
+    /// `[...]`: inclusive char ranges (single chars are 1-length ranges).
+    Class(Vec<(char, char)>),
+    /// `\PC`: any printable (non-control) character.
+    Printable,
+    /// A literal character.
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct RegexPiece {
+    atom: RegexAtom,
+    min: usize,
+    max: usize,
+}
+
+/// Parses the tiny regex subset the workspace uses: literal chars,
+/// character classes with ranges, `\PC`, and `{n}` / `{n,m}`
+/// quantifiers. Anything else panics with the unsupported pattern.
+fn parse_regex(pattern: &str) -> Vec<RegexPiece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(
+                    i < chars.len(),
+                    "unterminated class in regex strategy '{pattern}'"
+                );
+                i += 1; // consume ']'
+                RegexAtom::Class(ranges)
+            }
+            '\\' => {
+                let esc = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling escape in regex strategy '{pattern}'"));
+                match esc {
+                    'P' | 'p' => {
+                        // \PC / \pC — the only category the workspace
+                        // uses: printable (non-control) characters
+                        i += 3;
+                        RegexAtom::Printable
+                    }
+                    'd' => {
+                        i += 2;
+                        RegexAtom::Class(vec![('0', '9')])
+                    }
+                    other => {
+                        i += 2;
+                        RegexAtom::Literal(other)
+                    }
+                }
+            }
+            c => {
+                i += 1;
+                RegexAtom::Literal(c)
+            }
+        };
+        // optional quantifier
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated quantifier in '{pattern}'"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("quantifier lower bound"),
+                    hi.trim().parse().expect("quantifier upper bound"),
+                ),
+                None => {
+                    let n: usize = body.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(RegexPiece { atom, min, max });
+    }
+    pieces
+}
+
+/// Pool for `\PC`: mostly ASCII printables, with a few multibyte
+/// characters so lexer robustness tests see real unicode.
+const PRINTABLE_EXTRA: &[char] = &['é', 'Ω', '→', '中', '𝄞', '¤', '"', '\''];
+
+fn generate_atom(atom: &RegexAtom, rng: &mut TestRng) -> char {
+    match atom {
+        RegexAtom::Literal(c) => *c,
+        RegexAtom::Printable => {
+            if rng.next_u64().is_multiple_of(8) {
+                PRINTABLE_EXTRA[rng.below_inclusive(0, PRINTABLE_EXTRA.len() - 1)]
+            } else {
+                char::from_u32(rng.below_inclusive(0x20, 0x7E) as u32).expect("ascii printable")
+            }
+        }
+        RegexAtom::Class(ranges) => {
+            let total: u32 = ranges
+                .iter()
+                .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                .sum();
+            let mut pick = rng.below_inclusive(0, total as usize - 1) as u32;
+            for (lo, hi) in ranges {
+                let width = *hi as u32 - *lo as u32 + 1;
+                if pick < width {
+                    return char::from_u32(*lo as u32 + pick).expect("class char");
+                }
+                pick -= width;
+            }
+            unreachable!("pick was bounded by the total class width")
+        }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pieces = parse_regex(self);
+        let mut out = String::new();
+        for piece in &pieces {
+            let count = rng.below_inclusive(piece.min, piece.max);
+            for _ in 0..count {
+                out.push(generate_atom(&piece.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+// ------------------------------------------------------------------ //
+// any::<T>()
+// ------------------------------------------------------------------ //
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The whole-domain strategy for `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(std::marker::PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // mix raw bit patterns (hits NaNs, infinities, subnormals)
+        // with special values and tame magnitudes
+        match rng.next_u64() % 8 {
+            0 => {
+                const SPECIALS: &[f64] = &[
+                    f64::NAN,
+                    f64::INFINITY,
+                    f64::NEG_INFINITY,
+                    0.0,
+                    -0.0,
+                    f64::MIN,
+                    f64::MAX,
+                    f64::EPSILON,
+                ];
+                SPECIALS[(rng.next_u64() % SPECIALS.len() as u64) as usize]
+            }
+            1 | 2 => f64::from_bits(rng.next_u64()),
+            _ => (rng.unit_f64() - 0.5) * 2e6,
+        }
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        loop {
+            if let Some(c) = char::from_u32((rng.next_u64() % 0x11_0000) as u32) {
+                return c;
+            }
+        }
+    }
+}

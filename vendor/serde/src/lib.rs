@@ -1,0 +1,6 @@
+//! A local `serde` facade: the derive names resolve and expand to
+//! nothing. Nothing in this workspace performs serde serialization (the
+//! WAL has its own binary encoding); the derives on storage types exist
+//! for downstream API compatibility only.
+
+pub use serde_derive::{Deserialize, Serialize};

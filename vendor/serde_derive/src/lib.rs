@@ -1,0 +1,18 @@
+//! No-op `Serialize` / `Deserialize` derive macros. The workspace's
+//! types carry serde derives for downstream compatibility, but nothing
+//! in-tree performs serde serialization (the WAL uses its own binary
+//! encoding), so the derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; satisfies `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; satisfies `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
