@@ -20,13 +20,15 @@
 //! [`crate::shard::ShardedCoordinator`], which partitions this state by
 //! answer-relation signature and reuses the same engine per shard.
 
-use crossbeam::channel::Receiver;
+use crossbeam::channel::{unbounded, Receiver};
 use parking_lot::Mutex;
 
-use youtopia_storage::{Database, StorageResult, Transaction, Tuple};
+use youtopia_storage::{Database, StorageResult, Transaction, Tuple, Wal};
 
 use crate::compile::compile_sql;
-use crate::engine::{match_graph_of, Engine, ShardState};
+use crate::engine::{
+    match_graph_of, replay_coordination_frames, CoordEvent, CoordinationLog, Engine, ShardState,
+};
 use crate::error::{CoreError, CoreResult};
 use crate::ir::{EntangledQuery, QueryId};
 use crate::matcher::{GroupMatch, MatchConfig, MatchStats};
@@ -199,6 +201,20 @@ pub struct PendingInfo {
 pub type ApplyHook =
     Box<dyn Fn(&mut Transaction, &GroupMatch) -> StorageResult<()> + Send + 'static>;
 
+/// What a coordinator recovery replayed and rebuilt (diagnostics; also
+/// the measured quantity of the `recovery_replay` bench).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Coordination events decoded from the log.
+    pub events_replayed: usize,
+    /// Registrations that survived (pending at the crash) and were
+    /// restored into the registry.
+    pub restored_pending: usize,
+    /// Groups matched by the post-restore matching sweep (arrivals that
+    /// were logged but whose match had not committed before the crash).
+    pub rematched_groups: u64,
+}
+
 struct State {
     shard: ShardState,
     next_id: u64,
@@ -263,6 +279,17 @@ impl Coordinator {
         let qid = QueryId(state.next_id);
         state.next_id += 1;
         state.seq += 1;
+        // log-before-ack: the registration must be durable before the
+        // submission can be acknowledged (or matched)
+        self.engine
+            .db
+            .log_event(&CoordEvent::QueryRegistered {
+                owner: owner.to_string(),
+                sql: query.sql.clone(),
+                qid,
+                seq: state.seq,
+            })
+            .map_err(CoreError::Storage)?;
         let pending = Pending {
             id: qid,
             owner: owner.to_string(),
@@ -284,18 +311,24 @@ impl Coordinator {
     /// gives up).
     pub fn cancel(&self, qid: QueryId) -> CoreResult<()> {
         let mut state = self.state.lock();
-        state
-            .shard
-            .registry
-            .remove(qid)
-            .map(|_| {
-                state.shard.waiters.remove(&qid);
-            })
-            .ok_or(CoreError::UnknownQuery(qid.0))
+        if state.shard.registry.get(qid).is_none() {
+            return Err(CoreError::UnknownQuery(qid.0));
+        }
+        // log-before-ack: the cancellation is durable before the entry
+        // disappears from the registry
+        self.engine
+            .db
+            .log_event(&CoordEvent::QueryCancelled { qid })
+            .map_err(CoreError::Storage)?;
+        state.shard.registry.remove(qid);
+        state.shard.waiters.remove(&qid);
+        Ok(())
     }
 
     /// Cancels every pending query belonging to `owner` (the user
-    /// logged out / gave up). Returns how many were withdrawn.
+    /// logged out / gave up). Returns how many were withdrawn (0 when
+    /// the durable log rejects the write — nothing is removed that was
+    /// not logged first).
     pub fn cancel_owner(&self, owner: &str) -> usize {
         let mut state = self.state.lock();
         let victims: Vec<QueryId> = state
@@ -305,6 +338,13 @@ impl Coordinator {
             .filter(|p| p.owner == owner)
             .map(|p| p.id)
             .collect();
+        let events: Vec<CoordEvent> = victims
+            .iter()
+            .map(|&qid| CoordEvent::QueryCancelled { qid })
+            .collect();
+        if self.engine.db.log_events(&events).is_err() {
+            return 0;
+        }
         for qid in &victims {
             state.shard.registry.remove(*qid);
             state.shard.waiters.remove(qid);
@@ -315,7 +355,9 @@ impl Coordinator {
     /// Expires pending queries whose submission sequence number is
     /// older than `min_seq` — the paper's "waits for an opportunity to
     /// retry" does not mean forever; applications typically sweep with
-    /// a deadline. Returns the expired ids.
+    /// a deadline. Returns the expired ids (empty when the durable log
+    /// rejects the write — nothing is removed that was not logged
+    /// first).
     pub fn expire_before(&self, min_seq: u64) -> Vec<QueryId> {
         let mut state = self.state.lock();
         let victims: Vec<QueryId> = state
@@ -325,11 +367,101 @@ impl Coordinator {
             .filter(|p| p.seq < min_seq)
             .map(|p| p.id)
             .collect();
+        let events: Vec<CoordEvent> = victims
+            .iter()
+            .map(|&qid| CoordEvent::QueryExpired { qid })
+            .collect();
+        if self.engine.db.log_events(&events).is_err() {
+            return Vec::new();
+        }
         for qid in &victims {
             state.shard.registry.remove(*qid);
             state.shard.waiters.remove(qid);
         }
         victims
+    }
+
+    /// Re-issues tickets for `owner`'s still-pending queries after a
+    /// reconnect (waiter channels do not survive a crash; the pending
+    /// queries themselves do). Any previous ticket for the same query
+    /// stops receiving notifications.
+    pub fn reattach(&self, owner: &str) -> Vec<Ticket> {
+        let state = &mut *self.state.lock();
+        let mut tickets = Vec::new();
+        let ids: Vec<QueryId> = state
+            .shard
+            .registry
+            .iter()
+            .filter(|p| p.owner == owner)
+            .map(|p| p.id)
+            .collect();
+        for qid in ids {
+            let (tx, rx) = unbounded();
+            state.shard.waiters.insert(qid, tx);
+            tickets.push(Ticket {
+                id: qid,
+                receiver: rx,
+            });
+        }
+        tickets
+    }
+
+    /// Rebuilds a coordinator (database **and** pending-query state)
+    /// from a WAL: replays the storage ops into a fresh database,
+    /// folds the coordination frames into the surviving pending set,
+    /// re-compiles the surviving SQL, and re-runs matching for
+    /// arrivals whose match had not committed before the crash. The
+    /// rebuilt coordinator keeps logging to the same WAL.
+    ///
+    /// The apply hook is `None` during the recovery sweep; use
+    /// [`Coordinator::recover_with_hook`] when matches must run
+    /// application side effects.
+    pub fn recover(
+        wal: Wal,
+        config: CoordinatorConfig,
+    ) -> CoreResult<(Coordinator, RecoveryReport)> {
+        Self::recover_with_hook(wal, config, None)
+    }
+
+    /// [`Coordinator::recover`] with an apply hook installed *before*
+    /// the post-restore matching sweep runs.
+    pub fn recover_with_hook(
+        wal: Wal,
+        config: CoordinatorConfig,
+        hook: Option<ApplyHook>,
+    ) -> CoreResult<(Coordinator, RecoveryReport)> {
+        let (db, frames) = Database::recover_full(wal).map_err(CoreError::Storage)?;
+        let replayed = replay_coordination_frames(&frames)?;
+        let co = Coordinator::with_config(db, config);
+        let mut report = RecoveryReport {
+            events_replayed: replayed.events,
+            restored_pending: replayed.survivors.len(),
+            rematched_groups: 0,
+        };
+        {
+            let state = &mut *co.state.lock();
+            state.next_id = replayed.max_qid + 1;
+            state.seq = replayed.max_seq;
+            state.apply_hook = hook;
+            for (qid, owner, sql, seq) in replayed.survivors {
+                // the SQL compiled when it was first submitted; a
+                // failure here means the log (or the compiler) changed
+                // underneath us, which recovery must not paper over
+                let query = compile_sql(&sql)?;
+                state.shard.registry.insert(Pending {
+                    id: qid,
+                    owner,
+                    query: query.namespaced(qid),
+                    seq,
+                });
+                state.shard.stats.submitted += 1;
+            }
+        }
+        // arrivals that were logged but not matched before the crash:
+        // their match (if any) fires now, and is logged normally
+        co.retry_all()?;
+        report.rematched_groups = co.stats().groups_matched;
+        Ok((co, report))
     }
 
     /// The current submission sequence number (pairs with
@@ -684,6 +816,117 @@ mod tests {
         let expired = co.expire_before(u64::MAX);
         assert_eq!(expired.len(), 2);
         assert_eq!(co.pending_count(), 0);
+    }
+
+    fn flights_db_wal() -> Database {
+        let db = Database::with_wal(youtopia_storage::Wal::in_memory());
+        for sql in [
+            "CREATE TABLE Flights (fno INT PRIMARY KEY, dest STRING NOT NULL)",
+            "INSERT INTO Flights VALUES (122, 'Paris'), (123, 'Paris'), (134, 'Paris'), \
+             (136, 'Rome')",
+        ] {
+            run_sql(&db, sql).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn recover_restores_pending_and_completes_the_pair() {
+        let db = flights_db_wal();
+        let co = Coordinator::new(db.clone());
+        co.submit_sql("kramer", &pair_sql("Kramer", "Jerry"))
+            .unwrap();
+        let bytes = db.wal_bytes().unwrap();
+        drop(co); // "kill" the process; only the log survives
+
+        let (co2, report) = Coordinator::recover(
+            youtopia_storage::Wal::from_bytes(bytes),
+            CoordinatorConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.restored_pending, 1);
+        assert_eq!(co2.pending_count(), 1);
+        let snap = co2.pending_snapshot();
+        assert_eq!(snap[0].owner, "kramer");
+
+        // the reconnecting owner gets a fresh ticket, and the pair
+        // completes exactly as it would have without the crash
+        let tickets = co2.reattach("kramer");
+        assert_eq!(tickets.len(), 1);
+        let jerry = co2
+            .submit_sql("jerry", &pair_sql("Jerry", "Kramer"))
+            .unwrap();
+        assert!(matches!(jerry, Submission::Answered(_)));
+        tickets[0]
+            .receiver
+            .try_recv()
+            .expect("reattached waiter is notified");
+        assert_eq!(co2.answers("Reservation").len(), 2);
+    }
+
+    #[test]
+    fn recover_drops_matched_and_cancelled_queries() {
+        let db = flights_db_wal();
+        let co = Coordinator::new(db.clone());
+        co.submit_sql("kramer", &pair_sql("Kramer", "Jerry"))
+            .unwrap();
+        co.submit_sql("jerry", &pair_sql("Jerry", "Kramer"))
+            .unwrap(); // matches
+        let c = co.submit_sql("a", &pair_sql("A", "GhostA")).unwrap();
+        co.cancel(c.id()).unwrap();
+        co.submit_sql("b", &pair_sql("B", "GhostB")).unwrap(); // survives
+        co.expire_before(0); // no-op sweep, logs nothing harmful
+        let seq_before = co.current_seq();
+        let bytes = db.wal_bytes().unwrap();
+        drop(co);
+
+        let (co2, report) = Coordinator::recover(
+            youtopia_storage::Wal::from_bytes(bytes),
+            CoordinatorConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.restored_pending, 1);
+        let snap = co2.pending_snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].owner, "b");
+        // answers from the pre-crash match were replayed from storage
+        assert_eq!(co2.answers("Reservation").len(), 2);
+        // id/seq allocation resumes after the watermark
+        assert_eq!(co2.current_seq(), seq_before);
+        let next = co2.submit_sql("c", &pair_sql("C", "GhostC")).unwrap();
+        assert!(next.id().0 > snap[0].id.0);
+    }
+
+    #[test]
+    fn recover_rematches_logged_but_unmatched_arrivals() {
+        // craft a log whose registrations form a completable pair that
+        // never matched (the crash hit between the registration commits
+        // and the match apply)
+        let db = flights_db_wal();
+        for (qid, owner, friend, seq) in [(1, "Kramer", "Jerry", 1), (2, "Jerry", "Kramer", 2)] {
+            db.append_coordination(
+                &CoordEvent::QueryRegistered {
+                    owner: owner.to_lowercase(),
+                    sql: pair_sql(owner, friend),
+                    qid: QueryId(qid),
+                    seq,
+                }
+                .encode(),
+            )
+            .unwrap();
+        }
+        let bytes = db.wal_bytes().unwrap();
+        drop(db);
+
+        let (co, report) = Coordinator::recover(
+            youtopia_storage::Wal::from_bytes(bytes),
+            CoordinatorConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.restored_pending, 2);
+        assert_eq!(report.rematched_groups, 1, "the sweep completes the pair");
+        assert_eq!(co.pending_count(), 0);
+        assert_eq!(co.answers("Reservation").len(), 2);
     }
 
     #[test]

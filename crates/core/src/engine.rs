@@ -1,6 +1,7 @@
 //! The shared match engine: per-registry coordination logic used by
 //! both the serial [`crate::Coordinator`] and every shard of the
-//! [`crate::ShardedCoordinator`].
+//! [`crate::ShardedCoordinator`] — plus the **coordination log**, the
+//! durable event stream that makes both coordinators crash-recoverable.
 //!
 //! A [`ShardState`] is one independent matching domain: a pending-query
 //! registry, the RNG that resolves `CHOOSE` nondeterminism, waiter
@@ -8,15 +9,31 @@
 //! borrows a `ShardState` for each operation, so callers decide the
 //! locking granularity (one global mutex for the serial coordinator,
 //! one mutex per shard for the sharded one).
+//!
+//! # The coordination log
+//!
+//! Every registry mutation is recorded as a [`CoordEvent`] in the
+//! storage WAL **before it is acknowledged** (the log-before-ack
+//! invariant): registrations, cancellations and expirations are
+//! appended through the [`CoordinationLog`] group-commit handle, and a
+//! [`CoordEvent::MatchCommitted`] frame rides *inside* the storage
+//! transaction that inserts the match's answer tuples, so a match and
+//! its answers are exactly as durable as each other. Replaying the log
+//! (`registered − (matched ∪ cancelled ∪ expired)`) reconstructs the
+//! pending set; see `docs/recovery.md`.
 
 use std::collections::HashMap;
 use std::time::Instant;
 
+use bytes::{Buf, BufMut, BytesMut};
 use crossbeam::channel::{unbounded, Sender};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use youtopia_storage::{Column, DataType, Database, Schema, StorageResult, Transaction, Tuple};
+use youtopia_storage::codec::{get_str, get_u64, put_str};
+use youtopia_storage::{
+    Column, DataType, Database, Schema, StorageError, StorageResult, Transaction, Tuple,
+};
 
 use crate::coordinator::{
     CoordinatorConfig, MatchEdge, MatchGraph, MatchNotification, MatcherKind, Submission, Ticket,
@@ -26,6 +43,291 @@ use crate::ir::QueryId;
 use crate::matcher::{baseline, search, GroupMatch, MatchStats};
 use crate::registry::{Pending, Registry};
 use crate::SystemStats;
+
+/// One durable event of the coordination log.
+///
+/// Events are encoded into opaque payloads carried by the storage WAL's
+/// coordination frames ([`youtopia_storage::WalRecord::Coordination`]).
+/// The pending set of a crashed coordinator is exactly
+/// `registered − (matched ∪ cancelled ∪ expired)` over its log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoordEvent {
+    /// A pending entangled query was registered (logged before the
+    /// submission is acknowledged).
+    QueryRegistered {
+        /// Submitting user.
+        owner: String,
+        /// Original SQL text (re-compiled on recovery).
+        sql: String,
+        /// The id the query was registered under.
+        qid: QueryId,
+        /// Monotonic submission sequence number.
+        seq: u64,
+    },
+    /// A pending query was cancelled by its owner.
+    QueryCancelled {
+        /// The withdrawn query.
+        qid: QueryId,
+    },
+    /// A pending query was expired by a deadline sweep.
+    QueryExpired {
+        /// The expired query.
+        qid: QueryId,
+    },
+    /// A group match committed. This event is written **inside** the
+    /// storage transaction that inserts `answer_writes`, so the match
+    /// and its answers reach the log atomically.
+    MatchCommitted {
+        /// Every member of the matched group.
+        qids: Vec<QueryId>,
+        /// The `(relation, tuple)` answer writes of the match. Recovery
+        /// rebuilds answers from the storage frames of the same
+        /// transaction, so this duplicates them — deliberately: it
+        /// makes the coordination log self-contained (future
+        /// notification re-delivery on `reattach`, audit without
+        /// storage replay), and checkpointing drops it with the rest
+        /// of the matched history.
+        answer_writes: Vec<(String, Tuple)>,
+    },
+    /// An id/sequence watermark: ids at or below `qid` and sequence
+    /// numbers at or below `seq` have been handed out. Written by
+    /// coordinator checkpoints, whose compacted logs would otherwise
+    /// lose the allocation high-water mark along with the matched
+    /// registrations — recovery must never re-issue an id a pre-crash
+    /// client may still hold.
+    Watermark {
+        /// Highest query id allocated so far.
+        qid: QueryId,
+        /// Highest submission sequence number allocated so far.
+        seq: u64,
+    },
+}
+
+impl CoordEvent {
+    /// Serializes the event to the opaque payload stored in a WAL
+    /// coordination frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(64);
+        match self {
+            CoordEvent::QueryRegistered {
+                owner,
+                sql,
+                qid,
+                seq,
+            } => {
+                buf.put_u8(0);
+                put_str(&mut buf, owner);
+                put_str(&mut buf, sql);
+                buf.put_u64(qid.0);
+                buf.put_u64(*seq);
+            }
+            CoordEvent::QueryCancelled { qid } => {
+                buf.put_u8(1);
+                buf.put_u64(qid.0);
+            }
+            CoordEvent::QueryExpired { qid } => {
+                buf.put_u8(2);
+                buf.put_u64(qid.0);
+            }
+            CoordEvent::MatchCommitted {
+                qids,
+                answer_writes,
+            } => {
+                buf.put_u8(3);
+                buf.put_u32(qids.len() as u32);
+                for qid in qids {
+                    buf.put_u64(qid.0);
+                }
+                buf.put_u32(answer_writes.len() as u32);
+                for (relation, tuple) in answer_writes {
+                    put_str(&mut buf, relation);
+                    let enc = tuple.encode();
+                    buf.put_u32(enc.len() as u32);
+                    buf.put_slice(&enc);
+                }
+            }
+            CoordEvent::Watermark { qid, seq } => {
+                buf.put_u8(4);
+                buf.put_u64(qid.0);
+                buf.put_u64(*seq);
+            }
+        }
+        buf.to_vec()
+    }
+
+    /// Decodes an event from a WAL coordination payload.
+    pub fn decode(mut payload: &[u8]) -> StorageResult<CoordEvent> {
+        let buf = &mut payload;
+        if buf.remaining() < 1 {
+            return Err(StorageError::WalCorrupt("empty coordination event".into()));
+        }
+        let tag = buf.get_u8();
+        let event = match tag {
+            0 => {
+                let owner = get_str(buf)?;
+                let sql = get_str(buf)?;
+                let qid = QueryId(get_u64(buf)?);
+                let seq = get_u64(buf)?;
+                CoordEvent::QueryRegistered {
+                    owner,
+                    sql,
+                    qid,
+                    seq,
+                }
+            }
+            1 => CoordEvent::QueryCancelled {
+                qid: QueryId(get_u64(buf)?),
+            },
+            2 => CoordEvent::QueryExpired {
+                qid: QueryId(get_u64(buf)?),
+            },
+            3 => {
+                if buf.remaining() < 4 {
+                    return Err(StorageError::WalCorrupt("truncated member count".into()));
+                }
+                let n = buf.get_u32() as usize;
+                let mut qids = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    qids.push(QueryId(get_u64(buf)?));
+                }
+                if buf.remaining() < 4 {
+                    return Err(StorageError::WalCorrupt("truncated answer count".into()));
+                }
+                let n = buf.get_u32() as usize;
+                let mut answer_writes = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let relation = get_str(buf)?;
+                    if buf.remaining() < 4 {
+                        return Err(StorageError::WalCorrupt("truncated tuple length".into()));
+                    }
+                    let len = buf.get_u32() as usize;
+                    if buf.remaining() < len {
+                        return Err(StorageError::WalCorrupt("truncated tuple body".into()));
+                    }
+                    let tuple = Tuple::decode(&buf[..len])?;
+                    buf.advance(len);
+                    answer_writes.push((relation, tuple));
+                }
+                CoordEvent::MatchCommitted {
+                    qids,
+                    answer_writes,
+                }
+            }
+            4 => CoordEvent::Watermark {
+                qid: QueryId(get_u64(buf)?),
+                seq: get_u64(buf)?,
+            },
+            t => {
+                return Err(StorageError::WalCorrupt(format!(
+                    "unknown coordination event tag {t}"
+                )))
+            }
+        };
+        if buf.has_remaining() {
+            return Err(StorageError::WalCorrupt(
+                "trailing bytes in coordination event".into(),
+            ));
+        }
+        Ok(event)
+    }
+}
+
+/// A durable sink for coordination events — the group-commit handle
+/// the coordinators log through. Implemented by
+/// [`youtopia_storage::Database`], which appends events as WAL
+/// coordination frames (one sync per call); a database without a WAL
+/// accepts and drops them, so non-durable deployments pay nothing.
+pub trait CoordinationLog {
+    /// Durably appends one event.
+    fn log_event(&self, event: &CoordEvent) -> StorageResult<()>;
+
+    /// Durably appends a batch of events with a single sync (the
+    /// group-commit fast path for batch submission).
+    fn log_events(&self, events: &[CoordEvent]) -> StorageResult<()>;
+}
+
+impl CoordinationLog for Database {
+    fn log_event(&self, event: &CoordEvent) -> StorageResult<()> {
+        self.append_coordination(&event.encode())
+    }
+
+    fn log_events(&self, events: &[CoordEvent]) -> StorageResult<()> {
+        let payloads: Vec<Vec<u8>> = events.iter().map(CoordEvent::encode).collect();
+        self.append_coordination_batch(&payloads)
+    }
+}
+
+/// The digest of a replayed coordination log: the registrations that
+/// survive (were never matched, cancelled or expired), plus the
+/// id/sequence watermarks to restart allocation from.
+pub(crate) struct ReplayedLog {
+    /// Surviving registrations `(qid, owner, sql, seq)` in submission
+    /// (seq) order.
+    pub survivors: Vec<(QueryId, String, String, u64)>,
+    /// Highest query id seen anywhere in the log (0 when empty).
+    pub max_qid: u64,
+    /// Highest sequence number seen (0 when empty).
+    pub max_seq: u64,
+    /// Total events decoded.
+    pub events: usize,
+}
+
+/// Folds a log's coordination payloads into the surviving pending set.
+/// Order-insensitive with respect to removal events: a
+/// `MatchCommitted`/`QueryCancelled`/`QueryExpired` retires its qid
+/// whether it appears before or after the registration frame (batch
+/// group-commit may reorder registrations relative to another bucket's
+/// match commits).
+pub(crate) fn replay_coordination_frames(frames: &[Vec<u8>]) -> CoreResult<ReplayedLog> {
+    use std::collections::{BTreeMap, HashSet};
+    let mut registered: BTreeMap<u64, (String, String, u64)> = BTreeMap::new();
+    let mut removed: HashSet<u64> = HashSet::new();
+    let mut max_qid = 0u64;
+    let mut max_seq = 0u64;
+    let mut events = 0usize;
+    for payload in frames {
+        let event = CoordEvent::decode(payload).map_err(CoreError::Storage)?;
+        events += 1;
+        match event {
+            CoordEvent::QueryRegistered {
+                owner,
+                sql,
+                qid,
+                seq,
+            } => {
+                max_qid = max_qid.max(qid.0);
+                max_seq = max_seq.max(seq);
+                registered.insert(qid.0, (owner, sql, seq));
+            }
+            CoordEvent::QueryCancelled { qid } | CoordEvent::QueryExpired { qid } => {
+                max_qid = max_qid.max(qid.0);
+                removed.insert(qid.0);
+            }
+            CoordEvent::MatchCommitted { qids, .. } => {
+                for qid in qids {
+                    max_qid = max_qid.max(qid.0);
+                    removed.insert(qid.0);
+                }
+            }
+            CoordEvent::Watermark { qid, seq } => {
+                max_qid = max_qid.max(qid.0);
+                max_seq = max_seq.max(seq);
+            }
+        }
+    }
+    let mut survivors: Vec<(QueryId, String, String, u64)> = registered
+        .into_iter()
+        .filter(|(qid, _)| !removed.contains(qid))
+        .map(|(qid, (owner, sql, seq))| (QueryId(qid), owner, sql, seq))
+        .collect();
+    survivors.sort_by_key(|(_, _, _, seq)| *seq);
+    Ok(ReplayedLog {
+        survivors,
+        max_qid,
+        max_seq,
+        events,
+    })
+}
 
 /// A borrowed apply hook: side effects executed inside the match's
 /// storage transaction. The serial coordinator stores a `Box`, the
@@ -240,6 +542,15 @@ impl Engine {
             if let Some(hook) = hook {
                 hook(&mut txn, &m)?;
             }
+            // the match commit rides the same transaction as its answer
+            // writes: both reach the WAL atomically, or neither does
+            txn.log_coordination(
+                CoordEvent::MatchCommitted {
+                    qids: m.members.clone(),
+                    answer_writes: m.all_answers().cloned().collect(),
+                }
+                .encode(),
+            )?;
             txn.commit()
         })();
 
@@ -369,4 +680,147 @@ pub(crate) fn ensure_answer_table(
         })
         .collect();
     txn.create_table(relation, Schema::new(columns))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use youtopia_storage::Value;
+
+    fn sample_events() -> Vec<CoordEvent> {
+        vec![
+            CoordEvent::QueryRegistered {
+                owner: "kramer".into(),
+                sql: "SELECT 'K', fno INTO ANSWER R CHOOSE 1".into(),
+                qid: QueryId(7),
+                seq: 3,
+            },
+            CoordEvent::QueryCancelled { qid: QueryId(7) },
+            CoordEvent::QueryExpired { qid: QueryId(9) },
+            CoordEvent::MatchCommitted {
+                qids: vec![QueryId(1), QueryId(2)],
+                answer_writes: vec![
+                    (
+                        "Reservation".into(),
+                        Tuple::new(vec![Value::from("Kramer"), Value::Int(122)]),
+                    ),
+                    (
+                        "Reservation".into(),
+                        Tuple::new(vec![Value::from("Jerry"), Value::Int(122)]),
+                    ),
+                ],
+            },
+            CoordEvent::Watermark {
+                qid: QueryId(42),
+                seq: 17,
+            },
+        ]
+    }
+
+    #[test]
+    fn coord_events_roundtrip() {
+        for event in sample_events() {
+            let decoded = CoordEvent::decode(&event.encode()).unwrap();
+            assert_eq!(decoded, event);
+        }
+    }
+
+    #[test]
+    fn coord_event_decode_rejects_garbage() {
+        assert!(CoordEvent::decode(&[]).is_err());
+        assert!(CoordEvent::decode(&[250]).is_err());
+        // truncations of every valid event fail cleanly, never panic
+        for event in sample_events() {
+            let bytes = event.encode();
+            for cut in 0..bytes.len() {
+                assert!(
+                    CoordEvent::decode(&bytes[..cut]).is_err(),
+                    "truncated event decoded"
+                );
+            }
+            // trailing garbage is rejected too
+            let mut extended = bytes.clone();
+            extended.push(0);
+            assert!(CoordEvent::decode(&extended).is_err());
+        }
+    }
+
+    #[test]
+    fn replay_folds_out_matched_cancelled_expired() {
+        let reg = |qid: u64, seq: u64| CoordEvent::QueryRegistered {
+            owner: format!("u{qid}"),
+            sql: format!("q{qid}"),
+            qid: QueryId(qid),
+            seq,
+        };
+        let frames: Vec<Vec<u8>> = [
+            reg(1, 1),
+            reg(2, 2),
+            reg(3, 3),
+            reg(4, 4),
+            CoordEvent::MatchCommitted {
+                qids: vec![QueryId(1), QueryId(3)],
+                answer_writes: Vec::new(),
+            },
+            CoordEvent::QueryCancelled { qid: QueryId(2) },
+            reg(5, 5),
+            CoordEvent::QueryExpired { qid: QueryId(4) },
+        ]
+        .iter()
+        .map(CoordEvent::encode)
+        .collect();
+        let replayed = replay_coordination_frames(&frames).unwrap();
+        assert_eq!(replayed.events, 8);
+        assert_eq!(replayed.max_qid, 5);
+        assert_eq!(replayed.max_seq, 5);
+        let ids: Vec<u64> = replayed.survivors.iter().map(|(q, ..)| q.0).collect();
+        assert_eq!(ids, vec![5]);
+    }
+
+    #[test]
+    fn watermark_raises_allocation_floors_without_registering() {
+        let frames: Vec<Vec<u8>> = [
+            CoordEvent::Watermark {
+                qid: QueryId(90),
+                seq: 70,
+            },
+            CoordEvent::QueryRegistered {
+                owner: "a".into(),
+                sql: "q".into(),
+                qid: QueryId(3),
+                seq: 2,
+            },
+        ]
+        .iter()
+        .map(CoordEvent::encode)
+        .collect();
+        let replayed = replay_coordination_frames(&frames).unwrap();
+        assert_eq!(replayed.max_qid, 90);
+        assert_eq!(replayed.max_seq, 70);
+        assert_eq!(replayed.survivors.len(), 1);
+    }
+
+    #[test]
+    fn replay_is_order_insensitive_for_removals() {
+        // a batch group-commit can reorder registrations relative to
+        // another bucket's match commit: removal-before-registration
+        // must still retire the query
+        let frames: Vec<Vec<u8>> = [
+            CoordEvent::MatchCommitted {
+                qids: vec![QueryId(2)],
+                answer_writes: Vec::new(),
+            },
+            CoordEvent::QueryRegistered {
+                owner: "a".into(),
+                sql: "q".into(),
+                qid: QueryId(2),
+                seq: 1,
+            },
+        ]
+        .iter()
+        .map(CoordEvent::encode)
+        .collect();
+        let replayed = replay_coordination_frames(&frames).unwrap();
+        assert!(replayed.survivors.is_empty());
+    }
 }

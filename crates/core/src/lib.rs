@@ -55,7 +55,7 @@
 
 pub mod compile;
 pub mod coordinator;
-mod engine;
+pub mod engine;
 pub mod error;
 pub mod ir;
 pub mod matcher;
@@ -67,8 +67,9 @@ pub mod unify;
 pub use compile::{compile, compile_sql};
 pub use coordinator::{
     ApplyHook, Coordinator, CoordinatorConfig, MatchEdge, MatchGraph, MatchNotification,
-    MatcherKind, PendingInfo, Submission, SystemStats, Ticket,
+    MatcherKind, PendingInfo, RecoveryReport, Submission, SystemStats, Ticket,
 };
+pub use engine::{CoordEvent, CoordinationLog};
 pub use error::{CoreError, CoreResult};
 pub use ir::{AnswerConstraint, Atom, EntangledQuery, Filter, Membership, QueryId, Term, Var};
 pub use matcher::{GroupMatch, MatchConfig, MatchStats};

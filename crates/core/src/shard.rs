@@ -71,21 +71,26 @@
 //! atomic storage transaction.
 
 use std::collections::{BTreeSet, HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crossbeam::channel::unbounded;
+use parking_lot::{Mutex, MutexGuard};
 
-use youtopia_storage::{Database, StorageResult, Transaction, Tuple};
+use youtopia_storage::{Database, StorageResult, Transaction, Tuple, Wal};
 
 use crate::compile::compile_sql;
 use crate::coordinator::{
-    CoordinatorConfig, MatchGraph, MatchNotification, PendingInfo, Submission, SystemStats,
+    CoordinatorConfig, MatchGraph, MatchNotification, PendingInfo, RecoveryReport, Submission,
+    SystemStats, Ticket,
 };
-use crate::engine::{match_graph_of, Engine, ShardState};
+use crate::engine::{
+    match_graph_of, replay_coordination_frames, CoordEvent, CoordinationLog, Engine, ShardState,
+};
 use crate::error::{CoreError, CoreResult};
 use crate::ir::{EntangledQuery, QueryId};
-use crate::matcher::GroupMatch;
+use crate::matcher::{GroupMatch, MatchStats};
 use crate::registry::Pending;
 use crate::safety::check_safety;
 
@@ -292,16 +297,133 @@ impl Router {
 }
 
 // ------------------------------------------------------------------ //
+// Per-shard monitoring counters (lock-free read paths)
+// ------------------------------------------------------------------ //
+
+/// A lock-free mirror of one shard's monitoring counters, refreshed
+/// with relaxed stores every time the shard lock is released (see
+/// [`ShardGuard`]). Monitoring reads ([`ShardedCoordinator::stats`],
+/// [`ShardedCoordinator::pending_count`],
+/// [`ShardedCoordinator::pending_per_shard`]) load these atomics and
+/// never contend with draining; [`ShardedCoordinator::pending_snapshot`]
+/// remains the consistent (locking) slow path.
+#[derive(Default)]
+struct ShardMonitor {
+    pending: AtomicUsize,
+    submitted: AtomicU64,
+    answered: AtomicU64,
+    groups_matched: AtomicU64,
+    match_attempts: AtomicU64,
+    matching_nanos: AtomicU64,
+    candidates_considered: AtomicU64,
+    committed_considered: AtomicU64,
+    unify_attempts: AtomicU64,
+    unify_successes: AtomicU64,
+    groundings_attempted: AtomicU64,
+    rows_scanned: AtomicU64,
+    nodes_expanded: AtomicU64,
+    subsets_tested: AtomicU64,
+}
+
+impl ShardMonitor {
+    fn publish(&self, state: &ShardState) {
+        self.pending.store(state.registry.len(), Ordering::Relaxed);
+        let s = &state.stats;
+        self.submitted.store(s.submitted, Ordering::Relaxed);
+        self.answered.store(s.answered, Ordering::Relaxed);
+        self.groups_matched
+            .store(s.groups_matched, Ordering::Relaxed);
+        self.match_attempts
+            .store(s.match_attempts, Ordering::Relaxed);
+        self.matching_nanos
+            .store(s.matching_nanos as u64, Ordering::Relaxed);
+        let w = &s.match_work;
+        self.candidates_considered
+            .store(w.candidates_considered, Ordering::Relaxed);
+        self.committed_considered
+            .store(w.committed_considered, Ordering::Relaxed);
+        self.unify_attempts
+            .store(w.unify_attempts, Ordering::Relaxed);
+        self.unify_successes
+            .store(w.unify_successes, Ordering::Relaxed);
+        self.groundings_attempted
+            .store(w.groundings_attempted, Ordering::Relaxed);
+        self.rows_scanned.store(w.rows_scanned, Ordering::Relaxed);
+        self.nodes_expanded
+            .store(w.nodes_expanded, Ordering::Relaxed);
+        self.subsets_tested
+            .store(w.subsets_tested, Ordering::Relaxed);
+    }
+
+    fn stats(&self) -> SystemStats {
+        SystemStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected_unsafe: 0, // tracked globally, not per shard
+            answered: self.answered.load(Ordering::Relaxed),
+            groups_matched: self.groups_matched.load(Ordering::Relaxed),
+            match_attempts: self.match_attempts.load(Ordering::Relaxed),
+            matching_nanos: self.matching_nanos.load(Ordering::Relaxed) as u128,
+            match_work: MatchStats {
+                candidates_considered: self.candidates_considered.load(Ordering::Relaxed),
+                committed_considered: self.committed_considered.load(Ordering::Relaxed),
+                unify_attempts: self.unify_attempts.load(Ordering::Relaxed),
+                unify_successes: self.unify_successes.load(Ordering::Relaxed),
+                groundings_attempted: self.groundings_attempted.load(Ordering::Relaxed),
+                rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
+                nodes_expanded: self.nodes_expanded.load(Ordering::Relaxed),
+                subsets_tested: self.subsets_tested.load(Ordering::Relaxed),
+            },
+        }
+    }
+}
+
+/// One shard: its mutable state behind the shard lock, plus the
+/// lock-free monitor mirror.
+struct ShardSlot {
+    state: Mutex<ShardState>,
+    monitor: ShardMonitor,
+}
+
+/// A shard-lock guard that republishes the shard's monitor counters
+/// when dropped, so the lock-free read paths stay fresh no matter
+/// which code path mutated the shard.
+struct ShardGuard<'a> {
+    state: MutexGuard<'a, ShardState>,
+    monitor: &'a ShardMonitor,
+}
+
+impl Deref for ShardGuard<'_> {
+    type Target = ShardState;
+    fn deref(&self) -> &ShardState {
+        &self.state
+    }
+}
+
+impl DerefMut for ShardGuard<'_> {
+    fn deref_mut(&mut self) -> &mut ShardState {
+        &mut self.state
+    }
+}
+
+impl Drop for ShardGuard<'_> {
+    fn drop(&mut self) {
+        self.monitor.publish(&self.state);
+    }
+}
+
+// ------------------------------------------------------------------ //
 // The sharded coordinator
 // ------------------------------------------------------------------ //
 
 /// A coordinator that partitions the pending registry into shards keyed
 /// by answer-relation signature and drains submissions per shard — see
 /// the module docs for the routing rule and locking protocol. The
-/// public surface mirrors [`crate::Coordinator`] plus the batch path.
+/// public surface mirrors [`crate::Coordinator`] plus the batch path,
+/// durable recovery ([`ShardedCoordinator::recover`]) and waiter
+/// reattachment ([`ShardedCoordinator::reattach`]).
 pub struct ShardedCoordinator {
     engine: Engine,
-    shards: Vec<Mutex<ShardState>>,
+    shards: Vec<ShardSlot>,
     router: Mutex<Router>,
     next_id: AtomicU64,
     seq: AtomicU64,
@@ -323,11 +445,12 @@ impl ShardedCoordinator {
         };
         ShardedCoordinator {
             shards: (0..shards)
-                .map(|i| {
-                    Mutex::new(ShardState::new(
+                .map(|i| ShardSlot {
+                    state: Mutex::new(ShardState::new(
                         config.base.use_const_index,
                         config.base.seed ^ i as u64,
-                    ))
+                    )),
+                    monitor: ShardMonitor::default(),
                 })
                 .collect(),
             router: Mutex::new(Router::new(shards)),
@@ -363,6 +486,16 @@ impl ShardedCoordinator {
         self.shards.len()
     }
 
+    /// Locks one shard; the returned guard republishes the shard's
+    /// monitor counters on drop.
+    fn shard_lock(&self, shard: usize) -> ShardGuard<'_> {
+        let slot = &self.shards[shard];
+        ShardGuard {
+            state: slot.state.lock(),
+            monitor: &slot.monitor,
+        }
+    }
+
     /// Registers the application side-effect hook, shared by all
     /// shards and run inside each match's storage transaction.
     pub fn set_apply_hook(&self, hook: SharedApplyHook) {
@@ -378,6 +511,11 @@ impl ShardedCoordinator {
     /// Submits one compiled entangled query: routes it to its shard and
     /// runs arrival-driven matching there. Submissions routed to
     /// different shards proceed concurrently.
+    ///
+    /// Log-before-ack: on a durable (WAL-backed) database the
+    /// registration is committed to the coordination log — under the
+    /// shard lock, so a concurrent checkpoint cannot lose it — before
+    /// the arrival is processed or acknowledged.
     pub fn submit(&self, owner: &str, query: EntangledQuery) -> CoreResult<Submission> {
         if let Err(e) = check_safety(&query, self.engine.config.safety) {
             self.rejected_unsafe.fetch_add(1, Ordering::Relaxed);
@@ -386,6 +524,12 @@ impl ShardedCoordinator {
         let relations = query.answer_relations();
         let qid = QueryId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let event = CoordEvent::QueryRegistered {
+            owner: owner.to_string(),
+            sql: query.sql.clone(),
+            qid,
+            seq,
+        };
         let pending = Pending {
             id: qid,
             owner: owner.to_string(),
@@ -403,11 +547,20 @@ impl ShardedCoordinator {
         self.rematch_moved(moves, &hook);
 
         let (result, answered) = {
-            let mut state = self.shards[shard].lock();
-            let result = self
-                .engine
-                .process_arrival(&mut state, pending, hook_ref(&hook));
-            (result, std::mem::take(&mut state.answered_log))
+            let mut state = self.shard_lock(shard);
+            match self.engine.db.log_event(&event) {
+                Ok(()) => {
+                    let result = self
+                        .engine
+                        .process_arrival(&mut state, pending, hook_ref(&hook));
+                    (result, std::mem::take(&mut state.answered_log))
+                }
+                Err(e) => {
+                    // never registered: retire the routed-but-unlogged id
+                    // so the router does not leak its membership
+                    (Err(CoreError::Storage(e)), vec![qid])
+                }
+            }
         };
         self.retire(answered);
         // heal on Err as well: an apply failure reinstates the query as
@@ -577,19 +730,44 @@ impl ShardedCoordinator {
             .collect()
     }
 
-    /// Drains one shard's bucket under its lock: insert → match →
-    /// cascade per arrival, in bucket (= submission) order. Returns the
-    /// per-request outcomes, the answered-query log, and the ids that
-    /// may still be pending afterwards (`Pending` outcomes, plus `Err`
-    /// outcomes — an apply failure reinstates the query), which the
-    /// caller must placement-heal.
+    /// Drains one shard's bucket under its lock: group-commits the
+    /// bucket's registrations to the coordination log (one sync for the
+    /// whole bucket), then insert → match → cascade per arrival, in
+    /// bucket (= submission) order. Returns the per-request outcomes,
+    /// the answered-query log, and the ids that may still be pending
+    /// afterwards (`Pending` outcomes, plus `Err` outcomes — an apply
+    /// failure reinstates the query), which the caller must
+    /// placement-heal.
     fn drain_shard(
         &self,
         shard: usize,
         bucket: Bucket,
         hook: &Option<SharedApplyHook>,
     ) -> (Vec<(usize, BatchOutcome)>, Vec<QueryId>, Vec<QueryId>) {
-        let mut state = self.shards[shard].lock();
+        let mut state = self.shard_lock(shard);
+        // log-before-ack, batch flavor: every registration of the
+        // bucket is durable before any of its arrivals is processed
+        let events: Vec<CoordEvent> = bucket
+            .iter()
+            .map(|(_, p)| CoordEvent::QueryRegistered {
+                owner: p.owner.clone(),
+                sql: p.query.sql.clone(),
+                qid: p.id,
+                seq: p.seq,
+            })
+            .collect();
+        if let Err(e) = self.engine.db.log_events(&events) {
+            // none were registered: fail every slot and retire the
+            // routed-but-unlogged ids from the router (via the
+            // answered log, whose entries the caller purges)
+            let mut results = Vec::with_capacity(bucket.len());
+            let mut unregistered = Vec::with_capacity(bucket.len());
+            for (idx, pending) in bucket {
+                unregistered.push(pending.id);
+                results.push((idx, Err(CoreError::Storage(e.clone()))));
+            }
+            return (results, unregistered, Vec::new());
+        }
         let mut results = Vec::with_capacity(bucket.len());
         let mut maybe_pending = Vec::new();
         for (idx, pending) in bucket {
@@ -625,8 +803,8 @@ impl ShardedCoordinator {
                 continue;
             }
             let (lo, hi) = (m.from.min(m.to), m.from.max(m.to));
-            let mut lo_guard = self.shards[lo].lock();
-            let mut hi_guard = self.shards[hi].lock();
+            let mut lo_guard = self.shard_lock(lo);
+            let mut hi_guard = self.shard_lock(hi);
             let (src, dst) = if m.from == lo {
                 (&mut *lo_guard, &mut *hi_guard)
             } else {
@@ -657,7 +835,7 @@ impl ShardedCoordinator {
     fn rematch_moved(&self, moves: HashMap<usize, Vec<QueryId>>, hook: &Option<SharedApplyHook>) {
         let mut answered = Vec::new();
         for (shard, qids) in moves {
-            let mut state = self.shards[shard].lock();
+            let mut state = self.shard_lock(shard);
             for qid in qids {
                 if state.registry.get(qid).is_none() {
                     continue; // answered earlier in this loop or moved on
@@ -720,27 +898,96 @@ impl ShardedCoordinator {
         }
     }
 
-    /// Cancels a pending query.
+    /// Cancels a pending query. The cancellation is logged before the
+    /// entry disappears from the registry (log-before-ack).
     pub fn cancel(&self, qid: QueryId) -> CoreResult<()> {
         let mut router = self.router.lock();
         let Some(shard) = router.shard_of_query(qid) else {
             return Err(CoreError::UnknownQuery(qid.0));
         };
-        let removed = {
-            let mut state = self.shards[shard].lock();
+        {
+            let mut state = self.shard_lock(shard);
+            if state.registry.get(qid).is_none() {
+                drop(state);
+                return Err(CoreError::UnknownQuery(qid.0));
+            }
+            self.engine
+                .db
+                .log_event(&CoordEvent::QueryCancelled { qid })
+                .map_err(CoreError::Storage)?;
             state.waiters.remove(&qid);
-            state.registry.remove(qid)
-        };
+            state.registry.remove(qid);
+        }
         router.purge(qid);
-        removed.map(|_| ()).ok_or(CoreError::UnknownQuery(qid.0))
+        Ok(())
     }
 
     /// Cancels every pending query belonging to `owner`. Returns how
-    /// many were withdrawn.
+    /// many were withdrawn. Log-before-ack holds per shard: each
+    /// shard's cancellations group-commit before that shard's removals
+    /// happen, and a shard whose log write fails is skipped entirely —
+    /// so the returned count may be partial under log failure, but
+    /// never includes an unlogged removal.
     pub fn cancel_owner(&self, owner: &str) -> usize {
+        self.sweep(
+            |p| p.owner == owner,
+            |qid| CoordEvent::QueryCancelled { qid },
+        )
+        .len()
+    }
+
+    /// Expires pending queries whose submission sequence number is
+    /// older than `min_seq` (deadline sweeps; pairs with
+    /// [`ShardedCoordinator::current_seq`]). Returns the expired ids;
+    /// like [`ShardedCoordinator::cancel_owner`], a shard whose log
+    /// write fails is skipped (partial result, never an unlogged
+    /// removal).
+    pub fn expire_before(&self, min_seq: u64) -> Vec<QueryId> {
+        self.sweep(|p| p.seq < min_seq, |qid| CoordEvent::QueryExpired { qid })
+    }
+
+    /// Removes every pending query matching `select`, logging `event`
+    /// for each before it is removed (per shard: one group commit, then
+    /// the removals). Returns the removed ids.
+    fn sweep(
+        &self,
+        select: impl Fn(&Pending) -> bool,
+        event: impl Fn(QueryId) -> CoordEvent,
+    ) -> Vec<QueryId> {
         let mut victims = Vec::new();
-        for shard in &self.shards {
-            let mut state = shard.lock();
+        for shard in 0..self.shards.len() {
+            let mut state = self.shard_lock(shard);
+            let ids: Vec<QueryId> = state
+                .registry
+                .iter()
+                .filter(|p| select(p))
+                .map(|p| p.id)
+                .collect();
+            if ids.is_empty() {
+                continue;
+            }
+            let events: Vec<CoordEvent> = ids.iter().map(|&qid| event(qid)).collect();
+            if self.engine.db.log_events(&events).is_err() {
+                continue; // log-before-ack: unlogged removals don't happen
+            }
+            for qid in ids {
+                state.registry.remove(qid);
+                state.waiters.remove(&qid);
+                victims.push(qid);
+            }
+        }
+        self.retire(victims.clone());
+        victims
+    }
+
+    /// Re-issues tickets for `owner`'s still-pending queries after a
+    /// reconnect: waiter channels do not survive a crash (or a dropped
+    /// ticket), but the pending queries themselves do. Any previous
+    /// ticket for the same query stops receiving notifications.
+    pub fn reattach(&self, owner: &str) -> Vec<Ticket> {
+        let mut tickets = Vec::new();
+        for shard in 0..self.shards.len() {
+            let mut state = self.shard_lock(shard);
             let ids: Vec<QueryId> = state
                 .registry
                 .iter()
@@ -748,14 +995,16 @@ impl ShardedCoordinator {
                 .map(|p| p.id)
                 .collect();
             for qid in ids {
-                state.registry.remove(qid);
-                state.waiters.remove(&qid);
-                victims.push(qid);
+                let (tx, rx) = unbounded();
+                state.waiters.insert(qid, tx);
+                tickets.push(Ticket {
+                    id: qid,
+                    receiver: rx,
+                });
             }
         }
-        let count = victims.len();
-        self.retire(victims);
-        count
+        tickets.sort_by_key(|t| t.id.0);
+        tickets
     }
 
     /// Retries matching for every pending query on every shard (useful
@@ -764,8 +1013,8 @@ impl ShardedCoordinator {
         let hook = self.apply_hook.lock().clone();
         let mut notifications = Vec::new();
         let mut answered = Vec::new();
-        for shard in &self.shards {
-            let mut state = shard.lock();
+        for shard in 0..self.shards.len() {
+            let mut state = self.shard_lock(shard);
             notifications.extend(self.engine.retry_all(&mut state, hook_ref(&hook))?);
             answered.append(&mut state.answered_log);
         }
@@ -773,24 +1022,32 @@ impl ShardedCoordinator {
         Ok(notifications)
     }
 
-    /// Total number of pending queries across shards.
+    /// Total number of pending queries across shards. Lock-free: sums
+    /// the per-shard monitor atomics, so monitoring never contends with
+    /// draining (may trail an in-flight drain by one publish).
     pub fn pending_count(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().registry.len()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.monitor.pending.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Pending queries per shard (diagnostics / load inspection).
+    /// Lock-free, like [`ShardedCoordinator::pending_count`].
     pub fn pending_per_shard(&self) -> Vec<usize> {
         self.shards
             .iter()
-            .map(|s| s.lock().registry.len())
+            .map(|s| s.monitor.pending.load(Ordering::Relaxed))
             .collect()
     }
 
     /// Merged statistics across shards (plus global safety rejections).
+    /// Lock-free: reads the per-shard monitor atomics; counters may
+    /// trail an in-flight drain by one publish.
     pub fn stats(&self) -> SystemStats {
         let mut total = SystemStats::default();
         for shard in &self.shards {
-            total.merge(&shard.lock().stats);
+            total.merge(&shard.monitor.stats());
         }
         total.rejected_unsafe += self.rejected_unsafe.load(Ordering::Relaxed);
         total
@@ -807,7 +1064,8 @@ impl ShardedCoordinator {
             .shards
             .iter()
             .flat_map(|s| {
-                s.lock()
+                s.state
+                    .lock()
                     .registry
                     .iter()
                     .map(|p| PendingInfo {
@@ -830,7 +1088,7 @@ impl ShardedCoordinator {
     pub fn match_graph(&self) -> MatchGraph {
         let mut graph = MatchGraph::default();
         for shard in &self.shards {
-            let part = match_graph_of(&shard.lock().registry);
+            let part = match_graph_of(&shard.state.lock().registry);
             graph.edges.extend(part.edges);
             graph.dangling.extend(part.dangling);
         }
@@ -848,6 +1106,145 @@ impl ShardedCoordinator {
         self.router.lock().shard_of_relation(relation)
     }
 
+    /// Rebuilds a sharded coordinator (database **and** coordination
+    /// state) from a WAL:
+    ///
+    /// 1. storage ops replay into a fresh database (answer relations
+    ///    included);
+    /// 2. the coordination frames fold into the surviving pending set
+    ///    (`registered − (matched ∪ cancelled ∪ expired)`);
+    /// 3. each survivor's SQL is re-compiled, routed through a rebuilt
+    ///    union-find router, and re-registered on its shard — with the
+    ///    same `seed ^ shard_id` RNG discipline as a fresh coordinator,
+    ///    so subsequent `CHOOSE` behavior is reproducible;
+    /// 4. a matching sweep re-runs arrivals that were logged but whose
+    ///    match had not committed before the crash (those matches are
+    ///    logged now, like any other).
+    ///
+    /// Waiter channels do not survive; reconnecting clients obtain
+    /// fresh tickets through [`ShardedCoordinator::reattach`]. The
+    /// rebuilt coordinator keeps logging to the same WAL.
+    ///
+    /// The apply hook is `None` during the recovery sweep; use
+    /// [`ShardedCoordinator::recover_with_hook`] when matches must run
+    /// application side effects.
+    pub fn recover(
+        wal: Wal,
+        config: ShardedConfig,
+    ) -> CoreResult<(ShardedCoordinator, RecoveryReport)> {
+        Self::recover_with_hook(wal, config, None)
+    }
+
+    /// [`ShardedCoordinator::recover`] with an apply hook installed
+    /// *before* the post-restore matching sweep runs.
+    pub fn recover_with_hook(
+        wal: Wal,
+        config: ShardedConfig,
+        hook: Option<SharedApplyHook>,
+    ) -> CoreResult<(ShardedCoordinator, RecoveryReport)> {
+        let (db, frames) = Database::recover_full(wal).map_err(CoreError::Storage)?;
+        let replayed = replay_coordination_frames(&frames)?;
+        let co = ShardedCoordinator::with_config(db, config);
+        if let Some(hook) = hook {
+            co.set_apply_hook(hook);
+        }
+        co.next_id.store(replayed.max_qid + 1, Ordering::Relaxed);
+        co.seq.store(replayed.max_seq, Ordering::Relaxed);
+        let mut report = RecoveryReport {
+            events_replayed: replayed.events,
+            restored_pending: replayed.survivors.len(),
+            rematched_groups: 0,
+        };
+
+        // re-compile outside any lock; a failure means the log (or the
+        // compiler) changed underneath us, which recovery must surface
+        let mut restored: Vec<Pending> = Vec::with_capacity(replayed.survivors.len());
+        for (qid, owner, sql, seq) in replayed.survivors {
+            let query = compile_sql(&sql)?;
+            restored.push(Pending {
+                id: qid,
+                owner,
+                query: query.namespaced(qid),
+                seq,
+            });
+        }
+
+        // rebuild the router in submission order, then place every
+        // survivor on its final shard. Routing first and inserting
+        // after means intra-rebuild component merges never migrate
+        // anything (the registries are still empty), exactly like the
+        // batch path's route-then-bucket discipline.
+        {
+            let mut router = co.router.lock();
+            for p in &restored {
+                let relations = p.query.answer_relations();
+                let _ = router.route(p.id, &relations);
+            }
+            let mut by_shard: HashMap<usize, Vec<Pending>> = HashMap::new();
+            for p in restored {
+                let shard = router
+                    .shard_of_query(p.id)
+                    .expect("survivor was routed in this pass");
+                by_shard.entry(shard).or_default().push(p);
+            }
+            for (shard, entries) in by_shard {
+                let mut state = co.shard_lock(shard);
+                for p in entries {
+                    state.stats.submitted += 1;
+                    state.registry.insert(p);
+                }
+            }
+        }
+
+        // re-run matching for arrivals that were logged but not yet
+        // matched; any match that fires commits and logs normally
+        co.retry_all()?;
+        report.rematched_groups = co.stats().groups_matched;
+        Ok((co, report))
+    }
+
+    /// Compacts the WAL under a full quiesce: the storage snapshot plus
+    /// one registration frame per *surviving* pending query replace the
+    /// log's history, so matched, cancelled and expired registrations
+    /// stop occupying log space. Holding the router lock and every
+    /// shard lock (in index order) excludes every mutation path —
+    /// including the log appends they perform — so the snapshot is
+    /// consistent with the rewritten log.
+    pub fn checkpoint(&self) -> CoreResult<()> {
+        let _router = self.router.lock();
+        let guards: Vec<ShardGuard<'_>> =
+            (0..self.shards.len()).map(|i| self.shard_lock(i)).collect();
+        let mut events: Vec<(u64, CoordEvent)> = Vec::new();
+        for guard in &guards {
+            for p in guard.registry.iter() {
+                events.push((
+                    p.seq,
+                    CoordEvent::QueryRegistered {
+                        owner: p.owner.clone(),
+                        sql: p.query.sql.clone(),
+                        qid: p.id,
+                        seq: p.seq,
+                    },
+                ));
+            }
+        }
+        events.sort_by_key(|(seq, _)| *seq);
+        // the matched/cancelled history being compacted away carried
+        // the allocation high-water mark; persist it explicitly so a
+        // post-checkpoint recovery never re-issues a handed-out id or
+        // regresses the sequence clock
+        let watermark = CoordEvent::Watermark {
+            qid: QueryId(self.next_id.load(Ordering::Relaxed).saturating_sub(1)),
+            seq: self.seq.load(Ordering::Relaxed),
+        };
+        let mut payloads: Vec<Vec<u8>> = vec![watermark.encode()];
+        payloads.extend(events.iter().map(|(_, e)| e.encode()));
+        self.engine
+            .db
+            .checkpoint_with_coordination(&payloads)
+            .map_err(CoreError::Storage)
+    }
+
     /// Verifies the routing invariants at a quiescent point, returning
     /// a description of the first violation: (a) every pending query
     /// lives on the shard its relation component routes to, (b) a
@@ -860,7 +1257,7 @@ impl ShardedCoordinator {
         // a shard lock
         let mut placements: Vec<(usize, QueryId, BTreeSet<String>)> = Vec::new();
         for (si, shard) in self.shards.iter().enumerate() {
-            let state = shard.lock();
+            let state = shard.state.lock();
             for p in state.registry.iter() {
                 placements.push((si, p.id, p.query.answer_relations()));
             }
@@ -1104,7 +1501,7 @@ mod tests {
         let probe_x = Atom::new("RelA", vec![Term::constant("X"), Term::var("f")]);
         let probe_stranger = Atom::new("RelA", vec![Term::constant("Z"), Term::var("f")]);
         {
-            let state = co.shards[shard_a].lock();
+            let state = co.shards[shard_a].state.lock();
             assert_eq!(state.registry.candidates_for(&probe_x).len(), 1);
             assert!(state.registry.candidates_for(&probe_stranger).is_empty());
         }
@@ -1122,7 +1519,7 @@ mod tests {
         // after the rebalance the index travelled with the entries:
         // the merged shard finds X's head, every other shard finds none
         for (i, shard) in co.shards.iter().enumerate() {
-            let state = shard.lock();
+            let state = shard.state.lock();
             let found = state.registry.candidates_for(&probe_x).len();
             if i == merged {
                 assert_eq!(
@@ -1138,7 +1535,7 @@ mod tests {
         // merged shard too
         co.cancel(xid).unwrap();
         {
-            let state = co.shards[merged].lock();
+            let state = co.shards[merged].state.lock();
             assert!(state.registry.candidates_for(&probe_x).is_empty());
         }
         co.check_routing_invariants().unwrap();
@@ -1227,6 +1624,237 @@ mod tests {
         assert_eq!(co.retry_all().unwrap().len(), 2);
         assert_eq!(co.pending_count(), 0);
         co.check_routing_invariants().unwrap();
+    }
+
+    fn flights_db_wal() -> Database {
+        let db = Database::with_wal(Wal::in_memory());
+        for sql in [
+            "CREATE TABLE Flights (fno INT PRIMARY KEY, dest STRING NOT NULL)",
+            "INSERT INTO Flights VALUES (122, 'Paris'), (123, 'Paris'), (134, 'Paris'), \
+             (136, 'Rome')",
+        ] {
+            run_sql(&db, sql).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn recover_restores_shards_router_and_completes_pairs() {
+        let db = flights_db_wal();
+        let co = ShardedCoordinator::new(db.clone());
+        // first halves on 4 distinct relations + one matched pair
+        for k in 0..4 {
+            co.submit_sql(
+                &format!("l{k}"),
+                &pair_sql_on(&format!("Res{k}"), &format!("L{k}"), &format!("R{k}")),
+            )
+            .unwrap();
+        }
+        co.submit_sql("m1", &pair_sql_on("Done", "M1", "M2"))
+            .unwrap();
+        co.submit_sql("m2", &pair_sql_on("Done", "M2", "M1"))
+            .unwrap();
+        let bytes = db.wal_bytes().unwrap();
+        drop(co); // kill
+
+        let (co2, report) =
+            ShardedCoordinator::recover(Wal::from_bytes(bytes), ShardedConfig::default()).unwrap();
+        assert_eq!(report.restored_pending, 4, "the matched pair is gone");
+        assert_eq!(co2.pending_count(), 4);
+        co2.check_routing_invariants().unwrap();
+        assert_eq!(co2.answers("Done").len(), 2, "pre-crash answers replayed");
+
+        // reattach before the partners arrive, then close every pair
+        let tickets: Vec<Ticket> = (0..4)
+            .flat_map(|k| co2.reattach(&format!("l{k}")))
+            .collect();
+        assert_eq!(tickets.len(), 4);
+        for k in 0..4 {
+            let s = co2
+                .submit_sql(
+                    &format!("r{k}"),
+                    &pair_sql_on(&format!("Res{k}"), &format!("R{k}"), &format!("L{k}")),
+                )
+                .unwrap();
+            assert!(matches!(s, Submission::Answered(_)), "pair {k} closes");
+        }
+        for t in tickets {
+            t.receiver.try_recv().expect("reattached waiter notified");
+        }
+        assert_eq!(co2.pending_count(), 0);
+        co2.check_routing_invariants().unwrap();
+    }
+
+    #[test]
+    fn recover_rematches_logged_but_unmatched_arrivals() {
+        // a log holding two matchable registrations whose match never
+        // committed (crash between the registration group-commit and
+        // the match apply): the recovery sweep completes it
+        let db = flights_db_wal();
+        for (qid, me, friend, seq) in [(1, "X", "Y", 1), (2, "Y", "X", 2)] {
+            db.append_coordination(
+                &CoordEvent::QueryRegistered {
+                    owner: me.to_lowercase(),
+                    sql: pair_sql_on("Res", me, friend),
+                    qid: QueryId(qid),
+                    seq,
+                }
+                .encode(),
+            )
+            .unwrap();
+        }
+        let bytes = db.wal_bytes().unwrap();
+        drop(db);
+
+        let (co, report) =
+            ShardedCoordinator::recover(Wal::from_bytes(bytes), ShardedConfig::default()).unwrap();
+        assert_eq!(report.restored_pending, 2);
+        assert_eq!(report.rematched_groups, 1);
+        assert_eq!(co.pending_count(), 0);
+        assert_eq!(co.answers("Res").len(), 2);
+        co.check_routing_invariants().unwrap();
+        // the recovery-sweep match was itself logged: recovering again
+        // finds nothing pending and the same answers
+        let bytes = co.db().wal_bytes().unwrap();
+        drop(co);
+        let (co2, report2) =
+            ShardedCoordinator::recover(Wal::from_bytes(bytes), ShardedConfig::default()).unwrap();
+        assert_eq!(report2.restored_pending, 0);
+        assert_eq!(co2.answers("Res").len(), 2);
+    }
+
+    #[test]
+    fn expire_before_sweeps_old_requests_across_shards() {
+        let co = ShardedCoordinator::new(flights_db());
+        co.submit_sql("a", &pair_sql_on("Res0", "A", "GhostA"))
+            .unwrap();
+        co.submit_sql("b", &pair_sql_on("Res1", "B", "GhostB"))
+            .unwrap();
+        let cutoff = co.current_seq();
+        co.submit_sql("c", &pair_sql_on("Res2", "C", "GhostC"))
+            .unwrap();
+        let expired = co.expire_before(cutoff);
+        assert_eq!(expired.len(), 1);
+        assert_eq!(co.pending_count(), 2);
+        assert_eq!(co.expire_before(u64::MAX).len(), 2);
+        assert_eq!(co.pending_count(), 0);
+        co.check_routing_invariants().unwrap();
+    }
+
+    #[test]
+    fn expirations_and_cancels_survive_recovery() {
+        let db = flights_db_wal();
+        let co = ShardedCoordinator::new(db.clone());
+        co.submit_sql("a", &pair_sql_on("Res0", "A", "GhostA"))
+            .unwrap();
+        let b = co
+            .submit_sql("b", &pair_sql_on("Res1", "B", "GhostB"))
+            .unwrap();
+        co.submit_sql("c", &pair_sql_on("Res2", "C", "GhostC"))
+            .unwrap();
+        co.cancel(b.id()).unwrap();
+        let expired = co.expire_before(2); // sweeps only "a" (seq 1)
+        assert_eq!(expired.len(), 1);
+        let bytes = db.wal_bytes().unwrap();
+        drop(co);
+        let (co2, _) =
+            ShardedCoordinator::recover(Wal::from_bytes(bytes), ShardedConfig::default()).unwrap();
+        let snap = co2.pending_snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].owner, "c");
+    }
+
+    #[test]
+    fn checkpoint_compacts_the_coordination_log() {
+        let db = flights_db_wal();
+        let co = ShardedCoordinator::new(db.clone());
+        // churn: 20 matched pairs plus 3 survivors
+        for p in 0..20 {
+            co.submit_sql("l", &pair_sql_on("Res", &format!("L{p}"), &format!("R{p}")))
+                .unwrap();
+            co.submit_sql("r", &pair_sql_on("Res", &format!("R{p}"), &format!("L{p}")))
+                .unwrap();
+        }
+        for k in 0..3 {
+            co.submit_sql(
+                &format!("s{k}"),
+                &pair_sql_on(&format!("Surv{k}"), &format!("S{k}"), "Ghost"),
+            )
+            .unwrap();
+        }
+        let before = db.wal_bytes().unwrap().len();
+        co.checkpoint().unwrap();
+        let after = db.wal_bytes().unwrap().len();
+        assert!(
+            after < before / 2,
+            "checkpoint must shrink the log: {before} -> {after}"
+        );
+        // recovery from the compacted log reproduces the state
+        let bytes = db.wal_bytes().unwrap();
+        drop(co);
+        let (co2, report) =
+            ShardedCoordinator::recover(Wal::from_bytes(bytes), ShardedConfig::default()).unwrap();
+        assert_eq!(report.restored_pending, 3);
+        assert_eq!(co2.pending_count(), 3);
+        assert_eq!(co2.answers("Res").len(), 40);
+        co2.check_routing_invariants().unwrap();
+    }
+
+    #[test]
+    fn checkpoint_preserves_the_id_and_seq_watermark() {
+        // the survivor is submitted FIRST, so the matched pair holds
+        // the highest qids/seqs — which the checkpoint compacts away.
+        // Recovery must still resume allocation above them.
+        let db = flights_db_wal();
+        let co = ShardedCoordinator::new(db.clone());
+        let survivor = co
+            .submit_sql("s", &pair_sql_on("Surv", "S", "Ghost"))
+            .unwrap();
+        co.submit_sql("m1", &pair_sql_on("Done", "M1", "M2"))
+            .unwrap();
+        co.submit_sql("m2", &pair_sql_on("Done", "M2", "M1"))
+            .unwrap(); // matches: qids 2,3 retired
+        let seq_before = co.current_seq();
+        co.checkpoint().unwrap();
+        let bytes = db.wal_bytes().unwrap();
+        drop(co);
+
+        let (co2, _) =
+            ShardedCoordinator::recover(Wal::from_bytes(bytes), ShardedConfig::default()).unwrap();
+        assert_eq!(
+            co2.current_seq(),
+            seq_before,
+            "sequence clock must not regress past handed-out values"
+        );
+        let next = co2
+            .submit_sql("n", &pair_sql_on("New", "N", "Ghost"))
+            .unwrap();
+        assert!(
+            next.id().0 > 3,
+            "fresh ids must not collide with pre-crash ids (got {})",
+            next.id().0
+        );
+        // the pre-crash client's handle still refers to its own query
+        co2.cancel(survivor.id()).unwrap();
+        assert_eq!(co2.pending_count(), 1);
+    }
+
+    #[test]
+    fn lock_free_monitors_track_state() {
+        let co = ShardedCoordinator::new(flights_db());
+        co.submit_sql("kramer", &pair_sql_on("Reservation", "Kramer", "Jerry"))
+            .unwrap();
+        assert_eq!(co.pending_count(), 1);
+        assert_eq!(co.pending_per_shard().iter().sum::<usize>(), 1);
+        assert_eq!(co.stats().submitted, 1);
+        co.submit_sql("jerry", &pair_sql_on("Reservation", "Jerry", "Kramer"))
+            .unwrap();
+        assert_eq!(co.pending_count(), 0);
+        let stats = co.stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.answered, 2);
+        assert_eq!(stats.groups_matched, 1);
+        assert!(stats.matching_nanos > 0);
     }
 
     #[test]

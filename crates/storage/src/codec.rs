@@ -1,0 +1,37 @@
+//! Length-prefixed primitives shared by the WAL frame codec and the
+//! coordination-event payloads layered on top of it (so the two
+//! layers cannot drift apart on framing or error behavior).
+
+use bytes::{Buf, BufMut, BytesMut};
+
+use crate::error::{StorageError, StorageResult};
+
+/// Appends a `u32`-length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Reads a `u32`-length-prefixed UTF-8 string.
+pub fn get_str(buf: &mut &[u8]) -> StorageResult<String> {
+    if buf.remaining() < 4 {
+        return Err(StorageError::WalCorrupt("truncated string length".into()));
+    }
+    let len = buf.get_u32() as usize;
+    if buf.remaining() < len {
+        return Err(StorageError::WalCorrupt("truncated string body".into()));
+    }
+    let s = std::str::from_utf8(&buf[..len])
+        .map_err(|e| StorageError::WalCorrupt(format!("bad utf8 in WAL record: {e}")))?
+        .to_string();
+    buf.advance(len);
+    Ok(s)
+}
+
+/// Reads a big-endian `u64`.
+pub fn get_u64(buf: &mut &[u8]) -> StorageResult<u64> {
+    if buf.remaining() < 8 {
+        return Err(StorageError::WalCorrupt("truncated u64".into()));
+    }
+    Ok(buf.get_u64())
+}

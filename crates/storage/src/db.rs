@@ -18,7 +18,7 @@ use crate::index::IndexKind;
 use crate::schema::Schema;
 use crate::table::{RowId, Table};
 use crate::tuple::Tuple;
-use crate::wal::{Wal, WalOp};
+use crate::wal::{Wal, WalOp, WalRecord};
 
 struct DbInner {
     catalog: Catalog,
@@ -60,18 +60,69 @@ impl Database {
     }
 
     /// Rebuilds a database by replaying a WAL, then keeps logging to it.
-    pub fn recover(mut wal: Wal) -> StorageResult<Database> {
-        let ops = wal.replay()?;
+    /// Coordination frames in the log are preserved but not interpreted;
+    /// use [`Database::recover_full`] to obtain them.
+    pub fn recover(wal: Wal) -> StorageResult<Database> {
+        Ok(Self::recover_full(wal)?.0)
+    }
+
+    /// Rebuilds a database by replaying a WAL and returns the log's
+    /// coordination payloads (in log order) alongside it, so the
+    /// coordination layer can rebuild *its* state from the same log.
+    pub fn recover_full(mut wal: Wal) -> StorageResult<(Database, Vec<Vec<u8>>)> {
+        let records = wal.replay_records()?;
         let mut catalog = Catalog::new();
-        for op in ops {
-            apply_wal_op(&mut catalog, op)?;
+        let mut coordination = Vec::new();
+        for record in records {
+            match record {
+                WalRecord::Storage(op) => apply_wal_op(&mut catalog, op)?,
+                WalRecord::Coordination(payload) => coordination.push(payload),
+            }
         }
-        Ok(Database {
+        let db = Database {
             inner: Arc::new(RwLock::new(DbInner {
                 catalog,
                 wal: Some(wal),
             })),
-        })
+        };
+        Ok((db, coordination))
+    }
+
+    /// Whether this database logs to a WAL (i.e. is durable).
+    pub fn has_wal(&self) -> bool {
+        self.inner.read().wal.is_some()
+    }
+
+    /// A copy of the raw WAL bytes (memory-backed WALs only; used by
+    /// crash-recovery tests that "kill" a process by dropping it and
+    /// keep only what had reached the log).
+    pub fn wal_bytes(&self) -> Option<Vec<u8>> {
+        let inner = self.inner.read();
+        inner.wal.as_ref()?.raw_bytes().map(<[u8]>::to_vec)
+    }
+
+    /// Durably appends one opaque coordination payload to the WAL
+    /// (append + sync under the write lock). No-op without a WAL.
+    pub fn append_coordination(&self, payload: &[u8]) -> StorageResult<()> {
+        self.append_coordination_batch(std::slice::from_ref(&payload))
+    }
+
+    /// Group-commits a batch of coordination payloads: all frames are
+    /// appended under one write-lock acquisition and synced once. This
+    /// is the cheap path for logging a whole batch of registrations
+    /// before draining it. No-op without a WAL.
+    pub fn append_coordination_batch<P: AsRef<[u8]>>(&self, payloads: &[P]) -> StorageResult<()> {
+        if payloads.is_empty() {
+            return Ok(());
+        }
+        let mut inner = self.inner.write();
+        let Some(wal) = inner.wal.as_mut() else {
+            return Ok(());
+        };
+        for payload in payloads {
+            wal.append_coordination(payload.as_ref())?;
+        }
+        wal.sync()
     }
 
     /// Starts a read transaction (shared lock for the guard's lifetime).
@@ -138,13 +189,46 @@ impl Database {
 
     /// Compacts the WAL: atomically (under the write lock) replaces the
     /// log's history with a snapshot of the live state, discarding dead
-    /// updates and deletes. No-op for databases without a WAL.
+    /// updates and deletes. Coordination frames are **carried through**
+    /// verbatim (in their original order) — storage cannot know which
+    /// are still live, so compacting them is the coordination layer's
+    /// job (see [`Database::checkpoint_with_coordination`]). No-op for
+    /// databases without a WAL.
     pub fn checkpoint(&self) -> StorageResult<()> {
+        self.checkpoint_inner(None)
+    }
+
+    /// Checkpoints like [`Database::checkpoint`], but replaces the
+    /// log's coordination frames with the supplied (compacted) set
+    /// instead of carrying the old ones through. The coordinator calls
+    /// this with one registration frame per *surviving* pending query,
+    /// so matched/cancelled registrations stop occupying log space.
+    pub fn checkpoint_with_coordination<P: AsRef<[u8]>>(
+        &self,
+        coordination: &[P],
+    ) -> StorageResult<()> {
+        let frames: Vec<Vec<u8>> = coordination.iter().map(|p| p.as_ref().to_vec()).collect();
+        self.checkpoint_inner(Some(frames))
+    }
+
+    fn checkpoint_inner(&self, coordination: Option<Vec<Vec<u8>>>) -> StorageResult<()> {
         // take the write lock so no commit interleaves with the rewrite
         let mut inner = self.inner.write();
         if inner.wal.is_none() {
             return Ok(());
         }
+        // preserve the log's coordination frames unless the caller
+        // supplied a compacted replacement set
+        let coordination = match coordination {
+            Some(frames) => frames,
+            None => {
+                let wal = inner.wal.as_mut().expect("checked above");
+                wal.replay_records()?
+                    .into_iter()
+                    .filter_map(WalRecord::coordination)
+                    .collect()
+            }
+        };
         // build the snapshot from the locked state
         let mut ops = Vec::new();
         for name in inner.catalog.table_names() {
@@ -168,6 +252,9 @@ impl Database {
         wal.reset()?;
         for op in &ops {
             wal.append(op)?;
+        }
+        for payload in &coordination {
+            wal.append_coordination(payload)?;
         }
         wal.sync()
     }
@@ -236,7 +323,7 @@ enum UndoOp {
 pub struct Transaction {
     guard: ArcRwLockWriteGuard<RawRwLock, DbInner>,
     undo: Vec<UndoOp>,
-    redo: Vec<WalOp>,
+    redo: Vec<WalRecord>,
     finished: bool,
 }
 
@@ -256,10 +343,10 @@ impl Transaction {
         self.undo.push(UndoOp::CreateTable {
             name: name.to_string(),
         });
-        self.redo.push(WalOp::CreateTable {
+        self.redo.push(WalRecord::Storage(WalOp::CreateTable {
             name: name.to_string(),
             schema,
-        });
+        }));
         Ok(())
     }
 
@@ -267,9 +354,9 @@ impl Transaction {
     pub fn drop_table(&mut self, name: &str) -> StorageResult<()> {
         self.check_open()?;
         let table = self.guard.catalog.drop_table(name)?;
-        self.redo.push(WalOp::DropTable {
+        self.redo.push(WalRecord::Storage(WalOp::DropTable {
             name: table.name().to_string(),
-        });
+        }));
         self.undo.push(UndoOp::DropTable { table });
         Ok(())
     }
@@ -301,11 +388,11 @@ impl Transaction {
             table: table.to_string(),
             rid,
         });
-        self.redo.push(WalOp::Insert {
+        self.redo.push(WalRecord::Storage(WalOp::Insert {
             table: table.to_string(),
             rid: rid.0,
             tuple: stored,
-        });
+        }));
         Ok(rid)
     }
 
@@ -320,11 +407,11 @@ impl Transaction {
             rid,
             old,
         });
-        self.redo.push(WalOp::Update {
+        self.redo.push(WalRecord::Storage(WalOp::Update {
             table: table.to_string(),
             rid: rid.0,
             tuple: stored,
-        });
+        }));
         Ok(())
     }
 
@@ -337,10 +424,22 @@ impl Transaction {
             rid,
             old,
         });
-        self.redo.push(WalOp::Delete {
+        self.redo.push(WalRecord::Storage(WalOp::Delete {
             table: table.to_string(),
             rid: rid.0,
-        });
+        }));
+        Ok(())
+    }
+
+    /// Records an opaque coordination payload to be written to the WAL
+    /// **atomically with this transaction's storage operations** at
+    /// commit (the group-commit handle of the coordination layer: a
+    /// match commit and its answer-tuple inserts reach the log
+    /// together, or not at all). Has no in-memory effect; aborting the
+    /// transaction discards the payload.
+    pub fn log_coordination(&mut self, payload: Vec<u8>) -> StorageResult<()> {
+        self.check_open()?;
+        self.redo.push(WalRecord::Coordination(payload));
         Ok(())
     }
 
@@ -364,8 +463,8 @@ impl Transaction {
             let redo = std::mem::take(&mut self.redo);
             let result = (|| -> StorageResult<()> {
                 let wal = self.guard.wal.as_mut().expect("checked above");
-                for op in &redo {
-                    wal.append(op)?;
+                for record in &redo {
+                    wal.append_record(record)?;
                 }
                 wal.sync()
             })();
@@ -684,6 +783,80 @@ mod tests {
             apply_wal_op(&mut catalog2, op).unwrap();
         }
         assert_eq!(catalog2.table("Flights").unwrap().len(), 26);
+    }
+
+    #[test]
+    fn coordination_group_commits_with_the_transaction() {
+        let db = Database::with_wal(Wal::in_memory());
+        let mut txn = db.begin();
+        txn.create_table("T", flights_schema()).unwrap();
+        txn.insert("T", row(1, "Paris")).unwrap();
+        txn.log_coordination(b"match q1+q2".to_vec()).unwrap();
+        txn.commit().unwrap();
+        // an aborted transaction's coordination frame never reaches the log
+        let mut txn = db.begin();
+        txn.insert("T", row(2, "Rome")).unwrap();
+        txn.log_coordination(b"never".to_vec()).unwrap();
+        txn.abort();
+
+        let (db2, coordination) =
+            Database::recover_full(Wal::from_bytes(db.wal_bytes().unwrap())).unwrap();
+        assert_eq!(db2.read().table("T").unwrap().len(), 1);
+        assert_eq!(coordination, vec![b"match q1+q2".to_vec()]);
+    }
+
+    #[test]
+    fn append_coordination_batch_syncs_once_and_survives_recovery() {
+        let db = Database::with_wal(Wal::in_memory());
+        db.append_coordination_batch(&[b"a".as_slice(), b"bb", b"ccc"])
+            .unwrap();
+        db.append_coordination(b"d").unwrap();
+        let (_, coordination) =
+            Database::recover_full(Wal::from_bytes(db.wal_bytes().unwrap())).unwrap();
+        assert_eq!(
+            coordination,
+            vec![
+                b"a".to_vec(),
+                b"bb".to_vec(),
+                b"ccc".to_vec(),
+                b"d".to_vec()
+            ]
+        );
+        // non-durable databases accept and drop coordination appends
+        let plain = Database::new();
+        plain.append_coordination(b"x").unwrap();
+        assert!(plain.wal_bytes().is_none());
+    }
+
+    #[test]
+    fn checkpoint_carries_coordination_frames_through() {
+        let db = Database::with_wal(Wal::in_memory());
+        db.with_txn(|txn| {
+            txn.create_table("T", flights_schema())?;
+            for i in 0..20 {
+                txn.insert("T", row(i, "Paris"))?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        db.append_coordination(b"reg q7").unwrap();
+        // churn so the checkpoint actually rewrites history
+        for _ in 0..5 {
+            db.with_txn(|txn| txn.update("T", RowId(0), row(0, "Rome")))
+                .unwrap();
+        }
+        db.checkpoint().unwrap();
+        let (db2, coordination) =
+            Database::recover_full(Wal::from_bytes(db.wal_bytes().unwrap())).unwrap();
+        assert_eq!(db2.read().table("T").unwrap().len(), 20);
+        assert_eq!(coordination, vec![b"reg q7".to_vec()]);
+
+        // the coordinator-driven variant replaces the coordination set
+        db.checkpoint_with_coordination(&[b"compacted".as_slice()])
+            .unwrap();
+        let (_, coordination) =
+            Database::recover_full(Wal::from_bytes(db.wal_bytes().unwrap())).unwrap();
+        assert_eq!(coordination, vec![b"compacted".to_vec()]);
     }
 
     #[test]

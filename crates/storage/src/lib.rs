@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod codec;
 pub mod db;
 pub mod error;
 pub mod index;
@@ -65,7 +66,7 @@ pub mod prelude {
     pub use crate::table::{RowId, Table};
     pub use crate::tuple::Tuple;
     pub use crate::value::Value;
-    pub use crate::wal::{Wal, WalOp};
+    pub use crate::wal::{Wal, WalOp, WalRecord};
 }
 
 pub use prelude::*;

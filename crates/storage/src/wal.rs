@@ -3,10 +3,44 @@
 //! Committed transactions append one frame per logical operation, so a
 //! database can be rebuilt by replaying the log from the start
 //! ([`crate::db::Database::recover`]). Frames are checksummed; a torn
-//! final frame (crash mid-append) is tolerated and treated as EOF, but
-//! corruption in the middle of the log is reported as an error.
+//! final frame (crash mid-append) is *truncated away* on replay so the
+//! log recovers to its last consistent prefix, but corruption in the
+//! middle of the log is reported as an error.
 //!
-//! Frame layout: `u32 payload_len | u32 fnv1a(payload) | payload`.
+//! The log carries two namespaces of records ([`WalRecord`]):
+//!
+//! * **storage operations** ([`WalOp`]) — table DML/DDL, replayed by
+//!   [`crate::db::Database::recover`];
+//! * **coordination frames** — opaque, length-prefixed payloads owned
+//!   by the coordination layer (pending-query registrations, match
+//!   commits). Storage treats them as pass-through bytes: they ride
+//!   the same checksummed framing, group-commit with storage
+//!   transactions, and survive checkpointing, but only the
+//!   coordinator interprets them.
+//!
+//! Frame layout: `u32 payload_len | u32 fnv1a(payload_len ∥ payload) |
+//! payload`; the payload's first byte is a record tag (`0..=4` storage
+//! ops, `5` coordination). The checksum covers the length field so a
+//! corrupted length that still reads as in-range is detected rather
+//! than mis-framing the rest of the log.
+//!
+//! # Failure model
+//!
+//! The log tolerates *append tears*: a crash mid-append leaves a
+//! prefix of the final frame (or a final frame whose checksum fails,
+//! e.g. out-of-order sector writes within that frame), which replay
+//! truncates away. Corruption strictly before the final frame is
+//! detected and reported as an error — deliberately loud, because
+//! without sync markers a mid-log checksum failure with intact frames
+//! after it is indistinguishable from bit rot on synced data, and
+//! silently truncating there could destroy committed state. The
+//! residual gap: a crash that persists a *multi-frame* unsynced batch
+//! out of order (frame k torn, frame k+1 landed) surfaces as
+//! `WalCorrupt` and needs manual truncation; closing it takes
+//! commit-boundary markers in the frame format. The other inherent
+//! ambiguity of length-prefixed framing: a corrupted length field
+//! that claims more bytes than the log holds is indistinguishable
+//! from a torn tail and recovers to the preceding frame boundary.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
@@ -14,6 +48,7 @@ use std::path::Path;
 
 use bytes::{Buf, BufMut, BytesMut};
 
+use crate::codec::{get_str, put_str};
 use crate::error::{StorageError, StorageResult};
 use crate::schema::{Column, DataType, Schema};
 use crate::tuple::Tuple;
@@ -60,33 +95,16 @@ pub enum WalOp {
     },
 }
 
-fn fnv1a(bytes: &[u8]) -> u32 {
+/// Frame checksum: fnv1a over the big-endian length field followed by
+/// the payload, so a bit flip in the length prefix fails verification
+/// instead of silently re-framing the log.
+fn frame_checksum(len: u32, payload: &[u8]) -> u32 {
     let mut hash: u32 = 0x811c9dc5;
-    for &b in bytes {
-        hash ^= b as u32;
+    for b in len.to_be_bytes().iter().chain(payload) {
+        hash ^= *b as u32;
         hash = hash.wrapping_mul(0x0100_0193);
     }
     hash
-}
-
-fn put_str(buf: &mut BytesMut, s: &str) {
-    buf.put_u32(s.len() as u32);
-    buf.put_slice(s.as_bytes());
-}
-
-fn get_str(buf: &mut &[u8]) -> StorageResult<String> {
-    if buf.remaining() < 4 {
-        return Err(StorageError::WalCorrupt("truncated string length".into()));
-    }
-    let len = buf.get_u32() as usize;
-    if buf.remaining() < len {
-        return Err(StorageError::WalCorrupt("truncated string body".into()));
-    }
-    let s = std::str::from_utf8(&buf[..len])
-        .map_err(|e| StorageError::WalCorrupt(format!("bad utf8 in WAL: {e}")))?
-        .to_string();
-    buf.advance(len);
-    Ok(s)
 }
 
 fn put_tuple(buf: &mut BytesMut, t: &Tuple) {
@@ -264,6 +282,72 @@ impl WalOp {
     }
 }
 
+/// Record tag for coordination frames (storage ops use `0..=4`).
+const COORDINATION_TAG: u8 = 5;
+
+/// One logical record of the log: a storage operation or an opaque
+/// coordination payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A table DML/DDL operation.
+    Storage(WalOp),
+    /// An opaque coordination-layer payload (length-prefixed on disk).
+    Coordination(Vec<u8>),
+}
+
+impl WalRecord {
+    fn encode(&self) -> BytesMut {
+        match self {
+            WalRecord::Storage(op) => op.encode(),
+            WalRecord::Coordination(payload) => {
+                let mut buf = BytesMut::with_capacity(payload.len() + 5);
+                buf.put_u8(COORDINATION_TAG);
+                buf.put_u32(payload.len() as u32);
+                buf.put_slice(payload);
+                buf
+            }
+        }
+    }
+
+    fn decode(payload: &[u8]) -> StorageResult<WalRecord> {
+        match payload.first() {
+            Some(&COORDINATION_TAG) => {
+                let mut buf = &payload[1..];
+                if buf.remaining() < 4 {
+                    return Err(StorageError::WalCorrupt(
+                        "truncated coordination length".into(),
+                    ));
+                }
+                let len = buf.get_u32() as usize;
+                if buf.remaining() != len {
+                    return Err(StorageError::WalCorrupt(format!(
+                        "coordination frame length {len} != body {}",
+                        buf.remaining()
+                    )));
+                }
+                Ok(WalRecord::Coordination(buf.to_vec()))
+            }
+            _ => WalOp::decode(payload).map(WalRecord::Storage),
+        }
+    }
+
+    /// The storage op, if this is a storage record.
+    pub fn storage(self) -> Option<WalOp> {
+        match self {
+            WalRecord::Storage(op) => Some(op),
+            WalRecord::Coordination(_) => None,
+        }
+    }
+
+    /// The coordination payload, if this is a coordination record.
+    pub fn coordination(self) -> Option<Vec<u8>> {
+        match self {
+            WalRecord::Coordination(p) => Some(p),
+            WalRecord::Storage(_) => None,
+        }
+    }
+}
+
 /// The backing sink of a WAL: a real file or an in-memory buffer
 /// (useful in tests and benches).
 enum WalSink {
@@ -297,13 +381,35 @@ impl Wal {
         }
     }
 
-    /// Appends one operation as a checksummed frame.
+    /// Creates an in-memory WAL over existing log bytes (e.g. bytes
+    /// salvaged from a "killed" process in crash-recovery tests).
+    pub fn from_bytes(bytes: Vec<u8>) -> Wal {
+        Wal {
+            sink: WalSink::Memory(bytes),
+        }
+    }
+
+    /// Appends one storage operation as a checksummed frame.
     pub fn append(&mut self, op: &WalOp) -> StorageResult<()> {
-        let payload = op.encode();
+        self.append_payload(&op.encode())
+    }
+
+    /// Appends one record (storage or coordination) as a checksummed
+    /// frame.
+    pub fn append_record(&mut self, record: &WalRecord) -> StorageResult<()> {
+        self.append_payload(&record.encode())
+    }
+
+    /// Appends one opaque coordination payload as a checksummed frame.
+    pub fn append_coordination(&mut self, payload: &[u8]) -> StorageResult<()> {
+        self.append_record(&WalRecord::Coordination(payload.to_vec()))
+    }
+
+    fn append_payload(&mut self, payload: &[u8]) -> StorageResult<()> {
         let mut frame = BytesMut::with_capacity(payload.len() + 8);
         frame.put_u32(payload.len() as u32);
-        frame.put_u32(fnv1a(&payload));
-        frame.put_slice(&payload);
+        frame.put_u32(frame_checksum(payload.len() as u32, payload));
+        frame.put_slice(payload);
         match &mut self.sink {
             WalSink::File(f) => {
                 f.write_all(&frame)
@@ -342,11 +448,25 @@ impl Wal {
         }
     }
 
-    /// Reads every complete frame currently in the log.
-    ///
-    /// A truncated *final* frame (torn write) ends replay silently; a
-    /// checksum mismatch anywhere is an error.
+    /// Reads every complete storage operation currently in the log,
+    /// skipping coordination frames (see [`Wal::replay_records`]).
     pub fn replay(&mut self) -> StorageResult<Vec<WalOp>> {
+        Ok(self
+            .replay_records()?
+            .into_iter()
+            .filter_map(WalRecord::storage)
+            .collect())
+    }
+
+    /// Reads every complete record currently in the log.
+    ///
+    /// A torn *tail* (crash mid-append: a partial final frame, or a
+    /// final frame whose checksum does not verify) is **truncated
+    /// away**, so the log recovers to its last consistent prefix and
+    /// subsequent appends produce a clean log again. Corruption
+    /// *before* the final frame is reported as
+    /// [`StorageError::WalCorrupt`].
+    pub fn replay_records(&mut self) -> StorageResult<Vec<WalRecord>> {
         let bytes = match &mut self.sink {
             WalSink::File(f) => {
                 let mut v = Vec::new();
@@ -359,27 +479,63 @@ impl Wal {
             }
             WalSink::Memory(buf) => buf.clone(),
         };
-        Self::decode_stream(&bytes)
+        let (records, consumed) = Self::decode_records(&bytes)?;
+        if consumed < bytes.len() {
+            // torn tail: drop the partial frame so future appends are
+            // framed correctly (append mode writes at the physical end)
+            match &mut self.sink {
+                WalSink::File(f) => {
+                    f.set_len(consumed as u64)
+                        .map_err(|e| StorageError::WalIo(e.to_string()))?;
+                    f.sync_data()
+                        .map_err(|e| StorageError::WalIo(e.to_string()))?;
+                }
+                WalSink::Memory(buf) => buf.truncate(consumed),
+            }
+        }
+        Ok(records)
     }
 
-    /// Decodes a raw byte stream of frames (exposed for tests).
-    pub fn decode_stream(mut bytes: &[u8]) -> StorageResult<Vec<WalOp>> {
-        let mut ops = Vec::new();
-        while bytes.remaining() >= 8 {
-            let len = (&bytes[0..4]).get_u32() as usize;
-            if bytes.remaining() < 8 + len {
-                // torn final frame: stop replay here
+    /// Decodes a raw byte stream of frames into storage ops, skipping
+    /// coordination frames (exposed for tests).
+    pub fn decode_stream(bytes: &[u8]) -> StorageResult<Vec<WalOp>> {
+        Ok(Self::decode_records(bytes)?
+            .0
+            .into_iter()
+            .filter_map(WalRecord::storage)
+            .collect())
+    }
+
+    /// Decodes a raw byte stream of frames, returning the records and
+    /// the length of the consumed (consistent) prefix. A torn tail — a
+    /// partial final frame, or a final frame whose checksum does not
+    /// verify — ends the decode at the preceding frame boundary. A
+    /// checksum failure before the final frame is an error, as is a
+    /// record-level decode failure anywhere (a verified checksum means
+    /// the bytes are what was written, so the failure is not a tear).
+    pub fn decode_records(bytes: &[u8]) -> StorageResult<(Vec<WalRecord>, usize)> {
+        let mut records = Vec::new();
+        let mut offset = 0usize;
+        while bytes.len() - offset >= 8 {
+            let len = (&bytes[offset..offset + 4]).get_u32() as usize;
+            if bytes.len() - offset < 8 + len {
+                // partial final frame: torn tail
                 break;
             }
-            let checksum = (&bytes[4..8]).get_u32();
-            let payload = &bytes[8..8 + len];
-            if fnv1a(payload) != checksum {
+            let checksum = (&bytes[offset + 4..offset + 8]).get_u32();
+            let payload = &bytes[offset + 8..offset + 8 + len];
+            if frame_checksum(len as u32, payload) != checksum {
+                if offset + 8 + len == bytes.len() {
+                    // checksum failure confined to the final frame
+                    // (e.g. out-of-order sector writes): torn tail
+                    break;
+                }
                 return Err(StorageError::WalCorrupt("checksum mismatch".into()));
             }
-            ops.push(WalOp::decode(payload)?);
-            bytes.advance(8 + len);
+            records.push(WalRecord::decode(payload)?);
+            offset += 8 + len;
         }
-        Ok(ops)
+        Ok((records, offset))
     }
 
     /// Raw length in bytes (memory sinks only; for tests).
@@ -501,6 +657,52 @@ mod tests {
     fn empty_log_replays_to_nothing() {
         let mut wal = Wal::in_memory();
         assert!(wal.replay().unwrap().is_empty());
+    }
+
+    #[test]
+    fn coordination_frames_roundtrip_and_interleave() {
+        let mut wal = Wal::in_memory();
+        wal.append(&sample_ops()[0]).unwrap();
+        wal.append_coordination(b"register q1").unwrap();
+        wal.append(&sample_ops()[1]).unwrap();
+        wal.append_coordination(b"").unwrap(); // empty payloads are legal
+        let records = wal.replay_records().unwrap();
+        assert_eq!(records.len(), 4);
+        assert_eq!(records[1], WalRecord::Coordination(b"register q1".to_vec()));
+        assert_eq!(records[3], WalRecord::Coordination(Vec::new()));
+        // storage-only replay skips the coordination frames
+        assert_eq!(wal.replay().unwrap(), sample_ops()[..2].to_vec());
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_so_appends_recover() {
+        let mut wal = Wal::in_memory();
+        for op in sample_ops() {
+            wal.append(&op).unwrap();
+        }
+        let mut bytes = wal.raw_bytes().unwrap().to_vec();
+        bytes.truncate(bytes.len() - 3); // tear the final frame
+        let mut torn = Wal::from_bytes(bytes);
+        let ops = torn.replay().unwrap();
+        assert_eq!(ops.len(), sample_ops().len() - 1);
+        // the torn bytes are gone: appending after replay yields a
+        // clean log instead of mid-frame garbage
+        torn.append(&sample_ops()[0]).unwrap();
+        let ops = torn.replay().unwrap();
+        assert_eq!(ops.len(), sample_ops().len());
+    }
+
+    #[test]
+    fn corrupt_final_frame_is_treated_as_torn() {
+        let mut wal = Wal::in_memory();
+        for op in sample_ops() {
+            wal.append(&op).unwrap();
+        }
+        let mut bytes = wal.raw_bytes().unwrap().to_vec();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff; // checksum failure confined to the tail
+        let mut torn = Wal::from_bytes(bytes);
+        assert_eq!(torn.replay().unwrap().len(), sample_ops().len() - 1);
     }
 
     #[test]

@@ -57,4 +57,7 @@ pub use model::{flight_by_fno, hotel_by_hid, install_schema, seed_demo_data, Fli
 pub use notify::{Message, Notifier};
 pub use social::SocialGraph;
 pub use travel::{AccountView, BookingOutcome, FlightPrefs, TravelService};
-pub use workload::{drive_batched, drive_concurrent, DriveReport, Request, WorkloadGen};
+pub use workload::{
+    drive_batched, drive_concurrent, run_crash_restart, CrashReport, CrashScenario, DriveReport,
+    Request, WorkloadGen,
+};

@@ -9,11 +9,11 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
-use youtopia_core::{ShardedCoordinator, Submission};
+use youtopia_core::{ShardedConfig, ShardedCoordinator, Submission};
 use youtopia_exec::run_sql;
 use youtopia_storage::Database;
 
-use crate::error::TravelResult;
+use crate::error::{TravelError, TravelResult};
 use crate::model::install_schema;
 
 /// One entangled submission: who submits what.
@@ -42,7 +42,28 @@ impl WorkloadGen {
     /// spread over `cities` (plenty of seats so inventory never blocks
     /// matching experiments).
     pub fn build_database(&mut self, n_flights: usize, cities: &[&str]) -> TravelResult<Database> {
-        let db = Database::new();
+        self.populate(Database::new(), n_flights, cities)
+    }
+
+    /// Like [`WorkloadGen::build_database`], but the database logs to
+    /// `wal`, so the crash/restart scenarios can kill and recover it.
+    /// Generated content is identical to a WAL-less build under the
+    /// same seed.
+    pub fn build_database_with_wal(
+        &mut self,
+        n_flights: usize,
+        cities: &[&str],
+        wal: youtopia_storage::Wal,
+    ) -> TravelResult<Database> {
+        self.populate(Database::with_wal(wal), n_flights, cities)
+    }
+
+    fn populate(
+        &mut self,
+        db: Database,
+        n_flights: usize,
+        cities: &[&str],
+    ) -> TravelResult<Database> {
         install_schema(&db)?;
         let mut rows = Vec::with_capacity(n_flights);
         for i in 0..n_flights {
@@ -225,6 +246,160 @@ impl WorkloadGen {
             sql: format!("SELECT {heads}{body} CHOOSE 1"),
         }
     }
+}
+
+/// Configuration of the kill/restart scenario
+/// ([`run_crash_restart`]): a deterministic multi-relation pair
+/// workload over standing noise, killed after `crash_after`
+/// submissions and recovered from the WAL.
+#[derive(Debug, Clone, Copy)]
+pub struct CrashScenario {
+    /// Workload seed (drives flights, shuffles, and comparison run).
+    pub seed: u64,
+    /// Coordinating pairs (2 requests each).
+    pub pairs: usize,
+    /// Standing never-matching noise queries submitted first.
+    pub noise: usize,
+    /// Distinct answer relations the workload spreads over.
+    pub relations: usize,
+    /// Flights in the generated database.
+    pub flights: usize,
+    /// Batch size of the driver.
+    pub batch_size: usize,
+    /// Requests submitted before the kill (clamped to the total).
+    pub crash_after: usize,
+    /// Coordinator configuration. `randomize` must stay off for the
+    /// crashed and uncrashed runs to be comparable.
+    pub config: ShardedConfig,
+}
+
+impl Default for CrashScenario {
+    fn default() -> Self {
+        let mut config = ShardedConfig::default();
+        config.base.match_config.randomize = false;
+        CrashScenario {
+            seed: 0x00C0_FFEE,
+            pairs: 24,
+            noise: 60,
+            relations: 6,
+            flights: 80,
+            batch_size: 16,
+            crash_after: 90,
+            config,
+        }
+    }
+}
+
+/// What [`run_crash_restart`] observed.
+#[derive(Debug, Clone)]
+pub struct CrashReport {
+    /// Driver outcomes before the kill.
+    pub before: DriveReport,
+    /// Size of the WAL salvaged at the kill point, in bytes.
+    pub wal_bytes: usize,
+    /// What recovery replayed and rebuilt.
+    pub recovery: youtopia_core::RecoveryReport,
+    /// Tickets re-issued to reconnecting owners after recovery.
+    pub reattached: usize,
+    /// Driver outcomes for the remainder, after recovery.
+    pub after: DriveReport,
+    /// Pending queries at the end of the crashed run.
+    pub pending_after: usize,
+    /// Whether the crashed-and-recovered run ended in exactly the
+    /// uncrashed run's state: same pending set (id, owner, SQL, seq),
+    /// same answer relations, and routing invariants intact.
+    pub equivalent: bool,
+}
+
+/// Runs the kill/restart scenario: drives a prefix of the workload
+/// into a WAL-backed sharded coordinator, "kills" it (drops every
+/// in-memory structure, keeping only the salvaged WAL bytes), recovers
+/// with [`ShardedCoordinator::recover`], re-attaches every owner with
+/// pending queries, finishes the workload, and compares the final
+/// state against an uncrashed control run under the same seed.
+pub fn run_crash_restart(scenario: &CrashScenario) -> TravelResult<CrashReport> {
+    use youtopia_storage::Wal;
+
+    let cities = ["Paris", "Rome"];
+    let build_requests = |generator: &mut WorkloadGen| {
+        let mut requests = generator.noise_multi(scenario.noise, "Paris", scenario.relations);
+        requests.extend(generator.pair_storm_multi(scenario.pairs, "Paris", scenario.relations));
+        requests
+    };
+
+    // ---- control: the same workload, never killed ------------------ //
+    let mut generator = WorkloadGen::new(scenario.seed);
+    let control_db = generator.build_database(scenario.flights, &cities)?;
+    let control = ShardedCoordinator::with_config(control_db, scenario.config);
+    let control_requests = build_requests(&mut generator);
+    drive_batched(&control, &control_requests, scenario.batch_size);
+
+    // ---- crashed run ----------------------------------------------- //
+    let mut generator = WorkloadGen::new(scenario.seed);
+    let db = generator.build_database_with_wal(scenario.flights, &cities, Wal::in_memory())?;
+    let coordinator = ShardedCoordinator::with_config(db.clone(), scenario.config);
+    let requests = build_requests(&mut generator);
+    let cut = scenario.crash_after.min(requests.len());
+    let before = drive_batched(&coordinator, &requests[..cut], scenario.batch_size);
+
+    // the kill: drop the coordinator and database; only the bytes that
+    // reached the log survive
+    let wal_bytes = db.wal_bytes().expect("scenario database is WAL-backed");
+    drop(coordinator);
+    drop(db);
+
+    // the restart
+    let (recovered, recovery) =
+        ShardedCoordinator::recover(Wal::from_bytes(wal_bytes.clone()), scenario.config)
+            .map_err(TravelError::Core)?;
+    recovered
+        .check_routing_invariants()
+        .map_err(youtopia_core::CoreError::Internal)
+        .map_err(TravelError::Core)?;
+    let owners: std::collections::BTreeSet<String> = recovered
+        .pending_snapshot()
+        .into_iter()
+        .map(|p| p.owner)
+        .collect();
+    let reattached: usize = owners
+        .iter()
+        .map(|owner| recovered.reattach(owner).len())
+        .sum();
+    let after = drive_batched(&recovered, &requests[cut..], scenario.batch_size);
+
+    // ---- comparison ------------------------------------------------ //
+    let snapshot = |co: &ShardedCoordinator| {
+        co.pending_snapshot()
+            .into_iter()
+            .map(|p| (p.id, p.owner, p.sql, p.seq))
+            .collect::<Vec<_>>()
+    };
+    let answers = |co: &ShardedCoordinator| {
+        (0..scenario.relations)
+            .map(|k| {
+                let mut rows: Vec<Vec<u8>> = co
+                    .answers(&format!("Reservation{k}"))
+                    .iter()
+                    .map(|t| t.encode().to_vec())
+                    .collect();
+                rows.sort();
+                rows
+            })
+            .collect::<Vec<_>>()
+    };
+    let equivalent = snapshot(&recovered) == snapshot(&control)
+        && answers(&recovered) == answers(&control)
+        && recovered.check_routing_invariants().is_ok();
+
+    Ok(CrashReport {
+        before,
+        wal_bytes: wal_bytes.len(),
+        recovery,
+        reattached,
+        after,
+        pending_after: recovered.pending_count(),
+        equivalent,
+    })
 }
 
 /// Outcome counts of a driven submission run.
@@ -411,6 +586,46 @@ mod tests {
         assert_eq!(report.answered + report.rejected, 0);
         assert_eq!(co.pending_count(), 40);
         co.check_routing_invariants().unwrap();
+    }
+
+    #[test]
+    fn crash_restart_scenario_is_equivalent_to_uncrashed() {
+        let scenario = CrashScenario {
+            pairs: 8,
+            noise: 12,
+            relations: 3,
+            flights: 30,
+            batch_size: 5,
+            crash_after: 17,
+            ..CrashScenario::default()
+        };
+        let report = run_crash_restart(&scenario).unwrap();
+        assert!(report.wal_bytes > 0);
+        assert!(report.recovery.restored_pending > 0, "crash mid-workload");
+        assert_eq!(
+            report.reattached, report.recovery.restored_pending,
+            "every surviving owner reattaches one ticket per pending query"
+        );
+        assert!(report.equivalent, "recovered state == uncrashed state");
+        // every pair eventually closed; only noise is left pending
+        assert_eq!(report.pending_after, scenario.noise);
+    }
+
+    #[test]
+    fn crash_at_boundaries_still_equivalent() {
+        for crash_after in [0, 1, 40] {
+            let scenario = CrashScenario {
+                pairs: 4,
+                noise: 4,
+                relations: 2,
+                flights: 20,
+                batch_size: 3,
+                crash_after,
+                ..CrashScenario::default()
+            };
+            let report = run_crash_restart(&scenario).unwrap();
+            assert!(report.equivalent, "crash_after={crash_after}");
+        }
     }
 
     #[test]

@@ -33,8 +33,9 @@ pub use youtopia_storage as storage;
 pub use youtopia_travel as travel;
 
 pub use youtopia_core::{
-    compile_sql, Coordinator, CoordinatorConfig, GroupMatch, MatchNotification, MatcherKind,
-    QueryId, SafetyMode, ShardedConfig, ShardedCoordinator, Submission,
+    compile_sql, CoordEvent, CoordinationLog, Coordinator, CoordinatorConfig, GroupMatch,
+    MatchNotification, MatcherKind, QueryId, RecoveryReport, SafetyMode, ShardedConfig,
+    ShardedCoordinator, Submission,
 };
 pub use youtopia_exec::{run_sql, StatementOutcome};
 pub use youtopia_storage::Database;

@@ -1,0 +1,217 @@
+//! Crash-equivalence property (acceptance criterion of the durable-
+//! coordination PR): for a fixed seed with randomization disabled,
+//! running a random workload prefix, killing the coordinator at an
+//! arbitrary point, recovering from the WAL, and finishing the
+//! workload yields **exactly** the state of an uncrashed run — the
+//! same pending set (id, owner, SQL, seq), the same answer-relation
+//! contents, and intact routing invariants.
+//!
+//! Why this should hold: every registration/cancellation is logged
+//! before it is acknowledged and every match commit rides the storage
+//! transaction of its answer writes, so the log determines the pending
+//! set exactly; with `randomize` off the matcher is a deterministic
+//! function of (registry, database), so re-running matching over the
+//! recovered state reproduces precisely the matches the crash
+//! swallowed; and id/seq allocation restarts from the logged
+//! watermark, so the post-crash suffix of the workload sees the same
+//! ids it would have seen without the crash.
+
+use proptest::prelude::*;
+
+use youtopia::core::MatchConfig;
+use youtopia::storage::Wal;
+use youtopia::{
+    run_sql, CoordinatorConfig, Database, ShardedConfig, ShardedCoordinator, Submission,
+};
+
+/// One generated workload step: a pair request, optionally cancelled
+/// right after submission (exercising `QueryCancelled` frames).
+#[derive(Debug, Clone)]
+struct Step {
+    me: String,
+    friend: String,
+    relation: String,
+    dest: String,
+    cancel_if_pending: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    steps: Vec<Step>,
+    /// Kill after this many steps (clamped to the workload length).
+    crash_after: usize,
+    seed: u64,
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    let name = prop_oneof![Just("A"), Just("B"), Just("C"), Just("D")];
+    let relation = prop_oneof![Just("Res0"), Just("Res1"), Just("Res2"), Just("Res3")];
+    let dest = prop_oneof![Just("Paris"), Just("Rome")];
+    let step = (name.clone(), name, relation, dest, any::<bool>()).prop_map(
+        |(me, friend, relation, dest, cancel_if_pending)| Step {
+            me: me.to_string(),
+            friend: friend.to_string(),
+            relation: relation.to_string(),
+            dest: dest.to_string(),
+            cancel_if_pending,
+        },
+    );
+    (
+        proptest::collection::vec(step, 1..16),
+        0usize..18,
+        0u64..1000,
+    )
+        .prop_map(|(steps, crash_after, seed)| Scenario {
+            crash_after,
+            steps,
+            seed,
+        })
+}
+
+fn scenario_db() -> Database {
+    let db = Database::with_wal(Wal::in_memory());
+    run_sql(
+        &db,
+        "CREATE TABLE Flights (fno INT PRIMARY KEY, dest STRING)",
+    )
+    .unwrap();
+    run_sql(
+        &db,
+        "INSERT INTO Flights VALUES (1, 'Paris'), (2, 'Paris'), (3, 'Rome')",
+    )
+    .unwrap();
+    db
+}
+
+fn pair_sql(step: &Step) -> String {
+    format!(
+        "SELECT '{me}', fno INTO ANSWER {rel} \
+         WHERE fno IN (SELECT fno FROM Flights WHERE dest = '{dest}') \
+         AND ('{friend}', fno) IN ANSWER {rel} CHOOSE 1",
+        me = step.me,
+        friend = step.friend,
+        rel = step.relation,
+        dest = step.dest
+    )
+}
+
+fn config(seed: u64) -> ShardedConfig {
+    ShardedConfig {
+        shards: 4,
+        workers: 2,
+        base: CoordinatorConfig {
+            match_config: MatchConfig {
+                randomize: false,
+                ..MatchConfig::default()
+            },
+            seed,
+            ..CoordinatorConfig::default()
+        },
+    }
+}
+
+/// Runs one step: submit, then cancel when asked and still pending.
+fn run_step(co: &ShardedCoordinator, step: &Step) {
+    let outcome = co
+        .submit_sql(&step.me, &pair_sql(step))
+        .expect("generated queries are safe");
+    if step.cancel_if_pending {
+        if let Submission::Pending(ticket) = outcome {
+            // the partner may have raced in through a cascade; cancel
+            // only what is genuinely still pending
+            let _ = co.cancel(ticket.id);
+        }
+    }
+}
+
+/// Canonical end state: pending set + per-relation sorted answers.
+type EndState = (Vec<(u64, String, String, u64)>, Vec<Vec<Vec<u8>>>);
+
+fn end_state(co: &ShardedCoordinator) -> EndState {
+    let pending = co
+        .pending_snapshot()
+        .into_iter()
+        .map(|p| (p.id.0, p.owner, p.sql, p.seq))
+        .collect();
+    let answers = (0..4)
+        .map(|k| {
+            let mut rows: Vec<Vec<u8>> = co
+                .answers(&format!("Res{k}"))
+                .iter()
+                .map(|t| t.encode().to_vec())
+                .collect();
+            rows.sort();
+            rows
+        })
+        .collect();
+    (pending, answers)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Kill-at-arbitrary-point + `recover()` == never crashed.
+    #[test]
+    fn crashed_and_recovered_equals_uncrashed(scenario in arb_scenario()) {
+        let cfg = config(scenario.seed);
+        let cut = scenario.crash_after.min(scenario.steps.len());
+
+        // ---- control: the whole workload, no crash ----------------- //
+        let control = ShardedCoordinator::with_config(scenario_db(), cfg);
+        for step in &scenario.steps {
+            run_step(&control, step);
+        }
+        control.check_routing_invariants().expect("control invariants");
+
+        // ---- crashed run ------------------------------------------- //
+        let db = scenario_db();
+        let co = ShardedCoordinator::with_config(db.clone(), cfg);
+        for step in &scenario.steps[..cut] {
+            run_step(&co, step);
+        }
+        let wal_bytes = db.wal_bytes().expect("WAL-backed scenario db");
+        drop(co);
+        drop(db);
+
+        let (recovered, report) =
+            ShardedCoordinator::recover(Wal::from_bytes(wal_bytes), cfg)
+                .expect("recovery succeeds");
+        prop_assert_eq!(recovered.pending_count(), report.restored_pending);
+        recovered
+            .check_routing_invariants()
+            .expect("invariants hold right after recovery");
+        for step in &scenario.steps[cut..] {
+            run_step(&recovered, step);
+        }
+        recovered
+            .check_routing_invariants()
+            .expect("invariants hold at the end of the recovered run");
+
+        // ---- equivalence ------------------------------------------- //
+        prop_assert_eq!(end_state(&recovered), end_state(&control));
+    }
+
+    /// Recovering a log twice (double crash, no work in between) is
+    /// idempotent: same pending set, same answers.
+    #[test]
+    fn double_recovery_is_idempotent(scenario in arb_scenario()) {
+        let cfg = config(scenario.seed);
+        let db = scenario_db();
+        let co = ShardedCoordinator::with_config(db.clone(), cfg);
+        for step in &scenario.steps {
+            run_step(&co, step);
+        }
+        let bytes = db.wal_bytes().unwrap();
+        drop(co);
+        drop(db);
+
+        let (first, _) = ShardedCoordinator::recover(Wal::from_bytes(bytes), cfg)
+            .expect("first recovery");
+        let bytes2 = first.db().wal_bytes().unwrap();
+        let state1 = end_state(&first);
+        drop(first);
+        let (second, _) = ShardedCoordinator::recover(Wal::from_bytes(bytes2), cfg)
+            .expect("second recovery");
+        prop_assert_eq!(end_state(&second), state1);
+    }
+}
