@@ -27,9 +27,11 @@ use youtopia_storage::{Database, StorageResult, Transaction, Tuple, Wal};
 
 use crate::compile::compile_sql;
 use crate::engine::{
-    match_graph_of, replay_coordination_frames, CoordEvent, CoordinationLog, Engine, ShardState,
+    match_graph_of, replay_coordination_frames, Arrival, CoordEvent, CoordinationLog, Engine,
+    ShardState, WaitMode, Waiter,
 };
 use crate::error::{CoreError, CoreResult};
+use crate::future::{CoordinationFuture, CoordinationOutcome, TicketShared};
 use crate::ir::{EntangledQuery, QueryId};
 use crate::matcher::{GroupMatch, MatchConfig, MatchStats};
 use crate::registry::Pending;
@@ -271,6 +273,38 @@ impl Coordinator {
 
     /// Submits a compiled entangled query.
     pub fn submit(&self, owner: &str, query: EntangledQuery) -> CoreResult<Submission> {
+        self.submit_mode(owner, query, WaitMode::Sync)
+            .map(Arrival::into_sync)
+    }
+
+    /// Submits an entangled query given as SQL text, returning a
+    /// [`CoordinationFuture`] instead of a blocking ticket.
+    pub fn submit_sql_async(&self, owner: &str, sql: &str) -> CoreResult<CoordinationFuture> {
+        let compiled = compile_sql(sql)?;
+        self.submit_async(owner, compiled)
+    }
+
+    /// Submits a compiled entangled query asynchronously: identical
+    /// registration, logging and matching as [`Coordinator::submit`],
+    /// but the returned handle is a poll-based future whose waker fires
+    /// on match commit, cancellation or expiry — no thread needs to
+    /// block per in-flight coordination. A query answered on arrival
+    /// returns an already-resolved future.
+    pub fn submit_async(
+        &self,
+        owner: &str,
+        query: EntangledQuery,
+    ) -> CoreResult<CoordinationFuture> {
+        self.submit_mode(owner, query, WaitMode::Async)
+            .map(Arrival::into_async)
+    }
+
+    fn submit_mode(
+        &self,
+        owner: &str,
+        query: EntangledQuery,
+        mode: WaitMode,
+    ) -> CoreResult<Arrival> {
         let state = &mut *self.state.lock();
         if let Err(e) = check_safety(&query, self.engine.config.safety) {
             state.shard.stats.rejected_unsafe += 1;
@@ -300,7 +334,9 @@ impl Coordinator {
             .apply_hook
             .as_ref()
             .map(|h| h.as_ref() as &dyn Fn(&mut Transaction, &GroupMatch) -> StorageResult<()>);
-        let result = self.engine.process_arrival(&mut state.shard, pending, hook);
+        let result = self
+            .engine
+            .process_arrival_mode(&mut state.shard, pending, hook, mode);
         // the answered log only feeds the sharded coordinator's router
         state.shard.answered_log.clear();
         result
@@ -321,7 +357,10 @@ impl Coordinator {
             .log_event(&CoordEvent::QueryCancelled { qid })
             .map_err(CoreError::Storage)?;
         state.shard.registry.remove(qid);
-        state.shard.waiters.remove(&qid);
+        if let Some(waiter) = state.shard.waiters.remove(&qid) {
+            // a parked future must resolve, not hang forever
+            waiter.resolve_terminal(CoordinationOutcome::Cancelled);
+        }
         Ok(())
     }
 
@@ -347,7 +386,9 @@ impl Coordinator {
         }
         for qid in &victims {
             state.shard.registry.remove(*qid);
-            state.shard.waiters.remove(qid);
+            if let Some(waiter) = state.shard.waiters.remove(qid) {
+                waiter.resolve_terminal(CoordinationOutcome::Cancelled);
+            }
         }
         victims.len()
     }
@@ -376,7 +417,9 @@ impl Coordinator {
         }
         for qid in &victims {
             state.shard.registry.remove(*qid);
-            state.shard.waiters.remove(qid);
+            if let Some(waiter) = state.shard.waiters.remove(qid) {
+                waiter.resolve_terminal(CoordinationOutcome::Expired);
+            }
         }
         victims
     }
@@ -397,13 +440,43 @@ impl Coordinator {
             .collect();
         for qid in ids {
             let (tx, rx) = unbounded();
-            state.shard.waiters.insert(qid, tx);
+            if let Some(old) = state.shard.waiters.insert(qid, Waiter::Channel(tx)) {
+                old.resolve_terminal(CoordinationOutcome::Superseded);
+            }
             tickets.push(Ticket {
                 id: qid,
                 receiver: rx,
             });
         }
         tickets
+    }
+
+    /// [`Coordinator::reattach`], async flavor: hands the reconnecting
+    /// owner a live [`CoordinationFuture`] per still-pending query —
+    /// including queries restored by [`Coordinator::recover`], whose
+    /// pre-crash waiters died with the process. Any previous handle for
+    /// the same query resolves
+    /// [`CoordinationOutcome::Superseded`].
+    pub fn reattach_async(&self, owner: &str) -> Vec<CoordinationFuture> {
+        let state = &mut *self.state.lock();
+        let mut futures = Vec::new();
+        let ids: Vec<QueryId> = state
+            .shard
+            .registry
+            .iter()
+            .filter(|p| p.owner == owner)
+            .map(|p| p.id)
+            .collect();
+        for qid in ids {
+            let shared = std::sync::Arc::new(TicketShared::default());
+            let waiter = Waiter::Future(std::sync::Arc::clone(&shared));
+            if let Some(old) = state.shard.waiters.insert(qid, waiter) {
+                old.resolve_terminal(CoordinationOutcome::Superseded);
+            }
+            futures.push(CoordinationFuture::new(qid, shared));
+        }
+        futures.sort_by_key(|f| f.id().0);
+        futures
     }
 
     /// Rebuilds a coordinator (database **and** pending-query state)
@@ -927,6 +1000,126 @@ mod tests {
         assert_eq!(report.rematched_groups, 1, "the sweep completes the pair");
         assert_eq!(co.pending_count(), 0);
         assert_eq!(co.answers("Reservation").len(), 2);
+    }
+
+    #[test]
+    fn async_pair_resolves_both_futures() {
+        let co = Coordinator::new(flights_db());
+        let mut kramer = co
+            .submit_sql_async("kramer", &pair_sql("Kramer", "Jerry"))
+            .unwrap();
+        assert!(!kramer.is_complete());
+        assert!(kramer.try_take().is_none(), "in flight: nothing to take");
+        let mut jerry = co
+            .submit_sql_async("jerry", &pair_sql("Jerry", "Kramer"))
+            .unwrap();
+        // jerry completed the group on arrival; kramer's waker fired
+        let jn = jerry.try_take().unwrap().answered().expect("answered");
+        let kn = kramer.try_take().unwrap().answered().expect("answered");
+        assert_eq!(jn.group, kn.group);
+        assert_eq!(
+            jn.answers[0].1.values()[1],
+            kn.answers[0].1.values()[1],
+            "coordinated pair shares its flight"
+        );
+        assert_eq!(co.pending_count(), 0);
+    }
+
+    /// Regression (async-submission PR, satellite 1): `cancel` on a
+    /// query with a parked future waiter must wake it with the terminal
+    /// `Cancelled` outcome — not leave the future pending forever.
+    #[test]
+    fn cancel_wakes_parked_future_with_cancelled() {
+        let co = Coordinator::new(flights_db());
+        let mut f = co
+            .submit_sql_async("kramer", &pair_sql("Kramer", "Jerry"))
+            .unwrap();
+        co.cancel(f.id()).unwrap();
+        assert_eq!(
+            f.wait_timeout(std::time::Duration::from_secs(5)),
+            Some(crate::future::CoordinationOutcome::Cancelled),
+            "cancel must resolve the parked future"
+        );
+        // cancel_owner takes the same path
+        let mut g = co
+            .submit_sql_async("elaine", &pair_sql("Elaine", "Ghost"))
+            .unwrap();
+        assert_eq!(co.cancel_owner("elaine"), 1);
+        assert_eq!(
+            g.try_take(),
+            Some(crate::future::CoordinationOutcome::Cancelled)
+        );
+    }
+
+    /// Regression (async-submission PR, satellite 1): `expire_before`
+    /// must wake a parked future waiter with `Expired`.
+    #[test]
+    fn expire_wakes_parked_future_with_expired() {
+        let co = Coordinator::new(flights_db());
+        let mut f = co.submit_sql_async("a", &pair_sql("A", "GhostA")).unwrap();
+        let expired = co.expire_before(u64::MAX);
+        assert_eq!(expired, vec![f.id()]);
+        assert_eq!(
+            f.wait_timeout(std::time::Duration::from_secs(5)),
+            Some(crate::future::CoordinationOutcome::Expired),
+            "expiry must resolve the parked future"
+        );
+    }
+
+    #[test]
+    fn reattach_supersedes_previous_future() {
+        let co = Coordinator::new(flights_db());
+        let mut old = co
+            .submit_sql_async("kramer", &pair_sql("Kramer", "Jerry"))
+            .unwrap();
+        let mut fresh = co.reattach_async("kramer");
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(
+            old.try_take(),
+            Some(crate::future::CoordinationOutcome::Superseded),
+            "the replaced handle resolves instead of hanging"
+        );
+        // the fresh future receives the answer
+        co.submit_sql("jerry", &pair_sql("Jerry", "Kramer"))
+            .unwrap();
+        let outcome = fresh[0].try_take().unwrap();
+        assert!(outcome.answered().is_some());
+        // a sync reattach supersedes an async handle too
+        let mut h = co.submit_sql_async("b", &pair_sql("B", "GhostB")).unwrap();
+        let tickets = co.reattach("b");
+        assert_eq!(tickets.len(), 1);
+        assert_eq!(
+            h.try_take(),
+            Some(crate::future::CoordinationOutcome::Superseded)
+        );
+    }
+
+    #[test]
+    fn recover_then_reattach_async_resumes_the_future() {
+        let db = flights_db_wal();
+        let co = Coordinator::new(db.clone());
+        let f = co
+            .submit_sql_async("kramer", &pair_sql("Kramer", "Jerry"))
+            .unwrap();
+        assert!(!f.is_complete());
+        let bytes = db.wal_bytes().unwrap();
+        drop(f); // the front-end dies with its futures
+        drop(co);
+
+        let (co2, report) = Coordinator::recover(
+            youtopia_storage::Wal::from_bytes(bytes),
+            CoordinatorConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.restored_pending, 1);
+        let mut futures = co2.reattach_async("kramer");
+        assert_eq!(futures.len(), 1);
+        co2.submit_sql("jerry", &pair_sql("Jerry", "Kramer"))
+            .unwrap();
+        let outcome = futures[0]
+            .wait_timeout(std::time::Duration::from_secs(5))
+            .expect("reattached future resolves");
+        assert!(outcome.answered().is_some());
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! pending set; see `docs/recovery.md`.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::{Buf, BufMut, BytesMut};
@@ -39,6 +40,7 @@ use crate::coordinator::{
     CoordinatorConfig, MatchEdge, MatchGraph, MatchNotification, MatcherKind, Submission, Ticket,
 };
 use crate::error::{CoreError, CoreResult};
+use crate::future::{CoordinationFuture, CoordinationOutcome, TicketShared};
 use crate::ir::QueryId;
 use crate::matcher::{baseline, search, GroupMatch, MatchStats};
 use crate::registry::{Pending, Registry};
@@ -336,6 +338,94 @@ pub(crate) fn replay_coordination_frames(frames: &[Vec<u8>]) -> CoreResult<Repla
 pub(crate) type HookRef<'a> =
     Option<&'a dyn Fn(&mut Transaction, &GroupMatch) -> StorageResult<()>>;
 
+/// How a submission wants to be notified when it terminates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WaitMode {
+    /// Blocking ticket channel ([`Ticket`]): the original API.
+    Sync,
+    /// Parked waker ([`CoordinationFuture`]): the async API.
+    Async,
+}
+
+/// One parked waiter of a pending query. A match commit *answers* it;
+/// cancellation, expiry and supersession *resolve* it with the matching
+/// terminal outcome — every code path that removes a pending query must
+/// consume its waiter through one of those two methods, never drop it
+/// silently (a silently dropped future waiter would leave the future
+/// pending forever).
+#[derive(Debug)]
+pub(crate) enum Waiter {
+    /// The sync ticket's channel. Terminal outcomes other than an
+    /// answer just drop the sender: the blocked receiver observes the
+    /// disconnect, exactly as before the async API existed.
+    Channel(Sender<MatchNotification>),
+    /// The async future's completion slot.
+    Future(Arc<TicketShared>),
+}
+
+impl Waiter {
+    /// Delivers a match notification.
+    pub(crate) fn notify_answered(self, n: MatchNotification) {
+        match self {
+            // the receiver may have been dropped
+            Waiter::Channel(tx) => drop(tx.send(n)),
+            Waiter::Future(shared) => shared.complete(CoordinationOutcome::Answered(n)),
+        }
+    }
+
+    /// Resolves the waiter with a non-answer terminal outcome
+    /// (cancelled / expired / superseded).
+    pub(crate) fn resolve_terminal(self, outcome: CoordinationOutcome) {
+        match self {
+            Waiter::Channel(_) => {} // dropping the sender disconnects the ticket
+            Waiter::Future(shared) => shared.complete(outcome),
+        }
+    }
+}
+
+/// Outcome of a mode-parameterized arrival: the sync [`Submission`] or
+/// the async [`CoordinationFuture`], remembering whether the query was
+/// left pending at creation time (the sharded coordinator's placement
+/// healing keys off that).
+pub(crate) enum Arrival {
+    /// Sync submission outcome.
+    Sync(Submission),
+    /// Async submission outcome.
+    Async {
+        /// The future handed to the submitter.
+        future: CoordinationFuture,
+        /// Whether the query was registered as pending (vs answered on
+        /// arrival).
+        pending: bool,
+    },
+}
+
+impl Arrival {
+    /// Whether the arrival left the query pending.
+    pub(crate) fn is_pending(&self) -> bool {
+        match self {
+            Arrival::Sync(s) => matches!(s, Submission::Pending(_)),
+            Arrival::Async { pending, .. } => *pending,
+        }
+    }
+
+    /// Unwraps the sync variant (callers pass `WaitMode::Sync`).
+    pub(crate) fn into_sync(self) -> Submission {
+        match self {
+            Arrival::Sync(s) => s,
+            Arrival::Async { .. } => unreachable!("sync arrival produced an async outcome"),
+        }
+    }
+
+    /// Unwraps the async variant (callers pass `WaitMode::Async`).
+    pub(crate) fn into_async(self) -> CoordinationFuture {
+        match self {
+            Arrival::Async { future, .. } => future,
+            Arrival::Sync(_) => unreachable!("async arrival produced a sync outcome"),
+        }
+    }
+}
+
 /// One independent matching domain (the whole system for the serial
 /// coordinator; one shard for the sharded coordinator).
 pub(crate) struct ShardState {
@@ -345,8 +435,9 @@ pub(crate) struct ShardState {
     pub rng: StdRng,
     /// Counters local to this domain (merge across shards for totals).
     pub stats: SystemStats,
-    /// Notification channels of this domain's pending queries.
-    pub waiters: HashMap<QueryId, Sender<MatchNotification>>,
+    /// Parked waiters (ticket channels or future wakers) of this
+    /// domain's pending queries.
+    pub waiters: HashMap<QueryId, Waiter>,
     /// Queries answered (removed) since the owner last drained this
     /// log. The sharded coordinator uses it to retire router
     /// memberships; the serial coordinator clears it after each call.
@@ -380,13 +471,18 @@ pub(crate) struct Engine {
 impl Engine {
     /// Registers an arrived (already safety-checked, namespaced)
     /// pending query and runs arrival-driven matching, cascading
-    /// through freshly committed answers until quiescent.
-    pub(crate) fn process_arrival(
+    /// through freshly committed answers until quiescent. `mode` picks
+    /// the notification style: a pending query parks either a ticket
+    /// channel or a future's completion slot in the waiter table. The
+    /// waiter is registered under the caller's lock on `state`, so a
+    /// completion racing in from another arrival can never miss it.
+    pub(crate) fn process_arrival_mode(
         &self,
         state: &mut ShardState,
         pending: Pending,
         hook: HookRef,
-    ) -> CoreResult<Submission> {
+        mode: WaitMode,
+    ) -> CoreResult<Arrival> {
         let qid = pending.id;
         state.registry.insert(pending);
         state.stats.submitted += 1;
@@ -407,16 +503,34 @@ impl Engine {
                 // postconditions ("the system-wide answer relation"):
                 // cascade until quiescent.
                 self.cascade(state, fresh, hook)?;
-                Ok(Submission::Answered(n))
+                Ok(match mode {
+                    WaitMode::Sync => Arrival::Sync(Submission::Answered(n)),
+                    WaitMode::Async => Arrival::Async {
+                        future: CoordinationFuture::ready(qid, CoordinationOutcome::Answered(n)),
+                        pending: false,
+                    },
+                })
             }
-            None => {
-                let (tx, rx) = unbounded();
-                state.waiters.insert(qid, tx);
-                Ok(Submission::Pending(Ticket {
-                    id: qid,
-                    receiver: rx,
-                }))
-            }
+            None => Ok(match mode {
+                WaitMode::Sync => {
+                    let (tx, rx) = unbounded();
+                    state.waiters.insert(qid, Waiter::Channel(tx));
+                    Arrival::Sync(Submission::Pending(Ticket {
+                        id: qid,
+                        receiver: rx,
+                    }))
+                }
+                WaitMode::Async => {
+                    let shared = Arc::new(TicketShared::default());
+                    state
+                        .waiters
+                        .insert(qid, Waiter::Future(Arc::clone(&shared)));
+                    Arrival::Async {
+                        future: CoordinationFuture::new(qid, shared),
+                        pending: true,
+                    }
+                }
+            }),
         }
     }
 
@@ -574,8 +688,8 @@ impl Engine {
                 group: group.clone(),
                 answers: m.answers.get(&qid).cloned().unwrap_or_default(),
             };
-            if let Some(tx) = state.waiters.remove(&qid) {
-                let _ = tx.send(n.clone()); // receiver may have been dropped
+            if let Some(waiter) = state.waiters.remove(&qid) {
+                waiter.notify_answered(n.clone());
             }
             notifications.push(n);
         }

@@ -57,6 +57,7 @@ pub mod compile;
 pub mod coordinator;
 pub mod engine;
 pub mod error;
+pub mod future;
 pub mod ir;
 pub mod matcher;
 pub mod registry;
@@ -71,6 +72,7 @@ pub use coordinator::{
 };
 pub use engine::{CoordEvent, CoordinationLog};
 pub use error::{CoreError, CoreResult};
+pub use future::{CoordinationFuture, CoordinationOutcome, WaiterSet};
 pub use ir::{AnswerConstraint, Atom, EntangledQuery, Filter, Membership, QueryId, Term, Var};
 pub use matcher::{GroupMatch, MatchConfig, MatchStats};
 pub use registry::{HeadRef, Pending, Registry};

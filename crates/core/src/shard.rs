@@ -86,9 +86,11 @@ use crate::coordinator::{
     SystemStats, Ticket,
 };
 use crate::engine::{
-    match_graph_of, replay_coordination_frames, CoordEvent, CoordinationLog, Engine, ShardState,
+    match_graph_of, replay_coordination_frames, Arrival, CoordEvent, CoordinationLog, Engine,
+    ShardState, WaitMode, Waiter,
 };
 use crate::error::{CoreError, CoreResult};
+use crate::future::{CoordinationFuture, CoordinationOutcome, TicketShared};
 use crate::ir::{EntangledQuery, QueryId};
 use crate::matcher::{GroupMatch, MatchStats};
 use crate::registry::Pending;
@@ -128,6 +130,14 @@ pub type BatchOutcome = CoreResult<Submission>;
 
 /// One shard's drain bucket: `(input index, prepared pending query)`.
 type Bucket = Vec<(usize, Pending)>;
+
+/// What a drain hands back: per-slot outcomes, the answered log, and
+/// the ids that may still be pending (for placement healing).
+type DrainResult = (
+    Vec<(usize, CoreResult<Arrival>)>,
+    Vec<QueryId>,
+    Vec<QueryId>,
+);
 
 // ------------------------------------------------------------------ //
 // Router: union-find over answer-relation signatures
@@ -517,6 +527,39 @@ impl ShardedCoordinator {
     /// shard lock, so a concurrent checkpoint cannot lose it — before
     /// the arrival is processed or acknowledged.
     pub fn submit(&self, owner: &str, query: EntangledQuery) -> CoreResult<Submission> {
+        self.submit_mode(owner, query, WaitMode::Sync)
+            .map(Arrival::into_sync)
+    }
+
+    /// Submits one entangled query given as SQL text, returning a
+    /// [`CoordinationFuture`] instead of a blocking ticket.
+    pub fn submit_sql_async(&self, owner: &str, sql: &str) -> CoreResult<CoordinationFuture> {
+        let compiled = compile_sql(sql)?;
+        self.submit_async(owner, compiled)
+    }
+
+    /// Submits one compiled entangled query asynchronously: identical
+    /// routing, logging and matching as [`ShardedCoordinator::submit`],
+    /// but the returned handle is a poll-based future whose waker is
+    /// fired — under the owning shard's lock — by whichever path
+    /// terminates the query: a match commit, a cancellation, an expiry
+    /// sweep, or a reattach. Thousands of these can be held in flight
+    /// by one [`crate::WaiterSet`] thread.
+    pub fn submit_async(
+        &self,
+        owner: &str,
+        query: EntangledQuery,
+    ) -> CoreResult<CoordinationFuture> {
+        self.submit_mode(owner, query, WaitMode::Async)
+            .map(Arrival::into_async)
+    }
+
+    fn submit_mode(
+        &self,
+        owner: &str,
+        query: EntangledQuery,
+        mode: WaitMode,
+    ) -> CoreResult<Arrival> {
         if let Err(e) = check_safety(&query, self.engine.config.safety) {
             self.rejected_unsafe.fetch_add(1, Ordering::Relaxed);
             return Err(e);
@@ -550,9 +593,12 @@ impl ShardedCoordinator {
             let mut state = self.shard_lock(shard);
             match self.engine.db.log_event(&event) {
                 Ok(()) => {
-                    let result = self
-                        .engine
-                        .process_arrival(&mut state, pending, hook_ref(&hook));
+                    let result = self.engine.process_arrival_mode(
+                        &mut state,
+                        pending,
+                        hook_ref(&hook),
+                        mode,
+                    );
                     (result, std::mem::take(&mut state.answered_log))
                 }
                 Err(e) => {
@@ -565,7 +611,7 @@ impl ShardedCoordinator {
         self.retire(answered);
         // heal on Err as well: an apply failure reinstates the query as
         // pending, and a concurrent merge may have re-routed it
-        if matches!(result, Ok(Submission::Pending(_)) | Err(_)) {
+        if !matches!(&result, Ok(a) if !a.is_pending()) {
             self.heal_placement(shard, &[qid], &hook);
         }
         result
@@ -589,7 +635,46 @@ impl ShardedCoordinator {
         &self,
         requests: Vec<(String, CoreResult<EntangledQuery>)>,
     ) -> Vec<BatchOutcome> {
-        let mut outcomes: Vec<Option<BatchOutcome>> = Vec::with_capacity(requests.len());
+        self.submit_batch_mode(requests, WaitMode::Sync)
+            .into_iter()
+            .map(|r| r.map(Arrival::into_sync))
+            .collect()
+    }
+
+    /// [`ShardedCoordinator::submit_batch_sql`], async flavor: every
+    /// accepted request comes back as a [`CoordinationFuture`] (already
+    /// resolved when its arrival completed a group within the batch).
+    pub fn submit_batch_sql_async(
+        &self,
+        requests: &[(String, String)],
+    ) -> Vec<CoreResult<CoordinationFuture>> {
+        let compiled: Vec<(String, CoreResult<EntangledQuery>)> = requests
+            .iter()
+            .map(|(owner, sql)| (owner.clone(), compile_sql(sql)))
+            .collect();
+        self.submit_batch_async(compiled)
+    }
+
+    /// [`ShardedCoordinator::submit_batch`], async flavor. Outcomes are
+    /// returned in input order; the same routing, group-commit and
+    /// drain machinery runs underneath, so matches are identical to a
+    /// sync batch of the same requests under a fixed seed.
+    pub fn submit_batch_async(
+        &self,
+        requests: Vec<(String, CoreResult<EntangledQuery>)>,
+    ) -> Vec<CoreResult<CoordinationFuture>> {
+        self.submit_batch_mode(requests, WaitMode::Async)
+            .into_iter()
+            .map(|r| r.map(Arrival::into_async))
+            .collect()
+    }
+
+    fn submit_batch_mode(
+        &self,
+        requests: Vec<(String, CoreResult<EntangledQuery>)>,
+        mode: WaitMode,
+    ) -> Vec<CoreResult<Arrival>> {
+        let mut outcomes: Vec<Option<CoreResult<Arrival>>> = Vec::with_capacity(requests.len());
         outcomes.resize_with(requests.len(), || None);
 
         // Phase 1 (no locks): compile outcomes + safety, id allocation
@@ -663,11 +748,11 @@ impl ShardedCoordinator {
             .collect();
         let worker_count = self.workers.min(busy.len()).max(1);
 
-        let mut drained: Vec<(usize, BatchOutcome)> = Vec::new();
+        let mut drained: Vec<(usize, CoreResult<Arrival>)> = Vec::new();
         let mut answered: Vec<QueryId> = Vec::new();
         let mut still_pending: Vec<(usize, QueryId)> = Vec::new(); // (shard, qid)
         let cursor = AtomicU64::new(0);
-        let worker = |results: &mut Vec<(usize, BatchOutcome)>,
+        let worker = |results: &mut Vec<(usize, CoreResult<Arrival>)>,
                       log: &mut Vec<QueryId>,
                       pending_out: &mut Vec<(usize, QueryId)>| {
             loop {
@@ -679,7 +764,7 @@ impl ShardedCoordinator {
                     .lock()
                     .drain(..)
                     .collect::<Vec<_>>();
-                let (mut r, mut l, maybe_pending) = self.drain_shard(shard, bucket, &hook);
+                let (mut r, mut l, maybe_pending) = self.drain_shard(shard, bucket, &hook, mode);
                 pending_out.extend(maybe_pending.into_iter().map(|qid| (shard, qid)));
                 results.append(&mut r);
                 log.append(&mut l);
@@ -743,7 +828,8 @@ impl ShardedCoordinator {
         shard: usize,
         bucket: Bucket,
         hook: &Option<SharedApplyHook>,
-    ) -> (Vec<(usize, BatchOutcome)>, Vec<QueryId>, Vec<QueryId>) {
+        mode: WaitMode,
+    ) -> DrainResult {
         let mut state = self.shard_lock(shard);
         // log-before-ack, batch flavor: every registration of the
         // bucket is durable before any of its arrivals is processed
@@ -772,10 +858,10 @@ impl ShardedCoordinator {
         let mut maybe_pending = Vec::new();
         for (idx, pending) in bucket {
             let qid = pending.id;
-            let outcome = self
-                .engine
-                .process_arrival(&mut state, pending, hook_ref(hook));
-            if matches!(outcome, Ok(Submission::Pending(_)) | Err(_)) {
+            let outcome =
+                self.engine
+                    .process_arrival_mode(&mut state, pending, hook_ref(hook), mode);
+            if !matches!(&outcome, Ok(a) if !a.is_pending()) {
                 maybe_pending.push(qid);
             }
             results.push((idx, outcome));
@@ -915,7 +1001,10 @@ impl ShardedCoordinator {
                 .db
                 .log_event(&CoordEvent::QueryCancelled { qid })
                 .map_err(CoreError::Storage)?;
-            state.waiters.remove(&qid);
+            if let Some(waiter) = state.waiters.remove(&qid) {
+                // a parked future must resolve, not hang forever
+                waiter.resolve_terminal(CoordinationOutcome::Cancelled);
+            }
             state.registry.remove(qid);
         }
         router.purge(qid);
@@ -932,6 +1021,7 @@ impl ShardedCoordinator {
         self.sweep(
             |p| p.owner == owner,
             |qid| CoordEvent::QueryCancelled { qid },
+            CoordinationOutcome::Cancelled,
         )
         .len()
     }
@@ -943,16 +1033,22 @@ impl ShardedCoordinator {
     /// write fails is skipped (partial result, never an unlogged
     /// removal).
     pub fn expire_before(&self, min_seq: u64) -> Vec<QueryId> {
-        self.sweep(|p| p.seq < min_seq, |qid| CoordEvent::QueryExpired { qid })
+        self.sweep(
+            |p| p.seq < min_seq,
+            |qid| CoordEvent::QueryExpired { qid },
+            CoordinationOutcome::Expired,
+        )
     }
 
     /// Removes every pending query matching `select`, logging `event`
     /// for each before it is removed (per shard: one group commit, then
-    /// the removals). Returns the removed ids.
+    /// the removals). Parked waiters resolve with `outcome`, so async
+    /// futures terminate instead of hanging. Returns the removed ids.
     fn sweep(
         &self,
         select: impl Fn(&Pending) -> bool,
         event: impl Fn(QueryId) -> CoordEvent,
+        outcome: CoordinationOutcome,
     ) -> Vec<QueryId> {
         let mut victims = Vec::new();
         for shard in 0..self.shards.len() {
@@ -972,7 +1068,9 @@ impl ShardedCoordinator {
             }
             for qid in ids {
                 state.registry.remove(qid);
-                state.waiters.remove(&qid);
+                if let Some(waiter) = state.waiters.remove(&qid) {
+                    waiter.resolve_terminal(outcome.clone());
+                }
                 victims.push(qid);
             }
         }
@@ -996,7 +1094,9 @@ impl ShardedCoordinator {
                 .collect();
             for qid in ids {
                 let (tx, rx) = unbounded();
-                state.waiters.insert(qid, tx);
+                if let Some(old) = state.waiters.insert(qid, Waiter::Channel(tx)) {
+                    old.resolve_terminal(CoordinationOutcome::Superseded);
+                }
                 tickets.push(Ticket {
                     id: qid,
                     receiver: rx,
@@ -1005,6 +1105,39 @@ impl ShardedCoordinator {
         }
         tickets.sort_by_key(|t| t.id.0);
         tickets
+    }
+
+    /// [`ShardedCoordinator::reattach`], async flavor: hands the
+    /// reconnecting owner a live [`CoordinationFuture`] per
+    /// still-pending query — including queries restored by
+    /// [`ShardedCoordinator::recover`], whose pre-crash waiters died
+    /// with the process. The fresh waiter is re-armed under the owning
+    /// shard's lock, so a match racing in on another thread either sees
+    /// it or has already retired the query. Any previous handle for the
+    /// same query resolves [`CoordinationOutcome::Superseded`].
+    pub fn reattach_async(&self, owner: &str) -> Vec<CoordinationFuture> {
+        let mut futures = Vec::new();
+        for shard in 0..self.shards.len() {
+            let mut state = self.shard_lock(shard);
+            let ids: Vec<QueryId> = state
+                .registry
+                .iter()
+                .filter(|p| p.owner == owner)
+                .map(|p| p.id)
+                .collect();
+            for qid in ids {
+                let shared = Arc::new(TicketShared::default());
+                if let Some(old) = state
+                    .waiters
+                    .insert(qid, Waiter::Future(Arc::clone(&shared)))
+                {
+                    old.resolve_terminal(CoordinationOutcome::Superseded);
+                }
+                futures.push(CoordinationFuture::new(qid, shared));
+            }
+        }
+        futures.sort_by_key(|f| f.id().0);
+        futures
     }
 
     /// Retries matching for every pending query on every shard (useful
@@ -1855,6 +1988,131 @@ mod tests {
         assert_eq!(stats.answered, 2);
         assert_eq!(stats.groups_matched, 1);
         assert!(stats.matching_nanos > 0);
+    }
+
+    #[test]
+    fn async_batch_resolves_futures_across_shards() {
+        use crate::future::WaiterSet;
+
+        let co = ShardedCoordinator::new(flights_db());
+        // 4 pairs over 4 relations: first halves pend, second halves
+        // close each group during the same batch drain
+        let requests: Vec<(String, String)> = (0..8)
+            .map(|k| {
+                let rel = format!("Res{}", k % 4);
+                let (me, friend) = if k < 4 {
+                    (format!("L{k}"), format!("R{k}"))
+                } else {
+                    (format!("R{}", k - 4), format!("L{}", k - 4))
+                };
+                (me.clone(), pair_sql_on(&rel, &me, &friend))
+            })
+            .collect();
+        let mut set = WaiterSet::new();
+        for outcome in co.submit_batch_sql_async(&requests) {
+            set.insert(outcome.expect("batch queries are safe"));
+        }
+        assert_eq!(set.len(), 8);
+        let completed = set.drain_timeout(std::time::Duration::from_secs(5));
+        assert_eq!(completed.len(), 8, "every future resolves");
+        assert!(set.is_empty());
+        assert!(completed
+            .iter()
+            .all(|(_, o)| matches!(o, crate::future::CoordinationOutcome::Answered(_))));
+        assert_eq!(co.pending_count(), 0);
+        co.check_routing_invariants().unwrap();
+    }
+
+    /// Regression (async-submission PR, satellite 1): sharded `cancel`
+    /// and `expire_before` must wake parked future waiters with their
+    /// terminal outcomes.
+    #[test]
+    fn sharded_cancel_and_expire_wake_parked_futures() {
+        use crate::future::CoordinationOutcome;
+
+        let co = ShardedCoordinator::new(flights_db());
+        let mut a = co
+            .submit_sql_async("a", &pair_sql_on("Res0", "A", "GhostA"))
+            .unwrap();
+        let mut b = co
+            .submit_sql_async("b", &pair_sql_on("Res1", "B", "GhostB"))
+            .unwrap();
+        let mut c = co
+            .submit_sql_async("c", &pair_sql_on("Res2", "C", "GhostC"))
+            .unwrap();
+        co.cancel(a.id()).unwrap();
+        assert_eq!(
+            a.wait_timeout(std::time::Duration::from_secs(5)),
+            Some(CoordinationOutcome::Cancelled)
+        );
+        assert_eq!(co.cancel_owner("b"), 1);
+        assert_eq!(b.try_take(), Some(CoordinationOutcome::Cancelled));
+        assert_eq!(co.expire_before(u64::MAX).len(), 1);
+        assert_eq!(c.try_take(), Some(CoordinationOutcome::Expired));
+        co.check_routing_invariants().unwrap();
+    }
+
+    #[test]
+    fn migrated_future_still_resolves_after_component_merge() {
+        use crate::future::CoordinationOutcome;
+
+        let co = ShardedCoordinator::with_config(
+            flights_db(),
+            ShardedConfig {
+                shards: 4,
+                ..Default::default()
+            },
+        );
+        // X waits on RelA/RelB; Y's bridge merges in RelC and completes
+        // the pair — X's future must survive the waiter migration
+        let x = "SELECT 'X', fno INTO ANSWER RelA \
+                 WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') \
+                 AND ('Y', fno) IN ANSWER RelB CHOOSE 1";
+        let mut fx = co.submit_sql_async("x", x).unwrap();
+        co.submit_sql("noise", &pair_sql_on("RelC", "N", "GhostN"))
+            .unwrap();
+        let y = "SELECT 'Y', fno INTO ANSWER RelB, 'Y', fno INTO ANSWER RelC \
+                 WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') \
+                 AND ('X', fno) IN ANSWER RelA CHOOSE 1";
+        let sub_y = co.submit_sql("y", y).unwrap();
+        assert!(matches!(sub_y, Submission::Answered(_)));
+        assert!(matches!(
+            fx.wait_timeout(std::time::Duration::from_secs(5)),
+            Some(CoordinationOutcome::Answered(_))
+        ));
+        co.check_routing_invariants().unwrap();
+    }
+
+    #[test]
+    fn recover_then_reattach_async_resumes_futures() {
+        let db = flights_db_wal();
+        let co = ShardedCoordinator::new(db.clone());
+        let f0 = co
+            .submit_sql_async("kramer", &pair_sql_on("Res0", "Kramer", "Jerry"))
+            .unwrap();
+        let f1 = co
+            .submit_sql_async("kramer", &pair_sql_on("Res1", "Kramer", "Elaine"))
+            .unwrap();
+        let bytes = db.wal_bytes().unwrap();
+        drop((f0, f1)); // the front-end dies with its futures
+        drop(co);
+
+        let (co2, report) =
+            ShardedCoordinator::recover(Wal::from_bytes(bytes), ShardedConfig::default()).unwrap();
+        assert_eq!(report.restored_pending, 2);
+        let mut futures = co2.reattach_async("kramer");
+        assert_eq!(futures.len(), 2);
+        co2.submit_sql("jerry", &pair_sql_on("Res0", "Jerry", "Kramer"))
+            .unwrap();
+        co2.submit_sql("elaine", &pair_sql_on("Res1", "Elaine", "Kramer"))
+            .unwrap();
+        for f in &mut futures {
+            let outcome = f
+                .wait_timeout(std::time::Duration::from_secs(5))
+                .expect("reattached future resolves");
+            assert!(outcome.answered().is_some());
+        }
+        assert_eq!(co2.pending_count(), 0);
     }
 
     #[test]

@@ -58,6 +58,6 @@ pub use notify::{Message, Notifier};
 pub use social::SocialGraph;
 pub use travel::{AccountView, BookingOutcome, FlightPrefs, TravelService};
 pub use workload::{
-    drive_batched, drive_concurrent, run_crash_restart, CrashReport, CrashScenario, DriveReport,
-    Request, WorkloadGen,
+    drive_async, drive_batched, drive_concurrent, run_crash_restart, AsyncDriveReport, CrashReport,
+    CrashScenario, DriveReport, Request, WorkloadGen,
 };

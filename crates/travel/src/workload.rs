@@ -9,7 +9,9 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
-use youtopia_core::{ShardedConfig, ShardedCoordinator, Submission};
+use youtopia_core::{
+    CoordinationOutcome, ShardedConfig, ShardedCoordinator, Submission, WaiterSet,
+};
 use youtopia_exec::run_sql;
 use youtopia_storage::Database;
 
@@ -452,6 +454,71 @@ pub fn drive_batched(
     report
 }
 
+/// What [`drive_async`] observed: the per-request outcome counts, the
+/// completions harvested so far, the set still holding the in-flight
+/// futures, and the high-water mark of futures held at once.
+pub struct AsyncDriveReport {
+    /// Outcome counts, comparable to [`drive_batched`]'s report:
+    /// `answered` counts harvested [`CoordinationOutcome::Answered`]
+    /// completions, `pending` the futures still in flight.
+    pub drive: DriveReport,
+    /// Every completion harvested during the drive, in harvest order.
+    pub completed: Vec<(youtopia_core::QueryId, CoordinationOutcome)>,
+    /// The in-flight futures (drive them further, cancel them, or drop
+    /// them to simulate a dying front-end).
+    pub waiters: WaiterSet,
+    /// Most futures held in flight at any point during the drive — the
+    /// quantity the async API exists to scale (thousands per thread,
+    /// where the sync API needs a thread per waiter).
+    pub max_in_flight: usize,
+}
+
+/// Submits `requests` asynchronously in batches of `batch_size`,
+/// holding every pending coordination as a [`CoordinationFuture`] in
+/// one [`WaiterSet`] — no thread ever blocks per waiter, so one driver
+/// thread sustains thousands of in-flight coordinations. Completions
+/// are harvested (non-blocking) between batches and once more at the
+/// end; futures still in flight ride along in the returned report.
+pub fn drive_async(
+    coordinator: &ShardedCoordinator,
+    requests: &[Request],
+    batch_size: usize,
+) -> AsyncDriveReport {
+    let batch_size = batch_size.max(1);
+    let mut report = DriveReport::default();
+    let mut waiters = WaiterSet::new();
+    let mut completed = Vec::new();
+    let mut max_in_flight = 0usize;
+    for chunk in requests.chunks(batch_size) {
+        let batch: Vec<(String, String)> = chunk
+            .iter()
+            .map(|r| (r.owner.clone(), r.sql.clone()))
+            .collect();
+        for outcome in coordinator.submit_batch_sql_async(&batch) {
+            match outcome {
+                Ok(future) => {
+                    waiters.insert(future);
+                }
+                Err(_) => report.rejected += 1,
+            }
+        }
+        max_in_flight = max_in_flight.max(waiters.len());
+        completed.extend(waiters.poll_ready());
+    }
+    completed.extend(waiters.poll_ready());
+    report.answered = completed
+        .iter()
+        .filter(|(_, o)| matches!(o, CoordinationOutcome::Answered(_)))
+        .count();
+    report.pending = waiters.len();
+    AsyncDriveReport {
+        drive: report,
+        completed,
+        waiters,
+        max_in_flight,
+    }
+}
+
 /// Splits `requests` across `threads` submitter threads, each driving
 /// its slice through [`drive_batched`] concurrently (the concurrent
 /// submission mode of the workload driver). Interleaving across
@@ -572,6 +639,34 @@ mod tests {
         assert_eq!(report.pending, 6);
         assert_eq!(report.rejected, 0);
         assert_eq!(co.pending_count(), 0);
+        co.check_routing_invariants().unwrap();
+    }
+
+    #[test]
+    fn async_driver_matches_pairs_and_tracks_in_flight() {
+        let mut generator = WorkloadGen::new(6);
+        let db = generator.build_database(50, &["Paris"]).unwrap();
+        let co = ShardedCoordinator::new(db);
+        let reqs = generator.pair_storm_multi(6, "Paris", 3);
+        let report = drive_async(&co, &reqs, 4);
+        assert_eq!(report.drive.answered, 12, "all 6 pairs close");
+        assert_eq!(report.drive.pending, 0);
+        assert_eq!(report.drive.rejected, 0);
+        assert!(report.waiters.is_empty());
+        assert!(
+            report.max_in_flight >= 6,
+            "all first halves were in flight at once (saw {})",
+            report.max_in_flight
+        );
+        // same end state as the sync driver under the same seed; the
+        // async report's `answered` also harvests the first halves the
+        // sync report counts as `pending` (their tickets fired later)
+        let mut generator = WorkloadGen::new(6);
+        let db = generator.build_database(50, &["Paris"]).unwrap();
+        let sync_co = ShardedCoordinator::new(db);
+        let sync = drive_batched(&sync_co, &generator.pair_storm_multi(6, "Paris", 3), 4);
+        assert_eq!(report.drive.answered, sync.answered + sync.pending);
+        assert_eq!(co.pending_count(), sync_co.pending_count());
         co.check_routing_invariants().unwrap();
     }
 

@@ -33,9 +33,9 @@ pub use youtopia_storage as storage;
 pub use youtopia_travel as travel;
 
 pub use youtopia_core::{
-    compile_sql, CoordEvent, CoordinationLog, Coordinator, CoordinatorConfig, GroupMatch,
-    MatchNotification, MatcherKind, QueryId, RecoveryReport, SafetyMode, ShardedConfig,
-    ShardedCoordinator, Submission,
+    compile_sql, CoordEvent, CoordinationFuture, CoordinationLog, CoordinationOutcome, Coordinator,
+    CoordinatorConfig, GroupMatch, MatchNotification, MatcherKind, QueryId, RecoveryReport,
+    SafetyMode, ShardedConfig, ShardedCoordinator, Submission, WaiterSet,
 };
 pub use youtopia_exec::{run_sql, StatementOutcome};
 pub use youtopia_storage::Database;

@@ -1,0 +1,273 @@
+//! Equivalence property (acceptance criterion of the async-submission
+//! PR): under a fixed seed with randomization disabled, driving a
+//! workload through `submit_async` + a [`WaiterSet`] yields the
+//! **identical** set of coordination outcomes — group members *and*
+//! answer tuples — and the identical pending set as the sync `submit`
+//! path, on both the serial and the sharded (batch-draining)
+//! coordinator. Same discipline as `prop_shard_equivalence.rs`.
+//!
+//! Why this should hold exactly: the async path shares every stage of
+//! the sync path — id allocation, logging, routing, arrival-driven
+//! matching — and differs only in *how a pending query's completion is
+//! delivered* (a parked waker instead of a blocking channel). With
+//! randomization off the matcher is deterministic, so the only way the
+//! property can fail is a bug in the waiter lifecycle itself: a waker
+//! lost by a migration, a completion delivered twice, or a future left
+//! pending past its terminal event.
+
+use proptest::prelude::*;
+
+use youtopia::core::MatchConfig;
+use youtopia::{
+    run_sql, CoordinationOutcome, Coordinator, CoordinatorConfig, Database, MatchNotification,
+    ShardedConfig, ShardedCoordinator, Submission, WaiterSet,
+};
+
+/// One generated workload: pair requests `(me, friend, relation, dest)`
+/// over small pools, so coordinations actually fire and relations form
+/// several independent components.
+#[derive(Debug, Clone)]
+struct Workload {
+    requests: Vec<(String, String, String, String)>,
+}
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    let name = prop_oneof![Just("A"), Just("B"), Just("C"), Just("D")];
+    let relation = prop_oneof![Just("Res0"), Just("Res1"), Just("Res2"), Just("Res3")];
+    let dest = prop_oneof![Just("Paris"), Just("Rome")];
+    proptest::collection::vec((name.clone(), name, relation, dest), 1..14).prop_map(|reqs| {
+        Workload {
+            requests: reqs
+                .into_iter()
+                .map(|(a, b, r, d)| (a.to_string(), b.to_string(), r.to_string(), d.to_string()))
+                .collect(),
+        }
+    })
+}
+
+fn scenario_db() -> Database {
+    let db = Database::new();
+    run_sql(
+        &db,
+        "CREATE TABLE Flights (fno INT PRIMARY KEY, dest STRING)",
+    )
+    .unwrap();
+    run_sql(
+        &db,
+        "INSERT INTO Flights VALUES (1, 'Paris'), (2, 'Paris'), (3, 'Rome')",
+    )
+    .unwrap();
+    db
+}
+
+fn pair_sql(me: &str, friend: &str, relation: &str, dest: &str) -> String {
+    format!(
+        "SELECT '{me}', fno INTO ANSWER {relation} \
+         WHERE fno IN (SELECT fno FROM Flights WHERE dest = '{dest}') \
+         AND ('{friend}', fno) IN ANSWER {relation} CHOOSE 1"
+    )
+}
+
+fn config(seed: u64) -> CoordinatorConfig {
+    CoordinatorConfig {
+        match_config: MatchConfig {
+            randomize: false,
+            ..MatchConfig::default()
+        },
+        seed,
+        ..CoordinatorConfig::default()
+    }
+}
+
+/// Canonical, comparable form of one query's coordination outcome:
+/// `(qid, sorted group ids, answers)`.
+type Outcome = (u64, Vec<u64>, Vec<(String, Vec<String>)>);
+
+fn canonical(n: &MatchNotification) -> Outcome {
+    let mut group: Vec<u64> = n.group.iter().map(|q| q.0).collect();
+    group.sort_unstable();
+    let answers = n
+        .answers
+        .iter()
+        .map(|(rel, tuple)| {
+            (
+                rel.clone(),
+                tuple.values().iter().map(|v| format!("{v:?}")).collect(),
+            )
+        })
+        .collect();
+    (n.id.0, group, answers)
+}
+
+/// Runs the workload through the serial coordinator's sync path,
+/// collecting every notification (immediate or via ticket) plus the
+/// still-pending ids.
+fn run_serial_sync(w: &Workload, seed: u64) -> (Vec<Outcome>, Vec<u64>) {
+    let co = Coordinator::with_config(scenario_db(), config(seed));
+    let mut tickets = Vec::new();
+    let mut outcomes = Vec::new();
+    for (me, friend, rel, dest) in &w.requests {
+        match co.submit_sql(me, &pair_sql(me, friend, rel, dest)).unwrap() {
+            Submission::Answered(n) => outcomes.push(canonical(&n)),
+            Submission::Pending(t) => tickets.push(t),
+        }
+    }
+    let mut pending = Vec::new();
+    for t in tickets {
+        match t.receiver.try_recv() {
+            Ok(n) => outcomes.push(canonical(&n)),
+            Err(_) => pending.push(t.id.0),
+        }
+    }
+    outcomes.sort();
+    pending.sort_unstable();
+    (outcomes, pending)
+}
+
+/// Harvests a [`WaiterSet`] to quiescence and splits the result into
+/// canonical answered outcomes and the still-pending id set. Every
+/// future whose query terminated must resolve here — a future still in
+/// the set *is* the async pending set.
+fn harvest(mut set: WaiterSet) -> (Vec<Outcome>, Vec<u64>) {
+    // completions fire synchronously inside the submit calls (wakers
+    // run under the shard lock), so one non-blocking poll harvests
+    // everything that will ever resolve
+    let mut outcomes = Vec::new();
+    for (qid, outcome) in set.poll_ready() {
+        match outcome {
+            CoordinationOutcome::Answered(n) => {
+                assert_eq!(n.id, qid, "notification delivered to its own future");
+                outcomes.push(canonical(&n));
+            }
+            other => panic!("workload never cancels/expires, got {other:?} for {qid}"),
+        }
+    }
+    let pending = set.ids().into_iter().map(|q| q.0).collect();
+    (outcomes, pending)
+}
+
+/// Runs the workload through the serial coordinator's async path: every
+/// submission becomes a future held in one [`WaiterSet`].
+fn run_serial_async(w: &Workload, seed: u64) -> (Vec<Outcome>, Vec<u64>) {
+    let co = Coordinator::with_config(scenario_db(), config(seed));
+    let mut set = WaiterSet::new();
+    for (me, friend, rel, dest) in &w.requests {
+        let future = co
+            .submit_sql_async(me, &pair_sql(me, friend, rel, dest))
+            .unwrap();
+        set.insert(future);
+    }
+    let (mut outcomes, pending) = harvest(set);
+    outcomes.sort();
+    (outcomes, pending)
+}
+
+/// Runs the workload through the sharded coordinator's sync batch path.
+fn run_sharded_sync(w: &Workload, seed: u64, shards: usize) -> (Vec<Outcome>, Vec<u64>) {
+    let co = ShardedCoordinator::with_config(
+        scenario_db(),
+        ShardedConfig {
+            shards,
+            workers: 4,
+            base: config(seed),
+        },
+    );
+    let batch: Vec<(String, String)> = w
+        .requests
+        .iter()
+        .map(|(me, friend, rel, dest)| (me.clone(), pair_sql(me, friend, rel, dest)))
+        .collect();
+    let mut tickets = Vec::new();
+    let mut outcomes = Vec::new();
+    for outcome in co.submit_batch_sql(&batch) {
+        match outcome.expect("generated queries are safe") {
+            Submission::Answered(n) => outcomes.push(canonical(&n)),
+            Submission::Pending(t) => tickets.push(t),
+        }
+    }
+    let mut pending = Vec::new();
+    for t in tickets {
+        match t.receiver.try_recv() {
+            Ok(n) => outcomes.push(canonical(&n)),
+            Err(_) => pending.push(t.id.0),
+        }
+    }
+    outcomes.sort();
+    pending.sort_unstable();
+    (outcomes, pending)
+}
+
+/// Runs the workload through the sharded coordinator's async batch
+/// path, all futures driven by one [`WaiterSet`].
+fn run_sharded_async(w: &Workload, seed: u64, shards: usize) -> (Vec<Outcome>, Vec<u64>) {
+    let co = ShardedCoordinator::with_config(
+        scenario_db(),
+        ShardedConfig {
+            shards,
+            workers: 4,
+            base: config(seed),
+        },
+    );
+    let batch: Vec<(String, String)> = w
+        .requests
+        .iter()
+        .map(|(me, friend, rel, dest)| (me.clone(), pair_sql(me, friend, rel, dest)))
+        .collect();
+    let mut set = WaiterSet::new();
+    for outcome in co.submit_batch_sql_async(&batch) {
+        set.insert(outcome.expect("generated queries are safe"));
+    }
+    co.check_routing_invariants()
+        .expect("routing invariants hold");
+    let (mut outcomes, pending) = harvest(set);
+    outcomes.sort();
+    (outcomes, pending)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The acceptance property of the async-submission PR: the async
+    /// path (`submit_async` + `WaiterSet`) yields identical matches —
+    /// same answered queries, same groups, same answer tuples — and an
+    /// identical pending set as the sync `submit` path, on the serial
+    /// coordinator.
+    #[test]
+    fn serial_async_equals_sync(workload in arb_workload(), seed in 0u64..1000) {
+        let (sync_outcomes, sync_pending) = run_serial_sync(&workload, seed);
+        let (async_outcomes, async_pending) = run_serial_async(&workload, seed);
+        prop_assert_eq!(
+            &sync_outcomes,
+            &async_outcomes,
+            "matches diverged on {:?}",
+            &workload
+        );
+        prop_assert_eq!(
+            &sync_pending,
+            &async_pending,
+            "pending sets diverged on {:?}",
+            &workload
+        );
+    }
+
+    /// The same equivalence through the sharded coordinator's batch
+    /// drain (4 shards): async batch submission == sync batch
+    /// submission == (by `prop_shard_equivalence`) the serial path.
+    #[test]
+    fn sharded_async_equals_sync(workload in arb_workload(), seed in 0u64..1000) {
+        let (sync_outcomes, sync_pending) = run_sharded_sync(&workload, seed, 4);
+        let (async_outcomes, async_pending) = run_sharded_async(&workload, seed, 4);
+        prop_assert_eq!(
+            &sync_outcomes,
+            &async_outcomes,
+            "matches diverged on {:?}",
+            &workload
+        );
+        prop_assert_eq!(
+            &sync_pending,
+            &async_pending,
+            "pending sets diverged on {:?}",
+            &workload
+        );
+    }
+}

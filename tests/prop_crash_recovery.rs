@@ -191,6 +191,135 @@ proptest! {
         prop_assert_eq!(end_state(&recovered), end_state(&control));
     }
 
+    /// Async flavor of the crash property (async-submission PR): the
+    /// workload prefix is submitted through `submit_sql_async`, every
+    /// future held by a `WaiterSet` that is **dropped at the kill
+    /// point** (the front-end dies with its wakers). After `recover`,
+    /// `reattach_async` hands back live futures for the still-pending
+    /// queries; finishing the workload resolves them with exactly the
+    /// answers of the uncrashed sync control run, and the end states
+    /// coincide.
+    #[test]
+    fn dropped_async_waiters_resume_after_crash(scenario in arb_scenario()) {
+        use std::collections::HashMap;
+        use youtopia::{CoordinationOutcome, WaiterSet};
+
+        let cfg = config(scenario.seed);
+        let cut = scenario.crash_after.min(scenario.steps.len());
+
+        // ---- control: sync, no crash, notifications collected ------ //
+        let control = ShardedCoordinator::with_config(scenario_db(), cfg);
+        let mut control_answers: HashMap<u64, Vec<Vec<u8>>> = HashMap::new();
+        let mut record = |n: &youtopia::MatchNotification| {
+            let answers: Vec<Vec<u8>> =
+                n.answers.iter().map(|(_, t)| t.encode().to_vec()).collect();
+            control_answers.insert(n.id.0, answers);
+        };
+        let mut control_tickets = Vec::new();
+        for step in &scenario.steps {
+            match control
+                .submit_sql(&step.me, &pair_sql(step))
+                .expect("generated queries are safe")
+            {
+                Submission::Answered(n) => record(&n),
+                Submission::Pending(ticket) => {
+                    if step.cancel_if_pending {
+                        let _ = control.cancel(ticket.id);
+                    } else {
+                        control_tickets.push(ticket);
+                    }
+                }
+            }
+        }
+        for ticket in control_tickets {
+            if let Ok(n) = ticket.receiver.try_recv() {
+                record(&n);
+            }
+        }
+
+        // ---- crashed run: async prefix, waiters die at the kill ---- //
+        let db = scenario_db();
+        let co = ShardedCoordinator::with_config(db.clone(), cfg);
+        let mut waiters = WaiterSet::new();
+        for step in &scenario.steps[..cut] {
+            let future = co
+                .submit_sql_async(&step.me, &pair_sql(step))
+                .expect("generated queries are safe");
+            if step.cancel_if_pending && !future.is_complete() {
+                let _ = co.cancel(future.id());
+            }
+            waiters.insert(future);
+        }
+        let wal_bytes = db.wal_bytes().expect("WAL-backed scenario db");
+        drop(waiters); // the front-end dies with its futures
+        drop(co);
+        drop(db);
+
+        let (recovered, _) = ShardedCoordinator::recover(Wal::from_bytes(wal_bytes), cfg)
+            .expect("recovery succeeds");
+        // every owner reconnects and resumes its coordinations as
+        // futures; the suffix of the workload runs async as well
+        let owners: std::collections::BTreeSet<String> = recovered
+            .pending_snapshot()
+            .into_iter()
+            .map(|p| p.owner)
+            .collect();
+        let mut waiters = WaiterSet::new();
+        for owner in owners {
+            for future in recovered.reattach_async(&owner) {
+                waiters.insert(future);
+            }
+        }
+        prop_assert_eq!(waiters.len(), recovered.pending_count());
+        for step in &scenario.steps[cut..] {
+            let future = recovered
+                .submit_sql_async(&step.me, &pair_sql(step))
+                .expect("generated queries are safe");
+            if step.cancel_if_pending && !future.is_complete() {
+                let _ = recovered.cancel(future.id());
+            }
+            waiters.insert(future);
+        }
+
+        // harvest: wakers fire synchronously inside the submit calls,
+        // so one non-blocking poll sees every resolution
+        for (qid, outcome) in waiters.poll_ready() {
+            match outcome {
+                CoordinationOutcome::Answered(n) => {
+                    prop_assert_eq!(n.id.0, qid.0);
+                    let answers: Vec<Vec<u8>> =
+                        n.answers.iter().map(|(_, t)| t.encode().to_vec()).collect();
+                    let control = control_answers.get(&qid.0).unwrap_or_else(|| {
+                        panic!("query {qid} answered after recovery but not in control")
+                    });
+                    prop_assert_eq!(
+                        &answers, control,
+                        "post-recovery future resolved with different answers"
+                    );
+                }
+                CoordinationOutcome::Cancelled => {
+                    prop_assert!(
+                        !control_answers.contains_key(&qid.0),
+                        "cancelled in the recovered run but answered in control"
+                    );
+                }
+                other => prop_assert!(false, "unexpected terminal outcome {:?}", other),
+            }
+        }
+        // the futures still in flight are exactly the pending set
+        let still_pending: Vec<u64> = waiters.ids().into_iter().map(|q| q.0).collect();
+        let mut pending_ids: Vec<u64> = recovered
+            .pending_snapshot()
+            .into_iter()
+            .map(|p| p.id.0)
+            .collect();
+        pending_ids.sort_unstable();
+        prop_assert_eq!(still_pending, pending_ids);
+
+        // ---- equivalence ------------------------------------------- //
+        prop_assert_eq!(end_state(&recovered), end_state(&control));
+    }
+
     /// Recovering a log twice (double crash, no work in between) is
     /// idempotent: same pending set, same answers.
     #[test]

@@ -340,6 +340,255 @@ fn sharded_submit_batch_concurrent_soak() {
     }
 }
 
+/// Mixed sync/async soak (async-submission PR): four submitter threads
+/// — two submitting through `submit_batch_sql_async`, two through the
+/// sync batch path — hammer one sharded coordinator while a single
+/// `WaiterSet` thread holds every async future in flight (standing
+/// noise pushes it past 2k at once) and random cancels race the
+/// matches. At quiescence every async future must have resolved
+/// **exactly once** — no lost completion (a future still pending after
+/// its query terminated) and no double delivery — and the coordinator's
+/// accounting must balance across both notification styles.
+#[test]
+fn mixed_sync_async_soak_loses_no_completions() {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    use youtopia::core::MatchConfig;
+    use youtopia::travel::WorkloadGen;
+    use youtopia::{
+        CoordinationFuture, CoordinationOutcome, CoordinatorConfig, QueryId, ShardedConfig,
+        ShardedCoordinator, Submission, WaiterSet,
+    };
+
+    const ASYNC_THREADS: usize = 2; // plus 2 sync submitters
+    const NOISE_PER_ASYNC_THREAD: usize = 1100; // keeps ≥2k futures in flight
+    const PAIRS_PER_THREAD: usize = 300; // async half + sync partner half
+    const RELATIONS: usize = 5;
+    const BATCH: usize = 64;
+
+    let mut generator = WorkloadGen::new(0xA51C);
+    let db = generator.build_database(60, &["Paris", "Rome"]).unwrap();
+    let co = ShardedCoordinator::with_config(
+        db,
+        ShardedConfig {
+            shards: 4,
+            workers: 2,
+            base: CoordinatorConfig {
+                match_config: MatchConfig {
+                    randomize: false,
+                    ..MatchConfig::default()
+                },
+                ..CoordinatorConfig::default()
+            },
+        },
+    );
+
+    let (future_tx, future_rx) = mpsc::channel::<CoordinationFuture>();
+
+    // ---- the WaiterSet thread: one thread drives every future ------ //
+    let waiter_thread = std::thread::spawn(move || {
+        let mut set = WaiterSet::new();
+        let mut completions: Vec<(QueryId, CoordinationOutcome)> = Vec::new();
+        let mut max_in_flight = 0usize;
+        let mut disconnected = false;
+        loop {
+            loop {
+                match future_rx.try_recv() {
+                    Ok(future) => {
+                        set.insert(future);
+                    }
+                    Err(mpsc::TryRecvError::Empty) => break,
+                    Err(mpsc::TryRecvError::Disconnected) => {
+                        disconnected = true;
+                        break;
+                    }
+                }
+            }
+            max_in_flight = max_in_flight.max(set.len());
+            completions.extend(set.wait_timeout(Duration::from_millis(1)));
+            if disconnected && set.is_empty() {
+                return (completions, max_in_flight);
+            }
+        }
+    });
+
+    // ---- 4 submitter threads --------------------------------------- //
+    let (async_qids, cancelled_total, sync_notifications, sync_tickets) =
+        std::thread::scope(|scope| {
+            let mut async_handles = Vec::new();
+            for t in 0..ASYNC_THREADS {
+                let co = &co;
+                let future_tx = future_tx.clone();
+                async_handles.push(scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(0xCA5C + t as u64);
+                    let mut qids: Vec<u64> = Vec::new();
+                    let mut cancelled = 0usize;
+                    // interleave noise and pair halves in batches
+                    let mut requests: Vec<(String, String, bool)> = Vec::new();
+                    for i in 0..NOISE_PER_ASYNC_THREAD {
+                        let r = WorkloadGen::pair_request_on(
+                            &format!("Reservation{}", i % RELATIONS),
+                            &format!("anoise_t{t}_{i}"),
+                            &format!("aghost_t{t}_{i}"),
+                            "Paris",
+                        );
+                        requests.push((r.owner, r.sql, false));
+                    }
+                    for i in 0..PAIRS_PER_THREAD {
+                        let r = WorkloadGen::pair_request_on(
+                            &format!("Reservation{}", (t + i) % RELATIONS),
+                            &format!("pair_t{t}_{i}_a"),
+                            &format!("pair_t{t}_{i}_b"),
+                            "Paris",
+                        );
+                        requests.push((r.owner, r.sql, true));
+                    }
+                    for chunk in requests.chunks(BATCH) {
+                        let batch: Vec<(String, String)> = chunk
+                            .iter()
+                            .map(|(owner, sql, _)| (owner.clone(), sql.clone()))
+                            .collect();
+                        let outcomes = co.submit_batch_sql_async(&batch);
+                        for (outcome, (_, _, cancellable)) in outcomes.into_iter().zip(chunk) {
+                            let future = outcome.expect("soak queries are safe");
+                            let qid = future.id();
+                            qids.push(qid.0);
+                            // random cancels race the partner's arrival
+                            if *cancellable && rng.random_range(0..10) == 0 {
+                                cancelled += usize::from(co.cancel(qid).is_ok());
+                            }
+                            future_tx.send(future).expect("waiter thread alive");
+                        }
+                    }
+                    (qids, cancelled)
+                }));
+            }
+            let mut sync_handles = Vec::new();
+            for t in 0..2 {
+                let co = &co;
+                sync_handles.push(scope.spawn(move || {
+                    let mut notifications = Vec::new();
+                    let mut tickets = Vec::new();
+                    // the partner halves of async thread t's pairs
+                    let requests: Vec<(String, String)> = (0..PAIRS_PER_THREAD)
+                        .map(|i| {
+                            let r = WorkloadGen::pair_request_on(
+                                &format!("Reservation{}", (t + i) % RELATIONS),
+                                &format!("pair_t{t}_{i}_b"),
+                                &format!("pair_t{t}_{i}_a"),
+                                "Paris",
+                            );
+                            (r.owner, r.sql)
+                        })
+                        .collect();
+                    for chunk in requests.chunks(BATCH) {
+                        for outcome in co.submit_batch_sql(chunk) {
+                            match outcome.expect("soak queries are safe") {
+                                Submission::Answered(n) => notifications.push(n),
+                                Submission::Pending(ticket) => tickets.push(ticket),
+                            }
+                        }
+                    }
+                    (notifications, tickets)
+                }));
+            }
+            let mut async_qids: Vec<u64> = Vec::new();
+            let mut cancelled_total = 0usize;
+            for handle in async_handles {
+                let (qids, cancelled) = handle.join().expect("async submitter panicked");
+                async_qids.extend(qids);
+                cancelled_total += cancelled;
+            }
+            let mut sync_notifications = Vec::new();
+            let mut sync_tickets = Vec::new();
+            for handle in sync_handles {
+                let (notifications, tickets) = handle.join().expect("sync submitter panicked");
+                sync_notifications.extend(notifications);
+                sync_tickets.extend(tickets);
+            }
+            (
+                async_qids,
+                cancelled_total,
+                sync_notifications,
+                sync_tickets,
+            )
+        });
+    drop(future_tx);
+
+    // quiescence: nothing further is matchable, then everything still
+    // pending (noise, orphaned halves of cancelled pairs) is expired —
+    // which must resolve every remaining future
+    co.retry_all().unwrap();
+    let expired = co.expire_before(u64::MAX).len();
+    assert_eq!(co.pending_count(), 0, "expiry sweeps the registry clean");
+    co.check_routing_invariants().unwrap();
+
+    let (completions, max_in_flight) = waiter_thread.join().expect("waiter thread panicked");
+
+    // one WaiterSet thread genuinely held thousands of futures at once
+    assert!(
+        max_in_flight >= 2000,
+        "expected ≥2k futures in flight on the waiter thread, saw {max_in_flight}"
+    );
+
+    // ---- no lost, no double-delivered completions ------------------ //
+    let mut delivered: Vec<u64> = completions.iter().map(|(qid, _)| qid.0).collect();
+    delivered.sort_unstable();
+    let before_dedup = delivered.len();
+    delivered.dedup();
+    assert_eq!(delivered.len(), before_dedup, "a future resolved twice");
+    let mut submitted: Vec<u64> = async_qids.clone();
+    submitted.sort_unstable();
+    assert_eq!(
+        delivered, submitted,
+        "every async future resolves exactly once (none lost, none invented)"
+    );
+
+    // ---- cross-mode accounting ------------------------------------- //
+    let mut sync_answered = sync_notifications.len();
+    for ticket in sync_tickets {
+        sync_answered += usize::from(ticket.receiver.try_recv().is_ok());
+    }
+    let async_answered = completions
+        .iter()
+        .filter(|(_, o)| matches!(o, CoordinationOutcome::Answered(_)))
+        .count();
+    let async_cancelled = completions
+        .iter()
+        .filter(|(_, o)| matches!(o, CoordinationOutcome::Cancelled))
+        .count();
+    let async_expired = completions
+        .iter()
+        .filter(|(_, o)| matches!(o, CoordinationOutcome::Expired))
+        .count();
+    let stats = co.stats();
+    assert_eq!(
+        stats.answered as usize,
+        async_answered + sync_answered,
+        "every answered query notified exactly one waiter (future or ticket)"
+    );
+    assert_eq!(
+        async_cancelled, cancelled_total,
+        "every cancel resolved its future"
+    );
+    assert_eq!(
+        async_answered + async_cancelled + async_expired,
+        async_qids.len(),
+        "every async submission reached exactly one terminal outcome"
+    );
+    // expired = async noise + orphaned pair halves (sync and async)
+    assert!(
+        async_expired <= expired,
+        "async expiries are a subset of the sweep"
+    );
+    assert_eq!(
+        stats.submitted as usize,
+        stats.answered as usize + cancelled_total + expired,
+        "submitted = answered + cancelled + expired at quiescence"
+    );
+}
+
 #[test]
 fn soak_is_deterministic_per_seed() {
     // Two identical runs (same seed everywhere) end in identical
