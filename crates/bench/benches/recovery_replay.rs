@@ -32,6 +32,7 @@ fn config() -> ShardedConfig {
     ShardedConfig {
         shards: SHARDS,
         workers: 0,
+        auto_checkpoint_bytes: 0,
         base,
     }
 }

@@ -20,6 +20,8 @@
 //! [`crate::shard::ShardedCoordinator`], which partitions this state by
 //! answer-relation signature and reuses the same engine per shard.
 
+use std::sync::Arc;
+
 use crossbeam::channel::{unbounded, Receiver};
 use parking_lot::Mutex;
 
@@ -33,6 +35,7 @@ use crate::engine::{
 use crate::error::{CoreError, CoreResult};
 use crate::future::{CoordinationFuture, CoordinationOutcome, TicketShared};
 use crate::ir::{EntangledQuery, QueryId};
+use crate::lifecycle::{Clock, DeadlineHost, SubmitOptions, SweepSignal, SystemClock};
 use crate::matcher::{GroupMatch, MatchConfig, MatchStats};
 use crate::registry::Pending;
 use crate::safety::{check_safety, SafetyMode};
@@ -92,10 +95,34 @@ pub struct SystemStats {
     pub matching_nanos: u128,
     /// Aggregated matcher work counters.
     pub match_work: MatchStats,
+    /// Queries retired by deadline sweeps (`expire_due`), as opposed
+    /// to answered or cancelled.
+    pub expired: u64,
+    /// WAL size in bytes at the time of the stats read (0 without a
+    /// WAL). A log-surface gauge set by `stats()` itself — per-shard
+    /// counters never carry it and [`SystemStats::merge`] never sums
+    /// it.
+    pub wal_bytes: u64,
+    /// Bytes appended to the WAL since the last coordinator
+    /// checkpoint (== `wal_bytes` until one runs). Gauge, like
+    /// `wal_bytes`; sharded coordinator only.
+    pub wal_bytes_since_checkpoint: u64,
+    /// Milliseconds since the last coordinator checkpoint (since
+    /// construction when none ran yet), by the coordinator's clock.
+    /// Gauge; sharded coordinator only.
+    pub checkpoint_age_millis: u64,
+    /// Checkpoints triggered automatically by the WAL size threshold
+    /// ([`crate::ShardedConfig::auto_checkpoint_bytes`]).
+    pub auto_checkpoints: u64,
 }
 
 impl SystemStats {
-    /// Accumulates `other` into `self` (used to merge per-shard stats).
+    /// Accumulates `other`'s counters into `self` (used to merge
+    /// per-shard stats). The log-surface gauges (`wal_bytes`,
+    /// `wal_bytes_since_checkpoint`, `checkpoint_age_millis`,
+    /// `auto_checkpoints`) describe the whole coordinator, not a
+    /// shard, and are deliberately not summed — `stats()` sets them
+    /// once after merging.
     pub fn merge(&mut self, other: &SystemStats) {
         self.submitted += other.submitted;
         self.rejected_unsafe += other.rejected_unsafe;
@@ -104,6 +131,7 @@ impl SystemStats {
         self.match_attempts += other.match_attempts;
         self.matching_nanos += other.matching_nanos;
         self.match_work.merge(&other.match_work);
+        self.expired += other.expired;
     }
 }
 
@@ -196,6 +224,9 @@ pub struct PendingInfo {
     pub ir: String,
     /// Submission sequence number.
     pub seq: u64,
+    /// Absolute deadline in clock milliseconds, when the submission
+    /// carried one.
+    pub deadline: Option<u64>,
 }
 
 /// Application side effects applied atomically with a match (e.g. the
@@ -215,6 +246,10 @@ pub struct RecoveryReport {
     /// Groups matched by the post-restore matching sweep (arrivals that
     /// were logged but whose match had not committed before the crash).
     pub rematched_groups: u64,
+    /// Restored queries whose logged deadline was already past due at
+    /// recovery time and were expired immediately (their expiry is
+    /// logged like any sweep's).
+    pub expired_at_recovery: usize,
 }
 
 struct State {
@@ -228,6 +263,10 @@ struct State {
 pub struct Coordinator {
     engine: Engine,
     state: Mutex<State>,
+    /// Notified (outside the state lock) whenever a deadline-carrying
+    /// query registers, so a [`crate::DeadlineSweeper`] re-derives its
+    /// wakeup time.
+    sweep_signal: Arc<SweepSignal>,
 }
 
 impl Coordinator {
@@ -240,6 +279,7 @@ impl Coordinator {
                 seq: 0,
                 apply_hook: None,
             }),
+            sweep_signal: Arc::new(SweepSignal::new()),
             engine: Engine { db, config },
         }
     }
@@ -267,21 +307,54 @@ impl Coordinator {
 
     /// Submits an entangled query given as SQL text.
     pub fn submit_sql(&self, owner: &str, sql: &str) -> CoreResult<Submission> {
+        self.submit_sql_with(owner, sql, SubmitOptions::default())
+    }
+
+    /// [`Coordinator::submit_sql`] with per-submission options (e.g. a
+    /// deadline).
+    pub fn submit_sql_with(
+        &self,
+        owner: &str,
+        sql: &str,
+        opts: SubmitOptions,
+    ) -> CoreResult<Submission> {
         let compiled = compile_sql(sql)?;
-        self.submit(owner, compiled)
+        self.submit_with(owner, compiled, opts)
     }
 
     /// Submits a compiled entangled query.
     pub fn submit(&self, owner: &str, query: EntangledQuery) -> CoreResult<Submission> {
-        self.submit_mode(owner, query, WaitMode::Sync)
+        self.submit_with(owner, query, SubmitOptions::default())
+    }
+
+    /// [`Coordinator::submit`] with per-submission options (e.g. a
+    /// deadline, logged with the registration and enforced by
+    /// `expire_due` sweeps).
+    pub fn submit_with(
+        &self,
+        owner: &str,
+        query: EntangledQuery,
+        opts: SubmitOptions,
+    ) -> CoreResult<Submission> {
+        self.submit_mode(owner, query, opts, WaitMode::Sync)
             .map(Arrival::into_sync)
     }
 
     /// Submits an entangled query given as SQL text, returning a
     /// [`CoordinationFuture`] instead of a blocking ticket.
     pub fn submit_sql_async(&self, owner: &str, sql: &str) -> CoreResult<CoordinationFuture> {
+        self.submit_sql_async_with(owner, sql, SubmitOptions::default())
+    }
+
+    /// [`Coordinator::submit_sql_async`] with per-submission options.
+    pub fn submit_sql_async_with(
+        &self,
+        owner: &str,
+        sql: &str,
+        opts: SubmitOptions,
+    ) -> CoreResult<CoordinationFuture> {
         let compiled = compile_sql(sql)?;
-        self.submit_async(owner, compiled)
+        self.submit_async_with(owner, compiled, opts)
     }
 
     /// Submits a compiled entangled query asynchronously: identical
@@ -295,7 +368,17 @@ impl Coordinator {
         owner: &str,
         query: EntangledQuery,
     ) -> CoreResult<CoordinationFuture> {
-        self.submit_mode(owner, query, WaitMode::Async)
+        self.submit_async_with(owner, query, SubmitOptions::default())
+    }
+
+    /// [`Coordinator::submit_async`] with per-submission options.
+    pub fn submit_async_with(
+        &self,
+        owner: &str,
+        query: EntangledQuery,
+        opts: SubmitOptions,
+    ) -> CoreResult<CoordinationFuture> {
+        self.submit_mode(owner, query, opts, WaitMode::Async)
             .map(Arrival::into_async)
     }
 
@@ -303,42 +386,54 @@ impl Coordinator {
         &self,
         owner: &str,
         query: EntangledQuery,
+        opts: SubmitOptions,
         mode: WaitMode,
     ) -> CoreResult<Arrival> {
-        let state = &mut *self.state.lock();
-        if let Err(e) = check_safety(&query, self.engine.config.safety) {
-            state.shard.stats.rejected_unsafe += 1;
-            return Err(e);
-        }
-        let qid = QueryId(state.next_id);
-        state.next_id += 1;
-        state.seq += 1;
-        // log-before-ack: the registration must be durable before the
-        // submission can be acknowledged (or matched)
-        self.engine
-            .db
-            .log_event(&CoordEvent::QueryRegistered {
+        let result = {
+            let state = &mut *self.state.lock();
+            if let Err(e) = check_safety(&query, self.engine.config.safety) {
+                state.shard.stats.rejected_unsafe += 1;
+                return Err(e);
+            }
+            let qid = QueryId(state.next_id);
+            state.next_id += 1;
+            state.seq += 1;
+            // log-before-ack: the registration (deadline included) must
+            // be durable before the submission can be acknowledged (or
+            // matched)
+            self.engine
+                .db
+                .log_event(&CoordEvent::QueryRegistered {
+                    owner: owner.to_string(),
+                    sql: query.sql.clone(),
+                    qid,
+                    seq: state.seq,
+                    deadline: opts.deadline,
+                })
+                .map_err(CoreError::Storage)?;
+            let pending = Pending {
+                id: qid,
                 owner: owner.to_string(),
-                sql: query.sql.clone(),
-                qid,
+                query: query.namespaced(qid),
                 seq: state.seq,
-            })
-            .map_err(CoreError::Storage)?;
-        let pending = Pending {
-            id: qid,
-            owner: owner.to_string(),
-            query: query.namespaced(qid),
-            seq: state.seq,
+                deadline: opts.deadline,
+            };
+            let hook = state
+                .apply_hook
+                .as_ref()
+                .map(|h| h.as_ref() as &dyn Fn(&mut Transaction, &GroupMatch) -> StorageResult<()>);
+            let result = self
+                .engine
+                .process_arrival_mode(&mut state.shard, pending, hook, mode);
+            // the answered log only feeds the sharded coordinator's router
+            state.shard.answered_log.clear();
+            result
         };
-        let hook = state
-            .apply_hook
-            .as_ref()
-            .map(|h| h.as_ref() as &dyn Fn(&mut Transaction, &GroupMatch) -> StorageResult<()>);
-        let result = self
-            .engine
-            .process_arrival_mode(&mut state.shard, pending, hook, mode);
-        // the answered log only feeds the sharded coordinator's router
-        state.shard.answered_log.clear();
+        if opts.deadline.is_some() {
+            // outside the state lock: the sweeper re-reads the registry
+            // min, which the lock release above made visible
+            self.sweep_signal.notify();
+        }
         result
     }
 
@@ -369,7 +464,7 @@ impl Coordinator {
     /// the durable log rejects the write — nothing is removed that was
     /// not logged first).
     pub fn cancel_owner(&self, owner: &str) -> usize {
-        let mut state = self.state.lock();
+        let state = &mut *self.state.lock();
         let victims: Vec<QueryId> = state
             .shard
             .registry
@@ -377,30 +472,24 @@ impl Coordinator {
             .filter(|p| p.owner == owner)
             .map(|p| p.id)
             .collect();
-        let events: Vec<CoordEvent> = victims
-            .iter()
-            .map(|&qid| CoordEvent::QueryCancelled { qid })
-            .collect();
-        if self.engine.db.log_events(&events).is_err() {
-            return 0;
-        }
-        for qid in &victims {
-            state.shard.registry.remove(*qid);
-            if let Some(waiter) = state.shard.waiters.remove(qid) {
-                waiter.resolve_terminal(CoordinationOutcome::Cancelled);
-            }
-        }
-        victims.len()
+        self.engine
+            .retire_ids(
+                &mut state.shard,
+                &victims,
+                |qid| CoordEvent::QueryCancelled { qid },
+                &CoordinationOutcome::Cancelled,
+            )
+            .len()
     }
 
     /// Expires pending queries whose submission sequence number is
-    /// older than `min_seq` — the paper's "waits for an opportunity to
-    /// retry" does not mean forever; applications typically sweep with
-    /// a deadline. Returns the expired ids (empty when the durable log
-    /// rejects the write — nothing is removed that was not logged
-    /// first).
+    /// older than `min_seq` — the legacy caller-driven sweep, now a
+    /// seq-selection over the same lifecycle helper as
+    /// [`Coordinator::expire_due`]. Returns the expired ids (empty
+    /// when the durable log rejects the write — nothing is removed
+    /// that was not logged first).
     pub fn expire_before(&self, min_seq: u64) -> Vec<QueryId> {
-        let mut state = self.state.lock();
+        let state = &mut *self.state.lock();
         let victims: Vec<QueryId> = state
             .shard
             .registry
@@ -408,20 +497,40 @@ impl Coordinator {
             .filter(|p| p.seq < min_seq)
             .map(|p| p.id)
             .collect();
-        let events: Vec<CoordEvent> = victims
-            .iter()
-            .map(|&qid| CoordEvent::QueryExpired { qid })
-            .collect();
-        if self.engine.db.log_events(&events).is_err() {
-            return Vec::new();
-        }
-        for qid in &victims {
-            state.shard.registry.remove(*qid);
-            if let Some(waiter) = state.shard.waiters.remove(qid) {
-                waiter.resolve_terminal(CoordinationOutcome::Expired);
-            }
-        }
-        victims
+        let expired = self.engine.retire_ids(
+            &mut state.shard,
+            &victims,
+            |qid| CoordEvent::QueryExpired { qid },
+            &CoordinationOutcome::Expired,
+        );
+        state.shard.stats.expired += expired.len() as u64;
+        expired
+    }
+
+    /// Expires every pending query whose deadline
+    /// ([`SubmitOptions::deadline`]) is at or before `now_millis` —
+    /// the clock-driven sweep a [`crate::DeadlineSweeper`] runs in the
+    /// background. Selection is a range scan of the registry's
+    /// deadline index; each expiry is logged before the removal, and
+    /// parked waiters resolve [`CoordinationOutcome::Expired`].
+    /// Returns the expired ids.
+    pub fn expire_due(&self, now_millis: u64) -> Vec<QueryId> {
+        let state = &mut *self.state.lock();
+        let due = state.shard.registry.due_before(now_millis);
+        let expired = self.engine.retire_ids(
+            &mut state.shard,
+            &due,
+            |qid| CoordEvent::QueryExpired { qid },
+            &CoordinationOutcome::Expired,
+        );
+        state.shard.stats.expired += expired.len() as u64;
+        expired
+    }
+
+    /// The earliest deadline of any pending query (the sweeper's
+    /// wakeup hint), or `None` when nothing carries one.
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.state.lock().shard.registry.min_deadline()
     }
 
     /// Re-issues tickets for `owner`'s still-pending queries after a
@@ -493,7 +602,7 @@ impl Coordinator {
         wal: Wal,
         config: CoordinatorConfig,
     ) -> CoreResult<(Coordinator, RecoveryReport)> {
-        Self::recover_with_hook(wal, config, None)
+        Self::recover_with(wal, config, None, &SystemClock)
     }
 
     /// [`Coordinator::recover`] with an apply hook installed *before*
@@ -503,6 +612,21 @@ impl Coordinator {
         config: CoordinatorConfig,
         hook: Option<ApplyHook>,
     ) -> CoreResult<(Coordinator, RecoveryReport)> {
+        Self::recover_with(wal, config, hook, &SystemClock)
+    }
+
+    /// The full-control recovery entry point: apply hook plus an
+    /// injected [`Clock`]. Deadlines are rebuilt from the log and any
+    /// restored query already past due *by that clock* is expired
+    /// immediately — under a [`crate::MockClock`] a test recovers "at"
+    /// an exact instant, so crashed and uncrashed runs expire at
+    /// identical times.
+    pub fn recover_with(
+        wal: Wal,
+        config: CoordinatorConfig,
+        hook: Option<ApplyHook>,
+        clock: &dyn Clock,
+    ) -> CoreResult<(Coordinator, RecoveryReport)> {
         let (db, frames) = Database::recover_full(wal).map_err(CoreError::Storage)?;
         let replayed = replay_coordination_frames(&frames)?;
         let co = Coordinator::with_config(db, config);
@@ -510,22 +634,24 @@ impl Coordinator {
             events_replayed: replayed.events,
             restored_pending: replayed.survivors.len(),
             rematched_groups: 0,
+            expired_at_recovery: 0,
         };
         {
             let state = &mut *co.state.lock();
             state.next_id = replayed.max_qid + 1;
             state.seq = replayed.max_seq;
             state.apply_hook = hook;
-            for (qid, owner, sql, seq) in replayed.survivors {
+            for survivor in replayed.survivors {
                 // the SQL compiled when it was first submitted; a
                 // failure here means the log (or the compiler) changed
                 // underneath us, which recovery must not paper over
-                let query = compile_sql(&sql)?;
+                let query = compile_sql(&survivor.sql)?;
                 state.shard.registry.insert(Pending {
-                    id: qid,
-                    owner,
-                    query: query.namespaced(qid),
-                    seq,
+                    id: survivor.qid,
+                    owner: survivor.owner,
+                    query: query.namespaced(survivor.qid),
+                    seq: survivor.seq,
+                    deadline: survivor.deadline,
                 });
                 state.shard.stats.submitted += 1;
             }
@@ -534,6 +660,9 @@ impl Coordinator {
         // their match (if any) fires now, and is logged normally
         co.retry_all()?;
         report.rematched_groups = co.stats().groups_matched;
+        // deadlines that lapsed while the coordinator was down expire
+        // now, before any client reattaches to a dead query
+        report.expired_at_recovery = co.expire_due(clock.now_millis()).len();
         Ok((co, report))
     }
 
@@ -575,13 +704,18 @@ impl Coordinator {
                 sql: p.query.sql.clone(),
                 ir: p.query.to_string(),
                 seq: p.seq,
+                deadline: p.deadline,
             })
             .collect()
     }
 
-    /// Cumulative statistics.
+    /// Cumulative statistics (plus the WAL-size gauge when the
+    /// database is durable).
     pub fn stats(&self) -> SystemStats {
-        self.state.lock().shard.stats
+        let mut stats = self.state.lock().shard.stats;
+        stats.wal_bytes = self.engine.db.wal_len().unwrap_or(0);
+        stats.wal_bytes_since_checkpoint = stats.wal_bytes;
+        stats
     }
 
     /// The current *match graph*: for every pending query's positive
@@ -600,6 +734,21 @@ impl Coordinator {
         self.engine.answers(relation)
     }
 }
+
+impl DeadlineHost for Coordinator {
+    fn next_deadline_millis(&self) -> Option<u64> {
+        self.next_deadline()
+    }
+
+    fn expire_due(&self, now_millis: u64) -> Vec<QueryId> {
+        Coordinator::expire_due(self, now_millis)
+    }
+
+    fn sweep_signal(&self) -> Arc<SweepSignal> {
+        Arc::clone(&self.sweep_signal)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use std::collections::HashMap;
@@ -983,6 +1132,7 @@ mod tests {
                     sql: pair_sql(owner, friend),
                     qid: QueryId(qid),
                     seq,
+                    deadline: None,
                 }
                 .encode(),
             )
@@ -1120,6 +1270,98 @@ mod tests {
             .wait_timeout(std::time::Duration::from_secs(5))
             .expect("reattached future resolves");
         assert!(outcome.answered().is_some());
+    }
+
+    /// Deadline-lifecycle PR: `expire_due` retires exactly the pending
+    /// queries whose deadline has passed, resolves their futures with
+    /// `Expired`, and leaves deadline-less queries alone.
+    #[test]
+    fn expire_due_sweeps_past_deadlines_only() {
+        use crate::lifecycle::SubmitOptions;
+
+        let co = Coordinator::new(flights_db());
+        let mut early = co
+            .submit_sql_async_with(
+                "a",
+                &pair_sql("A", "GhostA"),
+                SubmitOptions::with_deadline(100),
+            )
+            .unwrap();
+        co.submit_sql_with(
+            "b",
+            &pair_sql("B", "GhostB"),
+            SubmitOptions::with_deadline(200),
+        )
+        .unwrap();
+        co.submit_sql("c", &pair_sql("C", "GhostC")).unwrap();
+        assert_eq!(co.next_deadline(), Some(100));
+
+        assert!(co.expire_due(99).is_empty(), "nothing due yet");
+        let expired = co.expire_due(150);
+        assert_eq!(expired, vec![early.id()]);
+        assert_eq!(
+            early.try_take(),
+            Some(crate::future::CoordinationOutcome::Expired)
+        );
+        assert_eq!(co.next_deadline(), Some(200));
+        assert_eq!(co.expire_due(1_000).len(), 1);
+        assert_eq!(co.pending_count(), 1, "deadline-less query survives");
+        assert_eq!(co.next_deadline(), None);
+        assert_eq!(co.stats().expired, 2);
+    }
+
+    /// A deadline logged at submission survives kill + recover, and a
+    /// deadline already past due at recovery time is expired before
+    /// any client can reattach to it.
+    #[test]
+    fn recovery_restores_and_enforces_deadlines() {
+        use crate::lifecycle::{MockClock, SubmitOptions};
+
+        let db = flights_db_wal();
+        let co = Coordinator::new(db.clone());
+        co.submit_sql_with(
+            "a",
+            &pair_sql("A", "GhostA"),
+            SubmitOptions::with_deadline(100),
+        )
+        .unwrap();
+        co.submit_sql_with(
+            "b",
+            &pair_sql("B", "GhostB"),
+            SubmitOptions::with_deadline(5_000),
+        )
+        .unwrap();
+        let bytes = db.wal_bytes().unwrap();
+        drop(co);
+
+        // recover "at" t=900: a's deadline (100) lapsed while down
+        let clock = MockClock::new(900);
+        let (co2, report) = Coordinator::recover_with(
+            youtopia_storage::Wal::from_bytes(bytes),
+            CoordinatorConfig::default(),
+            None,
+            &clock,
+        )
+        .unwrap();
+        assert_eq!(report.restored_pending, 2);
+        assert_eq!(report.expired_at_recovery, 1);
+        let snap = co2.pending_snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].owner, "b");
+        assert_eq!(snap[0].deadline, Some(5_000), "deadline rebuilt from log");
+        // the recovery-time expiry was logged: a second recovery agrees
+        let bytes2 = co2.db().wal_bytes().unwrap();
+        drop(co2);
+        let (co3, report3) = Coordinator::recover_with(
+            youtopia_storage::Wal::from_bytes(bytes2),
+            CoordinatorConfig::default(),
+            None,
+            &clock,
+        )
+        .unwrap();
+        assert_eq!(report3.restored_pending, 1);
+        assert_eq!(report3.expired_at_recovery, 0);
+        assert_eq!(co3.pending_count(), 1);
     }
 
     #[test]

@@ -56,6 +56,13 @@ use crate::SystemStats;
 pub enum CoordEvent {
     /// A pending entangled query was registered (logged before the
     /// submission is acknowledged).
+    ///
+    /// Two wire encodings exist: **v1** (tag 0, no deadline — every
+    /// frame written before the deadline-lifecycle PR) and **v2**
+    /// (tag 5, carrying the absolute deadline). Encoding picks v1 when
+    /// `deadline` is `None`, so deadline-less logs stay byte-identical
+    /// to the old format; decoding accepts both, mapping v1 to
+    /// `deadline: None`.
     QueryRegistered {
         /// Submitting user.
         owner: String,
@@ -65,6 +72,11 @@ pub enum CoordEvent {
         qid: QueryId,
         /// Monotonic submission sequence number.
         seq: u64,
+        /// Absolute deadline in clock milliseconds, logged so a
+        /// recovered coordinator still knows when the query should
+        /// die (checkpoints re-emit it with the surviving
+        /// registration).
+        deadline: Option<u64>,
     },
     /// A pending query was cancelled by its owner.
     QueryCancelled {
@@ -116,12 +128,18 @@ impl CoordEvent {
                 sql,
                 qid,
                 seq,
+                deadline,
             } => {
-                buf.put_u8(0);
+                // v1 (tag 0) when no deadline — byte-identical to the
+                // pre-deadline format; v2 (tag 5) appends the deadline
+                buf.put_u8(if deadline.is_some() { 5 } else { 0 });
                 put_str(&mut buf, owner);
                 put_str(&mut buf, sql);
                 buf.put_u64(qid.0);
                 buf.put_u64(*seq);
+                if let Some(deadline) = deadline {
+                    buf.put_u64(*deadline);
+                }
             }
             CoordEvent::QueryCancelled { qid } => {
                 buf.put_u8(1);
@@ -165,16 +183,22 @@ impl CoordEvent {
         }
         let tag = buf.get_u8();
         let event = match tag {
-            0 => {
+            0 | 5 => {
                 let owner = get_str(buf)?;
                 let sql = get_str(buf)?;
                 let qid = QueryId(get_u64(buf)?);
                 let seq = get_u64(buf)?;
+                let deadline = if tag == 5 {
+                    Some(get_u64(buf)?)
+                } else {
+                    None // v1 frame: registered before deadlines existed
+                };
                 CoordEvent::QueryRegistered {
                     owner,
                     sql,
                     qid,
                     seq,
+                    deadline,
                 }
             }
             1 => CoordEvent::QueryCancelled {
@@ -259,13 +283,24 @@ impl CoordinationLog for Database {
     }
 }
 
+/// One registration that survived log replay (never matched, cancelled
+/// or expired before the crash).
+pub(crate) struct Survivor {
+    pub qid: QueryId,
+    pub owner: String,
+    pub sql: String,
+    pub seq: u64,
+    /// The logged deadline — recovery restores it into the registry
+    /// and immediately expires anything already past due.
+    pub deadline: Option<u64>,
+}
+
 /// The digest of a replayed coordination log: the registrations that
 /// survive (were never matched, cancelled or expired), plus the
 /// id/sequence watermarks to restart allocation from.
 pub(crate) struct ReplayedLog {
-    /// Surviving registrations `(qid, owner, sql, seq)` in submission
-    /// (seq) order.
-    pub survivors: Vec<(QueryId, String, String, u64)>,
+    /// Surviving registrations in submission (seq) order.
+    pub survivors: Vec<Survivor>,
     /// Highest query id seen anywhere in the log (0 when empty).
     pub max_qid: u64,
     /// Highest sequence number seen (0 when empty).
@@ -282,7 +317,7 @@ pub(crate) struct ReplayedLog {
 /// match commits).
 pub(crate) fn replay_coordination_frames(frames: &[Vec<u8>]) -> CoreResult<ReplayedLog> {
     use std::collections::{BTreeMap, HashSet};
-    let mut registered: BTreeMap<u64, (String, String, u64)> = BTreeMap::new();
+    let mut registered: BTreeMap<u64, (String, String, u64, Option<u64>)> = BTreeMap::new();
     let mut removed: HashSet<u64> = HashSet::new();
     let mut max_qid = 0u64;
     let mut max_seq = 0u64;
@@ -296,10 +331,11 @@ pub(crate) fn replay_coordination_frames(frames: &[Vec<u8>]) -> CoreResult<Repla
                 sql,
                 qid,
                 seq,
+                deadline,
             } => {
                 max_qid = max_qid.max(qid.0);
                 max_seq = max_seq.max(seq);
-                registered.insert(qid.0, (owner, sql, seq));
+                registered.insert(qid.0, (owner, sql, seq, deadline));
             }
             CoordEvent::QueryCancelled { qid } | CoordEvent::QueryExpired { qid } => {
                 max_qid = max_qid.max(qid.0);
@@ -317,12 +353,18 @@ pub(crate) fn replay_coordination_frames(frames: &[Vec<u8>]) -> CoreResult<Repla
             }
         }
     }
-    let mut survivors: Vec<(QueryId, String, String, u64)> = registered
+    let mut survivors: Vec<Survivor> = registered
         .into_iter()
         .filter(|(qid, _)| !removed.contains(qid))
-        .map(|(qid, (owner, sql, seq))| (QueryId(qid), owner, sql, seq))
+        .map(|(qid, (owner, sql, seq, deadline))| Survivor {
+            qid: QueryId(qid),
+            owner,
+            sql,
+            seq,
+            deadline,
+        })
         .collect();
-    survivors.sort_by_key(|(_, _, _, seq)| *seq);
+    survivors.sort_by_key(|s| s.seq);
     Ok(ReplayedLog {
         survivors,
         max_qid,
@@ -722,6 +764,46 @@ impl Engine {
             }
         }
     }
+
+    /// The shared lifecycle retirement path: durably logs `event(qid)`
+    /// for every id (one group commit), then removes each from the
+    /// registry and resolves its parked waiter with `outcome` — sync
+    /// tickets disconnect, futures resolve the terminal outcome.
+    /// Log-before-ack: when the log write fails, *nothing* is removed
+    /// and the result is empty. Returns the ids actually retired (ids
+    /// no longer pending are skipped silently, so callers may race
+    /// matches without double-delivery — the registry removal under
+    /// the caller's lock is the arbiter).
+    ///
+    /// Every bulk removal — seq-based `expire_before`, owner-wide
+    /// `cancel_owner`, deadline-driven `expire_due` — is built on this
+    /// one helper on both coordinators.
+    pub(crate) fn retire_ids(
+        &self,
+        state: &mut ShardState,
+        ids: &[QueryId],
+        event: impl Fn(QueryId) -> CoordEvent,
+        outcome: &CoordinationOutcome,
+    ) -> Vec<QueryId> {
+        if ids.is_empty() {
+            return Vec::new();
+        }
+        let events: Vec<CoordEvent> = ids.iter().map(|&qid| event(qid)).collect();
+        if self.db.log_events(&events).is_err() {
+            return Vec::new(); // unlogged removals never happen
+        }
+        let mut retired = Vec::with_capacity(ids.len());
+        for &qid in ids {
+            if state.registry.remove(qid).is_none() {
+                continue; // already answered/removed under this lock
+            }
+            if let Some(waiter) = state.waiters.remove(&qid) {
+                waiter.resolve_terminal(outcome.clone());
+            }
+            retired.push(qid);
+        }
+        retired
+    }
 }
 
 impl Engine {
@@ -808,6 +890,14 @@ mod tests {
                 sql: "SELECT 'K', fno INTO ANSWER R CHOOSE 1".into(),
                 qid: QueryId(7),
                 seq: 3,
+                deadline: None,
+            },
+            CoordEvent::QueryRegistered {
+                owner: "newman".into(),
+                sql: "SELECT 'N', fno INTO ANSWER R CHOOSE 1".into(),
+                qid: QueryId(8),
+                seq: 4,
+                deadline: Some(1_234_567),
             },
             CoordEvent::QueryCancelled { qid: QueryId(7) },
             CoordEvent::QueryExpired { qid: QueryId(9) },
@@ -866,6 +956,7 @@ mod tests {
             sql: format!("q{qid}"),
             qid: QueryId(qid),
             seq,
+            deadline: qid.is_multiple_of(2).then_some(qid * 100),
         };
         let frames: Vec<Vec<u8>> = [
             reg(1, 1),
@@ -887,8 +978,59 @@ mod tests {
         assert_eq!(replayed.events, 8);
         assert_eq!(replayed.max_qid, 5);
         assert_eq!(replayed.max_seq, 5);
-        let ids: Vec<u64> = replayed.survivors.iter().map(|(q, ..)| q.0).collect();
+        let ids: Vec<u64> = replayed.survivors.iter().map(|s| s.qid.0).collect();
         assert_eq!(ids, vec![5]);
+        assert_eq!(replayed.survivors[0].deadline, None);
+    }
+
+    #[test]
+    fn replay_restores_logged_deadlines() {
+        let frames: Vec<Vec<u8>> = [
+            CoordEvent::QueryRegistered {
+                owner: "a".into(),
+                sql: "qa".into(),
+                qid: QueryId(1),
+                seq: 1,
+                deadline: Some(500),
+            },
+            CoordEvent::QueryRegistered {
+                owner: "b".into(),
+                sql: "qb".into(),
+                qid: QueryId(2),
+                seq: 2,
+                deadline: None,
+            },
+        ]
+        .iter()
+        .map(CoordEvent::encode)
+        .collect();
+        let replayed = replay_coordination_frames(&frames).unwrap();
+        assert_eq!(replayed.survivors.len(), 2);
+        assert_eq!(replayed.survivors[0].deadline, Some(500));
+        assert_eq!(replayed.survivors[1].deadline, None);
+    }
+
+    #[test]
+    fn deadline_less_encoding_is_byte_identical_to_v1() {
+        // v1 layout: tag 0, owner, sql, qid, seq — a deadline-less
+        // registration must still produce exactly these bytes, so old
+        // logs and new deadline-free logs are indistinguishable
+        let event = CoordEvent::QueryRegistered {
+            owner: "k".into(),
+            sql: "q".into(),
+            qid: QueryId(7),
+            seq: 3,
+            deadline: None,
+        };
+        let mut v1 = BytesMut::new();
+        v1.put_u8(0);
+        put_str(&mut v1, "k");
+        put_str(&mut v1, "q");
+        v1.put_u64(7);
+        v1.put_u64(3);
+        assert_eq!(event.encode(), v1.to_vec());
+        // and hand-built v1 bytes decode with deadline = None
+        assert_eq!(CoordEvent::decode(&v1).unwrap(), event);
     }
 
     #[test]
@@ -903,6 +1045,7 @@ mod tests {
                 sql: "q".into(),
                 qid: QueryId(3),
                 seq: 2,
+                deadline: None,
             },
         ]
         .iter()
@@ -929,6 +1072,7 @@ mod tests {
                 sql: "q".into(),
                 qid: QueryId(2),
                 seq: 1,
+                deadline: None,
             },
         ]
         .iter()

@@ -9,7 +9,9 @@
 //! [`CoordinationFuture`]: a plain `std::future::Future` whose waker is
 //! parked in the coordinator's waiter table and fired by whichever code
 //! path terminates the query — a match commit, a cancellation, an
-//! expiry sweep, or a reattach that supersedes the handle.
+//! expiry sweep (seq-based, or the deadline-driven `expire_due` run by
+//! the background [`crate::DeadlineSweeper`]), or a reattach that
+//! supersedes the handle.
 //!
 //! No external async runtime is required (and none is linked): the
 //! future is poll-based over `std::task`, so it works under any
@@ -55,8 +57,11 @@ pub enum CoordinationOutcome {
     /// ([`crate::Coordinator::cancel`] /
     /// [`crate::Coordinator::cancel_owner`]).
     Cancelled,
-    /// The query was retired by a deadline sweep
-    /// ([`crate::Coordinator::expire_before`]).
+    /// The query was retired by an expiry sweep — a deadline-driven
+    /// `expire_due` (usually run by the background
+    /// [`crate::DeadlineSweeper`] when the query's
+    /// [`crate::SubmitOptions::deadline`] lapses) or the legacy
+    /// seq-based [`crate::Coordinator::expire_before`].
     Expired,
     /// A newer handle for the same query was issued (the owner
     /// reattached); this future will never receive the answer.

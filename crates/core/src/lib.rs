@@ -59,6 +59,7 @@ pub mod engine;
 pub mod error;
 pub mod future;
 pub mod ir;
+pub mod lifecycle;
 pub mod matcher;
 pub mod registry;
 pub mod safety;
@@ -74,6 +75,9 @@ pub use engine::{CoordEvent, CoordinationLog};
 pub use error::{CoreError, CoreResult};
 pub use future::{CoordinationFuture, CoordinationOutcome, WaiterSet};
 pub use ir::{AnswerConstraint, Atom, EntangledQuery, Filter, Membership, QueryId, Term, Var};
+pub use lifecycle::{
+    Clock, DeadlineHost, DeadlineSweeper, MockClock, SubmitOptions, SweepSignal, SystemClock,
+};
 pub use matcher::{GroupMatch, MatchConfig, MatchStats};
 pub use registry::{HeadRef, Pending, Registry};
 pub use safety::{check_safety, is_self_contained, SafetyMode};

@@ -370,6 +370,7 @@ mod tests {
                 owner: owner.to_string(),
                 query: q,
                 seq: *id,
+                deadline: None,
             });
         }
         reg

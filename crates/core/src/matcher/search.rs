@@ -235,6 +235,7 @@ mod tests {
                 owner: format!("user{id}"),
                 query: q,
                 seq: *id,
+                deadline: None,
             });
         }
         reg

@@ -18,7 +18,7 @@
 //!   *the handful naming the right partner* (e.g. the index on position
 //!   0 of `Reservation('Jerry', ?fno)` returns only Jerry's own queries).
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use youtopia_storage::Value;
 
@@ -36,6 +36,11 @@ pub struct Pending {
     pub query: EntangledQuery,
     /// Monotonic submission sequence number.
     pub seq: u64,
+    /// Absolute deadline in clock milliseconds, if the submission
+    /// carried one ([`crate::SubmitOptions::deadline`]). A pending
+    /// query past its deadline is retired by the next `expire_due`
+    /// sweep; `None` waits forever.
+    pub deadline: Option<u64>,
 }
 
 /// Reference to one head atom of one pending query.
@@ -62,6 +67,11 @@ struct RelationIndex {
 pub struct Registry {
     queries: BTreeMap<u64, Pending>,
     relations: HashMap<String, RelationIndex>,
+    /// `(deadline_millis, qid)` of every pending query carrying a
+    /// deadline, ordered soonest-first — the expiry sweep's index:
+    /// `min_deadline` is a first-element peek and `due_before` a range
+    /// scan, never a registry walk.
+    deadlines: BTreeSet<(u64, u64)>,
     use_const_index: bool,
 }
 
@@ -118,12 +128,18 @@ impl Registry {
                 }
             }
         }
+        if let Some(deadline) = pending.deadline {
+            self.deadlines.insert((deadline, qid.0));
+        }
         self.queries.insert(qid.0, pending);
     }
 
-    /// Removes a pending query (answered or cancelled).
+    /// Removes a pending query (answered, cancelled or expired).
     pub fn remove(&mut self, qid: QueryId) -> Option<Pending> {
         let pending = self.queries.remove(&qid.0)?;
+        if let Some(deadline) = pending.deadline {
+            self.deadlines.remove(&(deadline, qid.0));
+        }
         for (head_idx, head) in pending.query.heads.iter().enumerate() {
             let href = HeadRef { qid, head_idx };
             if let Some(rel) = self.relations.get_mut(&Self::rel_key(&head.relation)) {
@@ -224,6 +240,22 @@ impl Registry {
         out
     }
 
+    /// The earliest deadline of any pending query (`None` when no
+    /// pending query carries one) — the sweeper's wakeup hint.
+    pub fn min_deadline(&self) -> Option<u64> {
+        self.deadlines.first().map(|&(deadline, _)| deadline)
+    }
+
+    /// The pending queries whose deadline is at or before `now_millis`,
+    /// soonest first (a range scan of the deadline index; pending
+    /// queries without a deadline are never returned).
+    pub fn due_before(&self, now_millis: u64) -> Vec<QueryId> {
+        self.deadlines
+            .range(..=(now_millis, u64::MAX))
+            .map(|&(_, qid)| QueryId(qid))
+            .collect()
+    }
+
     /// All pending heads on `relation` regardless of constants (the
     /// baseline lookup; also used by the naive matcher).
     pub fn heads_on_relation(&self, relation: &str) -> Vec<HeadRef> {
@@ -248,6 +280,7 @@ mod tests {
             owner: owner.into(),
             query: q,
             seq: id,
+            deadline: None,
         }
     }
 
@@ -394,6 +427,28 @@ mod tests {
         reg.remove(QueryId(1));
         assert!(reg.heads_on_relation("Res").is_empty());
         assert!(reg.heads_on_relation("HotelRes").is_empty());
+    }
+
+    #[test]
+    fn deadline_index_tracks_insert_and_remove() {
+        let mut reg = Registry::new();
+        assert_eq!(reg.min_deadline(), None);
+        assert!(reg.due_before(u64::MAX).is_empty());
+        for (id, deadline) in [(1, Some(300)), (2, Some(100)), (3, None), (4, Some(200))] {
+            let mut p = kramer(id);
+            p.deadline = deadline;
+            reg.insert(p);
+        }
+        assert_eq!(reg.min_deadline(), Some(100));
+        assert!(reg.due_before(99).is_empty());
+        let due: Vec<u64> = reg.due_before(250).iter().map(|q| q.0).collect();
+        assert_eq!(due, vec![2, 4], "soonest first; deadline-less never due");
+        reg.remove(QueryId(2));
+        assert_eq!(reg.min_deadline(), Some(200));
+        reg.remove(QueryId(4));
+        reg.remove(QueryId(1));
+        assert_eq!(reg.min_deadline(), None, "index drained with the entries");
+        assert_eq!(reg.len(), 1, "the deadline-less query remains");
     }
 
     #[test]

@@ -92,6 +92,7 @@ use crate::engine::{
 use crate::error::{CoreError, CoreResult};
 use crate::future::{CoordinationFuture, CoordinationOutcome, TicketShared};
 use crate::ir::{EntangledQuery, QueryId};
+use crate::lifecycle::{Clock, DeadlineHost, SubmitOptions, SweepSignal, SystemClock};
 use crate::matcher::{GroupMatch, MatchStats};
 use crate::registry::Pending;
 use crate::safety::check_safety;
@@ -110,6 +111,12 @@ pub struct ShardedConfig {
     /// Worker threads used to drain a batch (`0` = one per available
     /// CPU). Capped by the number of busy shards per batch.
     pub workers: usize,
+    /// Auto-checkpoint threshold: when more than this many bytes have
+    /// been appended to the WAL since the last checkpoint, the
+    /// coordinator triggers [`ShardedCoordinator::checkpoint`] after
+    /// the group commit that crossed the line. `0` (the default)
+    /// disables auto-checkpointing; non-durable databases ignore it.
+    pub auto_checkpoint_bytes: u64,
     /// Per-shard coordinator behavior; `base.seed` is xored with the
     /// shard id to seed each shard's RNG.
     pub base: CoordinatorConfig,
@@ -120,6 +127,7 @@ impl Default for ShardedConfig {
         ShardedConfig {
             shards: 4,
             workers: 0,
+            auto_checkpoint_bytes: 0,
             base: CoordinatorConfig::default(),
         }
     }
@@ -317,11 +325,16 @@ impl Router {
 /// [`ShardedCoordinator::pending_per_shard`]) load these atomics and
 /// never contend with draining; [`ShardedCoordinator::pending_snapshot`]
 /// remains the consistent (locking) slow path.
-#[derive(Default)]
 struct ShardMonitor {
     pending: AtomicUsize,
+    /// Earliest deadline of this shard's pending queries, in clock
+    /// millis; `u64::MAX` when none carries one. The deadline
+    /// sweeper's lock-free wakeup hint: `expire_due` skips a shard
+    /// whose hint lies in the future without touching its lock.
+    min_deadline: AtomicU64,
     submitted: AtomicU64,
     answered: AtomicU64,
+    expired: AtomicU64,
     groups_matched: AtomicU64,
     match_attempts: AtomicU64,
     matching_nanos: AtomicU64,
@@ -335,12 +348,40 @@ struct ShardMonitor {
     subsets_tested: AtomicU64,
 }
 
+impl Default for ShardMonitor {
+    fn default() -> Self {
+        ShardMonitor {
+            pending: AtomicUsize::new(0),
+            min_deadline: AtomicU64::new(u64::MAX),
+            submitted: AtomicU64::new(0),
+            answered: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            groups_matched: AtomicU64::new(0),
+            match_attempts: AtomicU64::new(0),
+            matching_nanos: AtomicU64::new(0),
+            candidates_considered: AtomicU64::new(0),
+            committed_considered: AtomicU64::new(0),
+            unify_attempts: AtomicU64::new(0),
+            unify_successes: AtomicU64::new(0),
+            groundings_attempted: AtomicU64::new(0),
+            rows_scanned: AtomicU64::new(0),
+            nodes_expanded: AtomicU64::new(0),
+            subsets_tested: AtomicU64::new(0),
+        }
+    }
+}
+
 impl ShardMonitor {
     fn publish(&self, state: &ShardState) {
         self.pending.store(state.registry.len(), Ordering::Relaxed);
+        self.min_deadline.store(
+            state.registry.min_deadline().unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
         let s = &state.stats;
         self.submitted.store(s.submitted, Ordering::Relaxed);
         self.answered.store(s.answered, Ordering::Relaxed);
+        self.expired.store(s.expired, Ordering::Relaxed);
         self.groups_matched
             .store(s.groups_matched, Ordering::Relaxed);
         self.match_attempts
@@ -370,6 +411,7 @@ impl ShardMonitor {
             submitted: self.submitted.load(Ordering::Relaxed),
             rejected_unsafe: 0, // tracked globally, not per shard
             answered: self.answered.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
             groups_matched: self.groups_matched.load(Ordering::Relaxed),
             match_attempts: self.match_attempts.load(Ordering::Relaxed),
             matching_nanos: self.matching_nanos.load(Ordering::Relaxed) as u128,
@@ -383,6 +425,12 @@ impl ShardMonitor {
                 nodes_expanded: self.nodes_expanded.load(Ordering::Relaxed),
                 subsets_tested: self.subsets_tested.load(Ordering::Relaxed),
             },
+            // log-surface gauges are coordinator-wide, not per shard;
+            // ShardedCoordinator::stats sets them after merging
+            wal_bytes: 0,
+            wal_bytes_since_checkpoint: 0,
+            checkpoint_age_millis: 0,
+            auto_checkpoints: 0,
         }
     }
 }
@@ -440,11 +488,42 @@ pub struct ShardedCoordinator {
     rejected_unsafe: AtomicU64,
     apply_hook: Mutex<Option<SharedApplyHook>>,
     workers: usize,
+    /// The coordinator clock (checkpoint age, recovery expiry); tests
+    /// inject a [`crate::MockClock`] via
+    /// [`ShardedCoordinator::with_clock`].
+    clock: Arc<dyn Clock>,
+    /// Notified (outside any shard lock) whenever a deadline-carrying
+    /// query registers; the [`crate::DeadlineSweeper`] waits on it.
+    sweep_signal: Arc<SweepSignal>,
+    /// Auto-checkpoint threshold in bytes (0 = disabled).
+    auto_checkpoint_bytes: u64,
+    /// WAL length right after the last checkpoint (or at
+    /// construction), for the bytes-since-checkpoint gauge.
+    wal_len_at_checkpoint: AtomicU64,
+    /// Clock millis of the last checkpoint (or construction).
+    last_checkpoint_at: AtomicU64,
+    /// Checkpoints triggered by the size threshold.
+    auto_checkpoints: AtomicU64,
+    /// Collapses concurrent auto-checkpoint triggers into one run.
+    checkpointing: std::sync::atomic::AtomicBool,
 }
 
 impl ShardedCoordinator {
-    /// Creates a sharded coordinator over `db`.
+    /// Creates a sharded coordinator over `db` (timed by the system
+    /// clock).
     pub fn with_config(db: Database, config: ShardedConfig) -> ShardedCoordinator {
+        Self::with_clock(db, config, Arc::new(SystemClock))
+    }
+
+    /// [`ShardedCoordinator::with_config`] with an injected clock —
+    /// checkpoint-age accounting and recovery expiry read this clock,
+    /// so deadline tests run on a [`crate::MockClock`] with no
+    /// wall-clock sleeps.
+    pub fn with_clock(
+        db: Database,
+        config: ShardedConfig,
+        clock: Arc<dyn Clock>,
+    ) -> ShardedCoordinator {
         let shards = config.shards.max(1);
         let workers = if config.workers == 0 {
             std::thread::available_parallelism()
@@ -453,6 +532,8 @@ impl ShardedCoordinator {
         } else {
             config.workers
         };
+        let wal_len = db.wal_len().unwrap_or(0);
+        let now = clock.now_millis();
         ShardedCoordinator {
             shards: (0..shards)
                 .map(|i| ShardSlot {
@@ -469,6 +550,13 @@ impl ShardedCoordinator {
             rejected_unsafe: AtomicU64::new(0),
             apply_hook: Mutex::new(None),
             workers,
+            clock,
+            sweep_signal: Arc::new(SweepSignal::new()),
+            auto_checkpoint_bytes: config.auto_checkpoint_bytes,
+            wal_len_at_checkpoint: AtomicU64::new(wal_len),
+            last_checkpoint_at: AtomicU64::new(now),
+            auto_checkpoints: AtomicU64::new(0),
+            checkpointing: std::sync::atomic::AtomicBool::new(false),
             engine: Engine {
                 db,
                 config: config.base,
@@ -514,8 +602,19 @@ impl ShardedCoordinator {
 
     /// Submits one entangled query given as SQL text.
     pub fn submit_sql(&self, owner: &str, sql: &str) -> CoreResult<Submission> {
+        self.submit_sql_with(owner, sql, SubmitOptions::default())
+    }
+
+    /// [`ShardedCoordinator::submit_sql`] with per-submission options
+    /// (e.g. a deadline).
+    pub fn submit_sql_with(
+        &self,
+        owner: &str,
+        sql: &str,
+        opts: SubmitOptions,
+    ) -> CoreResult<Submission> {
         let compiled = compile_sql(sql)?;
-        self.submit(owner, compiled)
+        self.submit_with(owner, compiled, opts)
     }
 
     /// Submits one compiled entangled query: routes it to its shard and
@@ -527,15 +626,38 @@ impl ShardedCoordinator {
     /// shard lock, so a concurrent checkpoint cannot lose it — before
     /// the arrival is processed or acknowledged.
     pub fn submit(&self, owner: &str, query: EntangledQuery) -> CoreResult<Submission> {
-        self.submit_mode(owner, query, WaitMode::Sync)
+        self.submit_with(owner, query, SubmitOptions::default())
+    }
+
+    /// [`ShardedCoordinator::submit`] with per-submission options: a
+    /// deadline rides the registration's log frame and is enforced by
+    /// `expire_due` sweeps.
+    pub fn submit_with(
+        &self,
+        owner: &str,
+        query: EntangledQuery,
+        opts: SubmitOptions,
+    ) -> CoreResult<Submission> {
+        self.submit_mode(owner, query, opts, WaitMode::Sync)
             .map(Arrival::into_sync)
     }
 
     /// Submits one entangled query given as SQL text, returning a
     /// [`CoordinationFuture`] instead of a blocking ticket.
     pub fn submit_sql_async(&self, owner: &str, sql: &str) -> CoreResult<CoordinationFuture> {
+        self.submit_sql_async_with(owner, sql, SubmitOptions::default())
+    }
+
+    /// [`ShardedCoordinator::submit_sql_async`] with per-submission
+    /// options.
+    pub fn submit_sql_async_with(
+        &self,
+        owner: &str,
+        sql: &str,
+        opts: SubmitOptions,
+    ) -> CoreResult<CoordinationFuture> {
         let compiled = compile_sql(sql)?;
-        self.submit_async(owner, compiled)
+        self.submit_async_with(owner, compiled, opts)
     }
 
     /// Submits one compiled entangled query asynchronously: identical
@@ -550,7 +672,18 @@ impl ShardedCoordinator {
         owner: &str,
         query: EntangledQuery,
     ) -> CoreResult<CoordinationFuture> {
-        self.submit_mode(owner, query, WaitMode::Async)
+        self.submit_async_with(owner, query, SubmitOptions::default())
+    }
+
+    /// [`ShardedCoordinator::submit_async`] with per-submission
+    /// options.
+    pub fn submit_async_with(
+        &self,
+        owner: &str,
+        query: EntangledQuery,
+        opts: SubmitOptions,
+    ) -> CoreResult<CoordinationFuture> {
+        self.submit_mode(owner, query, opts, WaitMode::Async)
             .map(Arrival::into_async)
     }
 
@@ -558,6 +691,7 @@ impl ShardedCoordinator {
         &self,
         owner: &str,
         query: EntangledQuery,
+        opts: SubmitOptions,
         mode: WaitMode,
     ) -> CoreResult<Arrival> {
         if let Err(e) = check_safety(&query, self.engine.config.safety) {
@@ -572,12 +706,14 @@ impl ShardedCoordinator {
             sql: query.sql.clone(),
             qid,
             seq,
+            deadline: opts.deadline,
         };
         let pending = Pending {
             id: qid,
             owner: owner.to_string(),
             query: query.namespaced(qid),
             seq,
+            deadline: opts.deadline,
         };
         let hook = self.apply_hook.lock().clone();
 
@@ -614,6 +750,12 @@ impl ShardedCoordinator {
         if !matches!(&result, Ok(a) if !a.is_pending()) {
             self.heal_placement(shard, &[qid], &hook);
         }
+        if opts.deadline.is_some() {
+            // after every shard lock is released: the sweeper's next
+            // hint read sees the published per-shard minimum
+            self.sweep_signal.notify();
+        }
+        self.maybe_auto_checkpoint();
         result
     }
 
@@ -634,6 +776,21 @@ impl ShardedCoordinator {
     pub fn submit_batch(
         &self,
         requests: Vec<(String, CoreResult<EntangledQuery>)>,
+    ) -> Vec<BatchOutcome> {
+        self.submit_batch_with(
+            requests
+                .into_iter()
+                .map(|(owner, q)| (owner, q, SubmitOptions::default()))
+                .collect(),
+        )
+    }
+
+    /// [`ShardedCoordinator::submit_batch`] with per-entry options:
+    /// each request may carry its own deadline, logged in its
+    /// registration frame of the bucket's group commit.
+    pub fn submit_batch_with(
+        &self,
+        requests: Vec<(String, CoreResult<EntangledQuery>, SubmitOptions)>,
     ) -> Vec<BatchOutcome> {
         self.submit_batch_mode(requests, WaitMode::Sync)
             .into_iter()
@@ -663,6 +820,20 @@ impl ShardedCoordinator {
         &self,
         requests: Vec<(String, CoreResult<EntangledQuery>)>,
     ) -> Vec<CoreResult<CoordinationFuture>> {
+        self.submit_batch_async_with(
+            requests
+                .into_iter()
+                .map(|(owner, q)| (owner, q, SubmitOptions::default()))
+                .collect(),
+        )
+    }
+
+    /// [`ShardedCoordinator::submit_batch_async`] with per-entry
+    /// options.
+    pub fn submit_batch_async_with(
+        &self,
+        requests: Vec<(String, CoreResult<EntangledQuery>, SubmitOptions)>,
+    ) -> Vec<CoreResult<CoordinationFuture>> {
         self.submit_batch_mode(requests, WaitMode::Async)
             .into_iter()
             .map(|r| r.map(Arrival::into_async))
@@ -671,7 +842,7 @@ impl ShardedCoordinator {
 
     fn submit_batch_mode(
         &self,
-        requests: Vec<(String, CoreResult<EntangledQuery>)>,
+        requests: Vec<(String, CoreResult<EntangledQuery>, SubmitOptions)>,
         mode: WaitMode,
     ) -> Vec<CoreResult<Arrival>> {
         let mut outcomes: Vec<Option<CoreResult<Arrival>>> = Vec::with_capacity(requests.len());
@@ -679,8 +850,9 @@ impl ShardedCoordinator {
 
         // Phase 1 (no locks): compile outcomes + safety, id allocation
         // in input order so ids match a serial submission of the batch.
+        let mut any_deadline = false;
         let mut accepted: Vec<(usize, Pending, BTreeSet<String>)> = Vec::new();
-        for (idx, (owner, compiled)) in requests.into_iter().enumerate() {
+        for (idx, (owner, compiled, opts)) in requests.into_iter().enumerate() {
             let query = match compiled {
                 Ok(q) => q,
                 Err(e) => {
@@ -696,11 +868,13 @@ impl ShardedCoordinator {
             let relations = query.answer_relations();
             let qid = QueryId(self.next_id.fetch_add(1, Ordering::Relaxed));
             let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+            any_deadline |= opts.deadline.is_some();
             let pending = Pending {
                 id: qid,
                 owner,
                 query: query.namespaced(qid),
                 seq,
+                deadline: opts.deadline,
             };
             accepted.push((idx, pending, relations));
         }
@@ -806,6 +980,11 @@ impl ShardedCoordinator {
             self.heal_placement(shard, &qids, &hook);
         }
 
+        if any_deadline {
+            self.sweep_signal.notify();
+        }
+        self.maybe_auto_checkpoint();
+
         for (idx, outcome) in drained {
             outcomes[idx] = Some(outcome);
         }
@@ -840,6 +1019,7 @@ impl ShardedCoordinator {
                 sql: p.query.sql.clone(),
                 qid: p.id,
                 seq: p.seq,
+                deadline: p.deadline,
             })
             .collect();
         if let Err(e) = self.engine.db.log_events(&events) {
@@ -1027,23 +1207,80 @@ impl ShardedCoordinator {
     }
 
     /// Expires pending queries whose submission sequence number is
-    /// older than `min_seq` (deadline sweeps; pairs with
+    /// older than `min_seq` — the legacy caller-driven sweep, now a
+    /// seq-selection over the same per-shard lifecycle helper as
+    /// [`ShardedCoordinator::expire_due`] (pairs with
     /// [`ShardedCoordinator::current_seq`]). Returns the expired ids;
     /// like [`ShardedCoordinator::cancel_owner`], a shard whose log
     /// write fails is skipped (partial result, never an unlogged
     /// removal).
     pub fn expire_before(&self, min_seq: u64) -> Vec<QueryId> {
-        self.sweep(
+        let expired = self.sweep(
             |p| p.seq < min_seq,
             |qid| CoordEvent::QueryExpired { qid },
             CoordinationOutcome::Expired,
-        )
+        );
+        if !expired.is_empty() {
+            self.maybe_auto_checkpoint();
+        }
+        expired
     }
 
-    /// Removes every pending query matching `select`, logging `event`
-    /// for each before it is removed (per shard: one group commit, then
-    /// the removals). Parked waiters resolve with `outcome`, so async
-    /// futures terminate instead of hanging. Returns the removed ids.
+    /// Expires every pending query whose deadline
+    /// ([`SubmitOptions::deadline`]) is at or before `now_millis` —
+    /// the clock-driven sweep a [`crate::DeadlineSweeper`] runs in the
+    /// background. Per shard: the lock-free monitor hint is consulted
+    /// first (a shard whose earliest deadline lies in the future is
+    /// skipped without touching its lock), then the registry's
+    /// deadline index selects the victims and the shared lifecycle
+    /// helper logs-then-removes them under the shard lock. Returns the
+    /// expired ids.
+    pub fn expire_due(&self, now_millis: u64) -> Vec<QueryId> {
+        let mut victims = Vec::new();
+        for (index, slot) in self.shards.iter().enumerate() {
+            // the hint may trail an in-flight registration by one
+            // publish, but that registration's sweep-signal notify
+            // happens after its guard drop, so the sweeper always
+            // re-reads a fresh hint before sleeping
+            if slot.monitor.min_deadline.load(Ordering::Relaxed) > now_millis {
+                continue;
+            }
+            let mut state = self.shard_lock(index);
+            let due = state.registry.due_before(now_millis);
+            let expired = self.engine.retire_ids(
+                &mut state,
+                &due,
+                |qid| CoordEvent::QueryExpired { qid },
+                &CoordinationOutcome::Expired,
+            );
+            state.stats.expired += expired.len() as u64;
+            drop(state);
+            victims.extend(expired);
+        }
+        self.retire(victims.clone());
+        if !victims.is_empty() {
+            self.maybe_auto_checkpoint();
+        }
+        victims
+    }
+
+    /// The earliest deadline across all shards (the sweeper's wakeup
+    /// hint). Lock-free: reads the per-shard monitor atomics.
+    pub fn next_deadline(&self) -> Option<u64> {
+        let min = self
+            .shards
+            .iter()
+            .map(|s| s.monitor.min_deadline.load(Ordering::Relaxed))
+            .min()
+            .unwrap_or(u64::MAX);
+        (min != u64::MAX).then_some(min)
+    }
+
+    /// Removes every pending query matching `select` through the
+    /// shared lifecycle helper ([`Engine::retire_ids`]): per shard,
+    /// one group commit of the events, then the removals — parked
+    /// waiters resolve with `outcome`, so async futures terminate
+    /// instead of hanging. Returns the removed ids.
     fn sweep(
         &self,
         select: impl Fn(&Pending) -> bool,
@@ -1059,20 +1296,12 @@ impl ShardedCoordinator {
                 .filter(|p| select(p))
                 .map(|p| p.id)
                 .collect();
-            if ids.is_empty() {
-                continue;
+            let removed = self.engine.retire_ids(&mut state, &ids, &event, &outcome);
+            if matches!(outcome, CoordinationOutcome::Expired) {
+                state.stats.expired += removed.len() as u64;
             }
-            let events: Vec<CoordEvent> = ids.iter().map(|&qid| event(qid)).collect();
-            if self.engine.db.log_events(&events).is_err() {
-                continue; // log-before-ack: unlogged removals don't happen
-            }
-            for qid in ids {
-                state.registry.remove(qid);
-                if let Some(waiter) = state.waiters.remove(&qid) {
-                    waiter.resolve_terminal(outcome.clone());
-                }
-                victims.push(qid);
-            }
+            drop(state);
+            victims.extend(removed);
         }
         self.retire(victims.clone());
         victims
@@ -1174,15 +1403,27 @@ impl ShardedCoordinator {
             .collect()
     }
 
-    /// Merged statistics across shards (plus global safety rejections).
-    /// Lock-free: reads the per-shard monitor atomics; counters may
-    /// trail an in-flight drain by one publish.
+    /// Merged statistics across shards (plus global safety rejections
+    /// and the log-surface gauges: WAL size, bytes and time since the
+    /// last checkpoint, auto-checkpoint count — the first slice of the
+    /// log-aware admin surface). Lock-free: reads the per-shard
+    /// monitor atomics; counters may trail an in-flight drain by one
+    /// publish.
     pub fn stats(&self) -> SystemStats {
         let mut total = SystemStats::default();
         for shard in &self.shards {
             total.merge(&shard.monitor.stats());
         }
         total.rejected_unsafe += self.rejected_unsafe.load(Ordering::Relaxed);
+        total.wal_bytes = self.engine.db.wal_len().unwrap_or(0);
+        total.wal_bytes_since_checkpoint = total
+            .wal_bytes
+            .saturating_sub(self.wal_len_at_checkpoint.load(Ordering::Relaxed));
+        total.checkpoint_age_millis = self
+            .clock
+            .now_millis()
+            .saturating_sub(self.last_checkpoint_at.load(Ordering::Relaxed));
+        total.auto_checkpoints = self.auto_checkpoints.load(Ordering::Relaxed);
         total
     }
 
@@ -1207,6 +1448,7 @@ impl ShardedCoordinator {
                         sql: p.query.sql.clone(),
                         ir: p.query.to_string(),
                         seq: p.seq,
+                        deadline: p.deadline,
                     })
                     .collect::<Vec<_>>()
             })
@@ -1265,7 +1507,7 @@ impl ShardedCoordinator {
         wal: Wal,
         config: ShardedConfig,
     ) -> CoreResult<(ShardedCoordinator, RecoveryReport)> {
-        Self::recover_with_hook(wal, config, None)
+        Self::recover_with(wal, config, None, Arc::new(SystemClock))
     }
 
     /// [`ShardedCoordinator::recover`] with an apply hook installed
@@ -1275,9 +1517,24 @@ impl ShardedCoordinator {
         config: ShardedConfig,
         hook: Option<SharedApplyHook>,
     ) -> CoreResult<(ShardedCoordinator, RecoveryReport)> {
+        Self::recover_with(wal, config, hook, Arc::new(SystemClock))
+    }
+
+    /// The full-control recovery entry point: apply hook plus an
+    /// injected [`Clock`]. Deadlines are rebuilt from the log into
+    /// each survivor's registry entry, and — after the rematch sweep —
+    /// anything already past due *by that clock* is expired
+    /// immediately, so no client can reattach to a query that should
+    /// be dead. The rebuilt coordinator keeps the clock.
+    pub fn recover_with(
+        wal: Wal,
+        config: ShardedConfig,
+        hook: Option<SharedApplyHook>,
+        clock: Arc<dyn Clock>,
+    ) -> CoreResult<(ShardedCoordinator, RecoveryReport)> {
         let (db, frames) = Database::recover_full(wal).map_err(CoreError::Storage)?;
         let replayed = replay_coordination_frames(&frames)?;
-        let co = ShardedCoordinator::with_config(db, config);
+        let co = ShardedCoordinator::with_clock(db, config, clock);
         if let Some(hook) = hook {
             co.set_apply_hook(hook);
         }
@@ -1287,18 +1544,20 @@ impl ShardedCoordinator {
             events_replayed: replayed.events,
             restored_pending: replayed.survivors.len(),
             rematched_groups: 0,
+            expired_at_recovery: 0,
         };
 
         // re-compile outside any lock; a failure means the log (or the
         // compiler) changed underneath us, which recovery must surface
         let mut restored: Vec<Pending> = Vec::with_capacity(replayed.survivors.len());
-        for (qid, owner, sql, seq) in replayed.survivors {
-            let query = compile_sql(&sql)?;
+        for survivor in replayed.survivors {
+            let query = compile_sql(&survivor.sql)?;
             restored.push(Pending {
-                id: qid,
-                owner,
-                query: query.namespaced(qid),
-                seq,
+                id: survivor.qid,
+                owner: survivor.owner,
+                query: query.namespaced(survivor.qid),
+                seq: survivor.seq,
+                deadline: survivor.deadline,
             });
         }
 
@@ -1333,6 +1592,10 @@ impl ShardedCoordinator {
         // matched; any match that fires commits and logs normally
         co.retry_all()?;
         report.rematched_groups = co.stats().groups_matched;
+        // deadlines that lapsed while the coordinator was down expire
+        // now (logged like any sweep), matching the uncrashed run's
+        // sweep at the same clock instant
+        report.expired_at_recovery = co.expire_due(co.clock.now_millis()).len();
         Ok((co, report))
     }
 
@@ -1352,11 +1615,15 @@ impl ShardedCoordinator {
             for p in guard.registry.iter() {
                 events.push((
                     p.seq,
+                    // the deadline rides the compacted frame too — a
+                    // checkpoint must never turn a bounded query into
+                    // an immortal one
                     CoordEvent::QueryRegistered {
                         owner: p.owner.clone(),
                         sql: p.query.sql.clone(),
                         qid: p.id,
                         seq: p.seq,
+                        deadline: p.deadline,
                     },
                 ));
             }
@@ -1375,7 +1642,50 @@ impl ShardedCoordinator {
         self.engine
             .db
             .checkpoint_with_coordination(&payloads)
-            .map_err(CoreError::Storage)
+            .map_err(CoreError::Storage)?;
+        // reset the log-surface gauges while still quiesced
+        self.wal_len_at_checkpoint
+            .store(self.engine.db.wal_len().unwrap_or(0), Ordering::Relaxed);
+        self.last_checkpoint_at
+            .store(self.clock.now_millis(), Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Triggers [`ShardedCoordinator::checkpoint`] when the bytes
+    /// appended since the last checkpoint exceed the configured
+    /// threshold ([`ShardedConfig::auto_checkpoint_bytes`]). Called
+    /// after group commits; concurrent triggers collapse into one run.
+    /// Auto-checkpoint failures are swallowed (the log keeps growing
+    /// and the next trigger retries) — compaction is an optimization,
+    /// never a correctness requirement.
+    fn maybe_auto_checkpoint(&self) {
+        if self.auto_checkpoint_bytes == 0 {
+            return;
+        }
+        let Some(len) = self.engine.db.wal_len() else {
+            return; // non-durable database: nothing to compact
+        };
+        let since = len.saturating_sub(self.wal_len_at_checkpoint.load(Ordering::Relaxed));
+        if since <= self.auto_checkpoint_bytes {
+            return;
+        }
+        if self
+            .checkpointing
+            .compare_exchange(
+                false,
+                true,
+                std::sync::atomic::Ordering::Acquire,
+                std::sync::atomic::Ordering::Relaxed,
+            )
+            .is_err()
+        {
+            return; // another thread is already checkpointing
+        }
+        if self.checkpoint().is_ok() {
+            self.auto_checkpoints.fetch_add(1, Ordering::Relaxed);
+        }
+        self.checkpointing
+            .store(false, std::sync::atomic::Ordering::Release);
     }
 
     /// Verifies the routing invariants at a quiescent point, returning
@@ -1420,6 +1730,20 @@ impl ShardedCoordinator {
             }
         }
         Ok(())
+    }
+}
+
+impl DeadlineHost for ShardedCoordinator {
+    fn next_deadline_millis(&self) -> Option<u64> {
+        self.next_deadline()
+    }
+
+    fn expire_due(&self, now_millis: u64) -> Vec<QueryId> {
+        ShardedCoordinator::expire_due(self, now_millis)
+    }
+
+    fn sweep_signal(&self) -> Arc<SweepSignal> {
+        Arc::clone(&self.sweep_signal)
     }
 }
 
@@ -1831,6 +2155,7 @@ mod tests {
                     sql: pair_sql_on("Res", me, friend),
                     qid: QueryId(qid),
                     seq,
+                    deadline: None,
                 }
                 .encode(),
             )

@@ -139,6 +139,7 @@ fn registry_for(scenario: &Scenario) -> Registry {
             owner: me.clone(),
             query: q,
             seq: id.0,
+            deadline: None,
         });
     }
     reg

@@ -101,6 +101,14 @@ impl Database {
         inner.wal.as_ref()?.raw_bytes().map(<[u8]>::to_vec)
     }
 
+    /// Current WAL size in bytes (`None` without a WAL; works for file
+    /// and memory sinks). Feeds the coordinator's auto-checkpoint
+    /// threshold and the admin-surface log gauges.
+    pub fn wal_len(&self) -> Option<u64> {
+        let inner = self.inner.read();
+        inner.wal.as_ref()?.len_bytes().ok()
+    }
+
     /// Durably appends one opaque coordination payload to the WAL
     /// (append + sync under the write lock). No-op without a WAL.
     pub fn append_coordination(&self, payload: &[u8]) -> StorageResult<()> {

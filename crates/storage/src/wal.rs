@@ -358,6 +358,11 @@ enum WalSink {
 /// An append-only redo log.
 pub struct Wal {
     sink: WalSink,
+    /// Cached log length in bytes, maintained by every append, reset
+    /// and tail truncation — so [`Wal::len_bytes`] (polled by the
+    /// coordinator's auto-checkpoint threshold after every group
+    /// commit) never needs a file-metadata syscall.
+    len_hint: u64,
 }
 
 impl Wal {
@@ -369,8 +374,13 @@ impl Wal {
             .read(true)
             .open(path)
             .map_err(|e| StorageError::WalIo(e.to_string()))?;
+        let len_hint = file
+            .metadata()
+            .map(|m| m.len())
+            .map_err(|e| StorageError::WalIo(e.to_string()))?;
         Ok(Wal {
             sink: WalSink::File(file),
+            len_hint,
         })
     }
 
@@ -378,14 +388,17 @@ impl Wal {
     pub fn in_memory() -> Wal {
         Wal {
             sink: WalSink::Memory(Vec::new()),
+            len_hint: 0,
         }
     }
 
     /// Creates an in-memory WAL over existing log bytes (e.g. bytes
     /// salvaged from a "killed" process in crash-recovery tests).
     pub fn from_bytes(bytes: Vec<u8>) -> Wal {
+        let len_hint = bytes.len() as u64;
         Wal {
             sink: WalSink::Memory(bytes),
+            len_hint,
         }
     }
 
@@ -417,6 +430,7 @@ impl Wal {
             }
             WalSink::Memory(buf) => buf.extend_from_slice(&frame),
         }
+        self.len_hint += frame.len() as u64;
         Ok(())
     }
 
@@ -439,13 +453,11 @@ impl Wal {
                 use std::io::Seek;
                 f.seek(std::io::SeekFrom::Start(0))
                     .map_err(|e| StorageError::WalIo(e.to_string()))?;
-                Ok(())
             }
-            WalSink::Memory(buf) => {
-                buf.clear();
-                Ok(())
-            }
+            WalSink::Memory(buf) => buf.clear(),
         }
+        self.len_hint = 0;
+        Ok(())
     }
 
     /// Reads every complete storage operation currently in the log,
@@ -492,6 +504,7 @@ impl Wal {
                 }
                 WalSink::Memory(buf) => buf.truncate(consumed),
             }
+            self.len_hint = consumed as u64;
         }
         Ok(records)
     }
@@ -544,6 +557,21 @@ impl Wal {
             WalSink::Memory(buf) => Some(buf.len()),
             WalSink::File(_) => None,
         }
+    }
+
+    /// Current log size in bytes, for both sinks — served from the
+    /// maintained length cache, so polling it (the coordinator's
+    /// auto-checkpoint threshold checks after every group commit)
+    /// costs no syscall.
+    pub fn len_bytes(&self) -> StorageResult<u64> {
+        debug_assert_eq!(
+            self.len_hint,
+            match &self.sink {
+                WalSink::Memory(buf) => buf.len() as u64,
+                WalSink::File(_) => self.len_hint,
+            }
+        );
+        Ok(self.len_hint)
     }
 
     /// Raw bytes (memory sinks only; for tests).

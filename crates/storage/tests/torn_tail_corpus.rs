@@ -18,8 +18,29 @@ fn schema() -> Schema {
     )
 }
 
+/// A coordination payload shaped like the core layer's registration
+/// events: `tag`, two u32-length-prefixed strings, qid and seq as
+/// big-endian u64, and — for the v2 (deadline-carrying) shape, tag 5 —
+/// a trailing deadline u64. Storage treats payloads as opaque; these
+/// shapes keep the truncation corpus representative of real logs,
+/// v1 (pre-deadline) and v2 alike.
+fn registration_payload(tag: u8, owner: &str, sql: &str, deadline: Option<u64>) -> Vec<u8> {
+    let mut buf = vec![tag];
+    for s in [owner, sql] {
+        buf.extend_from_slice(&(s.len() as u32).to_be_bytes());
+        buf.extend_from_slice(s.as_bytes());
+    }
+    buf.extend_from_slice(&7u64.to_be_bytes()); // qid
+    buf.extend_from_slice(&3u64.to_be_bytes()); // seq
+    if let Some(d) = deadline {
+        buf.extend_from_slice(&d.to_be_bytes());
+    }
+    buf
+}
+
 /// A mixed log: DDL + DML storage frames interleaved with coordination
-/// frames of several sizes (including empty).
+/// frames of several sizes (including empty, and both registration
+/// event shapes).
 fn corpus_records() -> Vec<WalRecord> {
     let mut records = vec![WalRecord::Storage(WalOp::CreateTable {
         name: "Flights".into(),
@@ -33,6 +54,18 @@ fn corpus_records() -> Vec<WalRecord> {
         }));
         records.push(WalRecord::Coordination(vec![i as u8; i as usize * 7]));
     }
+    records.push(WalRecord::Coordination(registration_payload(
+        0,
+        "kramer",
+        "SELECT 'K', fno INTO ANSWER R CHOOSE 1",
+        None,
+    )));
+    records.push(WalRecord::Coordination(registration_payload(
+        5,
+        "newman",
+        "SELECT 'N', fno INTO ANSWER R CHOOSE 1",
+        Some(123_456),
+    )));
     records.push(WalRecord::Storage(WalOp::Delete {
         table: "Flights".into(),
         rid: 2,

@@ -10,7 +10,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 use youtopia_core::{
-    CoordinationOutcome, ShardedConfig, ShardedCoordinator, Submission, WaiterSet,
+    CoordinationOutcome, ShardedConfig, ShardedCoordinator, Submission, SubmitOptions, WaiterSet,
 };
 use youtopia_exec::run_sql;
 use youtopia_storage::Database;
@@ -18,13 +18,32 @@ use youtopia_storage::Database;
 use crate::error::{TravelError, TravelResult};
 use crate::model::install_schema;
 
-/// One entangled submission: who submits what.
+/// One entangled submission: who submits what (and until when).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// Submitting user.
     pub owner: String,
     /// The entangled SQL.
     pub sql: String,
+    /// Optional absolute deadline (clock milliseconds), passed through
+    /// as [`SubmitOptions::deadline`]. `None` for the classic
+    /// wait-forever workloads.
+    pub deadline: Option<u64>,
+}
+
+impl Request {
+    /// Attaches an absolute deadline to the request.
+    pub fn with_deadline(mut self, deadline_millis: u64) -> Request {
+        self.deadline = Some(deadline_millis);
+        self
+    }
+
+    /// The request's submission options.
+    pub fn opts(&self) -> SubmitOptions {
+        SubmitOptions {
+            deadline: self.deadline,
+        }
+    }
 }
 
 /// Deterministic workload generator.
@@ -106,6 +125,7 @@ impl WorkloadGen {
                  WHERE fno IN (SELECT fno FROM Flights WHERE dest = '{dest}') \
                  AND ('{friend}', fno) IN ANSWER Reservation CHOOSE 1"
             ),
+            deadline: None,
         }
     }
 
@@ -154,6 +174,7 @@ impl WorkloadGen {
             requests.push(Request {
                 owner: me.clone(),
                 sql,
+                deadline: None,
             });
         }
         requests.shuffle(&mut self.rng);
@@ -171,6 +192,7 @@ impl WorkloadGen {
                  WHERE fno IN (SELECT fno FROM Flights WHERE dest = '{dest}') \
                  AND ('{friend}', fno) IN ANSWER {relation} CHOOSE 1"
             ),
+            deadline: None,
         }
     }
 
@@ -210,6 +232,29 @@ impl WorkloadGen {
             .collect()
     }
 
+    /// `count` never-matching queries that each carry an absolute
+    /// deadline drawn uniformly from `deadline_range` (clock millis),
+    /// spread over `relations` answer relations — the due load of the
+    /// `expiry_storm` bench and the deadline soak: they pend until a
+    /// sweep retires them.
+    pub fn deadline_storm(
+        &mut self,
+        count: usize,
+        dest: &str,
+        relations: usize,
+        deadline_range: std::ops::Range<u64>,
+    ) -> Vec<Request> {
+        let relations = relations.max(1);
+        (0..count)
+            .map(|i| {
+                let rel = format!("Reservation{}", i % relations);
+                let deadline = self.rng.random_range(deadline_range.clone());
+                Self::pair_request_on(&rel, &format!("bounded{i}"), &format!("never{i}"), dest)
+                    .with_deadline(deadline)
+            })
+            .collect()
+    }
+
     /// A flight+hotel pair request (two answer relations per query).
     pub fn pair_flight_hotel(me: &str, friend: &str, dest: &str) -> Request {
         Request {
@@ -222,6 +267,7 @@ impl WorkloadGen {
                  AND ('{friend}', fno) IN ANSWER Reservation \
                  AND ('{friend}', hid) IN ANSWER HotelReservation CHOOSE 1"
             ),
+            deadline: None,
         }
     }
 
@@ -246,6 +292,7 @@ impl WorkloadGen {
         Request {
             owner: me.to_string(),
             sql: format!("SELECT {heads}{body} CHOOSE 1"),
+            deadline: None,
         }
     }
 }
@@ -443,15 +490,32 @@ pub fn drive_batched(
     let batch_size = batch_size.max(1);
     let mut report = DriveReport::default();
     for chunk in requests.chunks(batch_size) {
-        let batch: Vec<(String, String)> = chunk
-            .iter()
-            .map(|r| (r.owner.clone(), r.sql.clone()))
-            .collect();
-        for outcome in coordinator.submit_batch_sql(&batch) {
+        for outcome in coordinator.submit_batch_with(compile_batch(chunk)) {
             report.absorb(&outcome);
         }
     }
     report
+}
+
+/// Compiles a request chunk into the sharded coordinator's
+/// options-carrying batch form (deadlines ride along per entry).
+fn compile_batch(
+    chunk: &[Request],
+) -> Vec<(
+    String,
+    youtopia_core::CoreResult<youtopia_core::EntangledQuery>,
+    SubmitOptions,
+)> {
+    chunk
+        .iter()
+        .map(|r| {
+            (
+                r.owner.clone(),
+                youtopia_core::compile_sql(&r.sql),
+                r.opts(),
+            )
+        })
+        .collect()
 }
 
 /// What [`drive_async`] observed: the per-request outcome counts, the
@@ -490,11 +554,7 @@ pub fn drive_async(
     let mut completed = Vec::new();
     let mut max_in_flight = 0usize;
     for chunk in requests.chunks(batch_size) {
-        let batch: Vec<(String, String)> = chunk
-            .iter()
-            .map(|r| (r.owner.clone(), r.sql.clone()))
-            .collect();
-        for outcome in coordinator.submit_batch_sql_async(&batch) {
+        for outcome in coordinator.submit_batch_async_with(compile_batch(chunk)) {
             match outcome {
                 Ok(future) => {
                     waiters.insert(future);

@@ -33,9 +33,10 @@ pub use youtopia_storage as storage;
 pub use youtopia_travel as travel;
 
 pub use youtopia_core::{
-    compile_sql, CoordEvent, CoordinationFuture, CoordinationLog, CoordinationOutcome, Coordinator,
-    CoordinatorConfig, GroupMatch, MatchNotification, MatcherKind, QueryId, RecoveryReport,
-    SafetyMode, ShardedConfig, ShardedCoordinator, Submission, WaiterSet,
+    compile_sql, Clock, CoordEvent, CoordinationFuture, CoordinationLog, CoordinationOutcome,
+    Coordinator, CoordinatorConfig, DeadlineHost, DeadlineSweeper, GroupMatch, MatchNotification,
+    MatcherKind, MockClock, QueryId, RecoveryReport, SafetyMode, ShardedConfig, ShardedCoordinator,
+    Submission, SubmitOptions, SystemClock, WaiterSet,
 };
 pub use youtopia_exec::{run_sql, StatementOutcome};
 pub use youtopia_storage::Database;

@@ -17,32 +17,48 @@
 
 use proptest::prelude::*;
 
-use youtopia::core::MatchConfig;
+use youtopia::core::{MatchConfig, SubmitOptions};
 use youtopia::{
-    run_sql, CoordinationOutcome, Coordinator, CoordinatorConfig, Database, MatchNotification,
-    ShardedConfig, ShardedCoordinator, Submission, WaiterSet,
+    compile_sql, run_sql, CoordinationOutcome, Coordinator, CoordinatorConfig, Database,
+    MatchNotification, ShardedConfig, ShardedCoordinator, Submission, WaiterSet,
 };
 
-/// One generated workload: pair requests `(me, friend, relation, dest)`
-/// over small pools, so coordinations actually fire and relations form
-/// several independent components.
+/// One generated workload: pair requests `(me, friend, relation,
+/// dest, deadline)` over small pools — so coordinations actually fire
+/// and relations form several independent components — plus the
+/// mock-clock instant `sweep_at` of the `expire_due` sweep every run
+/// performs after its submissions (deadline-lifecycle PR: random
+/// deadlines are mixed into the equivalence workload).
 #[derive(Debug, Clone)]
 struct Workload {
-    requests: Vec<(String, String, String, String)>,
+    requests: Vec<(String, String, String, String, Option<u64>)>,
+    sweep_at: u64,
 }
 
 fn arb_workload() -> impl Strategy<Value = Workload> {
     let name = prop_oneof![Just("A"), Just("B"), Just("C"), Just("D")];
     let relation = prop_oneof![Just("Res0"), Just("Res1"), Just("Res2"), Just("Res3")];
     let dest = prop_oneof![Just("Paris"), Just("Rome")];
-    proptest::collection::vec((name.clone(), name, relation, dest), 1..14).prop_map(|reqs| {
-        Workload {
+    let deadline = (any::<bool>(), 1u64..100).prop_map(|(some, d)| some.then_some(d));
+    (
+        proptest::collection::vec((name.clone(), name, relation, dest, deadline), 1..14),
+        0u64..150,
+    )
+        .prop_map(|(reqs, sweep_at)| Workload {
             requests: reqs
                 .into_iter()
-                .map(|(a, b, r, d)| (a.to_string(), b.to_string(), r.to_string(), d.to_string()))
+                .map(|(a, b, r, d, dl)| {
+                    (
+                        a.to_string(),
+                        b.to_string(),
+                        r.to_string(),
+                        d.to_string(),
+                        dl,
+                    )
+                })
                 .collect(),
-        }
-    })
+            sweep_at,
+        })
 }
 
 fn scenario_db() -> Database {
@@ -99,147 +115,195 @@ fn canonical(n: &MatchNotification) -> Outcome {
     (n.id.0, group, answers)
 }
 
-/// Runs the workload through the serial coordinator's sync path,
-/// collecting every notification (immediate or via ticket) plus the
-/// still-pending ids.
-fn run_serial_sync(w: &Workload, seed: u64) -> (Vec<Outcome>, Vec<u64>) {
+/// Canonical result of one run: sorted answered outcomes, sorted
+/// expired ids, sorted still-pending ids.
+type RunResult = (Vec<Outcome>, Vec<u64>, Vec<u64>);
+
+fn opts_of(deadline: &Option<u64>) -> SubmitOptions {
+    SubmitOptions {
+        deadline: *deadline,
+    }
+}
+
+/// The still-pending ids straight from the registry (tickets cannot
+/// distinguish "pending" from "expired" — both leave the channel
+/// empty, but an expired ticket's sender is gone).
+fn pending_ids(snapshot: Vec<youtopia::core::PendingInfo>) -> Vec<u64> {
+    let mut ids: Vec<u64> = snapshot.into_iter().map(|p| p.id.0).collect();
+    ids.sort_unstable();
+    ids
+}
+
+/// Runs the workload through the serial coordinator's sync path:
+/// submissions (deadlines attached), then the `expire_due` sweep,
+/// then notification collection.
+fn run_serial_sync(w: &Workload, seed: u64) -> RunResult {
     let co = Coordinator::with_config(scenario_db(), config(seed));
     let mut tickets = Vec::new();
     let mut outcomes = Vec::new();
-    for (me, friend, rel, dest) in &w.requests {
-        match co.submit_sql(me, &pair_sql(me, friend, rel, dest)).unwrap() {
+    for (me, friend, rel, dest, deadline) in &w.requests {
+        match co
+            .submit_sql_with(me, &pair_sql(me, friend, rel, dest), opts_of(deadline))
+            .unwrap()
+        {
             Submission::Answered(n) => outcomes.push(canonical(&n)),
             Submission::Pending(t) => tickets.push(t),
         }
     }
-    let mut pending = Vec::new();
+    let mut expired: Vec<u64> = co.expire_due(w.sweep_at).iter().map(|q| q.0).collect();
     for t in tickets {
-        match t.receiver.try_recv() {
-            Ok(n) => outcomes.push(canonical(&n)),
-            Err(_) => pending.push(t.id.0),
+        if let Ok(n) = t.receiver.try_recv() {
+            outcomes.push(canonical(&n));
         }
     }
     outcomes.sort();
-    pending.sort_unstable();
-    (outcomes, pending)
+    expired.sort_unstable();
+    (outcomes, expired, pending_ids(co.pending_snapshot()))
 }
 
 /// Harvests a [`WaiterSet`] to quiescence and splits the result into
-/// canonical answered outcomes and the still-pending id set. Every
-/// future whose query terminated must resolve here — a future still in
-/// the set *is* the async pending set.
-fn harvest(mut set: WaiterSet) -> (Vec<Outcome>, Vec<u64>) {
-    // completions fire synchronously inside the submit calls (wakers
-    // run under the shard lock), so one non-blocking poll harvests
-    // everything that will ever resolve
+/// canonical answered outcomes, the expired ids, and the still-pending
+/// id set. Every future whose query terminated must resolve here — a
+/// future still in the set *is* the async pending set.
+fn harvest(mut set: WaiterSet) -> (Vec<Outcome>, Vec<u64>, Vec<u64>) {
+    // completions fire synchronously inside the submit/sweep calls
+    // (wakers run under the shard lock), so one non-blocking poll
+    // harvests everything that will ever resolve
     let mut outcomes = Vec::new();
+    let mut expired = Vec::new();
     for (qid, outcome) in set.poll_ready() {
         match outcome {
             CoordinationOutcome::Answered(n) => {
                 assert_eq!(n.id, qid, "notification delivered to its own future");
                 outcomes.push(canonical(&n));
             }
-            other => panic!("workload never cancels/expires, got {other:?} for {qid}"),
+            CoordinationOutcome::Expired => expired.push(qid.0),
+            other => panic!("workload never cancels, got {other:?} for {qid}"),
         }
     }
+    expired.sort_unstable();
     let pending = set.ids().into_iter().map(|q| q.0).collect();
-    (outcomes, pending)
+    (outcomes, expired, pending)
 }
 
 /// Runs the workload through the serial coordinator's async path: every
-/// submission becomes a future held in one [`WaiterSet`].
-fn run_serial_async(w: &Workload, seed: u64) -> (Vec<Outcome>, Vec<u64>) {
+/// submission becomes a future held in one [`WaiterSet`]; the sweep
+/// resolves due futures with `Expired`.
+fn run_serial_async(w: &Workload, seed: u64) -> RunResult {
     let co = Coordinator::with_config(scenario_db(), config(seed));
     let mut set = WaiterSet::new();
-    for (me, friend, rel, dest) in &w.requests {
+    for (me, friend, rel, dest, deadline) in &w.requests {
         let future = co
-            .submit_sql_async(me, &pair_sql(me, friend, rel, dest))
+            .submit_sql_async_with(me, &pair_sql(me, friend, rel, dest), opts_of(deadline))
             .unwrap();
         set.insert(future);
     }
-    let (mut outcomes, pending) = harvest(set);
+    co.expire_due(w.sweep_at);
+    let (mut outcomes, expired, pending) = harvest(set);
     outcomes.sort();
-    (outcomes, pending)
+    assert_eq!(pending, pending_ids(co.pending_snapshot()));
+    (outcomes, expired, pending)
+}
+
+/// The workload as the sharded coordinator's options-carrying batch.
+fn sharded_batch(
+    w: &Workload,
+) -> Vec<(
+    String,
+    youtopia::core::CoreResult<youtopia::core::EntangledQuery>,
+    SubmitOptions,
+)> {
+    w.requests
+        .iter()
+        .map(|(me, friend, rel, dest, deadline)| {
+            (
+                me.clone(),
+                compile_sql(&pair_sql(me, friend, rel, dest)),
+                opts_of(deadline),
+            )
+        })
+        .collect()
 }
 
 /// Runs the workload through the sharded coordinator's sync batch path.
-fn run_sharded_sync(w: &Workload, seed: u64, shards: usize) -> (Vec<Outcome>, Vec<u64>) {
+fn run_sharded_sync(w: &Workload, seed: u64, shards: usize) -> RunResult {
     let co = ShardedCoordinator::with_config(
         scenario_db(),
         ShardedConfig {
             shards,
             workers: 4,
+            auto_checkpoint_bytes: 0,
             base: config(seed),
         },
     );
-    let batch: Vec<(String, String)> = w
-        .requests
-        .iter()
-        .map(|(me, friend, rel, dest)| (me.clone(), pair_sql(me, friend, rel, dest)))
-        .collect();
     let mut tickets = Vec::new();
     let mut outcomes = Vec::new();
-    for outcome in co.submit_batch_sql(&batch) {
+    for outcome in co.submit_batch_with(sharded_batch(w)) {
         match outcome.expect("generated queries are safe") {
             Submission::Answered(n) => outcomes.push(canonical(&n)),
             Submission::Pending(t) => tickets.push(t),
         }
     }
-    let mut pending = Vec::new();
+    let mut expired: Vec<u64> = co.expire_due(w.sweep_at).iter().map(|q| q.0).collect();
     for t in tickets {
-        match t.receiver.try_recv() {
-            Ok(n) => outcomes.push(canonical(&n)),
-            Err(_) => pending.push(t.id.0),
+        if let Ok(n) = t.receiver.try_recv() {
+            outcomes.push(canonical(&n));
         }
     }
     outcomes.sort();
-    pending.sort_unstable();
-    (outcomes, pending)
+    expired.sort_unstable();
+    (outcomes, expired, pending_ids(co.pending_snapshot()))
 }
 
 /// Runs the workload through the sharded coordinator's async batch
 /// path, all futures driven by one [`WaiterSet`].
-fn run_sharded_async(w: &Workload, seed: u64, shards: usize) -> (Vec<Outcome>, Vec<u64>) {
+fn run_sharded_async(w: &Workload, seed: u64, shards: usize) -> RunResult {
     let co = ShardedCoordinator::with_config(
         scenario_db(),
         ShardedConfig {
             shards,
             workers: 4,
+            auto_checkpoint_bytes: 0,
             base: config(seed),
         },
     );
-    let batch: Vec<(String, String)> = w
-        .requests
-        .iter()
-        .map(|(me, friend, rel, dest)| (me.clone(), pair_sql(me, friend, rel, dest)))
-        .collect();
     let mut set = WaiterSet::new();
-    for outcome in co.submit_batch_sql_async(&batch) {
+    for outcome in co.submit_batch_async_with(sharded_batch(w)) {
         set.insert(outcome.expect("generated queries are safe"));
     }
+    co.expire_due(w.sweep_at);
     co.check_routing_invariants()
         .expect("routing invariants hold");
-    let (mut outcomes, pending) = harvest(set);
+    let (mut outcomes, expired, pending) = harvest(set);
     outcomes.sort();
-    (outcomes, pending)
+    assert_eq!(pending, pending_ids(co.pending_snapshot()));
+    (outcomes, expired, pending)
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
-    /// The acceptance property of the async-submission PR: the async
-    /// path (`submit_async` + `WaiterSet`) yields identical matches —
-    /// same answered queries, same groups, same answer tuples — and an
-    /// identical pending set as the sync `submit` path, on the serial
+    /// The acceptance property of the async-submission PR, now with
+    /// random deadlines mixed into the workload: the async path
+    /// (`submit_async` + `WaiterSet`) yields identical matches — same
+    /// answered queries, same groups, same answer tuples — the same
+    /// expired set after the `expire_due` sweep, and an identical
+    /// pending set as the sync `submit` path, on the serial
     /// coordinator.
     #[test]
     fn serial_async_equals_sync(workload in arb_workload(), seed in 0u64..1000) {
-        let (sync_outcomes, sync_pending) = run_serial_sync(&workload, seed);
-        let (async_outcomes, async_pending) = run_serial_async(&workload, seed);
+        let (sync_outcomes, sync_expired, sync_pending) = run_serial_sync(&workload, seed);
+        let (async_outcomes, async_expired, async_pending) = run_serial_async(&workload, seed);
         prop_assert_eq!(
             &sync_outcomes,
             &async_outcomes,
             "matches diverged on {:?}",
+            &workload
+        );
+        prop_assert_eq!(
+            &sync_expired,
+            &async_expired,
+            "expired sets diverged on {:?}",
             &workload
         );
         prop_assert_eq!(
@@ -252,15 +316,23 @@ proptest! {
 
     /// The same equivalence through the sharded coordinator's batch
     /// drain (4 shards): async batch submission == sync batch
-    /// submission == (by `prop_shard_equivalence`) the serial path.
+    /// submission == (by `prop_shard_equivalence`) the serial path —
+    /// deadlines and the expiry sweep included.
     #[test]
     fn sharded_async_equals_sync(workload in arb_workload(), seed in 0u64..1000) {
-        let (sync_outcomes, sync_pending) = run_sharded_sync(&workload, seed, 4);
-        let (async_outcomes, async_pending) = run_sharded_async(&workload, seed, 4);
+        let (sync_outcomes, sync_expired, sync_pending) = run_sharded_sync(&workload, seed, 4);
+        let (async_outcomes, async_expired, async_pending) =
+            run_sharded_async(&workload, seed, 4);
         prop_assert_eq!(
             &sync_outcomes,
             &async_outcomes,
             "matches diverged on {:?}",
+            &workload
+        );
+        prop_assert_eq!(
+            &sync_expired,
+            &async_expired,
+            "expired sets diverged on {:?}",
             &workload
         );
         prop_assert_eq!(

@@ -18,10 +18,10 @@
 
 use proptest::prelude::*;
 
-use youtopia::core::MatchConfig;
+use youtopia::core::{MatchConfig, SubmitOptions};
 use youtopia::storage::Wal;
 use youtopia::{
-    run_sql, CoordinatorConfig, Database, ShardedConfig, ShardedCoordinator, Submission,
+    run_sql, CoordinatorConfig, Database, MockClock, ShardedConfig, ShardedCoordinator, Submission,
 };
 
 /// One generated workload step: a pair request, optionally cancelled
@@ -68,6 +68,77 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
         })
 }
 
+/// A step of the deadline-equivalence property: a pair request that
+/// may carry a deadline `slack` sweeps in the future (and may be
+/// cancelled right after submission, like the plain scenario's steps).
+#[derive(Debug, Clone)]
+struct TimedStep {
+    step: Step,
+    /// `Some(s)` ⇒ deadline = `sweep_time(k + s)` for the step index
+    /// `k` it is submitted at: due exactly at the s-th sweep after its
+    /// own (s = 0 ⇒ the very next sweep).
+    deadline_slack: Option<u8>,
+}
+
+#[derive(Debug, Clone)]
+struct TimedScenario {
+    steps: Vec<TimedStep>,
+    /// The crash lands between step `crash_after`'s submission and its
+    /// sweep (clamped; past the end ⇒ crash after everything).
+    crash_after: usize,
+    seed: u64,
+}
+
+/// The mock-clock instant of the sweep that follows step `k`.
+fn sweep_time(k: usize) -> u64 {
+    (k as u64 + 1) * 10
+}
+
+fn arb_timed_scenario() -> impl Strategy<Value = TimedScenario> {
+    let name = prop_oneof![Just("A"), Just("B"), Just("C"), Just("D")];
+    let relation = prop_oneof![Just("Res0"), Just("Res1"), Just("Res2"), Just("Res3")];
+    let dest = prop_oneof![Just("Paris"), Just("Rome")];
+    let slack = (any::<bool>(), 0u8..5).prop_map(|(some, s)| some.then_some(s));
+    let step = (name.clone(), name, relation, dest, any::<bool>(), slack).prop_map(
+        |(me, friend, relation, dest, cancel_if_pending, deadline_slack)| TimedStep {
+            step: Step {
+                me: me.to_string(),
+                friend: friend.to_string(),
+                relation: relation.to_string(),
+                dest: dest.to_string(),
+                cancel_if_pending,
+            },
+            deadline_slack,
+        },
+    );
+    (
+        proptest::collection::vec(step, 1..16),
+        0usize..18,
+        0u64..1000,
+    )
+        .prop_map(|(steps, crash_after, seed)| TimedScenario {
+            crash_after,
+            steps,
+            seed,
+        })
+}
+
+/// Runs one timed step at index `k`: submit with the step's deadline,
+/// then cancel when asked and still pending.
+fn run_timed_step(co: &ShardedCoordinator, k: usize, timed: &TimedStep) {
+    let opts = SubmitOptions {
+        deadline: timed.deadline_slack.map(|s| sweep_time(k + s as usize)),
+    };
+    let outcome = co
+        .submit_sql_with(&timed.step.me, &pair_sql(&timed.step), opts)
+        .expect("generated queries are safe");
+    if timed.step.cancel_if_pending {
+        if let Submission::Pending(ticket) = outcome {
+            let _ = co.cancel(ticket.id);
+        }
+    }
+}
+
 fn scenario_db() -> Database {
     let db = Database::with_wal(Wal::in_memory());
     run_sql(
@@ -99,6 +170,7 @@ fn config(seed: u64) -> ShardedConfig {
     ShardedConfig {
         shards: 4,
         workers: 2,
+        auto_checkpoint_bytes: 0,
         base: CoordinatorConfig {
             match_config: MatchConfig {
                 randomize: false,
@@ -318,6 +390,72 @@ proptest! {
 
         // ---- equivalence ------------------------------------------- //
         prop_assert_eq!(end_state(&recovered), end_state(&control));
+    }
+
+    /// Deadline-lifecycle PR: queries with **logged deadlines**, after
+    /// kill + recover, expire at the same mock-clock times as the
+    /// uncrashed control run. The workload runs on a step clock
+    /// (`sweep_time(k) = (k+1)*10`): every step is a submission
+    /// (optionally deadline-carrying, optionally cancelled) followed
+    /// by an `expire_due` sweep at that step's time. The crash lands
+    /// *between* step `cut`'s submission and its sweep — recovery at
+    /// `MockClock::new(sweep_time(cut))` must perform exactly the
+    /// sweep the crash swallowed, so the runs converge to identical
+    /// end states.
+    #[test]
+    fn logged_deadlines_expire_at_control_times_after_crash(scenario in arb_timed_scenario()) {
+        let cfg = config(scenario.seed);
+        let steps = &scenario.steps;
+        let cut = scenario.crash_after.min(steps.len());
+
+        // ---- control: submissions + sweeps, never killed ----------- //
+        let control = ShardedCoordinator::with_config(scenario_db(), cfg);
+        for (k, step) in steps.iter().enumerate() {
+            run_timed_step(&control, k, step);
+            control.expire_due(sweep_time(k));
+        }
+        control.check_routing_invariants().expect("control invariants");
+
+        // ---- crashed run ------------------------------------------- //
+        let db = scenario_db();
+        let co = ShardedCoordinator::with_config(db.clone(), cfg);
+        for (k, step) in steps.iter().enumerate().take(cut) {
+            run_timed_step(&co, k, step);
+            co.expire_due(sweep_time(k));
+        }
+        if cut < steps.len() {
+            // the step whose sweep the crash swallows
+            run_timed_step(&co, cut, &steps[cut]);
+        }
+        let wal_bytes = db.wal_bytes().expect("WAL-backed scenario db");
+        drop(co);
+        drop(db);
+
+        // recover "at" the time of the swallowed sweep (or the last
+        // completed one when the crash fell after the final step)
+        let recover_at = sweep_time(cut.min(steps.len() - 1));
+        let (recovered, _) = ShardedCoordinator::recover_with(
+            Wal::from_bytes(wal_bytes),
+            cfg,
+            None,
+            std::sync::Arc::new(MockClock::new(recover_at)),
+        )
+        .expect("recovery succeeds");
+        recovered
+            .check_routing_invariants()
+            .expect("invariants hold right after recovery");
+        for (k, step) in steps.iter().enumerate().skip(cut + 1) {
+            run_timed_step(&recovered, k, step);
+            recovered.expire_due(sweep_time(k));
+        }
+
+        // ---- equivalence: same pending set, same answers ----------- //
+        prop_assert_eq!(end_state(&recovered), end_state(&control));
+        // and the pending deadlines themselves coincide
+        let deadlines = |co: &ShardedCoordinator| -> Vec<(u64, Option<u64>)> {
+            co.pending_snapshot().into_iter().map(|p| (p.id.0, p.deadline)).collect()
+        };
+        prop_assert_eq!(deadlines(&recovered), deadlines(&control));
     }
 
     /// Recovering a log twice (double crash, no work in between) is

@@ -129,6 +129,7 @@ fn run_sharded(w: &Workload, seed: u64, shards: usize) -> (Vec<Outcome>, Vec<u64
         ShardedConfig {
             shards,
             workers: 4,
+            auto_checkpoint_bytes: 0,
             base: config(seed),
         },
     );

@@ -195,6 +195,7 @@ fn sharded_submit_batch_concurrent_soak() {
         ShardedConfig {
             shards: 4,
             workers: 2,
+            auto_checkpoint_bytes: 0,
             base: CoordinatorConfig {
                 match_config: MatchConfig {
                     randomize: false,
@@ -374,6 +375,7 @@ fn mixed_sync_async_soak_loses_no_completions() {
         ShardedConfig {
             shards: 4,
             workers: 2,
+            auto_checkpoint_bytes: 0,
             base: CoordinatorConfig {
                 match_config: MatchConfig {
                     randomize: false,
