@@ -400,7 +400,8 @@ impl Coordinator {
             state.seq += 1;
             // log-before-ack: the registration (deadline included) must
             // be durable before the submission can be acknowledged (or
-            // matched)
+            // matched) — one commit group through the WAL's pipelined
+            // group-commit writer
             self.engine
                 .db
                 .log_event(&CoordEvent::QueryRegistered {

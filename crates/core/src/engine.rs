@@ -258,17 +258,22 @@ impl CoordEvent {
     }
 }
 
-/// A durable sink for coordination events — the group-commit handle
-/// the coordinators log through. Implemented by
-/// [`youtopia_storage::Database`], which appends events as WAL
-/// coordination frames (one sync per call); a database without a WAL
-/// accepts and drops them, so non-durable deployments pay nothing.
+/// A durable sink for coordination events — the handle the
+/// coordinators log through. Implemented by
+/// [`youtopia_storage::Database`], which submits events to its
+/// pipelined group-commit writer as one marker-delimited commit
+/// group per call and blocks until the group is synced; concurrent
+/// callers (shards draining in parallel, both coordinator flavors)
+/// share the writer's one-fsync-per-quantum discipline instead of
+/// paying a sync each. A database without a WAL accepts and drops
+/// events, so non-durable deployments pay nothing.
 pub trait CoordinationLog {
-    /// Durably appends one event.
+    /// Durably appends one event (one commit group).
     fn log_event(&self, event: &CoordEvent) -> StorageResult<()>;
 
-    /// Durably appends a batch of events with a single sync (the
-    /// group-commit fast path for batch submission).
+    /// Durably appends a batch of events as **one** commit group —
+    /// the batch-submission fast path: the whole bucket becomes
+    /// durable atomically with respect to crash replay.
     fn log_events(&self, events: &[CoordEvent]) -> StorageResult<()>;
 }
 

@@ -46,6 +46,10 @@
 //! * the **database lock** (inside [`Database`]) is the leaf: matching
 //!   takes the shared read lock, applies take the exclusive write
 //!   lock, and no coordinator lock is ever requested while holding it.
+//!   Coordination logging no longer takes this lock at all — events
+//!   enqueue to the WAL's pipelined group-commit writer and block on
+//!   their completion slot, so shards draining concurrently share one
+//!   fsync per writer quantum instead of serializing on the database.
 //!
 //! A query routed by one thread is not yet visible in its shard's
 //! registry until that thread drains it; a concurrent migration can
@@ -995,9 +999,11 @@ impl ShardedCoordinator {
     }
 
     /// Drains one shard's bucket under its lock: group-commits the
-    /// bucket's registrations to the coordination log (one sync for the
-    /// whole bucket), then insert → match → cascade per arrival, in
-    /// bucket (= submission) order. Returns the per-request outcomes,
+    /// bucket's registrations to the coordination log as one
+    /// marker-delimited commit group (buckets draining on other
+    /// shards share the pipeline writer's fsync), then
+    /// insert → match → cascade per arrival, in bucket (= submission)
+    /// order. Returns the per-request outcomes,
     /// the answered-query log, and the ids that may still be pending
     /// afterwards (`Pending` outcomes, plus `Err` outcomes — an apply
     /// failure reinstates the query), which the caller must

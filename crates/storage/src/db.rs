@@ -7,6 +7,16 @@
 //! partially applied transaction. This gives the *atomic joint
 //! application* of entangled-query matches that the Youtopia coordinator
 //! requires, with rollback via the undo log on abort.
+//!
+//! Durability rides the pipelined group-commit writer
+//! ([`crate::group_commit::GroupCommit`]): every commit group — a
+//! transaction's redo records, a coordination event batch — is
+//! enqueued to one writer thread that appends it as a marker-delimited
+//! group and syncs once per quantum, acknowledging the committer
+//! through a per-request completion slot. Coordination appends no
+//! longer touch the catalog lock at all; transaction commits enqueue
+//! while still holding it (so log order extends commit order) and
+//! block until durable.
 
 use std::sync::Arc;
 
@@ -14,6 +24,7 @@ use parking_lot::{ArcRwLockReadGuard, ArcRwLockWriteGuard, RawRwLock, RwLock};
 
 use crate::catalog::Catalog;
 use crate::error::{StorageError, StorageResult};
+use crate::group_commit::{GroupCommit, GroupCommitConfig};
 use crate::index::IndexKind;
 use crate::schema::Schema;
 use crate::table::{RowId, Table};
@@ -22,7 +33,6 @@ use crate::wal::{Wal, WalOp, WalRecord};
 
 struct DbInner {
     catalog: Catalog,
-    wal: Option<Wal>,
 }
 
 /// A shared handle to one database. Cloning is cheap (`Arc` inside);
@@ -30,6 +40,8 @@ struct DbInner {
 #[derive(Clone)]
 pub struct Database {
     inner: Arc<RwLock<DbInner>>,
+    /// The group-commit pipeline; `None` for non-durable databases.
+    log: Option<Arc<GroupCommit>>,
 }
 
 impl Default for Database {
@@ -44,18 +56,25 @@ impl Database {
         Database {
             inner: Arc::new(RwLock::new(DbInner {
                 catalog: Catalog::new(),
-                wal: None,
             })),
+            log: None,
         }
     }
 
-    /// Creates an empty database that logs committed work to `wal`.
+    /// Creates an empty database that logs committed work to `wal`
+    /// through the group-commit pipeline (default quantum).
     pub fn with_wal(wal: Wal) -> Database {
+        Self::with_wal_config(wal, GroupCommitConfig::default())
+    }
+
+    /// Creates an empty database that logs to `wal` with an explicit
+    /// group-commit configuration (the sync-quantum latency knob).
+    pub fn with_wal_config(wal: Wal, config: GroupCommitConfig) -> Database {
         Database {
             inner: Arc::new(RwLock::new(DbInner {
                 catalog: Catalog::new(),
-                wal: Some(wal),
             })),
+            log: Some(Arc::new(GroupCommit::spawn(wal, config))),
         }
     }
 
@@ -69,7 +88,18 @@ impl Database {
     /// Rebuilds a database by replaying a WAL and returns the log's
     /// coordination payloads (in log order) alongside it, so the
     /// coordination layer can rebuild *its* state from the same log.
-    pub fn recover_full(mut wal: Wal) -> StorageResult<(Database, Vec<Vec<u8>>)> {
+    pub fn recover_full(wal: Wal) -> StorageResult<(Database, Vec<Vec<u8>>)> {
+        Self::recover_full_config(wal, GroupCommitConfig::default())
+    }
+
+    /// [`Database::recover_full`] with an explicit group-commit
+    /// configuration for the post-recovery writer.
+    pub fn recover_full_config(
+        mut wal: Wal,
+        config: GroupCommitConfig,
+    ) -> StorageResult<(Database, Vec<Vec<u8>>)> {
+        // replay (and truncate any damaged suffix) before the writer
+        // thread takes ownership of the log
         let records = wal.replay_records()?;
         let mut catalog = Catalog::new();
         let mut coordination = Vec::new();
@@ -77,60 +107,59 @@ impl Database {
             match record {
                 WalRecord::Storage(op) => apply_wal_op(&mut catalog, op)?,
                 WalRecord::Coordination(payload) => coordination.push(payload),
+                WalRecord::CommitBoundary => {}
             }
         }
         let db = Database {
-            inner: Arc::new(RwLock::new(DbInner {
-                catalog,
-                wal: Some(wal),
-            })),
+            inner: Arc::new(RwLock::new(DbInner { catalog })),
+            log: Some(Arc::new(GroupCommit::spawn(wal, config))),
         };
         Ok((db, coordination))
     }
 
     /// Whether this database logs to a WAL (i.e. is durable).
     pub fn has_wal(&self) -> bool {
-        self.inner.read().wal.is_some()
+        self.log.is_some()
     }
 
     /// A copy of the raw WAL bytes (memory-backed WALs only; used by
     /// crash-recovery tests that "kill" a process by dropping it and
     /// keep only what had reached the log).
     pub fn wal_bytes(&self) -> Option<Vec<u8>> {
-        let inner = self.inner.read();
-        inner.wal.as_ref()?.raw_bytes().map(<[u8]>::to_vec)
+        self.log
+            .as_ref()?
+            .with_wal(|wal| wal.raw_bytes().map(<[u8]>::to_vec))
     }
 
     /// Current WAL size in bytes (`None` without a WAL; works for file
     /// and memory sinks). Feeds the coordinator's auto-checkpoint
     /// threshold and the admin-surface log gauges.
     pub fn wal_len(&self) -> Option<u64> {
-        let inner = self.inner.read();
-        inner.wal.as_ref()?.len_bytes().ok()
+        self.log.as_ref()?.with_wal(|wal| wal.len_bytes().ok())
     }
 
-    /// Durably appends one opaque coordination payload to the WAL
-    /// (append + sync under the write lock). No-op without a WAL.
+    /// Durably appends one opaque coordination payload to the WAL as
+    /// its own commit group through the group-commit pipeline,
+    /// returning once it is synced. No-op without a WAL.
     pub fn append_coordination(&self, payload: &[u8]) -> StorageResult<()> {
         self.append_coordination_batch(std::slice::from_ref(&payload))
     }
 
-    /// Group-commits a batch of coordination payloads: all frames are
-    /// appended under one write-lock acquisition and synced once. This
-    /// is the cheap path for logging a whole batch of registrations
-    /// before draining it. No-op without a WAL.
+    /// Group-commits a batch of coordination payloads as **one**
+    /// marker-delimited commit group via the pipelined writer; blocks
+    /// until the group is durable. Concurrent callers (e.g. several
+    /// shards draining registration buckets) share one fsync per
+    /// writer quantum instead of paying one each. Never takes the
+    /// catalog lock. No-op without a WAL.
     pub fn append_coordination_batch<P: AsRef<[u8]>>(&self, payloads: &[P]) -> StorageResult<()> {
-        if payloads.is_empty() {
-            return Ok(());
-        }
-        let mut inner = self.inner.write();
-        let Some(wal) = inner.wal.as_mut() else {
+        let Some(log) = &self.log else {
             return Ok(());
         };
-        for payload in payloads {
-            wal.append_coordination(payload.as_ref())?;
-        }
-        wal.sync()
+        let records: Vec<WalRecord> = payloads
+            .iter()
+            .map(|p| WalRecord::Coordination(p.as_ref().to_vec()))
+            .collect();
+        log.commit(records)
     }
 
     /// Starts a read transaction (shared lock for the guard's lifetime).
@@ -144,6 +173,7 @@ impl Database {
     pub fn begin(&self) -> Transaction {
         Transaction {
             guard: RwLock::write_arc(&self.inner),
+            log: self.log.clone(),
             undo: Vec::new(),
             redo: Vec::new(),
             finished: false,
@@ -220,23 +250,12 @@ impl Database {
     }
 
     fn checkpoint_inner(&self, coordination: Option<Vec<Vec<u8>>>) -> StorageResult<()> {
-        // take the write lock so no commit interleaves with the rewrite
-        let mut inner = self.inner.write();
-        if inner.wal.is_none() {
+        let Some(log) = &self.log else {
             return Ok(());
-        }
-        // preserve the log's coordination frames unless the caller
-        // supplied a compacted replacement set
-        let coordination = match coordination {
-            Some(frames) => frames,
-            None => {
-                let wal = inner.wal.as_mut().expect("checked above");
-                wal.replay_records()?
-                    .into_iter()
-                    .filter_map(WalRecord::coordination)
-                    .collect()
-            }
         };
+        // take the write lock so no transaction commit interleaves
+        // with the rewrite (commits enqueue under this lock)
+        let inner = self.inner.write();
         // build the snapshot from the locked state
         let mut ops = Vec::new();
         for name in inner.catalog.table_names() {
@@ -256,15 +275,36 @@ impl Database {
                 });
             }
         }
-        let wal = inner.wal.as_mut().expect("checked above");
-        wal.reset()?;
-        for op in &ops {
-            wal.append(op)?;
-        }
-        for payload in &coordination {
-            wal.append_coordination(payload)?;
-        }
-        wal.sync()
+        // replay + reset + rewrite under ONE log-lock hold: the writer
+        // thread must not append a queued group between reading the old
+        // coordination frames and the reset that would destroy it.
+        // Requests still queued when we rewrite are fine — they are not
+        // yet acknowledged and land *after* the snapshot, where they
+        // belong.
+        log.with_wal(|wal| {
+            // preserve the log's coordination frames unless the caller
+            // supplied a compacted replacement set
+            let coordination = match coordination {
+                Some(frames) => frames,
+                None => wal
+                    .replay_records()?
+                    .into_iter()
+                    .filter_map(WalRecord::coordination)
+                    .collect(),
+            };
+            wal.reset()?;
+            for op in &ops {
+                wal.append(op)?;
+            }
+            for payload in &coordination {
+                wal.append_coordination(payload)?;
+            }
+            // the snapshot is one commit group: seal it so a crash
+            // mid-rewrite cannot replay a half-written snapshot past
+            // the marker
+            wal.append_commit_boundary()?;
+            wal.sync()
+        })
     }
 }
 
@@ -330,6 +370,7 @@ enum UndoOp {
 /// redo records to the WAL (if any) and releases the lock.
 pub struct Transaction {
     guard: ArcRwLockWriteGuard<RawRwLock, DbInner>,
+    log: Option<Arc<GroupCommit>>,
     undo: Vec<UndoOp>,
     redo: Vec<WalRecord>,
     finished: bool,
@@ -461,25 +502,24 @@ impl Transaction {
         &self.guard.catalog
     }
 
-    /// Commits: writes redo records to the WAL (if configured), then
-    /// releases the lock. On WAL failure the transaction is rolled back
-    /// and the error returned.
+    /// Commits: submits the redo records to the group-commit pipeline
+    /// as one marker-delimited commit group (if durable) and blocks —
+    /// still holding the database lock — until the group is synced,
+    /// then releases the lock. Enqueueing under the lock means log
+    /// order extends commit order; waiting under it preserves
+    /// rollback-on-WAL-failure (no reader observes state the log then
+    /// refuses). On WAL failure the transaction is rolled back and the
+    /// error returned.
     pub fn commit(mut self) -> StorageResult<()> {
         self.check_open()?;
-        if self.guard.wal.is_some() {
-            // Append all records, then sync once.
+        if let Some(log) = self.log.take() {
             let redo = std::mem::take(&mut self.redo);
-            let result = (|| -> StorageResult<()> {
-                let wal = self.guard.wal.as_mut().expect("checked above");
-                for record in &redo {
-                    wal.append_record(record)?;
+            if !redo.is_empty() {
+                if let Err(e) = log.commit(redo) {
+                    self.rollback();
+                    self.finished = true;
+                    return Err(e);
                 }
-                wal.sync()
-            })();
-            if let Err(e) = result {
-                self.rollback();
-                self.finished = true;
-                return Err(e);
             }
         }
         self.finished = true;
@@ -652,10 +692,7 @@ mod tests {
         .unwrap();
 
         // Steal the WAL bytes and recover a fresh database from them.
-        let bytes = {
-            let inner = db.inner.read();
-            inner.wal.as_ref().unwrap().raw_bytes().unwrap().to_vec()
-        };
+        let bytes = db.wal_bytes().unwrap();
         let ops = Wal::decode_stream(&bytes).unwrap();
         let mut catalog = Catalog::new();
         for op in ops {
@@ -675,8 +712,7 @@ mod tests {
         let mut txn = db.begin();
         txn.create_table("T", flights_schema()).unwrap();
         txn.abort();
-        let inner = db.inner.read();
-        assert_eq!(inner.wal.as_ref().unwrap().raw_len(), Some(0));
+        assert_eq!(db.wal_bytes().unwrap().len(), 0);
     }
 
     #[test]
@@ -753,16 +789,10 @@ mod tests {
         })
         .unwrap();
 
-        let before = {
-            let inner = db.inner.read();
-            inner.wal.as_ref().unwrap().raw_len().unwrap()
-        };
+        let before = db.wal_bytes().unwrap().len();
         db.checkpoint().unwrap();
-        let (after, bytes) = {
-            let inner = db.inner.read();
-            let wal = inner.wal.as_ref().unwrap();
-            (wal.raw_len().unwrap(), wal.raw_bytes().unwrap().to_vec())
-        };
+        let bytes = db.wal_bytes().unwrap();
+        let after = bytes.len();
         assert!(
             after < before / 3,
             "checkpoint must shrink the log: {before} -> {after}"
@@ -781,10 +811,7 @@ mod tests {
         // and the database keeps logging normally afterwards
         db.with_txn(|txn| txn.insert("Flights", row(999, "Oslo")).map(|_| ()))
             .unwrap();
-        let bytes2 = {
-            let inner = db.inner.read();
-            inner.wal.as_ref().unwrap().raw_bytes().unwrap().to_vec()
-        };
+        let bytes2 = db.wal_bytes().unwrap();
         let ops2 = Wal::decode_stream(&bytes2).unwrap();
         let mut catalog2 = Catalog::new();
         for op in ops2 {

@@ -49,6 +49,7 @@ pub mod catalog;
 pub mod codec;
 pub mod db;
 pub mod error;
+pub mod group_commit;
 pub mod index;
 pub mod schema;
 pub mod table;
@@ -61,6 +62,7 @@ pub mod prelude {
     pub use crate::catalog::Catalog;
     pub use crate::db::{Database, ReadTransaction, Transaction};
     pub use crate::error::{StorageError, StorageResult};
+    pub use crate::group_commit::GroupCommitConfig;
     pub use crate::index::{Index, IndexKind};
     pub use crate::schema::{Column, DataType, Schema};
     pub use crate::table::{RowId, Table};

@@ -20,27 +20,63 @@
 //!
 //! Frame layout: `u32 payload_len | u32 fnv1a(payload_len ∥ payload) |
 //! payload`; the payload's first byte is a record tag (`0..=4` storage
-//! ops, `5` coordination). The checksum covers the length field so a
-//! corrupted length that still reads as in-range is detected rather
-//! than mis-framing the rest of the log.
+//! ops, `5` coordination, `6` commit boundary). The checksum covers
+//! the length field so a corrupted length that still reads as
+//! in-range is detected rather than mis-framing the rest of the log.
+//!
+//! # Commit boundaries (format v2)
+//!
+//! Every commit group — one transaction's redo records, or one batch
+//! of coordination frames — is terminated by a one-byte
+//! [`WalRecord::CommitBoundary`] marker frame before the group is
+//! synced. The marker is the durability receipt the replay side keys
+//! on: a suffix that does not end in a complete marker was never
+//! acknowledged to anyone, so replay may discard it wholesale.
+//!
+//! This is a *logical* format version bump (v2) realized as a new
+//! record tag rather than a file-header change: v2 readers replay v1
+//! (pre-marker) logs unchanged — a log with no marker frames keeps the
+//! v1 failure semantics below — while v1 readers fail loudly on the
+//! unknown tag `6` instead of silently misreading a v2 log.
 //!
 //! # Failure model
 //!
-//! The log tolerates *append tears*: a crash mid-append leaves a
-//! prefix of the final frame (or a final frame whose checksum fails,
-//! e.g. out-of-order sector writes within that frame), which replay
-//! truncates away. Corruption strictly before the final frame is
-//! detected and reported as an error — deliberately loud, because
-//! without sync markers a mid-log checksum failure with intact frames
-//! after it is indistinguishable from bit rot on synced data, and
-//! silently truncating there could destroy committed state. The
-//! residual gap: a crash that persists a *multi-frame* unsynced batch
-//! out of order (frame k torn, frame k+1 landed) surfaces as
-//! `WalCorrupt` and needs manual truncation; closing it takes
-//! commit-boundary markers in the frame format. The other inherent
-//! ambiguity of length-prefixed framing: a corrupted length field
-//! that claims more bytes than the log holds is indistinguishable
-//! from a torn tail and recovers to the preceding frame boundary.
+//! The model is *crash consistency*, not arbitrary bit rot: after a
+//! crash the log holds every synced byte intact, plus an arbitrary
+//! subset of the unsynced suffix's bytes (append tears, out-of-order
+//! sector persistence within an unsynced multi-frame batch).
+//!
+//! With commit markers (v2 logs), recovery is automatic: the first
+//! inconsistency — a partial final frame, a checksum failure, or a
+//! clean end-of-log with no terminating marker — rolls the log back to
+//! the **last complete commit boundary** and truncates everything
+//! after it. That covers the multi-frame out-of-order tear (frame k
+//! torn, frame k+1 landed — with or without the group's trailing
+//! marker having landed) that v1 logs could only surface as
+//! `WalCorrupt` needing manual truncation. Discarded bytes are always
+//! un-acknowledged: acknowledgment happens only after the marker and
+//! the sync, so a commit whose marker is durable survives, and a
+//! commit whose marker is not was never promised to anyone.
+//!
+//! What stays deliberately loud:
+//!
+//! * **v1 (pre-marker) logs** keep the old rules — only a tear
+//!   confined to the final frame is truncated; a mid-log checksum
+//!   failure with frames after it is reported as `WalCorrupt`, because
+//!   without markers it is indistinguishable from bit rot on synced
+//!   data.
+//! * **Corruption before the first marker** of a v2 log (nothing was
+//!   ever committed, so there is no boundary to roll back to) is
+//!   reported like a v1 mid-log failure.
+//! * **A checksum-valid frame that fails record decode** is reported
+//!   everywhere: a verified checksum means the bytes are exactly what
+//!   was written, so the failure is a writer bug or bit rot, never a
+//!   tear.
+//!
+//! The inherent ambiguity of length-prefixed framing remains: a
+//! corrupted length field that claims more bytes than the log holds
+//! reads as a partial final frame and recovers to the preceding
+//! commit boundary.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
@@ -285,14 +321,22 @@ impl WalOp {
 /// Record tag for coordination frames (storage ops use `0..=4`).
 const COORDINATION_TAG: u8 = 5;
 
-/// One logical record of the log: a storage operation or an opaque
-/// coordination payload.
+/// Record tag for commit-boundary marker frames (format v2).
+const COMMIT_BOUNDARY_TAG: u8 = 6;
+
+/// One logical record of the log: a storage operation, an opaque
+/// coordination payload, or a commit-boundary marker.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WalRecord {
     /// A table DML/DDL operation.
     Storage(WalOp),
     /// An opaque coordination-layer payload (length-prefixed on disk).
     Coordination(Vec<u8>),
+    /// The end marker of one commit group (format v2). Written after
+    /// the group's records and before the group is synced; replay
+    /// rolls a damaged or unterminated suffix back to the last one
+    /// (see the module-level failure model).
+    CommitBoundary,
 }
 
 impl WalRecord {
@@ -304,6 +348,11 @@ impl WalRecord {
                 buf.put_u8(COORDINATION_TAG);
                 buf.put_u32(payload.len() as u32);
                 buf.put_slice(payload);
+                buf
+            }
+            WalRecord::CommitBoundary => {
+                let mut buf = BytesMut::with_capacity(1);
+                buf.put_u8(COMMIT_BOUNDARY_TAG);
                 buf
             }
         }
@@ -327,6 +376,14 @@ impl WalRecord {
                 }
                 Ok(WalRecord::Coordination(buf.to_vec()))
             }
+            Some(&COMMIT_BOUNDARY_TAG) => {
+                if payload.len() != 1 {
+                    return Err(StorageError::WalCorrupt(
+                        "trailing bytes in commit boundary".into(),
+                    ));
+                }
+                Ok(WalRecord::CommitBoundary)
+            }
             _ => WalOp::decode(payload).map(WalRecord::Storage),
         }
     }
@@ -335,7 +392,7 @@ impl WalRecord {
     pub fn storage(self) -> Option<WalOp> {
         match self {
             WalRecord::Storage(op) => Some(op),
-            WalRecord::Coordination(_) => None,
+            _ => None,
         }
     }
 
@@ -343,7 +400,7 @@ impl WalRecord {
     pub fn coordination(self) -> Option<Vec<u8>> {
         match self {
             WalRecord::Coordination(p) => Some(p),
-            WalRecord::Storage(_) => None,
+            _ => None,
         }
     }
 }
@@ -416,6 +473,14 @@ impl Wal {
     /// Appends one opaque coordination payload as a checksummed frame.
     pub fn append_coordination(&mut self, payload: &[u8]) -> StorageResult<()> {
         self.append_record(&WalRecord::Coordination(payload.to_vec()))
+    }
+
+    /// Appends a commit-boundary marker frame, sealing everything
+    /// since the previous marker as one commit group. Call before
+    /// [`Wal::sync`]; replay rolls a damaged suffix back to the last
+    /// complete marker.
+    pub fn append_commit_boundary(&mut self) -> StorageResult<()> {
+        self.append_record(&WalRecord::CommitBoundary)
     }
 
     fn append_payload(&mut self, payload: &[u8]) -> StorageResult<()> {
@@ -519,34 +584,73 @@ impl Wal {
             .collect())
     }
 
-    /// Decodes a raw byte stream of frames, returning the records and
-    /// the length of the consumed (consistent) prefix. A torn tail — a
-    /// partial final frame, or a final frame whose checksum does not
-    /// verify — ends the decode at the preceding frame boundary. A
-    /// checksum failure before the final frame is an error, as is a
-    /// record-level decode failure anywhere (a verified checksum means
-    /// the bytes are what was written, so the failure is not a tear).
+    /// Decodes a raw byte stream of frames, returning the records
+    /// (commit-boundary markers elided — they are framing metadata,
+    /// not logical records) and the length of the consumed
+    /// (consistent) prefix.
+    ///
+    /// Marker logs (format v2, at least one [`WalRecord::CommitBoundary`]
+    /// decoded): the first inconsistency — a partial final frame, a
+    /// checksum failure anywhere after the marker, or a clean
+    /// end-of-log whose trailing group lacks its marker — rolls the
+    /// decode back to the **last complete commit boundary**, dropping
+    /// even intact frames of the damaged group (a multi-frame batch
+    /// persisted out of order is recovered, not reported).
+    ///
+    /// Pre-marker logs (no boundary decoded yet) keep the v1 rules: a
+    /// tear confined to the final frame ends the decode at the
+    /// preceding frame boundary; a checksum failure before the final
+    /// frame is an error. A record-level decode failure on a
+    /// checksum-valid frame is an error everywhere (a verified
+    /// checksum means the bytes are what was written, so the failure
+    /// is not a tear).
     pub fn decode_records(bytes: &[u8]) -> StorageResult<(Vec<WalRecord>, usize)> {
         let mut records = Vec::new();
         let mut offset = 0usize;
+        // Last complete commit boundary seen so far: the byte offset
+        // just past its frame and the record count at that point.
+        // `None` until the first marker — that is what keeps v1 logs
+        // on the legacy semantics.
+        let mut boundary: Option<(usize, usize)> = None;
+        let mut damaged = false;
         while bytes.len() - offset >= 8 {
             let len = (&bytes[offset..offset + 4]).get_u32() as usize;
             if bytes.len() - offset < 8 + len {
                 // partial final frame: torn tail
+                damaged = true;
                 break;
             }
             let checksum = (&bytes[offset + 4..offset + 8]).get_u32();
             let payload = &bytes[offset + 8..offset + 8 + len];
             if frame_checksum(len as u32, payload) != checksum {
-                if offset + 8 + len == bytes.len() {
-                    // checksum failure confined to the final frame
-                    // (e.g. out-of-order sector writes): torn tail
+                damaged = true;
+                if boundary.is_some() || offset + 8 + len == bytes.len() {
+                    // After a commit boundary every checksum failure
+                    // is an unsynced-suffix tear (crash model: synced
+                    // bytes are intact). Without one, only a failure
+                    // confined to the final frame is decidably a tear
+                    // (e.g. out-of-order sector writes within it).
                     break;
                 }
                 return Err(StorageError::WalCorrupt("checksum mismatch".into()));
             }
-            records.push(WalRecord::decode(payload)?);
+            let record = WalRecord::decode(payload)?;
             offset += 8 + len;
+            if matches!(record, WalRecord::CommitBoundary) {
+                boundary = Some((offset, records.len()));
+            } else {
+                records.push(record);
+            }
+        }
+        // trailing bytes too short for a frame header are a tear too
+        damaged |= offset < bytes.len();
+        if let Some((end, count)) = boundary {
+            if damaged || offset > end {
+                // marker log with a damaged or unterminated suffix:
+                // roll back to the last complete commit
+                records.truncate(count);
+                return Ok((records, end));
+            }
         }
         Ok((records, offset))
     }
@@ -564,13 +668,19 @@ impl Wal {
     /// auto-checkpoint threshold checks after every group commit)
     /// costs no syscall.
     pub fn len_bytes(&self) -> StorageResult<u64> {
-        debug_assert_eq!(
-            self.len_hint,
-            match &self.sink {
-                WalSink::Memory(buf) => buf.len() as u64,
-                WalSink::File(_) => self.len_hint,
+        #[cfg(debug_assertions)]
+        {
+            // cross-check the cache against the sink's real length —
+            // for file sinks via a metadata syscall (debug builds
+            // only; skipped if the syscall itself fails)
+            let actual = match &self.sink {
+                WalSink::Memory(buf) => Some(buf.len() as u64),
+                WalSink::File(f) => f.metadata().ok().map(|m| m.len()),
+            };
+            if let Some(actual) = actual {
+                debug_assert_eq!(self.len_hint, actual, "len_hint out of sync with sink");
             }
-        );
+        }
         Ok(self.len_hint)
     }
 
@@ -731,6 +841,124 @@ mod tests {
         bytes[last] ^= 0xff; // checksum failure confined to the tail
         let mut torn = Wal::from_bytes(bytes);
         assert_eq!(torn.replay().unwrap().len(), sample_ops().len() - 1);
+    }
+
+    /// A marker log of two commit groups. Returns the bytes, the
+    /// offset just past group 1's marker, and the offset of each
+    /// frame of group 2 (including its marker frame).
+    fn two_group_log() -> (Vec<u8>, usize, Vec<usize>) {
+        let mut wal = Wal::in_memory();
+        // group 1: create + one insert, sealed
+        wal.append(&sample_ops()[0]).unwrap();
+        wal.append(&sample_ops()[1]).unwrap();
+        wal.append_commit_boundary().unwrap();
+        let group1_end = wal.raw_len().unwrap();
+        // group 2: a multi-frame batch, sealed
+        let mut frame_starts = Vec::new();
+        for op in &sample_ops()[2..4] {
+            frame_starts.push(wal.raw_len().unwrap());
+            wal.append(op).unwrap();
+        }
+        frame_starts.push(wal.raw_len().unwrap());
+        wal.append_commit_boundary().unwrap();
+        (wal.raw_bytes().unwrap().to_vec(), group1_end, frame_starts)
+    }
+
+    #[test]
+    fn commit_boundaries_are_elided_from_replay() {
+        let (bytes, _, _) = two_group_log();
+        let (records, consumed) = Wal::decode_records(&bytes).unwrap();
+        assert_eq!(consumed, bytes.len());
+        let ops: Vec<WalOp> = records.into_iter().filter_map(WalRecord::storage).collect();
+        assert_eq!(ops, sample_ops()[..4].to_vec());
+    }
+
+    #[test]
+    fn out_of_order_tear_rolls_back_to_last_commit() {
+        // frame k of group 2 torn (checksum fails), frame k+1 and the
+        // group's marker landed intact: the v1 residual gap. Replay
+        // must recover to the end of group 1, not report WalCorrupt.
+        let (mut bytes, group1_end, frame_starts) = two_group_log();
+        bytes[frame_starts[0] + 8] ^= 0xff;
+        let (records, consumed) = Wal::decode_records(&bytes).unwrap();
+        assert_eq!(consumed, group1_end);
+        assert_eq!(
+            records
+                .into_iter()
+                .filter_map(WalRecord::storage)
+                .collect::<Vec<_>>(),
+            sample_ops()[..2].to_vec()
+        );
+        // and the truncated log is appendable again
+        let mut wal = Wal::from_bytes(bytes);
+        assert_eq!(wal.replay().unwrap().len(), 2);
+        assert_eq!(wal.raw_len(), Some(group1_end));
+        wal.append(&sample_ops()[4]).unwrap();
+        wal.append_commit_boundary().unwrap();
+        assert_eq!(wal.replay().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn unterminated_suffix_rolls_back_to_last_commit() {
+        // a commit group whose marker never landed (clean frames, no
+        // boundary, e.g. a commit interrupted between append and
+        // marker) is discarded on replay
+        let (bytes, group1_end, frame_starts) = two_group_log();
+        let unterminated = &bytes[..frame_starts[2]]; // group 2 minus its marker
+        let (records, consumed) = Wal::decode_records(unterminated).unwrap();
+        assert_eq!(consumed, group1_end);
+        assert_eq!(records.len(), 2);
+    }
+
+    #[test]
+    fn corruption_before_the_first_boundary_is_still_loud() {
+        let (mut bytes, _, _) = two_group_log();
+        bytes[8] ^= 0xff; // first frame, before any marker
+        assert!(matches!(
+            Wal::decode_records(&bytes),
+            Err(StorageError::WalCorrupt(_))
+        ));
+    }
+
+    #[test]
+    fn pre_marker_logs_still_replay() {
+        // a v1 log (no markers anywhere) keeps its full contents and
+        // the legacy tear semantics
+        let mut wal = Wal::in_memory();
+        for op in sample_ops() {
+            wal.append(&op).unwrap();
+        }
+        let bytes = wal.raw_bytes().unwrap().to_vec();
+        let (records, consumed) = Wal::decode_records(&bytes).unwrap();
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(records.len(), sample_ops().len());
+    }
+
+    #[test]
+    fn reopened_torn_file_log_reconciles_len_bytes() {
+        let dir = std::env::temp_dir().join(format!("youtopia_wal_len_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn_len.wal");
+        let (bytes, group1_end, _) = two_group_log();
+        // a prior process crashed mid-batch: tear the last 5 bytes
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+
+        let mut wal = Wal::open(&path).unwrap();
+        // open reconciles the hint with the on-disk length as-is
+        assert_eq!(wal.len_bytes().unwrap(), (bytes.len() - 5) as u64);
+        // replay truncates the damaged group and the hint follows
+        wal.replay_records().unwrap();
+        assert_eq!(wal.len_bytes().unwrap(), group1_end as u64);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            group1_end as u64,
+            "truncation reached the disk"
+        );
+        drop(wal);
+        // a later process observes the reconciled length directly
+        let wal = Wal::open(&path).unwrap();
+        assert_eq!(wal.len_bytes().unwrap(), group1_end as u64);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

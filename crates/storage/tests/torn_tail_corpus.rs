@@ -159,6 +159,126 @@ fn truncated_file_wal_is_truncated_on_disk_and_appendable() {
     }
 }
 
+/// A marker-format (v2) log: the corpus records split into two commit
+/// groups, each sealed by a [`WalRecord::CommitBoundary`] frame.
+/// Returns the bytes, the end of group 1 (just past its marker), and
+/// the frame-start offsets of group 2: frame k, frame k+1, marker.
+fn marker_corpus() -> (Vec<u8>, usize, Vec<usize>) {
+    let mut group1 = corpus_records();
+    let group2 = group1.split_off(group1.len() - 2);
+    let mut wal = Wal::in_memory();
+    for record in &group1 {
+        wal.append_record(record).unwrap();
+    }
+    wal.append_commit_boundary().unwrap();
+    let group1_end = wal.raw_len().unwrap();
+    let mut starts = Vec::new();
+    for record in &group2 {
+        starts.push(wal.raw_len().unwrap());
+        wal.append_record(record).unwrap();
+    }
+    starts.push(wal.raw_len().unwrap());
+    wal.append_commit_boundary().unwrap();
+    (wal.raw_bytes().unwrap().to_vec(), group1_end, starts)
+}
+
+#[test]
+fn multi_frame_tear_rolls_back_to_the_last_commit_marker() {
+    let (bytes, group1_end, starts) = marker_corpus();
+    let all = corpus_records();
+    let group1 = &all[..all.len() - 2];
+    // A multi-frame commit group persisted out of order: frame k torn
+    // while frame k+1 (and possibly the group's trailing marker) made
+    // it to disk — and vice versa. Every shape must roll back to the
+    // last complete commit, dropping even the intact frames of the
+    // damaged group, and leave the log appendable.
+    for (shape, cut) in [
+        ("marker landed", bytes.len()),
+        ("marker missing", starts[2]),
+    ] {
+        for &frame in &starts[..2] {
+            let mut torn = bytes[..cut].to_vec();
+            torn[frame + 8] ^= 0xff; // first payload byte of the frame
+            let mut wal = Wal::from_bytes(torn);
+            let recovered = wal
+                .replay_records()
+                .unwrap_or_else(|e| panic!("{shape}, torn frame at {frame}: {e}"));
+            assert_eq!(recovered, group1, "{shape}, torn frame at {frame}");
+            assert_eq!(
+                wal.raw_len(),
+                Some(group1_end),
+                "{shape}: truncated to the last commit boundary"
+            );
+            // a subsequent (marker-sealed, as the group-commit writer
+            // always writes) append produces a clean log again
+            wal.append_coordination(b"post-crash").unwrap();
+            wal.append_commit_boundary().unwrap();
+            let replayed = wal.replay_records().unwrap();
+            assert_eq!(replayed.len(), group1.len() + 1);
+            assert_eq!(
+                replayed.last().unwrap(),
+                &WalRecord::Coordination(b"post-crash".to_vec())
+            );
+        }
+    }
+}
+
+#[test]
+fn unsynced_group_without_its_marker_rolls_back_cleanly() {
+    // no tear at all: both frames of group 2 are intact but the crash
+    // cut the log before the group's marker — the group was never
+    // acknowledged, so replay must drop it whole
+    let (bytes, group1_end, starts) = marker_corpus();
+    let all = corpus_records();
+    let mut wal = Wal::from_bytes(bytes[..starts[2]].to_vec());
+    let recovered = wal.replay_records().unwrap();
+    assert_eq!(recovered, all[..all.len() - 2]);
+    assert_eq!(wal.raw_len(), Some(group1_end));
+}
+
+#[test]
+fn corrupt_final_frame_with_trailing_garbage_recovers_on_marker_logs() {
+    // The byte pattern that escaped the legacy tear path: the final
+    // frame is corrupt AND followed by trailing garbage, so the
+    // failure is not confined to exact end-of-buffer. With commit
+    // markers the case is decidable — everything past the last marker
+    // is unsynced, so roll back to it.
+    let (bytes, group1_end, starts) = marker_corpus();
+    let all = corpus_records();
+    let mut damaged = bytes.clone();
+    damaged[starts[2] + 8] ^= 0xff; // corrupt group 2's marker frame
+    damaged.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef, 0x0d]);
+    let mut wal = Wal::from_bytes(damaged);
+    let recovered = wal.replay_records().unwrap();
+    assert_eq!(recovered, all[..all.len() - 2]);
+    assert_eq!(wal.raw_len(), Some(group1_end));
+
+    // the same pattern on a legacy (marker-free) log stays loud: with
+    // no boundary to roll back to it is indistinguishable from
+    // mid-log corruption
+    let (legacy, boundaries) = corpus_bytes();
+    let mut damaged = legacy.clone();
+    damaged[boundaries[boundaries.len() - 2] + 8] ^= 0xff;
+    damaged.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef, 0x0d]);
+    assert!(matches!(
+        Wal::decode_records(&damaged),
+        Err(StorageError::WalCorrupt(_))
+    ));
+}
+
+#[test]
+fn corruption_of_synced_groups_is_still_detected_on_marker_logs() {
+    // corruption *before* the last commit boundary is synced-data
+    // damage, not an unsynced-suffix tear: it must stay loud
+    let (bytes, _group1_end, _starts) = marker_corpus();
+    let mut corrupted = bytes.clone();
+    corrupted[8] ^= 0xff; // first payload byte of the first frame
+    assert!(matches!(
+        Wal::decode_records(&corrupted),
+        Err(StorageError::WalCorrupt(_))
+    ));
+}
+
 #[test]
 fn mid_log_corruption_is_still_detected() {
     let (bytes, boundaries) = corpus_bytes();

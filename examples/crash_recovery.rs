@@ -104,5 +104,55 @@ fn main() {
     std::fs::remove_file(&wal_path).expect("cleanup");
     println!("file WAL     : torn-tail recovery + continued logging ✓");
 
+    // ---- part 3: a multi-frame batch torn mid-commit --------------- //
+    // The group-commit writer was killed inside its append+sync
+    // window: the log's unsynced suffix holds a multi-frame commit
+    // group persisted OUT OF ORDER — frame k damaged while frame k+1
+    // and even the group's commit marker landed. Before commit-
+    // boundary markers this state replayed as a hard `WalCorrupt` and
+    // needed manual truncation; now it recovers automatically to the
+    // last complete commit.
+    let wal_path = dir.join("torn_batch.wal");
+    let _ = std::fs::remove_file(&wal_path);
+    let mut generator = youtopia::WorkloadGen::new(11);
+    let db = generator
+        .build_database_with_wal(60, &["Paris"], Wal::open(&wal_path).expect("open wal"))
+        .expect("database builds");
+    let co = ShardedCoordinator::with_config(db, config);
+    for request in generator.noise_multi(20, "Paris", 4) {
+        co.submit_sql(&request.owner, &request.sql)
+            .expect("noise submits");
+    }
+    assert_eq!(co.pending_count(), 20);
+    drop(co); // kill
+
+    // splice the torn group onto the synced log: two coordination
+    // frames plus the marker, with the FIRST frame's payload damaged
+    let mut side = Wal::in_memory();
+    side.append_coordination(&[0u8; 24]).expect("side frame k");
+    side.append_coordination(&[1u8; 16])
+        .expect("side frame k+1");
+    side.append_commit_boundary().expect("side marker");
+    let mut group = side.raw_bytes().expect("memory sink").to_vec();
+    group[8] ^= 0xff; // tear frame k; frame k+1 and the marker stay intact
+    let mut bytes = std::fs::read(&wal_path).expect("read wal");
+    bytes.extend_from_slice(&group);
+    std::fs::write(&wal_path, &bytes).expect("splice torn batch");
+
+    let (recovered, batch_report) =
+        ShardedCoordinator::recover(Wal::open(&wal_path).expect("reopen wal"), config)
+            .expect("torn multi-frame batch recovers automatically");
+    println!(
+        "torn batch   : out-of-order unsynced group rolled back, {} of 20 registrations recovered",
+        batch_report.restored_pending
+    );
+    // the un-acknowledged group vanishes; every acked registration survives
+    assert_eq!(batch_report.restored_pending, 20);
+    recovered
+        .check_routing_invariants()
+        .expect("routing invariants hold after torn-batch recovery");
+    std::fs::remove_file(&wal_path).expect("cleanup");
+    println!("torn batch   : automatic mid-commit crash recovery ✓");
+
     println!("\ncrash recovery demo complete");
 }

@@ -458,6 +458,73 @@ proptest! {
         prop_assert_eq!(deadlines(&recovered), deadlines(&control));
     }
 
+    /// Group-commit PR: the crash lands **mid-group-commit** — the
+    /// writer's in-flight group reached the log torn and out of order
+    /// (one frame damaged while a later frame, even the group's
+    /// commit marker, landed intact). The group was never
+    /// acknowledged, so recovery must roll it back automatically:
+    /// recovering the damaged log equals recovering the clean log (no
+    /// `WalCorrupt`, no manual truncation), and finishing the
+    /// workload converges to the uncrashed control run.
+    #[test]
+    fn killed_mid_group_commit_recovers_to_last_complete_commit(scenario in arb_scenario()) {
+        let cfg = config(scenario.seed);
+        let cut = scenario.crash_after.min(scenario.steps.len());
+
+        // ---- control: the whole workload, no crash ----------------- //
+        let control = ShardedCoordinator::with_config(scenario_db(), cfg);
+        for step in &scenario.steps {
+            run_step(&control, step);
+        }
+
+        // ---- crashed run: kill inside the writer's append window --- //
+        let db = scenario_db();
+        let co = ShardedCoordinator::with_config(db.clone(), cfg);
+        for step in &scenario.steps[..cut] {
+            run_step(&co, step);
+        }
+        let clean = db.wal_bytes().expect("WAL-backed scenario db");
+        drop(co);
+        drop(db);
+
+        // the unsynced suffix the file may hold after such a crash: a
+        // two-frame commit group plus its marker, persisted with one
+        // frame torn — tear each frame in turn (frame k torn with
+        // frame k+1 intact models the out-of-order persistence)
+        let mut side = Wal::in_memory();
+        side.append_coordination(&[0u8; 24]).unwrap();
+        let frame_starts = [0usize, side.raw_len().unwrap()];
+        side.append_coordination(&[1u8; 16]).unwrap();
+        side.append_commit_boundary().unwrap();
+        let group = side.raw_bytes().unwrap().to_vec();
+
+        for tear_at in frame_starts {
+            let mut torn = clean.clone();
+            let splice_base = torn.len();
+            torn.extend_from_slice(&group);
+            torn[splice_base + tear_at + 8] ^= 0xff; // first payload byte
+
+            let (from_torn, report) =
+                ShardedCoordinator::recover(Wal::from_bytes(torn), cfg)
+                    .expect("mid-group-commit crash recovers automatically");
+            let (from_clean, _) =
+                ShardedCoordinator::recover(Wal::from_bytes(clean.clone()), cfg)
+                    .expect("clean recovery");
+            prop_assert_eq!(from_torn.pending_count(), report.restored_pending);
+            // the un-acked group never happened
+            prop_assert_eq!(end_state(&from_torn), end_state(&from_clean));
+
+            // and the recovered run still converges to the control
+            for step in &scenario.steps[cut..] {
+                run_step(&from_torn, step);
+            }
+            from_torn
+                .check_routing_invariants()
+                .expect("invariants hold at the end of the recovered run");
+            prop_assert_eq!(end_state(&from_torn), end_state(&control));
+        }
+    }
+
     /// Recovering a log twice (double crash, no work in between) is
     /// idempotent: same pending set, same answers.
     #[test]
