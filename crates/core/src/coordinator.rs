@@ -711,7 +711,9 @@ impl Coordinator {
     }
 
     /// Cumulative statistics (plus the WAL-size gauge when the
-    /// database is durable).
+    /// database is durable). `match_work` carries the staged-pipeline
+    /// counters — candidates scanned, index-pruned, triggers pruned,
+    /// buffer-pool hits/misses — merged across every match attempt.
     pub fn stats(&self) -> SystemStats {
         let mut stats = self.state.lock().shard.stats;
         stats.wal_bytes = self.engine.db.wal_len().unwrap_or(0);

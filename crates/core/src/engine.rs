@@ -22,7 +22,7 @@
 //! (`registered − (matched ∪ cancelled ∪ expired)`) reconstructs the
 //! pending set; see `docs/recovery.md`.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -33,7 +33,8 @@ use rand::SeedableRng;
 
 use youtopia_storage::codec::{get_str, get_u64, put_str};
 use youtopia_storage::{
-    Column, DataType, Database, Schema, StorageError, StorageResult, Transaction, Tuple,
+    Catalog, Column, DataType, Database, Schema, StorageError, StorageResult, Transaction, Tuple,
+    Value,
 };
 
 use crate::coordinator::{
@@ -41,7 +42,7 @@ use crate::coordinator::{
 };
 use crate::error::{CoreError, CoreResult};
 use crate::future::{CoordinationFuture, CoordinationOutcome, TicketShared};
-use crate::ir::QueryId;
+use crate::ir::{Atom, QueryId, Term};
 use crate::matcher::{baseline, search, GroupMatch, MatchStats};
 use crate::registry::{Pending, Registry};
 use crate::SystemStats;
@@ -746,6 +747,15 @@ impl Engine {
     /// Retries matching for every pending query of this domain until a
     /// full sweep fires no match. Returns the notifications of all
     /// queries answered by the sweep.
+    ///
+    /// Index-first pruning: before each round the candidate index and a
+    /// value-keyed probe of the committed answer relations identify
+    /// provably-unmatchable triggers, which are skipped without ever
+    /// taking the db read lock. The skip set is recomputed after every
+    /// fired match (a commit can make a skipped trigger viable), so a
+    /// skipped `try_match` is always one that would have returned
+    /// `None` — the sweep's outcome is bit-identical to the unpruned
+    /// sweep.
     pub(crate) fn retry_all(
         &self,
         state: &mut ShardState,
@@ -754,20 +764,64 @@ impl Engine {
         let mut notifications = Vec::new();
         loop {
             let pending_ids: Vec<QueryId> = state.registry.iter().map(|p| p.id).collect();
+            let mut skip = self.prunable_triggers(state);
             let mut matched_any = false;
             for qid in pending_ids {
                 if state.registry.get(qid).is_none() {
                     continue; // answered earlier in this sweep
                 }
+                if skip.contains(&qid) {
+                    state.stats.match_work.triggers_pruned += 1;
+                    continue;
+                }
                 if let Some(m) = self.try_match(state, qid)? {
                     notifications.extend(self.apply_and_notify(state, m, hook)?);
                     matched_any = true;
+                    skip = self.prunable_triggers(state);
                 }
             }
             if !matched_any {
                 return Ok(notifications);
             }
         }
+    }
+
+    /// The pending queries that provably cannot match right now: some
+    /// positive obligation has neither a pending candidate head
+    /// (candidate-index emptiness — a superset of the unifiable heads)
+    /// nor a committed tuple compatible with its constants
+    /// ([`CommittedProbe`]). Sound for both matchers: every positive
+    /// constraint needs *some* provider, and both tests only report
+    /// "no" when no provider can exist.
+    pub(crate) fn prunable_triggers(&self, state: &ShardState) -> HashSet<QueryId> {
+        let mut out = HashSet::new();
+        if !state.registry.uses_const_index() {
+            return out; // index ablation: sweep every trigger
+        }
+        let use_committed = self.config.match_config.use_committed_answers;
+        let read = self.db.read();
+        let probe = if use_committed {
+            let rels = state.registry.iter().flat_map(|p| {
+                p.query
+                    .constraints
+                    .iter()
+                    .filter(|c| !c.negated)
+                    .map(|c| c.atom.relation.as_str())
+            });
+            Some(CommittedProbe::build(read.catalog(), rels))
+        } else {
+            None
+        };
+        for p in state.registry.iter() {
+            let unmatchable = p.query.constraints.iter().filter(|c| !c.negated).any(|c| {
+                !state.registry.has_candidates(&c.atom)
+                    && probe.as_ref().is_none_or(|pr| !pr.may_satisfy(&c.atom))
+            });
+            if unmatchable {
+                out.insert(p.id);
+            }
+        }
+        out
     }
 
     /// The shared lifecycle retirement path: durably logs `event(qid)`
@@ -856,6 +910,94 @@ pub(crate) fn match_graph_of(registry: &Registry) -> MatchGraph {
         }
     }
     MatchGraph { edges, dangling }
+}
+
+/// Value-keyed summary of the committed tuples of a set of relations,
+/// used by the re-match sweep to refute "a committed tuple could
+/// satisfy this constraint" without rescanning tables per trigger.
+///
+/// Per relation it records the arities seen and, per position, the set
+/// of stored values *expanded* through [`numeric_keys`] so that the
+/// `Int`/`Float` bridge of [`Value::sql_eq`] is captured by plain hash
+/// lookups. Both the stored values and the probed constant are
+/// expanded, which makes the per-position test a superset of
+/// unify-equality (`sql_eq || ==`): the probe may say "maybe" for a
+/// tuple that does not unify, but never "no" for one that does.
+pub(crate) struct CommittedProbe {
+    relations: HashMap<String, RelationProbe>,
+}
+
+#[derive(Default)]
+struct RelationProbe {
+    arities: HashSet<usize>,
+    by_pos: HashMap<usize, HashSet<Value>>,
+}
+
+/// Hash keys equivalent to `v` under SQL numeric bridging. Integral
+/// floats round-trip through `i64` so `Int(3)`, `Float(3.0)`, and
+/// `Float(-0.0)`/`Float(0.0)` all share a key.
+fn numeric_keys(v: &Value) -> Vec<Value> {
+    match v {
+        Value::Int(i) => vec![Value::Int(*i), Value::Float(*i as f64)],
+        Value::Float(f) if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 => {
+            vec![
+                Value::Float(*f),
+                Value::Int(*f as i64),
+                Value::Float((*f as i64) as f64),
+            ]
+        }
+        other => vec![other.clone()],
+    }
+}
+
+impl CommittedProbe {
+    /// Scans each named relation once (missing tables are simply absent,
+    /// so every probe against them answers "no tuple").
+    pub(crate) fn build<'a>(
+        catalog: &Catalog,
+        rels: impl IntoIterator<Item = &'a str>,
+    ) -> CommittedProbe {
+        let mut relations: HashMap<String, RelationProbe> = HashMap::new();
+        for rel in rels {
+            let key = rel.to_ascii_lowercase();
+            if relations.contains_key(&key) {
+                continue;
+            }
+            let Ok(table) = catalog.table(rel) else {
+                continue;
+            };
+            let probe = relations.entry(key).or_default();
+            for (_, tuple) in table.scan() {
+                let values = tuple.values();
+                probe.arities.insert(values.len());
+                for (pos, v) in values.iter().enumerate() {
+                    probe.by_pos.entry(pos).or_default().extend(numeric_keys(v));
+                }
+            }
+        }
+        CommittedProbe { relations }
+    }
+
+    /// Whether some committed tuple *might* unify with `atom`: the
+    /// relation has a tuple of matching arity whose every
+    /// constant-constrained position holds a bridged-equal value.
+    /// Positions are tested independently, so this is an
+    /// over-approximation — exactly what soundness of pruning needs.
+    pub(crate) fn may_satisfy(&self, atom: &Atom) -> bool {
+        let Some(probe) = self.relations.get(&atom.relation.to_ascii_lowercase()) else {
+            return false;
+        };
+        if !probe.arities.contains(&atom.terms.len()) {
+            return false;
+        }
+        atom.terms.iter().enumerate().all(|(pos, term)| match term {
+            Term::Const(v) => probe
+                .by_pos
+                .get(&pos)
+                .is_some_and(|set| numeric_keys(v).iter().any(|k| set.contains(k))),
+            _ => true,
+        })
+    }
 }
 
 /// Creates the answer-relation table on first use. Columns are named

@@ -79,7 +79,7 @@ pub use lifecycle::{
     Clock, DeadlineHost, DeadlineSweeper, MockClock, SubmitOptions, SweepSignal, SystemClock,
 };
 pub use matcher::{GroupMatch, MatchConfig, MatchStats};
-pub use registry::{HeadRef, Pending, Registry};
+pub use registry::{CandidateScan, HeadRef, Pending, Registry};
 pub use safety::{check_safety, is_self_contained, SafetyMode};
 pub use shard::{BatchOutcome, ShardedConfig, ShardedCoordinator};
 pub use unify::Subst;

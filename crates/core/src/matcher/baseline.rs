@@ -118,7 +118,7 @@ fn try_subset(
         group,
         &obligations,
         0,
-        &Subst::new(),
+        &mut Subst::new(),
         config,
         rng,
         stats,
@@ -132,7 +132,7 @@ fn assign_providers(
     group: &[QueryId],
     obligations: &[(QueryId, usize)],
     next: usize,
-    subst: &Subst,
+    subst: &mut Subst,
     config: &MatchConfig,
     rng: &mut StdRng,
     stats: &mut MatchStats,
@@ -145,15 +145,17 @@ fn assign_providers(
         let pending = registry.get(qid).expect("member exists");
         pending.query.constraints[cidx].atom.clone()
     };
-    // candidate providers: every head of every subset member
+    // candidate providers: every head of every subset member; each
+    // attempt is unwound via the undo journal instead of cloning
     for &provider in group {
         let Some(p) = registry.get(provider) else {
             continue;
         };
         for head in &p.query.heads {
             stats.unify_attempts += 1;
-            let mut s = subst.clone();
-            if !s.unify_atoms(&constraint, head) {
+            let mark = subst.mark();
+            if !subst.unify_atoms(&constraint, head) {
+                subst.undo_to(mark);
                 continue;
             }
             stats.unify_successes += 1;
@@ -163,13 +165,14 @@ fn assign_providers(
                 group,
                 obligations,
                 next + 1,
-                &s,
+                subst,
                 config,
                 rng,
                 stats,
             )? {
                 return Ok(Some(m));
             }
+            subst.undo_to(mark);
         }
     }
     // ... and, matching the incremental matcher's semantics, committed
@@ -182,13 +185,14 @@ fn assign_providers(
                 }
                 stats.committed_considered += 1;
                 stats.unify_attempts += 1;
-                let mut s = subst.clone();
+                let mark = subst.mark();
                 let ok = constraint
                     .terms
                     .iter()
                     .zip(tuple.values())
-                    .all(|(t, v)| s.unify_terms(t, &crate::ir::Term::Const(v.clone())));
+                    .all(|(t, v)| subst.unify_terms(t, &crate::ir::Term::Const(v.clone())));
                 if !ok {
+                    subst.undo_to(mark);
                     continue;
                 }
                 stats.unify_successes += 1;
@@ -198,13 +202,14 @@ fn assign_providers(
                     group,
                     obligations,
                     next + 1,
-                    &s,
+                    subst,
                     config,
                     rng,
                     stats,
                 )? {
                     return Ok(Some(m));
                 }
+                subst.undo_to(mark);
             }
         }
     }

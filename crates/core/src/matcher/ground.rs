@@ -8,6 +8,11 @@
 //! current database snapshot), and the search assigns memberships to
 //! rows with backtracking. With `forward_checking` on, the next
 //! membership to assign is chosen fail-first (fewest compatible rows).
+//!
+//! The search mutates the caller's substitution in place, rolling back
+//! with [`Subst::mark`]/[`Subst::undo_to`] on backtrack, and filters
+//! row domains into pooled index buffers — no per-row or per-branch
+//! substitution clones.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -17,9 +22,15 @@ use youtopia_storage::{Catalog, Tuple, Value};
 
 use crate::error::{CoreError, CoreResult};
 use crate::ir::{Atom, Filter, QueryId, Term};
+use crate::matcher::pool::BufferPool;
 use crate::matcher::{GroupMatch, MatchConfig, MatchStats};
 use crate::registry::Registry;
 use crate::unify::Subst;
+
+thread_local! {
+    /// Row-index scratch buffers for the fail-first filtering passes.
+    static ROW_POOL: BufferPool<Vec<usize>> = const { BufferPool::new() };
+}
 
 /// A membership predicate with its pre-evaluated row domain.
 #[derive(Debug)]
@@ -111,10 +122,11 @@ impl GroundingProblem {
 
     /// Solves the problem starting from `subst` (the unifications the
     /// structural phase produced). Returns the group's joint answers on
-    /// success.
+    /// success. The substitution is always restored to its entry state
+    /// before returning — the caller's scratch survives the search.
     pub fn solve(
         &self,
-        subst: &Subst,
+        subst: &mut Subst,
         catalog: &Catalog,
         config: &MatchConfig,
         rng: &mut StdRng,
@@ -127,7 +139,7 @@ impl GroundingProblem {
 
     fn assign(
         &self,
-        subst: &Subst,
+        subst: &mut Subst,
         unassigned: &[usize],
         catalog: &Catalog,
         config: &MatchConfig,
@@ -137,33 +149,32 @@ impl GroundingProblem {
         if unassigned.is_empty() {
             return self.finalize(subst, catalog, config, stats);
         }
+        let mut best_rows = ROW_POOL.with(|p| p.get(stats));
+        let mut trial_rows = ROW_POOL.with(|p| p.get(stats));
         // Pick the next membership: fail-first under forward checking,
         // first-listed otherwise.
-        let (pick_pos, compatible) = if config.forward_checking {
-            let mut best: Option<(usize, Vec<Subst>)> = None;
+        let pick_pos = if config.forward_checking {
+            let mut pick: Option<usize> = None;
             for (pos, &idx) in unassigned.iter().enumerate() {
-                let compat = self.compatible_rows(idx, subst, stats);
-                let better = match &best {
-                    None => true,
-                    Some((_, rows)) => compat.len() < rows.len(),
-                };
-                if better {
-                    let empty = compat.is_empty();
-                    best = Some((pos, compat));
-                    if empty {
+                self.compatible_row_indices(idx, subst, &mut trial_rows, stats);
+                if pick.is_none() || trial_rows.len() < best_rows.len() {
+                    std::mem::swap(&mut best_rows, &mut trial_rows);
+                    pick = Some(pos);
+                    if best_rows.is_empty() {
                         break; // cannot do better than zero
                     }
                 }
             }
-            best.expect("unassigned is non-empty")
+            pick.expect("unassigned is non-empty")
         } else {
-            let idx = unassigned[0];
-            (0, self.compatible_rows(idx, subst, stats))
+            self.compatible_row_indices(unassigned[0], subst, &mut best_rows, stats);
+            0
         };
-
-        let mut order: Vec<usize> = (0..compatible.len()).collect();
+        // Shuffling the index buffer visits the same rows in the same
+        // order (and burns the same RNG draws) as shuffling a 0..len
+        // order vector over materialized clones did.
         if config.randomize {
-            order.shuffle(rng);
+            best_rows.shuffle(rng);
         }
         let rest: Vec<usize> = unassigned
             .iter()
@@ -171,33 +182,69 @@ impl GroundingProblem {
             .filter(|(p, _)| *p != pick_pos)
             .map(|(_, &i)| i)
             .collect();
-        for &row_pos in &order {
-            let next = &compatible[row_pos];
-            if let Some(m) = self.assign(next, &rest, catalog, config, rng, stats)? {
-                return Ok(Some(m));
+        let domain = &self.domains[unassigned[pick_pos]];
+        let mut found: Option<CoreResult<GroupMatch>> = None;
+        for &row_pos in best_rows.iter() {
+            let mark = subst.mark();
+            let ok = domain
+                .terms
+                .iter()
+                .zip(&domain.rows[row_pos])
+                .all(|(t, v)| subst.unify_terms(t, &Term::Const(v.clone())));
+            debug_assert!(ok, "a row compatible at filter time re-unifies");
+            if ok {
+                match self.assign(subst, &rest, catalog, config, rng, stats) {
+                    Ok(Some(m)) => {
+                        subst.undo_to(mark);
+                        found = Some(Ok(m));
+                        break;
+                    }
+                    Ok(None) => {}
+                    Err(e) => {
+                        subst.undo_to(mark);
+                        found = Some(Err(e));
+                        break;
+                    }
+                }
             }
+            subst.undo_to(mark);
         }
-        Ok(None)
+        ROW_POOL.with(|p| {
+            p.put(best_rows);
+            p.put(trial_rows);
+        });
+        match found {
+            Some(Ok(m)) => Ok(Some(m)),
+            Some(Err(e)) => Err(e),
+            None => Ok(None),
+        }
     }
 
-    /// The substitutions obtained by binding membership `idx`'s terms to
-    /// each of its rows that is compatible with `subst`.
-    fn compatible_rows(&self, idx: usize, subst: &Subst, stats: &mut MatchStats) -> Vec<Subst> {
+    /// Collects the indices of membership `idx`'s rows compatible with
+    /// the current substitution into `out`. Every trial unification is
+    /// undone — the substitution leaves exactly as it arrived.
+    fn compatible_row_indices(
+        &self,
+        idx: usize,
+        subst: &mut Subst,
+        out: &mut Vec<usize>,
+        stats: &mut MatchStats,
+    ) {
+        out.clear();
         let domain = &self.domains[idx];
-        let mut out = Vec::new();
-        for row in &domain.rows {
+        for (row_pos, row) in domain.rows.iter().enumerate() {
             stats.rows_scanned += 1;
-            let mut s = subst.clone();
+            let mark = subst.mark();
             let ok = domain
                 .terms
                 .iter()
                 .zip(row)
-                .all(|(t, v)| s.unify_terms(t, &Term::Const(v.clone())));
+                .all(|(t, v)| subst.unify_terms(t, &Term::Const(v.clone())));
+            subst.undo_to(mark);
             if ok {
-                out.push(s);
+                out.push(row_pos);
             }
         }
-        out
     }
 
     /// Final validation once every positive membership is assigned.
@@ -316,11 +363,13 @@ fn eval_filter(catalog: &Catalog, filter: &Filter, subst: &Subst) -> CoreResult<
 }
 
 /// Convenience used by both matchers: build + solve for a fixed group.
+/// `subst` is restored to its entry state before returning.
+#[allow(clippy::too_many_arguments)]
 pub fn ground_group(
     registry: &Registry,
     catalog: &Catalog,
     group: &[QueryId],
-    subst: &Subst,
+    subst: &mut Subst,
     config: &MatchConfig,
     rng: &mut StdRng,
     stats: &mut MatchStats,
@@ -402,7 +451,7 @@ mod tests {
             &reg,
             read.catalog(),
             &[QueryId(1)],
-            &Subst::new(),
+            &mut Subst::new(),
             &cfg(),
             &mut rng(),
             &mut stats,
@@ -433,7 +482,7 @@ mod tests {
             &reg,
             read.catalog(),
             &[QueryId(1)],
-            &Subst::new(),
+            &mut Subst::new(),
             &cfg(),
             &mut rng(),
             &mut stats,
@@ -459,7 +508,7 @@ mod tests {
             &reg,
             read.catalog(),
             &[QueryId(1)],
-            &Subst::new(),
+            &mut Subst::new(),
             &cfg(),
             &mut rng(),
             &mut stats,
@@ -496,7 +545,7 @@ mod tests {
             &reg,
             read.catalog(),
             &[QueryId(1), QueryId(2)],
-            &subst,
+            &mut subst,
             &cfg(),
             &mut rng(),
             &mut stats,
@@ -534,7 +583,7 @@ mod tests {
             &reg,
             read.catalog(),
             &[QueryId(1), QueryId(2)],
-            &subst,
+            &mut subst,
             &cfg(),
             &mut rng(),
             &mut stats,
@@ -561,7 +610,7 @@ mod tests {
             &reg,
             read.catalog(),
             &[QueryId(1)],
-            &Subst::new(),
+            &mut Subst::new(),
             &cfg(),
             &mut rng(),
             &mut stats,
@@ -601,7 +650,7 @@ mod tests {
             &reg,
             read.catalog(),
             &[QueryId(1), QueryId(2)],
-            &subst,
+            &mut subst,
             &cfg(),
             &mut rng(),
             &mut stats,
@@ -625,7 +674,7 @@ mod tests {
             &reg,
             read.catalog(),
             &[QueryId(1)],
-            &Subst::new(),
+            &mut Subst::new(),
             &cfg(),
             &mut rng(),
             &mut stats,
@@ -648,7 +697,7 @@ mod tests {
             &reg,
             read.catalog(),
             &[QueryId(1)],
-            &Subst::new(),
+            &mut Subst::new(),
             &cfg(),
             &mut rng(),
             &mut stats,

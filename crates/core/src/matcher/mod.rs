@@ -26,6 +26,7 @@
 
 pub mod baseline;
 pub mod ground;
+pub mod pool;
 pub mod search;
 
 use std::collections::BTreeMap;
@@ -114,6 +115,19 @@ pub struct MatchStats {
     pub nodes_expanded: u64,
     /// Subsets tested (naive matcher only).
     pub subsets_tested: u64,
+    /// Posting-list entries and committed rows examined by the staged
+    /// candidate scans.
+    pub candidates_scanned: u64,
+    /// Candidates the constant-position index (or the committed-table
+    /// constant prefilter) eliminated before unification.
+    pub index_pruned: u64,
+    /// Whole match attempts skipped because the candidate index proved
+    /// some positive obligation unsatisfiable (sweep pruning).
+    pub triggers_pruned: u64,
+    /// Scratch buffers served from the thread-local pool.
+    pub pool_hits: u64,
+    /// Scratch buffers freshly allocated because the pool was empty.
+    pub pool_misses: u64,
 }
 
 impl MatchStats {
@@ -127,6 +141,17 @@ impl MatchStats {
         self.rows_scanned += other.rows_scanned;
         self.nodes_expanded += other.nodes_expanded;
         self.subsets_tested += other.subsets_tested;
+        self.candidates_scanned += other.candidates_scanned;
+        self.index_pruned += other.index_pruned;
+        self.triggers_pruned += other.triggers_pruned;
+        self.pool_hits += other.pool_hits;
+        self.pool_misses += other.pool_misses;
+    }
+
+    /// Folds a candidate-scan tally into the matcher counters.
+    pub fn absorb_scan(&mut self, scan: &crate::registry::CandidateScan) {
+        self.candidates_scanned += scan.scanned;
+        self.index_pruned += scan.pruned;
     }
 }
 

@@ -1,0 +1,113 @@
+//! Thread-local scratch-buffer pools for the staged matcher.
+//!
+//! Instead of cloning substitution/group/obligation state at every
+//! search branch, a match attempt borrows one scratch set from its
+//! thread's pool, mutates it in place (undoing on backtrack), and
+//! returns it wiped — the get/return discipline of a vectorized
+//! operator's shared buffers. Pool hits and misses are counted into
+//! [`MatchStats`] so the benches can confirm the steady state allocates
+//! nothing.
+
+use std::cell::RefCell;
+
+use super::MatchStats;
+use crate::unify::Subst;
+
+/// Max buffers retained per pool: enough for the deepest realistic
+/// search recursion, small enough that a burst cannot pin memory.
+const MAX_POOLED: usize = 64;
+
+/// A buffer that can be wiped for reuse while keeping its allocations.
+pub trait Reusable: Default {
+    /// Clears contents; capacity stays.
+    fn wipe(&mut self);
+}
+
+impl<T> Reusable for Vec<T> {
+    fn wipe(&mut self) {
+        self.clear();
+    }
+}
+
+impl Reusable for Subst {
+    fn wipe(&mut self) {
+        self.reset();
+    }
+}
+
+/// A stack of reusable buffers, designed to live in a `thread_local!`.
+#[derive(Default)]
+pub struct BufferPool<T: Reusable> {
+    bufs: RefCell<Vec<T>>,
+}
+
+impl<T: Reusable> BufferPool<T> {
+    /// An empty pool (const, for `thread_local!` initializers).
+    pub const fn new() -> BufferPool<T> {
+        BufferPool {
+            bufs: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Pops a pooled buffer (hit) or allocates a fresh one (miss).
+    pub fn get(&self, stats: &mut MatchStats) -> T {
+        match self.bufs.borrow_mut().pop() {
+            Some(buf) => {
+                stats.pool_hits += 1;
+                buf
+            }
+            None => {
+                stats.pool_misses += 1;
+                T::default()
+            }
+        }
+    }
+
+    /// Returns a buffer, wiped but with its allocations intact. Full
+    /// pools drop the buffer instead.
+    pub fn put(&self, mut buf: T) {
+        buf.wipe();
+        let mut bufs = self.bufs.borrow_mut();
+        if bufs.len() < MAX_POOLED {
+            bufs.push(buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    thread_local! {
+        static TEST_POOL: BufferPool<Vec<u64>> = const { BufferPool::new() };
+    }
+
+    #[test]
+    fn get_put_roundtrip_counts_hits() {
+        let mut stats = MatchStats::default();
+        TEST_POOL.with(|pool| {
+            let mut a = pool.get(&mut stats);
+            a.extend([1, 2, 3]);
+            let cap = a.capacity();
+            pool.put(a);
+            let b = pool.get(&mut stats);
+            assert!(b.is_empty(), "returned buffers come back wiped");
+            assert!(b.capacity() >= cap, "allocation is retained");
+            pool.put(b);
+        });
+        assert_eq!(stats.pool_misses, 1);
+        assert_eq!(stats.pool_hits, 1);
+    }
+
+    #[test]
+    fn pool_caps_retention() {
+        let mut stats = MatchStats::default();
+        TEST_POOL.with(|pool| {
+            let bufs: Vec<Vec<u64>> = (0..MAX_POOLED + 10).map(|_| pool.get(&mut stats)).collect();
+            for buf in bufs {
+                pool.put(buf);
+            }
+            assert!(pool.bufs.borrow().len() <= MAX_POOLED);
+        });
+    }
+}

@@ -1,14 +1,20 @@
-//! The incremental matcher.
+//! The incremental matcher, staged as a batch-oriented pipeline.
 //!
 //! Runs whenever a new entangled query arrives (the paper: "the
 //! coordination component runs whenever an entangled query arrives in
-//! the system"). Starting from the trigger query, it grows a candidate
-//! group by resolving one unsatisfied positive answer constraint at a
-//! time: the registry proposes heads that could satisfy it (using the
-//! constant-position index), unification prunes them, and each viable
-//! provider spawns a search branch. When every constraint in the group
-//! has a provider, the shared grounding phase looks for a concrete
-//! variable assignment.
+//! the system"). **Stage 1** batch-resolves all of the trigger's
+//! positive obligations in one pass over the registry's
+//! constant-position index; an obligation with no pending candidate and
+//! no compatible committed tuple proves the whole attempt unmatchable
+//! before any search state is built. **Stage 2** grows a candidate
+//! group from the trigger, resolving one unsatisfied positive answer
+//! constraint at a time: the index proposes heads, unification prunes
+//! them, and each viable provider spawns a search branch. The search
+//! mutates one pooled scratch state in place — substitution rollback
+//! via [`Subst::mark`]/[`Subst::undo_to`], group/obligation truncation —
+//! instead of cloning at every branch. **Stage 3**, once every
+//! constraint in the group has a provider, is the shared grounding
+//! phase ([`ground_group`]).
 //!
 //! Only groups *containing the trigger* are explored — queries that
 //! could have matched among themselves earlier already had their chance
@@ -20,13 +26,14 @@ use rand::seq::SliceRandom;
 
 use std::collections::BTreeSet;
 
-use youtopia_storage::Catalog;
+use youtopia_storage::{Catalog, Value};
 
 use crate::error::CoreResult;
-use crate::ir::QueryId;
+use crate::ir::{Atom, QueryId, Term};
 use crate::matcher::ground::ground_group;
+use crate::matcher::pool::{BufferPool, Reusable};
 use crate::matcher::{GroupMatch, MatchConfig, MatchStats};
-use crate::registry::Registry;
+use crate::registry::{CandidateScan, HeadRef, Registry};
 use crate::unify::Subst;
 
 /// One unsatisfied positive answer constraint: query + constraint index.
@@ -34,6 +41,51 @@ use crate::unify::Subst;
 struct Obligation {
     qid: QueryId,
     cidx: usize,
+}
+
+/// A provider for one constraint: a live pending head, or (under
+/// `use_committed_answers`) a ground tuple already committed to the
+/// answer relation.
+enum Provider {
+    Head(HeadRef),
+    Committed(Vec<Value>),
+}
+
+/// The mutable search state, shared down the recursion and undone on
+/// backtrack instead of cloned per branch.
+#[derive(Default)]
+struct SearchScratch {
+    subst: Subst,
+    group: BTreeSet<QueryId>,
+    obligations: Vec<Obligation>,
+}
+
+impl Reusable for SearchScratch {
+    fn wipe(&mut self) {
+        self.subst.reset();
+        self.group.clear();
+        self.obligations.clear();
+    }
+}
+
+/// Per-search-node buffers: resolved candidate heads and the assembled
+/// provider list.
+#[derive(Default)]
+struct NodeBufs {
+    heads: Vec<HeadRef>,
+    providers: Vec<Provider>,
+}
+
+impl Reusable for NodeBufs {
+    fn wipe(&mut self) {
+        self.heads.clear();
+        self.providers.clear();
+    }
+}
+
+thread_local! {
+    static SCRATCH_POOL: BufferPool<SearchScratch> = const { BufferPool::new() };
+    static NODE_POOL: BufferPool<NodeBufs> = const { BufferPool::new() };
 }
 
 /// Attempts to find and ground a coordination group containing
@@ -48,56 +100,130 @@ pub fn match_query(
     rng: &mut StdRng,
     stats: &mut MatchStats,
 ) -> CoreResult<Option<GroupMatch>> {
-    if registry.get(trigger).is_none() {
+    let Some(pending) = registry.get(trigger) else {
         return Ok(None);
-    }
-    let mut group = BTreeSet::new();
-    group.insert(trigger);
-    let obligations = positive_obligations(registry, trigger);
-    solve(
-        registry,
-        catalog,
-        &group,
-        &Subst::new(),
-        obligations,
-        config,
-        rng,
-        stats,
-    )
-}
-
-fn positive_obligations(registry: &Registry, qid: QueryId) -> Vec<Obligation> {
-    let Some(pending) = registry.get(qid) else {
-        return Vec::new();
     };
-    pending
+    // Stage 1: batched candidate scan — all positive obligations of the
+    // trigger resolved in one pass over the index. An obligation with
+    // no pending candidate and no compatible committed tuple can never
+    // be satisfied (candidates_for is a superset of the unifiable
+    // heads), so the attempt dies before any search state is built.
+    let atoms: Vec<&Atom> = pending
         .query
         .constraints
         .iter()
-        .enumerate()
-        .filter(|(_, c)| !c.negated)
-        .map(|(cidx, _)| Obligation { qid, cidx })
-        .collect()
+        .filter(|c| !c.negated)
+        .map(|c| &c.atom)
+        .collect();
+    if registry.uses_const_index() && !atoms.is_empty() {
+        let mut scan = CandidateScan::default();
+        let mut batch: Vec<Vec<HeadRef>> = Vec::with_capacity(atoms.len());
+        registry.candidates_for_batch(&atoms, &mut batch, &mut scan);
+        stats.absorb_scan(&scan);
+        for (atom, cands) in atoms.iter().zip(&batch) {
+            let satisfiable = !cands.is_empty()
+                || (config.use_committed_answers && committed_can_satisfy(catalog, atom, stats));
+            if !satisfiable {
+                stats.triggers_pruned += 1;
+                return Ok(None);
+            }
+        }
+    }
+    let mut scratch = SCRATCH_POOL.with(|p| p.get(stats));
+    scratch.group.insert(trigger);
+    push_positive_obligations(registry, trigger, &mut scratch.obligations);
+    let result = solve(registry, catalog, &mut scratch, config, rng, stats);
+    SCRATCH_POOL.with(|p| p.put(scratch));
+    result
 }
 
-#[allow(clippy::too_many_arguments)]
+/// True when some committed answer tuple could satisfy `atom`: arity
+/// matches and every constant position is sql-compatible with the
+/// tuple's value there. A superset test — unification decides the rest.
+fn committed_can_satisfy(catalog: &Catalog, atom: &Atom, stats: &mut MatchStats) -> bool {
+    let Ok(table) = catalog.table(&atom.relation) else {
+        return false;
+    };
+    for (_, tuple) in table.scan() {
+        stats.candidates_scanned += 1;
+        if tuple.arity() == atom.arity() && tuple_compatible(atom, tuple.values()) {
+            return true;
+        }
+        stats.index_pruned += 1;
+    }
+    false
+}
+
+/// Constant prefilter for committed tuples: a tuple whose value clashes
+/// with one of the atom's constants can never unify with it.
+fn tuple_compatible(atom: &Atom, values: &[Value]) -> bool {
+    atom.terms.iter().zip(values).all(|(t, v)| match t {
+        Term::Const(c) => c.sql_eq(v) || c == v,
+        Term::Var(_) => true,
+    })
+}
+
+fn push_positive_obligations(registry: &Registry, qid: QueryId, out: &mut Vec<Obligation>) {
+    let Some(pending) = registry.get(qid) else {
+        return;
+    };
+    out.extend(
+        pending
+            .query
+            .constraints
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.negated)
+            .map(|(cidx, _)| Obligation { qid, cidx }),
+    );
+}
+
+/// One search node: pops an obligation, tries its providers. On a dead
+/// end the parent's obligation stack is restored before returning.
 fn solve(
     registry: &Registry,
     catalog: &Catalog,
-    group: &BTreeSet<QueryId>,
-    subst: &Subst,
-    mut obligations: Vec<Obligation>,
+    scratch: &mut SearchScratch,
     config: &MatchConfig,
     rng: &mut StdRng,
     stats: &mut MatchStats,
 ) -> CoreResult<Option<GroupMatch>> {
     stats.nodes_expanded += 1;
-    let Some(obligation) = obligations.pop() else {
+    let Some(obligation) = scratch.obligations.pop() else {
         // Structurally closed: every constraint has a provider. Ground it.
-        let members: Vec<QueryId> = group.iter().copied().collect();
-        return ground_group(registry, catalog, &members, subst, config, rng, stats);
+        let members: Vec<QueryId> = scratch.group.iter().copied().collect();
+        return ground_group(
+            registry,
+            catalog,
+            &members,
+            &mut scratch.subst,
+            config,
+            rng,
+            stats,
+        );
     };
+    let mut bufs = NODE_POOL.with(|p| p.get(stats));
+    let result = solve_obligation(
+        registry, catalog, scratch, obligation, &mut bufs, config, rng, stats,
+    );
+    NODE_POOL.with(|p| p.put(bufs));
+    if let Ok(None) = &result {
+        scratch.obligations.push(obligation);
+    }
+    result
+}
 
+#[allow(clippy::too_many_arguments)]
+fn solve_obligation(
+    registry: &Registry,
+    catalog: &Catalog,
+    scratch: &mut SearchScratch,
+    obligation: Obligation,
+    bufs: &mut NodeBufs,
+    config: &MatchConfig,
+    rng: &mut StdRng,
+    stats: &mut MatchStats,
+) -> CoreResult<Option<GroupMatch>> {
     let constraint_atom = {
         let pending = registry
             .get(obligation.qid)
@@ -107,29 +233,33 @@ fn solve(
     // Forward checking: resolve already-bound variables so the
     // constant-position index can prune harder.
     let lookup_atom = if config.forward_checking {
-        subst.apply_atom(constraint_atom)
+        scratch.subst.apply_atom(constraint_atom)
     } else {
         constraint_atom.clone()
     };
 
-    // Providers for this constraint: live pending heads, plus (under
-    // `use_committed_answers`) ground tuples already in the answer
-    // relation.
-    enum Provider {
-        Head(crate::registry::HeadRef),
-        Committed(Vec<youtopia_storage::Value>),
-    }
-    let mut providers: Vec<Provider> = registry
-        .candidates_for(&lookup_atom)
-        .into_iter()
-        .map(Provider::Head)
-        .collect();
+    // Assemble providers into the pooled node buffers: index-resolved
+    // pending heads, then committed tuples surviving the constant
+    // prefilter (a clashing tuple could never unify — skip it before
+    // cloning its values).
+    let NodeBufs { heads, providers } = bufs;
+    let mut scan = CandidateScan::default();
+    registry.candidates_for_into(&lookup_atom, heads, &mut scan);
+    stats.absorb_scan(&scan);
+    providers.clear();
+    providers.extend(heads.drain(..).map(Provider::Head));
     if config.use_committed_answers {
         if let Ok(table) = catalog.table(&lookup_atom.relation) {
             for (_, tuple) in table.scan() {
-                if tuple.arity() == lookup_atom.arity() {
-                    providers.push(Provider::Committed(tuple.values().to_vec()));
+                stats.candidates_scanned += 1;
+                if tuple.arity() != lookup_atom.arity() {
+                    continue;
                 }
+                if !tuple_compatible(&lookup_atom, tuple.values()) {
+                    stats.index_pruned += 1;
+                    continue;
+                }
+                providers.push(Provider::Committed(tuple.values().to_vec()));
             }
         }
     }
@@ -137,59 +267,57 @@ fn solve(
         providers.shuffle(rng);
     }
 
-    for provider in providers {
-        let (unified, next_group, next_obligations) = match provider {
+    for provider in bufs.providers.iter() {
+        let mark = scratch.subst.mark();
+        let obligations_len = scratch.obligations.len();
+        let mut added_member = None;
+        match provider {
             Provider::Head(href) => {
                 stats.candidates_considered += 1;
-                let Some(head) = registry.head(href) else {
+                let Some(head) = registry.head(*href) else {
                     continue;
                 };
                 // Group-size bound: adding a new member must not exceed it.
-                let is_new = !group.contains(&href.qid);
-                if is_new && group.len() >= config.max_group_size {
+                let is_new = !scratch.group.contains(&href.qid);
+                if is_new && scratch.group.len() >= config.max_group_size {
                     continue;
                 }
                 stats.unify_attempts += 1;
-                let mut next_subst = subst.clone();
-                if !next_subst.unify_atoms(&lookup_atom, head) {
+                if !scratch.subst.unify_atoms(&lookup_atom, head) {
+                    scratch.subst.undo_to(mark);
                     continue;
                 }
                 stats.unify_successes += 1;
-                let mut next_group = group.clone();
-                let mut next_obligations = obligations.clone();
                 if is_new {
-                    next_group.insert(href.qid);
-                    next_obligations.extend(positive_obligations(registry, href.qid));
+                    scratch.group.insert(href.qid);
+                    added_member = Some(href.qid);
+                    push_positive_obligations(registry, href.qid, &mut scratch.obligations);
                 }
-                (next_subst, next_group, next_obligations)
             }
             Provider::Committed(values) => {
                 stats.committed_considered += 1;
                 stats.unify_attempts += 1;
-                let mut next_subst = subst.clone();
-                let ok =
-                    lookup_atom.terms.iter().zip(&values).all(|(t, v)| {
-                        next_subst.unify_terms(t, &crate::ir::Term::Const(v.clone()))
-                    });
+                let ok = lookup_atom
+                    .terms
+                    .iter()
+                    .zip(values)
+                    .all(|(t, v)| scratch.subst.unify_terms(t, &Term::Const(v.clone())));
                 if !ok {
+                    scratch.subst.undo_to(mark);
                     continue;
                 }
                 stats.unify_successes += 1;
                 // a committed tuple adds no member and no obligations
-                (next_subst, group.clone(), obligations.clone())
             }
-        };
-        if let Some(m) = solve(
-            registry,
-            catalog,
-            &next_group,
-            &unified,
-            next_obligations,
-            config,
-            rng,
-            stats,
-        )? {
+        }
+        if let Some(m) = solve(registry, catalog, scratch, config, rng, stats)? {
             return Ok(Some(m));
+        }
+        // Backtrack: unwind everything this provider did to the scratch.
+        scratch.subst.undo_to(mark);
+        scratch.obligations.truncate(obligations_len);
+        if let Some(qid) = added_member {
+            scratch.group.remove(&qid);
         }
     }
     Ok(None)

@@ -18,11 +18,28 @@
 //!   *the handful naming the right partner* (e.g. the index on position
 //!   0 of `Reservation('Jerry', ?fno)` returns only Jerry's own queries).
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use youtopia_storage::Value;
 
 use crate::ir::{Atom, EntangledQuery, QueryId, Term};
+
+/// Counters filled in by the candidate-scan paths: how many posting
+/// entries were examined and how many candidates the index eliminated
+/// before unification ever saw them. Merged into
+/// [`crate::matcher::MatchStats`] by the callers.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CandidateScan {
+    /// Posting-list entries examined.
+    pub scanned: u64,
+    /// Candidates eliminated by the index (constant-position or arity
+    /// mismatch) without attempting unification.
+    pub pruned: u64,
+}
+
+/// The (constant-posting, variable-posting) pair backing one constant
+/// position of a constraint during candidate resolution.
+type PostingPair<'a> = (Option<&'a BTreeSet<HeadRef>>, Option<&'a BTreeSet<HeadRef>>);
 
 /// A registered pending query.
 #[derive(Debug, Clone)]
@@ -55,11 +72,17 @@ pub struct HeadRef {
 #[derive(Debug, Default)]
 struct RelationIndex {
     /// All heads on this relation.
-    heads: HashSet<HeadRef>,
+    heads: BTreeSet<HeadRef>,
     /// position -> constant value -> heads with that constant there.
-    by_const: HashMap<usize, HashMap<Value, HashSet<HeadRef>>>,
+    ///
+    /// Posting sets are `BTreeSet` so candidate resolution can merge and
+    /// intersect *sorted* lists directly — the deterministic output order
+    /// falls out of the iteration instead of a final sort, and
+    /// intersection is membership probes against the non-driver
+    /// positions rather than allocating per-position `HashSet`s.
+    by_const: HashMap<usize, HashMap<Value, BTreeSet<HeadRef>>>,
     /// position -> heads with a variable there.
-    by_var: HashMap<usize, HashSet<HeadRef>>,
+    by_var: HashMap<usize, BTreeSet<HeadRef>>,
 }
 
 /// The pending-query store.
@@ -201,43 +224,177 @@ impl Registry {
     /// unify with the constraint (property-tested); unification makes
     /// the final call.
     pub fn candidates_for(&self, constraint: &Atom) -> Vec<HeadRef> {
+        let mut out = Vec::new();
+        let mut scan = CandidateScan::default();
+        self.candidates_for_into(constraint, &mut out, &mut scan);
+        out
+    }
+
+    /// [`Registry::candidates_for`] into a caller-supplied buffer
+    /// (cleared first), accumulating scan counters. The buffer-reusing
+    /// entry point of the staged match pipeline.
+    pub fn candidates_for_into(
+        &self,
+        constraint: &Atom,
+        out: &mut Vec<HeadRef>,
+        scan: &mut CandidateScan,
+    ) {
+        out.clear();
         let Some(rel) = self.relations.get(&Self::rel_key(&constraint.relation)) else {
-            return Vec::new();
+            return;
         };
-        let mut result: Option<HashSet<HeadRef>> = None;
+        self.candidates_on_rel(rel, constraint, out, scan);
+    }
+
+    /// Resolves candidates for a whole batch of constraints in one pass:
+    /// constraints are grouped by relation signature so each relation's
+    /// index is fetched once, and every per-constraint scan shares the
+    /// sorted-posting-list machinery. Output slot `i` holds the sorted
+    /// candidates of `constraints[i]`.
+    pub fn candidates_for_batch(
+        &self,
+        constraints: &[&Atom],
+        out: &mut Vec<Vec<HeadRef>>,
+        scan: &mut CandidateScan,
+    ) {
+        out.resize_with(constraints.len(), Vec::new);
+        for slot in out.iter_mut() {
+            slot.clear();
+        }
+        let mut by_rel: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, c) in constraints.iter().enumerate() {
+            by_rel
+                .entry(Self::rel_key(&c.relation))
+                .or_default()
+                .push(i);
+        }
+        for (key, idxs) in by_rel {
+            let Some(rel) = self.relations.get(&key) else {
+                continue;
+            };
+            for i in idxs {
+                self.candidates_on_rel(rel, constraints[i], &mut out[i], scan);
+            }
+        }
+        out.truncate(constraints.len());
+    }
+
+    /// Cheap emptiness probe: `false` means *provably no pending head*
+    /// can unify with `constraint` — the relation has no heads, or some
+    /// constant position of the constraint has neither a matching
+    /// constant posting nor any variable posting. `true` is
+    /// conservative (the full intersection may still come up empty).
+    ///
+    /// This is the index-first pruning test the re-match sweep runs
+    /// before taking the db read lock.
+    pub fn has_candidates(&self, constraint: &Atom) -> bool {
+        let Some(rel) = self.relations.get(&Self::rel_key(&constraint.relation)) else {
+            return false;
+        };
+        if rel.heads.is_empty() {
+            return false;
+        }
         if self.use_const_index {
             for (pos, term) in constraint.terms.iter().enumerate() {
                 let Term::Const(v) = term else { continue };
-                // heads compatible at `pos`: same constant, or a variable
-                let mut compatible: HashSet<HeadRef> = rel
+                let consts_empty = rel
                     .by_const
                     .get(&pos)
                     .and_then(|m| m.get(v))
-                    .cloned()
-                    .unwrap_or_default();
-                if let Some(vars) = rel.by_var.get(&pos) {
-                    compatible.extend(vars.iter().copied());
-                }
-                result = Some(match result {
-                    None => compatible,
-                    Some(acc) => acc.intersection(&compatible).copied().collect(),
-                });
-                if result.as_ref().is_some_and(HashSet::is_empty) {
-                    return Vec::new();
+                    .is_none_or(BTreeSet::is_empty);
+                if consts_empty && rel.by_var.get(&pos).is_none_or(BTreeSet::is_empty) {
+                    return false;
                 }
             }
         }
-        let set = result.unwrap_or_else(|| rel.heads.clone());
-        let mut out: Vec<HeadRef> = set
-            .into_iter()
-            .filter(|href| {
-                // arity must match for unification to be possible
-                self.head(*href)
+        true
+    }
+
+    /// Candidate resolution against one relation's index: picks the
+    /// most selective constant position as the *driver*, merge-iterates
+    /// its (sorted, disjoint) constant/variable posting lists, and
+    /// probes the remaining constant positions by membership. The
+    /// output arrives sorted without a trailing sort.
+    fn candidates_on_rel(
+        &self,
+        rel: &RelationIndex,
+        constraint: &Atom,
+        out: &mut Vec<HeadRef>,
+        scan: &mut CandidateScan,
+    ) {
+        // (const-postings, var-postings) per constant position of
+        // the constraint; empty when the const index is ablated off.
+        let mut pos_sets: Vec<PostingPair<'_>> = Vec::new();
+        let mut driver = 0usize;
+        let mut driver_len = usize::MAX;
+        if self.use_const_index {
+            for (pos, term) in constraint.terms.iter().enumerate() {
+                let Term::Const(v) = term else { continue };
+                let cs = rel.by_const.get(&pos).and_then(|m| m.get(v));
+                let vs = rel.by_var.get(&pos);
+                let len = cs.map_or(0, BTreeSet::len) + vs.map_or(0, BTreeSet::len);
+                if len == 0 {
+                    // no head is compatible at this position: the whole
+                    // relation's head set is pruned without a scan
+                    scan.pruned += rel.heads.len() as u64;
+                    return;
+                }
+                if len < driver_len {
+                    driver = pos_sets.len();
+                    driver_len = len;
+                }
+                pos_sets.push((cs, vs));
+            }
+        }
+        if pos_sets.is_empty() {
+            // no constant positions (or index ablated): every head on
+            // the relation is a candidate, modulo arity
+            for href in rel.heads.iter().copied() {
+                scan.scanned += 1;
+                if self
+                    .head(href)
                     .is_some_and(|h| h.arity() == constraint.arity())
-            })
-            .collect();
-        out.sort();
-        out
+                {
+                    out.push(href);
+                } else {
+                    scan.pruned += 1;
+                }
+            }
+            return;
+        }
+        let (dcs, dvs) = pos_sets[driver];
+        let mut consts = dcs.into_iter().flatten().copied().peekable();
+        let mut vars = dvs.into_iter().flatten().copied().peekable();
+        // merge the driver's two sorted (disjoint) posting lists
+        let merged = std::iter::from_fn(move || match (consts.peek(), vars.peek()) {
+            (Some(&x), Some(&y)) => {
+                if x <= y {
+                    consts.next()
+                } else {
+                    vars.next()
+                }
+            }
+            (Some(_), None) => consts.next(),
+            (None, Some(_)) => vars.next(),
+            (None, None) => None,
+        });
+        for href in merged {
+            scan.scanned += 1;
+            let compatible = pos_sets.iter().enumerate().all(|(i, (cs, vs))| {
+                i == driver
+                    || cs.is_some_and(|s| s.contains(&href))
+                    || vs.is_some_and(|s| s.contains(&href))
+            });
+            if compatible
+                && self
+                    .head(href)
+                    .is_some_and(|h| h.arity() == constraint.arity())
+            {
+                out.push(href);
+            } else {
+                scan.pruned += 1;
+            }
+        }
     }
 
     /// The earliest deadline of any pending query (`None` when no
@@ -262,9 +419,8 @@ impl Registry {
         let Some(rel) = self.relations.get(&Self::rel_key(relation)) else {
             return Vec::new();
         };
-        let mut out: Vec<HeadRef> = rel.heads.iter().copied().collect();
-        out.sort();
-        out
+        // BTreeSet iteration is already in sorted (deterministic) order
+        rel.heads.iter().copied().collect()
     }
 }
 
@@ -461,5 +617,83 @@ mod tests {
         let cands = reg.candidates_for(&constraint);
         let ids: Vec<u64> = cands.iter().map(|h| h.qid.0).collect();
         assert_eq!(ids, vec![1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn batch_matches_per_constraint_scans() {
+        let mut reg = Registry::new();
+        reg.insert(kramer(1));
+        reg.insert(jerry(2));
+        reg.insert(jerry(3));
+        let jerry_c = Atom::new("Reservation", vec![Term::constant("Jerry"), Term::var("x")]);
+        let kramer_c = Atom::new(
+            "Reservation",
+            vec![Term::constant("Kramer"), Term::var("y")],
+        );
+        let ghost_c = Atom::new("Ghost", vec![Term::var("z")]);
+        let constraints = [&jerry_c, &kramer_c, &ghost_c];
+        let mut batch = Vec::new();
+        let mut scan = CandidateScan::default();
+        reg.candidates_for_batch(&constraints, &mut batch, &mut scan);
+        assert_eq!(batch.len(), 3);
+        for (i, c) in constraints.iter().enumerate() {
+            assert_eq!(batch[i], reg.candidates_for(c), "slot {i} diverges");
+        }
+        assert!(scan.scanned > 0);
+        // the buffer is reused across calls without stale carry-over
+        reg.candidates_for_batch(&[&ghost_c], &mut batch, &mut scan);
+        assert_eq!(batch.len(), 1);
+        assert!(batch[0].is_empty());
+    }
+
+    #[test]
+    fn has_candidates_probe_is_sound() {
+        let mut reg = Registry::new();
+        reg.insert(jerry(1)); // head Reservation('Jerry', ?fno)
+        let matchable = Atom::new("Reservation", vec![Term::constant("Jerry"), Term::var("x")]);
+        let ghost_name = Atom::new(
+            "Reservation",
+            vec![Term::constant("Newman"), Term::var("x")],
+        );
+        let ghost_rel = Atom::new("Ghost", vec![Term::var("x")]);
+        assert!(reg.has_candidates(&matchable));
+        assert!(!reg.has_candidates(&ghost_name), "no posting for Newman");
+        assert!(!reg.has_candidates(&ghost_rel), "relation never seen");
+        // the probe never prunes anything candidates_for would return
+        assert!(reg.candidates_for(&ghost_name).is_empty());
+        assert!(!reg.candidates_for(&matchable).is_empty());
+        // ablated index: probe falls back to relation emptiness only
+        let mut base = Registry::without_const_index();
+        base.insert(jerry(1));
+        assert!(
+            base.has_candidates(&ghost_name),
+            "no index, stays conservative"
+        );
+    }
+
+    #[test]
+    fn scan_counters_account_for_pruning() {
+        let mut reg = Registry::new();
+        reg.insert(kramer(1));
+        reg.insert(jerry(2));
+        let constraint = Atom::new("Reservation", vec![Term::constant("Jerry"), Term::var("x")]);
+        let mut out = Vec::new();
+        let mut scan = CandidateScan::default();
+        reg.candidates_for_into(&constraint, &mut out, &mut scan);
+        assert_eq!(out.len(), 1, "only Jerry's head survives");
+        assert!(scan.scanned >= 1);
+        // Newman never appears: both pending heads pruned without a scan
+        let mut scan2 = CandidateScan::default();
+        reg.candidates_for_into(
+            &Atom::new(
+                "Reservation",
+                vec![Term::constant("Newman"), Term::var("x")],
+            ),
+            &mut out,
+            &mut scan2,
+        );
+        assert!(out.is_empty());
+        assert_eq!(scan2.scanned, 0);
+        assert_eq!(scan2.pruned, 2);
     }
 }

@@ -350,6 +350,11 @@ struct ShardMonitor {
     rows_scanned: AtomicU64,
     nodes_expanded: AtomicU64,
     subsets_tested: AtomicU64,
+    candidates_scanned: AtomicU64,
+    index_pruned: AtomicU64,
+    triggers_pruned: AtomicU64,
+    pool_hits: AtomicU64,
+    pool_misses: AtomicU64,
 }
 
 impl Default for ShardMonitor {
@@ -371,6 +376,11 @@ impl Default for ShardMonitor {
             rows_scanned: AtomicU64::new(0),
             nodes_expanded: AtomicU64::new(0),
             subsets_tested: AtomicU64::new(0),
+            candidates_scanned: AtomicU64::new(0),
+            index_pruned: AtomicU64::new(0),
+            triggers_pruned: AtomicU64::new(0),
+            pool_hits: AtomicU64::new(0),
+            pool_misses: AtomicU64::new(0),
         }
     }
 }
@@ -408,6 +418,13 @@ impl ShardMonitor {
             .store(w.nodes_expanded, Ordering::Relaxed);
         self.subsets_tested
             .store(w.subsets_tested, Ordering::Relaxed);
+        self.candidates_scanned
+            .store(w.candidates_scanned, Ordering::Relaxed);
+        self.index_pruned.store(w.index_pruned, Ordering::Relaxed);
+        self.triggers_pruned
+            .store(w.triggers_pruned, Ordering::Relaxed);
+        self.pool_hits.store(w.pool_hits, Ordering::Relaxed);
+        self.pool_misses.store(w.pool_misses, Ordering::Relaxed);
     }
 
     fn stats(&self) -> SystemStats {
@@ -428,6 +445,11 @@ impl ShardMonitor {
                 rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
                 nodes_expanded: self.nodes_expanded.load(Ordering::Relaxed),
                 subsets_tested: self.subsets_tested.load(Ordering::Relaxed),
+                candidates_scanned: self.candidates_scanned.load(Ordering::Relaxed),
+                index_pruned: self.index_pruned.load(Ordering::Relaxed),
+                triggers_pruned: self.triggers_pruned.load(Ordering::Relaxed),
+                pool_hits: self.pool_hits.load(Ordering::Relaxed),
+                pool_misses: self.pool_misses.load(Ordering::Relaxed),
             },
             // log-surface gauges are coordinator-wide, not per shard;
             // ShardedCoordinator::stats sets them after merging
@@ -1108,9 +1130,19 @@ impl ShardedCoordinator {
         let mut answered = Vec::new();
         for (shard, qids) in moves {
             let mut state = self.shard_lock(shard);
+            // Index-first pruning: a moved query whose candidate index
+            // and committed probe both come up empty cannot match in
+            // its new shard either — skip it without a db read lock.
+            // Recomputed after every fired match, so skips are exactly
+            // the try_match calls that would return None.
+            let mut skip = self.engine.prunable_triggers(&state);
             for qid in qids {
                 if state.registry.get(qid).is_none() {
                     continue; // answered earlier in this loop or moved on
+                }
+                if skip.contains(&qid) {
+                    state.stats.match_work.triggers_pruned += 1;
+                    continue;
                 }
                 if let Ok(Some(gm)) = self.engine.try_match(&mut state, qid) {
                     let fresh: Vec<(String, Tuple)> = gm.all_answers().cloned().collect();
@@ -1120,6 +1152,7 @@ impl ShardedCoordinator {
                         .is_ok()
                     {
                         let _ = self.engine.cascade(&mut state, fresh, hook_ref(hook));
+                        skip = self.engine.prunable_triggers(&state);
                     } // on Err the group was reinstated and stays pending
                 }
             }
@@ -1376,17 +1409,72 @@ impl ShardedCoordinator {
     }
 
     /// Retries matching for every pending query on every shard (useful
-    /// after database updates). Returns all notifications produced.
+    /// after database updates, and the workhorse of the recovery
+    /// re-match sweep). Shards hold disjoint pending sets behind
+    /// separate locks, so the sweep fans out across the worker pool —
+    /// one task per shard, claimed off a shared cursor — and each
+    /// worker runs the index-first pruned [`Engine::retry_all`] on its
+    /// shard. Results are reassembled in shard order, so notifications
+    /// and error propagation are identical to the serial sweep.
     pub fn retry_all(&self) -> CoreResult<Vec<MatchNotification>> {
         let hook = self.apply_hook.lock().clone();
-        let mut notifications = Vec::new();
-        let mut answered = Vec::new();
-        for shard in 0..self.shards.len() {
-            let mut state = self.shard_lock(shard);
-            notifications.extend(self.engine.retry_all(&mut state, hook_ref(&hook))?);
-            answered.append(&mut state.answered_log);
+        let shard_count = self.shards.len();
+        let worker_count = self.workers.min(shard_count).max(1);
+
+        let mut per_shard: Vec<Option<CoreResult<Vec<MatchNotification>>>> = Vec::new();
+        per_shard.resize_with(shard_count, || None);
+        let mut answered: Vec<QueryId> = Vec::new();
+
+        let cursor = AtomicU64::new(0);
+        let worker = |results: &mut Vec<(usize, CoreResult<Vec<MatchNotification>>)>,
+                      log: &mut Vec<QueryId>| {
+            loop {
+                let shard = cursor.fetch_add(1, Ordering::Relaxed) as usize;
+                if shard >= shard_count {
+                    break;
+                }
+                let mut state = self.shard_lock(shard);
+                let r = self.engine.retry_all(&mut state, hook_ref(&hook));
+                log.append(&mut state.answered_log);
+                results.push((shard, r));
+            }
+        };
+        if worker_count <= 1 {
+            let mut results = Vec::new();
+            worker(&mut results, &mut answered);
+            for (shard, r) in results {
+                per_shard[shard] = Some(r);
+            }
+        } else {
+            let collected = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..worker_count)
+                    .map(|_| {
+                        let worker = &worker;
+                        scope.spawn(move || {
+                            let (mut r, mut l) = (Vec::new(), Vec::new());
+                            worker(&mut r, &mut l);
+                            (r, l)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("retry worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for (results, mut log) in collected {
+                answered.append(&mut log);
+                for (shard, r) in results {
+                    per_shard[shard] = Some(r);
+                }
+            }
         }
         self.retire(answered);
+
+        let mut notifications = Vec::new();
+        for slot in per_shard {
+            notifications.extend(slot.expect("every shard was swept")?);
+        }
         Ok(notifications)
     }
 

@@ -2,15 +2,41 @@
 //!
 //! The matcher unifies answer-constraint atoms against candidate head
 //! atoms while accumulating a [`Subst`]: a union-find over variables
-//! where each class may carry at most one constant value. The structure
-//! is cloned at search branch points (sizes stay small: a coordination
-//! group touches tens of variables, not thousands).
+//! where each class may carry at most one constant value. Instead of
+//! cloning the structure at search branch points, the matcher takes a
+//! [`Subst::mark`] before speculative unifications and rolls back with
+//! [`Subst::undo_to`] on backtrack — every mutation is recorded in an
+//! undo journal, so a branch costs a few journal entries rather than a
+//! full copy of both maps.
 
 use std::collections::HashMap;
 
 use youtopia_storage::Value;
 
 use crate::ir::{Atom, Term, Var};
+
+/// One reversible mutation, recorded by `bind`/`union` so `undo_to` can
+/// restore the exact prior state.
+#[derive(Debug, Clone)]
+enum UndoEntry {
+    /// `bind` inserted a fresh constant at this root.
+    Bound(Var),
+    /// `union` linked `ra` under `rb`; both classes' prior constants
+    /// are restored on rollback.
+    Linked {
+        ra: Var,
+        va: Option<Value>,
+        rb: Var,
+        vb: Option<Value>,
+    },
+}
+
+/// A rollback point returned by [`Subst::mark`]; consumed by
+/// [`Subst::undo_to`]. Marks are positions in the undo journal and must
+/// be unwound innermost-first (LIFO), like the search stack that
+/// produced them.
+#[derive(Debug, Clone, Copy)]
+pub struct SubstMark(usize);
 
 /// A substitution: equivalence classes of variables, each optionally
 /// bound to a constant.
@@ -20,12 +46,59 @@ pub struct Subst {
     parent: HashMap<Var, Var>,
     /// Constant binding of a *root* variable.
     value: HashMap<Var, Value>,
+    /// Reversal log for `undo_to`.
+    journal: Vec<UndoEntry>,
 }
 
 impl Subst {
     /// The empty substitution.
     pub fn new() -> Subst {
         Subst::default()
+    }
+
+    /// A rollback point: everything recorded after it can be unwound
+    /// with [`Subst::undo_to`].
+    pub fn mark(&self) -> SubstMark {
+        SubstMark(self.journal.len())
+    }
+
+    /// Rolls the substitution back to `mark`, reversing every
+    /// `bind`/`union` performed since. Marks must be unwound LIFO.
+    pub fn undo_to(&mut self, mark: SubstMark) {
+        while self.journal.len() > mark.0 {
+            match self.journal.pop().expect("journal length checked") {
+                UndoEntry::Bound(root) => {
+                    self.value.remove(&root);
+                }
+                UndoEntry::Linked { ra, va, rb, vb } => {
+                    self.parent.remove(&ra);
+                    match va {
+                        Some(v) => {
+                            self.value.insert(ra, v);
+                        }
+                        None => {
+                            self.value.remove(&ra);
+                        }
+                    }
+                    match vb {
+                        Some(v) => {
+                            self.value.insert(rb, v);
+                        }
+                        None => {
+                            self.value.remove(&rb);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Empties the substitution for pooled reuse, retaining the maps'
+    /// allocated capacity.
+    pub fn reset(&mut self) {
+        self.parent.clear();
+        self.value.clear();
+        self.journal.clear();
     }
 
     /// Finds the root of `v`'s equivalence class (path-compressing
@@ -70,7 +143,8 @@ impl Subst {
         match self.value.get(&root) {
             Some(existing) => existing.sql_eq(&value) || existing == &value,
             None => {
-                self.value.insert(root, value);
+                self.value.insert(root.clone(), value);
+                self.journal.push(UndoEntry::Bound(root));
                 true
             }
         }
@@ -91,12 +165,13 @@ impl Subst {
             (va, vb) => {
                 // rb becomes the root of the merged class
                 self.parent.insert(ra.clone(), rb.clone());
-                if let Some(x) = va.or(vb) {
-                    self.value.insert(rb, x);
+                if let Some(x) = va.clone().or(vb.clone()) {
+                    self.value.insert(rb.clone(), x);
                 } else {
                     self.value.remove(&rb);
                 }
                 self.value.remove(&ra);
+                self.journal.push(UndoEntry::Linked { ra, va, rb, vb });
                 true
             }
         }
@@ -300,6 +375,66 @@ mod tests {
         s.bind(&v("y"), Value::Int(2));
         assert!(snapshot.lookup(&v("y")).is_none());
         assert_eq!(snapshot.lookup(&v("x")), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn undo_restores_bind_and_union() {
+        let mut s = Subst::new();
+        assert!(s.bind(&v("x"), Value::Int(1)));
+        let mark = s.mark();
+        assert!(s.bind(&v("y"), Value::Int(2)));
+        assert!(s.union(&v("x"), &v("z")));
+        assert!(s.union(&v("z"), &v("w")));
+        assert_eq!(s.lookup(&v("w")), Some(&Value::Int(1)));
+        s.undo_to(mark);
+        // everything after the mark is gone...
+        assert!(s.lookup(&v("y")).is_none());
+        assert_ne!(s.root(&v("x")), s.root(&v("z")));
+        assert_ne!(s.root(&v("z")), s.root(&v("w")));
+        // ...and everything before it survives
+        assert_eq!(s.lookup(&v("x")), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn undo_restores_union_carried_values() {
+        // union moves `ra`'s constant onto `rb`; rollback must move it
+        // back without leaking the value onto the other class.
+        let mut s = Subst::new();
+        assert!(s.bind(&v("a"), Value::from("Paris")));
+        let mark = s.mark();
+        assert!(s.union(&v("a"), &v("b")));
+        assert_eq!(s.lookup(&v("b")), Some(&Value::from("Paris")));
+        s.undo_to(mark);
+        assert_eq!(s.lookup(&v("a")), Some(&Value::from("Paris")));
+        assert!(s.lookup(&v("b")).is_none());
+    }
+
+    #[test]
+    fn nested_marks_unwind_lifo() {
+        let mut s = Subst::new();
+        let outer = s.mark();
+        assert!(s.bind(&v("x"), Value::Int(1)));
+        let inner = s.mark();
+        assert!(s.bind(&v("y"), Value::Int(2)));
+        s.undo_to(inner);
+        assert!(s.lookup(&v("y")).is_none());
+        assert_eq!(s.lookup(&v("x")), Some(&Value::Int(1)));
+        // a failed bind journals nothing, so undo stays exact
+        assert!(!s.bind(&v("x"), Value::Int(9)));
+        s.undo_to(outer);
+        assert!(s.lookup(&v("x")).is_none());
+        assert_eq!(s.tracked_vars(), 0);
+    }
+
+    #[test]
+    fn reset_clears_for_reuse() {
+        let mut s = Subst::new();
+        s.bind(&v("x"), Value::Int(1));
+        s.union(&v("x"), &v("y"));
+        s.reset();
+        assert!(s.lookup(&v("x")).is_none());
+        assert_eq!(s.tracked_vars(), 0);
+        assert_eq!(s.mark().0, 0);
     }
 
     #[test]
