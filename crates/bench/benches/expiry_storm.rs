@@ -40,6 +40,7 @@ fn config() -> ShardedConfig {
         shards: 4,
         workers: 0,
         auto_checkpoint_bytes: 0,
+        fair_drain: false,
         base,
     }
 }

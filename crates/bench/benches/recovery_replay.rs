@@ -33,6 +33,7 @@ fn config() -> ShardedConfig {
         shards: SHARDS,
         workers: 0,
         auto_checkpoint_bytes: 0,
+        fair_drain: false,
         base,
     }
 }

@@ -39,6 +39,7 @@ use crate::lifecycle::{Clock, DeadlineHost, SubmitOptions, SweepSignal, SystemCl
 use crate::matcher::{GroupMatch, MatchConfig, MatchStats};
 use crate::registry::Pending;
 use crate::safety::{check_safety, SafetyMode};
+use crate::tenant::{TenantOutcome, TenantRegistry};
 
 /// Which matching algorithm the coordinator runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -85,6 +86,9 @@ pub struct SystemStats {
     pub submitted: u64,
     /// Queries rejected by the safety analysis.
     pub rejected_unsafe: u64,
+    /// Submissions rejected by a tenant quota
+    /// ([`crate::TenantRegistry`]) before registration.
+    pub rejected_quota: u64,
     /// Queries answered so far.
     pub answered: u64,
     /// Groups matched so far.
@@ -126,6 +130,7 @@ impl SystemStats {
     pub fn merge(&mut self, other: &SystemStats) {
         self.submitted += other.submitted;
         self.rejected_unsafe += other.rejected_unsafe;
+        self.rejected_quota += other.rejected_quota;
         self.answered += other.answered;
         self.groups_matched += other.groups_matched;
         self.match_attempts += other.match_attempts;
@@ -267,6 +272,9 @@ pub struct Coordinator {
     /// query registers, so a [`crate::DeadlineSweeper`] re-derives its
     /// wakeup time.
     sweep_signal: Arc<SweepSignal>,
+    /// Optional per-tenant admission control, consulted on every
+    /// submission before a query id is allocated.
+    tenants: Mutex<Option<Arc<TenantRegistry>>>,
 }
 
 impl Coordinator {
@@ -280,6 +288,7 @@ impl Coordinator {
                 apply_hook: None,
             }),
             sweep_signal: Arc::new(SweepSignal::new()),
+            tenants: Mutex::new(None),
             engine: Engine { db, config },
         }
     }
@@ -303,6 +312,26 @@ impl Coordinator {
     /// transaction that inserts a match's answer tuples.
     pub fn set_apply_hook(&self, hook: ApplyHook) {
         self.state.lock().apply_hook = Some(hook);
+    }
+
+    /// Installs per-tenant admission control: every later submission is
+    /// checked against its tenant's quotas before registration, and
+    /// every termination updates the tenant's ledger. Queries already
+    /// pending (e.g. after [`Coordinator::recover`]) are adopted into
+    /// their tenants' in-flight counts without quota checks.
+    pub fn set_tenant_registry(&self, registry: Arc<TenantRegistry>) {
+        {
+            let state = self.state.lock();
+            for p in state.shard.registry.iter() {
+                registry.adopt(&p.owner, p.id, p.deadline);
+            }
+        }
+        *self.tenants.lock() = Some(registry);
+    }
+
+    /// The installed tenant registry, if any.
+    pub fn tenant_registry(&self) -> Option<Arc<TenantRegistry>> {
+        self.tenants.lock().clone()
     }
 
     /// Submits an entangled query given as SQL text.
@@ -389,12 +418,27 @@ impl Coordinator {
         opts: SubmitOptions,
         mode: WaitMode,
     ) -> CoreResult<Arrival> {
+        let tenants = self.tenants.lock().clone();
         let result = {
             let state = &mut *self.state.lock();
             if let Err(e) = check_safety(&query, self.engine.config.safety) {
                 state.shard.stats.rejected_unsafe += 1;
                 return Err(e);
             }
+            // admission control runs before the query id is allocated
+            // so a quota rejection leaves no trace in the id space or
+            // the log; the reservation it makes is released (as
+            // `aborted`) if the registration never becomes durable
+            let admission = match &tenants {
+                Some(reg) => match reg.admit(owner, opts.deadline) {
+                    Ok(admission) => Some(admission),
+                    Err(e) => {
+                        state.shard.stats.rejected_quota += 1;
+                        return Err(e);
+                    }
+                },
+                None => None,
+            };
             let qid = QueryId(state.next_id);
             state.next_id += 1;
             state.seq += 1;
@@ -419,6 +463,10 @@ impl Coordinator {
                 seq: state.seq,
                 deadline: opts.deadline,
             };
+            // the registration is durable: bind the reservation to its id
+            if let (Some(reg), Some(admission)) = (&tenants, admission) {
+                reg.track(admission, qid);
+            }
             let hook = state
                 .apply_hook
                 .as_ref()
@@ -426,6 +474,11 @@ impl Coordinator {
             let result = self
                 .engine
                 .process_arrival_mode(&mut state.shard, pending, hook, mode);
+            if let Some(reg) = &tenants {
+                // the answered log carries every member of any group the
+                // arrival completed (the trigger included)
+                reg.finish_all(&state.shard.answered_log, TenantOutcome::Answered);
+            }
             // the answered log only feeds the sharded coordinator's router
             state.shard.answered_log.clear();
             result
@@ -457,6 +510,10 @@ impl Coordinator {
             // a parked future must resolve, not hang forever
             waiter.resolve_terminal(CoordinationOutcome::Cancelled);
         }
+        drop(state);
+        if let Some(reg) = self.tenants.lock().clone() {
+            reg.finish(qid, TenantOutcome::Cancelled);
+        }
         Ok(())
     }
 
@@ -473,14 +530,16 @@ impl Coordinator {
             .filter(|p| p.owner == owner)
             .map(|p| p.id)
             .collect();
-        self.engine
-            .retire_ids(
-                &mut state.shard,
-                &victims,
-                |qid| CoordEvent::QueryCancelled { qid },
-                &CoordinationOutcome::Cancelled,
-            )
-            .len()
+        let cancelled = self.engine.retire_ids(
+            &mut state.shard,
+            &victims,
+            |qid| CoordEvent::QueryCancelled { qid },
+            &CoordinationOutcome::Cancelled,
+        );
+        if let Some(reg) = self.tenants.lock().clone() {
+            reg.finish_all(&cancelled, TenantOutcome::Cancelled);
+        }
+        cancelled.len()
     }
 
     /// Expires pending queries whose submission sequence number is
@@ -505,6 +564,9 @@ impl Coordinator {
             &CoordinationOutcome::Expired,
         );
         state.shard.stats.expired += expired.len() as u64;
+        if let Some(reg) = self.tenants.lock().clone() {
+            reg.finish_all(&expired, TenantOutcome::Expired);
+        }
         expired
     }
 
@@ -525,6 +587,9 @@ impl Coordinator {
             &CoordinationOutcome::Expired,
         );
         state.shard.stats.expired += expired.len() as u64;
+        if let Some(reg) = self.tenants.lock().clone() {
+            reg.finish_all(&expired, TenantOutcome::Expired);
+        }
         expired
     }
 
@@ -683,6 +748,9 @@ impl Coordinator {
             .as_ref()
             .map(|h| h.as_ref() as &dyn Fn(&mut Transaction, &GroupMatch) -> StorageResult<()>);
         let result = self.engine.retry_all(&mut state.shard, hook);
+        if let Some(reg) = self.tenants.lock().clone() {
+            reg.finish_all(&state.shard.answered_log, TenantOutcome::Answered);
+        }
         state.shard.answered_log.clear();
         result
     }

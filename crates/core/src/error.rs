@@ -26,6 +26,15 @@ pub enum CoreError {
     /// The referenced pending query does not exist (already answered,
     /// cancelled, or never registered).
     UnknownQuery(u64),
+    /// The submission was rejected by the tenant's admission quotas
+    /// before registration; the strings name the tenant and the quota
+    /// that tripped.
+    QuotaExceeded {
+        /// Tenant whose quota rejected the submission.
+        tenant: String,
+        /// Which quota tripped (`in-flight`, `standing`, `rate`).
+        reason: String,
+    },
     /// An internal invariant was violated (a bug).
     Internal(String),
 }
@@ -45,6 +54,9 @@ impl fmt::Display for CoreError {
             CoreError::Storage(e) => write!(f, "storage error: {e}"),
             CoreError::Exec(e) => write!(f, "execution error: {e}"),
             CoreError::UnknownQuery(id) => write!(f, "unknown pending query q{id}"),
+            CoreError::QuotaExceeded { tenant, reason } => {
+                write!(f, "tenant '{tenant}' quota exceeded: {reason}")
+            }
             CoreError::Internal(msg) => write!(f, "internal coordination error: {msg}"),
         }
     }
@@ -82,6 +94,14 @@ mod tests {
             CoreError::Unsafe("variable 'x' is not range-restricted".into())
                 .to_string()
                 .contains("range-restricted")
+        );
+        assert_eq!(
+            CoreError::QuotaExceeded {
+                tenant: "acme".into(),
+                reason: "in-flight limit 4 reached".into(),
+            }
+            .to_string(),
+            "tenant 'acme' quota exceeded: in-flight limit 4 reached"
         );
     }
 

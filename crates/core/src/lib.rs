@@ -64,6 +64,7 @@ pub mod matcher;
 pub mod registry;
 pub mod safety;
 pub mod shard;
+pub mod tenant;
 pub mod unify;
 
 pub use compile::{compile, compile_sql};
@@ -82,4 +83,5 @@ pub use matcher::{GroupMatch, MatchConfig, MatchStats};
 pub use registry::{CandidateScan, HeadRef, Pending, Registry};
 pub use safety::{check_safety, is_self_contained, SafetyMode};
 pub use shard::{BatchOutcome, ShardedConfig, ShardedCoordinator};
+pub use tenant::{tenant_of, TenantOutcome, TenantQuotas, TenantRegistry, TenantStats};
 pub use unify::Subst;

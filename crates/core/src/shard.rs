@@ -100,6 +100,7 @@ use crate::lifecycle::{Clock, DeadlineHost, SubmitOptions, SweepSignal, SystemCl
 use crate::matcher::{GroupMatch, MatchStats};
 use crate::registry::Pending;
 use crate::safety::check_safety;
+use crate::tenant::{tenant_of, Admission, TenantOutcome, TenantRegistry};
 
 /// Apply hook shared by every shard (applies can run concurrently on
 /// different shards, hence `Sync` on top of the serial hook's bounds).
@@ -121,6 +122,15 @@ pub struct ShardedConfig {
     /// the group commit that crossed the line. `0` (the default)
     /// disables auto-checkpointing; non-durable databases ignore it.
     pub auto_checkpoint_bytes: u64,
+    /// Fair tenant interleaving: when set, each batch drain reorders
+    /// its bucket round-robin across tenants ([`tenant_of`] on the
+    /// owner) in first-appearance order, so one tenant's storm cannot
+    /// monopolize a drain quantum. Off by default — with it off the
+    /// drain order (and thus the match outcome under a fixed seed) is
+    /// exactly the submission order, which the serial-equivalence
+    /// properties pin. Workloads where every owner is its own tenant
+    /// are order-identical either way.
+    pub fair_drain: bool,
     /// Per-shard coordinator behavior; `base.seed` is xored with the
     /// shard id to seed each shard's RNG.
     pub base: CoordinatorConfig,
@@ -132,6 +142,7 @@ impl Default for ShardedConfig {
             shards: 4,
             workers: 0,
             auto_checkpoint_bytes: 0,
+            fair_drain: false,
             base: CoordinatorConfig::default(),
         }
     }
@@ -140,8 +151,9 @@ impl Default for ShardedConfig {
 /// Per-request outcome of a batch submission.
 pub type BatchOutcome = CoreResult<Submission>;
 
-/// One shard's drain bucket: `(input index, prepared pending query)`.
-type Bucket = Vec<(usize, Pending)>;
+/// One shard's drain bucket: `(input index, prepared pending query,
+/// tenant admission to bind once the registration is durable)`.
+type Bucket = Vec<(usize, Pending, Option<Admission>)>;
 
 /// What a drain hands back: per-slot outcomes, the answered log, and
 /// the ids that may still be pending (for placement healing).
@@ -150,6 +162,34 @@ type DrainResult = (
     Vec<QueryId>,
     Vec<QueryId>,
 );
+
+/// Reorders a drain bucket round-robin across tenants, tenants ordered
+/// by first appearance and each tenant's own entries kept in
+/// submission order ([`ShardedConfig::fair_drain`]). A bucket whose
+/// owners are all distinct tenants comes back unchanged.
+fn fair_interleave(bucket: Bucket) -> Bucket {
+    let mut queues: Vec<std::collections::VecDeque<(usize, Pending, Option<Admission>)>> =
+        Vec::new();
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let total = bucket.len();
+    for entry in bucket {
+        let tenant = tenant_of(&entry.1.owner).to_string();
+        let qi = *index.entry(tenant).or_insert_with(|| {
+            queues.push(std::collections::VecDeque::new());
+            queues.len() - 1
+        });
+        queues[qi].push_back(entry);
+    }
+    let mut out = Vec::with_capacity(total);
+    while out.len() < total {
+        for queue in &mut queues {
+            if let Some(entry) = queue.pop_front() {
+                out.push(entry);
+            }
+        }
+    }
+    out
+}
 
 // ------------------------------------------------------------------ //
 // Router: union-find over answer-relation signatures
@@ -431,6 +471,7 @@ impl ShardMonitor {
         SystemStats {
             submitted: self.submitted.load(Ordering::Relaxed),
             rejected_unsafe: 0, // tracked globally, not per shard
+            rejected_quota: 0,  // tracked globally, not per shard
             answered: self.answered.load(Ordering::Relaxed),
             expired: self.expired.load(Ordering::Relaxed),
             groups_matched: self.groups_matched.load(Ordering::Relaxed),
@@ -512,7 +553,21 @@ pub struct ShardedCoordinator {
     next_id: AtomicU64,
     seq: AtomicU64,
     rejected_unsafe: AtomicU64,
+    rejected_quota: AtomicU64,
     apply_hook: Mutex<Option<SharedApplyHook>>,
+    /// Optional per-tenant admission control, consulted on every
+    /// submission path before a query id is allocated.
+    tenants: Mutex<Option<Arc<TenantRegistry>>>,
+    /// Serializes whole-owner reattaches. Each shard's swap is atomic
+    /// under its own lock, but a reattach spans every shard; without
+    /// the gate two concurrent reattaches for one owner interleave
+    /// across shards and both come back holding live waiters for
+    /// disjoint subsets. Held before any shard lock (lock order:
+    /// gate → shard(i)).
+    reattach_gate: Mutex<()>,
+    /// Round-robin tenant interleaving in batch drains
+    /// ([`ShardedConfig::fair_drain`]).
+    fair_drain: bool,
     workers: usize,
     /// The coordinator clock (checkpoint age, recovery expiry); tests
     /// inject a [`crate::MockClock`] via
@@ -574,7 +629,11 @@ impl ShardedCoordinator {
             next_id: AtomicU64::new(1),
             seq: AtomicU64::new(0),
             rejected_unsafe: AtomicU64::new(0),
+            rejected_quota: AtomicU64::new(0),
             apply_hook: Mutex::new(None),
+            tenants: Mutex::new(None),
+            reattach_gate: Mutex::new(()),
+            fair_drain: config.fair_drain,
             workers,
             clock,
             sweep_signal: Arc::new(SweepSignal::new()),
@@ -624,6 +683,27 @@ impl ShardedCoordinator {
     /// shards and run inside each match's storage transaction.
     pub fn set_apply_hook(&self, hook: SharedApplyHook) {
         *self.apply_hook.lock() = Some(hook);
+    }
+
+    /// Installs per-tenant admission control: every later submission is
+    /// checked against its tenant's quotas before a query id is
+    /// allocated, and every termination updates the tenant's ledger.
+    /// Queries already pending (e.g. after
+    /// [`ShardedCoordinator::recover`]) are adopted into their tenants'
+    /// in-flight counts without quota checks.
+    pub fn set_tenant_registry(&self, registry: Arc<TenantRegistry>) {
+        for shard in 0..self.shards.len() {
+            let state = self.shard_lock(shard);
+            for p in state.registry.iter() {
+                registry.adopt(&p.owner, p.id, p.deadline);
+            }
+        }
+        *self.tenants.lock() = Some(registry);
+    }
+
+    /// The installed tenant registry, if any.
+    pub fn tenant_registry(&self) -> Option<Arc<TenantRegistry>> {
+        self.tenants.lock().clone()
     }
 
     /// Submits one entangled query given as SQL text.
@@ -724,6 +804,21 @@ impl ShardedCoordinator {
             self.rejected_unsafe.fetch_add(1, Ordering::Relaxed);
             return Err(e);
         }
+        // admission control runs before the query id is allocated so a
+        // quota rejection leaves no trace in the id space, the router
+        // or the log; the reservation is released (as `aborted`) if the
+        // registration never becomes durable
+        let tenants = self.tenants.lock().clone();
+        let admission = match &tenants {
+            Some(reg) => match reg.admit(owner, opts.deadline) {
+                Ok(admission) => Some(admission),
+                Err(e) => {
+                    self.rejected_quota.fetch_add(1, Ordering::Relaxed);
+                    return Err(e);
+                }
+            },
+            None => None,
+        };
         let relations = query.answer_relations();
         let qid = QueryId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
@@ -755,6 +850,11 @@ impl ShardedCoordinator {
             let mut state = self.shard_lock(shard);
             match self.engine.db.log_event(&event) {
                 Ok(()) => {
+                    // the registration is durable: bind the tenant
+                    // reservation to its id
+                    if let (Some(reg), Some(admission)) = (&tenants, admission) {
+                        reg.track(admission, qid);
+                    }
                     let result = self.engine.process_arrival_mode(
                         &mut state,
                         pending,
@@ -765,11 +865,18 @@ impl ShardedCoordinator {
                 }
                 Err(e) => {
                     // never registered: retire the routed-but-unlogged id
-                    // so the router does not leak its membership
+                    // so the router does not leak its membership (the
+                    // still-held admission rolls back on drop below)
                     (Err(CoreError::Storage(e)), vec![qid])
                 }
             }
         };
+        if let Some(reg) = &tenants {
+            // the answered log carries every member of any group this
+            // arrival completed; a qid that was never tracked (the log
+            // failure above) is ignored by the ledger
+            reg.finish_all(&answered, TenantOutcome::Answered);
+        }
         self.retire(answered);
         // heal on Err as well: an apply failure reinstates the query as
         // pending, and a concurrent merge may have re-routed it
@@ -874,10 +981,13 @@ impl ShardedCoordinator {
         let mut outcomes: Vec<Option<CoreResult<Arrival>>> = Vec::with_capacity(requests.len());
         outcomes.resize_with(requests.len(), || None);
 
-        // Phase 1 (no locks): compile outcomes + safety, id allocation
-        // in input order so ids match a serial submission of the batch.
+        // Phase 1 (no locks): compile outcomes + safety + tenant
+        // admission, id allocation in input order so ids match a serial
+        // submission of the batch (admission precedes allocation, like
+        // the single-submit path, so a rejected entry burns no id).
+        let tenants = self.tenants.lock().clone();
         let mut any_deadline = false;
-        let mut accepted: Vec<(usize, Pending, BTreeSet<String>)> = Vec::new();
+        let mut accepted: Vec<(usize, Pending, BTreeSet<String>, Option<Admission>)> = Vec::new();
         for (idx, (owner, compiled, opts)) in requests.into_iter().enumerate() {
             let query = match compiled {
                 Ok(q) => q,
@@ -891,6 +1001,17 @@ impl ShardedCoordinator {
                 outcomes[idx] = Some(Err(e));
                 continue;
             }
+            let admission = match &tenants {
+                Some(reg) => match reg.admit(&owner, opts.deadline) {
+                    Ok(admission) => Some(admission),
+                    Err(e) => {
+                        self.rejected_quota.fetch_add(1, Ordering::Relaxed);
+                        outcomes[idx] = Some(Err(e));
+                        continue;
+                    }
+                },
+                None => None,
+            };
             let relations = query.answer_relations();
             let qid = QueryId(self.next_id.fetch_add(1, Ordering::Relaxed));
             let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
@@ -902,7 +1023,7 @@ impl ShardedCoordinator {
                 seq,
                 deadline: opts.deadline,
             };
-            accepted.push((idx, pending, relations));
+            accepted.push((idx, pending, relations, admission));
         }
 
         // Phase 2 (router lock): union every signature first, then
@@ -910,23 +1031,23 @@ impl ShardedCoordinator {
         // all unions means an intra-batch merge can never strand an
         // earlier entry on a stale shard.
         let hook = self.apply_hook.lock().clone();
-        let mut buckets: Vec<Bucket> = vec![Vec::new(); self.shards.len()];
+        let mut buckets: Vec<Bucket> = (0..self.shards.len()).map(|_| Vec::new()).collect();
         let mut all_moves: HashMap<usize, Vec<QueryId>> = HashMap::new();
         {
             let mut router = self.router.lock();
             let mut routed = Vec::with_capacity(accepted.len());
-            for (idx, pending, relations) in accepted {
+            for (idx, pending, relations, admission) in accepted {
                 let (_, migrations) = router.route(pending.id, &relations);
                 for (shard, mut qids) in self.apply_migrations(&mut router, &migrations) {
                     all_moves.entry(shard).or_default().append(&mut qids);
                 }
-                routed.push((idx, pending));
+                routed.push((idx, pending, admission));
             }
-            for (idx, pending) in routed {
+            for (idx, pending, admission) in routed {
                 let shard = router
                     .shard_of_query(pending.id)
                     .expect("query was routed in this pass");
-                buckets[shard].push((idx, pending));
+                buckets[shard].push((idx, pending, admission));
             }
         }
         self.rematch_moved(all_moves, &hook);
@@ -995,6 +1116,11 @@ impl ShardedCoordinator {
                 still_pending.append(&mut p);
             }
         }
+        if let Some(reg) = &tenants {
+            // every member of any group the batch completed; untracked
+            // ids (log-failure slots) are ignored by the ledger
+            reg.finish_all(&answered, TenantOutcome::Answered);
+        }
         self.retire(answered);
 
         // Phase 4: heal any placement made stale by a concurrent merge.
@@ -1037,12 +1163,21 @@ impl ShardedCoordinator {
         hook: &Option<SharedApplyHook>,
         mode: WaitMode,
     ) -> DrainResult {
+        // Fair tenant interleaving reorders the bucket *before* the log
+        // events are built, so the durable registration order equals
+        // the processing order, exactly as in the unfair drain.
+        let bucket = if self.fair_drain {
+            fair_interleave(bucket)
+        } else {
+            bucket
+        };
+        let tenants = self.tenants.lock().clone();
         let mut state = self.shard_lock(shard);
         // log-before-ack, batch flavor: every registration of the
         // bucket is durable before any of its arrivals is processed
         let events: Vec<CoordEvent> = bucket
             .iter()
-            .map(|(_, p)| CoordEvent::QueryRegistered {
+            .map(|(_, p, _)| CoordEvent::QueryRegistered {
                 owner: p.owner.clone(),
                 sql: p.query.sql.clone(),
                 qid: p.id,
@@ -1053,10 +1188,11 @@ impl ShardedCoordinator {
         if let Err(e) = self.engine.db.log_events(&events) {
             // none were registered: fail every slot and retire the
             // routed-but-unlogged ids from the router (via the
-            // answered log, whose entries the caller purges)
+            // answered log, whose entries the caller purges). The
+            // bucket's admissions roll back as they drop here.
             let mut results = Vec::with_capacity(bucket.len());
             let mut unregistered = Vec::with_capacity(bucket.len());
-            for (idx, pending) in bucket {
+            for (idx, pending, _admission) in bucket {
                 unregistered.push(pending.id);
                 results.push((idx, Err(CoreError::Storage(e.clone()))));
             }
@@ -1064,8 +1200,12 @@ impl ShardedCoordinator {
         }
         let mut results = Vec::with_capacity(bucket.len());
         let mut maybe_pending = Vec::new();
-        for (idx, pending) in bucket {
+        for (idx, pending, admission) in bucket {
             let qid = pending.id;
+            // durably registered: bind the tenant reservation to its id
+            if let (Some(reg), Some(admission)) = (&tenants, admission) {
+                reg.track(admission, qid);
+            }
             let outcome =
                 self.engine
                     .process_arrival_mode(&mut state, pending, hook_ref(hook), mode);
@@ -1158,6 +1298,9 @@ impl ShardedCoordinator {
             }
             answered.append(&mut state.answered_log);
         }
+        if let Some(reg) = self.tenants.lock().clone() {
+            reg.finish_all(&answered, TenantOutcome::Answered);
+        }
         self.retire(answered);
     }
 
@@ -1227,6 +1370,10 @@ impl ShardedCoordinator {
             state.registry.remove(qid);
         }
         router.purge(qid);
+        drop(router);
+        if let Some(reg) = self.tenants.lock().clone() {
+            reg.finish(qid, TenantOutcome::Cancelled);
+        }
         Ok(())
     }
 
@@ -1296,6 +1443,9 @@ impl ShardedCoordinator {
             drop(state);
             victims.extend(expired);
         }
+        if let Some(reg) = self.tenants.lock().clone() {
+            reg.finish_all(&victims, TenantOutcome::Expired);
+        }
         self.retire(victims.clone());
         if !victims.is_empty() {
             self.maybe_auto_checkpoint();
@@ -1342,6 +1492,16 @@ impl ShardedCoordinator {
             drop(state);
             victims.extend(removed);
         }
+        if let Some(reg) = self.tenants.lock().clone() {
+            let tenant_outcome = match &outcome {
+                CoordinationOutcome::Cancelled => Some(TenantOutcome::Cancelled),
+                CoordinationOutcome::Expired => Some(TenantOutcome::Expired),
+                _ => None,
+            };
+            if let Some(tenant_outcome) = tenant_outcome {
+                reg.finish_all(&victims, tenant_outcome);
+            }
+        }
         self.retire(victims.clone());
         victims
     }
@@ -1351,6 +1511,10 @@ impl ShardedCoordinator {
     /// ticket), but the pending queries themselves do. Any previous
     /// ticket for the same query stops receiving notifications.
     pub fn reattach(&self, owner: &str) -> Vec<Ticket> {
+        // gate: see `reattach_gate` — without it two concurrent
+        // reattaches for one owner interleave across shards and both
+        // return live waiters for disjoint subsets
+        let _gate = self.reattach_gate.lock();
         let mut tickets = Vec::new();
         for shard in 0..self.shards.len() {
             let mut state = self.shard_lock(shard);
@@ -1384,6 +1548,9 @@ impl ShardedCoordinator {
     /// it or has already retired the query. Any previous handle for the
     /// same query resolves [`CoordinationOutcome::Superseded`].
     pub fn reattach_async(&self, owner: &str) -> Vec<CoordinationFuture> {
+        // gate: serialize whole-owner reattaches (first-writer-wins —
+        // the loser's entire handle set resolves `Superseded`)
+        let _gate = self.reattach_gate.lock();
         let mut futures = Vec::new();
         for shard in 0..self.shards.len() {
             let mut state = self.shard_lock(shard);
@@ -1469,6 +1636,9 @@ impl ShardedCoordinator {
                 }
             }
         }
+        if let Some(reg) = self.tenants.lock().clone() {
+            reg.finish_all(&answered, TenantOutcome::Answered);
+        }
         self.retire(answered);
 
         let mut notifications = Vec::new();
@@ -1509,6 +1679,7 @@ impl ShardedCoordinator {
             total.merge(&shard.monitor.stats());
         }
         total.rejected_unsafe += self.rejected_unsafe.load(Ordering::Relaxed);
+        total.rejected_quota += self.rejected_quota.load(Ordering::Relaxed);
         total.wal_bytes = self.engine.db.wal_len().unwrap_or(0);
         total.wal_bytes_since_checkpoint = total
             .wal_bytes

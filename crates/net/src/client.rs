@@ -1,0 +1,231 @@
+//! A blocking protocol client — the driver used by the tests, the
+//! benches, and the traffic generators.
+//!
+//! One TCP connection is one session. Requests are correlated by a
+//! client-chosen id; asynchronous `Done` pushes from the server's
+//! event loop (`corr = 0`) arrive interleaved with replies and are
+//! buffered for [`NetClient::next_event`], so callers never have to
+//! reason about interleaving themselves.
+
+use std::collections::VecDeque;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use crate::error::{NetError, NetResult};
+use crate::protocol::{
+    write_frame, ErrorCode, FrameReader, Outcome, ReadEvent, Request, Response, TenantSummary,
+    PROTOCOL_VERSION,
+};
+
+/// How a `Submit` resolved at the server.
+#[derive(Debug)]
+pub enum SubmitOutcome {
+    /// Registered as pending; a push delivered via
+    /// [`NetClient::next_event`] follows on termination.
+    Pending(u64),
+    /// Terminated on arrival (usually answered by completing a group).
+    Done(u64, Outcome),
+}
+
+impl SubmitOutcome {
+    /// The query id in either case.
+    pub fn qid(&self) -> u64 {
+        match self {
+            SubmitOutcome::Pending(qid) | SubmitOutcome::Done(qid, _) => *qid,
+        }
+    }
+}
+
+/// A blocking session over one TCP connection.
+pub struct NetClient {
+    writer: TcpStream,
+    reader: FrameReader<TcpStream>,
+    events: VecDeque<(u64, Outcome)>,
+    next_corr: u64,
+    session: u64,
+    reply_timeout: Duration,
+}
+
+impl NetClient {
+    /// Connects (no handshake yet — follow with [`NetClient::hello`]
+    /// or [`NetClient::resume`]).
+    pub fn connect(addr: impl std::net::ToSocketAddrs) -> NetResult<NetClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(NetClient {
+            writer,
+            reader: FrameReader::new(stream),
+            events: VecDeque::new(),
+            next_corr: 0,
+            session: 0,
+            reply_timeout: Duration::from_secs(10),
+        })
+    }
+
+    /// The session token from the last `Welcome` (0 before handshake).
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// Opens a fresh session for `owner`; returns the session token a
+    /// later [`NetClient::resume`] must present.
+    pub fn hello(&mut self, owner: &str) -> NetResult<u64> {
+        let resp = self.call(&Request::Hello {
+            version: PROTOCOL_VERSION,
+            owner: owner.to_string(),
+        })?;
+        match resp {
+            Response::Welcome { session, .. } => {
+                self.session = session;
+                Ok(session)
+            }
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Resumes `owner`'s session using a previously issued token;
+    /// returns the rotated token and how many pending queries were
+    /// reattached to this connection.
+    pub fn resume(&mut self, owner: &str, token: u64) -> NetResult<(u64, u32)> {
+        let resp = self.call(&Request::Resume {
+            version: PROTOCOL_VERSION,
+            owner: owner.to_string(),
+            session: token,
+        })?;
+        match resp {
+            Response::Welcome {
+                session,
+                reattached,
+            } => {
+                self.session = session;
+                Ok((session, reattached))
+            }
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Submits entangled SQL. `deadline` is absolute milliseconds in
+    /// the server clock's domain; `None` takes the server's
+    /// connection-timeout default.
+    pub fn submit(&mut self, sql: &str, deadline: Option<u64>) -> NetResult<SubmitOutcome> {
+        let corr = self.corr();
+        let resp = self.call(&Request::Submit {
+            corr,
+            deadline,
+            sql: sql.to_string(),
+        })?;
+        match resp {
+            Response::Accepted { qid, .. } => Ok(SubmitOutcome::Pending(qid)),
+            Response::Done { qid, outcome, .. } => Ok(SubmitOutcome::Done(qid, outcome)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Cancels a pending query (the terminal `Cancelled` push still
+    /// arrives via [`NetClient::next_event`]).
+    pub fn cancel(&mut self, qid: u64) -> NetResult<()> {
+        let corr = self.corr();
+        match self.call(&Request::Cancel { corr, qid })? {
+            Response::CancelOk { .. } => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// This session's tenant counters (`None` if the server has no
+    /// ledger entry for the tenant yet).
+    pub fn stats(&mut self) -> NetResult<Option<TenantSummary>> {
+        let corr = self.corr();
+        match self.call(&Request::Stats { corr })? {
+            Response::StatsReply { found, tenant, .. } => Ok(found.then_some(tenant)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Ends the session cleanly; pending queries stay registered for a
+    /// later [`NetClient::resume`].
+    pub fn bye(&mut self) -> NetResult<()> {
+        let corr = self.corr();
+        match self.call(&Request::Bye { corr })? {
+            Response::ByeOk { .. } => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Waits up to `timeout` for the next asynchronous completion push
+    /// (buffered pushes are returned immediately).
+    pub fn next_event(&mut self, timeout: Duration) -> NetResult<Option<(u64, Outcome)>> {
+        if let Some(event) = self.events.pop_front() {
+            return Ok(Some(event));
+        }
+        let started = Instant::now();
+        self.reader
+            .get_ref()
+            .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))?;
+        loop {
+            match self.reader.read_event()? {
+                ReadEvent::Frame(payload) => match Response::decode(&payload)? {
+                    Response::Done { qid, outcome, .. } => return Ok(Some((qid, outcome))),
+                    // a reply should never arrive here (calls are
+                    // strictly request/response), but don't wedge on it
+                    _ => continue,
+                },
+                ReadEvent::Timeout => {
+                    if started.elapsed() >= timeout {
+                        return Ok(None);
+                    }
+                }
+                ReadEvent::Eof => return Err(NetError::Closed),
+            }
+        }
+    }
+
+    fn corr(&mut self) -> u64 {
+        self.next_corr += 1;
+        self.next_corr
+    }
+
+    /// Sends one request and reads frames until its reply, buffering
+    /// any `corr = 0` completion pushes encountered on the way. A
+    /// remote `Error` response becomes [`NetError::Remote`].
+    fn call(&mut self, request: &Request) -> NetResult<Response> {
+        write_frame(&mut self.writer, &request.encode())?;
+        let started = Instant::now();
+        self.reader
+            .get_ref()
+            .set_read_timeout(Some(Duration::from_millis(50)))?;
+        loop {
+            match self.reader.read_event()? {
+                ReadEvent::Frame(payload) => {
+                    let resp = Response::decode(&payload)?;
+                    if let Response::Done {
+                        corr: 0,
+                        qid,
+                        outcome,
+                    } = resp
+                    {
+                        self.events.push_back((qid, outcome));
+                        continue;
+                    }
+                    if let Response::Error { code, message, .. } = resp {
+                        return Err(NetError::Remote { code, message });
+                    }
+                    return Ok(resp);
+                }
+                ReadEvent::Timeout => {
+                    if started.elapsed() >= self.reply_timeout {
+                        return Err(NetError::Frame("timed out waiting for reply".into()));
+                    }
+                }
+                ReadEvent::Eof => return Err(NetError::Closed),
+            }
+        }
+    }
+}
+
+fn unexpected(resp: Response) -> NetError {
+    NetError::Remote {
+        code: ErrorCode::Protocol,
+        message: format!("unexpected response {resp:?}"),
+    }
+}

@@ -1,0 +1,48 @@
+//! Error type shared by the protocol codec, server, and client.
+
+use std::fmt;
+
+use crate::protocol::ErrorCode;
+
+/// Anything that can go wrong on the wire or at the remote end.
+#[derive(Debug)]
+pub enum NetError {
+    /// Transport-level I/O failure.
+    Io(std::io::Error),
+    /// Malformed frame or payload (bad checksum, oversized length,
+    /// unknown tag, truncation, trailing bytes, ...).
+    Frame(String),
+    /// The server answered with a protocol-level `Error` response.
+    Remote {
+        /// Machine-readable error class.
+        code: ErrorCode,
+        /// Human-readable detail from the server.
+        message: String,
+    },
+    /// The peer closed the connection.
+    Closed,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::Frame(msg) => write!(f, "protocol error: {msg}"),
+            NetError::Remote { code, message } => {
+                write!(f, "remote error ({code:?}): {message}")
+            }
+            NetError::Closed => write!(f, "connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> NetError {
+        NetError::Io(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type NetResult<T> = Result<T, NetError>;

@@ -1,0 +1,548 @@
+//! The TCP front-end server.
+//!
+//! One handler thread per connection parses frames and calls the
+//! coordinator's async submission API; **every** in-flight future from
+//! **every** session is driven by a single event-loop thread owning
+//! one [`WaiterSet`] — the session-scale discipline the async PR
+//! established, now behind a socket. Completions are pushed to
+//! whichever live session currently owns the query (`Done` frames with
+//! `corr = 0`); sessions that disconnected without resuming simply
+//! miss the push, and their queries expire under the deadline sweeper
+//! the server spawns.
+//!
+//! ## Tenancy
+//!
+//! The server installs its [`TenantRegistry`] into the coordinator, so
+//! quota checks (max in-flight, standing cap, submit-rate bucket)
+//! happen inside `submit` — before a query id is even allocated — and
+//! surface here as [`ErrorCode::Quota`] replies.
+//!
+//! ## Session tokens
+//!
+//! `Hello` issues a fresh session token per owner; `Resume` must
+//! present the owner's **current** token and is answered with a new
+//! one (tokens rotate on every reconnect, so a stale client cannot
+//! hijack a session that already resumed elsewhere). A successful
+//! resume re-arms the owner's pending queries via
+//! [`ShardedCoordinator::reattach_async`]; handles held by the
+//! superseded session resolve [`CoordinationOutcome::Superseded`].
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use youtopia_core::{
+    tenant_of, Clock, CoordinationFuture, CoordinationOutcome, CoreError, DeadlineHost,
+    DeadlineSweeper, QueryId, ShardedCoordinator, SubmitOptions, TenantRegistry, TenantStats,
+    WaiterSet,
+};
+
+use crate::error::{NetError, NetResult};
+use crate::protocol::{
+    write_frame, ErrorCode, FrameReader, Outcome, ReadEvent, Request, Response, TenantSummary,
+    PROTOCOL_VERSION,
+};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see
+    /// [`NetServer::local_addr`]).
+    pub addr: String,
+    /// Default lifetime of a submission in milliseconds: a `Submit`
+    /// without an explicit deadline gets `now + connection_timeout`,
+    /// so queries stranded by a vanished client always expire.
+    pub connection_timeout_millis: u64,
+    /// Socket read timeout for handler threads (drives how quickly
+    /// they notice shutdown); the default is fine outside tests.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            connection_timeout_millis: 30_000,
+            read_timeout: Duration::from_millis(25),
+        }
+    }
+}
+
+/// The per-session half shared between its handler thread and the
+/// event loop: a serialized writer plus a liveness flag flipped on
+/// disconnect or write failure.
+struct SessionShared {
+    writer: Mutex<TcpStream>,
+    alive: AtomicBool,
+}
+
+impl SessionShared {
+    /// Frames and writes a response; marks the session dead on error.
+    fn send(&self, resp: &Response) {
+        if !self.alive.load(Ordering::Acquire) {
+            return;
+        }
+        let mut writer = self.writer.lock();
+        if write_frame(&mut *writer, &resp.encode()).is_err() {
+            self.alive.store(false, Ordering::Release);
+        }
+    }
+}
+
+/// Messages from handler threads to the event loop.
+enum LoopMsg {
+    /// A session opened (fresh or resumed).
+    Open {
+        session: u64,
+        shared: Arc<SessionShared>,
+    },
+    /// A pending future now owned by `session`.
+    Register {
+        session: u64,
+        future: CoordinationFuture,
+    },
+    /// The session's connection ended (its queries stay registered).
+    Close { session: u64 },
+}
+
+/// Owner → current session token. Tokens rotate on every handshake;
+/// `Resume` must present the latest.
+#[derive(Default)]
+struct Directory {
+    next_session: AtomicU64,
+    current: Mutex<HashMap<String, u64>>,
+}
+
+impl Directory {
+    fn open(&self, owner: &str) -> u64 {
+        let session = self.next_session.fetch_add(1, Ordering::Relaxed) + 1;
+        self.current.lock().insert(owner.to_string(), session);
+        session
+    }
+
+    fn resume(&self, owner: &str, token: u64) -> Option<u64> {
+        let mut current = self.current.lock();
+        match current.get(owner) {
+            Some(&t) if t == token => {
+                let session = self.next_session.fetch_add(1, Ordering::Relaxed) + 1;
+                current.insert(owner.to_string(), session);
+                Some(session)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// The running server. Dropping it (or calling
+/// [`NetServer::shutdown`]) stops the accept loop, the event loop, and
+/// every handler thread.
+pub struct NetServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+    loop_handle: Option<std::thread::JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    _sweeper: DeadlineSweeper,
+}
+
+impl NetServer {
+    /// Binds, installs `tenants` into the coordinator, spawns the
+    /// deadline sweeper (timed by `clock`), the event loop, and the
+    /// accept loop.
+    pub fn spawn(
+        co: Arc<ShardedCoordinator>,
+        tenants: Arc<TenantRegistry>,
+        config: ServerConfig,
+        clock: Arc<dyn Clock>,
+    ) -> NetResult<NetServer> {
+        co.set_tenant_registry(Arc::clone(&tenants));
+        let sweeper =
+            DeadlineSweeper::spawn(Arc::clone(&co) as Arc<dyn DeadlineHost>, Arc::clone(&clock));
+
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let directory = Arc::new(Directory::default());
+        let (tx, rx) = mpsc::channel::<LoopMsg>();
+        let handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+
+        let loop_handle = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("net-event-loop".into())
+                .spawn(move || event_loop(rx, shutdown))
+                .expect("spawn event loop")
+        };
+
+        let accept_handle = {
+            let shutdown = Arc::clone(&shutdown);
+            let handlers = Arc::clone(&handlers);
+            let config = config.clone();
+            std::thread::Builder::new()
+                .name("net-accept".into())
+                .spawn(move || {
+                    while !shutdown.load(Ordering::Acquire) {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                let ctx = HandlerCtx {
+                                    co: Arc::clone(&co),
+                                    tenants: Arc::clone(&tenants),
+                                    clock: Arc::clone(&clock),
+                                    directory: Arc::clone(&directory),
+                                    tx: tx.clone(),
+                                    shutdown: Arc::clone(&shutdown),
+                                    config: config.clone(),
+                                };
+                                let handle = std::thread::Builder::new()
+                                    .name("net-session".into())
+                                    .spawn(move || handle_connection(stream, ctx))
+                                    .expect("spawn session handler");
+                                handlers.lock().push(handle);
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                        }
+                    }
+                })
+                .expect("spawn accept loop")
+        };
+
+        Ok(NetServer {
+            local_addr,
+            shutdown,
+            accept_handle: Some(accept_handle),
+            loop_handle: Some(loop_handle),
+            handlers,
+            _sweeper: sweeper,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, disconnects the event loop, and joins every
+    /// thread the server spawned. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        for h in std::mem::take(&mut *self.handlers.lock()) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.loop_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The single-threaded event loop: owns the one [`WaiterSet`] driving
+/// every in-flight session future, routes completions to the owning
+/// live session, and drops completions whose session is gone.
+fn event_loop(rx: mpsc::Receiver<LoopMsg>, shutdown: Arc<AtomicBool>) {
+    let mut set = WaiterSet::new();
+    let mut sessions: HashMap<u64, Arc<SessionShared>> = HashMap::new();
+    let mut route: HashMap<QueryId, u64> = HashMap::new();
+
+    let deliver = |sessions: &HashMap<u64, Arc<SessionShared>>,
+                   session: u64,
+                   qid: QueryId,
+                   outcome: CoordinationOutcome| {
+        if let Some(shared) = sessions.get(&session) {
+            shared.send(&Response::Done {
+                corr: 0,
+                qid: qid.0,
+                outcome: convert_outcome(outcome),
+            });
+        }
+    };
+
+    loop {
+        // drain control messages first so registrations race ahead of
+        // the harvest
+        loop {
+            match rx.try_recv() {
+                Ok(LoopMsg::Open { session, shared }) => {
+                    sessions.insert(session, shared);
+                }
+                Ok(LoopMsg::Register { session, future }) => {
+                    let qid = future.id();
+                    let prev = route.insert(qid, session);
+                    if let Some(mut old) = set.insert(future) {
+                        // a newer handle displaced the old one (owner
+                        // reattached): the stale handle is already
+                        // terminal — push its outcome (Superseded) to
+                        // the session that used to own the query
+                        if let (Some(outcome), Some(prev_session)) = (old.try_take(), prev) {
+                            if prev_session != session {
+                                deliver(&sessions, prev_session, qid, outcome);
+                            }
+                        }
+                    }
+                }
+                Ok(LoopMsg::Close { session }) => {
+                    sessions.remove(&session);
+                }
+                Err(mpsc::TryRecvError::Empty) => break,
+                Err(mpsc::TryRecvError::Disconnected) => return,
+            }
+        }
+
+        for (qid, outcome) in set.wait_timeout(Duration::from_millis(10)) {
+            if let Some(session) = route.remove(&qid) {
+                deliver(&sessions, session, qid, outcome);
+            }
+        }
+
+        if shutdown.load(Ordering::Acquire) {
+            return;
+        }
+    }
+}
+
+fn convert_outcome(outcome: CoordinationOutcome) -> Outcome {
+    match outcome {
+        CoordinationOutcome::Answered(n) => Outcome::Answered { answers: n.answers },
+        CoordinationOutcome::Cancelled => Outcome::Cancelled,
+        CoordinationOutcome::Expired => Outcome::Expired,
+        CoordinationOutcome::Superseded => Outcome::Superseded,
+    }
+}
+
+fn summarize(stats: &TenantStats) -> TenantSummary {
+    TenantSummary {
+        submitted: stats.submitted,
+        answered: stats.answered,
+        cancelled: stats.cancelled,
+        expired: stats.expired,
+        aborted: stats.aborted,
+        rejected: stats.rejected,
+        in_flight: stats.in_flight as u64,
+        standing: stats.standing as u64,
+    }
+}
+
+fn error_reply(corr: u64, e: &CoreError) -> Response {
+    let code = match e {
+        CoreError::QuotaExceeded { .. } => ErrorCode::Quota,
+        CoreError::UnknownQuery(_) => ErrorCode::UnknownQuery,
+        CoreError::Parse(_)
+        | CoreError::NotEntangled
+        | CoreError::Compile(_)
+        | CoreError::Unsafe(_) => ErrorCode::Rejected,
+        _ => ErrorCode::Internal,
+    };
+    Response::Error {
+        corr,
+        code,
+        message: e.to_string(),
+    }
+}
+
+/// Everything a handler thread needs, bundled to keep the spawn tidy.
+struct HandlerCtx {
+    co: Arc<ShardedCoordinator>,
+    tenants: Arc<TenantRegistry>,
+    clock: Arc<dyn Clock>,
+    directory: Arc<Directory>,
+    tx: mpsc::Sender<LoopMsg>,
+    shutdown: Arc<AtomicBool>,
+    config: ServerConfig,
+}
+
+fn handle_connection(stream: TcpStream, ctx: HandlerCtx) {
+    let _ = stream.set_read_timeout(Some(ctx.config.read_timeout));
+    let Ok(writer) = stream.try_clone() else {
+        return;
+    };
+    let shared = Arc::new(SessionShared {
+        writer: Mutex::new(writer),
+        alive: AtomicBool::new(true),
+    });
+    let mut reader = FrameReader::new(stream);
+
+    // ---- handshake: Hello or Resume ---------------------------------
+    let (owner, session) = loop {
+        if ctx.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match reader.read_event() {
+            Ok(ReadEvent::Frame(payload)) => match Request::decode(&payload) {
+                Ok(Request::Hello { version, owner }) if version == PROTOCOL_VERSION => {
+                    let session = ctx.directory.open(&owner);
+                    let _ = ctx.tx.send(LoopMsg::Open {
+                        session,
+                        shared: Arc::clone(&shared),
+                    });
+                    shared.send(&Response::Welcome {
+                        session,
+                        reattached: 0,
+                    });
+                    break (owner, session);
+                }
+                Ok(Request::Resume {
+                    version,
+                    owner,
+                    session: token,
+                }) if version == PROTOCOL_VERSION => {
+                    let Some(session) = ctx.directory.resume(&owner, token) else {
+                        shared.send(&Response::Error {
+                            corr: 0,
+                            code: ErrorCode::BadSession,
+                            message: format!("stale or unknown session token {token}"),
+                        });
+                        return;
+                    };
+                    let _ = ctx.tx.send(LoopMsg::Open {
+                        session,
+                        shared: Arc::clone(&shared),
+                    });
+                    let futures = ctx.co.reattach_async(&owner);
+                    let reattached = futures.len() as u32;
+                    for future in futures {
+                        let _ = ctx.tx.send(LoopMsg::Register { session, future });
+                    }
+                    shared.send(&Response::Welcome {
+                        session,
+                        reattached,
+                    });
+                    break (owner, session);
+                }
+                Ok(Request::Hello { .. }) | Ok(Request::Resume { .. }) => {
+                    shared.send(&Response::Error {
+                        corr: 0,
+                        code: ErrorCode::Protocol,
+                        message: format!("unsupported protocol version (want {PROTOCOL_VERSION})"),
+                    });
+                    return;
+                }
+                Ok(_) => {
+                    shared.send(&Response::Error {
+                        corr: 0,
+                        code: ErrorCode::Protocol,
+                        message: "handshake required: send Hello or Resume first".into(),
+                    });
+                    return;
+                }
+                Err(e) => {
+                    shared.send(&Response::Error {
+                        corr: 0,
+                        code: ErrorCode::Protocol,
+                        message: e.to_string(),
+                    });
+                    return;
+                }
+            },
+            Ok(ReadEvent::Timeout) => continue,
+            Ok(ReadEvent::Eof) | Err(_) => return,
+        }
+    };
+
+    // ---- steady state ------------------------------------------------
+    loop {
+        if ctx.shutdown.load(Ordering::Acquire) || !shared.alive.load(Ordering::Acquire) {
+            break;
+        }
+        let payload = match reader.read_event() {
+            Ok(ReadEvent::Frame(payload)) => payload,
+            Ok(ReadEvent::Timeout) => continue,
+            Ok(ReadEvent::Eof) => break,
+            Err(NetError::Frame(msg)) => {
+                shared.send(&Response::Error {
+                    corr: 0,
+                    code: ErrorCode::Protocol,
+                    message: msg,
+                });
+                break;
+            }
+            Err(_) => break,
+        };
+        let request = match Request::decode(&payload) {
+            Ok(request) => request,
+            Err(e) => {
+                shared.send(&Response::Error {
+                    corr: 0,
+                    code: ErrorCode::Protocol,
+                    message: e.to_string(),
+                });
+                break;
+            }
+        };
+        match request {
+            Request::Submit {
+                corr,
+                deadline,
+                sql,
+            } => {
+                let deadline = deadline.unwrap_or_else(|| {
+                    ctx.clock.now_millis() + ctx.config.connection_timeout_millis
+                });
+                let opts = SubmitOptions::with_deadline(deadline);
+                match ctx.co.submit_sql_async_with(&owner, &sql, opts) {
+                    Ok(mut future) => {
+                        let qid = future.id();
+                        if let Some(outcome) = future.try_take() {
+                            // answered on arrival: reply directly, no
+                            // event-loop round trip
+                            shared.send(&Response::Done {
+                                corr,
+                                qid: qid.0,
+                                outcome: convert_outcome(outcome),
+                            });
+                        } else {
+                            let _ = ctx.tx.send(LoopMsg::Register { session, future });
+                            shared.send(&Response::Accepted { corr, qid: qid.0 });
+                        }
+                    }
+                    Err(e) => shared.send(&error_reply(corr, &e)),
+                }
+            }
+            Request::Cancel { corr, qid } => match ctx.co.cancel(QueryId(qid)) {
+                Ok(()) => shared.send(&Response::CancelOk { corr }),
+                Err(e) => shared.send(&error_reply(corr, &e)),
+            },
+            Request::Stats { corr } => {
+                let stats = ctx.tenants.tenant_stats(tenant_of(&owner));
+                shared.send(&Response::StatsReply {
+                    corr,
+                    found: stats.is_some(),
+                    tenant: stats.as_ref().map(summarize).unwrap_or_default(),
+                });
+            }
+            Request::Bye { corr } => {
+                shared.send(&Response::ByeOk { corr });
+                break;
+            }
+            Request::Hello { .. } | Request::Resume { .. } => {
+                shared.send(&Response::Error {
+                    corr: 0,
+                    code: ErrorCode::Protocol,
+                    message: "session already established".into(),
+                });
+                break;
+            }
+        }
+    }
+
+    let _ = shared.writer.lock().flush();
+    shared.alive.store(false, Ordering::Release);
+    let _ = ctx.tx.send(LoopMsg::Close { session });
+}

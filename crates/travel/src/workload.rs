@@ -232,6 +232,45 @@ impl WorkloadGen {
             .collect()
     }
 
+    /// `pairs` coordinating pairs all owned by one tenant: owners are
+    /// `{tenant}/p{i}a` / `{tenant}/p{i}b` (the tenant is the prefix
+    /// before the first `/`), spread round-robin over `relations`
+    /// answer relations. Returned interleaved — each pair's first half
+    /// directly followed by its closer — so a driver can time
+    /// per-pair completion latency. The building block of the
+    /// multi-tenant fairness and noisy-neighbor scenarios.
+    pub fn tenant_pairs(tenant: &str, pairs: usize, dest: &str, relations: usize) -> Vec<Request> {
+        let relations = relations.max(1);
+        let mut out = Vec::with_capacity(pairs * 2);
+        for p in 0..pairs {
+            let rel = format!("Reservation{}", p % relations);
+            let a = format!("{tenant}/p{p}a");
+            let b = format!("{tenant}/p{p}b");
+            out.push(Self::pair_request_on(&rel, &a, &b, dest));
+            out.push(Self::pair_request_on(&rel, &b, &a, dest));
+        }
+        out
+    }
+
+    /// `count` never-matching queries all owned by one tenant (owners
+    /// `{tenant}/s{i}`), spread over `relations` answer relations —
+    /// the flood half of the noisy-neighbor test: a tenant hammering
+    /// the system with standing load that its quota should throttle.
+    pub fn tenant_storm(tenant: &str, count: usize, dest: &str, relations: usize) -> Vec<Request> {
+        let relations = relations.max(1);
+        (0..count)
+            .map(|i| {
+                let rel = format!("Reservation{}", i % relations);
+                Self::pair_request_on(
+                    &rel,
+                    &format!("{tenant}/s{i}"),
+                    &format!("{tenant}/ghost{i}"),
+                    dest,
+                )
+            })
+            .collect()
+    }
+
     /// `count` never-matching queries that each carry an absolute
     /// deadline drawn uniformly from `deadline_range` (clock millis),
     /// spread over `relations` answer relations — the due load of the

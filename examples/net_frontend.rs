@@ -1,0 +1,231 @@
+//! Network front-end smoke: a real TCP server, real sockets, tenants.
+//!
+//! Spins up a [`NetServer`] over a sharded coordinator and exercises
+//! the whole session lifecycle from the outside:
+//!
+//! * coordinating pairs, each side on its own connection, answered
+//!   across the server's single event loop;
+//! * a session that vanishes mid-coordination and **resumes** with its
+//!   token — the reattached connection receives the answer;
+//! * a greedy tenant capped by a per-tenant in-flight quota, its
+//!   overflow rejected with `Quota` errors, its survivors cancelled;
+//! * a final per-tenant ledger check: every submission is accounted
+//!   for (`submitted == answered + cancelled + expired + aborted +
+//!   in_flight`).
+//!
+//! Run with: `cargo run --release --example net_frontend`
+//!
+//! Exits non-zero (panics) on any lost answer, mis-accounted ledger,
+//! or quota leak — CI runs this as the net smoke test.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use youtopia::net::{ErrorCode, NetError, Outcome, SubmitOutcome};
+use youtopia::travel::WorkloadGen;
+use youtopia::{
+    Clock, NetClient, NetServer, ServerConfig, ShardedCoordinator, SystemClock, TenantQuotas,
+    TenantRegistry,
+};
+
+const PAIRS: usize = 32;
+const RELATIONS: usize = 4;
+const GREEDY_CAP: usize = 8;
+const GREEDY_SUBMITS: usize = 40;
+const PUSH_WAIT: Duration = Duration::from_secs(10);
+
+fn pair_sql(relation: &str, me: &str, friend: &str) -> String {
+    WorkloadGen::pair_request_on(relation, me, friend, "Paris").sql
+}
+
+/// Waits until the client either already resolved `qid` at submit time
+/// or receives its completion push; panics on anything but `Answered`.
+fn expect_answered(client: &mut NetClient, submitted: SubmitOutcome) {
+    match submitted {
+        SubmitOutcome::Done(_, Outcome::Answered { .. }) => {}
+        SubmitOutcome::Done(qid, other) => panic!("q{qid} resolved {other:?}, want Answered"),
+        SubmitOutcome::Pending(qid) => loop {
+            match client.next_event(PUSH_WAIT).expect("event stream healthy") {
+                Some((got, Outcome::Answered { .. })) if got == qid => break,
+                Some((got, outcome)) if got == qid => {
+                    panic!("q{qid} resolved {outcome:?}, want Answered")
+                }
+                Some(_) => continue,
+                None => panic!("no completion push for q{qid} within {PUSH_WAIT:?}"),
+            }
+        },
+    }
+}
+
+fn main() {
+    let mut generator = WorkloadGen::new(0xBEEF);
+    let db = generator
+        .build_database(100, &["Paris", "Rome"])
+        .expect("database builds");
+    let co = Arc::new(ShardedCoordinator::new(db));
+    let tenants = TenantRegistry::new(TenantQuotas::default());
+    tenants.set_quotas(
+        "greedy",
+        TenantQuotas {
+            max_in_flight: GREEDY_CAP,
+            ..TenantQuotas::unlimited()
+        },
+    );
+    let clock: Arc<dyn Clock> = Arc::new(SystemClock);
+    let mut server = NetServer::spawn(
+        Arc::clone(&co),
+        Arc::clone(&tenants),
+        ServerConfig::default(),
+        clock,
+    )
+    .expect("server binds");
+    let addr = server.local_addr();
+    println!("serving     : {addr}");
+
+    // ---- phase 1: coordinating pairs over real sockets ------------- //
+    let started = Instant::now();
+    let answered = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    for p in 0..PAIRS {
+        let answered = Arc::clone(&answered);
+        handles.push(std::thread::spawn(move || {
+            let relation = format!("Reservation{}", p % RELATIONS);
+            let a = format!("pairs/p{p}a");
+            let b = format!("pairs/p{p}b");
+            let mut ca = NetClient::connect(addr).expect("connect a");
+            ca.hello(&a).expect("hello a");
+            let first = ca
+                .submit(&pair_sql(&relation, &a, &b), None)
+                .expect("submit a");
+            let mut cb = NetClient::connect(addr).expect("connect b");
+            cb.hello(&b).expect("hello b");
+            let second = cb
+                .submit(&pair_sql(&relation, &b, &a), None)
+                .expect("submit b");
+            expect_answered(&mut cb, second);
+            expect_answered(&mut ca, first);
+            answered.fetch_add(2, Ordering::Relaxed);
+            ca.bye().ok();
+            cb.bye().ok();
+        }));
+    }
+    for handle in handles {
+        handle.join().expect("pair thread");
+    }
+    assert_eq!(answered.load(Ordering::Relaxed), PAIRS * 2);
+    println!(
+        "pairs       : {} answers across {} connections ({:.2?})",
+        PAIRS * 2,
+        PAIRS * 2,
+        started.elapsed()
+    );
+
+    // ---- phase 2: disconnect mid-coordination, resume, answer ------ //
+    let owner = "roam/alice";
+    let mut c1 = NetClient::connect(addr).expect("connect");
+    let token = c1.hello(owner).expect("hello");
+    let pending = c1
+        .submit(&pair_sql("Reservation0", owner, "roam/bob"), None)
+        .expect("submit");
+    let SubmitOutcome::Pending(qid) = pending else {
+        panic!("partnerless query cannot be answered yet");
+    };
+    drop(c1); // vanish without Bye: the query stays registered
+
+    let mut c2 = NetClient::connect(addr).expect("reconnect");
+    let (_token2, reattached) = c2.resume(owner, token).expect("resume");
+    assert_eq!(reattached, 1, "the pending query reattaches");
+    // a stale token (the pre-resume one) must now be refused
+    let mut c3 = NetClient::connect(addr).expect("connect");
+    match c3.resume(owner, token) {
+        Err(NetError::Remote {
+            code: ErrorCode::BadSession,
+            ..
+        }) => {}
+        other => panic!("stale token accepted: {other:?}"),
+    }
+
+    let mut cb = NetClient::connect(addr).expect("connect partner");
+    cb.hello("roam/bob").expect("hello partner");
+    let closer = cb
+        .submit(&pair_sql("Reservation0", "roam/bob", owner), None)
+        .expect("submit closer");
+    expect_answered(&mut cb, closer);
+    expect_answered(&mut c2, SubmitOutcome::Pending(qid));
+    println!("reattach    : q{qid} answered on the resumed session");
+
+    // ---- phase 3: greedy tenant hits its in-flight quota ----------- //
+    let mut greedy = NetClient::connect(addr).expect("connect greedy");
+    greedy.hello("greedy/flood").expect("hello greedy");
+    let mut accepted = Vec::new();
+    let mut rejected = 0usize;
+    for i in 0..GREEDY_SUBMITS {
+        let sql = pair_sql(
+            "Reservation1",
+            &format!("greedy/s{i}"),
+            &format!("ghost{i}"),
+        );
+        match greedy.submit(&sql, None) {
+            Ok(SubmitOutcome::Pending(qid)) => accepted.push(qid),
+            Ok(SubmitOutcome::Done(qid, outcome)) => {
+                panic!("partnerless q{qid} resolved on arrival: {outcome:?}")
+            }
+            Err(NetError::Remote {
+                code: ErrorCode::Quota,
+                ..
+            }) => rejected += 1,
+            Err(e) => panic!("unexpected submit failure: {e}"),
+        }
+    }
+    assert_eq!(accepted.len(), GREEDY_CAP, "quota admits exactly the cap");
+    assert_eq!(rejected, GREEDY_SUBMITS - GREEDY_CAP);
+    for qid in &accepted {
+        greedy.cancel(*qid).expect("cancel accepted");
+    }
+    let mut cancelled = 0usize;
+    while cancelled < accepted.len() {
+        match greedy.next_event(PUSH_WAIT).expect("event stream healthy") {
+            Some((_, Outcome::Cancelled)) => cancelled += 1,
+            Some((qid, outcome)) => panic!("q{qid} resolved {outcome:?}, want Cancelled"),
+            None => panic!("cancellation push missing"),
+        }
+    }
+    let ledger = greedy
+        .stats()
+        .expect("stats reply")
+        .expect("greedy has a ledger");
+    assert_eq!(ledger.submitted, GREEDY_CAP as u64);
+    assert_eq!(ledger.rejected, (GREEDY_SUBMITS - GREEDY_CAP) as u64);
+    assert_eq!(ledger.cancelled, GREEDY_CAP as u64);
+    assert_eq!(ledger.in_flight, 0);
+    greedy.bye().ok();
+    println!(
+        "quota       : {} admitted (cap {}), {} rejected, ledger closed",
+        accepted.len(),
+        GREEDY_CAP,
+        rejected
+    );
+
+    // ---- final: every tenant's ledger balances --------------------- //
+    for stats in tenants.stats() {
+        let accounted = stats.answered
+            + stats.cancelled
+            + stats.expired
+            + stats.aborted
+            + stats.in_flight as u64;
+        assert_eq!(
+            stats.submitted, accounted,
+            "tenant '{}' ledger leaks: submitted {} != accounted {}",
+            stats.tenant, stats.submitted, accounted
+        );
+    }
+    let system = co.stats();
+    assert_eq!(
+        system.rejected_quota,
+        (GREEDY_SUBMITS - GREEDY_CAP) as u64,
+        "system-wide quota-rejection counter"
+    );
+    server.shutdown();
+    println!("net_frontend: OK ({:.2?} total)", started.elapsed());
+}

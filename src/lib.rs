@@ -14,6 +14,7 @@
 //! | [`sql`] | `youtopia-sql` | lexer, parser, AST, printer (entangled dialect) |
 //! | [`exec`] | `youtopia-exec` | expression evaluation + SELECT/DML execution |
 //! | [`core`] | `youtopia-core` | entangled IR, safety, registry, matcher, coordinator |
+//! | [`net`] | `youtopia-net` | the multi-tenant TCP front-end: framed protocol, server, client |
 //! | [`travel`] | `youtopia-travel` | the demo travel application, admin console, workloads |
 //!
 //! See the runnable examples:
@@ -28,6 +29,7 @@
 
 pub use youtopia_core as core;
 pub use youtopia_exec as exec;
+pub use youtopia_net as net;
 pub use youtopia_sql as sql;
 pub use youtopia_storage as storage;
 pub use youtopia_travel as travel;
@@ -36,8 +38,9 @@ pub use youtopia_core::{
     compile_sql, Clock, CoordEvent, CoordinationFuture, CoordinationLog, CoordinationOutcome,
     Coordinator, CoordinatorConfig, DeadlineHost, DeadlineSweeper, GroupMatch, MatchNotification,
     MatcherKind, MockClock, QueryId, RecoveryReport, SafetyMode, ShardedConfig, ShardedCoordinator,
-    Submission, SubmitOptions, SystemClock, WaiterSet,
+    Submission, SubmitOptions, SystemClock, TenantQuotas, TenantRegistry, WaiterSet,
 };
 pub use youtopia_exec::{run_sql, StatementOutcome};
+pub use youtopia_net::{NetClient, NetServer, ServerConfig};
 pub use youtopia_storage::Database;
 pub use youtopia_travel::{AdminConsole, BookingOutcome, FlightPrefs, TravelService, WorkloadGen};

@@ -233,6 +233,7 @@ fn run_sharded_sync(w: &Workload, seed: u64, shards: usize) -> RunResult {
             shards,
             workers: 4,
             auto_checkpoint_bytes: 0,
+            fair_drain: false,
             base: config(seed),
         },
     );
@@ -264,6 +265,7 @@ fn run_sharded_async(w: &Workload, seed: u64, shards: usize) -> RunResult {
             shards,
             workers: 4,
             auto_checkpoint_bytes: 0,
+            fair_drain: false,
             base: config(seed),
         },
     );

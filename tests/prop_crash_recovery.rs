@@ -171,6 +171,7 @@ fn config(seed: u64) -> ShardedConfig {
         shards: 4,
         workers: 2,
         auto_checkpoint_bytes: 0,
+        fair_drain: false,
         base: CoordinatorConfig {
             match_config: MatchConfig {
                 randomize: false,

@@ -1,0 +1,241 @@
+//! Property tests for the network wire protocol (multi-tenant
+//! front-end PR, satellite 1): encode/decode round-trip over
+//! randomized requests and responses — every frame variant, answers
+//! with real tuples included — plus a malformed-input corpus:
+//! truncated frames, flipped checksum/payload bits, oversized length
+//! prefixes, unknown tags, and trailing garbage must all come back as
+//! clean `NetError`s, never a panic, and an attacker-controlled length
+//! can never drive an allocation (the reader only buffers bytes it
+//! actually received).
+
+use proptest::prelude::*;
+
+use youtopia::net::{
+    encode_frame, split_frame, ErrorCode, FrameReader, Outcome, ReadEvent, Request, Response,
+    TenantSummary, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+use youtopia::storage::{Tuple, Value};
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    let owner = "[a-z]{1,8}(/[a-z0-9]{1,8})?";
+    let sql = "[ -~]{0,60}";
+    let deadline = (any::<bool>(), any::<u64>()).prop_map(|(some, v)| some.then_some(v));
+    prop_oneof![
+        owner.prop_map(|owner| Request::Hello {
+            version: PROTOCOL_VERSION,
+            owner,
+        }),
+        (owner, any::<u64>()).prop_map(|(owner, session)| Request::Resume {
+            version: PROTOCOL_VERSION,
+            owner,
+            session,
+        }),
+        (any::<u64>(), deadline, sql).prop_map(|(corr, deadline, sql)| Request::Submit {
+            corr,
+            deadline,
+            sql,
+        }),
+        (any::<u64>(), any::<u64>()).prop_map(|(corr, qid)| Request::Cancel { corr, qid }),
+        any::<u64>().prop_map(|corr| Request::Stats { corr }),
+        any::<u64>().prop_map(|corr| Request::Bye { corr }),
+    ]
+}
+
+fn arb_outcome() -> impl Strategy<Value = Outcome> {
+    let answer = ("[A-Za-z]{1,10}", any::<i64>(), "[ -~]{0,16}").prop_map(|(rel, n, s)| {
+        (
+            rel,
+            Tuple::new(vec![Value::from(s.as_str()), Value::Int(n)]),
+        )
+    });
+    prop_oneof![
+        proptest::collection::vec(answer, 0..4).prop_map(|answers| Outcome::Answered { answers }),
+        Just(Outcome::Cancelled),
+        Just(Outcome::Expired),
+        Just(Outcome::Superseded),
+    ]
+}
+
+fn arb_summary() -> impl Strategy<Value = TenantSummary> {
+    proptest::collection::vec(any::<u64>(), 8).prop_map(|v| TenantSummary {
+        submitted: v[0],
+        answered: v[1],
+        cancelled: v[2],
+        expired: v[3],
+        aborted: v[4],
+        rejected: v[5],
+        in_flight: v[6],
+        standing: v[7],
+    })
+}
+
+fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
+    prop_oneof![
+        Just(ErrorCode::Protocol),
+        Just(ErrorCode::Quota),
+        Just(ErrorCode::Rejected),
+        Just(ErrorCode::UnknownQuery),
+        Just(ErrorCode::BadSession),
+        Just(ErrorCode::Internal),
+    ]
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        (any::<u64>(), any::<u32>()).prop_map(|(session, reattached)| Response::Welcome {
+            session,
+            reattached,
+        }),
+        (any::<u64>(), any::<u64>()).prop_map(|(corr, qid)| Response::Accepted { corr, qid }),
+        (any::<u64>(), any::<u64>(), arb_outcome())
+            .prop_map(|(corr, qid, outcome)| { Response::Done { corr, qid, outcome } }),
+        any::<u64>().prop_map(|corr| Response::CancelOk { corr }),
+        (any::<u64>(), any::<bool>(), arb_summary()).prop_map(|(corr, found, tenant)| {
+            Response::StatsReply {
+                corr,
+                found,
+                tenant,
+            }
+        }),
+        any::<u64>().prop_map(|corr| Response::ByeOk { corr }),
+        (any::<u64>(), arb_error_code(), "[ -~]{0,40}").prop_map(|(corr, code, message)| {
+            Response::Error {
+                corr,
+                code,
+                message,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every request round-trips through frame + payload codec.
+    #[test]
+    fn request_roundtrip(req in arb_request()) {
+        let framed = encode_frame(&req.encode());
+        let (payload, consumed) = split_frame(&framed).unwrap().expect("complete frame");
+        prop_assert_eq!(consumed, framed.len());
+        prop_assert_eq!(Request::decode(&payload).unwrap(), req);
+    }
+
+    /// Every response round-trips through frame + payload codec.
+    #[test]
+    fn response_roundtrip(resp in arb_response()) {
+        let framed = encode_frame(&resp.encode());
+        let (payload, consumed) = split_frame(&framed).unwrap().expect("complete frame");
+        prop_assert_eq!(consumed, framed.len());
+        prop_assert_eq!(Response::decode(&payload).unwrap(), resp);
+    }
+
+    /// A truncated frame is never an error — it is "wait for more
+    /// bytes" — while any single flipped bit in a complete frame's
+    /// checksum or payload is a clean `Err`, and decoding the decoded
+    /// payload with trailing garbage appended fails cleanly too.
+    #[test]
+    fn corruption_is_clean(req in arb_request(), cut in any::<usize>(),
+                           flip in any::<usize>()) {
+        let framed = encode_frame(&req.encode());
+
+        // truncation: every proper prefix is incomplete, not an error
+        let cut = cut % framed.len();
+        prop_assert!(matches!(split_frame(&framed[..cut]), Ok(None)));
+
+        // bit flip anywhere past the length prefix: checksum catches it
+        let mut corrupt = framed.clone();
+        let at = 4 + flip % (corrupt.len() - 4);
+        corrupt[at] ^= 0x01;
+        prop_assert!(split_frame(&corrupt).is_err());
+
+        // trailing garbage inside the payload: strict decode rejects
+        let mut padded = req.encode();
+        padded.push(0xAA);
+        prop_assert!(Request::decode(&padded).is_err());
+    }
+
+    /// Unknown tags and arbitrary byte soup never panic the decoders.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+        let _ = split_frame(&bytes);
+    }
+
+    /// Truncating a valid *payload* (not the frame) at any point is a
+    /// clean decode error — no tag leaves a partially-read request.
+    #[test]
+    fn truncated_payload_is_clean(req in arb_request(), cut in any::<usize>()) {
+        let payload = req.encode();
+        let cut = cut % payload.len();
+        if cut < payload.len() {
+            prop_assert!(Request::decode(&payload[..cut]).is_err());
+        }
+    }
+}
+
+/// An oversized length prefix is rejected before any allocation: the
+/// reader is handed a header claiming 4 GiB and must fail after
+/// buffering only the 8 header bytes.
+#[test]
+fn oversized_length_rejected_without_allocation() {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&u32::MAX.to_be_bytes());
+    bytes.extend_from_slice(&0u32.to_be_bytes());
+    assert!(split_frame(&bytes).is_err());
+
+    // just over the cap is rejected too; exactly at the cap is not
+    let mut over = Vec::new();
+    over.extend_from_slice(&((MAX_FRAME_BYTES + 1) as u32).to_be_bytes());
+    over.extend_from_slice(&0u32.to_be_bytes());
+    assert!(split_frame(&over).is_err());
+
+    let mut at = Vec::new();
+    at.extend_from_slice(&(MAX_FRAME_BYTES as u32).to_be_bytes());
+    at.extend_from_slice(&0u32.to_be_bytes());
+    assert!(
+        matches!(split_frame(&at), Ok(None)),
+        "at-cap frame waits for payload"
+    );
+
+    // streaming reader over the hostile header: clean error, and its
+    // buffer holds only what the wire actually delivered
+    let mut reader = FrameReader::new(&bytes[..]);
+    assert!(reader.read_event().is_err());
+}
+
+/// A reader fed one byte at a time still reassembles frames, and EOF
+/// mid-frame is an error while EOF at a boundary is clean.
+#[test]
+fn incremental_reads_reassemble() {
+    struct OneByte<'a>(&'a [u8]);
+    impl std::io::Read for OneByte<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.0.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = self.0[0];
+            self.0 = &self.0[1..];
+            Ok(1)
+        }
+    }
+
+    let a = Request::Stats { corr: 7 };
+    let b = Request::Bye { corr: 8 };
+    let mut wire = encode_frame(&a.encode());
+    wire.extend_from_slice(&encode_frame(&b.encode()));
+
+    let mut reader = FrameReader::new(OneByte(&wire));
+    for want in [a, b] {
+        match reader.read_event().unwrap() {
+            ReadEvent::Frame(payload) => assert_eq!(Request::decode(&payload).unwrap(), want),
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+    assert!(matches!(reader.read_event().unwrap(), ReadEvent::Eof));
+
+    // EOF mid-frame is a protocol error
+    let frame = encode_frame(&Request::Stats { corr: 9 }.encode());
+    let mut reader = FrameReader::new(&frame[..frame.len() - 1]);
+    assert!(reader.read_event().is_err());
+}

@@ -130,6 +130,7 @@ fn run_sharded(w: &Workload, seed: u64, shards: usize) -> (Vec<Outcome>, Vec<u64
             shards,
             workers: 4,
             auto_checkpoint_bytes: 0,
+            fair_drain: false,
             base: config(seed),
         },
     );

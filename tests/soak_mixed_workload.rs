@@ -196,6 +196,7 @@ fn sharded_submit_batch_concurrent_soak() {
             shards: 4,
             workers: 2,
             auto_checkpoint_bytes: 0,
+            fair_drain: false,
             base: CoordinatorConfig {
                 match_config: MatchConfig {
                     randomize: false,
@@ -376,6 +377,7 @@ fn mixed_sync_async_soak_loses_no_completions() {
             shards: 4,
             workers: 2,
             auto_checkpoint_bytes: 0,
+            fair_drain: false,
             base: CoordinatorConfig {
                 match_config: MatchConfig {
                     randomize: false,
@@ -625,4 +627,265 @@ fn soak_is_deterministic_per_seed() {
         (reservation_count(&s), stats.answered, stats.groups_matched)
     }
     assert_eq!(run(7), run(7));
+}
+
+/// Session-reconnect soak (multi-tenant net PR, satellite 3): ~2,100
+/// concurrent sessions held by **one** `WaiterSet` while a churn
+/// thread randomly "disconnects" owners and reattaches them
+/// (`reattach_async` — exactly what the network server does on
+/// `Resume`), superseding the stranded handles. Run twice with the
+/// same seed — once calm (the control), once under churn — the
+/// reattached sessions must receive **exactly the control run's
+/// answers**: same owners answered, same flights booked, zero lost and
+/// zero duplicated completions. Every supersession is accounted for
+/// (one `Superseded` per reattached handle) and the stranded noise
+/// expires cleanly at the end.
+#[test]
+fn session_reconnect_soak_delivers_control_answers() {
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{mpsc, Arc};
+    use std::time::Duration;
+
+    use youtopia::core::MatchConfig;
+    use youtopia::storage::Tuple;
+    use youtopia::travel::WorkloadGen;
+    use youtopia::{
+        CoordinationOutcome, CoordinatorConfig, ShardedConfig, ShardedCoordinator, Submission,
+    };
+
+    const NOISE: usize = 1500; // standing sessions whose partner never comes
+    const PAIRS: usize = 600; // sessions that do get answered
+    const RELATIONS: usize = 5;
+    const BATCH: usize = 128;
+
+    struct RunResult {
+        answered: HashMap<String, Vec<(String, Tuple)>>,
+        max_in_flight: usize,
+        superseded: usize,
+        expired: usize,
+        reattached: usize,
+    }
+
+    fn run(churn: bool) -> RunResult {
+        let mut generator = WorkloadGen::new(0x5E55);
+        let db = generator.build_database(60, &["Paris", "Rome"]).unwrap();
+        let co = Arc::new(ShardedCoordinator::with_config(
+            db,
+            ShardedConfig {
+                shards: 4,
+                workers: 2,
+                auto_checkpoint_bytes: 0,
+                fair_drain: false,
+                base: CoordinatorConfig {
+                    match_config: MatchConfig {
+                        randomize: false, // deterministic CHOOSE for the control comparison
+                        ..MatchConfig::default()
+                    },
+                    ..CoordinatorConfig::default()
+                },
+            },
+        ));
+
+        // ---- the single WaiterSet thread --------------------------- //
+        let (tx, rx) = mpsc::channel::<youtopia::CoordinationFuture>();
+        let waiter = std::thread::spawn(move || {
+            let mut set = youtopia::WaiterSet::new();
+            let mut completions: Vec<(youtopia::QueryId, CoordinationOutcome)> = Vec::new();
+            let mut max_in_flight = 0usize;
+            let mut disconnected = false;
+            loop {
+                loop {
+                    match rx.try_recv() {
+                        Ok(future) => {
+                            let qid = future.id();
+                            if let Some(mut old) = set.insert(future) {
+                                // a reattach displaced the stranded
+                                // handle: it must already be terminal
+                                let outcome = old
+                                    .try_take()
+                                    .expect("displaced handle resolved by supersession");
+                                completions.push((qid, outcome));
+                            }
+                        }
+                        Err(mpsc::TryRecvError::Empty) => break,
+                        Err(mpsc::TryRecvError::Disconnected) => {
+                            disconnected = true;
+                            break;
+                        }
+                    }
+                }
+                max_in_flight = max_in_flight.max(set.len());
+                completions.extend(set.wait_timeout(Duration::from_millis(1)));
+                if disconnected && set.is_empty() {
+                    return (completions, max_in_flight);
+                }
+            }
+        });
+
+        // ---- submissions (identical order in both runs) ------------ //
+        let mut owner_of: HashMap<u64, String> = HashMap::new();
+        let mut owners: Vec<String> = Vec::new();
+        let mut requests: Vec<(String, String)> = Vec::new();
+        for i in 0..NOISE {
+            let r = WorkloadGen::pair_request_on(
+                &format!("Reservation{}", i % RELATIONS),
+                &format!("sess/n{i}"),
+                &format!("sess/ghost{i}"),
+                "Paris",
+            );
+            requests.push((r.owner, r.sql));
+        }
+        for i in 0..PAIRS {
+            let r = WorkloadGen::pair_request_on(
+                &format!("Reservation{}", i % RELATIONS),
+                &format!("sess/p{i}a"),
+                &format!("sess/p{i}b"),
+                "Paris",
+            );
+            requests.push((r.owner, r.sql));
+        }
+        for chunk in requests.chunks(BATCH) {
+            // batch outcomes come back in submission order: zip to owners
+            let outcomes = co.submit_batch_sql_async(chunk);
+            for (outcome, (owner, _)) in outcomes.into_iter().zip(chunk) {
+                let future = outcome.expect("soak queries are safe");
+                owner_of.insert(future.id().0, owner.clone());
+                tx.send(future).expect("waiter alive");
+            }
+        }
+        owners.extend(owner_of.values().cloned());
+
+        // ---- churn thread: random disconnect/reconnect ------------- //
+        let stop = Arc::new(AtomicBool::new(false));
+        let churn_handle = churn.then(|| {
+            let co = Arc::clone(&co);
+            let stop = Arc::clone(&stop);
+            let tx = tx.clone();
+            let owners = owners.clone();
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xC0C0);
+                let mut reattached = 0usize;
+                while !stop.load(Ordering::Acquire) {
+                    let owner = &owners[rng.random_range(0..owners.len())];
+                    for future in co.reattach_async(owner) {
+                        reattached += 1;
+                        if tx.send(future).is_err() {
+                            return reattached;
+                        }
+                    }
+                }
+                reattached
+            })
+        });
+
+        // ---- closers arrive while the churn is running ------------- //
+        let mut answered: HashMap<String, Vec<(String, Tuple)>> = HashMap::new();
+        for i in 0..PAIRS {
+            let r = WorkloadGen::pair_request_on(
+                &format!("Reservation{}", i % RELATIONS),
+                &format!("sess/p{i}b"),
+                &format!("sess/p{i}a"),
+                "Paris",
+            );
+            match co.submit_sql(&r.owner, &r.sql).expect("closer submits") {
+                Submission::Answered(n) => {
+                    answered.insert(r.owner.clone(), n.answers);
+                }
+                Submission::Pending(_) => panic!("closer must answer its pair on arrival"),
+            }
+        }
+
+        stop.store(true, Ordering::Release);
+        let reattached = churn_handle
+            .map(|h| h.join().expect("churn thread"))
+            .unwrap_or(0);
+        drop(tx);
+
+        // quiescence: expire the stranded noise, resolving every
+        // remaining future
+        co.retry_all().unwrap();
+        co.expire_before(u64::MAX);
+        assert_eq!(co.pending_count(), 0);
+        let (completions, max_in_flight) = waiter.join().expect("waiter thread");
+
+        // ---- classify ---------------------------------------------- //
+        let mut superseded = 0usize;
+        let mut expired = 0usize;
+        let mut terminal_per_qid: HashMap<u64, usize> = HashMap::new();
+        for (qid, outcome) in &completions {
+            match outcome {
+                CoordinationOutcome::Superseded => superseded += 1,
+                CoordinationOutcome::Expired => {
+                    expired += 1;
+                    *terminal_per_qid.entry(qid.0).or_default() += 1;
+                }
+                CoordinationOutcome::Cancelled => {
+                    *terminal_per_qid.entry(qid.0).or_default() += 1;
+                }
+                CoordinationOutcome::Answered(n) => {
+                    *terminal_per_qid.entry(qid.0).or_default() += 1;
+                    let owner = owner_of[&qid.0].clone();
+                    answered.insert(owner, n.answers.clone());
+                }
+            }
+        }
+        // zero lost, zero duplicated: every async submission reaches
+        // exactly one non-superseded terminal outcome...
+        assert_eq!(
+            terminal_per_qid.len(),
+            NOISE + PAIRS,
+            "a session lost its completion"
+        );
+        assert!(
+            terminal_per_qid.values().all(|&n| n == 1),
+            "a session's completion was delivered twice"
+        );
+        // ...and every reattach superseded exactly one stranded handle
+        assert_eq!(
+            completions.len(),
+            NOISE + PAIRS + reattached,
+            "supersessions accounted one-for-one"
+        );
+        assert_eq!(superseded, reattached);
+
+        RunResult {
+            answered,
+            max_in_flight,
+            superseded,
+            expired,
+            reattached,
+        }
+    }
+
+    let control = run(false);
+    let churned = run(true);
+
+    // scale floor: one WaiterSet genuinely drove ≥2k concurrent sessions
+    assert!(
+        control.max_in_flight >= 2000 && churned.max_in_flight >= 2000,
+        "expected ≥2k sessions in flight (control {}, churned {})",
+        control.max_in_flight,
+        churned.max_in_flight
+    );
+    assert_eq!(control.reattached, 0);
+    assert_eq!(control.superseded, 0);
+    assert!(
+        churned.reattached > 0,
+        "the churn thread must actually reattach sessions"
+    );
+    assert_eq!(control.expired, NOISE, "all stranded noise expires");
+    assert_eq!(churned.expired, NOISE);
+
+    // the reattach churn is invisible to the outcome: reattached
+    // sessions received exactly the control run's answers
+    assert_eq!(
+        churned.answered, control.answered,
+        "reconnect churn changed an answer"
+    );
+    assert_eq!(
+        control.answered.len(),
+        2 * PAIRS,
+        "both halves of every pair answered"
+    );
 }

@@ -1,0 +1,277 @@
+//! Noisy-neighbor isolation (multi-tenant front-end PR, satellite 2):
+//! one tenant floods the coordinator at 10x its submit quota while
+//! eight well-behaved tenants run a steady pair workload. The flooder
+//! must be throttled with `QuotaExceeded`, the neighbors' completion
+//! latency and throughput must stay within bounds (p99 under the
+//! storm < 2x the calm p99, plus a small absolute allowance for
+//! scheduler jitter), and every tenant's ledger must account for every
+//! submission. A second test pins the fair-drain guarantee: with
+//! `fair_drain` on, batch draining interleaves tenants round-robin, so
+//! a small tenant's queries register early even when a big tenant
+//! fills the rest of the batch.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use youtopia::storage::Wal;
+use youtopia::travel::WorkloadGen;
+use youtopia::{
+    CoordEvent, MockClock, ShardedConfig, ShardedCoordinator, Submission, TenantQuotas,
+    TenantRegistry,
+};
+
+const GOOD_TENANTS: usize = 8;
+const PAIRS_PER_TENANT: usize = 30;
+const RELATIONS: usize = 8;
+const FLOOD_SUBMITS: usize = 2000;
+const FLOOD_BURST: u64 = 200; // 10x over-submission
+
+/// One coordinating pair for `tenant`, phase-tagged so the calm and
+/// storm phases never reuse an owner (answer tuples persist across
+/// phases and would otherwise satisfy a repeat query on arrival).
+fn phase_pair(
+    tenant: &str,
+    phase: &str,
+    p: usize,
+) -> (
+    youtopia::travel::workload::Request,
+    youtopia::travel::workload::Request,
+) {
+    let rel = format!("Reservation{}", p % RELATIONS);
+    let a = format!("{tenant}/{phase}{p}a");
+    let b = format!("{tenant}/{phase}{p}b");
+    (
+        WorkloadGen::pair_request_on(&rel, &a, &b, "Paris"),
+        WorkloadGen::pair_request_on(&rel, &b, &a, "Paris"),
+    )
+}
+
+/// Runs one tenant's pair workload serially, returning each pair's
+/// submit-to-answer latency.
+fn run_tenant(co: &ShardedCoordinator, tenant: &str, phase: &str) -> Vec<Duration> {
+    let mut latencies = Vec::with_capacity(PAIRS_PER_TENANT);
+    for p in 0..PAIRS_PER_TENANT {
+        let (first, closer) = phase_pair(tenant, phase, p);
+        let started = Instant::now();
+        let pending = co
+            .submit_sql(&first.owner, &first.sql)
+            .expect("first half registers");
+        assert!(matches!(pending, Submission::Pending(_)));
+        let answered = co
+            .submit_sql(&closer.owner, &closer.sql)
+            .expect("closer submits");
+        assert!(
+            matches!(answered, Submission::Answered(_)),
+            "closer answers its pair on arrival"
+        );
+        latencies.push(started.elapsed());
+    }
+    latencies
+}
+
+fn p99(mut samples: Vec<Duration>) -> Duration {
+    samples.sort();
+    samples[samples.len() * 99 / 100]
+}
+
+#[test]
+fn flooding_tenant_is_throttled_and_neighbors_stay_within_bounds() {
+    let clock = Arc::new(MockClock::new(1_000));
+    let mut generator = WorkloadGen::new(0x1507);
+    let db = generator
+        .build_database(100, &["Paris", "Rome"])
+        .expect("database builds");
+    let co = Arc::new(ShardedCoordinator::with_clock(
+        db,
+        ShardedConfig {
+            shards: 4,
+            ..Default::default()
+        },
+        clock.clone(),
+    ));
+    let tenants = TenantRegistry::with_clock(TenantQuotas::default(), clock);
+    // the flooder's submit-rate bucket: a burst of FLOOD_BURST tokens
+    // that never refills (rate 0 + mock clock), so of FLOOD_SUBMITS
+    // submissions exactly FLOOD_BURST are admitted
+    tenants.set_quotas(
+        "flood",
+        TenantQuotas {
+            rate_burst: FLOOD_BURST,
+            rate_per_sec: 0,
+            ..TenantQuotas::unlimited()
+        },
+    );
+    co.set_tenant_registry(Arc::clone(&tenants));
+
+    // ---- calm phase: 8 tenants, no flooder ------------------------- //
+    let calm: Vec<Duration> = {
+        let handles: Vec<_> = (0..GOOD_TENANTS)
+            .map(|t| {
+                let co = Arc::clone(&co);
+                std::thread::spawn(move || run_tenant(&co, &format!("good{t}"), "calm"))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("calm tenant thread"))
+            .collect()
+    };
+
+    // ---- storm phase: same 8 tenants + the flooder ----------------- //
+    let flooder = {
+        let co = Arc::clone(&co);
+        std::thread::spawn(move || {
+            let requests = WorkloadGen::tenant_storm("flood", FLOOD_SUBMITS, "Paris", RELATIONS);
+            let mut admitted = 0usize;
+            let mut rejected = 0usize;
+            for request in &requests {
+                match co.submit_sql(&request.owner, &request.sql) {
+                    Ok(Submission::Pending(_)) => admitted += 1,
+                    Ok(Submission::Answered(_)) => panic!("flood queries never match"),
+                    Err(youtopia::core::CoreError::QuotaExceeded { .. }) => rejected += 1,
+                    Err(e) => panic!("unexpected flood failure: {e}"),
+                }
+            }
+            (admitted, rejected)
+        })
+    };
+    let storm: Vec<Duration> = {
+        let handles: Vec<_> = (0..GOOD_TENANTS)
+            .map(|t| {
+                let co = Arc::clone(&co);
+                std::thread::spawn(move || run_tenant(&co, &format!("good{t}"), "storm"))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("storm tenant thread"))
+            .collect()
+    };
+    let (admitted, rejected) = flooder.join().expect("flooder thread");
+
+    // the flooder was throttled to its burst, the rest rejected
+    assert_eq!(admitted, FLOOD_BURST as usize);
+    assert_eq!(rejected, FLOOD_SUBMITS - FLOOD_BURST as usize);
+    assert_eq!(co.stats().rejected_quota, rejected as u64);
+
+    // every good tenant completed every pair — zero lost completions
+    assert_eq!(calm.len(), GOOD_TENANTS * PAIRS_PER_TENANT);
+    assert_eq!(storm.len(), GOOD_TENANTS * PAIRS_PER_TENANT);
+
+    // noisy-neighbor bound: storm p99 < 2x calm p99 (+ a small
+    // absolute allowance — calm latencies are tens of microseconds, so
+    // a pure ratio would measure scheduler jitter, not interference)
+    let (calm_p99, storm_p99) = (p99(calm), p99(storm));
+    assert!(
+        storm_p99 < calm_p99 * 2 + Duration::from_millis(25),
+        "noisy neighbor degraded p99 too far: calm {calm_p99:?}, storm {storm_p99:?}"
+    );
+
+    // per-tenant ledgers account for every outcome
+    for t in 0..GOOD_TENANTS {
+        let stats = tenants
+            .tenant_stats(&format!("good{t}"))
+            .expect("good tenant ledger");
+        assert_eq!(stats.submitted, 2 * 2 * PAIRS_PER_TENANT as u64);
+        assert_eq!(stats.answered, stats.submitted, "every pair answered");
+        assert_eq!(stats.rejected, 0, "well-behaved tenants see no quota");
+        assert_eq!(stats.in_flight, 0);
+    }
+    let flood = tenants.tenant_stats("flood").expect("flood ledger");
+    assert_eq!(flood.submitted, FLOOD_BURST);
+    assert_eq!(
+        flood.rejected,
+        (FLOOD_SUBMITS - FLOOD_BURST as usize) as u64
+    );
+    assert_eq!(flood.in_flight as u64, FLOOD_BURST, "admitted floods pend");
+    assert_eq!(
+        flood.submitted,
+        flood.answered + flood.cancelled + flood.expired + flood.aborted + flood.in_flight as u64,
+        "flood ledger closes"
+    );
+}
+
+/// With `fair_drain` on, a batch holding 30 queries from a big tenant
+/// and 3 from a small one registers them round-robin — the small
+/// tenant's queries land at positions 1, 3, 5 of the drain instead of
+/// queueing behind the big tenant's 30.
+#[test]
+fn fair_drain_interleaves_tenants_round_robin() {
+    let registration_order = |fair: bool| -> Vec<String> {
+        let mut generator = WorkloadGen::new(0xFA12);
+        let db = generator
+            .build_database_with_wal(50, &["Paris"], Wal::in_memory())
+            .expect("database builds");
+        let co = ShardedCoordinator::with_config(
+            db.clone(),
+            ShardedConfig {
+                shards: 1, // one shard = one drain bucket
+                fair_drain: fair,
+                ..Default::default()
+            },
+        );
+        let mut batch: Vec<(String, String)> = Vec::new();
+        for i in 0..30 {
+            let r = WorkloadGen::pair_request_on(
+                "Reservation0",
+                &format!("big/u{i}"),
+                &format!("nobody{i}"),
+                "Paris",
+            );
+            batch.push((r.owner, r.sql));
+        }
+        for i in 0..3 {
+            let r = WorkloadGen::pair_request_on(
+                "Reservation0",
+                &format!("small/u{i}"),
+                &format!("noone{i}"),
+                "Paris",
+            );
+            batch.push((r.owner, r.sql));
+        }
+        for outcome in co.submit_batch_sql(&batch) {
+            outcome.expect("batch entries register");
+        }
+        let bytes = db.wal_bytes().expect("WAL-backed database");
+        Wal::from_bytes(bytes)
+            .replay_records()
+            .expect("log replays")
+            .into_iter()
+            .filter_map(|record| record.coordination())
+            .filter_map(|payload| match CoordEvent::decode(&payload) {
+                Ok(CoordEvent::QueryRegistered { owner, .. }) => Some(owner),
+                _ => None,
+            })
+            .collect()
+    };
+
+    let fair = registration_order(true);
+    assert_eq!(fair.len(), 33);
+    let small_positions: Vec<usize> = fair
+        .iter()
+        .enumerate()
+        .filter(|(_, owner)| owner.starts_with("small/"))
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(
+        small_positions,
+        vec![1, 3, 5],
+        "fair drain alternates tenants until the small tenant drains"
+    );
+    // per-tenant FIFO is preserved under the interleave
+    let small_order: Vec<&String> = fair
+        .iter()
+        .filter(|owner| owner.starts_with("small/"))
+        .collect();
+    assert_eq!(small_order, vec!["small/u0", "small/u1", "small/u2"]);
+
+    // and with fair_drain off, the small tenant queues behind all 30
+    let unfair = registration_order(false);
+    let small_positions: Vec<usize> = unfair
+        .iter()
+        .enumerate()
+        .filter(|(_, owner)| owner.starts_with("small/"))
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(small_positions, vec![30, 31, 32]);
+}
