@@ -7,9 +7,10 @@
 //! pool of client threads; every session completes the `Hello`
 //! handshake and submits one standing never-matching query, so at the
 //! measurement point the server holds `K` live sessions whose futures
-//! are all driven by its single `WaiterSet` event loop. The headline
-//! series (sessions, setup seconds, sessions/s, RSS bytes per open
-//! session) is written to `BENCH_net.json` at the repository root;
+//! are all driven by the single reactor thread's epoll loop. The
+//! headline series (sessions, setup seconds, sessions/s, RSS bytes per
+//! open session), now up to 8192 concurrent sessions, is written to
+//! `BENCH_net.json` at the repository root;
 //! resident-set deltas are read from `/proc/self/status` and cover
 //! both ends of every connection (client and server share the
 //! process).
@@ -27,7 +28,7 @@ use youtopia_core::{
     Clock, CoordinatorConfig, ShardedConfig, ShardedCoordinator, SystemClock, TenantQuotas,
     TenantRegistry,
 };
-use youtopia_net::{NetClient, NetServer, ServerConfig, SubmitOutcome};
+use youtopia_net::{raise_nofile_limit, NetClient, NetServer, ServerConfig, SubmitOutcome};
 use youtopia_travel::WorkloadGen;
 
 const RELATIONS: usize = 8;
@@ -141,7 +142,7 @@ fn run_sessions(count: usize) -> Sample {
 /// The headline series, written to `BENCH_net.json`.
 fn headline_series() {
     let mut rows = Vec::new();
-    for &count in &[256usize, 1024, 2048] {
+    for &count in &[256usize, 1024, 2048, 4096, 8192] {
         let s = run_sessions(count);
         println!(
             "net_session_scale: {:5} sessions in {:.3}s ({:7.0} sessions/s, {:8} bytes/session)",
@@ -168,6 +169,9 @@ fn headline_series() {
 }
 
 fn bench_net_session_scale(c: &mut Criterion) {
+    // both ends of every connection live in this process: the 8192-
+    // session headline point alone needs ~16k fds
+    raise_nofile_limit(20_000).expect("raise fd limit");
     let mut group = c.benchmark_group("net_session_scale");
     group.sample_size(10);
 

@@ -237,12 +237,16 @@ impl Wake for ThreadWaker {
 }
 
 /// The wake signal shared by a [`WaiterSet`] and the wakers of every
-/// future it drives: the queue of query ids whose futures fired, and
-/// the condvar a blocked [`WaiterSet::wait_timeout`] sleeps on.
+/// future it drives: the queue of query ids whose futures fired, the
+/// condvar a blocked [`WaiterSet::wait_timeout`] sleeps on, and an
+/// optional external wake hook for owners that sleep on something
+/// other than the condvar (e.g. the net reactor parked in `epoll_wait`
+/// — the hook writes its eventfd).
 #[derive(Default)]
 struct SetSignal {
     woken: Mutex<Vec<QueryId>>,
     condvar: Condvar,
+    hook: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
 }
 
 impl SetSignal {
@@ -251,6 +255,10 @@ impl SetSignal {
         woken.push(qid);
         drop(woken);
         self.condvar.notify_all();
+        let hook = self.hook.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(hook) = hook.as_ref() {
+            hook();
+        }
     }
 }
 
@@ -301,6 +309,21 @@ impl WaiterSet {
             fresh: Vec::new(),
             signal: Arc::new(SetSignal::default()),
         }
+    }
+
+    /// Installs a hook invoked every time one of this set's futures
+    /// fires its waker — possibly from another thread, and (per the
+    /// waker contract in `docs/async.md`) possibly while the
+    /// completing coordinator still holds a shard lock, so the hook
+    /// must be O(1) and must not call back into the coordinator. An
+    /// owner that multiplexes the set with I/O readiness (the net
+    /// reactor sleeping in `epoll_wait`) uses this to bridge
+    /// completion wakes into its own wait primitive; pure
+    /// [`WaiterSet::wait_timeout`] users never need it, the built-in
+    /// condvar is always notified first.
+    pub fn set_wake_hook(&mut self, hook: impl Fn() + Send + Sync + 'static) {
+        let mut slot = self.signal.hook.lock().unwrap_or_else(|e| e.into_inner());
+        *slot = Some(Box::new(hook));
     }
 
     /// Adds a future to the set. It is polled (and its waker parked) on
@@ -554,6 +577,26 @@ mod tests {
         // delivering the same terminal outcome twice would corrupt any
         // exactly-once ledger; re-polling a consumed future is loud
         let _ = f.wait_timeout(Duration::from_millis(1));
+    }
+
+    #[test]
+    fn wake_hook_fires_on_cross_thread_completion() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let mut set = WaiterSet::new();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&hits);
+        set.set_wake_hook(move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        let (f, shared) = armed(21);
+        set.insert(f);
+        assert!(set.poll_ready().is_empty(), "waker parked, nothing fired");
+        assert_eq!(hits.load(Ordering::SeqCst), 0, "no spurious hook calls");
+        std::thread::spawn(move || shared.complete(CoordinationOutcome::Cancelled))
+            .join()
+            .unwrap();
+        assert!(hits.load(Ordering::SeqCst) >= 1, "hook saw the wake");
+        assert_eq!(set.poll_ready().len(), 1);
     }
 
     #[test]

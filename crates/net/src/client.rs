@@ -37,8 +37,13 @@ impl SubmitOutcome {
 }
 
 /// A blocking session over one TCP connection.
+///
+/// Reads and writes share the one socket fd (a `&TcpStream` is both
+/// `Read` and `Write`), so a client costs exactly one descriptor — at
+/// the bench's 8k-session scale the difference between one and two
+/// fds per session is the difference between fitting the process fd
+/// budget and not.
 pub struct NetClient {
-    writer: TcpStream,
     reader: FrameReader<TcpStream>,
     events: VecDeque<(u64, Outcome)>,
     next_corr: u64,
@@ -52,9 +57,7 @@ impl NetClient {
     pub fn connect(addr: impl std::net::ToSocketAddrs) -> NetResult<NetClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
-        let writer = stream.try_clone()?;
         Ok(NetClient {
-            writer,
             reader: FrameReader::new(stream),
             events: VecDeque::new(),
             next_corr: 0,
@@ -189,7 +192,7 @@ impl NetClient {
     /// any `corr = 0` completion pushes encountered on the way. A
     /// remote `Error` response becomes [`NetError::Remote`].
     fn call(&mut self, request: &Request) -> NetResult<Response> {
-        write_frame(&mut self.writer, &request.encode())?;
+        write_frame(&mut self.reader.get_ref(), &request.encode())?;
         let started = Instant::now();
         self.reader
             .get_ref()

@@ -12,11 +12,14 @@
 //!   checksum discipline mirrors the WAL's (`len | fnv1a | payload`),
 //!   carrying versioned [`Request`]/[`Response`] enums. Decoding never
 //!   allocates from attacker-controlled lengths.
-//! * [`server`] — the [`NetServer`]: a handler thread per connection
-//!   feeding submissions into a **single** [`youtopia_core::WaiterSet`]
-//!   event loop that drives every in-flight session's futures and
-//!   pushes `Done` frames back to whichever live session owns each
-//!   query. Owners are tenants: submissions pass the
+//! * [`server`] — the [`NetServer`]: a **single reactor thread** owns
+//!   the listener, every (nonblocking) connection, and the one
+//!   [`youtopia_core::WaiterSet`] driving every in-flight session's
+//!   futures, sleeping in `epoll_wait` between readiness events
+//!   (see `docs/networking.md` for the loop anatomy). Responses flow
+//!   through bounded per-connection outbound queues — a peer that
+//!   stops reading is shed with [`ErrorCode::Backpressure`] instead of
+//!   stalling anyone else. Owners are tenants: submissions pass the
 //!   [`youtopia_core::TenantRegistry`] quota gate, and a reconnecting
 //!   client presents its session token to reattach (superseding the
 //!   stranded session's handles).
@@ -46,13 +49,15 @@
 
 pub mod client;
 pub mod error;
+pub(crate) mod poller;
 pub mod protocol;
 pub mod server;
 
 pub use client::{NetClient, SubmitOutcome};
 pub use error::{NetError, NetResult};
+pub use poller::raise_nofile_limit;
 pub use protocol::{
-    encode_frame, frame_checksum, split_frame, write_frame, ErrorCode, FrameReader, Outcome,
-    ReadEvent, Request, Response, TenantSummary, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+    encode_frame, frame_checksum, split_frame, write_frame, ErrorCode, FrameBuf, FrameReader,
+    Outcome, ReadEvent, Request, Response, TenantSummary, MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
-pub use server::{NetServer, ServerConfig};
+pub use server::{NetServer, ServerConfig, ServerStats};

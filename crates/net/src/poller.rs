@@ -1,0 +1,342 @@
+//! The readiness poller: a small safe wrapper over raw `epoll`, plus
+//! the eventfd-based cross-thread waker the reactor sleeps against.
+//!
+//! This is deliberately *not* a general-purpose event library (see
+//! `docs/async.md` for why no runtime is linked): it wraps exactly the
+//! syscall surface the single-threaded reactor in [`crate::server`]
+//! needs — level-triggered registration keyed by a caller-chosen
+//! `u64` token, a blocking wait with millisecond timeout, and a
+//! [`PollWaker`] any thread can poke to interrupt the wait (the
+//! coordinator's completion wakers use it through
+//! [`youtopia_core::WaiterSet::set_wake_hook`]). The raw syscalls come
+//! from the vendored `libc` shim (`vendor/libc`), which declares only
+//! this surface against the system C library `std` already links.
+//!
+//! Level-triggered (no `EPOLLET`) is a deliberate choice: the reactor
+//! always reads to `WouldBlock` and only arms write interest while a
+//! connection's outbound queue is non-empty, so level semantics cost
+//! nothing extra and remove the whole class of forgotten-re-arm bugs
+//! that edge-triggered loops grow.
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Token reserved for the poller's internal wake eventfd; user
+/// registrations must stay below it.
+pub(crate) const WAKE_TOKEN: u64 = u64::MAX;
+
+/// What a registration wants to be told about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Interest {
+    /// Wake when the fd is readable (or the peer hung up).
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read interest only — every connection's steady state.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+
+    fn bits(self) -> u32 {
+        let mut bits = libc::EPOLLRDHUP;
+        if self.readable {
+            bits |= libc::EPOLLIN;
+        }
+        if self.writable {
+            bits |= libc::EPOLLOUT;
+        }
+        bits
+    }
+}
+
+/// One readiness record handed back by [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PollEvent {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// Readable — includes error and hang-up conditions, so the next
+    /// `read` surfaces them as `Ok(0)`/`Err` instead of being missed.
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+}
+
+/// A cross-thread wake handle: writing the eventfd makes the owning
+/// [`Poller::wait`] return with the [`WAKE_TOKEN`] event. Cheap to
+/// clone (`Arc`), safe to call from any thread, coalesces naturally
+/// (the eventfd is a counter).
+#[derive(Debug)]
+pub(crate) struct PollWaker {
+    eventfd: RawFd,
+}
+
+impl PollWaker {
+    /// Interrupts the poller's current (or next) wait.
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        // A full eventfd counter (EAGAIN) already guarantees a pending
+        // wake; any other failure mode leaves the reactor's tick-capped
+        // timeout as the fallback. Nothing useful to do with the error.
+        let _ = unsafe { libc::write(self.eventfd, (&one as *const u64).cast(), 8) };
+    }
+}
+
+impl Drop for PollWaker {
+    fn drop(&mut self) {
+        unsafe { libc::close(self.eventfd) };
+    }
+}
+
+/// The epoll instance. Owned by the reactor thread; registrations and
+/// waits take `&self`/`&mut self` on that thread, while [`PollWaker`]
+/// clones may be poked from anywhere.
+pub(crate) struct Poller {
+    epfd: RawFd,
+    waker: Arc<PollWaker>,
+    /// Reused readiness buffer for `epoll_wait`.
+    buf: Vec<libc::epoll_event>,
+}
+
+impl Poller {
+    /// Creates the epoll instance and its wake eventfd (registered
+    /// under [`WAKE_TOKEN`]).
+    pub fn new() -> io::Result<Poller> {
+        let epfd = check_fd(unsafe { libc::epoll_create1(libc::EPOLL_CLOEXEC) })?;
+        let eventfd =
+            match check_fd(unsafe { libc::eventfd(0, libc::EFD_CLOEXEC | libc::EFD_NONBLOCK) }) {
+                Ok(fd) => fd,
+                Err(e) => {
+                    unsafe { libc::close(epfd) };
+                    return Err(e);
+                }
+            };
+        let poller = Poller {
+            epfd,
+            waker: Arc::new(PollWaker { eventfd }),
+            buf: vec![libc::epoll_event { events: 0, u64: 0 }; 1024],
+        };
+        poller.ctl(libc::EPOLL_CTL_ADD, eventfd, libc::EPOLLIN, WAKE_TOKEN)?;
+        Ok(poller)
+    }
+
+    /// A cloneable cross-thread wake handle.
+    pub fn waker(&self) -> Arc<PollWaker> {
+        Arc::clone(&self.waker)
+    }
+
+    /// Registers `fd` under `token`.
+    pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        debug_assert!(token < WAKE_TOKEN);
+        self.ctl(libc::EPOLL_CTL_ADD, fd, interest.bits(), token)
+    }
+
+    /// Changes the interest of an already-registered fd.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(libc::EPOLL_CTL_MOD, fd, interest.bits(), token)
+    }
+
+    /// Removes `fd` from the interest set. Closing the fd would drop
+    /// the registration anyway; explicit removal keeps the kernel set
+    /// in lockstep with the reactor's slab.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(libc::EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    fn ctl(&self, op: libc::c_int, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = libc::epoll_event { events, u64: token };
+        check(unsafe { libc::epoll_ctl(self.epfd, op, fd, &mut ev) })
+    }
+
+    /// Blocks until readiness, a [`PollWaker::wake`], or `timeout`
+    /// (`None` = wait indefinitely), appending events to `out`
+    /// (cleared first). Wake events are absorbed here — the eventfd is
+    /// drained and no [`WAKE_TOKEN`] record is surfaced; a wake simply
+    /// makes the wait return so the caller re-runs its loop body.
+    pub fn wait(&mut self, out: &mut Vec<PollEvent>, timeout: Option<Duration>) -> io::Result<()> {
+        out.clear();
+        let timeout_ms: libc::c_int = match timeout {
+            None => -1,
+            // round up so a 100µs timeout doesn't busy-spin at 0ms
+            Some(d) => d.as_millis().clamp(
+                u128::from(d.as_secs() > 0 || d.subsec_nanos() > 0),
+                libc::c_int::MAX as u128,
+            ) as libc::c_int,
+        };
+        let n = unsafe {
+            libc::epoll_wait(
+                self.epfd,
+                self.buf.as_mut_ptr(),
+                self.buf.len() as libc::c_int,
+                timeout_ms,
+            )
+        };
+        if n < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                return Ok(()); // EINTR: surface an empty round
+            }
+            return Err(e);
+        }
+        for ev in &self.buf[..n as usize] {
+            let token = ev.u64;
+            if token == WAKE_TOKEN {
+                let mut count: u64 = 0;
+                let _ =
+                    unsafe { libc::read(self.waker.eventfd, (&mut count as *mut u64).cast(), 8) };
+                continue;
+            }
+            let bits = ev.events;
+            out.push(PollEvent {
+                token,
+                readable: bits
+                    & (libc::EPOLLIN | libc::EPOLLERR | libc::EPOLLHUP | libc::EPOLLRDHUP)
+                    != 0,
+                writable: bits & libc::EPOLLOUT != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe { libc::close(self.epfd) };
+    }
+}
+
+/// Shrinks a socket's kernel send buffer (`SO_SNDBUF`). Used by tests
+/// and stress setups to make backpressure reproducible without
+/// megabytes of kernel buffering in the way; the kernel clamps and
+/// doubles the value as it sees fit.
+pub(crate) fn set_send_buffer(fd: RawFd, bytes: u32) -> io::Result<()> {
+    let val: libc::c_int = bytes.min(libc::c_int::MAX as u32) as libc::c_int;
+    check(unsafe {
+        libc::setsockopt(
+            fd,
+            libc::SOL_SOCKET,
+            libc::SO_SNDBUF,
+            (&val as *const libc::c_int).cast(),
+            std::mem::size_of::<libc::c_int>() as libc::socklen_t,
+        )
+    })
+}
+
+/// Raises the soft `RLIMIT_NOFILE` toward the hard limit until it
+/// covers `want` descriptors (saturating at the hard cap). Returns the
+/// resulting soft limit. Used by the session-scale bench so ≥8k
+/// sockets fit on stock distro soft limits.
+pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+    let mut lim = libc::rlimit::default();
+    check(unsafe { libc::getrlimit(libc::RLIMIT_NOFILE, &mut lim) })?;
+    if lim.rlim_cur >= want {
+        return Ok(lim.rlim_cur);
+    }
+    lim.rlim_cur = want.min(lim.rlim_max);
+    check(unsafe { libc::setrlimit(libc::RLIMIT_NOFILE, &lim) })?;
+    Ok(lim.rlim_cur)
+}
+
+fn check(ret: libc::c_int) -> io::Result<()> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(())
+    }
+}
+
+fn check_fd(ret: libc::c_int) -> io::Result<RawFd> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn wake_interrupts_an_indefinite_wait() {
+        let mut poller = Poller::new().unwrap();
+        let waker = poller.waker();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            waker.wake();
+        });
+        let mut events = Vec::new();
+        let started = std::time::Instant::now();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(events.is_empty(), "wake is absorbed, not surfaced");
+        assert!(started.elapsed() < Duration::from_secs(5), "woke early");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn readiness_reports_the_registered_token() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.add(listener.as_raw_fd(), 7, Interest::READ).unwrap();
+
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        assert!(events.is_empty(), "quiet listener: timeout, no events");
+
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        client.write_all(b"x").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(
+            events.iter().any(|e| e.token == 7 && e.readable),
+            "pending accept surfaces as readable on the listener token"
+        );
+        poller.delete(listener.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn write_interest_fires_only_when_registered() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        client.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.add(client.as_raw_fd(), 3, Interest::READ).unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(25)))
+            .unwrap();
+        assert!(events.is_empty(), "read-only interest on an idle socket");
+
+        poller
+            .modify(
+                client.as_raw_fd(),
+                3,
+                Interest {
+                    readable: true,
+                    writable: true,
+                },
+            )
+            .unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(
+            events.iter().any(|e| e.token == 3 && e.writable),
+            "an idle socket is writable once EPOLLOUT interest is armed"
+        );
+    }
+}

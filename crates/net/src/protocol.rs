@@ -192,6 +192,11 @@ pub enum ErrorCode {
     BadSession,
     /// Server-side failure (storage, internal invariant).
     Internal,
+    /// The session's outbound queue overflowed: the client stopped
+    /// reading while completions kept arriving, so the server shed it
+    /// rather than buffer without bound (pending queries stay
+    /// registered — `Resume` recovers them).
+    Backpressure,
 }
 
 impl ErrorCode {
@@ -203,6 +208,7 @@ impl ErrorCode {
             ErrorCode::UnknownQuery => 4,
             ErrorCode::BadSession => 5,
             ErrorCode::Internal => 6,
+            ErrorCode::Backpressure => 7,
         }
     }
 
@@ -214,6 +220,7 @@ impl ErrorCode {
             4 => ErrorCode::UnknownQuery,
             5 => ErrorCode::BadSession,
             6 => ErrorCode::Internal,
+            7 => ErrorCode::Backpressure,
             other => return Err(NetError::Frame(format!("unknown error code {other}"))),
         })
     }
@@ -626,8 +633,64 @@ impl Response {
 }
 
 // ------------------------------------------------------------------ //
-// Streaming frame reader
+// Streaming frame assembly
 // ------------------------------------------------------------------ //
+
+/// Push-driven frame accumulator: the readiness-loop counterpart of
+/// [`FrameReader`]. The reactor feeds it whatever a nonblocking read
+/// returned ([`FrameBuf::push`]) and then drains complete frames
+/// ([`FrameBuf::next_frame`]); partial frames persist across readiness
+/// events. The buffer only ever grows by bytes actually received, so a
+/// hostile length prefix cannot drive an allocation, and the cursor is
+/// compacted lazily so a trickle of tiny reads does not shift the
+/// whole buffer per byte.
+#[derive(Debug, Default)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    /// Bytes before `start` belong to already-yielded frames.
+    start: usize,
+}
+
+impl FrameBuf {
+    /// An empty accumulator.
+    pub fn new() -> FrameBuf {
+        FrameBuf::default()
+    }
+
+    /// Appends bytes received from the transport.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // compact before growing once the dead prefix dominates
+        if self.start > 0 && self.start >= self.buf.len() / 2 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Splits the next complete, checksum-verified frame payload off
+    /// the buffered bytes, or `Ok(None)` if none is complete yet.
+    /// Errors (oversized prefix, checksum mismatch) are sticky in
+    /// practice: the connection is unrecoverable past a framing error.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, NetError> {
+        match split_frame(&self.buf[self.start..])? {
+            Some((payload, consumed)) => {
+                self.start += consumed;
+                if self.start == self.buf.len() {
+                    self.buf.clear();
+                    self.start = 0;
+                }
+                Ok(Some(payload))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Whether any partial frame bytes are buffered (true means EOF
+    /// here is a mid-frame truncation, not a clean close).
+    pub fn has_partial(&self) -> bool {
+        self.start < self.buf.len()
+    }
+}
 
 /// What [`FrameReader::read_event`] observed.
 #[derive(Debug)]
@@ -649,7 +712,7 @@ pub enum ReadEvent {
 #[derive(Debug)]
 pub struct FrameReader<R> {
     inner: R,
-    buf: Vec<u8>,
+    buf: FrameBuf,
 }
 
 impl<R: std::io::Read> FrameReader<R> {
@@ -657,7 +720,7 @@ impl<R: std::io::Read> FrameReader<R> {
     pub fn new(inner: R) -> FrameReader<R> {
         FrameReader {
             inner,
-            buf: Vec::new(),
+            buf: FrameBuf::new(),
         }
     }
 
@@ -669,20 +732,19 @@ impl<R: std::io::Read> FrameReader<R> {
     /// Reads until one complete frame, a timeout, or EOF.
     pub fn read_event(&mut self) -> Result<ReadEvent, NetError> {
         loop {
-            if let Some((payload, consumed)) = split_frame(&self.buf)? {
-                self.buf.drain(..consumed);
+            if let Some(payload) = self.buf.next_frame()? {
                 return Ok(ReadEvent::Frame(payload));
             }
             let mut chunk = [0u8; 16 * 1024];
             match self.inner.read(&mut chunk) {
                 Ok(0) => {
-                    return if self.buf.is_empty() {
-                        Ok(ReadEvent::Eof)
-                    } else {
+                    return if self.buf.has_partial() {
                         Err(NetError::Frame("connection closed mid-frame".into()))
+                    } else {
+                        Ok(ReadEvent::Eof)
                     };
                 }
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Ok(n) => self.buf.push(&chunk[..n]),
                 Err(e)
                     if e.kind() == std::io::ErrorKind::WouldBlock
                         || e.kind() == std::io::ErrorKind::TimedOut =>

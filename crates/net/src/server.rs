@@ -1,52 +1,71 @@
-//! The TCP front-end server.
+//! The TCP front-end server: a single-threaded readiness reactor.
 //!
-//! One handler thread per connection parses frames and calls the
-//! coordinator's async submission API; **every** in-flight future from
-//! **every** session is driven by a single event-loop thread owning
-//! one [`WaiterSet`] — the session-scale discipline the async PR
-//! established, now behind a socket. Completions are pushed to
-//! whichever live session currently owns the query (`Done` frames with
-//! `corr = 0`); sessions that disconnected without resuming simply
-//! miss the push, and their queries expire under the deadline sweeper
-//! the server spawns.
+//! One thread owns everything: the listening socket, every connection,
+//! the [`WaiterSet`] driving every in-flight session future, and the
+//! timer heap that reaps idle connections. Sockets are nonblocking and
+//! epoll-registered (via the [`crate::poller`] wrapper over the
+//! vendored syscall shim); the reactor sleeps in `epoll_wait` until a
+//! socket is ready, a timer is due, or a completion lands — the
+//! coordinator's completion signal is bridged into the epoll wait
+//! through [`WaiterSet::set_wake_hook`] and an eventfd, so a deadline
+//! expiry on the sweeper thread wakes the reactor immediately.
 //!
-//! ## Tenancy
+//! This replaces the thread-per-connection design: at 2048 sessions
+//! the old front-end carried ~31 KiB of handler-thread stack per
+//! session and a 5 ms accept sleep-poll; the reactor carries a few
+//! hundred bytes of state per connection, accepts on readiness, and
+//! scales past 8192 sessions on one thread.
 //!
-//! The server installs its [`TenantRegistry`] into the coordinator, so
-//! quota checks (max in-flight, standing cap, submit-rate bucket)
-//! happen inside `submit` — before a query id is even allocated — and
-//! surface here as [`ErrorCode::Quota`] replies.
+//! ## Write backpressure
 //!
-//! ## Session tokens
+//! Responses are never written under a lock and never block. Each
+//! connection owns a bounded outbound queue: a response is written
+//! straight to the socket while the kernel accepts it, the remainder
+//! is queued, and `EPOLLOUT` interest is armed **only while the queue
+//! is non-empty**. A peer that stops reading while completions keep
+//! arriving fills its queue to [`ServerConfig::max_outbound_bytes`]
+//! and is shed — a best-effort [`ErrorCode::Backpressure`] frame, then
+//! disconnect — so one slow reader can no longer stall every session
+//! behind a shared writer lock. Shed sessions lose nothing durable:
+//! their pending queries stay registered and a `Resume` recovers them.
 //!
-//! `Hello` issues a fresh session token per owner; `Resume` must
-//! present the owner's **current** token and is answered with a new
-//! one (tokens rotate on every reconnect, so a stale client cannot
-//! hijack a session that already resumed elsewhere). A successful
-//! resume re-arms the owner's pending queries via
-//! [`ShardedCoordinator::reattach_async`]; handles held by the
-//! superseded session resolve [`CoordinationOutcome::Superseded`].
+//! ## Tenancy and session tokens
+//!
+//! Unchanged from the threaded front-end: the server installs its
+//! [`TenantRegistry`] into the coordinator so quota checks happen
+//! inside `submit`, and session tokens rotate on every handshake —
+//! `Resume` must present the owner's current token, and a successful
+//! resume re-arms pending queries via
+//! [`ShardedCoordinator::reattach_async`] (stale handles resolve
+//! [`CoordinationOutcome::Superseded`]).
 
-use std::collections::HashMap;
-use std::io::Write;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
-
 use youtopia_core::{
-    tenant_of, Clock, CoordinationFuture, CoordinationOutcome, CoreError, DeadlineHost,
-    DeadlineSweeper, QueryId, ShardedCoordinator, SubmitOptions, TenantRegistry, TenantStats,
-    WaiterSet,
+    tenant_of, Clock, CoordinationOutcome, CoreError, DeadlineHost, DeadlineSweeper, QueryId,
+    ShardedCoordinator, SubmitOptions, TenantRegistry, TenantStats, WaiterSet,
 };
 
-use crate::error::{NetError, NetResult};
+use crate::error::NetResult;
+use crate::poller::{set_send_buffer, Interest, PollEvent, PollWaker, Poller};
 use crate::protocol::{
-    write_frame, ErrorCode, FrameReader, Outcome, ReadEvent, Request, Response, TenantSummary,
-    PROTOCOL_VERSION,
+    encode_frame, ErrorCode, FrameBuf, Outcome, Request, Response, TenantSummary, PROTOCOL_VERSION,
 };
+
+/// Epoll token for the listening socket (connection slots count up
+/// from 0 and can never reach it).
+const LISTENER_TOKEN: u64 = u64::MAX - 1;
+
+/// How long a closing connection may take to drain its final frames
+/// before the reactor force-closes it.
+const CLOSE_LINGER_MILLIS: u64 = 5_000;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -58,9 +77,26 @@ pub struct ServerConfig {
     /// without an explicit deadline gets `now + connection_timeout`,
     /// so queries stranded by a vanished client always expire.
     pub connection_timeout_millis: u64,
-    /// Socket read timeout for handler threads (drives how quickly
-    /// they notice shutdown); the default is fine outside tests.
-    pub read_timeout: Duration,
+    /// A connection with no traffic in either direction for this long
+    /// is reaped (its pending queries stay registered for `Resume`).
+    /// Applies from accept, so a socket that never completes the
+    /// handshake is bounded too.
+    pub idle_timeout: Duration,
+    /// Upper bound on the reactor's epoll sleep while any timer is
+    /// armed and the clock cannot translate deadlines into wall time
+    /// (mock clocks): mock-time advances are observed within one tick.
+    /// With no timers armed the reactor sleeps indefinitely.
+    pub tick: Duration,
+    /// Per-connection outbound queue cap in bytes. A connection whose
+    /// queued responses exceed this is shed as a slow peer
+    /// ([`ErrorCode::Backpressure`]) rather than buffered without
+    /// bound.
+    pub max_outbound_bytes: usize,
+    /// When set, shrink each accepted socket's kernel send buffer
+    /// (`SO_SNDBUF`) to this many bytes. Tests use it to make
+    /// backpressure reproducible without pushing hundreds of KiB
+    /// through the default kernel buffer first.
+    pub send_buffer_bytes: Option<u32>,
 }
 
 impl Default for ServerConfig {
@@ -68,92 +104,57 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".into(),
             connection_timeout_millis: 30_000,
-            read_timeout: Duration::from_millis(25),
+            idle_timeout: Duration::from_secs(300),
+            tick: Duration::from_millis(25),
+            max_outbound_bytes: 256 * 1024,
+            send_buffer_bytes: None,
         }
     }
 }
 
-/// The per-session half shared between its handler thread and the
-/// event loop: a serialized writer plus a liveness flag flipped on
-/// disconnect or write failure.
-struct SessionShared {
-    writer: Mutex<TcpStream>,
-    alive: AtomicBool,
+/// Shared counters the reactor updates and [`NetServer::stats`]
+/// snapshots.
+#[derive(Debug, Default)]
+struct StatsInner {
+    accepted: AtomicU64,
+    active: AtomicU64,
+    queued_bytes: AtomicU64,
+    slow_peer_disconnects: AtomicU64,
+    idle_reaped: AtomicU64,
 }
 
-impl SessionShared {
-    /// Frames and writes a response; marks the session dead on error.
-    fn send(&self, resp: &Response) {
-        if !self.alive.load(Ordering::Acquire) {
-            return;
-        }
-        let mut writer = self.writer.lock();
-        if write_frame(&mut *writer, &resp.encode()).is_err() {
-            self.alive.store(false, Ordering::Release);
-        }
-    }
-}
-
-/// Messages from handler threads to the event loop.
-enum LoopMsg {
-    /// A session opened (fresh or resumed).
-    Open {
-        session: u64,
-        shared: Arc<SessionShared>,
-    },
-    /// A pending future now owned by `session`.
-    Register {
-        session: u64,
-        future: CoordinationFuture,
-    },
-    /// The session's connection ended (its queries stay registered).
-    Close { session: u64 },
-}
-
-/// Owner → current session token. Tokens rotate on every handshake;
-/// `Resume` must present the latest.
-#[derive(Default)]
-struct Directory {
-    next_session: AtomicU64,
-    current: Mutex<HashMap<String, u64>>,
-}
-
-impl Directory {
-    fn open(&self, owner: &str) -> u64 {
-        let session = self.next_session.fetch_add(1, Ordering::Relaxed) + 1;
-        self.current.lock().insert(owner.to_string(), session);
-        session
-    }
-
-    fn resume(&self, owner: &str, token: u64) -> Option<u64> {
-        let mut current = self.current.lock();
-        match current.get(owner) {
-            Some(&t) if t == token => {
-                let session = self.next_session.fetch_add(1, Ordering::Relaxed) + 1;
-                current.insert(owner.to_string(), session);
-                Some(session)
-            }
-            _ => None,
-        }
-    }
+/// A point-in-time snapshot of the server's connection counters (see
+/// [`NetServer::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted since the server started.
+    pub accepted: u64,
+    /// Connections currently open.
+    pub active: u64,
+    /// Bytes currently queued for write across all connections (the
+    /// backpressure depth; ~0 when every peer keeps up).
+    pub queued_bytes: u64,
+    /// Connections shed because their outbound queue overflowed
+    /// [`ServerConfig::max_outbound_bytes`].
+    pub slow_peer_disconnects: u64,
+    /// Connections reaped by the idle timer.
+    pub idle_reaped: u64,
 }
 
 /// The running server. Dropping it (or calling
-/// [`NetServer::shutdown`]) stops the accept loop, the event loop, and
-/// every handler thread.
+/// [`NetServer::shutdown`]) wakes and joins the reactor thread.
 pub struct NetServer {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    accept_handle: Option<std::thread::JoinHandle<()>>,
-    loop_handle: Option<std::thread::JoinHandle<()>>,
-    handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    waker: Arc<PollWaker>,
+    reactor: Option<std::thread::JoinHandle<()>>,
+    stats: Arc<StatsInner>,
     _sweeper: DeadlineSweeper,
 }
 
 impl NetServer {
     /// Binds, installs `tenants` into the coordinator, spawns the
-    /// deadline sweeper (timed by `clock`), the event loop, and the
-    /// accept loop.
+    /// deadline sweeper (timed by `clock`) and the reactor thread.
     pub fn spawn(
         co: Arc<ShardedCoordinator>,
         tenants: Arc<TenantRegistry>,
@@ -168,61 +169,52 @@ impl NetServer {
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
 
+        let poller = Poller::new()?;
+        poller.add(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)?;
+        let waker = poller.waker();
+
+        let mut set = WaiterSet::new();
+        {
+            // bridge completion signals (including the sweeper thread's
+            // deadline expiries) into the epoll wait
+            let waker = poller.waker();
+            set.set_wake_hook(move || waker.wake());
+        }
+
         let shutdown = Arc::new(AtomicBool::new(false));
-        let directory = Arc::new(Directory::default());
-        let (tx, rx) = mpsc::channel::<LoopMsg>();
-        let handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
-            Arc::new(Mutex::new(Vec::new()));
+        let stats = Arc::new(StatsInner::default());
 
-        let loop_handle = {
-            let shutdown = Arc::clone(&shutdown);
-            std::thread::Builder::new()
-                .name("net-event-loop".into())
-                .spawn(move || event_loop(rx, shutdown))
-                .expect("spawn event loop")
+        let mut reactor = Reactor {
+            co,
+            tenants,
+            clock,
+            config,
+            listener,
+            poller,
+            set,
+            directory: Directory::default(),
+            conns: Vec::new(),
+            free: Vec::new(),
+            pending_free: Vec::new(),
+            next_gen: 0,
+            route: HashMap::new(),
+            session_conn: HashMap::new(),
+            timers: BinaryHeap::new(),
+            events: Vec::new(),
+            stats: Arc::clone(&stats),
+            shutdown: Arc::clone(&shutdown),
         };
-
-        let accept_handle = {
-            let shutdown = Arc::clone(&shutdown);
-            let handlers = Arc::clone(&handlers);
-            let config = config.clone();
-            std::thread::Builder::new()
-                .name("net-accept".into())
-                .spawn(move || {
-                    while !shutdown.load(Ordering::Acquire) {
-                        match listener.accept() {
-                            Ok((stream, _)) => {
-                                let ctx = HandlerCtx {
-                                    co: Arc::clone(&co),
-                                    tenants: Arc::clone(&tenants),
-                                    clock: Arc::clone(&clock),
-                                    directory: Arc::clone(&directory),
-                                    tx: tx.clone(),
-                                    shutdown: Arc::clone(&shutdown),
-                                    config: config.clone(),
-                                };
-                                let handle = std::thread::Builder::new()
-                                    .name("net-session".into())
-                                    .spawn(move || handle_connection(stream, ctx))
-                                    .expect("spawn session handler");
-                                handlers.lock().push(handle);
-                            }
-                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                                std::thread::sleep(Duration::from_millis(5));
-                            }
-                            Err(_) => std::thread::sleep(Duration::from_millis(5)),
-                        }
-                    }
-                })
-                .expect("spawn accept loop")
-        };
+        let handle = std::thread::Builder::new()
+            .name("net-reactor".into())
+            .spawn(move || reactor.run())
+            .expect("spawn reactor");
 
         Ok(NetServer {
             local_addr,
             shutdown,
-            accept_handle: Some(accept_handle),
-            loop_handle: Some(loop_handle),
-            handlers,
+            waker,
+            reactor: Some(handle),
+            stats,
             _sweeper: sweeper,
         })
     }
@@ -232,17 +224,23 @@ impl NetServer {
         self.local_addr
     }
 
-    /// Stops accepting, disconnects the event loop, and joins every
-    /// thread the server spawned. Idempotent.
+    /// A snapshot of the connection counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            accepted: self.stats.accepted.load(Ordering::Relaxed),
+            active: self.stats.active.load(Ordering::Relaxed),
+            queued_bytes: self.stats.queued_bytes.load(Ordering::Relaxed),
+            slow_peer_disconnects: self.stats.slow_peer_disconnects.load(Ordering::Relaxed),
+            idle_reaped: self.stats.idle_reaped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Wakes and joins the reactor, closing every connection.
+    /// Idempotent.
     pub fn shutdown(&mut self) {
         self.shutdown.store(true, Ordering::Release);
-        if let Some(h) = self.accept_handle.take() {
-            let _ = h.join();
-        }
-        for h in std::mem::take(&mut *self.handlers.lock()) {
-            let _ = h.join();
-        }
-        if let Some(h) = self.loop_handle.take() {
+        self.waker.wake();
+        if let Some(h) = self.reactor.take() {
             let _ = h.join();
         }
     }
@@ -254,66 +252,675 @@ impl Drop for NetServer {
     }
 }
 
-/// The single-threaded event loop: owns the one [`WaiterSet`] driving
-/// every in-flight session future, routes completions to the owning
-/// live session, and drops completions whose session is gone.
-fn event_loop(rx: mpsc::Receiver<LoopMsg>, shutdown: Arc<AtomicBool>) {
-    let mut set = WaiterSet::new();
-    let mut sessions: HashMap<u64, Arc<SessionShared>> = HashMap::new();
-    let mut route: HashMap<QueryId, u64> = HashMap::new();
+// ------------------------------------------------------------------ //
+// Reactor internals
+// ------------------------------------------------------------------ //
 
-    let deliver = |sessions: &HashMap<u64, Arc<SessionShared>>,
-                   session: u64,
-                   qid: QueryId,
-                   outcome: CoordinationOutcome| {
-        if let Some(shared) = sessions.get(&session) {
-            shared.send(&Response::Done {
-                corr: 0,
-                qid: qid.0,
-                outcome: convert_outcome(outcome),
-            });
+/// Owner → current session token. Single-threaded now (only the
+/// reactor touches it); tokens still rotate on every handshake.
+#[derive(Default)]
+struct Directory {
+    next_session: u64,
+    current: HashMap<String, u64>,
+}
+
+impl Directory {
+    fn open(&mut self, owner: &str) -> u64 {
+        self.next_session += 1;
+        self.current.insert(owner.to_string(), self.next_session);
+        self.next_session
+    }
+
+    fn resume(&mut self, owner: &str, token: u64) -> Option<u64> {
+        match self.current.get(owner) {
+            Some(&t) if t == token => {
+                self.next_session += 1;
+                self.current.insert(owner.to_string(), self.next_session);
+                Some(self.next_session)
+            }
+            _ => None,
         }
-    };
+    }
+}
 
-    loop {
-        // drain control messages first so registrations race ahead of
-        // the harvest
+enum ConnState {
+    /// Waiting for `Hello` or `Resume`.
+    Handshake,
+    /// Session established; `session` is the token in `session_conn`.
+    Established { owner: String, session: u64 },
+}
+
+/// One connection's reactor-side state: a few hundred bytes plus
+/// whatever is actually buffered, replacing a handler thread's stack.
+struct Conn {
+    stream: TcpStream,
+    /// Generation stamp: timer-heap entries carry it so an entry from
+    /// a previous occupant of this slot is recognised as stale.
+    gen: u64,
+    inbuf: FrameBuf,
+    /// Encoded frames waiting for the socket; `front_off` is how much
+    /// of the front frame has already been written.
+    out: VecDeque<Vec<u8>>,
+    front_off: usize,
+    out_bytes: usize,
+    /// Whether `EPOLLOUT` interest is currently registered.
+    writable_armed: bool,
+    state: ConnState,
+    /// Draining final frames; no further input is processed and the
+    /// connection closes when the queue empties (or the linger timer
+    /// fires).
+    closing: bool,
+    /// Clock millis of the last traffic in either direction.
+    last_activity: u64,
+    /// Force-close deadline once `closing` (see `CLOSE_LINGER_MILLIS`).
+    linger_due: u64,
+    /// The due value of this connection's current timer-heap entry;
+    /// entries whose due no longer matches are stale and dropped on
+    /// pop.
+    next_timer_due: u64,
+}
+
+struct Reactor {
+    co: Arc<ShardedCoordinator>,
+    tenants: Arc<TenantRegistry>,
+    clock: Arc<dyn Clock>,
+    config: ServerConfig,
+    listener: TcpListener,
+    poller: Poller,
+    set: WaiterSet,
+    directory: Directory,
+    /// Slab of connections; the slot index is the epoll token.
+    conns: Vec<Option<Conn>>,
+    /// Slots free for reuse.
+    free: Vec<usize>,
+    /// Slots closed during the current event batch; moved to `free`
+    /// only after the batch so a stale event cannot hit a reused slot.
+    pending_free: Vec<usize>,
+    next_gen: u64,
+    /// Pending query → owning session token.
+    route: HashMap<QueryId, u64>,
+    /// Live session token → connection slot.
+    session_conn: HashMap<u64, usize>,
+    /// `(due_millis, slot, gen)` min-heap; entries are validated
+    /// lazily against the connection's `next_timer_due` on pop.
+    timers: BinaryHeap<Reverse<(u64, usize, u64)>>,
+    events: Vec<PollEvent>,
+    stats: Arc<StatsInner>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Reactor {
+    fn run(&mut self) {
         loop {
-            match rx.try_recv() {
-                Ok(LoopMsg::Open { session, shared }) => {
-                    sessions.insert(session, shared);
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            for (qid, outcome) in self.set.poll_ready() {
+                self.deliver(qid, outcome);
+            }
+            self.process_timers();
+            let timeout = self.next_timeout();
+            let mut events = std::mem::take(&mut self.events);
+            if self.poller.wait(&mut events, timeout).is_err() {
+                return; // epoll itself failed: nothing to serve with
+            }
+            for ev in &events {
+                if ev.token == LISTENER_TOKEN {
+                    self.accept_ready();
+                    continue;
                 }
-                Ok(LoopMsg::Register { session, future }) => {
-                    let qid = future.id();
-                    let prev = route.insert(qid, session);
-                    if let Some(mut old) = set.insert(future) {
-                        // a newer handle displaced the old one (owner
-                        // reattached): the stale handle is already
-                        // terminal — push its outcome (Superseded) to
-                        // the session that used to own the query
-                        if let (Some(outcome), Some(prev_session)) = (old.try_take(), prev) {
-                            if prev_session != session {
-                                deliver(&sessions, prev_session, qid, outcome);
+                let slot = ev.token as usize;
+                if ev.readable {
+                    self.read_ready(slot);
+                }
+                if ev.writable {
+                    self.write_ready(slot);
+                }
+            }
+            self.events = events;
+            self.free.append(&mut self.pending_free);
+        }
+    }
+
+    // ---- completions ------------------------------------------------
+
+    /// Pushes a terminal outcome to whichever live session owns the
+    /// query; sessions that disconnected without resuming miss the
+    /// push (their queries expired under the sweeper to get here).
+    fn deliver(&mut self, qid: QueryId, outcome: CoordinationOutcome) {
+        if let Some(session) = self.route.remove(&qid) {
+            self.push_to_session(session, qid, outcome);
+        }
+    }
+
+    fn push_to_session(&mut self, session: u64, qid: QueryId, outcome: CoordinationOutcome) {
+        if let Some(&slot) = self.session_conn.get(&session) {
+            self.enqueue(
+                slot,
+                &Response::Done {
+                    corr: 0,
+                    qid: qid.0,
+                    outcome: convert_outcome(outcome),
+                },
+            );
+        }
+    }
+
+    // ---- timers -----------------------------------------------------
+
+    fn idle_millis(&self) -> u64 {
+        (self.config.idle_timeout.as_millis() as u64).max(1)
+    }
+
+    /// The deadline currently governing a connection.
+    fn conn_due(conn: &Conn, idle_millis: u64) -> u64 {
+        if conn.closing {
+            conn.linger_due
+        } else {
+            conn.last_activity.saturating_add(idle_millis)
+        }
+    }
+
+    /// Pops due timer entries: stale ones are dropped, refreshed ones
+    /// re-pushed at their real deadline, and genuinely expired
+    /// connections reaped.
+    fn process_timers(&mut self) {
+        let now = self.clock.now_millis();
+        let idle = self.idle_millis();
+        while let Some(&Reverse((due, slot, gen))) = self.timers.peek() {
+            if due > now {
+                break;
+            }
+            self.timers.pop();
+            let Some(conn) = self.conns.get(slot).and_then(Option::as_ref) else {
+                continue;
+            };
+            if conn.gen != gen || conn.next_timer_due != due {
+                continue; // stale entry from a refresh or a prior occupant
+            }
+            let actual = Reactor::conn_due(conn, idle);
+            if actual <= now {
+                if !conn.closing {
+                    self.stats.idle_reaped.fetch_add(1, Ordering::Relaxed);
+                }
+                self.close(slot);
+            } else {
+                // inbound activity moved the deadline since the entry
+                // was pushed: re-arm at the real one
+                self.arm_timer(slot, actual);
+            }
+        }
+    }
+
+    fn arm_timer(&mut self, slot: usize, due: u64) {
+        if let Some(conn) = self.conns[slot].as_mut() {
+            conn.next_timer_due = due;
+            self.timers.push(Reverse((due, slot, conn.gen)));
+        }
+    }
+
+    /// How long the epoll wait may sleep: until the earliest live
+    /// timer, one `tick` when the clock cannot map deadlines to wall
+    /// time (mock clocks), or indefinitely with no timers armed.
+    fn next_timeout(&mut self) -> Option<Duration> {
+        loop {
+            let &Reverse((due, slot, gen)) = self.timers.peek()?;
+            match self.conns.get(slot).and_then(Option::as_ref) {
+                Some(c) if c.gen == gen && c.next_timer_due == due => {
+                    return Some(self.clock.timeout_until(due).unwrap_or(self.config.tick));
+                }
+                _ => {
+                    self.timers.pop(); // prune stale entries eagerly
+                }
+            }
+        }
+    }
+
+    // ---- accept -----------------------------------------------------
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => self.register_conn(stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                // transient per-connection failure (e.g. aborted before
+                // accept); the listener stays registered
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn register_conn(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        if let Some(bytes) = self.config.send_buffer_bytes {
+            let _ = set_send_buffer(stream.as_raw_fd(), bytes);
+        }
+        let slot = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.conns.len() - 1
+        });
+        if self
+            .poller
+            .add(stream.as_raw_fd(), slot as u64, Interest::READ)
+            .is_err()
+        {
+            self.free.push(slot);
+            return;
+        }
+        self.next_gen += 1;
+        let now = self.clock.now_millis();
+        self.conns[slot] = Some(Conn {
+            stream,
+            gen: self.next_gen,
+            inbuf: FrameBuf::new(),
+            out: VecDeque::new(),
+            front_off: 0,
+            out_bytes: 0,
+            writable_armed: false,
+            state: ConnState::Handshake,
+            closing: false,
+            last_activity: now,
+            linger_due: 0,
+            next_timer_due: 0,
+        });
+        self.stats.accepted.fetch_add(1, Ordering::Relaxed);
+        self.stats.active.fetch_add(1, Ordering::Relaxed);
+        let due = now.saturating_add(self.idle_millis());
+        self.arm_timer(slot, due);
+    }
+
+    // ---- reads ------------------------------------------------------
+
+    fn read_ready(&mut self, slot: usize) {
+        let mut payloads = Vec::new();
+        let mut eof = false;
+        let mut frame_error: Option<String> = None;
+        {
+            let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                return;
+            };
+            let now = self.clock.now_millis();
+            let mut chunk = [0u8; 16 * 1024];
+            loop {
+                match (&conn.stream).read(&mut chunk) {
+                    Ok(0) => {
+                        eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.last_activity = now;
+                        if conn.closing {
+                            continue; // discard input while draining
+                        }
+                        conn.inbuf.push(&chunk[..n]);
+                        loop {
+                            match conn.inbuf.next_frame() {
+                                Ok(Some(payload)) => payloads.push(payload),
+                                Ok(None) => break,
+                                Err(e) => {
+                                    frame_error = Some(e.to_string());
+                                    break;
+                                }
                             }
                         }
+                        if frame_error.is_some() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        eof = true; // connection-level failure: treat as gone
+                        break;
                     }
                 }
-                Ok(LoopMsg::Close { session }) => {
-                    sessions.remove(&session);
-                }
-                Err(mpsc::TryRecvError::Empty) => break,
-                Err(mpsc::TryRecvError::Disconnected) => return,
             }
         }
-
-        for (qid, outcome) in set.wait_timeout(Duration::from_millis(10)) {
-            if let Some(session) = route.remove(&qid) {
-                deliver(&sessions, session, qid, outcome);
+        // complete frames first — a peer may send Bye and close in one
+        // burst, and the frames precede the EOF
+        for payload in payloads {
+            if self.conns.get(slot).and_then(Option::as_ref).is_none() {
+                return; // a frame closed the connection (Bye, shed, ...)
             }
+            self.handle_frame(slot, &payload);
         }
-
-        if shutdown.load(Ordering::Acquire) {
+        if let Some(msg) = frame_error {
+            self.protocol_error(slot, 0, msg);
             return;
+        }
+        if eof {
+            self.close(slot);
+        }
+    }
+
+    // ---- writes -----------------------------------------------------
+
+    fn write_ready(&mut self, slot: usize) {
+        self.flush(slot);
+    }
+
+    /// Frames and queues a response, writing as much as the socket
+    /// will take right now. Overflowing the queue sheds the peer.
+    fn enqueue(&mut self, slot: usize, resp: &Response) {
+        let frame = encode_frame(&resp.encode());
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        if conn.closing {
+            return; // final frames already queued; nothing new after
+        }
+        if conn.out_bytes + frame.len() > self.config.max_outbound_bytes {
+            // slow peer: it stopped reading while completions kept
+            // arriving. Shed it — never buffer without bound, never
+            // block the reactor. Best-effort close notice; the peer's
+            // pending queries stay registered for a Resume.
+            let notice = encode_frame(
+                &Response::Error {
+                    corr: 0,
+                    code: ErrorCode::Backpressure,
+                    message: format!(
+                        "outbound queue overflow ({} bytes queued); resume to recover",
+                        conn.out_bytes
+                    ),
+                }
+                .encode(),
+            );
+            let _ = (&conn.stream).write(&notice);
+            self.stats
+                .slow_peer_disconnects
+                .fetch_add(1, Ordering::Relaxed);
+            self.close(slot);
+            return;
+        }
+        conn.last_activity = self.clock.now_millis();
+        conn.out_bytes += frame.len();
+        self.stats
+            .queued_bytes
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        conn.out.push_back(frame);
+        self.flush(slot);
+    }
+
+    /// Writes queued frames until the socket stops accepting, then
+    /// reconciles `EPOLLOUT` interest with whether anything is left.
+    fn flush(&mut self, slot: usize) {
+        let mut failed = false;
+        let mut close_now = false;
+        {
+            let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                return;
+            };
+            while let Some(front) = conn.out.front() {
+                match (&conn.stream).write(&front[conn.front_off..]) {
+                    Ok(0) => {
+                        failed = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.front_off += n;
+                        conn.out_bytes -= n;
+                        self.stats
+                            .queued_bytes
+                            .fetch_sub(n as u64, Ordering::Relaxed);
+                        if conn.front_off == front.len() {
+                            conn.out.pop_front();
+                            conn.front_off = 0;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            if !failed {
+                let want_writable = !conn.out.is_empty();
+                if want_writable != conn.writable_armed
+                    && self
+                        .poller
+                        .modify(
+                            conn.stream.as_raw_fd(),
+                            slot as u64,
+                            Interest {
+                                readable: true,
+                                writable: want_writable,
+                            },
+                        )
+                        .is_ok()
+                {
+                    conn.writable_armed = want_writable;
+                }
+                close_now = conn.closing && conn.out.is_empty();
+            }
+        }
+        if failed || close_now {
+            self.close(slot);
+        }
+    }
+
+    // ---- lifecycle --------------------------------------------------
+
+    /// Queues a final frame and lets the connection drain before
+    /// closing (bounded by the linger timer).
+    fn finish(&mut self, slot: usize, resp: &Response) {
+        self.enqueue(slot, resp);
+        let now = self.clock.now_millis();
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return; // enqueue shed it
+        };
+        if conn.out.is_empty() {
+            self.close(slot);
+            return;
+        }
+        conn.closing = true;
+        conn.linger_due = now.saturating_add(CLOSE_LINGER_MILLIS);
+        let due = conn.linger_due;
+        self.arm_timer(slot, due);
+    }
+
+    fn protocol_error(&mut self, slot: usize, corr: u64, message: String) {
+        self.finish(
+            slot,
+            &Response::Error {
+                corr,
+                code: ErrorCode::Protocol,
+                message,
+            },
+        );
+    }
+
+    /// Tears a connection down immediately: deregisters, drops the
+    /// socket and any queued bytes, and parks the slot for reuse after
+    /// the current event batch.
+    fn close(&mut self, slot: usize) {
+        let Some(conn) = self.conns[slot].take() else {
+            return;
+        };
+        let _ = self.poller.delete(conn.stream.as_raw_fd());
+        self.stats.active.fetch_sub(1, Ordering::Relaxed);
+        self.stats
+            .queued_bytes
+            .fetch_sub(conn.out_bytes as u64, Ordering::Relaxed);
+        if let ConnState::Established { session, .. } = conn.state {
+            if self.session_conn.get(&session) == Some(&slot) {
+                self.session_conn.remove(&session);
+            }
+        }
+        self.pending_free.push(slot);
+    }
+
+    // ---- frame dispatch ---------------------------------------------
+
+    fn handle_frame(&mut self, slot: usize, payload: &[u8]) {
+        let request = match Request::decode(payload) {
+            Ok(request) => request,
+            Err(e) => {
+                self.protocol_error(slot, 0, e.to_string());
+                return;
+            }
+        };
+        let established = {
+            let Some(conn) = self.conns.get(slot).and_then(Option::as_ref) else {
+                return;
+            };
+            match &conn.state {
+                ConnState::Handshake => None,
+                ConnState::Established { owner, session } => Some((owner.clone(), *session)),
+            }
+        };
+        match established {
+            None => self.handle_handshake(slot, request),
+            Some((owner, session)) => self.handle_established(slot, &owner, session, request),
+        }
+    }
+
+    fn handle_handshake(&mut self, slot: usize, request: Request) {
+        match request {
+            Request::Hello { version, owner } if version == PROTOCOL_VERSION => {
+                let session = self.directory.open(&owner);
+                self.session_conn.insert(session, slot);
+                if let Some(conn) = self.conns[slot].as_mut() {
+                    conn.state = ConnState::Established { owner, session };
+                }
+                self.enqueue(
+                    slot,
+                    &Response::Welcome {
+                        session,
+                        reattached: 0,
+                    },
+                );
+            }
+            Request::Resume {
+                version,
+                owner,
+                session: token,
+            } if version == PROTOCOL_VERSION => {
+                let Some(session) = self.directory.resume(&owner, token) else {
+                    self.finish(
+                        slot,
+                        &Response::Error {
+                            corr: 0,
+                            code: ErrorCode::BadSession,
+                            message: format!("stale or unknown session token {token}"),
+                        },
+                    );
+                    return;
+                };
+                self.session_conn.insert(session, slot);
+                if let Some(conn) = self.conns[slot].as_mut() {
+                    conn.state = ConnState::Established {
+                        owner: owner.clone(),
+                        session,
+                    };
+                }
+                let futures = self.co.reattach_async(&owner);
+                let reattached = futures.len() as u32;
+                for future in futures {
+                    self.register_future(session, future);
+                }
+                self.enqueue(
+                    slot,
+                    &Response::Welcome {
+                        session,
+                        reattached,
+                    },
+                );
+            }
+            Request::Hello { .. } | Request::Resume { .. } => {
+                self.protocol_error(
+                    slot,
+                    0,
+                    format!("unsupported protocol version (want {PROTOCOL_VERSION})"),
+                );
+            }
+            _ => {
+                self.protocol_error(
+                    slot,
+                    0,
+                    "handshake required: send Hello or Resume first".into(),
+                );
+            }
+        }
+    }
+
+    fn handle_established(&mut self, slot: usize, owner: &str, session: u64, request: Request) {
+        match request {
+            Request::Submit {
+                corr,
+                deadline,
+                sql,
+            } => {
+                let deadline = deadline.unwrap_or_else(|| {
+                    self.clock.now_millis() + self.config.connection_timeout_millis
+                });
+                let opts = SubmitOptions::with_deadline(deadline);
+                match self.co.submit_sql_async_with(owner, &sql, opts) {
+                    Ok(mut future) => {
+                        let qid = future.id();
+                        if let Some(outcome) = future.try_take() {
+                            // answered on arrival: reply directly, no
+                            // waiter-set round trip
+                            self.enqueue(
+                                slot,
+                                &Response::Done {
+                                    corr,
+                                    qid: qid.0,
+                                    outcome: convert_outcome(outcome),
+                                },
+                            );
+                        } else {
+                            self.register_future(session, future);
+                            self.enqueue(slot, &Response::Accepted { corr, qid: qid.0 });
+                        }
+                    }
+                    Err(e) => self.enqueue(slot, &error_reply(corr, &e)),
+                }
+            }
+            Request::Cancel { corr, qid } => {
+                let resp = match self.co.cancel(QueryId(qid)) {
+                    Ok(()) => Response::CancelOk { corr },
+                    Err(e) => error_reply(corr, &e),
+                };
+                self.enqueue(slot, &resp);
+            }
+            Request::Stats { corr } => {
+                let stats = self.tenants.tenant_stats(tenant_of(owner));
+                self.enqueue(
+                    slot,
+                    &Response::StatsReply {
+                        corr,
+                        found: stats.is_some(),
+                        tenant: stats.as_ref().map(summarize).unwrap_or_default(),
+                    },
+                );
+            }
+            Request::Bye { corr } => {
+                self.finish(slot, &Response::ByeOk { corr });
+            }
+            Request::Hello { .. } | Request::Resume { .. } => {
+                self.protocol_error(slot, 0, "session already established".into());
+            }
+        }
+    }
+
+    /// Routes a pending future to `session` in the waiter set. If a
+    /// newer handle displaces an old one (owner reattached), the stale
+    /// handle is already terminal — its `Superseded` outcome is pushed
+    /// to the session that used to own the query.
+    fn register_future(&mut self, session: u64, future: youtopia_core::CoordinationFuture) {
+        let qid = future.id();
+        let prev = self.route.insert(qid, session);
+        if let Some(mut old) = self.set.insert(future) {
+            if let (Some(outcome), Some(prev_session)) = (old.try_take(), prev) {
+                if prev_session != session {
+                    self.push_to_session(prev_session, qid, outcome);
+                }
+            }
         }
     }
 }
@@ -355,194 +962,4 @@ fn error_reply(corr: u64, e: &CoreError) -> Response {
         code,
         message: e.to_string(),
     }
-}
-
-/// Everything a handler thread needs, bundled to keep the spawn tidy.
-struct HandlerCtx {
-    co: Arc<ShardedCoordinator>,
-    tenants: Arc<TenantRegistry>,
-    clock: Arc<dyn Clock>,
-    directory: Arc<Directory>,
-    tx: mpsc::Sender<LoopMsg>,
-    shutdown: Arc<AtomicBool>,
-    config: ServerConfig,
-}
-
-fn handle_connection(stream: TcpStream, ctx: HandlerCtx) {
-    let _ = stream.set_read_timeout(Some(ctx.config.read_timeout));
-    let Ok(writer) = stream.try_clone() else {
-        return;
-    };
-    let shared = Arc::new(SessionShared {
-        writer: Mutex::new(writer),
-        alive: AtomicBool::new(true),
-    });
-    let mut reader = FrameReader::new(stream);
-
-    // ---- handshake: Hello or Resume ---------------------------------
-    let (owner, session) = loop {
-        if ctx.shutdown.load(Ordering::Acquire) {
-            return;
-        }
-        match reader.read_event() {
-            Ok(ReadEvent::Frame(payload)) => match Request::decode(&payload) {
-                Ok(Request::Hello { version, owner }) if version == PROTOCOL_VERSION => {
-                    let session = ctx.directory.open(&owner);
-                    let _ = ctx.tx.send(LoopMsg::Open {
-                        session,
-                        shared: Arc::clone(&shared),
-                    });
-                    shared.send(&Response::Welcome {
-                        session,
-                        reattached: 0,
-                    });
-                    break (owner, session);
-                }
-                Ok(Request::Resume {
-                    version,
-                    owner,
-                    session: token,
-                }) if version == PROTOCOL_VERSION => {
-                    let Some(session) = ctx.directory.resume(&owner, token) else {
-                        shared.send(&Response::Error {
-                            corr: 0,
-                            code: ErrorCode::BadSession,
-                            message: format!("stale or unknown session token {token}"),
-                        });
-                        return;
-                    };
-                    let _ = ctx.tx.send(LoopMsg::Open {
-                        session,
-                        shared: Arc::clone(&shared),
-                    });
-                    let futures = ctx.co.reattach_async(&owner);
-                    let reattached = futures.len() as u32;
-                    for future in futures {
-                        let _ = ctx.tx.send(LoopMsg::Register { session, future });
-                    }
-                    shared.send(&Response::Welcome {
-                        session,
-                        reattached,
-                    });
-                    break (owner, session);
-                }
-                Ok(Request::Hello { .. }) | Ok(Request::Resume { .. }) => {
-                    shared.send(&Response::Error {
-                        corr: 0,
-                        code: ErrorCode::Protocol,
-                        message: format!("unsupported protocol version (want {PROTOCOL_VERSION})"),
-                    });
-                    return;
-                }
-                Ok(_) => {
-                    shared.send(&Response::Error {
-                        corr: 0,
-                        code: ErrorCode::Protocol,
-                        message: "handshake required: send Hello or Resume first".into(),
-                    });
-                    return;
-                }
-                Err(e) => {
-                    shared.send(&Response::Error {
-                        corr: 0,
-                        code: ErrorCode::Protocol,
-                        message: e.to_string(),
-                    });
-                    return;
-                }
-            },
-            Ok(ReadEvent::Timeout) => continue,
-            Ok(ReadEvent::Eof) | Err(_) => return,
-        }
-    };
-
-    // ---- steady state ------------------------------------------------
-    loop {
-        if ctx.shutdown.load(Ordering::Acquire) || !shared.alive.load(Ordering::Acquire) {
-            break;
-        }
-        let payload = match reader.read_event() {
-            Ok(ReadEvent::Frame(payload)) => payload,
-            Ok(ReadEvent::Timeout) => continue,
-            Ok(ReadEvent::Eof) => break,
-            Err(NetError::Frame(msg)) => {
-                shared.send(&Response::Error {
-                    corr: 0,
-                    code: ErrorCode::Protocol,
-                    message: msg,
-                });
-                break;
-            }
-            Err(_) => break,
-        };
-        let request = match Request::decode(&payload) {
-            Ok(request) => request,
-            Err(e) => {
-                shared.send(&Response::Error {
-                    corr: 0,
-                    code: ErrorCode::Protocol,
-                    message: e.to_string(),
-                });
-                break;
-            }
-        };
-        match request {
-            Request::Submit {
-                corr,
-                deadline,
-                sql,
-            } => {
-                let deadline = deadline.unwrap_or_else(|| {
-                    ctx.clock.now_millis() + ctx.config.connection_timeout_millis
-                });
-                let opts = SubmitOptions::with_deadline(deadline);
-                match ctx.co.submit_sql_async_with(&owner, &sql, opts) {
-                    Ok(mut future) => {
-                        let qid = future.id();
-                        if let Some(outcome) = future.try_take() {
-                            // answered on arrival: reply directly, no
-                            // event-loop round trip
-                            shared.send(&Response::Done {
-                                corr,
-                                qid: qid.0,
-                                outcome: convert_outcome(outcome),
-                            });
-                        } else {
-                            let _ = ctx.tx.send(LoopMsg::Register { session, future });
-                            shared.send(&Response::Accepted { corr, qid: qid.0 });
-                        }
-                    }
-                    Err(e) => shared.send(&error_reply(corr, &e)),
-                }
-            }
-            Request::Cancel { corr, qid } => match ctx.co.cancel(QueryId(qid)) {
-                Ok(()) => shared.send(&Response::CancelOk { corr }),
-                Err(e) => shared.send(&error_reply(corr, &e)),
-            },
-            Request::Stats { corr } => {
-                let stats = ctx.tenants.tenant_stats(tenant_of(&owner));
-                shared.send(&Response::StatsReply {
-                    corr,
-                    found: stats.is_some(),
-                    tenant: stats.as_ref().map(summarize).unwrap_or_default(),
-                });
-            }
-            Request::Bye { corr } => {
-                shared.send(&Response::ByeOk { corr });
-                break;
-            }
-            Request::Hello { .. } | Request::Resume { .. } => {
-                shared.send(&Response::Error {
-                    corr: 0,
-                    code: ErrorCode::Protocol,
-                    message: "session already established".into(),
-                });
-                break;
-            }
-        }
-    }
-
-    let _ = shared.writer.lock().flush();
-    shared.alive.store(false, Ordering::Release);
-    let _ = ctx.tx.send(LoopMsg::Close { session });
 }

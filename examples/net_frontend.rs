@@ -9,6 +9,9 @@
 //!   token — the reattached connection receives the answer;
 //! * a greedy tenant capped by a per-tenant in-flight quota, its
 //!   overflow rejected with `Quota` errors, its survivors cancelled;
+//! * a scale phase: 1024 concurrent sessions (connect + `Hello` + one
+//!   standing submission each) held open against the single reactor
+//!   thread, probed for liveness, then torn down to zero;
 //! * a final per-tenant ledger check: every submission is accounted
 //!   for (`submitted == answered + cancelled + expired + aborted +
 //!   in_flight`).
@@ -33,6 +36,8 @@ const PAIRS: usize = 32;
 const RELATIONS: usize = 4;
 const GREEDY_CAP: usize = 8;
 const GREEDY_SUBMITS: usize = 40;
+const SCALE_SESSIONS: usize = 1024;
+const SCALE_WORKERS: usize = 16;
 const PUSH_WAIT: Duration = Duration::from_secs(10);
 
 fn pair_sql(relation: &str, me: &str, friend: &str) -> String {
@@ -59,6 +64,9 @@ fn expect_answered(client: &mut NetClient, submitted: SubmitOutcome) {
 }
 
 fn main() {
+    // the scale phase holds both ends of 1k+ connections in this
+    // process; lift the fd soft limit before anything binds
+    youtopia::net::raise_nofile_limit((4 * SCALE_SESSIONS) as u64).expect("raise fd limit");
     let mut generator = WorkloadGen::new(0xBEEF);
     let db = generator
         .build_database(100, &["Paris", "Rome"])
@@ -153,6 +161,8 @@ fn main() {
         .expect("submit closer");
     expect_answered(&mut cb, closer);
     expect_answered(&mut c2, SubmitOutcome::Pending(qid));
+    cb.bye().ok();
+    c2.bye().ok();
     println!("reattach    : q{qid} answered on the resumed session");
 
     // ---- phase 3: greedy tenant hits its in-flight quota ----------- //
@@ -205,6 +215,66 @@ fn main() {
         accepted.len(),
         GREEDY_CAP,
         rejected
+    );
+
+    // ---- phase 4: 1k+ concurrent sessions on one reactor thread ---- //
+    let scale_started = Instant::now();
+    let scale_clients: Vec<NetClient> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..SCALE_WORKERS)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut clients = Vec::new();
+                    let mut s = w;
+                    while s < SCALE_SESSIONS {
+                        let owner = format!("scale{w}/s{s}");
+                        let mut client = NetClient::connect(addr).expect("connect scale");
+                        client.hello(&owner).expect("hello scale");
+                        // one standing never-matching query keeps the
+                        // session live in the coordinator, not just the
+                        // socket table
+                        let sql = pair_sql(
+                            &format!("Reservation{}", s % RELATIONS),
+                            &owner,
+                            &format!("ghost{s}"),
+                        );
+                        match client.submit(&sql, None).expect("submit scale") {
+                            SubmitOutcome::Pending(_) => {}
+                            SubmitOutcome::Done(qid, o) => {
+                                panic!("partnerless q{qid} resolved early: {o:?}")
+                            }
+                        }
+                        clients.push(client);
+                        s += SCALE_WORKERS;
+                    }
+                    clients
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("scale worker"))
+            .collect()
+    });
+    assert_eq!(scale_clients.len(), SCALE_SESSIONS);
+    let live = server.stats().active;
+    assert!(
+        live >= SCALE_SESSIONS as u64,
+        "server reports {live} active sessions, want >= {SCALE_SESSIONS}"
+    );
+    // every session still answers with the full table open
+    let mut probe = scale_clients;
+    for client in probe.iter_mut().step_by(SCALE_SESSIONS / 8) {
+        client.stats().expect("stats under load");
+    }
+    drop(probe);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while server.stats().active > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.stats().active, 0, "scale sessions torn down");
+    println!(
+        "scale       : {SCALE_SESSIONS} concurrent sessions established and reaped ({:.2?})",
+        scale_started.elapsed()
     );
 
     // ---- final: every tenant's ledger balances --------------------- //

@@ -41,6 +41,6 @@ pub use youtopia_core::{
     Submission, SubmitOptions, SystemClock, TenantQuotas, TenantRegistry, WaiterSet,
 };
 pub use youtopia_exec::{run_sql, StatementOutcome};
-pub use youtopia_net::{NetClient, NetServer, ServerConfig};
+pub use youtopia_net::{NetClient, NetServer, ServerConfig, ServerStats};
 pub use youtopia_storage::Database;
 pub use youtopia_travel::{AdminConsole, BookingOutcome, FlightPrefs, TravelService, WorkloadGen};

@@ -1,0 +1,267 @@
+//! Reactor timer semantics under a controlled clock.
+//!
+//! `set_read_timeout` is gone: the reactor keeps one deadline heap and
+//! derives its `epoll_wait` timeout from the earliest live entry (one
+//! short tick when the clock is a mock, since mock time only moves by
+//! explicit advance). These tests drive a `MockClock` through the
+//! front-end's timer surface: idle-connection reaping (established and
+//! never-handshaken), activity deferring the reap (the heap's lazy
+//! revalidation path), and a client deadline expiring on the sweeper
+//! thread whose completion must cross the wake hook into the epoll
+//! loop. The trickle tests exercise the nonblocking read path's frame
+//! reassembly one byte at a time.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use youtopia::net::{
+    encode_frame, FrameReader, NetError, Outcome, ReadEvent, Request, Response, SubmitOutcome,
+    PROTOCOL_VERSION,
+};
+use youtopia::{
+    Clock, MockClock, NetClient, NetServer, ServerConfig, ShardedCoordinator, TenantQuotas,
+    TenantRegistry, WorkloadGen,
+};
+
+const T0: u64 = 1_000_000;
+
+fn spawn_mock_server(idle_timeout: Duration) -> (NetServer, std::net::SocketAddr, Arc<MockClock>) {
+    let mut generator = WorkloadGen::new(0xA11CE);
+    let db = generator
+        .build_database(20, &["Paris"])
+        .expect("database builds");
+    let co = Arc::new(ShardedCoordinator::new(db));
+    let tenants = TenantRegistry::new(TenantQuotas::default());
+    let clock = Arc::new(MockClock::new(T0));
+    let server = NetServer::spawn(
+        co,
+        tenants,
+        ServerConfig {
+            idle_timeout,
+            ..ServerConfig::default()
+        },
+        Arc::clone(&clock) as Arc<dyn Clock>,
+    )
+    .expect("server binds");
+    let addr = server.local_addr();
+    (server, addr, clock)
+}
+
+/// Blocks until the peer closes the connection; panics if it stays
+/// open past `patience` of real time.
+fn expect_disconnect(stream: &TcpStream, patience: Duration) {
+    stream
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .expect("read timeout");
+    let deadline = Instant::now() + patience;
+    let mut sink = [0u8; 1024];
+    loop {
+        match (&*stream).read(&mut sink) {
+            Ok(0) => return,
+            Ok(_) => continue, // drain whatever was in flight
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                assert!(
+                    Instant::now() < deadline,
+                    "connection still open after {patience:?}"
+                );
+            }
+            Err(_) => return, // reset also counts as closed
+        }
+    }
+}
+
+#[test]
+fn idle_established_session_is_reaped() {
+    let (server, addr, clock) = spawn_mock_server(Duration::from_secs(5));
+    let mut client = NetClient::connect(addr).expect("connect");
+    client.hello("idle/alice").expect("hello");
+    assert_eq!(server.stats().active, 1);
+
+    clock.advance(6_000);
+    match client.next_event(Duration::from_secs(5)) {
+        Err(NetError::Closed) => {}
+        other => panic!("expected the idle session to be closed, got {other:?}"),
+    }
+    assert_eq!(server.stats().idle_reaped, 1);
+    assert_eq!(server.stats().active, 0);
+    drop(server);
+}
+
+#[test]
+fn connection_that_never_handshakes_is_reaped() {
+    let (server, addr, clock) = spawn_mock_server(Duration::from_secs(5));
+    let stream = TcpStream::connect(addr).expect("connect");
+    // give the reactor a beat to accept before advancing time
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.stats().accepted == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(server.stats().accepted, 1, "connection accepted");
+
+    clock.advance(6_000);
+    expect_disconnect(&stream, Duration::from_secs(5));
+    assert_eq!(server.stats().idle_reaped, 1);
+    drop(server);
+}
+
+#[test]
+fn activity_defers_the_idle_reap() {
+    let (server, addr, clock) = spawn_mock_server(Duration::from_secs(5));
+    let mut client = NetClient::connect(addr).expect("connect");
+    client.hello("idle/busy").expect("hello");
+
+    // 3s in: touch the session, moving its deadline to t+8s
+    clock.advance(3_000);
+    client.stats().expect("session alive at 3s");
+
+    // 6s in: past the original deadline, but the heap entry must
+    // revalidate against the refreshed activity and re-arm
+    clock.advance(3_000);
+    client.stats().expect("session alive at 6s after activity");
+    assert_eq!(server.stats().idle_reaped, 0);
+
+    // that round trip moved the deadline to t+11s; jump past it
+    clock.advance(6_000);
+    match client.next_event(Duration::from_secs(5)) {
+        Err(NetError::Closed) => {}
+        other => panic!("expected reap after refreshed deadline, got {other:?}"),
+    }
+    assert_eq!(server.stats().idle_reaped, 1);
+    drop(server);
+}
+
+#[test]
+fn client_deadline_expiry_is_pushed_through_the_wake_hook() {
+    // long idle timeout so only the submission deadline can fire
+    let (server, addr, clock) = spawn_mock_server(Duration::from_secs(600));
+    let mut client = NetClient::connect(addr).expect("connect");
+    client.hello("exp/alice").expect("hello");
+
+    let sql = WorkloadGen::pair_request_on("Reservation0", "exp/alice", "exp/ghost", "Paris").sql;
+    let qid = match client.submit(&sql, Some(T0 + 5_000)).expect("submit") {
+        SubmitOutcome::Pending(qid) => qid,
+        SubmitOutcome::Done(qid, o) => panic!("partnerless q{qid} resolved early: {o:?}"),
+    };
+
+    // the expiry happens on the sweeper thread; its completion must
+    // wake the reactor (eventfd bridge) and arrive as a Done push
+    clock.advance(6_000);
+    match client.next_event(Duration::from_secs(10)).expect("event") {
+        Some((got, Outcome::Expired)) if got == qid => {}
+        other => panic!("expected Expired push for q{qid}, got {other:?}"),
+    }
+    client.bye().ok();
+    drop(server);
+}
+
+#[test]
+fn bye_reply_is_flushed_before_the_close() {
+    let (server, addr, _clock) = spawn_mock_server(Duration::from_secs(600));
+    let mut client = NetClient::connect(addr).expect("connect");
+    client.hello("bye/alice").expect("hello");
+    // bye() itself asserts the ByeOk reply arrived — i.e. the final
+    // frame was flushed, not dropped by the close
+    client.bye().expect("ByeOk before close");
+    match client.next_event(Duration::from_secs(5)) {
+        Err(NetError::Closed) => {}
+        other => panic!("expected close after ByeOk, got {other:?}"),
+    }
+    drop(server);
+}
+
+// ---------------------------------------------------------------- //
+// Trickle reassembly against the nonblocking read path
+// ---------------------------------------------------------------- //
+
+fn write_byte_at_a_time(stream: &mut TcpStream, bytes: &[u8]) {
+    for b in bytes {
+        stream.write_all(std::slice::from_ref(b)).expect("trickle");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+#[test]
+fn frames_reassemble_from_byte_at_a_time_reads() {
+    let (server, addr, _clock) = spawn_mock_server(Duration::from_secs(600));
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).ok();
+
+    let hello = encode_frame(
+        &Request::Hello {
+            version: PROTOCOL_VERSION,
+            owner: "trickle/t".into(),
+        }
+        .encode(),
+    );
+    write_byte_at_a_time(&mut stream, &hello);
+
+    let mut reader = FrameReader::new(stream.try_clone().expect("clone"));
+    match reader.read_event().expect("welcome") {
+        ReadEvent::Frame(payload) => assert!(matches!(
+            Response::decode(&payload).expect("decode"),
+            Response::Welcome { .. }
+        )),
+        other => panic!("expected Welcome, got {other:?}"),
+    }
+
+    // a second trickled frame exercises partial-buffer reuse across
+    // many readiness events on an established connection
+    let stats = encode_frame(&Request::Stats { corr: 9 }.encode());
+    write_byte_at_a_time(&mut stream, &stats);
+    match reader.read_event().expect("stats reply") {
+        ReadEvent::Frame(payload) => match Response::decode(&payload).expect("decode") {
+            Response::StatsReply { corr, .. } => assert_eq!(corr, 9),
+            other => panic!("expected StatsReply, got {other:?}"),
+        },
+        other => panic!("expected StatsReply frame, got {other:?}"),
+    }
+    drop(server);
+}
+
+#[test]
+fn two_frames_split_across_one_byte_boundary() {
+    // the tail of one frame and the head of the next arriving in a
+    // single readiness event must yield both frames
+    let (server, addr, _clock) = spawn_mock_server(Duration::from_secs(600));
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).ok();
+
+    let hello = encode_frame(
+        &Request::Hello {
+            version: PROTOCOL_VERSION,
+            owner: "trickle/u".into(),
+        }
+        .encode(),
+    );
+    let mut burst = encode_frame(&Request::Stats { corr: 1 }.encode());
+    burst.extend_from_slice(&encode_frame(&Request::Stats { corr: 2 }.encode()));
+
+    // handshake first so both Stats arrive on an established session
+    stream.write_all(&hello).expect("hello");
+    let mut reader = FrameReader::new(stream.try_clone().expect("clone"));
+    assert!(matches!(reader.read_event(), Ok(ReadEvent::Frame(_))));
+
+    // split the two-frame burst at an arbitrary interior point
+    let split = burst.len() / 2 + 1;
+    stream.write_all(&burst[..split]).expect("first half");
+    std::thread::sleep(Duration::from_millis(20));
+    stream.write_all(&burst[split..]).expect("second half");
+
+    let mut corrs = Vec::new();
+    while corrs.len() < 2 {
+        match reader.read_event().expect("reply") {
+            ReadEvent::Frame(payload) => match Response::decode(&payload).expect("decode") {
+                Response::StatsReply { corr, .. } => corrs.push(corr),
+                other => panic!("expected StatsReply, got {other:?}"),
+            },
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+    assert_eq!(corrs, vec![1, 2], "both frames decoded in order");
+    drop(server);
+}

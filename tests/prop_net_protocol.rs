@@ -11,8 +11,8 @@
 use proptest::prelude::*;
 
 use youtopia::net::{
-    encode_frame, split_frame, ErrorCode, FrameReader, Outcome, ReadEvent, Request, Response,
-    TenantSummary, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+    encode_frame, split_frame, ErrorCode, FrameBuf, FrameReader, Outcome, ReadEvent, Request,
+    Response, TenantSummary, MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
 use youtopia::storage::{Tuple, Value};
 
@@ -171,6 +171,36 @@ proptest! {
         if cut < payload.len() {
             prop_assert!(Request::decode(&payload[..cut]).is_err());
         }
+    }
+
+    /// The push-driven accumulator the reactor feeds from nonblocking
+    /// reads yields exactly the original frame sequence no matter how
+    /// the byte stream is chunked — the arrival pattern of readiness
+    /// events must be semantically invisible.
+    #[test]
+    fn framebuf_reassembles_any_chunking(
+        reqs in proptest::collection::vec(arb_request(), 1..6),
+        cuts in proptest::collection::vec(1usize..24, 0..48),
+    ) {
+        let mut wire = Vec::new();
+        for req in &reqs {
+            wire.extend_from_slice(&encode_frame(&req.encode()));
+        }
+
+        let mut buf = FrameBuf::new();
+        let mut decoded = Vec::new();
+        let mut offset = 0usize;
+        let mut cuts = cuts.into_iter();
+        while offset < wire.len() {
+            let take = cuts.next().unwrap_or(usize::MAX).min(wire.len() - offset);
+            buf.push(&wire[offset..offset + take]);
+            offset += take;
+            while let Some(payload) = buf.next_frame().unwrap() {
+                decoded.push(Request::decode(&payload).unwrap());
+            }
+        }
+        prop_assert!(!buf.has_partial(), "all bytes consumed at a boundary");
+        prop_assert_eq!(decoded, reqs);
     }
 }
 

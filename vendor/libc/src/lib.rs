@@ -1,0 +1,164 @@
+//! Local API-compatible subset of the `libc` crate for the offline
+//! build environment (see `vendor/README.md`).
+//!
+//! Only the raw syscall surface this workspace exercises is declared:
+//! the epoll family, `eventfd`, fd `read`/`write`/`close`,
+//! `setsockopt` (buffer sizing), and the `RLIMIT_NOFILE` pair. The
+//! symbols are resolved against the system C library that `std`
+//! already links on Linux, so no new link-time dependency is
+//! introduced — this crate is declarations and constants only.
+//!
+//! Everything here is `unsafe` raw FFI by nature; the safe wrapper
+//! lives in `youtopia-net`'s `poller` module.
+
+#![allow(non_camel_case_types)]
+
+/// Signed 32-bit C `int`.
+pub type c_int = i32;
+/// Unsigned 32-bit C `unsigned int`.
+pub type c_uint = u32;
+/// Opaque C `void` (pointer target only).
+pub type c_void = std::ffi::c_void;
+/// C `size_t` on 64-bit Linux.
+pub type size_t = usize;
+/// C `ssize_t` on 64-bit Linux.
+pub type ssize_t = isize;
+/// Socket option length type.
+pub type socklen_t = u32;
+/// Resource-limit magnitude (`rlim_t`) on 64-bit Linux.
+pub type rlim_t = u64;
+
+// ---- epoll ------------------------------------------------------- //
+
+/// One epoll readiness record. On x86-64 the kernel ABI packs the
+/// struct (no padding between `events` and the 64-bit payload), which
+/// is why the upstream crate — and this subset — carry `repr(packed)`
+/// there.
+#[repr(C)]
+#[cfg_attr(any(target_arch = "x86_64", target_arch = "x86"), repr(packed))]
+#[derive(Clone, Copy)]
+pub struct epoll_event {
+    /// Bitmask of `EPOLL*` readiness flags.
+    pub events: u32,
+    /// Caller-owned payload (the registration token).
+    pub u64: u64,
+}
+
+/// `epoll_create1` flag: close-on-exec.
+pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+/// `epoll_ctl` op: add an fd to the interest set.
+pub const EPOLL_CTL_ADD: c_int = 1;
+/// `epoll_ctl` op: remove an fd from the interest set.
+pub const EPOLL_CTL_DEL: c_int = 2;
+/// `epoll_ctl` op: change an fd's registered interest.
+pub const EPOLL_CTL_MOD: c_int = 3;
+
+/// Readable.
+pub const EPOLLIN: u32 = 0x001;
+/// Writable.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (always reported, need not be requested).
+pub const EPOLLERR: u32 = 0x008;
+/// Hang-up (always reported, need not be requested).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer shut down its write half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+// ---- eventfd ----------------------------------------------------- //
+
+/// `eventfd` flag: close-on-exec.
+pub const EFD_CLOEXEC: c_int = 0o2000000;
+/// `eventfd` flag: nonblocking reads/writes.
+pub const EFD_NONBLOCK: c_int = 0o4000;
+
+// ---- sockets ----------------------------------------------------- //
+
+/// `setsockopt` level for socket-layer options.
+pub const SOL_SOCKET: c_int = 1;
+/// Send-buffer size option.
+pub const SO_SNDBUF: c_int = 7;
+/// Receive-buffer size option.
+pub const SO_RCVBUF: c_int = 8;
+
+// ---- resource limits --------------------------------------------- //
+
+/// The open-file-descriptor resource (`getrlimit`/`setrlimit`).
+pub const RLIMIT_NOFILE: c_int = 7;
+
+/// A soft/hard resource-limit pair.
+#[repr(C)]
+#[derive(Clone, Copy, Debug, Default)]
+pub struct rlimit {
+    /// The soft (effective) limit.
+    pub rlim_cur: rlim_t,
+    /// The hard ceiling the soft limit may be raised to.
+    pub rlim_max: rlim_t,
+}
+
+extern "C" {
+    /// Creates an epoll instance; returns its fd or -1.
+    pub fn epoll_create1(flags: c_int) -> c_int;
+    /// Adds/modifies/removes `fd` in the epoll interest set.
+    pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+    /// Blocks up to `timeout` ms for readiness; returns the event count.
+    pub fn epoll_wait(
+        epfd: c_int,
+        events: *mut epoll_event,
+        maxevents: c_int,
+        timeout: c_int,
+    ) -> c_int;
+    /// Creates an eventfd counter; returns its fd or -1.
+    pub fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    /// Raw fd read.
+    pub fn read(fd: c_int, buf: *mut c_void, count: size_t) -> ssize_t;
+    /// Raw fd write.
+    pub fn write(fd: c_int, buf: *const c_void, count: size_t) -> ssize_t;
+    /// Closes an fd.
+    pub fn close(fd: c_int) -> c_int;
+    /// Sets a socket option.
+    pub fn setsockopt(
+        fd: c_int,
+        level: c_int,
+        optname: c_int,
+        optval: *const c_void,
+        optlen: socklen_t,
+    ) -> c_int;
+    /// Reads a resource limit.
+    pub fn getrlimit(resource: c_int, rlim: *mut rlimit) -> c_int;
+    /// Writes a resource limit.
+    pub fn setrlimit(resource: c_int, rlim: *const rlimit) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoll_create_and_close() {
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        assert!(fd >= 0, "epoll_create1 failed");
+        assert_eq!(unsafe { close(fd) }, 0);
+    }
+
+    #[test]
+    fn eventfd_roundtrip() {
+        let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        assert!(fd >= 0, "eventfd failed");
+        let one: u64 = 1;
+        let wrote = unsafe { write(fd, (&one as *const u64).cast(), 8) };
+        assert_eq!(wrote, 8);
+        let mut got: u64 = 0;
+        let read_n = unsafe { read(fd, (&mut got as *mut u64).cast(), 8) };
+        assert_eq!(read_n, 8);
+        assert_eq!(got, 1);
+        assert_eq!(unsafe { close(fd) }, 0);
+    }
+
+    #[test]
+    fn nofile_limit_is_readable() {
+        let mut lim = rlimit::default();
+        assert_eq!(unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) }, 0);
+        assert!(lim.rlim_cur > 0 && lim.rlim_cur <= lim.rlim_max);
+    }
+}
