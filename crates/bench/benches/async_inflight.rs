@@ -42,6 +42,7 @@ fn config() -> ShardedConfig {
         workers: 0,
         auto_checkpoint_bytes: 0,
         fair_drain: false,
+        checkpoint: Default::default(),
         base,
     }
 }

@@ -53,6 +53,7 @@ fn loaded_sharded_stack(noise: usize) -> (ShardedCoordinator, youtopia_travel::R
         &["Paris", "Rome"],
         ShardedConfig {
             shards: 4,
+            checkpoint: Default::default(),
             base: CoordinatorConfig {
                 match_config: youtopia_core::MatchConfig {
                     max_group_size: 3,

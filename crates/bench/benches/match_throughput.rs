@@ -37,6 +37,7 @@ fn config() -> ShardedConfig {
         workers: 0,
         auto_checkpoint_bytes: 0,
         fair_drain: false,
+        checkpoint: Default::default(),
         base,
     }
 }

@@ -27,10 +27,11 @@ use parking_lot::Mutex;
 
 use youtopia_storage::{Database, StorageResult, Transaction, Tuple, Wal};
 
+use crate::audit::{AuditConfig, AuditSink};
 use crate::compile::compile_sql;
 use crate::engine::{
     match_graph_of, replay_coordination_frames, Arrival, CoordEvent, CoordinationLog, Engine,
-    ShardState, WaitMode, Waiter,
+    RegStamp, ShardState, WaitMode, Waiter,
 };
 use crate::error::{CoreError, CoreResult};
 use crate::future::{CoordinationFuture, CoordinationOutcome, TicketShared};
@@ -64,6 +65,9 @@ pub struct CoordinatorConfig {
     pub matcher: MatcherKind,
     /// RNG seed for the nondeterministic `CHOOSE`.
     pub seed: u64,
+    /// Coordination audit trail (the `sys_audit` / `sys_tenant_latency`
+    /// system relations). Disabled by default.
+    pub audit: AuditConfig,
 }
 
 impl Default for CoordinatorConfig {
@@ -74,6 +78,7 @@ impl Default for CoordinatorConfig {
             use_const_index: true,
             matcher: MatcherKind::Incremental,
             seed: 0xD3C0_FFEE,
+            audit: AuditConfig::default(),
         }
     }
 }
@@ -255,6 +260,12 @@ pub struct RecoveryReport {
     /// recovery time and were expired immediately (their expiry is
     /// logged like any sweep's).
     pub expired_at_recovery: usize,
+    /// Candidate triggers discarded by the post-restore matching
+    /// sweep's index pruning (from the matcher's work counters).
+    pub triggers_pruned: u64,
+    /// Wall-clock duration of the post-restore matching sweep, in
+    /// microseconds.
+    pub sweep_micros: u64,
 }
 
 struct State {
@@ -280,6 +291,20 @@ pub struct Coordinator {
 impl Coordinator {
     /// Creates a coordinator over `db` with custom options.
     pub fn with_config(db: Database, config: CoordinatorConfig) -> Coordinator {
+        Coordinator::with_config_clock(db, config, Arc::new(SystemClock))
+    }
+
+    /// Like [`Coordinator::with_config`], but with an explicit clock for
+    /// the audit sink's timestamps (tests inject a [`MockClock`]).
+    pub fn with_config_clock(
+        db: Database,
+        config: CoordinatorConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Coordinator {
+        let audit = config
+            .audit
+            .enabled
+            .then(|| Arc::new(AuditSink::new(db.clone(), config.audit, clock)));
         Coordinator {
             state: Mutex::new(State {
                 shard: ShardState::new(config.use_const_index, config.seed),
@@ -289,7 +314,7 @@ impl Coordinator {
             }),
             sweep_signal: Arc::new(SweepSignal::new()),
             tenants: Mutex::new(None),
-            engine: Engine { db, config },
+            engine: Engine { db, config, audit },
         }
     }
 
@@ -446,16 +471,21 @@ impl Coordinator {
             // be durable before the submission can be acknowledged (or
             // matched) — one commit group through the WAL's pipelined
             // group-commit writer
+            let registered = CoordEvent::QueryRegistered {
+                owner: owner.to_string(),
+                sql: query.sql.clone(),
+                qid,
+                seq: state.seq,
+                deadline: opts.deadline,
+                stamp: self.engine.audit_now().map(|at| RegStamp { at, shard: 0 }),
+            };
             self.engine
                 .db
-                .log_event(&CoordEvent::QueryRegistered {
-                    owner: owner.to_string(),
-                    sql: query.sql.clone(),
-                    qid,
-                    seq: state.seq,
-                    deadline: opts.deadline,
-                })
+                .log_event(&registered)
                 .map_err(CoreError::Storage)?;
+            // the audit submit row exists before any terminal row this
+            // very arrival could produce (a match observes below)
+            self.engine.observe(&registered);
             let pending = Pending {
                 id: qid,
                 owner: owner.to_string(),
@@ -474,6 +504,7 @@ impl Coordinator {
             let result = self
                 .engine
                 .process_arrival_mode(&mut state.shard, pending, hook, mode);
+            self.engine.flush_audit(&mut state.shard);
             if let Some(reg) = &tenants {
                 // the answered log carries every member of any group the
                 // arrival completed (the trigger included)
@@ -501,10 +532,15 @@ impl Coordinator {
         }
         // log-before-ack: the cancellation is durable before the entry
         // disappears from the registry
+        let cancelled = CoordEvent::QueryCancelled {
+            qid,
+            at: self.engine.audit_now(),
+        };
         self.engine
             .db
-            .log_event(&CoordEvent::QueryCancelled { qid })
+            .log_event(&cancelled)
             .map_err(CoreError::Storage)?;
+        self.engine.observe(&cancelled);
         state.shard.registry.remove(qid);
         if let Some(waiter) = state.shard.waiters.remove(&qid) {
             // a parked future must resolve, not hang forever
@@ -530,10 +566,11 @@ impl Coordinator {
             .filter(|p| p.owner == owner)
             .map(|p| p.id)
             .collect();
+        let at = self.engine.audit_now();
         let cancelled = self.engine.retire_ids(
             &mut state.shard,
             &victims,
-            |qid| CoordEvent::QueryCancelled { qid },
+            |qid| CoordEvent::QueryCancelled { qid, at },
             &CoordinationOutcome::Cancelled,
         );
         if let Some(reg) = self.tenants.lock().clone() {
@@ -557,10 +594,11 @@ impl Coordinator {
             .filter(|p| p.seq < min_seq)
             .map(|p| p.id)
             .collect();
+        let at = self.engine.audit_now();
         let expired = self.engine.retire_ids(
             &mut state.shard,
             &victims,
-            |qid| CoordEvent::QueryExpired { qid },
+            |qid| CoordEvent::QueryExpired { qid, at },
             &CoordinationOutcome::Expired,
         );
         state.shard.stats.expired += expired.len() as u64;
@@ -580,10 +618,11 @@ impl Coordinator {
     pub fn expire_due(&self, now_millis: u64) -> Vec<QueryId> {
         let state = &mut *self.state.lock();
         let due = state.shard.registry.due_before(now_millis);
+        let at = self.engine.audit_now();
         let expired = self.engine.retire_ids(
             &mut state.shard,
             &due,
-            |qid| CoordEvent::QueryExpired { qid },
+            |qid| CoordEvent::QueryExpired { qid, at },
             &CoordinationOutcome::Expired,
         );
         state.shard.stats.expired += expired.len() as u64;
@@ -696,11 +735,16 @@ impl Coordinator {
         let (db, frames) = Database::recover_full(wal).map_err(CoreError::Storage)?;
         let replayed = replay_coordination_frames(&frames)?;
         let co = Coordinator::with_config(db, config);
+        // the audit relations are transient (never checkpointed), so
+        // they rebuild from the coordination frames — before the retry
+        // sweep, whose matches are then observed live like any other
+        if let Some(audit) = &co.engine.audit {
+            audit.rebuild_from_frames(&frames);
+        }
         let mut report = RecoveryReport {
             events_replayed: replayed.events,
             restored_pending: replayed.survivors.len(),
-            rematched_groups: 0,
-            expired_at_recovery: 0,
+            ..RecoveryReport::default()
         };
         {
             let state = &mut *co.state.lock();
@@ -724,8 +768,12 @@ impl Coordinator {
         }
         // arrivals that were logged but not matched before the crash:
         // their match (if any) fires now, and is logged normally
+        let sweep_started = std::time::Instant::now();
         co.retry_all()?;
-        report.rematched_groups = co.stats().groups_matched;
+        report.sweep_micros = sweep_started.elapsed().as_micros() as u64;
+        let swept = co.stats();
+        report.rematched_groups = swept.groups_matched;
+        report.triggers_pruned = swept.match_work.triggers_pruned;
         // deadlines that lapsed while the coordinator was down expire
         // now, before any client reattaches to a dead query
         report.expired_at_recovery = co.expire_due(clock.now_millis()).len();
@@ -748,6 +796,7 @@ impl Coordinator {
             .as_ref()
             .map(|h| h.as_ref() as &dyn Fn(&mut Transaction, &GroupMatch) -> StorageResult<()>);
         let result = self.engine.retry_all(&mut state.shard, hook);
+        self.engine.flush_audit(&mut state.shard);
         if let Some(reg) = self.tenants.lock().clone() {
             reg.finish_all(&state.shard.answered_log, TenantOutcome::Answered);
         }
@@ -1204,6 +1253,7 @@ mod tests {
                     qid: QueryId(qid),
                     seq,
                     deadline: None,
+                    stamp: None,
                 }
                 .encode(),
             )

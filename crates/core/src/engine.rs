@@ -47,6 +47,20 @@ use crate::matcher::{baseline, search, GroupMatch, MatchStats};
 use crate::registry::{Pending, Registry};
 use crate::SystemStats;
 
+/// The audit annotation of a registration frame: the wall-clock submit
+/// time and the shard that accepted the query. Present only when the
+/// audit sink is enabled ([`crate::AuditConfig`]); frames written with
+/// auditing off carry no stamp and stay byte-identical to the
+/// pre-audit encodings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegStamp {
+    /// Submit time in clock milliseconds.
+    pub at: u64,
+    /// Shard index that accepted the query (0 for the serial
+    /// coordinator).
+    pub shard: u32,
+}
+
 /// One durable event of the coordination log.
 ///
 /// Events are encoded into opaque payloads carried by the storage WAL's
@@ -58,12 +72,13 @@ pub enum CoordEvent {
     /// A pending entangled query was registered (logged before the
     /// submission is acknowledged).
     ///
-    /// Two wire encodings exist: **v1** (tag 0, no deadline — every
-    /// frame written before the deadline-lifecycle PR) and **v2**
-    /// (tag 5, carrying the absolute deadline). Encoding picks v1 when
-    /// `deadline` is `None`, so deadline-less logs stay byte-identical
-    /// to the old format; decoding accepts both, mapping v1 to
-    /// `deadline: None`.
+    /// Three wire encodings exist: **v1** (tag 0, no deadline — every
+    /// frame written before the deadline-lifecycle PR), **v2**
+    /// (tag 5, carrying the absolute deadline), and **v3** (tag 6,
+    /// carrying an optional deadline plus the audit [`RegStamp`]).
+    /// Encoding picks the oldest tag that can represent the event, so
+    /// stamp-less logs stay byte-identical to the old formats;
+    /// decoding accepts all three.
     QueryRegistered {
         /// Submitting user.
         owner: String,
@@ -78,16 +93,26 @@ pub enum CoordEvent {
         /// die (checkpoints re-emit it with the surviving
         /// registration).
         deadline: Option<u64>,
+        /// Audit annotation (submit time + shard); `None` when the
+        /// audit sink is disabled.
+        stamp: Option<RegStamp>,
     },
     /// A pending query was cancelled by its owner.
     QueryCancelled {
         /// The withdrawn query.
         qid: QueryId,
+        /// Cancellation time in clock milliseconds (tag 7 on the
+        /// wire); `None` when the audit sink is disabled (tag 1,
+        /// byte-identical to the pre-audit encoding).
+        at: Option<u64>,
     },
     /// A pending query was expired by a deadline sweep.
     QueryExpired {
         /// The expired query.
         qid: QueryId,
+        /// Expiry time in clock milliseconds (tag 8 on the wire);
+        /// `None` when the audit sink is disabled (tag 2).
+        at: Option<u64>,
     },
     /// A group match committed. This event is written **inside** the
     /// storage transaction that inserts `answer_writes`, so the match
@@ -103,6 +128,9 @@ pub enum CoordEvent {
         /// storage replay), and checkpointing drops it with the rest
         /// of the matched history.
         answer_writes: Vec<(String, Tuple)>,
+        /// Commit time in clock milliseconds (tag 9 on the wire);
+        /// `None` when the audit sink is disabled (tag 3).
+        at: Option<u64>,
     },
     /// An id/sequence watermark: ids at or below `qid` and sequence
     /// numbers at or below `seq` have been handed out. Written by
@@ -130,31 +158,59 @@ impl CoordEvent {
                 qid,
                 seq,
                 deadline,
+                stamp,
             } => {
-                // v1 (tag 0) when no deadline — byte-identical to the
-                // pre-deadline format; v2 (tag 5) appends the deadline
-                buf.put_u8(if deadline.is_some() { 5 } else { 0 });
-                put_str(&mut buf, owner);
-                put_str(&mut buf, sql);
-                buf.put_u64(qid.0);
-                buf.put_u64(*seq);
-                if let Some(deadline) = deadline {
-                    buf.put_u64(*deadline);
+                // oldest representable tag: v1 (tag 0) with neither
+                // deadline nor stamp — byte-identical to the
+                // pre-deadline format; v2 (tag 5) appends the
+                // deadline; v3 (tag 6) carries a deadline-presence
+                // flag plus the audit stamp
+                if let Some(stamp) = stamp {
+                    buf.put_u8(6);
+                    put_str(&mut buf, owner);
+                    put_str(&mut buf, sql);
+                    buf.put_u64(qid.0);
+                    buf.put_u64(*seq);
+                    match deadline {
+                        Some(deadline) => {
+                            buf.put_u8(1);
+                            buf.put_u64(*deadline);
+                        }
+                        None => buf.put_u8(0),
+                    }
+                    buf.put_u64(stamp.at);
+                    buf.put_u32(stamp.shard);
+                } else {
+                    buf.put_u8(if deadline.is_some() { 5 } else { 0 });
+                    put_str(&mut buf, owner);
+                    put_str(&mut buf, sql);
+                    buf.put_u64(qid.0);
+                    buf.put_u64(*seq);
+                    if let Some(deadline) = deadline {
+                        buf.put_u64(*deadline);
+                    }
                 }
             }
-            CoordEvent::QueryCancelled { qid } => {
-                buf.put_u8(1);
+            CoordEvent::QueryCancelled { qid, at } => {
+                buf.put_u8(if at.is_some() { 7 } else { 1 });
                 buf.put_u64(qid.0);
+                if let Some(at) = at {
+                    buf.put_u64(*at);
+                }
             }
-            CoordEvent::QueryExpired { qid } => {
-                buf.put_u8(2);
+            CoordEvent::QueryExpired { qid, at } => {
+                buf.put_u8(if at.is_some() { 8 } else { 2 });
                 buf.put_u64(qid.0);
+                if let Some(at) = at {
+                    buf.put_u64(*at);
+                }
             }
             CoordEvent::MatchCommitted {
                 qids,
                 answer_writes,
+                at,
             } => {
-                buf.put_u8(3);
+                buf.put_u8(if at.is_some() { 9 } else { 3 });
                 buf.put_u32(qids.len() as u32);
                 for qid in qids {
                     buf.put_u64(qid.0);
@@ -165,6 +221,9 @@ impl CoordEvent {
                     let enc = tuple.encode();
                     buf.put_u32(enc.len() as u32);
                     buf.put_slice(&enc);
+                }
+                if let Some(at) = at {
+                    buf.put_u64(*at);
                 }
             }
             CoordEvent::Watermark { qid, seq } => {
@@ -184,15 +243,40 @@ impl CoordEvent {
         }
         let tag = buf.get_u8();
         let event = match tag {
-            0 | 5 => {
+            0 | 5 | 6 => {
                 let owner = get_str(buf)?;
                 let sql = get_str(buf)?;
                 let qid = QueryId(get_u64(buf)?);
                 let seq = get_u64(buf)?;
-                let deadline = if tag == 5 {
-                    Some(get_u64(buf)?)
+                let deadline = match tag {
+                    5 => Some(get_u64(buf)?),
+                    6 => {
+                        if buf.remaining() < 1 {
+                            return Err(StorageError::WalCorrupt("truncated deadline flag".into()));
+                        }
+                        match buf.get_u8() {
+                            0 => None,
+                            1 => Some(get_u64(buf)?),
+                            f => {
+                                return Err(StorageError::WalCorrupt(format!(
+                                    "bad deadline flag {f}"
+                                )))
+                            }
+                        }
+                    }
+                    _ => None, // v1 frame: registered before deadlines existed
+                };
+                let stamp = if tag == 6 {
+                    let at = get_u64(buf)?;
+                    if buf.remaining() < 4 {
+                        return Err(StorageError::WalCorrupt("truncated shard".into()));
+                    }
+                    Some(RegStamp {
+                        at,
+                        shard: buf.get_u32(),
+                    })
                 } else {
-                    None // v1 frame: registered before deadlines existed
+                    None
                 };
                 CoordEvent::QueryRegistered {
                     owner,
@@ -200,15 +284,18 @@ impl CoordEvent {
                     qid,
                     seq,
                     deadline,
+                    stamp,
                 }
             }
-            1 => CoordEvent::QueryCancelled {
+            1 | 7 => CoordEvent::QueryCancelled {
                 qid: QueryId(get_u64(buf)?),
+                at: if tag == 7 { Some(get_u64(buf)?) } else { None },
             },
-            2 => CoordEvent::QueryExpired {
+            2 | 8 => CoordEvent::QueryExpired {
                 qid: QueryId(get_u64(buf)?),
+                at: if tag == 8 { Some(get_u64(buf)?) } else { None },
             },
-            3 => {
+            3 | 9 => {
                 if buf.remaining() < 4 {
                     return Err(StorageError::WalCorrupt("truncated member count".into()));
                 }
@@ -238,6 +325,7 @@ impl CoordEvent {
                 CoordEvent::MatchCommitted {
                     qids,
                     answer_writes,
+                    at: if tag == 9 { Some(get_u64(buf)?) } else { None },
                 }
             }
             4 => CoordEvent::Watermark {
@@ -338,12 +426,13 @@ pub(crate) fn replay_coordination_frames(frames: &[Vec<u8>]) -> CoreResult<Repla
                 qid,
                 seq,
                 deadline,
+                ..
             } => {
                 max_qid = max_qid.max(qid.0);
                 max_seq = max_seq.max(seq);
                 registered.insert(qid.0, (owner, sql, seq, deadline));
             }
-            CoordEvent::QueryCancelled { qid } | CoordEvent::QueryExpired { qid } => {
+            CoordEvent::QueryCancelled { qid, .. } | CoordEvent::QueryExpired { qid, .. } => {
                 max_qid = max_qid.max(qid.0);
                 removed.insert(qid.0);
             }
@@ -490,6 +579,11 @@ pub(crate) struct ShardState {
     /// log. The sharded coordinator uses it to retire router
     /// memberships; the serial coordinator clears it after each call.
     pub answered_log: Vec<QueryId>,
+    /// Match-commit audit events buffered under the shard lock; the
+    /// owner flushes them in one storage transaction before releasing
+    /// the lock, so a cascade of matches costs one audit transaction
+    /// instead of one per group.
+    pub audit_pending: Vec<CoordEvent>,
 }
 
 impl ShardState {
@@ -505,6 +599,7 @@ impl ShardState {
             stats: SystemStats::default(),
             waiters: HashMap::new(),
             answered_log: Vec::new(),
+            audit_pending: Vec::new(),
         }
     }
 }
@@ -514,6 +609,46 @@ impl ShardState {
 pub(crate) struct Engine {
     pub db: Database,
     pub config: CoordinatorConfig,
+    /// The audit sink, when enabled: stamps coordination events with
+    /// wall-clock times and mirrors them into the `sys_audit` /
+    /// `sys_tenant_latency` system relations.
+    pub audit: Option<Arc<crate::audit::AuditSink>>,
+}
+
+impl Engine {
+    /// The current audit timestamp, or `None` when auditing is off —
+    /// events built with this stamp encode to the pre-audit byte
+    /// format exactly when the sink is disabled.
+    pub(crate) fn audit_now(&self) -> Option<u64> {
+        self.audit.as_ref().map(|a| a.now())
+    }
+
+    /// Mirrors one logged event into the audit relations (no-op when
+    /// auditing is off).
+    pub(crate) fn observe(&self, event: &CoordEvent) {
+        if let Some(audit) = &self.audit {
+            audit.observe(event);
+        }
+    }
+
+    /// Mirrors a batch of logged events into the audit relations (one
+    /// storage transaction for the whole batch).
+    pub(crate) fn observe_all(&self, events: &[CoordEvent]) {
+        if let Some(audit) = &self.audit {
+            audit.observe_batch(events);
+        }
+    }
+
+    /// Writes the shard's buffered match-commit audit events in one
+    /// batch. Owners call this before releasing the shard lock so
+    /// reads that follow the lock observe their own audit rows.
+    pub(crate) fn flush_audit(&self, state: &mut ShardState) {
+        if state.audit_pending.is_empty() {
+            return;
+        }
+        let events = std::mem::take(&mut state.audit_pending);
+        self.observe_all(&events);
+    }
 }
 
 impl Engine {
@@ -695,6 +830,11 @@ impl Engine {
             removed.push(pending);
         }
 
+        let commit_event = CoordEvent::MatchCommitted {
+            qids: m.members.clone(),
+            answer_writes: m.all_answers().cloned().collect(),
+            at: self.audit_now(),
+        };
         let apply_result = (|| -> StorageResult<()> {
             let mut txn = self.db.begin();
             for (relation, tuple) in m.all_answers() {
@@ -706,13 +846,7 @@ impl Engine {
             }
             // the match commit rides the same transaction as its answer
             // writes: both reach the WAL atomically, or neither does
-            txn.log_coordination(
-                CoordEvent::MatchCommitted {
-                    qids: m.members.clone(),
-                    answer_writes: m.all_answers().cloned().collect(),
-                }
-                .encode(),
-            )?;
+            txn.log_coordination(commit_event.encode())?;
             txn.commit()
         })();
 
@@ -722,6 +856,13 @@ impl Engine {
                 state.registry.insert(pending);
             }
             return Err(CoreError::Storage(e));
+        }
+        if self.audit.is_some() {
+            // deferred: the caller flushes the whole drain's commit
+            // events in one audit transaction before releasing the
+            // shard lock (the ledger is transient and rebuilt from the
+            // WAL, so a crash between commit and flush loses nothing)
+            state.audit_pending.push(commit_event);
         }
 
         state.stats.groups_matched += 1;
@@ -861,6 +1002,10 @@ impl Engine {
             }
             retired.push(qid);
         }
+        // the sink's open-entry map arbitrates ids that were already
+        // answered (their entry is gone), so observing the whole batch
+        // mirrors exactly what log replay would rebuild
+        self.observe_all(&events);
         retired
     }
 }
@@ -1038,6 +1183,7 @@ mod tests {
                 qid: QueryId(7),
                 seq: 3,
                 deadline: None,
+                stamp: None,
             },
             CoordEvent::QueryRegistered {
                 owner: "newman".into(),
@@ -1045,9 +1191,45 @@ mod tests {
                 qid: QueryId(8),
                 seq: 4,
                 deadline: Some(1_234_567),
+                stamp: None,
             },
-            CoordEvent::QueryCancelled { qid: QueryId(7) },
-            CoordEvent::QueryExpired { qid: QueryId(9) },
+            // v3 (tag 6) audit-stamped registrations, with and without
+            // a deadline
+            CoordEvent::QueryRegistered {
+                owner: "elaine".into(),
+                sql: "SELECT 'E', fno INTO ANSWER R CHOOSE 1".into(),
+                qid: QueryId(9),
+                seq: 5,
+                deadline: Some(2_000_000),
+                stamp: Some(RegStamp {
+                    at: 1_999_000,
+                    shard: 3,
+                }),
+            },
+            CoordEvent::QueryRegistered {
+                owner: "george".into(),
+                sql: "SELECT 'G', fno INTO ANSWER R CHOOSE 1".into(),
+                qid: QueryId(10),
+                seq: 6,
+                deadline: None,
+                stamp: Some(RegStamp { at: 77, shard: 0 }),
+            },
+            CoordEvent::QueryCancelled {
+                qid: QueryId(7),
+                at: None,
+            },
+            CoordEvent::QueryCancelled {
+                qid: QueryId(7),
+                at: Some(123),
+            },
+            CoordEvent::QueryExpired {
+                qid: QueryId(9),
+                at: None,
+            },
+            CoordEvent::QueryExpired {
+                qid: QueryId(9),
+                at: Some(456),
+            },
             CoordEvent::MatchCommitted {
                 qids: vec![QueryId(1), QueryId(2)],
                 answer_writes: vec![
@@ -1060,6 +1242,15 @@ mod tests {
                         Tuple::new(vec![Value::from("Jerry"), Value::Int(122)]),
                     ),
                 ],
+                at: None,
+            },
+            CoordEvent::MatchCommitted {
+                qids: vec![QueryId(3)],
+                answer_writes: vec![(
+                    "Reservation".into(),
+                    Tuple::new(vec![Value::from("Elaine"), Value::Int(9)]),
+                )],
+                at: Some(789),
             },
             CoordEvent::Watermark {
                 qid: QueryId(42),
@@ -1104,6 +1295,7 @@ mod tests {
             qid: QueryId(qid),
             seq,
             deadline: qid.is_multiple_of(2).then_some(qid * 100),
+            stamp: None,
         };
         let frames: Vec<Vec<u8>> = [
             reg(1, 1),
@@ -1113,10 +1305,17 @@ mod tests {
             CoordEvent::MatchCommitted {
                 qids: vec![QueryId(1), QueryId(3)],
                 answer_writes: Vec::new(),
+                at: None,
             },
-            CoordEvent::QueryCancelled { qid: QueryId(2) },
+            CoordEvent::QueryCancelled {
+                qid: QueryId(2),
+                at: None,
+            },
             reg(5, 5),
-            CoordEvent::QueryExpired { qid: QueryId(4) },
+            CoordEvent::QueryExpired {
+                qid: QueryId(4),
+                at: None,
+            },
         ]
         .iter()
         .map(CoordEvent::encode)
@@ -1139,6 +1338,7 @@ mod tests {
                 qid: QueryId(1),
                 seq: 1,
                 deadline: Some(500),
+                stamp: None,
             },
             CoordEvent::QueryRegistered {
                 owner: "b".into(),
@@ -1146,6 +1346,7 @@ mod tests {
                 qid: QueryId(2),
                 seq: 2,
                 deadline: None,
+                stamp: None,
             },
         ]
         .iter()
@@ -1168,6 +1369,7 @@ mod tests {
             qid: QueryId(7),
             seq: 3,
             deadline: None,
+            stamp: None,
         };
         let mut v1 = BytesMut::new();
         v1.put_u8(0);
@@ -1178,6 +1380,76 @@ mod tests {
         assert_eq!(event.encode(), v1.to_vec());
         // and hand-built v1 bytes decode with deadline = None
         assert_eq!(CoordEvent::decode(&v1).unwrap(), event);
+    }
+
+    #[test]
+    fn stamp_less_terminal_encodings_are_byte_identical_to_pre_audit() {
+        // cancel / expire / match frames without an audit timestamp
+        // must keep the exact pre-audit layouts (tags 1/2/3)
+        let cancel = CoordEvent::QueryCancelled {
+            qid: QueryId(7),
+            at: None,
+        };
+        let mut old = BytesMut::new();
+        old.put_u8(1);
+        old.put_u64(7);
+        assert_eq!(cancel.encode(), old.to_vec());
+
+        let expire = CoordEvent::QueryExpired {
+            qid: QueryId(8),
+            at: None,
+        };
+        let mut old = BytesMut::new();
+        old.put_u8(2);
+        old.put_u64(8);
+        assert_eq!(expire.encode(), old.to_vec());
+
+        let commit = CoordEvent::MatchCommitted {
+            qids: vec![QueryId(1)],
+            answer_writes: Vec::new(),
+            at: None,
+        };
+        let mut old = BytesMut::new();
+        old.put_u8(3);
+        old.put_u32(1);
+        old.put_u64(1);
+        old.put_u32(0);
+        assert_eq!(commit.encode(), old.to_vec());
+    }
+
+    #[test]
+    fn stamped_frames_replay_like_unstamped_ones() {
+        // the audit stamp is invisible to pending-set replay: the same
+        // survivors fall out whether frames carry stamps or not
+        let frames: Vec<Vec<u8>> = [
+            CoordEvent::QueryRegistered {
+                owner: "a".into(),
+                sql: "qa".into(),
+                qid: QueryId(1),
+                seq: 1,
+                deadline: Some(500),
+                stamp: Some(RegStamp { at: 100, shard: 2 }),
+            },
+            CoordEvent::QueryRegistered {
+                owner: "b".into(),
+                sql: "qb".into(),
+                qid: QueryId(2),
+                seq: 2,
+                deadline: None,
+                stamp: Some(RegStamp { at: 101, shard: 0 }),
+            },
+            CoordEvent::QueryCancelled {
+                qid: QueryId(2),
+                at: Some(150),
+            },
+        ]
+        .iter()
+        .map(CoordEvent::encode)
+        .collect();
+        let replayed = replay_coordination_frames(&frames).unwrap();
+        assert_eq!(replayed.survivors.len(), 1);
+        assert_eq!(replayed.survivors[0].qid, QueryId(1));
+        assert_eq!(replayed.survivors[0].deadline, Some(500));
     }
 
     #[test]
@@ -1193,6 +1465,7 @@ mod tests {
                 qid: QueryId(3),
                 seq: 2,
                 deadline: None,
+                stamp: None,
             },
         ]
         .iter()
@@ -1213,6 +1486,7 @@ mod tests {
             CoordEvent::MatchCommitted {
                 qids: vec![QueryId(2)],
                 answer_writes: Vec::new(),
+                at: None,
             },
             CoordEvent::QueryRegistered {
                 owner: "a".into(),
@@ -1220,6 +1494,7 @@ mod tests {
                 qid: QueryId(2),
                 seq: 1,
                 deadline: None,
+                stamp: None,
             },
         ]
         .iter()

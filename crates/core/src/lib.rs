@@ -53,6 +53,7 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod compile;
 pub mod coordinator;
 pub mod engine;
@@ -67,12 +68,16 @@ pub mod shard;
 pub mod tenant;
 pub mod unify;
 
+pub use audit::{
+    latency_bucket, latency_histogram, tenant_audit, AuditConfig, AuditRecord, LatencyBucket,
+    AUDIT_TABLE, LATENCY_TABLE,
+};
 pub use compile::{compile, compile_sql};
 pub use coordinator::{
     ApplyHook, Coordinator, CoordinatorConfig, MatchEdge, MatchGraph, MatchNotification,
     MatcherKind, PendingInfo, RecoveryReport, Submission, SystemStats, Ticket,
 };
-pub use engine::{CoordEvent, CoordinationLog};
+pub use engine::{CoordEvent, CoordinationLog, RegStamp};
 pub use error::{CoreError, CoreResult};
 pub use future::{CoordinationFuture, CoordinationOutcome, WaiterSet};
 pub use ir::{AnswerConstraint, Atom, EntangledQuery, Filter, Membership, QueryId, Term, Var};
@@ -82,6 +87,6 @@ pub use lifecycle::{
 pub use matcher::{GroupMatch, MatchConfig, MatchStats};
 pub use registry::{CandidateScan, HeadRef, Pending, Registry};
 pub use safety::{check_safety, is_self_contained, SafetyMode};
-pub use shard::{BatchOutcome, ShardedConfig, ShardedCoordinator};
+pub use shard::{BatchOutcome, CheckpointPolicy, ShardedConfig, ShardedCoordinator};
 pub use tenant::{tenant_of, TenantOutcome, TenantQuotas, TenantRegistry, TenantStats};
 pub use unify::Subst;

@@ -283,6 +283,13 @@ pub trait DeadlineHost: Send + Sync {
     /// The signal this coordinator notifies when a deadline-carrying
     /// query registers (the sweeper waits on it).
     fn sweep_signal(&self) -> Arc<SweepSignal>;
+
+    /// Periodic housekeeping, called once per sweeper wakeup right
+    /// after the expiry sweep: hosts refresh monitoring gauges and
+    /// evaluate time-based maintenance policies (e.g.
+    /// [`crate::shard::CheckpointPolicy`]) here. The default does
+    /// nothing.
+    fn sweep_tick(&self, _now_millis: u64) {}
 }
 
 /// A background thread that drives `expire_due` sweeps off the host's
@@ -317,6 +324,7 @@ impl DeadlineSweeper {
                     let now = clock.now_millis();
                     let expired = host.expire_due(now);
                     swept.fetch_add(expired.len() as u64, Ordering::Relaxed);
+                    host.sweep_tick(clock.now_millis());
                     let timeout = match host.next_deadline_millis() {
                         Some(d) if d <= clock.now_millis() => {
                             if expired.is_empty() {

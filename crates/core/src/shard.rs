@@ -84,6 +84,7 @@ use parking_lot::{Mutex, MutexGuard};
 
 use youtopia_storage::{Database, StorageResult, Transaction, Tuple, Wal};
 
+use crate::audit::AuditSink;
 use crate::compile::compile_sql;
 use crate::coordinator::{
     CoordinatorConfig, MatchGraph, MatchNotification, PendingInfo, RecoveryReport, Submission,
@@ -91,7 +92,7 @@ use crate::coordinator::{
 };
 use crate::engine::{
     match_graph_of, replay_coordination_frames, Arrival, CoordEvent, CoordinationLog, Engine,
-    ShardState, WaitMode, Waiter,
+    RegStamp, ShardState, WaitMode, Waiter,
 };
 use crate::error::{CoreError, CoreResult};
 use crate::future::{CoordinationFuture, CoordinationOutcome, TicketShared};
@@ -106,6 +107,30 @@ use crate::tenant::{tenant_of, Admission, TenantOutcome, TenantRegistry};
 /// different shards, hence `Sync` on top of the serial hook's bounds).
 pub type SharedApplyHook =
     Arc<dyn Fn(&mut Transaction, &GroupMatch) -> StorageResult<()> + Send + Sync + 'static>;
+
+/// When the background sweeper should trigger a coordinator
+/// checkpoint, evaluated on every sweep tick (so a quiet system still
+/// checkpoints on schedule — the in-line
+/// [`ShardedConfig::auto_checkpoint_bytes`] trigger only fires on
+/// write traffic). A field set to `0` disables that criterion; the
+/// default policy is fully disabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint when at least this many bytes were appended to the
+    /// WAL since the last checkpoint (`0` = never by size).
+    pub max_wal_bytes: u64,
+    /// Checkpoint when the last one is at least this many clock
+    /// milliseconds old (`0` = never by age).
+    pub max_age_millis: u64,
+}
+
+impl CheckpointPolicy {
+    /// Whether the gauges warrant a checkpoint under this policy.
+    pub fn due(&self, wal_bytes_since_checkpoint: u64, checkpoint_age_millis: u64) -> bool {
+        (self.max_wal_bytes > 0 && wal_bytes_since_checkpoint >= self.max_wal_bytes)
+            || (self.max_age_millis > 0 && checkpoint_age_millis >= self.max_age_millis)
+    }
+}
 
 /// Construction options for [`ShardedCoordinator`].
 #[derive(Debug, Clone, Copy)]
@@ -131,6 +156,10 @@ pub struct ShardedConfig {
     /// properties pin. Workloads where every owner is its own tenant
     /// are order-identical either way.
     pub fair_drain: bool,
+    /// Sweeper-tick checkpoint policy (size and/or age), evaluated by
+    /// the [`crate::DeadlineSweeper`]'s periodic tick. Disabled by
+    /// default.
+    pub checkpoint: CheckpointPolicy,
     /// Per-shard coordinator behavior; `base.seed` is xored with the
     /// shard id to seed each shard's RNG.
     pub base: CoordinatorConfig,
@@ -143,6 +172,7 @@ impl Default for ShardedConfig {
             workers: 0,
             auto_checkpoint_bytes: 0,
             fair_drain: false,
+            checkpoint: CheckpointPolicy::default(),
             base: CoordinatorConfig::default(),
         }
     }
@@ -587,6 +617,8 @@ pub struct ShardedCoordinator {
     auto_checkpoints: AtomicU64,
     /// Collapses concurrent auto-checkpoint triggers into one run.
     checkpointing: std::sync::atomic::AtomicBool,
+    /// Sweeper-tick checkpoint policy ([`ShardedConfig::checkpoint`]).
+    checkpoint_policy: CheckpointPolicy,
 }
 
 impl ShardedCoordinator {
@@ -615,6 +647,11 @@ impl ShardedCoordinator {
         };
         let wal_len = db.wal_len().unwrap_or(0);
         let now = clock.now_millis();
+        let audit = config
+            .base
+            .audit
+            .enabled
+            .then(|| Arc::new(AuditSink::new(db.clone(), config.base.audit, clock.clone())));
         ShardedCoordinator {
             shards: (0..shards)
                 .map(|i| ShardSlot {
@@ -642,9 +679,11 @@ impl ShardedCoordinator {
             last_checkpoint_at: AtomicU64::new(now),
             auto_checkpoints: AtomicU64::new(0),
             checkpointing: std::sync::atomic::AtomicBool::new(false),
+            checkpoint_policy: config.checkpoint,
             engine: Engine {
                 db,
                 config: config.base,
+                audit,
             },
         }
     }
@@ -822,13 +861,6 @@ impl ShardedCoordinator {
         let relations = query.answer_relations();
         let qid = QueryId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
-        let event = CoordEvent::QueryRegistered {
-            owner: owner.to_string(),
-            sql: query.sql.clone(),
-            qid,
-            seq,
-            deadline: opts.deadline,
-        };
         let pending = Pending {
             id: qid,
             owner: owner.to_string(),
@@ -848,6 +880,17 @@ impl ShardedCoordinator {
 
         let (result, answered) = {
             let mut state = self.shard_lock(shard);
+            let event = CoordEvent::QueryRegistered {
+                owner: owner.to_string(),
+                sql: query.sql.clone(),
+                qid,
+                seq,
+                deadline: opts.deadline,
+                stamp: self.engine.audit_now().map(|at| RegStamp {
+                    at,
+                    shard: shard as u32,
+                }),
+            };
             match self.engine.db.log_event(&event) {
                 Ok(()) => {
                     // the registration is durable: bind the tenant
@@ -855,12 +898,16 @@ impl ShardedCoordinator {
                     if let (Some(reg), Some(admission)) = (&tenants, admission) {
                         reg.track(admission, qid);
                     }
+                    // audit submit row before any terminal row this
+                    // arrival could produce
+                    self.engine.observe(&event);
                     let result = self.engine.process_arrival_mode(
                         &mut state,
                         pending,
                         hook_ref(&hook),
                         mode,
                     );
+                    self.engine.flush_audit(&mut state);
                     (result, std::mem::take(&mut state.answered_log))
                 }
                 Err(e) => {
@@ -1175,6 +1222,10 @@ impl ShardedCoordinator {
         let mut state = self.shard_lock(shard);
         // log-before-ack, batch flavor: every registration of the
         // bucket is durable before any of its arrivals is processed
+        let stamp = self.engine.audit_now().map(|at| RegStamp {
+            at,
+            shard: shard as u32,
+        });
         let events: Vec<CoordEvent> = bucket
             .iter()
             .map(|(_, p, _)| CoordEvent::QueryRegistered {
@@ -1183,6 +1234,7 @@ impl ShardedCoordinator {
                 qid: p.id,
                 seq: p.seq,
                 deadline: p.deadline,
+                stamp,
             })
             .collect();
         if let Err(e) = self.engine.db.log_events(&events) {
@@ -1198,6 +1250,9 @@ impl ShardedCoordinator {
             }
             return (results, unregistered, Vec::new());
         }
+        // audit submit rows for the whole bucket, in one transaction,
+        // before any of its arrivals can produce a terminal row
+        self.engine.observe_all(&events);
         let mut results = Vec::with_capacity(bucket.len());
         let mut maybe_pending = Vec::new();
         for (idx, pending, admission) in bucket {
@@ -1214,6 +1269,8 @@ impl ShardedCoordinator {
             }
             results.push((idx, outcome));
         }
+        // one audit transaction for every match the bucket produced
+        self.engine.flush_audit(&mut state);
         let log = std::mem::take(&mut state.answered_log);
         (results, log, maybe_pending)
     }
@@ -1296,6 +1353,7 @@ impl ShardedCoordinator {
                     } // on Err the group was reinstated and stays pending
                 }
             }
+            self.engine.flush_audit(&mut state);
             answered.append(&mut state.answered_log);
         }
         if let Some(reg) = self.tenants.lock().clone() {
@@ -1359,10 +1417,15 @@ impl ShardedCoordinator {
                 drop(state);
                 return Err(CoreError::UnknownQuery(qid.0));
             }
+            let cancelled = CoordEvent::QueryCancelled {
+                qid,
+                at: self.engine.audit_now(),
+            };
             self.engine
                 .db
-                .log_event(&CoordEvent::QueryCancelled { qid })
+                .log_event(&cancelled)
                 .map_err(CoreError::Storage)?;
+            self.engine.observe(&cancelled);
             if let Some(waiter) = state.waiters.remove(&qid) {
                 // a parked future must resolve, not hang forever
                 waiter.resolve_terminal(CoordinationOutcome::Cancelled);
@@ -1384,9 +1447,10 @@ impl ShardedCoordinator {
     /// so the returned count may be partial under log failure, but
     /// never includes an unlogged removal.
     pub fn cancel_owner(&self, owner: &str) -> usize {
+        let at = self.engine.audit_now();
         self.sweep(
             |p| p.owner == owner,
-            |qid| CoordEvent::QueryCancelled { qid },
+            |qid| CoordEvent::QueryCancelled { qid, at },
             CoordinationOutcome::Cancelled,
         )
         .len()
@@ -1401,9 +1465,10 @@ impl ShardedCoordinator {
     /// write fails is skipped (partial result, never an unlogged
     /// removal).
     pub fn expire_before(&self, min_seq: u64) -> Vec<QueryId> {
+        let at = self.engine.audit_now();
         let expired = self.sweep(
             |p| p.seq < min_seq,
-            |qid| CoordEvent::QueryExpired { qid },
+            |qid| CoordEvent::QueryExpired { qid, at },
             CoordinationOutcome::Expired,
         );
         if !expired.is_empty() {
@@ -1433,10 +1498,11 @@ impl ShardedCoordinator {
             }
             let mut state = self.shard_lock(index);
             let due = state.registry.due_before(now_millis);
+            let at = self.engine.audit_now();
             let expired = self.engine.retire_ids(
                 &mut state,
                 &due,
-                |qid| CoordEvent::QueryExpired { qid },
+                |qid| CoordEvent::QueryExpired { qid, at },
                 &CoordinationOutcome::Expired,
             );
             state.stats.expired += expired.len() as u64;
@@ -1602,6 +1668,7 @@ impl ShardedCoordinator {
                 }
                 let mut state = self.shard_lock(shard);
                 let r = self.engine.retry_all(&mut state, hook_ref(&hook));
+                self.engine.flush_audit(&mut state);
                 log.append(&mut state.answered_log);
                 results.push((shard, r));
             }
@@ -1805,11 +1872,16 @@ impl ShardedCoordinator {
         }
         co.next_id.store(replayed.max_qid + 1, Ordering::Relaxed);
         co.seq.store(replayed.max_seq, Ordering::Relaxed);
+        // the audit relations are transient (never checkpointed), so
+        // they rebuild from the coordination frames — before the retry
+        // sweep, whose matches are then observed live like any other
+        if let Some(audit) = &co.engine.audit {
+            audit.rebuild_from_frames(&frames);
+        }
         let mut report = RecoveryReport {
             events_replayed: replayed.events,
             restored_pending: replayed.survivors.len(),
-            rematched_groups: 0,
-            expired_at_recovery: 0,
+            ..RecoveryReport::default()
         };
 
         // re-compile outside any lock; a failure means the log (or the
@@ -1855,8 +1927,12 @@ impl ShardedCoordinator {
 
         // re-run matching for arrivals that were logged but not yet
         // matched; any match that fires commits and logs normally
+        let sweep_started = std::time::Instant::now();
         co.retry_all()?;
-        report.rematched_groups = co.stats().groups_matched;
+        report.sweep_micros = sweep_started.elapsed().as_micros() as u64;
+        let swept = co.stats();
+        report.rematched_groups = swept.groups_matched;
+        report.triggers_pruned = swept.match_work.triggers_pruned;
         // deadlines that lapsed while the coordinator was down expire
         // now (logged like any sweep), matching the uncrashed run's
         // sweep at the same clock instant
@@ -1882,13 +1958,16 @@ impl ShardedCoordinator {
                     p.seq,
                     // the deadline rides the compacted frame too — a
                     // checkpoint must never turn a bounded query into
-                    // an immortal one
+                    // an immortal one. So does the audit submit stamp:
+                    // a post-checkpoint recovery rebuilds the survivor's
+                    // audit row with its original submission time.
                     CoordEvent::QueryRegistered {
                         owner: p.owner.clone(),
                         sql: p.query.sql.clone(),
                         qid: p.id,
                         seq: p.seq,
                         deadline: p.deadline,
+                        stamp: co_stamp(&self.engine, p.id),
                     },
                 ));
             }
@@ -2010,6 +2089,51 @@ impl DeadlineHost for ShardedCoordinator {
     fn sweep_signal(&self) -> Arc<SweepSignal> {
         Arc::clone(&self.sweep_signal)
     }
+
+    fn sweep_tick(&self, now_millis: u64) {
+        // refresh the lock-free monitor mirrors so admin gauge reads
+        // stay live on an idle system (no drain has released a shard
+        // lock to republish them). try_lock only: a busy shard's own
+        // guard drop publishes fresher numbers anyway, and the sweeper
+        // must never stall behind a drain.
+        for slot in &self.shards {
+            if let Some(state) = slot.state.try_lock() {
+                slot.monitor.publish(&state);
+            }
+        }
+        // time/size checkpoint policy: evaluated here (not only after
+        // group commits) so a quiet coordinator still compacts its WAL
+        // on schedule
+        let policy = self.checkpoint_policy;
+        if policy == CheckpointPolicy::default() {
+            return;
+        }
+        let Some(len) = self.engine.db.wal_len() else {
+            return; // non-durable database: nothing to compact
+        };
+        let since = len.saturating_sub(self.wal_len_at_checkpoint.load(Ordering::Relaxed));
+        let age = now_millis.saturating_sub(self.last_checkpoint_at.load(Ordering::Relaxed));
+        if !policy.due(since, age) {
+            return;
+        }
+        if self
+            .checkpointing
+            .compare_exchange(
+                false,
+                true,
+                std::sync::atomic::Ordering::Acquire,
+                std::sync::atomic::Ordering::Relaxed,
+            )
+            .is_err()
+        {
+            return; // another thread is already checkpointing
+        }
+        if self.checkpoint().is_ok() {
+            self.auto_checkpoints.fetch_add(1, Ordering::Relaxed);
+        }
+        self.checkpointing
+            .store(false, std::sync::atomic::Ordering::Release);
+    }
 }
 
 /// Borrows the shared hook as the engine's `&dyn Fn`.
@@ -2018,6 +2142,14 @@ type HookDyn<'a> = &'a dyn Fn(&mut Transaction, &GroupMatch) -> StorageResult<()
 fn hook_ref(hook: &Option<SharedApplyHook>) -> Option<HookDyn<'_>> {
     hook.as_ref()
         .map(|h| h.as_ref() as &dyn Fn(&mut Transaction, &GroupMatch) -> StorageResult<()>)
+}
+
+/// The audit submit stamp a checkpoint re-emits for a surviving
+/// registration (`None` when auditing is off, or when the sink never
+/// saw the registration — e.g. it was logged before auditing was
+/// enabled).
+fn co_stamp(engine: &Engine, qid: QueryId) -> Option<RegStamp> {
+    engine.audit.as_ref().and_then(|a| a.reg_stamp_of(qid))
 }
 
 #[cfg(test)]
@@ -2421,6 +2553,7 @@ mod tests {
                     qid: QueryId(qid),
                     seq,
                     deadline: None,
+                    stamp: None,
                 }
                 .encode(),
             )
@@ -2724,5 +2857,103 @@ mod tests {
         co.submit_sql("jerry", &pair_sql_on("Reservation", "Jerry", "Kramer"))
             .unwrap();
         assert_eq!(db.read().table("Log").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn checkpoint_policy_due_semantics() {
+        let off = CheckpointPolicy::default();
+        assert!(!off.due(u64::MAX, u64::MAX), "default policy never fires");
+
+        let by_size = CheckpointPolicy {
+            max_wal_bytes: 100,
+            max_age_millis: 0,
+        };
+        assert!(!by_size.due(99, u64::MAX), "age leg disabled at 0");
+        assert!(by_size.due(100, 0));
+
+        let by_age = CheckpointPolicy {
+            max_wal_bytes: 0,
+            max_age_millis: 50,
+        };
+        assert!(!by_age.due(u64::MAX, 49), "size leg disabled at 0");
+        assert!(by_age.due(0, 50));
+    }
+
+    /// The age leg of [`CheckpointPolicy`] fires from the sweeper tick
+    /// alone — no group commit involved — so a quiet coordinator still
+    /// compacts its WAL on schedule.
+    #[test]
+    fn sweep_tick_checkpoints_by_age() {
+        use crate::lifecycle::MockClock;
+
+        let db = flights_db_wal();
+        let clock = Arc::new(MockClock::new(1_000));
+        let config = ShardedConfig {
+            checkpoint: CheckpointPolicy {
+                max_wal_bytes: 0,
+                max_age_millis: 5_000,
+            },
+            ..Default::default()
+        };
+        let co = ShardedCoordinator::with_clock(db.clone(), config, clock.clone());
+        co.submit_sql("kramer", &pair_sql_on("Reservation", "Kramer", "Jerry"))
+            .unwrap();
+
+        // young enough: the tick is a no-op
+        co.sweep_tick(clock.now_millis());
+        let stats = co.stats();
+        assert_eq!(stats.auto_checkpoints, 0);
+        assert!(stats.wal_bytes_since_checkpoint > 0, "submit hit the log");
+
+        // past the age bound: the tick checkpoints and resets gauges
+        clock.advance(5_000);
+        co.sweep_tick(clock.now_millis());
+        let stats = co.stats();
+        assert_eq!(stats.auto_checkpoints, 1);
+        assert_eq!(stats.wal_bytes_since_checkpoint, 0);
+        assert_eq!(stats.checkpoint_age_millis, 0);
+
+        // the compacted log still carries the surviving registration
+        let (co2, report) = ShardedCoordinator::recover(
+            Wal::from_bytes(db.wal_bytes().unwrap()),
+            ShardedConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.restored_pending, 1);
+        assert_eq!(co2.pending_count(), 1);
+
+        // another tick inside the fresh window does nothing
+        co.sweep_tick(clock.now_millis());
+        assert_eq!(co.stats().auto_checkpoints, 1);
+    }
+
+    /// An idle coordinator's lock-free gauge mirrors can go stale (no
+    /// drain releases a shard lock to republish them); the sweeper tick
+    /// must refresh every shard's monitor from its true registry.
+    #[test]
+    fn sweep_tick_republishes_stale_monitor_gauges() {
+        let co = ShardedCoordinator::new(flights_db());
+        co.submit_sql("kramer", &pair_sql_on("Reservation", "Kramer", "Jerry"))
+            .unwrap();
+        assert_eq!(co.pending_count(), 1);
+
+        // simulate a stale mirror: clobber every shard's published
+        // gauges (the test module sees the private atomics)
+        for slot in &co.shards {
+            slot.monitor.pending.store(99, Ordering::Relaxed);
+            slot.monitor.min_deadline.store(0, Ordering::Relaxed);
+        }
+        assert_ne!(co.pending_count(), 1, "reads serve the stale mirror");
+
+        co.sweep_tick(0);
+        assert_eq!(co.pending_count(), 1, "tick republished the registry");
+        assert_eq!(co.pending_per_shard().iter().sum::<usize>(), 1);
+        let min = co
+            .shards
+            .iter()
+            .map(|s| s.monitor.min_deadline.load(Ordering::Relaxed))
+            .min()
+            .unwrap();
+        assert_eq!(min, u64::MAX, "no deadline set: sentinel restored");
     }
 }

@@ -145,6 +145,25 @@ impl NetClient {
         }
     }
 
+    /// Reads this session's tenant `sys_audit` rows (most recent
+    /// `limit`, oldest first). The server refuses other tenants'
+    /// ledgers with [`ErrorCode::Forbidden`].
+    pub fn audit(
+        &mut self,
+        tenant: &str,
+        limit: u32,
+    ) -> NetResult<Vec<youtopia_core::AuditRecord>> {
+        let corr = self.corr();
+        match self.call(&Request::AuditQuery {
+            corr,
+            tenant: tenant.to_string(),
+            limit,
+        })? {
+            Response::AuditReply { rows, .. } => Ok(rows),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Ends the session cleanly; pending queries stay registered for a
     /// later [`NetClient::resume`].
     pub fn bye(&mut self) -> NetResult<()> {

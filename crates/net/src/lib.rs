@@ -58,6 +58,7 @@ pub use error::{NetError, NetResult};
 pub use poller::raise_nofile_limit;
 pub use protocol::{
     encode_frame, frame_checksum, split_frame, write_frame, ErrorCode, FrameBuf, FrameReader,
-    Outcome, ReadEvent, Request, Response, TenantSummary, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+    Outcome, ReadEvent, Request, Response, TenantSummary, MAX_AUDIT_REPLY_ROWS, MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
 };
 pub use server::{NetServer, ServerConfig, ServerStats};

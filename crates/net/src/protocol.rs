@@ -29,6 +29,7 @@
 
 use bytes::{Buf, BufMut, BytesMut};
 
+use youtopia_core::AuditRecord;
 use youtopia_storage::codec::{get_str, get_u64, put_str};
 use youtopia_storage::Tuple;
 
@@ -155,7 +156,24 @@ pub enum Request {
         /// Correlation id echoed in the reply.
         corr: u64,
     },
+    /// Requests the most recent `sys_audit` rows for `tenant`. The
+    /// server enforces tenant scoping: a session may only read its own
+    /// tenant's ledger ([`ErrorCode::Forbidden`] otherwise).
+    AuditQuery {
+        /// Correlation id echoed in the reply.
+        corr: u64,
+        /// Tenant whose audit rows to read (must be the session
+        /// owner's tenant).
+        tenant: String,
+        /// Maximum rows returned (most recent last); the server caps
+        /// this at [`MAX_AUDIT_REPLY_ROWS`].
+        limit: u32,
+    },
 }
+
+/// Server-side cap on [`Request::AuditQuery`] row counts, keeping the
+/// reply comfortably inside [`MAX_FRAME_BYTES`].
+pub const MAX_AUDIT_REPLY_ROWS: u32 = 4096;
 
 /// Terminal outcome of a submitted query, as delivered in
 /// [`Response::Done`].
@@ -197,6 +215,9 @@ pub enum ErrorCode {
     /// rather than buffer without bound (pending queries stay
     /// registered — `Resume` recovers them).
     Backpressure,
+    /// The request named a resource outside the session's tenant (e.g.
+    /// an `AuditQuery` for another tenant's ledger).
+    Forbidden,
 }
 
 impl ErrorCode {
@@ -209,6 +230,7 @@ impl ErrorCode {
             ErrorCode::BadSession => 5,
             ErrorCode::Internal => 6,
             ErrorCode::Backpressure => 7,
+            ErrorCode::Forbidden => 8,
         }
     }
 
@@ -221,6 +243,7 @@ impl ErrorCode {
             5 => ErrorCode::BadSession,
             6 => ErrorCode::Internal,
             7 => ErrorCode::Backpressure,
+            8 => ErrorCode::Forbidden,
             other => return Err(NetError::Frame(format!("unknown error code {other}"))),
         })
     }
@@ -307,6 +330,14 @@ pub enum Response {
         /// Human-readable detail.
         message: String,
     },
+    /// The tenant's `sys_audit` rows, oldest first (already
+    /// tenant-filtered and capped by the server).
+    AuditReply {
+        /// Correlation id of the `AuditQuery`.
+        corr: u64,
+        /// The ledger rows.
+        rows: Vec<AuditRecord>,
+    },
 }
 
 // ------------------------------------------------------------------ //
@@ -371,6 +402,50 @@ fn get_deadline(buf: &mut &[u8]) -> Result<Option<u64>, NetError> {
     }
 }
 
+fn put_opt_u64(out: &mut BytesMut, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            out.put_u8(1);
+            out.put_u64(v);
+        }
+        None => out.put_u8(0),
+    }
+}
+
+fn get_opt_u64(buf: &mut &[u8]) -> Result<Option<u64>, NetError> {
+    match get_u8(buf)? {
+        0 => Ok(None),
+        1 => Ok(Some(get_u64_checked(buf)?)),
+        other => Err(NetError::Frame(format!("bad option flag {other}"))),
+    }
+}
+
+fn put_audit_row(out: &mut BytesMut, row: &AuditRecord) {
+    out.put_u64(row.qid);
+    put_str(out, &row.tenant);
+    put_str(out, &row.owner);
+    put_str(out, &row.kind);
+    out.put_u64(row.submitted_at);
+    put_opt_u64(out, row.resolved_at);
+    put_str(out, &row.outcome);
+    put_opt_u64(out, row.latency_micros);
+    out.put_u32(row.shard);
+}
+
+fn get_audit_row(buf: &mut &[u8]) -> Result<AuditRecord, NetError> {
+    Ok(AuditRecord {
+        qid: get_u64_checked(buf)?,
+        tenant: get_str_checked(buf)?,
+        owner: get_str_checked(buf)?,
+        kind: get_str_checked(buf)?,
+        submitted_at: get_u64_checked(buf)?,
+        resolved_at: get_opt_u64(buf)?,
+        outcome: get_str_checked(buf)?,
+        latency_micros: get_opt_u64(buf)?,
+        shard: get_u32_checked(buf)?,
+    })
+}
+
 impl Request {
     /// Encodes the request payload (tag byte first; frame it with
     /// [`encode_frame`] before writing to a socket).
@@ -415,6 +490,16 @@ impl Request {
                 out.put_u8(6);
                 out.put_u64(*corr);
             }
+            Request::AuditQuery {
+                corr,
+                tenant,
+                limit,
+            } => {
+                out.put_u8(7);
+                out.put_u64(*corr);
+                put_str(&mut out, tenant);
+                out.put_u32(*limit);
+            }
         }
         out.to_vec()
     }
@@ -446,6 +531,11 @@ impl Request {
             },
             6 => Request::Bye {
                 corr: get_u64_checked(&mut buf)?,
+            },
+            7 => Request::AuditQuery {
+                corr: get_u64_checked(&mut buf)?,
+                tenant: get_str_checked(&mut buf)?,
+                limit: get_u32_checked(&mut buf)?,
             },
             other => return Err(NetError::Frame(format!("unknown request tag {other}"))),
         };
@@ -582,6 +672,14 @@ impl Response {
                 out.put_u8(code.to_u8());
                 put_str(&mut out, message);
             }
+            Response::AuditReply { corr, rows } => {
+                out.put_u8(8);
+                out.put_u64(*corr);
+                out.put_u32(rows.len() as u32);
+                for row in rows {
+                    put_audit_row(&mut out, row);
+                }
+            }
         }
         out.to_vec()
     }
@@ -625,6 +723,17 @@ impl Response {
                 code: ErrorCode::from_u8(get_u8(&mut buf)?)?,
                 message: get_str_checked(&mut buf)?,
             },
+            8 => {
+                let corr = get_u64_checked(&mut buf)?;
+                let count = get_u32_checked(&mut buf)? as usize;
+                // each row needs ≥ 30 bytes of fixed fields alone; cap
+                // the reserve by what was actually received
+                let mut rows = Vec::with_capacity(count.min(buf.remaining() / 30 + 1));
+                for _ in 0..count {
+                    rows.push(get_audit_row(&mut buf)?);
+                }
+                Response::AuditReply { corr, rows }
+            }
             other => return Err(NetError::Frame(format!("unknown response tag {other}"))),
         };
         finish(buf)?;
@@ -795,6 +904,11 @@ mod tests {
             Request::Cancel { corr: 9, qid: 3 },
             Request::Stats { corr: 10 },
             Request::Bye { corr: 11 },
+            Request::AuditQuery {
+                corr: 12,
+                tenant: "acme".into(),
+                limit: 100,
+            },
         ] {
             assert_eq!(frame_roundtrip(&req), req);
         }
@@ -837,6 +951,42 @@ mod tests {
                 corr: 6,
                 code: ErrorCode::Quota,
                 message: "tenant 'acme' quota exceeded".into(),
+            },
+            Response::Error {
+                corr: 7,
+                code: ErrorCode::Forbidden,
+                message: "tenant 'rival' is not this session's tenant".into(),
+            },
+            Response::AuditReply {
+                corr: 8,
+                rows: vec![
+                    AuditRecord {
+                        qid: 1,
+                        tenant: "acme".into(),
+                        owner: "acme/alice".into(),
+                        kind: "submit".into(),
+                        submitted_at: 1_000,
+                        resolved_at: None,
+                        outcome: "pending".into(),
+                        latency_micros: None,
+                        shard: 2,
+                    },
+                    AuditRecord {
+                        qid: 1,
+                        tenant: "acme".into(),
+                        owner: "acme/alice".into(),
+                        kind: "match".into(),
+                        submitted_at: 1_000,
+                        resolved_at: Some(1_250),
+                        outcome: "answered".into(),
+                        latency_micros: Some(250_000),
+                        shard: 2,
+                    },
+                ],
+            },
+            Response::AuditReply {
+                corr: 9,
+                rows: Vec::new(),
             },
         ] {
             let bytes = resp.encode();

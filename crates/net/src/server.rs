@@ -56,7 +56,8 @@ use youtopia_core::{
 use crate::error::NetResult;
 use crate::poller::{set_send_buffer, Interest, PollEvent, PollWaker, Poller};
 use crate::protocol::{
-    encode_frame, ErrorCode, FrameBuf, Outcome, Request, Response, TenantSummary, PROTOCOL_VERSION,
+    encode_frame, ErrorCode, FrameBuf, Outcome, Request, Response, TenantSummary,
+    MAX_AUDIT_REPLY_ROWS, PROTOCOL_VERSION,
 };
 
 /// Epoll token for the listening socket (connection slots count up
@@ -898,6 +899,29 @@ impl Reactor {
                         tenant: stats.as_ref().map(summarize).unwrap_or_default(),
                     },
                 );
+            }
+            Request::AuditQuery {
+                corr,
+                tenant,
+                limit,
+            } => {
+                // tenant scoping: a session reads only its own ledger
+                let resp = if tenant != tenant_of(owner) {
+                    Response::Error {
+                        corr,
+                        code: ErrorCode::Forbidden,
+                        message: format!(
+                            "tenant '{tenant}' is not this session's tenant \
+                             ('{}')",
+                            tenant_of(owner)
+                        ),
+                    }
+                } else {
+                    let limit = limit.min(MAX_AUDIT_REPLY_ROWS) as usize;
+                    let rows = youtopia_core::tenant_audit(self.co.db(), &tenant, limit);
+                    Response::AuditReply { corr, rows }
+                };
+                self.enqueue(slot, &resp);
             }
             Request::Bye { corr } => {
                 self.finish(slot, &Response::ByeOk { corr });

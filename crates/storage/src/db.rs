@@ -31,6 +31,26 @@ use crate::table::{RowId, Table};
 use crate::tuple::Tuple;
 use crate::wal::{Wal, WalOp, WalRecord};
 
+/// Name prefix that marks a table as a *transient system relation*.
+///
+/// Transient tables (e.g. the coordination audit relations `sys_audit`
+/// and `sys_tenant_latency`) live in the catalog and are fully readable
+/// and writable through normal transactions, but they are **derived
+/// state**: their mutations are never WAL-logged, and checkpoints and
+/// snapshots skip them. The subsystem that owns a transient table is
+/// responsible for rebuilding it on recovery (the audit sink rebuilds
+/// from the log's coordination frames). This keeps high-volume
+/// telemetry writes off the durability path entirely — a transaction
+/// that only touches transient tables commits without enqueueing a
+/// group-commit request at all.
+pub const TRANSIENT_PREFIX: &str = "sys_";
+
+/// Whether `name` names a transient system relation (see
+/// [`TRANSIENT_PREFIX`]).
+pub fn is_transient(name: &str) -> bool {
+    name.starts_with(TRANSIENT_PREFIX)
+}
+
 struct DbInner {
     catalog: Catalog,
 }
@@ -206,6 +226,9 @@ impl Database {
         let inner = self.inner.read();
         let mut ops = Vec::new();
         for name in inner.catalog.table_names() {
+            if is_transient(&name) {
+                continue;
+            }
             let table = inner
                 .catalog
                 .table(&name)
@@ -256,9 +279,13 @@ impl Database {
         // take the write lock so no transaction commit interleaves
         // with the rewrite (commits enqueue under this lock)
         let inner = self.inner.write();
-        // build the snapshot from the locked state
+        // build the snapshot from the locked state (transient system
+        // relations are derived state and stay out of the log)
         let mut ops = Vec::new();
         for name in inner.catalog.table_names() {
+            if is_transient(&name) {
+                continue;
+            }
             let table = inner
                 .catalog
                 .table(&name)
@@ -385,17 +412,21 @@ impl Transaction {
         }
     }
 
-    /// Creates a table.
+    /// Creates a table. Tables named with the [`TRANSIENT_PREFIX`] are
+    /// transient system relations: created in the catalog but never
+    /// WAL-logged (their owner rebuilds them on recovery).
     pub fn create_table(&mut self, name: &str, schema: Schema) -> StorageResult<()> {
         self.check_open()?;
         self.guard.catalog.create_table(name, schema.clone())?;
         self.undo.push(UndoOp::CreateTable {
             name: name.to_string(),
         });
-        self.redo.push(WalRecord::Storage(WalOp::CreateTable {
-            name: name.to_string(),
-            schema,
-        }));
+        if !is_transient(name) {
+            self.redo.push(WalRecord::Storage(WalOp::CreateTable {
+                name: name.to_string(),
+                schema,
+            }));
+        }
         Ok(())
     }
 
@@ -403,9 +434,11 @@ impl Transaction {
     pub fn drop_table(&mut self, name: &str) -> StorageResult<()> {
         self.check_open()?;
         let table = self.guard.catalog.drop_table(name)?;
-        self.redo.push(WalRecord::Storage(WalOp::DropTable {
-            name: table.name().to_string(),
-        }));
+        if !is_transient(name) {
+            self.redo.push(WalRecord::Storage(WalOp::DropTable {
+                name: table.name().to_string(),
+            }));
+        }
         self.undo.push(UndoOp::DropTable { table });
         Ok(())
     }
@@ -432,16 +465,26 @@ impl Transaction {
         self.check_open()?;
         let t = self.guard.catalog.table_mut(table)?;
         let rid = t.insert(tuple)?;
-        let stored = t.get(rid).expect("row was just inserted").clone();
         self.undo.push(UndoOp::Insert {
             table: table.to_string(),
             rid,
         });
-        self.redo.push(WalRecord::Storage(WalOp::Insert {
-            table: table.to_string(),
-            rid: rid.0,
-            tuple: stored,
-        }));
+        if !is_transient(table) {
+            // the redo record is the only consumer of the stored copy;
+            // transient tables never reach the WAL, so skip the clone
+            let stored = self
+                .guard
+                .catalog
+                .table_mut(table)?
+                .get(rid)
+                .expect("row was just inserted")
+                .clone();
+            self.redo.push(WalRecord::Storage(WalOp::Insert {
+                table: table.to_string(),
+                rid: rid.0,
+                tuple: stored,
+            }));
+        }
         Ok(rid)
     }
 
@@ -450,17 +493,25 @@ impl Transaction {
         self.check_open()?;
         let t = self.guard.catalog.table_mut(table)?;
         let old = t.update(rid, tuple)?;
-        let stored = t.get(rid).expect("row still exists").clone();
         self.undo.push(UndoOp::Update {
             table: table.to_string(),
             rid,
             old,
         });
-        self.redo.push(WalRecord::Storage(WalOp::Update {
-            table: table.to_string(),
-            rid: rid.0,
-            tuple: stored,
-        }));
+        if !is_transient(table) {
+            let stored = self
+                .guard
+                .catalog
+                .table_mut(table)?
+                .get(rid)
+                .expect("row still exists")
+                .clone();
+            self.redo.push(WalRecord::Storage(WalOp::Update {
+                table: table.to_string(),
+                rid: rid.0,
+                tuple: stored,
+            }));
+        }
         Ok(())
     }
 
@@ -473,10 +524,12 @@ impl Transaction {
             rid,
             old,
         });
-        self.redo.push(WalRecord::Storage(WalOp::Delete {
-            table: table.to_string(),
-            rid: rid.0,
-        }));
+        if !is_transient(table) {
+            self.redo.push(WalRecord::Storage(WalOp::Delete {
+                table: table.to_string(),
+                rid: rid.0,
+            }));
+        }
         Ok(())
     }
 
@@ -892,6 +945,59 @@ mod tests {
         let (_, coordination) =
             Database::recover_full(Wal::from_bytes(db.wal_bytes().unwrap())).unwrap();
         assert_eq!(coordination, vec![b"compacted".to_vec()]);
+    }
+
+    #[test]
+    fn transient_tables_never_reach_the_wal() {
+        let db = Database::with_wal(Wal::in_memory());
+        db.with_txn(|txn| {
+            txn.create_table("Flights", flights_schema())?;
+            txn.insert("Flights", row(1, "Paris"))?;
+            Ok(())
+        })
+        .unwrap();
+        let durable_len = db.wal_bytes().unwrap().len();
+
+        // transient writes are visible but cost zero WAL bytes
+        db.with_txn(|txn| {
+            txn.create_table("sys_audit_test", flights_schema())?;
+            txn.insert("sys_audit_test", row(7, "submit"))?;
+            txn.update("sys_audit_test", RowId(0), row(7, "answered"))?;
+            txn.insert("sys_audit_test", row(8, "submit"))?;
+            txn.delete("sys_audit_test", RowId(1))?;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(db.wal_bytes().unwrap().len(), durable_len);
+        assert_eq!(db.read().table("sys_audit_test").unwrap().len(), 1);
+
+        // abort still rolls transient mutations back
+        let mut txn = db.begin();
+        txn.insert("sys_audit_test", row(9, "submit")).unwrap();
+        txn.abort();
+        assert_eq!(db.read().table("sys_audit_test").unwrap().len(), 1);
+
+        // checkpoints skip transient tables and recovery omits them
+        db.checkpoint().unwrap();
+        let (db2, _) = Database::recover_full(Wal::from_bytes(db.wal_bytes().unwrap())).unwrap();
+        assert_eq!(db2.read().table("Flights").unwrap().len(), 1);
+        assert!(db2.read().table("sys_audit_test").is_err());
+
+        // snapshot_ops agrees
+        assert!(db
+            .snapshot_ops()
+            .iter()
+            .all(|op| !matches!(op, WalOp::CreateTable { name, .. } if is_transient(name))));
+    }
+
+    #[test]
+    fn transient_only_txn_commits_without_log_traffic() {
+        let db = Database::with_wal(Wal::in_memory());
+        db.with_txn(|txn| txn.create_table("sys_only", flights_schema()))
+            .unwrap();
+        db.with_txn(|txn| txn.insert("sys_only", row(1, "x")).map(|_| ()))
+            .unwrap();
+        assert_eq!(db.wal_bytes().unwrap().len(), 0);
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub mod wal;
 /// Convenient glob-import of the types most callers need.
 pub mod prelude {
     pub use crate::catalog::Catalog;
-    pub use crate::db::{Database, ReadTransaction, Transaction};
+    pub use crate::db::{is_transient, Database, ReadTransaction, Transaction, TRANSIENT_PREFIX};
     pub use crate::error::{StorageError, StorageResult};
     pub use crate::group_commit::GroupCommitConfig;
     pub use crate::index::{Index, IndexKind};

@@ -5,7 +5,10 @@
 
 use std::sync::Arc;
 
-use youtopia_core::{Coordinator, CoreError, Submission};
+use parking_lot::Mutex;
+use youtopia_core::{
+    latency_histogram, Coordinator, CoreError, RecoveryReport, Submission, AUDIT_TABLE,
+};
 use youtopia_exec::{run_statement, ExecError, ResultSet, StatementOutcome};
 use youtopia_sql::{parse_statement, Statement};
 use youtopia_storage::Database;
@@ -14,19 +17,36 @@ use youtopia_storage::Database;
 pub struct AdminConsole {
     db: Database,
     coordinator: Arc<Coordinator>,
+    recovery: Mutex<Option<RecoveryReport>>,
 }
 
 impl AdminConsole {
     /// Builds a console over an existing stack.
     pub fn new(db: Database, coordinator: Arc<Coordinator>) -> AdminConsole {
-        AdminConsole { db, coordinator }
+        AdminConsole {
+            db,
+            coordinator,
+            recovery: Mutex::new(None),
+        }
+    }
+
+    /// Stores the report of a crash recovery (from
+    /// [`crate::TravelService::recover`]) so the `recovery` admin
+    /// command can render what the replay actually did.
+    pub fn set_recovery_report(&self, report: RecoveryReport) {
+        *self.recovery.lock() = Some(report);
     }
 
     /// Executes one command line as `user` and renders the outcome as
     /// text. Handles the full statement surface: DDL/DML/queries via
     /// the execution engine, entangled queries via the coordination
-    /// component, `SHOW PENDING` via the registry snapshot.
+    /// component, `SHOW PENDING` via the registry snapshot — plus the
+    /// observability commands `audit`, `latency <tenant>`, `recovery`
+    /// and `gauges`, which are intercepted before SQL parsing.
     pub fn execute_as(&self, user: &str, line: &str) -> String {
+        if let Some(out) = self.observability_command(line.trim()) {
+            return out;
+        }
         let stmt = match parse_statement(line) {
             Ok(s) => s,
             Err(e) => return format!("error: {e}"),
@@ -179,6 +199,90 @@ impl AdminConsole {
             s.match_work.groundings_attempted,
             s.match_work.rows_scanned,
             s.match_work.nodes_expanded,
+        )
+    }
+
+    /// Dispatches the observability commands; `None` when `line` is a
+    /// regular statement for the SQL surface.
+    fn observability_command(&self, line: &str) -> Option<String> {
+        match line {
+            "audit" => Some(self.render_audit()),
+            "recovery" => Some(self.render_recovery()),
+            "gauges" => Some(self.render_gauges()),
+            _ => line
+                .strip_prefix("latency ")
+                .map(|tenant| self.render_latency(tenant.trim())),
+        }
+    }
+
+    /// Renders the `sys_audit` coordination ledger (the `audit`
+    /// command). The relation is ordinary SQL surface too — this is
+    /// just the canonical SELECT, pre-spelled.
+    fn render_audit(&self) -> String {
+        if !self.db.read().catalog().has_table(AUDIT_TABLE) {
+            return "(audit disabled: no sys_audit relation — \
+                    enable CoordinatorConfig.audit)"
+                .to_string();
+        }
+        self.execute(
+            "SELECT qid, tenant, owner, kind, submitted_at, resolved_at, \
+             outcome, latency_micros, shard FROM sys_audit",
+        )
+    }
+
+    /// Renders one tenant's resolution-latency histogram (the
+    /// `latency <tenant>` command): log2 buckets from
+    /// `sys_tenant_latency`, bucket `b ≥ 1` covering `[2^(b-1), 2^b)`
+    /// microseconds.
+    fn render_latency(&self, tenant: &str) -> String {
+        if tenant.is_empty() {
+            return "usage: latency <tenant>".to_string();
+        }
+        let buckets = latency_histogram(&self.db, Some(tenant));
+        if buckets.is_empty() {
+            return format!("(no resolved coordinations for tenant '{tenant}')");
+        }
+        let mut out = format!("latency histogram for '{tenant}' (micros):\n");
+        for b in &buckets {
+            let range = match b.bucket {
+                0 => "0".to_string(),
+                64 => format!("[{}, inf)", 1u64 << 63),
+                n => format!("[{}, {})", 1u64 << (n - 1), 1u64 << n),
+            };
+            out.push_str(&format!("  {:<9} {:>24}  {}\n", b.outcome, range, b.count));
+        }
+        out
+    }
+
+    /// Renders the stored crash-recovery report (the `recovery`
+    /// command).
+    fn render_recovery(&self) -> String {
+        match &*self.recovery.lock() {
+            None => "(no recovery this session)".to_string(),
+            Some(r) => format!(
+                "recovery: events_replayed={} restored_pending={} rematched_groups={} \
+                 expired_at_recovery={} triggers_pruned={} sweep_micros={}",
+                r.events_replayed,
+                r.restored_pending,
+                r.rematched_groups,
+                r.expired_at_recovery,
+                r.triggers_pruned,
+                r.sweep_micros,
+            ),
+        }
+    }
+
+    /// Renders the log-surface gauges (the `gauges` command).
+    fn render_gauges(&self) -> String {
+        let s = self.coordinator.stats();
+        format!(
+            "gauges: wal_bytes={} wal_bytes_since_checkpoint={} checkpoint_age_millis={} \
+             auto_checkpoints={} pending={}",
+            s.wal_bytes,
+            s.wal_bytes_since_checkpoint,
+            s.checkpoint_age_millis,
+            s.auto_checkpoints,
+            self.coordinator.pending_count(),
         )
     }
 }
@@ -418,6 +522,111 @@ mod tests {
         // broken query
         let out3 = c.explain("SELECT 1");
         assert!(out3.starts_with("error:"), "{out3}");
+    }
+
+    fn pair_sql(me: &str, friend: &str) -> String {
+        format!(
+            "SELECT '{me}', fno INTO ANSWER Reservation \
+             WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') \
+             AND ('{friend}', fno) IN ANSWER Reservation CHOOSE 1"
+        )
+    }
+
+    /// A console whose coordinator writes the `sys_audit` /
+    /// `sys_tenant_latency` relations.
+    fn audited_console() -> (TravelService, AdminConsole) {
+        use youtopia_core::{AuditConfig, CoordinatorConfig};
+        let s = TravelService::bootstrap_demo().unwrap();
+        let config = CoordinatorConfig {
+            audit: AuditConfig::enabled(),
+            ..CoordinatorConfig::default()
+        };
+        let co = Arc::new(Coordinator::with_config(s.db().clone(), config));
+        let console = AdminConsole::new(s.db().clone(), co);
+        (s, console)
+    }
+
+    #[test]
+    fn audit_command_reports_disabled_by_default() {
+        let (_s, c) = console();
+        let out = c.execute("audit");
+        assert!(out.contains("audit disabled"), "{out}");
+    }
+
+    #[test]
+    fn audit_command_and_sql_surface_render_the_ledger() {
+        let (_s, c) = audited_console();
+        c.execute_as("kramer", &pair_sql("Kramer", "Jerry"));
+        let done = c.execute_as("jerry", &pair_sql("Jerry", "Kramer"));
+        assert!(done.contains("answered immediately"), "{done}");
+
+        let audit = c.execute("audit");
+        assert!(audit.contains("submit"), "{audit}");
+        assert!(audit.contains("answered"), "{audit}");
+        assert!(audit.contains("kramer"), "{audit}");
+
+        // zero new query machinery: the ledger is ordinary SQL surface
+        let counts = c.execute(
+            "SELECT tenant, outcome, COUNT(*) AS n FROM sys_audit \
+             GROUP BY tenant, outcome",
+        );
+        assert!(counts.contains("kramer"), "{counts}");
+        assert!(counts.contains("jerry"), "{counts}");
+        assert!(counts.contains("pending"), "{counts}");
+        assert!(counts.contains("answered"), "{counts}");
+        assert!(counts.contains("4 row(s)"), "{counts}");
+    }
+
+    #[test]
+    fn latency_command_renders_the_histogram() {
+        let (_s, c) = audited_console();
+        c.execute_as("kramer", &pair_sql("Kramer", "Jerry"));
+        c.execute_as("jerry", &pair_sql("Jerry", "Kramer"));
+        let out = c.execute("latency kramer");
+        assert!(out.contains("latency histogram for 'kramer'"), "{out}");
+        assert!(out.contains("answered"), "{out}");
+        let empty = c.execute("latency nobody");
+        assert!(empty.contains("no resolved coordinations"), "{empty}");
+    }
+
+    #[test]
+    fn recovery_command_renders_the_stored_report() {
+        use youtopia_core::CoordinatorConfig;
+        use youtopia_storage::Wal;
+
+        let (_s, c) = console();
+        assert_eq!(c.execute("recovery"), "(no recovery this session)");
+
+        // crash a WAL-backed site mid-coordination and recover it
+        // through the middle tier
+        let db = Database::with_wal(Wal::in_memory());
+        crate::model::install_schema(&db).unwrap();
+        crate::model::seed_demo_data(&db).unwrap();
+        let site = TravelService::over(db.clone()).unwrap();
+        site.coordinator()
+            .submit_sql("kramer", &pair_sql("Kramer", "Jerry"))
+            .unwrap();
+        let bytes = db.wal_bytes().unwrap();
+
+        let (recovered, report) =
+            TravelService::recover(Wal::from_bytes(bytes), CoordinatorConfig::default()).unwrap();
+        assert_eq!(report.restored_pending, 1);
+        let console = AdminConsole::new(recovered.db().clone(), recovered.coordinator().clone());
+        console.set_recovery_report(report);
+        let out = console.execute("recovery");
+        assert!(out.contains("restored_pending=1"), "{out}");
+        assert!(out.contains("events_replayed="), "{out}");
+        assert!(out.contains("sweep_micros="), "{out}");
+        assert!(console.execute("SHOW PENDING").contains("owner=kramer"));
+    }
+
+    #[test]
+    fn gauges_command_renders_log_surface_gauges() {
+        let (_s, c) = console();
+        let out = c.execute("gauges");
+        assert!(out.contains("wal_bytes="), "{out}");
+        assert!(out.contains("checkpoint_age_millis="), "{out}");
+        assert!(out.contains("pending=0"), "{out}");
     }
 
     #[test]

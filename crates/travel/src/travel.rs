@@ -12,9 +12,12 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use youtopia_core::{Coordinator, GroupMatch, MatchNotification, QueryId, Submission, Ticket};
+use youtopia_core::{
+    Coordinator, CoordinatorConfig, GroupMatch, MatchNotification, QueryId, RecoveryReport,
+    Submission, Ticket,
+};
 use youtopia_exec::{run_sql, StatementOutcome};
-use youtopia_storage::{Database, StorageError, Tuple, Value};
+use youtopia_storage::{Database, StorageError, Tuple, Value, Wal};
 
 use crate::error::{TravelError, TravelResult};
 use crate::model::{self, sql_str, Flight, Hotel};
@@ -92,6 +95,30 @@ impl TravelService {
             notifier: Arc::new(Notifier::new()),
             tickets: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Rebuilds the site from a durable WAL after a crash: database and
+    /// coordination state replay, the inventory hook is installed before
+    /// the recovery matching sweep, and the [`RecoveryReport`] — which
+    /// the middle tier used to have no way to surface — is returned to
+    /// the caller (hand it to
+    /// [`crate::AdminConsole::set_recovery_report`] so the admin
+    /// `recovery` command can render it).
+    pub fn recover(
+        wal: Wal,
+        config: CoordinatorConfig,
+    ) -> TravelResult<(TravelService, RecoveryReport)> {
+        let (coordinator, report) =
+            Coordinator::recover_with_hook(wal, config, Some(Box::new(inventory_hook)))?;
+        let db = coordinator.db().clone();
+        let service = TravelService {
+            social: SocialGraph::new(db.clone()),
+            db,
+            coordinator: Arc::new(coordinator),
+            notifier: Arc::new(Notifier::new()),
+            tickets: Mutex::new(Vec::new()),
+        };
+        Ok((service, report))
     }
 
     /// The social graph (friend import / listing).

@@ -28,8 +28,8 @@ use std::time::{Duration, Instant};
 use youtopia::net::{ErrorCode, NetError, Outcome, SubmitOutcome};
 use youtopia::travel::WorkloadGen;
 use youtopia::{
-    Clock, NetClient, NetServer, ServerConfig, ShardedCoordinator, SystemClock, TenantQuotas,
-    TenantRegistry,
+    AuditConfig, Clock, NetClient, NetServer, ServerConfig, ShardedConfig, ShardedCoordinator,
+    SystemClock, TenantQuotas, TenantRegistry,
 };
 
 const PAIRS: usize = 32;
@@ -71,7 +71,11 @@ fn main() {
     let db = generator
         .build_database(100, &["Paris", "Rome"])
         .expect("database builds");
-    let co = Arc::new(ShardedCoordinator::new(db));
+    // audit on: every submit/terminal lands in sys_audit, served
+    // remotely by the tenant-scoped AuditQuery (phase 3.5)
+    let mut shard_config = ShardedConfig::default();
+    shard_config.base.audit = AuditConfig::enabled();
+    let co = Arc::new(ShardedCoordinator::with_config(db, shard_config));
     let tenants = TenantRegistry::new(TenantQuotas::default());
     tenants.set_quotas(
         "greedy",
@@ -215,6 +219,34 @@ fn main() {
         accepted.len(),
         GREEDY_CAP,
         rejected
+    );
+
+    // ---- phase 3.5: tenant-scoped remote audit --------------------- //
+    let mut auditor = NetClient::connect(addr).expect("connect auditor");
+    auditor.hello("pairs/auditor").expect("hello auditor");
+    let rows = auditor.audit("pairs", 4096).expect("audit reply");
+    let submits = rows.iter().filter(|r| r.kind == "submit").count();
+    let answers = rows.iter().filter(|r| r.outcome == "answered").count();
+    assert_eq!(submits, PAIRS * 2, "one submit row per pair side");
+    assert_eq!(answers, PAIRS * 2, "one answered row per pair side");
+    assert!(
+        rows.iter().all(|r| r.tenant == "pairs"),
+        "reply carries only the session's tenant"
+    );
+    // another tenant's ledger is refused
+    match auditor.audit("greedy", 16) {
+        Err(NetError::Remote {
+            code: ErrorCode::Forbidden,
+            ..
+        }) => {}
+        other => panic!("cross-tenant audit not denied: {other:?}"),
+    }
+    auditor.bye().ok();
+    println!(
+        "audit       : {} rows for tenant 'pairs' ({} submits, {} answers), cross-tenant denied",
+        rows.len(),
+        submits,
+        answers
     );
 
     // ---- phase 4: 1k+ concurrent sessions on one reactor thread ---- //

@@ -35,10 +35,12 @@ pub use youtopia_storage as storage;
 pub use youtopia_travel as travel;
 
 pub use youtopia_core::{
-    compile_sql, Clock, CoordEvent, CoordinationFuture, CoordinationLog, CoordinationOutcome,
-    Coordinator, CoordinatorConfig, DeadlineHost, DeadlineSweeper, GroupMatch, MatchNotification,
-    MatcherKind, MockClock, QueryId, RecoveryReport, SafetyMode, ShardedConfig, ShardedCoordinator,
-    Submission, SubmitOptions, SystemClock, TenantQuotas, TenantRegistry, WaiterSet,
+    compile_sql, latency_histogram, tenant_audit, AuditConfig, AuditRecord, CheckpointPolicy,
+    Clock, CoordEvent, CoordinationFuture, CoordinationLog, CoordinationOutcome, Coordinator,
+    CoordinatorConfig, DeadlineHost, DeadlineSweeper, GroupMatch, LatencyBucket, MatchNotification,
+    MatcherKind, MockClock, QueryId, RecoveryReport, RegStamp, SafetyMode, ShardedConfig,
+    ShardedCoordinator, Submission, SubmitOptions, SystemClock, TenantQuotas, TenantRegistry,
+    WaiterSet, AUDIT_TABLE, LATENCY_TABLE,
 };
 pub use youtopia_exec::{run_sql, StatementOutcome};
 pub use youtopia_net::{NetClient, NetServer, ServerConfig, ServerStats};

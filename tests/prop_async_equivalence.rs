@@ -234,6 +234,7 @@ fn run_sharded_sync(w: &Workload, seed: u64, shards: usize) -> RunResult {
             workers: 4,
             auto_checkpoint_bytes: 0,
             fair_drain: false,
+            checkpoint: Default::default(),
             base: config(seed),
         },
     );
@@ -266,6 +267,7 @@ fn run_sharded_async(w: &Workload, seed: u64, shards: usize) -> RunResult {
             workers: 4,
             auto_checkpoint_bytes: 0,
             fair_drain: false,
+            checkpoint: Default::default(),
             base: config(seed),
         },
     );

@@ -12,7 +12,7 @@ use proptest::prelude::*;
 use std::sync::Arc;
 
 use youtopia::storage::{Tuple, Value, Wal};
-use youtopia::{CoordEvent, MockClock, QueryId, ShardedConfig, ShardedCoordinator};
+use youtopia::{CoordEvent, MockClock, QueryId, RegStamp, ShardedConfig, ShardedCoordinator};
 
 fn pair_sql(me: &str, friend: &str) -> String {
     format!(
@@ -36,25 +36,50 @@ fn v1_registered_bytes(owner: &str, sql: &str, qid: u64, seq: u64) -> Vec<u8> {
     buf
 }
 
+fn arb_stamp() -> impl Strategy<Value = Option<RegStamp>> {
+    (any::<bool>(), any::<u64>(), any::<u32>())
+        .prop_map(|(some, at, shard)| some.then_some(RegStamp { at, shard }))
+}
+
+fn arb_at() -> impl Strategy<Value = Option<u64>> {
+    (any::<bool>(), any::<u64>()).prop_map(|(some, v)| some.then_some(v))
+}
+
 fn arb_event() -> impl Strategy<Value = CoordEvent> {
     let name = "[a-z]{1,12}";
     let deadline = (any::<bool>(), any::<u64>()).prop_map(|(some, v)| some.then_some(v));
-    let registered = (name, "[ -~]{0,40}", any::<u64>(), any::<u64>(), deadline).prop_map(
-        |(owner, sql, qid, seq, deadline)| CoordEvent::QueryRegistered {
-            owner,
-            sql,
-            qid: QueryId(qid),
-            seq,
-            deadline,
-        },
-    );
-    let cancelled = any::<u64>().prop_map(|qid| CoordEvent::QueryCancelled { qid: QueryId(qid) });
-    let expired = any::<u64>().prop_map(|qid| CoordEvent::QueryExpired { qid: QueryId(qid) });
+    let registered = (
+        name,
+        "[ -~]{0,40}",
+        any::<u64>(),
+        any::<u64>(),
+        deadline,
+        arb_stamp(),
+    )
+        .prop_map(
+            |(owner, sql, qid, seq, deadline, stamp)| CoordEvent::QueryRegistered {
+                owner,
+                sql,
+                qid: QueryId(qid),
+                seq,
+                deadline,
+                stamp,
+            },
+        );
+    let cancelled = (any::<u64>(), arb_at()).prop_map(|(qid, at)| CoordEvent::QueryCancelled {
+        qid: QueryId(qid),
+        at,
+    });
+    let expired = (any::<u64>(), arb_at()).prop_map(|(qid, at)| CoordEvent::QueryExpired {
+        qid: QueryId(qid),
+        at,
+    });
     let matched = (
         proptest::collection::vec(any::<u64>(), 0..5),
         proptest::collection::vec(("[A-Za-z]{1,8}", any::<i64>(), "[ -~]{0,12}"), 0..4),
+        arb_at(),
     )
-        .prop_map(|(qids, writes)| CoordEvent::MatchCommitted {
+        .prop_map(|(qids, writes, at)| CoordEvent::MatchCommitted {
             qids: qids.into_iter().map(QueryId).collect(),
             answer_writes: writes
                 .into_iter()
@@ -65,6 +90,7 @@ fn arb_event() -> impl Strategy<Value = CoordEvent> {
                     )
                 })
                 .collect(),
+            at,
         });
     let watermark = (any::<u64>(), any::<u64>()).prop_map(|(qid, seq)| CoordEvent::Watermark {
         qid: QueryId(qid),
@@ -110,10 +136,46 @@ proptest! {
             qid: QueryId(qid),
             seq,
             deadline: None,
+            stamp: None,
         };
         let v1 = v1_registered_bytes(&owner, &sql, qid, seq);
         prop_assert_eq!(event.encode(), v1.clone());
         prop_assert_eq!(CoordEvent::decode(&v1).expect("v1 decodes"), event);
+    }
+
+    /// A stamped (v3) registration and a stamp-less one differ only by
+    /// the audit stamp after a round trip: stripping the stamp from the
+    /// decoded v3 event yields exactly the v1/v2 event — the versions
+    /// describe one registration, not two.
+    #[test]
+    fn stamped_and_unstamped_registrations_agree(owner in "[a-z]{1,10}",
+                                                 sql in "[ -~]{0,30}",
+                                                 qid in any::<u64>(), seq in any::<u64>(),
+                                                 deadline in proptest::option::of(any::<u64>()),
+                                                 at in any::<u64>(), shard in any::<u32>()) {
+        let stamped = CoordEvent::QueryRegistered {
+            owner: owner.clone(),
+            sql: sql.clone(),
+            qid: QueryId(qid),
+            seq,
+            deadline,
+            stamp: Some(RegStamp { at, shard }),
+        };
+        let decoded = CoordEvent::decode(&stamped.encode()).expect("v3 decodes");
+        let CoordEvent::QueryRegistered { stamp, .. } = &decoded else {
+            panic!("registration decodes as a registration");
+        };
+        prop_assert_eq!(*stamp, Some(RegStamp { at, shard }));
+        let stripped = match decoded {
+            CoordEvent::QueryRegistered { owner, sql, qid, seq, deadline, .. } => {
+                CoordEvent::QueryRegistered { owner, sql, qid, seq, deadline, stamp: None }
+            }
+            other => other,
+        };
+        let plain = CoordEvent::QueryRegistered {
+            owner, sql, qid: QueryId(qid), seq, deadline, stamp: None,
+        };
+        prop_assert_eq!(stripped, plain);
     }
 }
 
@@ -163,6 +225,7 @@ fn mixed_v1_v2_wal_restores_per_query_deadlines() {
             qid: QueryId(2),
             seq: 2,
             deadline: Some(77_000),
+            stamp: None,
         }
         .encode(),
     )

@@ -18,10 +18,11 @@
 
 use proptest::prelude::*;
 
-use youtopia::core::{MatchConfig, SubmitOptions};
-use youtopia::storage::Wal;
+use youtopia::core::{latency_bucket, MatchConfig, SubmitOptions};
+use youtopia::storage::{Wal, WalRecord};
 use youtopia::{
-    run_sql, CoordinatorConfig, Database, MockClock, ShardedConfig, ShardedCoordinator, Submission,
+    latency_histogram, run_sql, tenant_audit, AuditConfig, AuditRecord, CoordEvent,
+    CoordinatorConfig, Database, MockClock, ShardedConfig, ShardedCoordinator, Submission,
 };
 
 /// One generated workload step: a pair request, optionally cancelled
@@ -172,6 +173,7 @@ fn config(seed: u64) -> ShardedConfig {
         workers: 2,
         auto_checkpoint_bytes: 0,
         fair_drain: false,
+        checkpoint: Default::default(),
         base: CoordinatorConfig {
             match_config: MatchConfig {
                 randomize: false,
@@ -548,5 +550,171 @@ proptest! {
         let (second, _) = ShardedCoordinator::recover(Wal::from_bytes(bytes2), cfg)
             .expect("second recovery");
         prop_assert_eq!(end_state(&second), state1);
+    }
+}
+
+// --------------------------------------------------------------------
+// Observability PR: the audit ledger is an exact, durable projection
+// of the coordination log.
+// --------------------------------------------------------------------
+
+/// `config(seed)` with the audit sink switched on (default retention:
+/// far larger than any generated workload, so rotation never fires).
+fn audited_config(seed: u64) -> ShardedConfig {
+    let mut cfg = config(seed);
+    cfg.base.audit = AuditConfig::enabled();
+    cfg
+}
+
+/// The whole `sys_audit` relation (all four generated tenants),
+/// canonically ordered by `(qid, kind)` for comparison.
+fn audit_ledger(co: &ShardedCoordinator) -> Vec<AuditRecord> {
+    let mut rows: Vec<AuditRecord> = ["A", "B", "C", "D"]
+        .iter()
+        .flat_map(|t| tenant_audit(co.db(), t, usize::MAX))
+        .collect();
+    rows.sort_by(|a, b| (a.qid, &a.kind).cmp(&(b.qid, &b.kind)));
+    rows
+}
+
+/// The whole `sys_tenant_latency` relation as sorted `(tenant,
+/// outcome, bucket, count)` tuples.
+fn histogram_state(co: &ShardedCoordinator) -> Vec<(String, String, u32, u64)> {
+    let mut rows: Vec<(String, String, u32, u64)> = latency_histogram(co.db(), None)
+        .into_iter()
+        .map(|b| (b.tenant, b.outcome, b.bucket, b.count))
+        .collect();
+    rows.sort();
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Ledger-closure property: after a random submit/cancel/expire/
+    /// match workload with auditing on, the `sys_audit` rows reconcile
+    /// exactly with (a) the coordinator's `stats()` counters, (b) the
+    /// live pending set, (c) the `sys_tenant_latency` roll-up, and
+    /// (d) the coordination frames actually in the WAL.
+    #[test]
+    fn audit_ledger_reconciles_with_stats_and_wal(scenario in arb_timed_scenario()) {
+        use std::collections::{BTreeMap, BTreeSet};
+
+        let cfg = audited_config(scenario.seed);
+        let db = scenario_db();
+        let co = ShardedCoordinator::with_config(db.clone(), cfg);
+        for (k, step) in scenario.steps.iter().enumerate() {
+            run_timed_step(&co, k, step);
+            co.expire_due(sweep_time(k));
+        }
+
+        let rows = audit_ledger(&co);
+        let stats = co.stats();
+        let tally = |pred: &dyn Fn(&AuditRecord) -> bool| -> u64 {
+            rows.iter().filter(|r| pred(r)).count() as u64
+        };
+        let submits = tally(&|r| r.kind == "submit");
+        let answered = tally(&|r| r.outcome == "answered");
+        let cancelled = tally(&|r| r.outcome == "cancelled");
+        let expired = tally(&|r| r.outcome == "expired");
+
+        // (a) counters
+        prop_assert_eq!(submits, stats.submitted);
+        prop_assert_eq!(answered, stats.answered);
+        prop_assert_eq!(expired, stats.expired);
+
+        // per-row shape: submit rows are open, terminal rows carry a
+        // resolution time and the latency derived from it
+        for r in &rows {
+            if r.kind == "submit" {
+                prop_assert_eq!(r.outcome.as_str(), "pending");
+                prop_assert!(r.resolved_at.is_none() && r.latency_micros.is_none());
+            } else {
+                let resolved = r.resolved_at.expect("terminal rows carry resolved_at");
+                prop_assert!(resolved >= r.submitted_at);
+                prop_assert_eq!(
+                    r.latency_micros,
+                    Some(resolved.saturating_sub(r.submitted_at).saturating_mul(1000))
+                );
+            }
+        }
+
+        // (b) closure: every submitted qid is terminal xor still pending
+        let submitted_ids: BTreeSet<u64> =
+            rows.iter().filter(|r| r.kind == "submit").map(|r| r.qid).collect();
+        let terminal_ids: BTreeSet<u64> =
+            rows.iter().filter(|r| r.kind != "submit").map(|r| r.qid).collect();
+        let pending_ids: BTreeSet<u64> =
+            co.pending_snapshot().into_iter().map(|p| p.id.0).collect();
+        prop_assert!(terminal_ids.is_subset(&submitted_ids));
+        prop_assert!(pending_ids.is_disjoint(&terminal_ids));
+        let closed: BTreeSet<u64> = terminal_ids.union(&pending_ids).copied().collect();
+        prop_assert_eq!(submitted_ids, closed);
+
+        // (c) the histogram roll-up is exactly the terminal rows,
+        // grouped by (tenant, outcome, log2 bucket)
+        let mut grouped: BTreeMap<(String, String, u32), u64> = BTreeMap::new();
+        for r in rows.iter().filter(|r| r.kind != "submit") {
+            let bucket = latency_bucket(r.latency_micros.unwrap());
+            *grouped.entry((r.tenant.clone(), r.outcome.clone(), bucket)).or_default() += 1;
+        }
+        let expected: Vec<(String, String, u32, u64)> = grouped
+            .into_iter()
+            .map(|((t, o, b), n)| (t, o, b, n))
+            .collect();
+        prop_assert_eq!(histogram_state(&co), expected);
+
+        // (d) the WAL's coordination frames tell the same story
+        let mut wal = Wal::from_bytes(db.wal_bytes().expect("WAL-backed scenario db"));
+        let (mut reg, mut cancels, mut expires, mut members) = (0u64, 0u64, 0u64, 0u64);
+        for record in wal.replay_records().expect("log replays clean") {
+            if let WalRecord::Coordination(payload) = record {
+                match CoordEvent::decode(&payload).expect("frames decode") {
+                    CoordEvent::QueryRegistered { .. } => reg += 1,
+                    CoordEvent::QueryCancelled { .. } => cancels += 1,
+                    CoordEvent::QueryExpired { .. } => expires += 1,
+                    CoordEvent::MatchCommitted { qids, .. } => members += qids.len() as u64,
+                    CoordEvent::Watermark { .. } => {}
+                }
+            }
+        }
+        prop_assert_eq!(reg, submits);
+        prop_assert_eq!(cancels, cancelled);
+        prop_assert_eq!(expires, expired);
+        prop_assert_eq!(members, answered);
+    }
+
+    /// Crash-equivalence for the ledger itself: `sys_audit` and
+    /// `sys_tenant_latency` are transient relations (never in the
+    /// storage log), so recovery must rebuild them purely from the
+    /// coordination frames — and the rebuilt relations must equal the
+    /// pre-crash ones row for row, timestamps and shards included.
+    #[test]
+    fn crash_and_recover_reproduce_the_audit_ledger(scenario in arb_timed_scenario()) {
+        let cfg = audited_config(scenario.seed);
+        let db = scenario_db();
+        let co = ShardedCoordinator::with_config(db.clone(), cfg);
+        for (k, step) in scenario.steps.iter().enumerate() {
+            run_timed_step(&co, k, step);
+            co.expire_due(sweep_time(k));
+        }
+        let live_rows = audit_ledger(&co);
+        let live_hist = histogram_state(&co);
+        let bytes = db.wal_bytes().expect("WAL-backed scenario db");
+        drop(co);
+        drop(db);
+
+        // recover "at" the final sweep already performed: the recovery
+        // sweep re-expires nothing new, so the ledgers must coincide
+        let recover_at = sweep_time(scenario.steps.len() - 1);
+        let (recovered, _) = ShardedCoordinator::recover_with(
+            Wal::from_bytes(bytes),
+            cfg,
+            None,
+            std::sync::Arc::new(MockClock::new(recover_at)),
+        )
+        .expect("recovery succeeds");
+        prop_assert_eq!(audit_ledger(&recovered), live_rows);
+        prop_assert_eq!(histogram_state(&recovered), live_hist);
     }
 }

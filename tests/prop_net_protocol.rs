@@ -15,6 +15,7 @@ use youtopia::net::{
     Response, TenantSummary, MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
 use youtopia::storage::{Tuple, Value};
+use youtopia::AuditRecord;
 
 fn arb_request() -> impl Strategy<Value = Request> {
     let owner = "[a-z]{1,8}(/[a-z0-9]{1,8})?";
@@ -38,7 +39,48 @@ fn arb_request() -> impl Strategy<Value = Request> {
         (any::<u64>(), any::<u64>()).prop_map(|(corr, qid)| Request::Cancel { corr, qid }),
         any::<u64>().prop_map(|corr| Request::Stats { corr }),
         any::<u64>().prop_map(|corr| Request::Bye { corr }),
+        (any::<u64>(), "[a-z]{1,8}", any::<u32>()).prop_map(|(corr, tenant, limit)| {
+            Request::AuditQuery {
+                corr,
+                tenant,
+                limit,
+            }
+        }),
     ]
+}
+
+fn arb_audit_row() -> impl Strategy<Value = AuditRecord> {
+    let opt_u64 = (any::<bool>(), any::<u64>()).prop_map(|(some, v)| some.then_some(v));
+    (
+        (
+            any::<u64>(),
+            "[a-z]{1,8}",
+            "[a-z/]{1,16}",
+            "(submit|match|cancel|expire)",
+            any::<u64>(),
+        ),
+        (
+            opt_u64.clone(),
+            "(pending|answered|cancelled|expired)",
+            opt_u64,
+            any::<u32>(),
+        ),
+    )
+        .prop_map(
+            |((qid, tenant, owner, kind, submitted_at), (resolved_at, outcome, latency, shard))| {
+                AuditRecord {
+                    qid,
+                    tenant,
+                    owner,
+                    kind,
+                    submitted_at,
+                    resolved_at,
+                    outcome,
+                    latency_micros: latency,
+                    shard,
+                }
+            },
+        )
 }
 
 fn arb_outcome() -> impl Strategy<Value = Outcome> {
@@ -77,6 +119,8 @@ fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
         Just(ErrorCode::UnknownQuery),
         Just(ErrorCode::BadSession),
         Just(ErrorCode::Internal),
+        Just(ErrorCode::Backpressure),
+        Just(ErrorCode::Forbidden),
     ]
 }
 
@@ -105,6 +149,11 @@ fn arb_response() -> impl Strategy<Value = Response> {
                 message,
             }
         }),
+        (
+            any::<u64>(),
+            proptest::collection::vec(arb_audit_row(), 0..5),
+        )
+            .prop_map(|(corr, rows)| Response::AuditReply { corr, rows }),
     ]
 }
 

@@ -131,6 +131,7 @@ fn run_sharded(w: &Workload, seed: u64, shards: usize) -> (Vec<Outcome>, Vec<u64
             workers: 4,
             auto_checkpoint_bytes: 0,
             fair_drain: false,
+            checkpoint: Default::default(),
             base: config(seed),
         },
     );

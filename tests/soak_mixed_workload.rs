@@ -197,6 +197,7 @@ fn sharded_submit_batch_concurrent_soak() {
             workers: 2,
             auto_checkpoint_bytes: 0,
             fair_drain: false,
+            checkpoint: Default::default(),
             base: CoordinatorConfig {
                 match_config: MatchConfig {
                     randomize: false,
@@ -378,6 +379,7 @@ fn mixed_sync_async_soak_loses_no_completions() {
             workers: 2,
             auto_checkpoint_bytes: 0,
             fair_drain: false,
+            checkpoint: Default::default(),
             base: CoordinatorConfig {
                 match_config: MatchConfig {
                     randomize: false,
@@ -677,6 +679,7 @@ fn session_reconnect_soak_delivers_control_answers() {
                 workers: 2,
                 auto_checkpoint_bytes: 0,
                 fair_drain: false,
+                checkpoint: Default::default(),
                 base: CoordinatorConfig {
                     match_config: MatchConfig {
                         randomize: false, // deterministic CHOOSE for the control comparison
